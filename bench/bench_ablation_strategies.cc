@@ -1,0 +1,53 @@
+// Ablation (beyond the paper's figures, motivated by §3.3.4): all four
+// parallelization strategies on the same workload — PLED (exact E-dag
+// pruning, level-synchronized), the PLED->PLET hybrid ("the optimal
+// PLinda implementation" the paper sketches), load-balanced E-tree, and
+// optimistic E-tree — comparing patterns tested (pruning power) against
+// completion time (synchronization cost).
+//
+// Expected shape: PLED tests the fewest patterns but pays for the master
+// round-trips; the E-tree strategies test more patterns but parallelize
+// freely; the hybrid sits between on both axes, which is why the paper
+// conjectures it as the optimum.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/chapter4_common.h"
+
+int main() {
+  using namespace fpdm;
+  bench::Chapter4Workload workload;
+  const bench::Setting setting = bench::Chapter4Settings()[1];
+  const core::MiningResult& sequential = workload.sequential(setting);
+  const double spw = workload.SecondsPerWorkUnit(setting);
+
+  std::printf("Strategy ablation on %s (E-tree tests %zu patterns "
+              "sequentially)\n\n",
+              setting.name.c_str(), sequential.patterns_tested);
+  util::Table table({"Strategy", "Machines", "Patterns tested", "Time (s)",
+                     "Tuple ops"});
+  for (core::Strategy strategy :
+       {core::Strategy::kPled, core::Strategy::kHybrid,
+        core::Strategy::kLoadBalanced, core::Strategy::kOptimistic}) {
+    for (int machines : {4, 10}) {
+      seqmine::SequenceMiningProblem& problem = workload.problem(setting);
+      core::ParallelOptions options;
+      options.strategy = strategy;
+      options.num_workers = machines;
+      options.seconds_per_work_unit = spw;
+      options.hybrid_switch_level = 2;
+      options.runtime.tuple_op_latency = 0.004;
+      options.runtime.txn_latency = 0.002;
+      core::ParallelResult result = core::MineParallel(problem, options);
+      if (!result.ok) std::fprintf(stderr, "WARNING: deadlock\n");
+      table.AddRow({core::StrategyName(strategy), std::to_string(machines),
+                    std::to_string(result.mining.patterns_tested),
+                    util::FormatDouble(result.completion_time, 0),
+                    std::to_string(result.stats.tuple_ops)});
+      std::fflush(stdout);
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figures 4.8 and 4.9: efficiency of the optimistic vs the
+// load-balanced parallel sequence pattern discovery programs on settings 1
+// and 2, for 1, 2, 4, 6, 8 and 10 machines.
+//
+// Expected shape (paper): optimistic wins at <= 6 machines (no task-push
+// overhead), load-balanced wins at 8-10 (idle workers can help with hot
+// branches).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/chapter4_common.h"
+
+int main() {
+  using namespace fpdm;
+  bench::Chapter4Workload workload;
+  const std::vector<int> machine_counts = {1, 2, 4, 6, 8, 10};
+
+  for (const bench::Setting& setting : bench::Chapter4Settings()) {
+    std::printf("\nFigure %s: efficiency on %s of cyclins.pirx substitute\n",
+                setting.name == "setting 1" ? "4.8" : "4.9",
+                setting.name.c_str());
+    util::Table table({"Machines", "load-balanced", "optimistic"});
+    for (int machines : machine_counts) {
+      bench::ParallelPoint lb = bench::RunPoint(
+          workload, setting, core::Strategy::kLoadBalanced, machines, false);
+      bench::ParallelPoint opt = bench::RunPoint(
+          workload, setting, core::Strategy::kOptimistic, machines, false);
+      table.AddRow({std::to_string(machines),
+                    util::FormatPercent(lb.efficiency, 0),
+                    util::FormatPercent(opt.efficiency, 0)});
+    }
+    table.Print(std::cout);
+  }
+  std::printf("\n(Paper, setting 1: load-balanced 90/88/85/68/58/52%%, "
+              "optimistic 94/94/90/68/57/48%%)\n");
+  return 0;
+}

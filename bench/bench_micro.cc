@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) of the performance-critical
+// primitives: tuple-space matching, GST construction, the motif-matching
+// DP, the optimal sub-K-ary split DP, one Apriori pass, and tree edit
+// distance with cuts.
+
+#include <benchmark/benchmark.h>
+
+#include "arm/apriori.h"
+#include "arm/problem.h"
+#include "classify/split.h"
+#include "data/benchmarks.h"
+#include "plinda/tuple_space.h"
+#include "seqmine/generator.h"
+#include "seqmine/motif.h"
+#include "seqmine/suffix_tree.h"
+#include "treemine/edit_distance.h"
+#include "treemine/problem.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace fpdm;
+
+void BM_TupleSpaceOutIn(benchmark::State& state) {
+  using namespace plinda;
+  for (auto _ : state) {
+    TupleSpace space;
+    for (int i = 0; i < 1000; ++i) space.Out(MakeTuple("task", i));
+    Tuple t;
+    Template q = MakeTemplate(A("task"), F(ValueType::kInt));
+    while (space.TryIn(q, &t)) {
+    }
+    benchmark::DoNotOptimize(space.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_TupleSpaceOutIn);
+
+void BM_TupleSpaceMatchMiss(benchmark::State& state) {
+  using namespace plinda;
+  TupleSpace space;
+  for (int i = 0; i < 1000; ++i) space.Out(MakeTuple("task", i));
+  Template q = MakeTemplate(A("other"), F(ValueType::kInt));
+  for (auto _ : state) {
+    Tuple t;
+    benchmark::DoNotOptimize(space.TryRd(q, &t));
+  }
+}
+BENCHMARK(BM_TupleSpaceMatchMiss);
+
+void BM_SuffixTreeBuild(benchmark::State& state) {
+  seqmine::ProteinSetConfig config = seqmine::CyclinsLikeConfig();
+  std::vector<std::string> seqs = seqmine::GenerateProteinSet(config);
+  for (auto _ : state) {
+    seqmine::GeneralizedSuffixTree gst(seqs);
+    benchmark::DoNotOptimize(gst.node_count());
+  }
+}
+BENCHMARK(BM_SuffixTreeBuild);
+
+void BM_MotifMatchExact(benchmark::State& state) {
+  std::vector<std::string> seqs =
+      seqmine::GenerateProteinSet(seqmine::CyclinsLikeConfig());
+  seqmine::Motif motif{{"ACDEFGHIKLMN"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        seqmine::OccurrenceNumber(motif, seqs, 0, nullptr));
+  }
+}
+BENCHMARK(BM_MotifMatchExact);
+
+void BM_MotifMatchDp(benchmark::State& state) {
+  std::vector<std::string> seqs =
+      seqmine::GenerateProteinSet(seqmine::CyclinsLikeConfig());
+  seqmine::Motif motif{{"ACDEFGHIKLMN"}};
+  const int mutations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        seqmine::OccurrenceNumber(motif, seqs, mutations, nullptr));
+  }
+}
+BENCHMARK(BM_MotifMatchDp)->Arg(1)->Arg(4);
+
+void BM_OptimalSplitDp(benchmark::State& state) {
+  const int baskets = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  std::vector<classify::Basket> value_baskets;
+  for (int i = 0; i < baskets; ++i) {
+    classify::Basket b;
+    b.lo = b.hi = i;
+    for (int c = 0; c < 6; ++c) {
+      b.counts.push_back(static_cast<double>(rng.NextBounded(20)));
+    }
+    value_baskets.push_back(std::move(b));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify::OptimalOrderedPartition(
+        value_baskets, 4, classify::GiniImpurity, nullptr));
+  }
+}
+BENCHMARK(BM_OptimalSplitDp)->Arg(16)->Arg(48);
+
+void BM_NyuSplitterOnSatimage(benchmark::State& state) {
+  data::BenchmarkSpec spec = data::SpecByName("satimage");
+  spec.rows = 1000;
+  classify::Dataset dataset = data::GenerateBenchmark(spec);
+  classify::Splitter splitter =
+      classify::MakeNyuSplitter(classify::NyuSplitterOptions{});
+  std::vector<int> rows = dataset.AllRows();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitter(dataset, rows, nullptr));
+  }
+}
+BENCHMARK(BM_NyuSplitterOnSatimage);
+
+void BM_AprioriPass(benchmark::State& state) {
+  arm::BasketConfig config;
+  config.num_transactions = 1000;
+  config.num_items = 40;
+  config.patterns = {{{1, 5, 9}, 0.3}, {{2, 11}, 0.4}};
+  arm::TransactionDb db = arm::GenerateBaskets(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arm::Apriori(db, 120, nullptr));
+  }
+}
+BENCHMARK(BM_AprioriPass);
+
+void BM_TreeCutDistance(benchmark::State& state) {
+  treemine::RnaForestConfig config;
+  config.num_trees = 1;
+  config.min_nodes = 25;
+  config.max_nodes = 25;
+  treemine::OrderedTree text = treemine::GenerateRnaForest(config)[0];
+  treemine::OrderedTree motif = treemine::OrderedTree::Parse("M(B(H)I(H))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(treemine::MinCutDistance(motif, text, nullptr));
+  }
+}
+BENCHMARK(BM_TreeCutDistance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

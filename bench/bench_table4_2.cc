@@ -1,0 +1,46 @@
+// Reproduces Table 4.2: parameter settings and sequential program results
+// on the cyclins.pirx substitute. Also reports the E-tree profile the paper
+// quotes in §4.3 (20 top-level patterns, ~397 second-level patterns).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/chapter4_common.h"
+
+int main() {
+  using namespace fpdm;
+  bench::Chapter4Workload workload;
+
+  std::printf("Table 4.2: parameter settings and sequential results "
+              "(cyclins.pirx substitute, %zu sequences)\n\n",
+              workload.sequences().size());
+  util::Table table({"Setting", "Min Length", "Min Occur", "Max Mut",
+                     "Motifs", "Seq. Time (s)", "Patterns tested"});
+  for (const bench::Setting& setting : bench::Chapter4Settings()) {
+    const core::MiningResult& result = workload.sequential(setting);
+    const auto motifs = seqmine::SequenceMiningProblem::ReportableMotifs(
+        result, setting.config.min_length);
+    const double seconds =
+        result.total_task_cost * workload.SecondsPerWorkUnit(setting);
+    table.AddRow({setting.name, std::to_string(setting.config.min_length),
+                  std::to_string(setting.config.min_occurrence),
+                  std::to_string(setting.config.max_mutations),
+                  std::to_string(motifs.size()),
+                  util::FormatDouble(seconds, 0),
+                  std::to_string(result.patterns_tested)});
+  }
+  table.Print(std::cout);
+
+  // E-tree profile (§4.3): top-level and second-level pattern counts.
+  const bench::Setting& s1 = bench::Chapter4Settings()[0];
+  seqmine::SequenceMiningProblem& problem = workload.problem(s1);
+  const auto roots = problem.RootPatterns();
+  size_t second_level = 0;
+  for (const auto& root : roots) {
+    second_level += problem.ChildPatterns(root).size();
+  }
+  std::printf("\nE-tree profile: %zu top-level patterns, %zu second-level "
+              "patterns (paper: 20 and 397)\n",
+              roots.size(), second_level);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Tables 5.5 and 5.6: the foreign-exchange application of §5.6 —
+// NyuMiner-RS rules (Cmin 80%, Smin 1%) mined on the first half of five
+// daily rate series, traded on the second half with the simple
+// convert-and-return strategy.
+//
+// Expected shape (paper): a handful of selected rules per pair, covering
+// roughly one trade a month, 57-62% directional accuracy on covered days,
+// positive money in both starting currencies.
+
+#include <cstdio>
+#include <iostream>
+
+#include "forex/forex.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fpdm;
+
+  std::printf("Table 5.5: foreign exchange data sets (synthetic series)\n\n");
+  util::Table pairs_table({"Pair", "Data Set", "Days"});
+  for (const forex::CurrencyPair& pair : forex::PaperCurrencyPairs()) {
+    pairs_table.AddRow({pair.first + " vs. " + pair.second, pair.code,
+                        std::to_string(pair.num_days)});
+  }
+  pairs_table.Print(std::cout);
+
+  classify::NyuMinerOptions options;
+  options.rs_trials = 4;
+  options.seed = 1998;
+
+  std::printf("\nTable 5.6: money made in foreign exchange "
+              "(Cmin 80%%, Smin 1%%)\n\n");
+  util::Table table({"Data Set", "Rules", "Days Covered", "Accuracy",
+                     "% Gain (1st ccy)", "% Gain (2nd ccy)", "Avg % Gain"});
+  for (const forex::CurrencyPair& pair : forex::PaperCurrencyPairs()) {
+    forex::ForexOutcome out =
+        forex::RunForexPipeline(pair, options, 0.80, 0.01);
+    table.AddRow({out.code, std::to_string(out.rules_selected),
+                  std::to_string(out.days_covered),
+                  util::FormatPercent(out.accuracy, 1),
+                  util::FormatDouble(out.gain_first, 1),
+                  util::FormatDouble(out.gain_second, 1),
+                  util::FormatDouble(out.average_gain, 1)});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf("\n(Paper: 2-5 rules, 112-174 days, 56.9-62.5%% accuracy, "
+              "gains 2.5-12.8%% per currency. The synthetic regime signal "
+              "is stronger than 1990s FX, so coverage and gains run higher; "
+              "the accuracy band and the always-positive sign are the "
+              "reproduced shape.)\n");
+  return 0;
+}

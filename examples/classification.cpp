@@ -1,0 +1,63 @@
+// Chapter 5 in miniature: train NyuMiner-CV, NyuMiner-RS, C4.5 and CART on
+// a benchmark-shaped data set, compare accuracies, print a NyuMiner tree
+// and the top selected rules.
+
+#include <cstdio>
+
+#include "classify/c45.h"
+#include "classify/cart.h"
+#include "classify/nyuminer.h"
+#include "data/benchmarks.h"
+
+int main() {
+  using namespace fpdm::classify;
+
+  fpdm::data::BenchmarkSpec spec = fpdm::data::SpecByName("satimage");
+  spec.rows = 2000;
+  Dataset data = fpdm::data::GenerateBenchmark(spec);
+  fpdm::util::Rng rng(1);
+  std::vector<int> train, test;
+  StratifiedHalfSplit(data, &rng, &train, &test);
+  std::printf("satimage-like set: %d rows, %d numeric attributes, %d classes "
+              "(plurality rule %.1f%%)\n\n",
+              data.num_rows(), data.num_attributes(), data.num_classes(),
+              data.PluralityAccuracy() * 100);
+
+  C45Options c45;
+  DecisionTree c45_tree = TrainC45(data, train, c45, nullptr);
+  CartOptions cart;
+  DecisionTree cart_tree = TrainCart(data, train, cart, nullptr);
+  NyuMinerOptions nyu;
+  DecisionTree cv_tree = TrainNyuMinerCV(data, train, nyu, nullptr);
+  nyu.rs_trials = 6;
+  RsModel rs = TrainNyuMinerRS(data, train, nyu, nullptr);
+
+  auto rs_accuracy = [&](const std::vector<int>& rows) {
+    int correct = 0;
+    for (int row : rows) {
+      correct += rs.rules.Classify(data.Row(row)) == data.Label(row) ? 1 : 0;
+    }
+    return static_cast<double>(correct) / static_cast<double>(rows.size());
+  };
+
+  std::printf("%-14s %10s %8s\n", "classifier", "test acc.", "leaves");
+  std::printf("%-14s %9.1f%% %8zu\n", "C4.5",
+              c45_tree.Accuracy(data, test) * 100, c45_tree.num_leaves());
+  std::printf("%-14s %9.1f%% %8zu\n", "CART",
+              cart_tree.Accuracy(data, test) * 100, cart_tree.num_leaves());
+  std::printf("%-14s %9.1f%% %8zu\n", "NyuMiner-CV",
+              cv_tree.Accuracy(data, test) * 100, cv_tree.num_leaves());
+  std::printf("%-14s %9.1f%% %8s\n", "NyuMiner-RS", rs_accuracy(test) * 100,
+              "-");
+
+  // A taste of the model itself: the top of the CV tree and the three
+  // strongest rules.
+  std::printf("\nNyuMiner-CV tree (truncated):\n");
+  std::string text = cv_tree.ToText(data);
+  std::printf("%s\n", text.substr(0, 600).c_str());
+  std::printf("\nStrongest NyuMiner-RS rules:\n");
+  for (size_t i = 0; i < rs.rules.rules().size() && i < 3; ++i) {
+    std::printf("  %s\n", rs.rules.rules()[i].ToString(data).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Biological pattern discovery (Chapter 4): find active motifs in a set of
+// protein sequences three ways — the Wang et al. sequential algorithm, the
+// E-dag framework, and the parallel E-tree traversal on the simulated NOW —
+// and show they agree.
+
+#include <cstdio>
+
+#include "core/parallel.h"
+#include "core/traversal.h"
+#include "seqmine/generator.h"
+#include "seqmine/problem.h"
+#include "seqmine/wang.h"
+
+int main() {
+  using namespace fpdm;
+  using seqmine::SequenceMiningConfig;
+  using seqmine::SequenceMiningProblem;
+
+  // A cyclins.pirx-like family: 47 sequences sharing conserved regions.
+  std::vector<std::string> sequences =
+      seqmine::GenerateProteinSet(seqmine::CyclinsLikeConfig());
+  std::printf("Sequence set: %zu proteins, first 40 letters of #0:\n  %s...\n",
+              sequences.size(), sequences[0].substr(0, 40).c_str());
+
+  SequenceMiningConfig config;
+  config.min_length = 10;
+  config.min_occurrence = 9;
+  config.max_mutations = 0;
+
+  // 1. Wang et al.: GST candidates + activity evaluation.
+  seqmine::WangResult wang = seqmine::WangDiscovery(
+      sequences, config, static_cast<int>(sequences.size()),
+      config.min_occurrence);
+  std::printf("\nWang et al.: %zu active motifs (%zu evaluated, %zu skipped "
+              "by the subpattern optimization)\n",
+              wang.motifs.size(), wang.candidates_evaluated,
+              wang.candidates_skipped);
+
+  // 2. The E-dag framework on the same four elements.
+  SequenceMiningProblem problem(sequences, config);
+  core::MiningResult edag = core::EdagTraversal(problem);
+  auto motifs =
+      SequenceMiningProblem::ReportableMotifs(edag, config.min_length);
+  std::printf("E-dag traversal: %zu active motifs, %zu patterns tested\n",
+              motifs.size(), edag.patterns_tested);
+  for (size_t i = 0; i < motifs.size() && i < 5; ++i) {
+    std::printf("  *%s*  occurs in %.0f sequences\n",
+                motifs[i].pattern.key.c_str(), motifs[i].goodness);
+  }
+
+  // 3. Parallel discovery on 10 simulated workstations (load-balanced
+  //    PLinda E-tree traversal with adaptive master, §4.3.2).
+  core::ParallelOptions options;
+  options.strategy = core::Strategy::kLoadBalanced;
+  options.num_workers = 10;
+  options.adaptive_master = true;
+  options.seconds_per_work_unit = 1e-5;
+  core::ParallelResult parallel = core::MineParallel(problem, options);
+  auto par_motifs = SequenceMiningProblem::ReportableMotifs(parallel.mining,
+                                                            config.min_length);
+  std::printf("\nParallel (10 workers, adaptive master): %zu motifs in "
+              "%.0f virtual seconds (sequential cost %.0f work units)\n",
+              par_motifs.size(), parallel.completion_time,
+              edag.total_task_cost);
+
+  const bool agree = par_motifs.size() == motifs.size() &&
+                     wang.motifs.size() == motifs.size();
+  std::printf("All three methods agree: %s\n", agree ? "yes" : "NO (bug!)");
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,236 @@
+#include "arm/apriori.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace fpdm::arm {
+
+namespace {
+
+// Merge-scan inclusion test: both lists ascending.
+bool Contains(const std::vector<int>& transaction, const Itemset& items) {
+  size_t t = 0;
+  for (int item : items) {
+    while (t < transaction.size() && transaction[t] < item) ++t;
+    if (t == transaction.size() || transaction[t] != item) return false;
+    ++t;
+  }
+  return true;
+}
+
+void SortFrequent(std::vector<FrequentItemset>* frequent) {
+  std::sort(frequent->begin(), frequent->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+}  // namespace
+
+int CountSupport(const TransactionDb& db, const Itemset& items) {
+  int support = 0;
+  for (const auto& transaction : db) {
+    support += Contains(transaction, items) ? 1 : 0;
+  }
+  return support;
+}
+
+std::vector<FrequentItemset> Apriori(const TransactionDb& db, int min_support,
+                                     MiningStats* stats) {
+  std::vector<FrequentItemset> result;
+
+  // L1: one pass of item counting.
+  std::map<int, int> item_counts;
+  for (const auto& transaction : db) {
+    for (int item : transaction) ++item_counts[item];
+  }
+  if (stats != nullptr) ++stats->passes;
+  std::vector<Itemset> level;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_support) {
+      result.push_back(FrequentItemset{{item}, count});
+      level.push_back({item});
+    }
+  }
+
+  std::set<Itemset> frequent_lookup(level.begin(), level.end());
+  while (!level.empty()) {
+    // apriori-gen: join pairs sharing their k-1 smallest items, then prune
+    // candidates having any infrequent k-subset (§2.2.5).
+    std::vector<Itemset> candidates;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        const Itemset& a = level[i];
+        const Itemset& b = level[j];
+        bool joinable = true;
+        for (size_t p = 0; p + 1 < a.size(); ++p) {
+          if (a[p] != b[p]) {
+            joinable = false;
+            break;
+          }
+        }
+        if (!joinable || a.back() >= b.back()) continue;
+        Itemset candidate = a;
+        candidate.push_back(b.back());
+        if (stats != nullptr) ++stats->candidates_generated;
+        bool all_subsets_frequent = true;
+        Itemset subset(candidate.size() - 1);
+        for (size_t skip = 0; skip + 2 < candidate.size() && all_subsets_frequent;
+             ++skip) {
+          // Subsets obtained by dropping one of the first k-1 items (the
+          // two join parents cover dropping the last two).
+          subset.clear();
+          for (size_t p = 0; p < candidate.size(); ++p) {
+            if (p != skip) subset.push_back(candidate[p]);
+          }
+          all_subsets_frequent = frequent_lookup.count(subset) > 0;
+        }
+        if (all_subsets_frequent) {
+          candidates.push_back(std::move(candidate));
+        } else if (stats != nullptr) {
+          ++stats->candidates_pruned_by_subset;
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // One database pass counts all candidates of this level.
+    std::vector<int> supports(candidates.size(), 0);
+    for (const auto& transaction : db) {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (stats != nullptr) ++stats->support_counts;
+        supports[c] += Contains(transaction, candidates[c]) ? 1 : 0;
+      }
+    }
+    if (stats != nullptr) ++stats->passes;
+
+    std::vector<Itemset> next_level;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (supports[c] >= min_support) {
+        frequent_lookup.insert(candidates[c]);
+        result.push_back(FrequentItemset{candidates[c], supports[c]});
+        next_level.push_back(std::move(candidates[c]));
+      }
+    }
+    level = std::move(next_level);
+  }
+  SortFrequent(&result);
+  return result;
+}
+
+std::vector<FrequentItemset> Partition(const TransactionDb& db,
+                                       int min_support, int partitions,
+                                       MiningStats* stats) {
+  assert(partitions >= 1);
+  const size_t n = db.size();
+  if (n == 0) return {};
+  // Step 1+2: mine each horizontal chunk with a scaled local threshold.
+  std::set<Itemset> global_candidates;
+  for (int p = 0; p < partitions; ++p) {
+    const size_t begin = n * static_cast<size_t>(p) / static_cast<size_t>(partitions);
+    const size_t end =
+        n * static_cast<size_t>(p + 1) / static_cast<size_t>(partitions);
+    if (begin >= end) continue;
+    TransactionDb chunk(db.begin() + static_cast<long>(begin),
+                        db.begin() + static_cast<long>(end));
+    // Local threshold: ceil(min_support * |chunk| / |db|), at least 1.
+    const int local = std::max<int>(
+        1, static_cast<int>((static_cast<long long>(min_support) *
+                                 static_cast<long long>(chunk.size()) +
+                             static_cast<long long>(n) - 1) /
+                            static_cast<long long>(n)));
+    for (FrequentItemset& f : Apriori(chunk, local, stats)) {
+      global_candidates.insert(std::move(f.items));
+    }
+  }
+  // Step 3+4: one final pass computes global support for the merged
+  // candidates. (Any globally frequent set is locally frequent somewhere.)
+  std::vector<FrequentItemset> result;
+  for (const Itemset& candidate : global_candidates) {
+    if (stats != nullptr) stats->support_counts += db.size();
+    const int support = CountSupport(db, candidate);
+    if (support >= min_support) {
+      result.push_back(FrequentItemset{candidate, support});
+    }
+  }
+  if (stats != nullptr) ++stats->passes;
+  SortFrequent(&result);
+  return result;
+}
+
+std::string AssociationRule::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < antecedent.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(antecedent[i]);
+  }
+  out += "} -> {";
+  for (size_t i = 0; i < consequent.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(consequent[i]);
+  }
+  out += "}";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (supp %d, conf %.1f%%)", support,
+                confidence * 100);
+  return out + buf;
+}
+
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, double min_confidence,
+    size_t* confidence_checks) {
+  std::map<Itemset, int> support_of;
+  for (const FrequentItemset& f : frequent) support_of[f.items] = f.support;
+
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& f : frequent) {
+    if (f.items.size() < 2) continue;
+    // ap-genrules: start from 1-item consequents; a failing consequent's
+    // supersets cannot hold (property 4 of §2.2.3), so only survivors are
+    // joined into larger consequents.
+    std::vector<Itemset> consequents;
+    for (int item : f.items) consequents.push_back({item});
+    while (!consequents.empty()) {
+      std::vector<Itemset> survivors;
+      for (const Itemset& consequent : consequents) {
+        if (consequent.size() >= f.items.size()) continue;
+        Itemset antecedent;
+        std::set_difference(f.items.begin(), f.items.end(), consequent.begin(),
+                            consequent.end(), std::back_inserter(antecedent));
+        if (confidence_checks != nullptr) ++*confidence_checks;
+        const double confidence = static_cast<double>(f.support) /
+                                  static_cast<double>(support_of.at(antecedent));
+        if (confidence >= min_confidence) {
+          rules.push_back(
+              AssociationRule{antecedent, consequent, f.support, confidence});
+          survivors.push_back(consequent);
+        }
+      }
+      // Join surviving consequents (shared prefix, ascending last items).
+      std::vector<Itemset> next;
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        for (size_t j = i + 1; j < survivors.size(); ++j) {
+          const Itemset& a = survivors[i];
+          const Itemset& b = survivors[j];
+          bool joinable = a.size() == b.size();
+          for (size_t p = 0; joinable && p + 1 < a.size(); ++p) {
+            joinable = a[p] == b[p];
+          }
+          if (!joinable || a.back() >= b.back()) continue;
+          Itemset joined = a;
+          joined.push_back(b.back());
+          next.push_back(std::move(joined));
+        }
+      }
+      consequents = std::move(next);
+    }
+  }
+  return rules;
+}
+
+}  // namespace fpdm::arm

@@ -1,0 +1,68 @@
+#ifndef FPDM_ARM_APRIORI_H_
+#define FPDM_ARM_APRIORI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpdm::arm {
+
+/// An itemset: strictly ascending item ids.
+using Itemset = std::vector<int>;
+/// A transaction database: each transaction is an ascending item list.
+using TransactionDb = std::vector<std::vector<int>>;
+
+/// A discovered frequent itemset with its (absolute) support.
+struct FrequentItemset {
+  Itemset items;
+  int support = 0;
+
+  bool operator==(const FrequentItemset& other) const = default;
+};
+
+/// Statistics of a frequent-set mining run.
+struct MiningStats {
+  size_t candidates_generated = 0;
+  size_t candidates_pruned_by_subset = 0;  // killed by the apriori-gen check
+  size_t support_counts = 0;               // candidate-vs-transaction tests
+  int passes = 0;                          // database scans
+};
+
+/// Number of transactions containing every item of `items` (supp(X)).
+int CountSupport(const TransactionDb& db, const Itemset& items);
+
+/// Phase I, Apriori (Agrawal & Srikant; paper §2.2.5): level-wise
+/// generate-and-test with apriori-gen candidate generation (join on the
+/// k-1 smallest items + all-subsets-frequent check). Results are sorted by
+/// (length, lexicographic).
+std::vector<FrequentItemset> Apriori(const TransactionDb& db, int min_support,
+                                     MiningStats* stats);
+
+/// Phase I, Partition (Savasere et al.; paper §2.2.5): split the database
+/// into `partitions` horizontal chunks, mine each with a proportionally
+/// scaled local threshold, union the local frequent sets into global
+/// candidates, then count global support in one final pass.
+std::vector<FrequentItemset> Partition(const TransactionDb& db,
+                                       int min_support, int partitions,
+                                       MiningStats* stats);
+
+/// An association rule X -> Y (paper §2.2.2).
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  int support = 0;        // supp(X u Y)
+  double confidence = 0;  // supp(X u Y) / supp(X)
+
+  std::string ToString() const;
+};
+
+/// Phase II (paper §2.2.4): builds all rules with confidence >=
+/// min_confidence from the frequent sets, using property 4 of §2.2.3 —
+/// once a consequent fails, none of its supersets can hold — to prune.
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, double min_confidence,
+    size_t* confidence_checks = nullptr);
+
+}  // namespace fpdm::arm
+
+#endif  // FPDM_ARM_APRIORI_H_

@@ -1,0 +1,123 @@
+#include "arm/problem.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace fpdm::arm {
+
+ItemsetProblem::ItemsetProblem(TransactionDb db, int min_support)
+    : db_(std::move(db)), min_support_(min_support) {
+  std::set<int> items;
+  size_t total_len = 0;
+  for (const auto& transaction : db_) {
+    total_len += transaction.size();
+    for (int item : transaction) items.insert(item);
+  }
+  items_.assign(items.begin(), items.end());
+  avg_transaction_len_ =
+      db_.empty() ? 0
+                  : static_cast<double>(total_len) /
+                        static_cast<double>(db_.size());
+}
+
+std::string ItemsetProblem::Encode(const Itemset& items) {
+  std::string key;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) key += ',';
+    key += std::to_string(items[i]);
+  }
+  return key;
+}
+
+Itemset ItemsetProblem::Decode(const std::string& key) {
+  Itemset items;
+  std::stringstream ss(key);
+  std::string token;
+  while (std::getline(ss, token, ',')) items.push_back(std::stoi(token));
+  return items;
+}
+
+std::vector<core::Pattern> ItemsetProblem::RootPatterns() const {
+  std::vector<core::Pattern> roots;
+  for (int item : items_) {
+    roots.push_back(core::Pattern{std::to_string(item), 1});
+  }
+  return roots;
+}
+
+std::vector<core::Pattern> ItemsetProblem::ChildPatterns(
+    const core::Pattern& pattern) const {
+  const Itemset items = Decode(pattern.key);
+  std::vector<core::Pattern> children;
+  for (int item : items_) {
+    if (item <= items.back()) continue;
+    Itemset child = items;
+    child.push_back(item);
+    children.push_back(core::Pattern{Encode(child), pattern.length + 1});
+  }
+  return children;
+}
+
+std::vector<core::Pattern> ItemsetProblem::ImmediateSubpatterns(
+    const core::Pattern& pattern) const {
+  const Itemset items = Decode(pattern.key);
+  std::vector<core::Pattern> subs;
+  if (items.size() <= 1) return subs;
+  for (size_t skip = 0; skip < items.size(); ++skip) {
+    Itemset sub;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i != skip) sub.push_back(items[i]);
+    }
+    subs.push_back(core::Pattern{Encode(sub), pattern.length - 1});
+  }
+  return subs;
+}
+
+double ItemsetProblem::Goodness(const core::Pattern& pattern) const {
+  return CountSupport(db_, Decode(pattern.key));
+}
+
+bool ItemsetProblem::IsGood(const core::Pattern&, double goodness) const {
+  return goodness >= min_support_;
+}
+
+double ItemsetProblem::TaskCost(const core::Pattern& pattern) const {
+  // One merge-scan per transaction: ~avg transaction length + |X| each.
+  return static_cast<double>(db_.size()) *
+         (avg_transaction_len_ + static_cast<double>(pattern.length));
+}
+
+std::vector<FrequentItemset> ItemsetProblem::ToFrequentItemsets(
+    const core::MiningResult& result) {
+  std::vector<FrequentItemset> frequent;
+  for (const core::GoodPattern& gp : result.good_patterns) {
+    frequent.push_back(FrequentItemset{Decode(gp.pattern.key),
+                                       static_cast<int>(gp.goodness)});
+  }
+  return frequent;
+}
+
+TransactionDb GenerateBaskets(const BasketConfig& config) {
+  util::Rng rng(config.seed);
+  TransactionDb db;
+  db.reserve(static_cast<size_t>(config.num_transactions));
+  for (int t = 0; t < config.num_transactions; ++t) {
+    std::set<int> basket;
+    for (const auto& [pattern, probability] : config.patterns) {
+      if (rng.NextBool(probability)) {
+        basket.insert(pattern.begin(), pattern.end());
+      }
+    }
+    const int extra = static_cast<int>(
+        rng.NextInt(1, std::max(1, config.avg_transaction_size)));
+    for (int e = 0; e < extra; ++e) {
+      basket.insert(static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(config.num_items))));
+    }
+    db.emplace_back(basket.begin(), basket.end());
+  }
+  return db;
+}
+
+}  // namespace fpdm::arm

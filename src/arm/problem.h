@@ -1,0 +1,64 @@
+#ifndef FPDM_ARM_PROBLEM_H_
+#define FPDM_ARM_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+#include "arm/apriori.h"
+#include "core/mining_problem.h"
+#include "util/random.h"
+
+namespace fpdm::arm {
+
+/// Association rule mining as an E-dag application (paper Figure 3.2,
+/// Table 3.1): patterns are itemsets (key "1,3,4"), children extend with a
+/// strictly larger item, immediate subpatterns are all (k-1)-subsets,
+/// goodness is support, good means support >= min_support.
+class ItemsetProblem : public core::MiningProblem {
+ public:
+  ItemsetProblem(TransactionDb db, int min_support);
+
+  static std::string Encode(const Itemset& items);
+  static Itemset Decode(const std::string& key);
+
+  std::vector<core::Pattern> RootPatterns() const override;
+  std::vector<core::Pattern> ChildPatterns(
+      const core::Pattern& pattern) const override;
+  std::vector<core::Pattern> ImmediateSubpatterns(
+      const core::Pattern& pattern) const override;
+  double Goodness(const core::Pattern& pattern) const override;
+  bool IsGood(const core::Pattern& pattern, double goodness) const override;
+  double TaskCost(const core::Pattern& pattern) const override;
+
+  const TransactionDb& db() const { return db_; }
+  int min_support() const { return min_support_; }
+
+  /// Converts a traversal result into FrequentItemset form, for comparison
+  /// with Apriori / Partition.
+  static std::vector<FrequentItemset> ToFrequentItemsets(
+      const core::MiningResult& result);
+
+ private:
+  TransactionDb db_;
+  int min_support_;
+  std::vector<int> items_;      // distinct items, ascending
+  double avg_transaction_len_;  // for the cost model
+};
+
+/// Synthetic market-basket generator (IBM Quest style): baskets draw from
+/// planted frequent patterns plus uniform noise items.
+struct BasketConfig {
+  int num_transactions = 1000;
+  int num_items = 50;
+  int avg_transaction_size = 8;
+  /// Planted patterns: each is (items, probability a transaction includes
+  /// it).
+  std::vector<std::pair<Itemset, double>> patterns;
+  uint64_t seed = 7;
+};
+
+TransactionDb GenerateBaskets(const BasketConfig& config);
+
+}  // namespace fpdm::arm
+
+#endif  // FPDM_ARM_PROBLEM_H_

@@ -1,0 +1,274 @@
+#include "classify/c45.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "classify/impurity.h"
+
+namespace fpdm::classify {
+
+namespace {
+
+// Inverse standard normal CDF (Acklam's rational approximation), used to
+// turn the pruning confidence into the z coefficient Quinlan tabulates.
+double NormalQuantile(double p) {
+  assert(p > 0 && p < 1);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+double C45AddErrs(double n, double e, double cf) {
+  // Translation of AddErrs from C4.5 release 8 (c4.5/Src/st-thresh.c).
+  if (n <= 0) return 0;
+  if (e < 1e-6) {
+    return n * (1 - std::exp(std::log(cf) / n));
+  }
+  if (e < 0.9999) {
+    const double v0 = n * (1 - std::exp(std::log(cf) / n));
+    return v0 + e * (C45AddErrs(n, 1.0, cf) - v0);
+  }
+  if (e + 0.5 >= n) {
+    return 0.67 * (n - e);
+  }
+  const double coeff = -NormalQuantile(cf);  // upper-tail z for confidence cf
+  const double pr = (e + 0.5) / n;
+  double val = pr + coeff * coeff / (2 * n) +
+               coeff * std::sqrt(pr / n - pr * pr / n +
+                                 coeff * coeff / (4 * n * n));
+  val /= 1 + coeff * coeff / n;
+  return val * n - e;
+}
+
+Splitter MakeC45Splitter() {
+  return [](const Dataset& data, const std::vector<int>& rows,
+            double* work) -> std::optional<Split> {
+    struct Candidate {
+      Split split;
+      double gain = 0;
+      double gain_ratio = 0;
+    };
+    std::vector<Candidate> candidates;
+
+    const std::vector<double> parent_counts = data.ClassCounts(rows);
+    const double parent_info = EntropyImpurity(parent_counts);
+    double parent_n = 0;
+    for (double c : parent_counts) parent_n += c;
+
+    auto evaluate = [&](Split split,
+                        const std::vector<std::vector<double>>& branches) {
+      if (work != nullptr) *work += 1;
+      const double info = AggregateImpurity(EntropyImpurity, branches);
+      const double gain = parent_info - info;
+      // split info: entropy of the branch-size distribution.
+      std::vector<double> sizes;
+      for (const auto& b : branches) {
+        double n = 0;
+        for (double c : b) n += c;
+        if (n > 0) sizes.push_back(n);
+      }
+      const double split_info = EntropyImpurity(sizes);
+      if (split_info <= 1e-9 || sizes.size() < 2) return;
+      Candidate cand;
+      cand.split = std::move(split);
+      cand.split.impurity = info;
+      cand.gain = gain;
+      cand.gain_ratio = gain / split_info;
+      candidates.push_back(std::move(cand));
+    };
+
+    for (int a = 0; a < data.num_attributes(); ++a) {
+      if (data.attribute(a).type == AttrType::kNumeric) {
+        std::vector<Basket> baskets = BuildValueBaskets(data, rows, a);
+        baskets = MergeAtBoundaries(std::move(baskets));
+        if (baskets.size() < 2) continue;
+        // Binary threshold at every boundary point; keep this attribute's
+        // best by gain (C4.5 picks the attribute by gain ratio afterwards).
+        std::vector<double> left(parent_counts.size(), 0.0);
+        std::vector<double> totals(parent_counts.size(), 0.0);
+        for (const Basket& b : baskets) {
+          for (size_t c = 0; c < totals.size(); ++c) totals[c] += b.counts[c];
+        }
+        for (size_t cut = 0; cut + 1 < baskets.size(); ++cut) {
+          for (size_t c = 0; c < left.size(); ++c) {
+            left[c] += baskets[cut].counts[c];
+          }
+          std::vector<double> right(totals.size());
+          for (size_t c = 0; c < totals.size(); ++c) right[c] = totals[c] - left[c];
+          Split split;
+          split.attribute = a;
+          split.type = AttrType::kNumeric;
+          split.thresholds = {(baskets[cut].hi + baskets[cut + 1].lo) / 2};
+          double left_n = 0, right_n = 0;
+          for (double v : left) left_n += v;
+          for (double v : right) right_n += v;
+          split.default_branch = left_n >= right_n ? 0 : 1;
+          evaluate(std::move(split), {left, right});
+        }
+      } else {
+        // Fixed m-way split on the observed category values.
+        const size_t cardinality = data.attribute(a).categories.size();
+        std::vector<std::vector<double>> branches(
+            cardinality, std::vector<double>(parent_counts.size(), 0.0));
+        for (int row : rows) {
+          const double v = data.Value(row, a);
+          if (Dataset::IsMissingValue(v)) continue;
+          ++branches[static_cast<size_t>(v)][static_cast<size_t>(data.Label(row))];
+        }
+        Split split;
+        split.attribute = a;
+        split.type = AttrType::kCategorical;
+        std::vector<std::vector<double>> seen_branches;
+        double best_pop = -1;
+        for (size_t v = 0; v < cardinality; ++v) {
+          double n = 0;
+          for (double c : branches[v]) n += c;
+          if (n <= 0) continue;
+          split.value_groups.push_back({static_cast<int>(v)});
+          if (n > best_pop) {
+            best_pop = n;
+            split.default_branch =
+                static_cast<int>(split.value_groups.size()) - 1;
+          }
+          seen_branches.push_back(branches[v]);
+        }
+        if (seen_branches.size() < 2) continue;
+        evaluate(std::move(split), seen_branches);
+      }
+    }
+
+    if (candidates.empty()) return std::nullopt;
+    // Release 8 heuristic: among candidates with gain >= average gain, pick
+    // the best gain ratio.
+    double mean_gain = 0;
+    for (const Candidate& c : candidates) mean_gain += c.gain;
+    mean_gain /= static_cast<double>(candidates.size());
+    const Candidate* best = nullptr;
+    for (const Candidate& c : candidates) {
+      if (c.gain + 1e-12 < mean_gain) continue;
+      if (best == nullptr || c.gain_ratio > best->gain_ratio) best = &c;
+    }
+    if (best == nullptr || best->gain <= 1e-9) return std::nullopt;
+    (void)parent_n;
+    return best->split;
+  };
+}
+
+namespace {
+
+// Pessimistic pruning: bottom-up, replace a subtree by a leaf when the
+// leaf's estimated errors do not exceed the subtree's.
+double PessimisticPrune(TreeNode* node, double cf) {
+  const double n = node->total();
+  const double leaf_estimate = node->node_errors() +
+                               C45AddErrs(n, node->node_errors(), cf);
+  if (node->is_leaf()) return leaf_estimate;
+  double subtree_estimate = 0;
+  for (auto& child : node->children) {
+    subtree_estimate += PessimisticPrune(child.get(), cf);
+  }
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    node->children.clear();
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+GrowthOptions MakeGrowth(const C45Options& options) {
+  GrowthOptions growth;
+  growth.splitter = MakeC45Splitter();
+  growth.min_split_rows = options.min_split_rows;
+  growth.max_depth = options.max_depth;
+  return growth;
+}
+
+}  // namespace
+
+DecisionTree TrainC45(const Dataset& data, const std::vector<int>& rows,
+                      const C45Options& options, double* work) {
+  DecisionTree tree = DecisionTree::Grow(data, rows, MakeGrowth(options), work);
+  PessimisticPrune(tree.mutable_root(), options.pruning_confidence);
+  return tree;
+}
+
+DecisionTree C45WindowTrial(const Dataset& data, const std::vector<int>& rows,
+                            const C45Options& options, uint64_t trial_seed,
+                            double* work) {
+  util::Rng rng(trial_seed);
+  std::vector<int> shuffled = rows;
+  rng.Shuffle(&shuffled);
+  size_t window_size = std::max<size_t>(
+      static_cast<size_t>(options.window_initial_fraction *
+                          static_cast<double>(rows.size())),
+      std::min<size_t>(rows.size(), 16));
+  std::vector<int> window(shuffled.begin(),
+                          shuffled.begin() + static_cast<long>(window_size));
+  std::vector<int> remaining(shuffled.begin() + static_cast<long>(window_size),
+                             shuffled.end());
+  DecisionTree tree = TrainC45(data, window, options, work);
+  while (!remaining.empty()) {
+    std::vector<int> misclassified, correct;
+    for (int row : remaining) {
+      (tree.Classify(data.Row(row)) != data.Label(row) ? misclassified
+                                                       : correct)
+          .push_back(row);
+    }
+    if (misclassified.empty()) break;
+    const size_t take =
+        std::min(misclassified.size(), std::max<size_t>(window.size() / 2, 16));
+    window.insert(window.end(), misclassified.begin(),
+                  misclassified.begin() + static_cast<long>(take));
+    remaining.assign(misclassified.begin() + static_cast<long>(take),
+                     misclassified.end());
+    remaining.insert(remaining.end(), correct.begin(), correct.end());
+    tree = TrainC45(data, window, options, work);
+  }
+  return tree;
+}
+
+DecisionTree TrainC45Windowed(const Dataset& data,
+                              const std::vector<int>& rows,
+                              const C45Options& options, double* work) {
+  if (options.window_trials <= 1) return TrainC45(data, rows, options, work);
+  util::Rng rng(options.seed);
+  DecisionTree best;
+  int best_errors = 0;
+  for (int trial = 0; trial < options.window_trials; ++trial) {
+    DecisionTree tree = C45WindowTrial(data, rows, options, rng.Next(), work);
+    const int errors = tree.Errors(data, rows);
+    if (best.empty() || errors < best_errors) {
+      best_errors = errors;
+      best = std::move(tree);
+    }
+  }
+  return best;
+}
+
+}  // namespace fpdm::classify

@@ -1,0 +1,58 @@
+#ifndef FPDM_CLASSIFY_C45_H_
+#define FPDM_CLASSIFY_C45_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classify/split.h"
+#include "classify/tree.h"
+
+namespace fpdm::classify {
+
+/// From-scratch C4.5 baseline (Quinlan; paper §2.1.5, §5.2):
+///   * gain-ratio attribute selection, with release 8's constraint that the
+///     chosen split's information gain be at least the average gain over
+///     candidate splits;
+///   * binary splits for numeric attributes (threshold at boundary points),
+///     fixed m-way splits for categorical attributes;
+///   * pessimistic error-based pruning at confidence `pruning_confidence`;
+///   * optional windowing (multiple trials from random initial windows,
+///     keeping the best tree).
+struct C45Options {
+  int min_split_rows = 5;
+  int max_depth = 40;
+  double pruning_confidence = 0.25;
+  /// Windowing trials; 1 disables windowing (single tree on all rows).
+  int window_trials = 1;
+  double window_initial_fraction = 0.2;
+  uint64_t seed = 1;
+};
+
+/// The gain-ratio splitter (binary numeric / m-way categorical).
+Splitter MakeC45Splitter();
+
+/// Grows and pessimistically prunes one C4.5 tree on `rows`.
+DecisionTree TrainC45(const Dataset& data, const std::vector<int>& rows,
+                      const C45Options& options, double* work);
+
+/// One windowing trial: grow from a random initial window, iteratively
+/// absorb misclassified rows, return the pruned tree. Exposed so the
+/// PLinda-parallel C4.5 of Chapter 6 can run each trial as a task.
+DecisionTree C45WindowTrial(const Dataset& data, const std::vector<int>& rows,
+                            const C45Options& options, uint64_t trial_seed,
+                            double* work);
+
+/// Full windowed C4.5: `window_trials` trials, keeping the tree with the
+/// fewest errors on the whole training set.
+DecisionTree TrainC45Windowed(const Dataset& data,
+                              const std::vector<int>& rows,
+                              const C45Options& options, double* work);
+
+/// Quinlan's pessimistic extra-error estimate: the number of additional
+/// errors to charge a leaf covering `n` rows with `e` observed errors, at
+/// confidence level `cf`. Exposed for tests.
+double C45AddErrs(double n, double e, double cf);
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_C45_H_

@@ -1,0 +1,25 @@
+#include "classify/cart.h"
+
+#include "classify/prune.h"
+
+namespace fpdm::classify {
+
+Splitter MakeCartSplitter() {
+  NyuSplitterOptions options;
+  options.impurity = GiniImpurity;
+  options.max_branches = 2;
+  return MakeNyuSplitter(options);
+}
+
+DecisionTree TrainCart(const Dataset& data, const std::vector<int>& rows,
+                       const CartOptions& options, double* work) {
+  GrowthOptions growth;
+  growth.splitter = MakeCartSplitter();
+  growth.min_split_rows = options.min_split_rows;
+  growth.max_depth = options.max_depth;
+  util::Rng rng(options.seed);
+  return GrowWithCostComplexityCv(data, rows, growth, options.cv_folds, &rng,
+                                  work);
+}
+
+}  // namespace fpdm::classify

@@ -1,0 +1,37 @@
+#ifndef FPDM_CLASSIFY_CART_H_
+#define FPDM_CLASSIFY_CART_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classify/split.h"
+#include "classify/tree.h"
+
+namespace fpdm::classify {
+
+/// From-scratch CART baseline (Breiman et al.; paper §2.1.4, §5.4.1):
+/// binary splits minimizing the Gini index for both numeric and categorical
+/// variables, grown to purity and pruned by minimal cost complexity with
+/// V-fold cross validation.
+///
+/// The split search reuses the NyuMiner machinery with max_branches = 2 —
+/// an optimal *binary* split is exactly NyuMiner's optimal sub-2-ary split
+/// (the paper's point in §5.1 is that repeated optimal binarization still
+/// does not yield optimal multi-way splits).
+struct CartOptions {
+  int min_split_rows = 5;
+  int max_depth = 40;
+  int cv_folds = 10;
+  uint64_t seed = 1;
+};
+
+/// The Gini binary splitter.
+Splitter MakeCartSplitter();
+
+/// Grows + cost-complexity-CV-prunes a CART tree.
+DecisionTree TrainCart(const Dataset& data, const std::vector<int>& rows,
+                       const CartOptions& options, double* work);
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_CART_H_

@@ -1,0 +1,128 @@
+#include "classify/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace fpdm::classify {
+
+Dataset::Dataset(std::vector<Attribute> attributes,
+                 std::vector<std::string> classes)
+    : attributes_(std::move(attributes)), classes_(std::move(classes)) {
+  assert(!attributes_.empty());
+  assert(classes_.size() >= 2);
+}
+
+void Dataset::AddRow(std::vector<double> values, int label) {
+  assert(values.size() == attributes_.size());
+  assert(label >= 0 && label < num_classes());
+  rows_.push_back(std::move(values));
+  labels_.push_back(label);
+}
+
+double Dataset::Value(int row, int attribute) const {
+  return rows_[static_cast<size_t>(row)][static_cast<size_t>(attribute)];
+}
+
+bool Dataset::IsMissing(int row, int attribute) const {
+  return IsMissingValue(Value(row, attribute));
+}
+
+const std::vector<double>& Dataset::Row(int row) const {
+  return rows_[static_cast<size_t>(row)];
+}
+
+int Dataset::PluralityClass() const {
+  std::vector<int> counts(static_cast<size_t>(num_classes()), 0);
+  for (int label : labels_) ++counts[static_cast<size_t>(label)];
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+double Dataset::PluralityAccuracy() const {
+  if (labels_.empty()) return 0;
+  const int plurality = PluralityClass();
+  int hits = 0;
+  for (int label : labels_) hits += label == plurality;
+  return static_cast<double>(hits) / static_cast<double>(labels_.size());
+}
+
+double Dataset::FractionRowsWithMissing() const {
+  if (rows_.empty()) return 0;
+  int with_missing = 0;
+  for (const auto& row : rows_) {
+    for (double v : row) {
+      if (IsMissingValue(v)) {
+        ++with_missing;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(with_missing) / static_cast<double>(rows_.size());
+}
+
+double Dataset::FractionMissingValues() const {
+  if (rows_.empty()) return 0;
+  size_t missing = 0, total = 0;
+  for (const auto& row : rows_) {
+    for (double v : row) {
+      ++total;
+      missing += IsMissingValue(v) ? 1 : 0;
+    }
+  }
+  return static_cast<double>(missing) / static_cast<double>(total);
+}
+
+std::vector<double> Dataset::ClassCounts(const std::vector<int>& rows) const {
+  std::vector<double> counts(static_cast<size_t>(num_classes()), 0.0);
+  for (int row : rows) ++counts[static_cast<size_t>(Label(row))];
+  return counts;
+}
+
+std::vector<int> Dataset::AllRows() const {
+  std::vector<int> rows(static_cast<size_t>(num_rows()));
+  for (int i = 0; i < num_rows(); ++i) rows[static_cast<size_t>(i)] = i;
+  return rows;
+}
+
+void StratifiedHalfSplit(const Dataset& data, util::Rng* rng,
+                         std::vector<int>* first, std::vector<int>* second) {
+  first->clear();
+  second->clear();
+  std::vector<std::vector<int>> by_class(
+      static_cast<size_t>(data.num_classes()));
+  for (int row = 0; row < data.num_rows(); ++row) {
+    by_class[static_cast<size_t>(data.Label(row))].push_back(row);
+  }
+  for (auto& basket : by_class) {
+    rng->Shuffle(&basket);
+    for (size_t i = 0; i < basket.size(); ++i) {
+      (i % 2 == 0 ? first : second)->push_back(basket[i]);
+    }
+  }
+  std::sort(first->begin(), first->end());
+  std::sort(second->begin(), second->end());
+}
+
+std::vector<std::vector<int>> StratifiedFolds(const Dataset& data,
+                                              const std::vector<int>& rows,
+                                              int folds, util::Rng* rng) {
+  assert(folds >= 2);
+  std::vector<std::vector<int>> result(static_cast<size_t>(folds));
+  std::vector<std::vector<int>> by_class(
+      static_cast<size_t>(data.num_classes()));
+  for (int row : rows) {
+    by_class[static_cast<size_t>(data.Label(row))].push_back(row);
+  }
+  int next = 0;
+  for (auto& basket : by_class) {
+    rng->Shuffle(&basket);
+    for (int row : basket) {
+      result[static_cast<size_t>(next)].push_back(row);
+      next = (next + 1) % folds;
+    }
+  }
+  return result;
+}
+
+}  // namespace fpdm::classify

@@ -1,0 +1,91 @@
+#ifndef FPDM_CLASSIFY_DATASET_H_
+#define FPDM_CLASSIFY_DATASET_H_
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fpdm::classify {
+
+enum class AttrType { kNumeric, kCategorical };
+
+/// One independent variable of a classification problem (paper §5.1).
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kNumeric;
+  /// Names of the category values; size() is the cardinality. Empty for
+  /// numeric attributes.
+  std::vector<std::string> categories;
+};
+
+/// A labeled training/testing table. Values are stored as doubles: numeric
+/// attributes hold their value, categorical attributes hold the category
+/// index. NaN marks a missing value for either type.
+class Dataset {
+ public:
+  Dataset(std::vector<Attribute> attributes, std::vector<std::string> classes);
+
+  static constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+  static bool IsMissingValue(double v) { return std::isnan(v); }
+
+  /// Appends a row. `values` must have one entry per attribute; `label` in
+  /// [0, num_classes).
+  void AddRow(std::vector<double> values, int label);
+
+  int num_rows() const { return static_cast<int>(labels_.size()); }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+
+  double Value(int row, int attribute) const;
+  bool IsMissing(int row, int attribute) const;
+  int Label(int row) const { return labels_[static_cast<size_t>(row)]; }
+  const std::vector<double>& Row(int row) const;
+
+  const Attribute& attribute(int index) const {
+    return attributes_[static_cast<size_t>(index)];
+  }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const std::string& class_name(int label) const {
+    return classes_[static_cast<size_t>(label)];
+  }
+
+  /// Index of the most frequent class (the "plurality rule" of Table 5.3).
+  int PluralityClass() const;
+  /// Fraction of rows in the most frequent class.
+  double PluralityAccuracy() const;
+  /// Fraction of rows having at least one missing value, and overall missing
+  /// fraction (the two "% missing" columns of Table 5.2).
+  double FractionRowsWithMissing() const;
+  double FractionMissingValues() const;
+
+  /// Class counts over a row subset.
+  std::vector<double> ClassCounts(const std::vector<int>& rows) const;
+
+  /// All row indices [0, num_rows).
+  std::vector<int> AllRows() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::vector<std::string> classes_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+/// Splits rows into two halves with (as nearly as possible) the same class
+/// distribution in both, as §5.5.2 prescribes: per-class random permutation,
+/// odd indices to the first subset, even to the second.
+void StratifiedHalfSplit(const Dataset& data, util::Rng* rng,
+                         std::vector<int>* first, std::vector<int>* second);
+
+/// Partitions `rows` into `folds` nearly-equal stratified subsets for V-fold
+/// cross validation (§5.4.1).
+std::vector<std::vector<int>> StratifiedFolds(const Dataset& data,
+                                              const std::vector<int>& rows,
+                                              int folds, util::Rng* rng);
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_DATASET_H_

@@ -1,0 +1,49 @@
+#include "classify/impurity.h"
+
+#include <cmath>
+
+namespace fpdm::classify {
+
+double GiniImpurity(const std::vector<double>& counts) {
+  double total = 0;
+  for (double c : counts) total += c;
+  if (total <= 0) return 0;
+  double sum_sq = 0;
+  for (double c : counts) {
+    const double p = c / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double EntropyImpurity(const std::vector<double>& counts) {
+  double total = 0;
+  for (double c : counts) total += c;
+  if (total <= 0) return 0;
+  double entropy = 0;
+  for (double c : counts) {
+    if (c <= 0) continue;
+    const double p = c / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double AggregateImpurity(const ImpurityFn& impurity,
+                         const std::vector<std::vector<double>>& branch_counts) {
+  double total = 0;
+  for (const auto& counts : branch_counts) {
+    for (double c : counts) total += c;
+  }
+  if (total <= 0) return 0;
+  double aggregate = 0;
+  for (const auto& counts : branch_counts) {
+    double n = 0;
+    for (double c : counts) n += c;
+    if (n <= 0) continue;
+    aggregate += (n / total) * impurity(counts);
+  }
+  return aggregate;
+}
+
+}  // namespace fpdm::classify

@@ -1,0 +1,29 @@
+#ifndef FPDM_CLASSIFY_IMPURITY_H_
+#define FPDM_CLASSIFY_IMPURITY_H_
+
+#include <functional>
+#include <vector>
+
+namespace fpdm::classify {
+
+/// An impurity function phi (Definition 5 of the paper): symmetric, maximal
+/// at the uniform distribution, zero exactly at the unit vectors, strictly
+/// concave. Input is a vector of per-class counts (not necessarily
+/// normalized); output is phi applied to the induced distribution. Empty
+/// nodes (all-zero counts) have impurity 0.
+using ImpurityFn = std::function<double(const std::vector<double>&)>;
+
+/// The Gini index 1 - sum p_i^2 (CART).
+double GiniImpurity(const std::vector<double>& counts);
+
+/// The class entropy -sum p_i log2 p_i (ID3/C4.5 information measure).
+double EntropyImpurity(const std::vector<double>& counts);
+
+/// Weighted aggregate impurity of a split: sum_i (n_i / N) phi(branch_i),
+/// the I(S) of §5.3. `branch_counts[i]` are the class counts of branch i.
+double AggregateImpurity(const ImpurityFn& impurity,
+                         const std::vector<std::vector<double>>& branch_counts);
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_IMPURITY_H_

@@ -1,0 +1,119 @@
+#include "classify/nyuminer.h"
+
+#include <algorithm>
+
+namespace fpdm::classify {
+
+namespace {
+
+GrowthOptions MakeGrowth(const NyuMinerOptions& options) {
+  GrowthOptions growth;
+  growth.splitter = MakeNyuSplitter(options.splitter);
+  growth.min_split_rows = options.min_split_rows;
+  growth.max_depth = options.max_depth;
+  return growth;
+}
+
+}  // namespace
+
+DecisionTree TrainNyuMinerUnpruned(const Dataset& data,
+                                   const std::vector<int>& rows,
+                                   const NyuMinerOptions& options,
+                                   double* work) {
+  return DecisionTree::Grow(data, rows, MakeGrowth(options), work);
+}
+
+DecisionTree TrainNyuMinerCV(const Dataset& data, const std::vector<int>& rows,
+                             const NyuMinerOptions& options, double* work) {
+  util::Rng rng(options.seed);
+  return GrowWithCostComplexityCv(data, rows, MakeGrowth(options),
+                                  options.cv_folds, &rng, work);
+}
+
+DecisionTree RsTrialTree(const Dataset& data, const std::vector<int>& rows,
+                         const NyuMinerOptions& options, uint64_t trial_seed,
+                         double* work) {
+  util::Rng rng(trial_seed);
+  const GrowthOptions growth = MakeGrowth(options);
+
+  // Initial window: stratified random sample of the requested fraction.
+  std::vector<int> shuffled = rows;
+  rng.Shuffle(&shuffled);
+  size_t window_size = std::max<size_t>(
+      static_cast<size_t>(options.rs_initial_fraction *
+                          static_cast<double>(rows.size())),
+      std::min<size_t>(rows.size(), 16));
+  std::vector<int> window(shuffled.begin(),
+                          shuffled.begin() + static_cast<long>(window_size));
+  std::vector<int> remaining(shuffled.begin() + static_cast<long>(window_size),
+                             shuffled.end());
+
+  DecisionTree tree = DecisionTree::Grow(data, window, growth, work);
+  while (!remaining.empty()) {
+    std::vector<int> misclassified;
+    std::vector<int> still_ok;
+    for (int row : remaining) {
+      if (tree.Classify(data.Row(row)) != data.Label(row)) {
+        misclassified.push_back(row);
+      } else {
+        still_ok.push_back(row);
+      }
+    }
+    if (misclassified.empty()) break;
+    // Add a selection of the difficult rows: at most half the current
+    // window per cycle so the screened set stays small (§5.4.2).
+    const size_t take =
+        std::min(misclassified.size(), std::max<size_t>(window.size() / 2, 16));
+    window.insert(window.end(), misclassified.begin(),
+                  misclassified.begin() + static_cast<long>(take));
+    std::vector<int> next_remaining(
+        misclassified.begin() + static_cast<long>(take), misclassified.end());
+    next_remaining.insert(next_remaining.end(), still_ok.begin(),
+                          still_ok.end());
+    remaining = std::move(next_remaining);
+    tree = DecisionTree::Grow(data, window, growth, work);
+  }
+  return tree;
+}
+
+RuleList BuildRsRules(const std::vector<DecisionTree>& trees,
+                      const Dataset& data, const std::vector<int>& rows,
+                      const NyuMinerOptions& options) {
+  std::vector<Rule> rules;
+  for (const DecisionTree& tree : trees) {
+    std::vector<Rule> harvested = HarvestRules(tree, data, rows);
+    rules.insert(rules.end(), harvested.begin(), harvested.end());
+  }
+  // Defaults of §5.4.2: Cmin above the plurality-rule confidence, Smin
+  // above 1/N.
+  std::vector<double> counts = data.ClassCounts(rows);
+  double best = 0, n = 0;
+  int plurality = 0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    n += counts[c];
+    if (counts[c] > best) {
+      best = counts[c];
+      plurality = static_cast<int>(c);
+    }
+  }
+  const double plurality_conf = n > 0 ? best / n : 0;
+  const double min_conf = options.rs_min_confidence > 0
+                              ? options.rs_min_confidence
+                              : std::min(plurality_conf + 0.02, 0.999);
+  const double min_supp =
+      options.rs_min_support > 0 ? options.rs_min_support : 2.0 / std::max(n, 2.0);
+  return RuleList(std::move(rules), min_conf, min_supp, plurality);
+}
+
+RsModel TrainNyuMinerRS(const Dataset& data, const std::vector<int>& rows,
+                        const NyuMinerOptions& options, double* work) {
+  RsModel model;
+  util::Rng rng(options.seed);
+  for (int trial = 0; trial < options.rs_trials; ++trial) {
+    model.trees.push_back(RsTrialTree(data, rows, options, rng.Next(), work));
+  }
+  model.rules = BuildRsRules(model.trees, data, rows, options);
+  return model;
+}
+
+}  // namespace fpdm::classify

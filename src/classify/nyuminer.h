@@ -1,0 +1,79 @@
+#ifndef FPDM_CLASSIFY_NYUMINER_H_
+#define FPDM_CLASSIFY_NYUMINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classify/prune.h"
+#include "classify/rules.h"
+#include "classify/split.h"
+#include "classify/tree.h"
+
+namespace fpdm::classify {
+
+/// NyuMiner (Chapter 5): classification trees with optimal sub-K-ary splits
+/// at every node, in two flavors — CV (minimal cost-complexity pruning with
+/// V-fold cross validation, §5.4.1) and RS (multiple incremental sampling
+/// plus rule selection, §5.4.2).
+struct NyuMinerOptions {
+  NyuSplitterOptions splitter;
+  int min_split_rows = 5;
+  int max_depth = 40;
+
+  /// NyuMiner-CV: number of cross-validation folds (V). Breiman et al.
+  /// suggest ~10; the paper uses 10 everywhere in Chapter 5.
+  int cv_folds = 10;
+
+  /// NyuMiner-RS: number of alternate trees (trials) grown from different
+  /// initial training samples.
+  int rs_trials = 10;
+  /// Initial window size as a fraction of the training set.
+  double rs_initial_fraction = 0.2;
+  /// Rule thresholds Cmin / Smin. Zero selects the defaults of §5.4.2:
+  /// Cmin just above the plurality-rule confidence, Smin just above 1/N.
+  double rs_min_confidence = 0;
+  double rs_min_support = 0;
+
+  uint64_t seed = 1;
+};
+
+/// Grows a NyuMiner tree without pruning (the raw optimal-split grower).
+DecisionTree TrainNyuMinerUnpruned(const Dataset& data,
+                                   const std::vector<int>& rows,
+                                   const NyuMinerOptions& options,
+                                   double* work);
+
+/// NyuMiner-CV: optimal splits + minimal cost-complexity pruning chosen by
+/// V-fold cross validation.
+DecisionTree TrainNyuMinerCV(const Dataset& data, const std::vector<int>& rows,
+                             const NyuMinerOptions& options, double* work);
+
+/// The NyuMiner-RS model: the alternate trees and the classifying rule list
+/// built from them.
+struct RsModel {
+  std::vector<DecisionTree> trees;
+  RuleList rules;
+};
+
+/// One multiple-incremental-sampling trial (§5.4.2): grow on a random
+/// initial window, repeatedly add misclassified remaining rows, until the
+/// tree classifies the rest correctly or the window covers everything.
+/// Exposed for the PLinda-parallel version (each trial is one task).
+DecisionTree RsTrialTree(const Dataset& data, const std::vector<int>& rows,
+                         const NyuMinerOptions& options, uint64_t trial_seed,
+                         double* work);
+
+/// Builds the rule list from a set of trees: harvest every tree node as a
+/// rule, measure confidence/support on the full training rows, keep those
+/// above the thresholds.
+RuleList BuildRsRules(const std::vector<DecisionTree>& trees,
+                      const Dataset& data, const std::vector<int>& rows,
+                      const NyuMinerOptions& options);
+
+/// NyuMiner-RS end to end.
+RsModel TrainNyuMinerRS(const Dataset& data, const std::vector<int>& rows,
+                        const NyuMinerOptions& options, double* work);
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_NYUMINER_H_

@@ -1,0 +1,291 @@
+#include "classify/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace fpdm::classify {
+
+namespace {
+
+using plinda::A;
+using plinda::F;
+using plinda::GetDouble;
+using plinda::GetInt;
+using plinda::GetString;
+using plinda::MakeTemplate;
+using plinda::MakeTuple;
+using plinda::ProcessContext;
+using plinda::Tuple;
+using plinda::ValueType;
+
+std::string JoinDoubles(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(17);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << values[i];
+  }
+  return os.str();
+}
+
+std::vector<double> SplitDoubles(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<double> values;
+  double v;
+  while (is >> v) values.push_back(v);
+  return values;
+}
+
+void ApplyFailures(plinda::Runtime* runtime, const ParallelExecOptions& exec) {
+  for (const auto& [machine, time] : exec.failures) {
+    runtime->ScheduleFailure(machine, time);
+  }
+}
+
+}  // namespace
+
+ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
+                                      const std::vector<int>& rows,
+                                      const NyuMinerOptions& options,
+                                      const ParallelExecOptions& exec) {
+  // Folds < 2 degenerate to growing the (unpruned) main tree, matching
+  // GrowWithCostComplexityCv.
+  const int folds = options.cv_folds >= 2 ? options.cv_folds : 0;
+  // Fold partition computed exactly as the sequential version does, so the
+  // parallel run reproduces its result bit for bit. The learning sets live
+  // on the shared file system, as PLinda programs assume; the tuples carry
+  // only the fold index.
+  std::vector<std::vector<int>> fold_rows;
+  if (folds >= 2) {
+    util::Rng rng(options.seed);
+    fold_rows = StratifiedFolds(data, rows, folds, &rng);
+  }
+
+  GrowthOptions growth;
+  growth.splitter = MakeNyuSplitter(options.splitter);
+  growth.min_split_rows = options.min_split_rows;
+  growth.max_depth = options.max_depth;
+
+  ParallelTreeResult result;
+  plinda::Runtime runtime(exec.num_workers, exec.runtime);
+  ApplyFailures(&runtime, exec);
+  const double spw = exec.seconds_per_work_unit;
+
+  // Shared state (one simulated process runs at a time; see DESIGN.md).
+  double total_work = 0;
+  DecisionTree final_tree;
+
+  runtime.SpawnOn("master", 0, [&](ProcessContext& ctx) {
+    ctx.XStart();
+    for (int v = 0; v < folds; ++v) ctx.Out(MakeTuple("learning_set", v));
+    ctx.XCommit();
+
+    // Build the main tree while the workers grow the auxiliary trees.
+    double work = 0;
+    DecisionTree main_tree = DecisionTree::Grow(data, rows, growth, &work);
+    total_work += work;
+    ctx.Compute(work * spw);
+    const std::vector<double> alphas = CostComplexityAlphas(main_tree);
+    const std::vector<double> probes = GeometricMidpoints(alphas);
+    ctx.XStart();
+    ctx.Out(MakeTuple("alphas", JoinDoubles(probes)));
+    ctx.XCommit();
+
+    std::vector<double> cv_errors(probes.size(), 0.0);
+    for (int v = 0; v < folds; ++v) {
+      ctx.XStart();
+      Tuple reply;
+      ctx.In(MakeTemplate(A("alpha_list"), F(ValueType::kInt),
+                          F(ValueType::kString)),
+             &reply);
+      const std::vector<double> errors = SplitDoubles(GetString(reply, 2));
+      for (size_t k = 0; k < cv_errors.size() && k < errors.size(); ++k) {
+        cv_errors[k] += errors[k];
+      }
+      ctx.XCommit();
+    }
+    if (folds >= 2) {
+      size_t best = 0;
+      for (size_t k = 1; k < probes.size(); ++k) {
+        if (cv_errors[k] < cv_errors[best] - 1e-12) best = k;
+      }
+      final_tree = PruneToAlpha(main_tree, probes[best]);
+    } else {
+      final_tree = std::move(main_tree);
+    }
+
+    ctx.XStart();
+    for (int w = 0; w < exec.num_workers; ++w) {
+      ctx.Out(MakeTuple("learning_set", -1));
+    }
+    ctx.XCommit();
+  });
+
+  for (int w = 0; w < exec.num_workers; ++w) {
+    runtime.SpawnOn("worker-" + std::to_string(w), w, [&](ProcessContext& ctx) {
+      for (;;) {
+        ctx.XStart();
+        Tuple task;
+        ctx.In(MakeTemplate(A("learning_set"), F(ValueType::kInt)), &task);
+        const int64_t v = GetInt(task, 1);
+        if (v < 0) {
+          ctx.XCommit();
+          return;
+        }
+        // Learning sample V(v) = L - L_v.
+        std::vector<int> train;
+        for (int u = 0; u < folds; ++u) {
+          if (u == static_cast<int>(v)) continue;
+          train.insert(train.end(), fold_rows[static_cast<size_t>(u)].begin(),
+                       fold_rows[static_cast<size_t>(u)].end());
+        }
+        double work = 0;
+        DecisionTree aux = DecisionTree::Grow(data, train, growth, &work);
+        total_work += work;
+        ctx.Compute(work * spw);
+
+        Tuple alphas_tuple;
+        ctx.Rd(MakeTemplate(A("alphas"), F(ValueType::kString)), &alphas_tuple);
+        const std::vector<double> probes =
+            SplitDoubles(GetString(alphas_tuple, 1));
+        const std::vector<double> errors = CvErrorsPerAlpha(
+            aux, data, fold_rows[static_cast<size_t>(v)], probes);
+        ctx.Out(MakeTuple("alpha_list", v, JoinDoubles(errors)));
+        ctx.XCommit();
+      }
+    });
+  }
+
+  result.ok = runtime.Run();
+  result.completion_time = runtime.CompletionTime();
+  result.stats = runtime.stats();
+  result.total_work = total_work;
+  result.tree = std::move(final_tree);
+  return result;
+}
+
+namespace {
+
+// Common scaffold for trial-parallel learners (Parallel C4.5 and Parallel
+// NyuMiner-RS): `trials` independent tasks, each producing a tree via
+// `run_trial(trial_index, seed, work*)`. Trees are deposited on the shared
+// file system (here: a results vector); tuples carry control only.
+struct TrialRun {
+  std::vector<DecisionTree> trees;
+  bool ok = false;
+  double completion_time = 0;
+  double total_work = 0;
+  plinda::RuntimeStats stats;
+};
+
+template <typename TrialFn>
+TrialRun RunTrialsInParallel(int trials, uint64_t seed,
+                             const ParallelExecOptions& exec,
+                             TrialFn run_trial) {
+  TrialRun run;
+  run.trees.resize(static_cast<size_t>(trials));
+  std::vector<uint64_t> seeds(static_cast<size_t>(trials));
+  util::Rng rng(seed);
+  for (auto& s : seeds) s = rng.Next();
+
+  plinda::Runtime runtime(exec.num_workers, exec.runtime);
+  ApplyFailures(&runtime, exec);
+  double total_work = 0;
+
+  runtime.SpawnOn("master", 0, [&](ProcessContext& ctx) {
+    ctx.XStart();
+    for (int t = 0; t < trials; ++t) ctx.Out(MakeTuple("trial", t));
+    ctx.XCommit();
+    for (int t = 0; t < trials; ++t) {
+      ctx.XStart();
+      Tuple done;
+      ctx.In(MakeTemplate(A("trial_done"), F(ValueType::kInt)), &done);
+      ctx.XCommit();
+    }
+    ctx.XStart();
+    for (int w = 0; w < exec.num_workers; ++w) ctx.Out(MakeTuple("trial", -1));
+    ctx.XCommit();
+  });
+
+  for (int w = 0; w < exec.num_workers; ++w) {
+    runtime.SpawnOn("worker-" + std::to_string(w), w, [&](ProcessContext& ctx) {
+      for (;;) {
+        ctx.XStart();
+        Tuple task;
+        ctx.In(MakeTemplate(A("trial"), F(ValueType::kInt)), &task);
+        const int64_t t = GetInt(task, 1);
+        if (t < 0) {
+          ctx.XCommit();
+          return;
+        }
+        double work = 0;
+        run.trees[static_cast<size_t>(t)] =
+            run_trial(static_cast<int>(t), seeds[static_cast<size_t>(t)], &work);
+        total_work += work;
+        ctx.Compute(work * exec.seconds_per_work_unit);
+        ctx.Out(MakeTuple("trial_done", t));
+        ctx.XCommit();
+      }
+    });
+  }
+
+  run.ok = runtime.Run();
+  run.completion_time = runtime.CompletionTime();
+  run.stats = runtime.stats();
+  run.total_work = total_work;
+  return run;
+}
+
+}  // namespace
+
+ParallelTreeResult ParallelC45(const Dataset& data,
+                               const std::vector<int>& rows,
+                               const C45Options& options,
+                               const ParallelExecOptions& exec) {
+  TrialRun run = RunTrialsInParallel(
+      std::max(options.window_trials, 1), options.seed, exec,
+      [&](int, uint64_t seed, double* work) {
+        return C45WindowTrial(data, rows, options, seed, work);
+      });
+
+  ParallelTreeResult result;
+  result.ok = run.ok;
+  result.completion_time = run.completion_time;
+  result.total_work = run.total_work;
+  result.stats = run.stats;
+  // Same selection rule as TrainC45Windowed: fewest training errors, first
+  // trial wins ties.
+  int best_errors = 0;
+  for (DecisionTree& tree : run.trees) {
+    if (tree.empty()) continue;
+    const int errors = tree.Errors(data, rows);
+    if (result.tree.empty() || errors < best_errors) {
+      best_errors = errors;
+      result.tree = std::move(tree);
+    }
+  }
+  return result;
+}
+
+ParallelRsResult ParallelNyuMinerRS(const Dataset& data,
+                                    const std::vector<int>& rows,
+                                    const NyuMinerOptions& options,
+                                    const ParallelExecOptions& exec) {
+  TrialRun run = RunTrialsInParallel(
+      options.rs_trials, options.seed, exec,
+      [&](int, uint64_t seed, double* work) {
+        return RsTrialTree(data, rows, options, seed, work);
+      });
+
+  ParallelRsResult result;
+  result.ok = run.ok;
+  result.completion_time = run.completion_time;
+  result.total_work = run.total_work;
+  result.stats = run.stats;
+  result.model.trees = std::move(run.trees);
+  result.model.rules = BuildRsRules(result.model.trees, data, rows, options);
+  return result;
+}
+
+}  // namespace fpdm::classify

@@ -1,0 +1,150 @@
+#include "classify/prune.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fpdm::classify {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct LinkStats {
+  double subtree_errors = 0;  // R(T_t), in row counts
+  size_t leaves = 0;
+};
+
+// Computes R(T_t) and leaf counts; finds the minimum g(t) over internal
+// nodes, where g(t) = (R(t) - R(T_t)) / (|T~_t| - 1) in error-rate units.
+LinkStats MinLink(const TreeNode* node, double n_total, double* min_g) {
+  if (node->is_leaf()) {
+    return LinkStats{node->node_errors(), 1};
+  }
+  LinkStats stats;
+  for (const auto& child : node->children) {
+    LinkStats child_stats = MinLink(child.get(), n_total, min_g);
+    stats.subtree_errors += child_stats.subtree_errors;
+    stats.leaves += child_stats.leaves;
+  }
+  const double g = (node->node_errors() - stats.subtree_errors) /
+                   (n_total * static_cast<double>(stats.leaves - 1));
+  *min_g = std::min(*min_g, g);
+  return stats;
+}
+
+// Prunes (in place) every internal node whose g(t) <= alpha, bottom-up.
+LinkStats PruneLinks(TreeNode* node, double n_total, double alpha) {
+  if (node->is_leaf()) {
+    return LinkStats{node->node_errors(), 1};
+  }
+  LinkStats stats;
+  for (auto& child : node->children) {
+    LinkStats child_stats = PruneLinks(child.get(), n_total, alpha);
+    stats.subtree_errors += child_stats.subtree_errors;
+    stats.leaves += child_stats.leaves;
+  }
+  const double g = (node->node_errors() - stats.subtree_errors) /
+                   (n_total * static_cast<double>(stats.leaves - 1));
+  if (g <= alpha + kEps) {
+    node->children.clear();  // node becomes a leaf
+    return LinkStats{node->node_errors(), 1};
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<double> CostComplexityAlphas(const DecisionTree& tree) {
+  std::vector<double> alphas = {0.0};
+  if (tree.empty()) return alphas;
+  DecisionTree scratch = tree.Clone();
+  const double n = scratch.training_rows();
+  // T1: collapse all zero-gain links first (R(T1) = R(Tmax)).
+  PruneLinks(scratch.mutable_root(), n, 0.0);
+  while (!scratch.root()->is_leaf()) {
+    double min_g = std::numeric_limits<double>::infinity();
+    MinLink(scratch.root(), n, &min_g);
+    alphas.push_back(min_g);
+    PruneLinks(scratch.mutable_root(), n, min_g);
+  }
+  return alphas;
+}
+
+DecisionTree PruneToAlpha(const DecisionTree& tree, double alpha) {
+  DecisionTree pruned = tree.Clone();
+  if (pruned.empty()) return pruned;
+  const double n = pruned.training_rows();
+  // Iterate: collapsing one layer of weakest links can expose new ones with
+  // g <= alpha.
+  for (;;) {
+    if (pruned.root()->is_leaf()) break;
+    double min_g = std::numeric_limits<double>::infinity();
+    MinLink(pruned.root(), n, &min_g);
+    if (min_g > alpha + kEps) break;
+    PruneLinks(pruned.mutable_root(), n, min_g);
+  }
+  return pruned;
+}
+
+std::vector<double> GeometricMidpoints(const std::vector<double>& alphas) {
+  std::vector<double> probes;
+  for (size_t k = 0; k + 1 < alphas.size(); ++k) {
+    probes.push_back(std::sqrt(std::max(alphas[k], 0.0) * alphas[k + 1]));
+  }
+  if (!alphas.empty()) {
+    probes.push_back(alphas.back() * 2 + kEps);
+  }
+  return probes;
+}
+
+std::vector<double> CvErrorsPerAlpha(const DecisionTree& tree,
+                                     const Dataset& data,
+                                     const std::vector<int>& test_rows,
+                                     const std::vector<double>& probe_alphas) {
+  std::vector<double> errors;
+  errors.reserve(probe_alphas.size());
+  // Probe alphas ascend, so prune incrementally on one clone.
+  DecisionTree pruned = tree.Clone();
+  for (double alpha : probe_alphas) {
+    pruned = PruneToAlpha(pruned, alpha);
+    errors.push_back(static_cast<double>(pruned.Errors(data, test_rows)));
+  }
+  return errors;
+}
+
+DecisionTree GrowWithCostComplexityCv(const Dataset& data,
+                                      const std::vector<int>& rows,
+                                      const GrowthOptions& options, int folds,
+                                      util::Rng* rng, double* work) {
+  DecisionTree main_tree = DecisionTree::Grow(data, rows, options, work);
+  if (folds < 2) return main_tree;
+
+  const std::vector<double> alphas = CostComplexityAlphas(main_tree);
+  const std::vector<double> probes = GeometricMidpoints(alphas);
+
+  std::vector<std::vector<int>> fold_rows =
+      StratifiedFolds(data, rows, folds, rng);
+  std::vector<double> cv_errors(probes.size(), 0.0);
+  for (int v = 0; v < folds; ++v) {
+    std::vector<int> train;
+    for (int u = 0; u < folds; ++u) {
+      if (u == v) continue;
+      train.insert(train.end(), fold_rows[static_cast<size_t>(u)].begin(),
+                   fold_rows[static_cast<size_t>(u)].end());
+    }
+    if (train.empty() || fold_rows[static_cast<size_t>(v)].empty()) continue;
+    DecisionTree aux = DecisionTree::Grow(data, train, options, work);
+    std::vector<double> errors =
+        CvErrorsPerAlpha(aux, data, fold_rows[static_cast<size_t>(v)], probes);
+    for (size_t k = 0; k < probes.size(); ++k) cv_errors[k] += errors[k];
+  }
+  size_t best = 0;
+  for (size_t k = 1; k < probes.size(); ++k) {
+    if (cv_errors[k] < cv_errors[best] - kEps) best = k;
+  }
+  return PruneToAlpha(main_tree, probes[best]);
+}
+
+}  // namespace fpdm::classify

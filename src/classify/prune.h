@@ -1,0 +1,52 @@
+#ifndef FPDM_CLASSIFY_PRUNE_H_
+#define FPDM_CLASSIFY_PRUNE_H_
+
+#include <vector>
+
+#include "classify/tree.h"
+#include "util/random.h"
+
+namespace fpdm::classify {
+
+/// Minimal cost complexity pruning (Breiman et al.; paper §5.4.1).
+///
+/// The sequence T1 > T2 > ... > {t0} of minimal cost-complexity subtrees is
+/// characterized by the critical alphas at which each weakest link gives
+/// way. These helpers are factored so the V-fold machinery can run both
+/// sequentially (NyuMiner-CV, CART) and as PLinda tasks (Parallel
+/// NyuMiner-CV, Chapter 6).
+
+/// The increasing sequence alpha_1=0 < alpha_2 < ... at which the minimal
+/// cost-complexity subtree of `tree` shrinks. Error rates use the tree's
+/// training class counts.
+std::vector<double> CostComplexityAlphas(const DecisionTree& tree);
+
+/// Smallest minimizing subtree T(alpha): prunes every weakest link with
+/// g(t) <= alpha. Returns a pruned clone; `tree` is untouched.
+DecisionTree PruneToAlpha(const DecisionTree& tree, double alpha);
+
+/// Geometric midpoints alpha'_k = sqrt(alpha_k * alpha_{k+1}) used to probe
+/// T(alpha) between critical values (§5.4.1); the last entry is doubled
+/// past the final alpha so the root-only tree is reachable.
+std::vector<double> GeometricMidpoints(const std::vector<double>& alphas);
+
+/// Misclassification counts of PruneToAlpha(tree, alpha) on `test_rows`,
+/// one entry per probe alpha — the worker-side task of Parallel
+/// NyuMiner-CV (Figure 6.2's "alpha_list").
+std::vector<double> CvErrorsPerAlpha(const DecisionTree& tree,
+                                     const Dataset& data,
+                                     const std::vector<int>& test_rows,
+                                     const std::vector<double>& probe_alphas);
+
+/// The complete V-fold procedure: grows the main tree on `rows`, grows V
+/// auxiliary trees on the fold complements, cross-validates the alpha
+/// sequence and returns the main tree pruned at the best alpha. `work`
+/// (nullable) accumulates splitter work across all V+1 trees.
+DecisionTree GrowWithCostComplexityCv(const Dataset& data,
+                                      const std::vector<int>& rows,
+                                      const GrowthOptions& options, int folds,
+                                      util::Rng* rng, double* work);
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_PRUNE_H_

@@ -1,0 +1,194 @@
+#include "classify/rules.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fpdm::classify {
+
+bool Condition::Matches(double value) const {
+  if (Dataset::IsMissingValue(value)) return false;
+  if (type == AttrType::kNumeric) return value > lo && value <= hi;
+  const int category = static_cast<int>(value);
+  for (int v : values) {
+    if (v == category) return true;
+  }
+  return false;
+}
+
+std::string Condition::ToString(const Dataset& data) const {
+  const Attribute& attr = data.attribute(attribute);
+  if (type == AttrType::kNumeric) {
+    if (std::isinf(lo)) return attr.name + " <= " + std::to_string(hi);
+    if (std::isinf(hi)) return attr.name + " > " + std::to_string(lo);
+    return attr.name + " in (" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "]";
+  }
+  std::string out = attr.name + " in {";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attr.categories[static_cast<size_t>(values[i])];
+  }
+  return out + "}";
+}
+
+bool Rule::Matches(const std::vector<double>& row) const {
+  for (const Condition& condition : conditions) {
+    if (!condition.Matches(row[static_cast<size_t>(condition.attribute)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Rule::ToString(const Dataset& data) const {
+  std::string out;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += conditions[i].ToString(data);
+  }
+  out += " => " + data.class_name(decision);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (conf %.1f%%, supp %.1f%%)",
+                confidence * 100, support * 100);
+  return out + buf;
+}
+
+namespace {
+
+Condition ConditionForBranch(const Split& split, int branch) {
+  Condition condition;
+  condition.attribute = split.attribute;
+  condition.type = split.type;
+  if (split.type == AttrType::kNumeric) {
+    if (branch > 0) condition.lo = split.thresholds[static_cast<size_t>(branch) - 1];
+    if (branch < static_cast<int>(split.thresholds.size())) {
+      condition.hi = split.thresholds[static_cast<size_t>(branch)];
+    }
+  } else {
+    condition.values = split.value_groups[static_cast<size_t>(branch)];
+  }
+  return condition;
+}
+
+// Tightens `conditions` with the branch condition (intersecting intervals /
+// value sets on repeated attributes keeps conditions minimal).
+void AppendCondition(std::vector<Condition>* conditions,
+                     const Condition& next) {
+  for (Condition& existing : *conditions) {
+    if (existing.attribute != next.attribute) continue;
+    if (existing.type == AttrType::kNumeric) {
+      existing.lo = std::max(existing.lo, next.lo);
+      existing.hi = std::min(existing.hi, next.hi);
+    } else {
+      std::vector<int> intersection;
+      for (int v : existing.values) {
+        if (std::find(next.values.begin(), next.values.end(), v) !=
+            next.values.end()) {
+          intersection.push_back(v);
+        }
+      }
+      existing.values = std::move(intersection);
+    }
+    return;
+  }
+  conditions->push_back(next);
+}
+
+}  // namespace
+
+std::vector<Rule> HarvestRules(const DecisionTree& tree, const Dataset& data,
+                               const std::vector<int>& rows) {
+  std::vector<Rule> rules;
+  if (tree.empty()) return rules;
+  const double total = static_cast<double>(rows.size());
+
+  struct Frame {
+    const TreeNode* node;
+    std::vector<Condition> conditions;
+    std::vector<int> rows;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{tree.root(), {}, rows});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+
+    if (frame.node != tree.root() && !frame.rows.empty()) {
+      std::vector<double> counts = data.ClassCounts(frame.rows);
+      double best = 0, n = 0;
+      int decision = 0;
+      for (size_t c = 0; c < counts.size(); ++c) {
+        n += counts[c];
+        if (counts[c] > best) {
+          best = counts[c];
+          decision = static_cast<int>(c);
+        }
+      }
+      Rule rule;
+      rule.conditions = frame.conditions;
+      rule.decision = decision;
+      rule.confidence = n > 0 ? best / n : 0;
+      rule.support = total > 0 ? n / total : 0;
+      rules.push_back(std::move(rule));
+    }
+
+    if (frame.node->is_leaf()) continue;
+    const Split& split = frame.node->split;
+    std::vector<std::vector<int>> partition(
+        static_cast<size_t>(split.num_branches()));
+    for (int row : frame.rows) {
+      partition[static_cast<size_t>(
+                    split.BranchOf(data.Value(row, split.attribute)))]
+          .push_back(row);
+    }
+    for (int b = 0; b < split.num_branches(); ++b) {
+      Frame child;
+      child.node = frame.node->children[static_cast<size_t>(b)].get();
+      child.conditions = frame.conditions;
+      AppendCondition(&child.conditions, ConditionForBranch(split, b));
+      child.rows = std::move(partition[static_cast<size_t>(b)]);
+      stack.push_back(std::move(child));
+    }
+  }
+  return rules;
+}
+
+RuleList::RuleList(std::vector<Rule> rules, double min_confidence,
+                   double min_support, int fallback)
+    : fallback_(fallback) {
+  for (Rule& rule : rules) {
+    if (rule.confidence >= min_confidence && rule.support >= min_support) {
+      rules_.push_back(std::move(rule));
+    }
+  }
+  // Descending (confidence, support): a linear extension of the partial
+  // order so that scanning front-to-back sees dominating rules first.
+  std::sort(rules_.begin(), rules_.end(), [](const Rule& a, const Rule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.support != b.support) return a.support > b.support;
+    return a.conditions.size() < b.conditions.size();
+  });
+}
+
+std::optional<Rule> RuleList::BestMatch(const std::vector<double>& row) const {
+  std::optional<Rule> best;
+  for (const Rule& rule : rules_) {
+    if (!rule.Matches(row)) continue;
+    if (!best.has_value()) {
+      best = rule;
+      continue;
+    }
+    // A later rule can only beat `best` if it dominates it in the partial
+    // order (Definition 9); the sort guarantees it never does. Rules of the
+    // same order: keep the higher confidence, which the sort also ensures.
+    if (best->DominatedBy(rule)) best = rule;
+  }
+  return best;
+}
+
+int RuleList::Classify(const std::vector<double>& row) const {
+  std::optional<Rule> match = BestMatch(row);
+  return match.has_value() ? match->decision : fallback_;
+}
+
+}  // namespace fpdm::classify

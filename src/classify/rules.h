@@ -1,0 +1,81 @@
+#ifndef FPDM_CLASSIFY_RULES_H_
+#define FPDM_CLASSIFY_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classify/dataset.h"
+#include "classify/tree.h"
+
+namespace fpdm::classify {
+
+/// One conjunct of a rule condition: an attribute restricted to a numeric
+/// interval (lo, hi] or to a set of category values.
+struct Condition {
+  int attribute = -1;
+  AttrType type = AttrType::kNumeric;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  std::vector<int> values;  // categorical membership set
+
+  bool Matches(double value) const;
+  std::string ToString(const Dataset& data) const;
+};
+
+/// A classification rule harvested from a tree node (§5.4.2): the condition
+/// is the conjunction along the root path, the decision is the node's
+/// majority class; confidence and support are measured on a reference row
+/// set.
+struct Rule {
+  std::vector<Condition> conditions;
+  int decision = 0;
+  double confidence = 0;  // majority fraction among matching rows
+  double support = 0;     // matching rows / all rows
+
+  bool Matches(const std::vector<double>& values) const;
+  std::string ToString(const Dataset& data) const;
+
+  /// The partial order of Definition 9: r > r' iff conf(r) > conf(r') and
+  /// supp(r) > supp(r').
+  bool DominatedBy(const Rule& other) const {
+    return other.confidence > confidence && other.support > support;
+  }
+};
+
+/// Extracts one rule per tree node (root excluded), measuring confidence
+/// and support over `rows` of `data` by pushing every row down the tree.
+std::vector<Rule> HarvestRules(const DecisionTree& tree, const Dataset& data,
+                               const std::vector<int>& rows);
+
+/// The classifying rule list of §5.4.2: rules above the confidence/support
+/// thresholds, consulted under the partial order of Definition 9.
+class RuleList {
+ public:
+  RuleList() = default;
+  /// Keeps the rules with confidence >= min_confidence and support >=
+  /// min_support; `fallback` is returned by Classify when no rule matches
+  /// (the plurality class).
+  RuleList(std::vector<Rule> rules, double min_confidence, double min_support,
+           int fallback);
+
+  /// The best matching rule: among matching rules maximal under the partial
+  /// order, the one with the highest confidence (then support). nullopt if
+  /// nothing matches — forex trading treats that as "no trade".
+  std::optional<Rule> BestMatch(const std::vector<double>& values) const;
+
+  /// Hard classification: BestMatch's decision, or the fallback class.
+  int Classify(const std::vector<double>& values) const;
+
+  size_t size() const { return rules_.size(); }
+  const std::vector<Rule>& rules() const { return rules_; }
+  int fallback() const { return fallback_; }
+
+ private:
+  std::vector<Rule> rules_;
+  int fallback_ = 0;
+};
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_RULES_H_

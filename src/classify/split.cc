@@ -1,0 +1,434 @@
+#include "classify/split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+namespace fpdm::classify {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+int Split::num_branches() const {
+  if (type == AttrType::kNumeric) {
+    return static_cast<int>(thresholds.size()) + 1;
+  }
+  return static_cast<int>(value_groups.size());
+}
+
+int Split::BranchOf(double value) const {
+  if (Dataset::IsMissingValue(value)) return default_branch;
+  if (type == AttrType::kNumeric) {
+    int branch = 0;
+    while (branch < static_cast<int>(thresholds.size()) &&
+           value > thresholds[static_cast<size_t>(branch)]) {
+      ++branch;
+    }
+    return branch;
+  }
+  const int category = static_cast<int>(value);
+  for (size_t g = 0; g < value_groups.size(); ++g) {
+    for (int v : value_groups[g]) {
+      if (v == category) return static_cast<int>(g);
+    }
+  }
+  return default_branch;
+}
+
+std::vector<Basket> BuildValueBaskets(const Dataset& data,
+                                      const std::vector<int>& rows,
+                                      int attribute) {
+  std::map<double, std::vector<double>> by_value;
+  const size_t classes = static_cast<size_t>(data.num_classes());
+  for (int row : rows) {
+    const double v = data.Value(row, attribute);
+    if (Dataset::IsMissingValue(v)) continue;
+    auto it = by_value.find(v);
+    if (it == by_value.end()) {
+      it = by_value.emplace(v, std::vector<double>(classes, 0.0)).first;
+    }
+    ++it->second[static_cast<size_t>(data.Label(row))];
+  }
+  std::vector<Basket> baskets;
+  baskets.reserve(by_value.size());
+  for (auto& [value, counts] : by_value) {
+    baskets.push_back(Basket{value, value, std::move(counts)});
+  }
+  return baskets;
+}
+
+namespace {
+
+// Index of the single class all rows of the basket belong to, or -1 ("M").
+int PureClass(const Basket& basket) {
+  int pure = -1;
+  for (size_t c = 0; c < basket.counts.size(); ++c) {
+    if (basket.counts[c] > 0) {
+      if (pure != -1) return -1;
+      pure = static_cast<int>(c);
+    }
+  }
+  return pure;
+}
+
+void MergeInto(Basket* into, const Basket& from) {
+  into->hi = from.hi;
+  for (size_t c = 0; c < into->counts.size(); ++c) {
+    into->counts[c] += from.counts[c];
+  }
+}
+
+// Quantile-bins the baskets down to at most max_baskets by cumulative count.
+std::vector<Basket> QuantileBin(std::vector<Basket> baskets,
+                                size_t max_baskets) {
+  if (baskets.size() <= max_baskets) return baskets;
+  double total = 0;
+  for (const Basket& b : baskets) {
+    for (double c : b.counts) total += c;
+  }
+  const double per_bin = total / static_cast<double>(max_baskets);
+  std::vector<Basket> binned;
+  double filled = 0;
+  for (Basket& b : baskets) {
+    double n = 0;
+    for (double c : b.counts) n += c;
+    if (binned.empty() || (filled >= per_bin && binned.size() < max_baskets)) {
+      binned.push_back(std::move(b));
+      filled = n;
+    } else {
+      MergeInto(&binned.back(), b);
+      filled += n;
+    }
+  }
+  return binned;
+}
+
+}  // namespace
+
+std::vector<Basket> MergeAtBoundaries(std::vector<Basket> baskets) {
+  std::vector<Basket> merged;
+  for (Basket& basket : baskets) {
+    if (!merged.empty()) {
+      const int prev = PureClass(merged.back());
+      const int cur = PureClass(basket);
+      if (prev != -1 && prev == cur) {
+        MergeInto(&merged.back(), basket);
+        continue;
+      }
+    }
+    merged.push_back(std::move(basket));
+  }
+  return merged;
+}
+
+OrderedPartition OptimalOrderedPartition(const std::vector<Basket>& baskets,
+                                         int max_branches,
+                                         const ImpurityFn& impurity,
+                                         double* work,
+                                         double min_branch_rows) {
+  const int b = static_cast<int>(baskets.size());
+  assert(b >= 1);
+  const size_t classes = baskets[0].counts.size();
+
+  // Prefix class counts for O(classes) range queries.
+  std::vector<std::vector<double>> prefix(
+      static_cast<size_t>(b) + 1, std::vector<double>(classes, 0.0));
+  double total = 0;
+  for (int i = 0; i < b; ++i) {
+    for (size_t c = 0; c < classes; ++c) {
+      prefix[static_cast<size_t>(i) + 1][c] =
+          prefix[static_cast<size_t>(i)][c] +
+          baskets[static_cast<size_t>(i)].counts[c];
+      total += baskets[static_cast<size_t>(i)].counts[c];
+    }
+  }
+  // cost(j, i): unnormalized weighted impurity of merged baskets (j, i]
+  // (0-based exclusive j, inclusive i-1 in array terms).
+  std::vector<double> range(classes);
+  // `constrained` rejects branches smaller than min_branch_rows; the k=1
+  // baseline (no split) is always evaluated unconstrained.
+  auto cost = [&](int j, int i, bool constrained) {
+    double n = 0;
+    for (size_t c = 0; c < classes; ++c) {
+      range[c] = prefix[static_cast<size_t>(i)][c] - prefix[static_cast<size_t>(j)][c];
+      n += range[c];
+    }
+    if (work != nullptr) *work += 1;
+    if (constrained && n < min_branch_rows) return kInf;
+    return n <= 0 ? 0.0 : n * impurity(range);
+  };
+
+  const int kmax = std::min(max_branches, b);
+  // dp[k][i]: best unnormalized impurity partitioning the first i baskets
+  // into k intervals; cut[k][i]: last interval starts after basket cut.
+  std::vector<std::vector<double>> dp(static_cast<size_t>(kmax) + 1,
+                                      std::vector<double>(static_cast<size_t>(b) + 1, kInf));
+  std::vector<std::vector<int>> cut(static_cast<size_t>(kmax) + 1,
+                                    std::vector<int>(static_cast<size_t>(b) + 1, 0));
+  for (int i = 1; i <= b; ++i) {
+    dp[1][static_cast<size_t>(i)] = cost(0, i, /*constrained=*/true);
+  }
+  for (int k = 2; k <= kmax; ++k) {
+    for (int i = k; i <= b; ++i) {
+      double best = kInf;
+      int best_j = k - 1;
+      for (int j = k - 1; j < i; ++j) {
+        const double candidate =
+            dp[static_cast<size_t>(k - 1)][static_cast<size_t>(j)] +
+            cost(j, i, /*constrained=*/true);
+        if (candidate < best) {
+          best = candidate;
+          best_j = j;
+        }
+      }
+      dp[static_cast<size_t>(k)][static_cast<size_t>(i)] = best;
+      cut[static_cast<size_t>(k)][static_cast<size_t>(i)] = best_j;
+    }
+  }
+
+  // Optimal sub-K-ary (Definition 7): least impurity, then fewest branches.
+  // The unsplit baseline is evaluated without the branch-size constraint.
+  int best_k = 1;
+  double best_impurity = cost(0, b, /*constrained=*/false);
+  for (int k = 2; k <= kmax; ++k) {
+    const double candidate = dp[static_cast<size_t>(k)][static_cast<size_t>(b)];
+    if (candidate < best_impurity - 1e-12) {
+      best_impurity = candidate;
+      best_k = k;
+    }
+  }
+
+  OrderedPartition result;
+  result.impurity = total > 0 ? best_impurity / total : 0;
+  int i = b;
+  for (int k = best_k; k >= 2; --k) {
+    const int j = cut[static_cast<size_t>(k)][static_cast<size_t>(i)];
+    result.cuts_after.push_back(j - 1);  // cut after basket index j-1
+    i = j;
+  }
+  std::reverse(result.cuts_after.begin(), result.cuts_after.end());
+  return result;
+}
+
+namespace {
+
+Split SplitFromNumericPartition(int attribute,
+                                const std::vector<Basket>& baskets,
+                                const OrderedPartition& partition) {
+  Split split;
+  split.attribute = attribute;
+  split.type = AttrType::kNumeric;
+  split.impurity = partition.impurity;
+  for (int cut : partition.cuts_after) {
+    const double left = baskets[static_cast<size_t>(cut)].hi;
+    const double right = baskets[static_cast<size_t>(cut) + 1].lo;
+    split.thresholds.push_back((left + right) / 2.0);
+  }
+  // Default branch: the interval with the largest population.
+  std::vector<double> pop(partition.cuts_after.size() + 1, 0.0);
+  size_t branch = 0;
+  for (size_t i = 0; i < baskets.size(); ++i) {
+    while (branch < partition.cuts_after.size() &&
+           static_cast<int>(i) > partition.cuts_after[branch]) {
+      ++branch;
+    }
+    for (double c : baskets[i].counts) pop[branch] += c;
+  }
+  split.default_branch = static_cast<int>(
+      std::max_element(pop.begin(), pop.end()) - pop.begin());
+  return split;
+}
+
+// Categorical machinery: baskets per category value plus the list of
+// original category indices each (possibly logical) basket stands for.
+struct CategoricalBasket {
+  Basket basket;
+  std::vector<int> values;
+};
+
+double EvaluateOrdering(const std::vector<CategoricalBasket>& cats,
+                        const std::vector<int>& order, int max_branches,
+                        const ImpurityFn& impurity, double min_branch_rows,
+                        double* work, OrderedPartition* partition) {
+  std::vector<Basket> ordered;
+  ordered.reserve(order.size());
+  for (int idx : order) {
+    ordered.push_back(cats[static_cast<size_t>(idx)].basket);
+  }
+  *partition = OptimalOrderedPartition(ordered, max_branches, impurity, work,
+                                       min_branch_rows);
+  return partition->impurity;
+}
+
+Split SplitFromCategoricalPartition(int attribute,
+                                    const std::vector<CategoricalBasket>& cats,
+                                    const std::vector<int>& order,
+                                    const OrderedPartition& partition) {
+  Split split;
+  split.attribute = attribute;
+  split.type = AttrType::kCategorical;
+  split.impurity = partition.impurity;
+  split.value_groups.assign(partition.cuts_after.size() + 1, {});
+  std::vector<double> pop(partition.cuts_after.size() + 1, 0.0);
+  size_t branch = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    while (branch < partition.cuts_after.size() &&
+           static_cast<int>(i) > partition.cuts_after[branch]) {
+      ++branch;
+    }
+    const CategoricalBasket& cat = cats[static_cast<size_t>(order[i])];
+    for (int v : cat.values) split.value_groups[branch].push_back(v);
+    for (double c : cat.basket.counts) pop[branch] += c;
+  }
+  for (auto& group : split.value_groups) std::sort(group.begin(), group.end());
+  split.default_branch = static_cast<int>(
+      std::max_element(pop.begin(), pop.end()) - pop.begin());
+  return split;
+}
+
+std::optional<Split> NyuCategoricalSplit(const Dataset& data,
+                                         const std::vector<int>& rows,
+                                         int attribute,
+                                         const NyuSplitterOptions& options,
+                                         double* work) {
+  // Per-category baskets.
+  const size_t classes = static_cast<size_t>(data.num_classes());
+  const size_t cardinality = data.attribute(attribute).categories.size();
+  std::vector<std::vector<double>> counts(
+      cardinality, std::vector<double>(classes, 0.0));
+  for (int row : rows) {
+    const double v = data.Value(row, attribute);
+    if (Dataset::IsMissingValue(v)) continue;
+    ++counts[static_cast<size_t>(v)][static_cast<size_t>(data.Label(row))];
+  }
+  // Logical-value merge (§5.3.2): all pure values of one class become a
+  // single logical value — in an optimal split they share a basket.
+  std::vector<CategoricalBasket> cats;
+  std::vector<int> logical_of_class(classes, -1);
+  for (size_t v = 0; v < cardinality; ++v) {
+    double n = 0;
+    for (double c : counts[v]) n += c;
+    if (n <= 0) continue;  // unseen value: routed to default_branch later
+    Basket b{static_cast<double>(v), static_cast<double>(v), counts[v]};
+    const int pure = PureClass(b);
+    if (pure >= 0) {
+      int& logical = logical_of_class[static_cast<size_t>(pure)];
+      if (logical >= 0) {
+        MergeInto(&cats[static_cast<size_t>(logical)].basket, b);
+        cats[static_cast<size_t>(logical)].values.push_back(static_cast<int>(v));
+        continue;
+      }
+      logical = static_cast<int>(cats.size());
+    }
+    cats.push_back(CategoricalBasket{std::move(b), {static_cast<int>(v)}});
+  }
+  if (cats.size() < 2) return std::nullopt;
+
+  const int b = static_cast<int>(cats.size());
+  std::vector<int> order(static_cast<size_t>(b));
+  std::iota(order.begin(), order.end(), 0);
+
+  OrderedPartition best_partition;
+  std::vector<int> best_order;
+  double best = kInf;
+  auto consider = [&](const std::vector<int>& candidate) {
+    OrderedPartition partition;
+    const double imp =
+        EvaluateOrdering(cats, candidate, options.max_branches,
+                         options.impurity, options.min_branch_rows, work,
+                         &partition);
+    if (imp < best - 1e-12 ||
+        (imp < best + 1e-12 &&
+         (best_partition.cuts_after.empty() ||
+          partition.cuts_after.size() < best_partition.cuts_after.size()))) {
+      best = imp;
+      best_partition = std::move(partition);
+      best_order = candidate;
+    }
+  };
+
+  if (b <= options.exact_permutation_limit) {
+    std::sort(order.begin(), order.end());
+    do {
+      consider(order);
+    } while (std::next_permutation(order.begin(), order.end()));
+  } else {
+    // Heuristic: seed orderings by per-class proportion, then adjacent-swap
+    // hill climbing; deterministic via the attribute index.
+    util::Rng rng(0x5eed0000u + static_cast<uint64_t>(attribute));
+    for (int restart = 0; restart < options.heuristic_restarts; ++restart) {
+      std::vector<int> candidate = order;
+      if (restart == 0) {
+        // Order by proportion of class 0 (the CART 2-class trick, used as a
+        // seed here).
+        std::sort(candidate.begin(), candidate.end(), [&](int x, int y) {
+          const auto& cx = cats[static_cast<size_t>(x)].basket.counts;
+          const auto& cy = cats[static_cast<size_t>(y)].basket.counts;
+          double nx = 0, ny = 0;
+          for (double c : cx) nx += c;
+          for (double c : cy) ny += c;
+          return cx[0] / nx < cy[0] / ny;
+        });
+      } else {
+        rng.Shuffle(&candidate);
+      }
+      consider(candidate);
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (int i = 0; i + 1 < b; ++i) {
+          std::vector<int> swapped = best_order;
+          std::swap(swapped[static_cast<size_t>(i)], swapped[static_cast<size_t>(i) + 1]);
+          const double before = best;
+          consider(swapped);
+          if (best < before - 1e-12) improved = true;
+        }
+      }
+    }
+  }
+  if (best_partition.cuts_after.empty()) return std::nullopt;
+  return SplitFromCategoricalPartition(attribute, cats, best_order,
+                                       best_partition);
+}
+
+}  // namespace
+
+std::optional<Split> NyuOptimalSplitForAttribute(
+    const Dataset& data, const std::vector<int>& rows, int attribute,
+    const NyuSplitterOptions& options, double* work) {
+  if (data.attribute(attribute).type == AttrType::kCategorical) {
+    return NyuCategoricalSplit(data, rows, attribute, options, work);
+  }
+  std::vector<Basket> baskets = BuildValueBaskets(data, rows, attribute);
+  baskets = QuantileBin(std::move(baskets),
+                        static_cast<size_t>(options.max_baskets));
+  baskets = MergeAtBoundaries(std::move(baskets));
+  if (baskets.size() < 2) return std::nullopt;
+  OrderedPartition partition =
+      OptimalOrderedPartition(baskets, options.max_branches, options.impurity,
+                              work, options.min_branch_rows);
+  if (partition.cuts_after.empty()) return std::nullopt;
+  return SplitFromNumericPartition(attribute, baskets, partition);
+}
+
+Splitter MakeNyuSplitter(NyuSplitterOptions options) {
+  return [options](const Dataset& data, const std::vector<int>& rows,
+                   double* work) -> std::optional<Split> {
+    std::optional<Split> best;
+    for (int a = 0; a < data.num_attributes(); ++a) {
+      std::optional<Split> candidate =
+          NyuOptimalSplitForAttribute(data, rows, a, options, work);
+      if (!candidate.has_value()) continue;
+      if (!best.has_value() || candidate->impurity < best->impurity - 1e-12) {
+        best = std::move(candidate);
+      }
+    }
+    return best;
+  };
+}
+
+}  // namespace fpdm::classify

@@ -1,0 +1,107 @@
+#ifndef FPDM_CLASSIFY_SPLIT_H_
+#define FPDM_CLASSIFY_SPLIT_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "classify/dataset.h"
+#include "classify/impurity.h"
+
+namespace fpdm::classify {
+
+/// A multi-way split of a tree node on one attribute.
+///
+/// Numeric: k-1 ascending thresholds define k intervals
+///   (-inf, t1], (t1, t2], ..., (t_{k-1}, +inf).
+/// Categorical: value_groups[i] lists the category indices routed to branch
+/// i; every category seen during training appears in exactly one group.
+/// Missing values and unseen categories go to default_branch (the branch
+/// that received the most training rows).
+struct Split {
+  int attribute = -1;
+  AttrType type = AttrType::kNumeric;
+  std::vector<double> thresholds;
+  std::vector<std::vector<int>> value_groups;
+  double impurity = 0;  // weighted aggregate impurity of the branches
+  int default_branch = 0;
+
+  int num_branches() const;
+  /// Which branch `value` follows (value is the raw attribute value; NaN or
+  /// an unseen category yields default_branch).
+  int BranchOf(double value) const;
+};
+
+/// Signature shared by every split-selection strategy (NyuMiner, C4.5,
+/// CART): pick the best split of `rows`, or nullopt when no split improves
+/// the node. `work` (may be null) accumulates the number of candidate-split
+/// evaluations — the deterministic task-cost model of Chapter 6.
+using Splitter = std::function<std::optional<Split>(
+    const Dataset& data, const std::vector<int>& rows, double* work)>;
+
+/// Options of the NyuMiner optimal sub-K-ary split search (§5.3).
+struct NyuSplitterOptions {
+  ImpurityFn impurity = GiniImpurity;
+  /// K: the maximum number of branches allowed in a split.
+  int max_branches = 4;
+  /// Numeric values are quantile-binned to at most this many baskets before
+  /// the boundary-point merge; the DP is exact over the resulting baskets
+  /// (an engineering cap — see DESIGN.md).
+  int max_baskets = 48;
+  /// Categorical orderings are searched exhaustively up to this many
+  /// logical values (B! orderings); beyond it a seeded adjacent-swap
+  /// hill-climb with restarts is used.
+  int exact_permutation_limit = 6;
+  int heuristic_restarts = 4;
+  /// Minimum rows a branch must receive (C4.5's MINOBJS analogue): curbs
+  /// the fragmentation multi-way splits would otherwise suffer on small
+  /// samples. The DP treats undersized intervals as infeasible.
+  double min_branch_rows = 2;
+};
+
+/// A value basket (Figures 5.1-5.4): one distinct value (or value bin /
+/// category) with its per-class counts.
+struct Basket {
+  double lo = 0;  // smallest raw value in the basket
+  double hi = 0;  // largest raw value in the basket
+  std::vector<double> counts;
+};
+
+/// Builds per-distinct-value baskets of `attribute` over `rows`, sorted by
+/// value; rows with missing values are skipped. Exposed for tests.
+std::vector<Basket> BuildValueBaskets(const Dataset& data,
+                                      const std::vector<int>& rows,
+                                      int attribute);
+
+/// Merges adjacent baskets whose rows all belong to the same single class
+/// (the boundary-point reduction of Figures 5.3-5.4; Theorem 5 guarantees
+/// no optimal cut point is lost). Exposed for tests.
+std::vector<Basket> MergeAtBoundaries(std::vector<Basket> baskets);
+
+/// Exact DP for the optimal sub-K-ary partition of an ordered basket list
+/// (§5.3.1): returns the chosen cut positions (cut after basket index i)
+/// and the aggregate impurity. Among equal-impurity partitions the fewest
+/// branches win. Exposed for tests and micro-benchmarks.
+struct OrderedPartition {
+  std::vector<int> cuts_after;  // ascending basket indices
+  double impurity = 0;
+};
+OrderedPartition OptimalOrderedPartition(const std::vector<Basket>& baskets,
+                                         int max_branches,
+                                         const ImpurityFn& impurity,
+                                         double* work,
+                                         double min_branch_rows = 0);
+
+/// The NyuMiner splitter: optimal sub-K-ary splits for numeric attributes
+/// (boundary baskets + DP) and categorical attributes (logical-value merge
+/// + ordering search + DP).
+Splitter MakeNyuSplitter(NyuSplitterOptions options);
+
+/// Per-attribute entry point used by the splitter and by unit tests.
+std::optional<Split> NyuOptimalSplitForAttribute(
+    const Dataset& data, const std::vector<int>& rows, int attribute,
+    const NyuSplitterOptions& options, double* work);
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_SPLIT_H_

@@ -1,0 +1,334 @@
+#include "classify/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace fpdm::classify {
+
+double TreeNode::total() const {
+  double n = 0;
+  for (double c : class_counts) n += c;
+  return n;
+}
+
+double TreeNode::node_errors() const {
+  double max = 0;
+  for (double c : class_counts) max = std::max(max, c);
+  return total() - max;
+}
+
+namespace {
+
+int MajorityLabel(const std::vector<double>& counts) {
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+bool IsPure(const std::vector<double>& counts) {
+  int nonzero = 0;
+  for (double c : counts) nonzero += c > 0 ? 1 : 0;
+  return nonzero <= 1;
+}
+
+std::unique_ptr<TreeNode> GrowNode(const Dataset& data,
+                                   const std::vector<int>& rows,
+                                   const GrowthOptions& options, int depth,
+                                   double* work) {
+  auto node = std::make_unique<TreeNode>();
+  node->class_counts = data.ClassCounts(rows);
+  node->label = MajorityLabel(node->class_counts);
+  if (IsPure(node->class_counts) ||
+      static_cast<int>(rows.size()) < options.min_split_rows ||
+      depth >= options.max_depth) {
+    return node;
+  }
+  std::optional<Split> split = options.splitter(data, rows, work);
+  if (!split.has_value()) return node;
+
+  const int branches = split->num_branches();
+  std::vector<std::vector<int>> partition(static_cast<size_t>(branches));
+  for (int row : rows) {
+    const int branch = split->BranchOf(data.Value(row, split->attribute));
+    partition[static_cast<size_t>(branch)].push_back(row);
+  }
+  // A degenerate split that leaves everything in one branch cannot make
+  // progress; stop here (guards against infinite recursion).
+  int nonempty = 0;
+  for (const auto& p : partition) nonempty += p.empty() ? 0 : 1;
+  if (nonempty < 2) return node;
+
+  node->split = std::move(*split);
+  for (int branch = 0; branch < branches; ++branch) {
+    const auto& child_rows = partition[static_cast<size_t>(branch)];
+    if (child_rows.empty()) {
+      // Empty branch: a leaf predicting the parent majority.
+      auto leaf = std::make_unique<TreeNode>();
+      leaf->class_counts.assign(node->class_counts.size(), 0.0);
+      leaf->label = node->label;
+      node->children.push_back(std::move(leaf));
+    } else {
+      node->children.push_back(
+          GrowNode(data, child_rows, options, depth + 1, work));
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Grow(const Dataset& data,
+                                const std::vector<int>& rows,
+                                const GrowthOptions& options, double* work) {
+  assert(!rows.empty());
+  DecisionTree tree;
+  tree.root_ = GrowNode(data, rows, options, 0, work);
+  return tree;
+}
+
+double DecisionTree::training_rows() const {
+  return root_ == nullptr ? 0 : root_->total();
+}
+
+int DecisionTree::Classify(const std::vector<double>& values) const {
+  const TreeNode* node = root_.get();
+  assert(node != nullptr);
+  while (!node->is_leaf()) {
+    const int branch =
+        node->split.BranchOf(values[static_cast<size_t>(node->split.attribute)]);
+    node = node->children[static_cast<size_t>(branch)].get();
+  }
+  return node->label;
+}
+
+double DecisionTree::Accuracy(const Dataset& data,
+                              const std::vector<int>& rows) const {
+  if (rows.empty()) return 0;
+  return 1.0 - static_cast<double>(Errors(data, rows)) /
+                   static_cast<double>(rows.size());
+}
+
+int DecisionTree::Errors(const Dataset& data,
+                         const std::vector<int>& rows) const {
+  int errors = 0;
+  for (int row : rows) {
+    errors += Classify(data.Row(row)) != data.Label(row) ? 1 : 0;
+  }
+  return errors;
+}
+
+namespace {
+
+double SubtreeErrors(const TreeNode* node) {
+  if (node->is_leaf()) return node->node_errors();
+  double errors = 0;
+  for (const auto& child : node->children) errors += SubtreeErrors(child.get());
+  return errors;
+}
+
+size_t CountNodes(const TreeNode* node) {
+  size_t count = 1;
+  for (const auto& child : node->children) count += CountNodes(child.get());
+  return count;
+}
+
+size_t CountLeaves(const TreeNode* node) {
+  if (node->is_leaf()) return 1;
+  size_t count = 0;
+  for (const auto& child : node->children) count += CountLeaves(child.get());
+  return count;
+}
+
+int Depth(const TreeNode* node) {
+  int deepest = 0;
+  for (const auto& child : node->children) {
+    deepest = std::max(deepest, 1 + Depth(child.get()));
+  }
+  return deepest;
+}
+
+std::unique_ptr<TreeNode> CloneNode(const TreeNode* node) {
+  auto copy = std::make_unique<TreeNode>();
+  copy->class_counts = node->class_counts;
+  copy->label = node->label;
+  copy->split = node->split;
+  for (const auto& child : node->children) {
+    copy->children.push_back(CloneNode(child.get()));
+  }
+  return copy;
+}
+
+std::string BranchLabel(const Dataset& data, const Split& split, int branch) {
+  const Attribute& attr = data.attribute(split.attribute);
+  if (split.type == AttrType::kNumeric) {
+    const size_t b = static_cast<size_t>(branch);
+    if (branch == 0) {
+      return attr.name + " <= " + std::to_string(split.thresholds[0]);
+    }
+    if (b == split.thresholds.size()) {
+      return attr.name + " > " + std::to_string(split.thresholds[b - 1]);
+    }
+    return attr.name + " in (" + std::to_string(split.thresholds[b - 1]) +
+           ", " + std::to_string(split.thresholds[b]) + "]";
+  }
+  std::string label = attr.name + " in {";
+  const auto& group = split.value_groups[static_cast<size_t>(branch)];
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i > 0) label += ", ";
+    label += attr.categories[static_cast<size_t>(group[i])];
+  }
+  return label + "}";
+}
+
+void RenderNode(const Dataset& data, const TreeNode* node, int indent,
+                std::string* out) {
+  if (node->is_leaf()) {
+    *out += "-> " + data.class_name(node->label) + " (" +
+            std::to_string(static_cast<long long>(node->total())) + ")\n";
+    return;
+  }
+  *out += "\n";
+  for (size_t b = 0; b < node->children.size(); ++b) {
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+    *out += BranchLabel(data, node->split, static_cast<int>(b)) + " ";
+    RenderNode(data, node->children[b].get(), indent + 1, out);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void SerializeNode(const TreeNode* node, std::ostringstream* os) {
+  *os << (node->is_leaf() ? "L " : "N ") << node->label << ' '
+      << node->class_counts.size();
+  for (double c : node->class_counts) *os << ' ' << c;
+  if (node->is_leaf()) {
+    *os << '\n';
+    return;
+  }
+  const Split& split = node->split;
+  *os << ' ' << split.attribute << ' '
+      << (split.type == AttrType::kNumeric ? 'T' : 'C') << ' '
+      << split.default_branch;
+  if (split.type == AttrType::kNumeric) {
+    *os << ' ' << split.thresholds.size();
+    for (double t : split.thresholds) *os << ' ' << t;
+  } else {
+    *os << ' ' << split.value_groups.size();
+    for (const auto& group : split.value_groups) {
+      *os << ' ' << group.size();
+      for (int v : group) *os << ' ' << v;
+    }
+  }
+  *os << '\n';
+  for (const auto& child : node->children) SerializeNode(child.get(), os);
+}
+
+std::unique_ptr<TreeNode> DeserializeNode(std::istringstream* is) {
+  std::string tag;
+  if (!(*is >> tag) || (tag != "L" && tag != "N")) return nullptr;
+  auto node = std::make_unique<TreeNode>();
+  size_t classes = 0;
+  if (!(*is >> node->label >> classes) || classes == 0 || classes > 1u << 20) {
+    return nullptr;
+  }
+  node->class_counts.resize(classes);
+  for (double& c : node->class_counts) {
+    if (!(*is >> c)) return nullptr;
+  }
+  if (tag == "L") return node;
+  char type = 0;
+  if (!(*is >> node->split.attribute >> type >> node->split.default_branch)) {
+    return nullptr;
+  }
+  size_t branches = 0;
+  if (type == 'T') {
+    node->split.type = AttrType::kNumeric;
+    size_t thresholds = 0;
+    if (!(*is >> thresholds) || thresholds == 0 || thresholds > 1u << 20) {
+      return nullptr;
+    }
+    node->split.thresholds.resize(thresholds);
+    for (double& t : node->split.thresholds) {
+      if (!(*is >> t)) return nullptr;
+    }
+    branches = thresholds + 1;
+  } else if (type == 'C') {
+    node->split.type = AttrType::kCategorical;
+    size_t groups = 0;
+    if (!(*is >> groups) || groups < 2 || groups > 1u << 20) return nullptr;
+    node->split.value_groups.resize(groups);
+    for (auto& group : node->split.value_groups) {
+      size_t size = 0;
+      if (!(*is >> size) || size > 1u << 20) return nullptr;
+      group.resize(size);
+      for (int& v : group) {
+        if (!(*is >> v)) return nullptr;
+      }
+    }
+    branches = groups;
+  } else {
+    return nullptr;
+  }
+  for (size_t b = 0; b < branches; ++b) {
+    std::unique_ptr<TreeNode> child = DeserializeNode(is);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::string DecisionTree::Serialize() const {
+  if (root_ == nullptr) return "";
+  std::ostringstream os;
+  os.precision(17);
+  SerializeNode(root_.get(), &os);
+  return os.str();
+}
+
+std::optional<DecisionTree> DecisionTree::Deserialize(const std::string& text) {
+  DecisionTree tree;
+  if (text.empty()) return tree;
+  std::istringstream is(text);
+  tree.root_ = DeserializeNode(&is);
+  if (tree.root_ == nullptr) return std::nullopt;
+  std::string rest;
+  if (is >> rest) return std::nullopt;  // trailing garbage
+  return tree;
+}
+
+double DecisionTree::ResubstitutionError() const {
+  if (root_ == nullptr || root_->total() <= 0) return 0;
+  return SubtreeErrors(root_.get()) / root_->total();
+}
+
+size_t DecisionTree::num_nodes() const {
+  return root_ == nullptr ? 0 : CountNodes(root_.get());
+}
+
+size_t DecisionTree::num_leaves() const {
+  return root_ == nullptr ? 0 : CountLeaves(root_.get());
+}
+
+int DecisionTree::depth() const {
+  return root_ == nullptr ? 0 : Depth(root_.get());
+}
+
+DecisionTree DecisionTree::Clone() const {
+  DecisionTree copy;
+  if (root_ != nullptr) copy.root_ = CloneNode(root_.get());
+  return copy;
+}
+
+std::string DecisionTree::ToText(const Dataset& data) const {
+  if (root_ == nullptr) return "(empty tree)\n";
+  std::string out;
+  RenderNode(data, root_.get(), 0, &out);
+  return out;
+}
+
+}  // namespace fpdm::classify

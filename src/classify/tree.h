@@ -1,0 +1,91 @@
+#ifndef FPDM_CLASSIFY_TREE_H_
+#define FPDM_CLASSIFY_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classify/dataset.h"
+#include "classify/split.h"
+
+namespace fpdm::classify {
+
+/// One node of a classification tree. Leaves predict `label`; internal
+/// nodes route rows through `split` into `children`.
+struct TreeNode {
+  std::vector<double> class_counts;  // training class distribution here
+  int label = 0;                     // majority class of class_counts
+  Split split;                       // meaningful iff !children.empty()
+  std::vector<std::unique_ptr<TreeNode>> children;
+
+  bool is_leaf() const { return children.empty(); }
+  double total() const;
+  /// Misclassified training rows if this node were a leaf.
+  double node_errors() const;
+};
+
+/// Growth controls shared by NyuMiner, C4.5 and CART (the splitter is what
+/// differentiates them).
+struct GrowthOptions {
+  Splitter splitter;
+  /// Nodes with fewer rows are not split further (CART's lower bound on
+  /// partitionable sets, §2.1.4).
+  int min_split_rows = 5;
+  int max_depth = 40;
+};
+
+/// A grown classification tree.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+  DecisionTree(DecisionTree&&) = default;
+  DecisionTree& operator=(DecisionTree&&) = default;
+
+  /// Grows a tree on `rows` of `data`. `work` (nullable) accumulates the
+  /// splitter's candidate-evaluation count (Chapter 6 task costs).
+  static DecisionTree Grow(const Dataset& data, const std::vector<int>& rows,
+                           const GrowthOptions& options, double* work);
+
+  bool empty() const { return root_ == nullptr; }
+  const TreeNode* root() const { return root_.get(); }
+  TreeNode* mutable_root() { return root_.get(); }
+
+  /// Number of training rows the tree was grown on.
+  double training_rows() const;
+
+  /// Classifies a raw attribute-value row (same layout as Dataset rows).
+  int Classify(const std::vector<double>& values) const;
+
+  /// Fraction of `rows` classified correctly.
+  double Accuracy(const Dataset& data, const std::vector<int>& rows) const;
+  /// Number of `rows` misclassified.
+  int Errors(const Dataset& data, const std::vector<int>& rows) const;
+
+  /// Resubstitution error rate R(T) (Definition 8): training errors / N.
+  double ResubstitutionError() const;
+
+  size_t num_nodes() const;
+  size_t num_leaves() const;
+  int depth() const;
+
+  DecisionTree Clone() const;
+
+  /// Indented rendering with attribute/class names, for reports and the
+  /// examples.
+  std::string ToText(const Dataset& data) const;
+
+  /// Portable text serialization of the full tree (structure, splits,
+  /// class counts) — how the parallel programs of Chapter 6 pass trees
+  /// between machines over the shared file system.
+  std::string Serialize() const;
+  /// Parses a tree produced by Serialize(); nullopt on malformed input.
+  static std::optional<DecisionTree> Deserialize(const std::string& text);
+
+ private:
+  std::unique_ptr<TreeNode> root_;
+};
+
+}  // namespace fpdm::classify
+
+#endif  // FPDM_CLASSIFY_TREE_H_

@@ -1,0 +1,98 @@
+#include "core/traversal.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace fpdm::core {
+
+void SortGoodPatterns(std::vector<GoodPattern>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const GoodPattern& a, const GoodPattern& b) {
+              if (a.pattern.length != b.pattern.length) {
+                return a.pattern.length < b.pattern.length;
+              }
+              return a.pattern.key < b.pattern.key;
+            });
+}
+
+MiningResult EdagTraversal(const MiningProblem& problem) {
+  MiningResult result;
+  // Goodness verdict of every pattern evaluated so far, by key.
+  std::map<std::string, bool> verdict;
+
+  std::vector<Pattern> level = problem.RootPatterns();
+  while (!level.empty()) {
+    std::vector<Pattern> next_level;
+    for (const Pattern& pattern : level) {
+      // E-dag visiting rule: evaluate only if every immediate subpattern is
+      // known good. Subpatterns of length 0 are the zero-length pattern and
+      // are always good; subpatterns not yet evaluated cannot exist here
+      // because levels are processed in order and a missing entry means the
+      // subpattern was itself pruned before evaluation.
+      bool all_good = true;
+      for (const Pattern& sub : problem.ImmediateSubpatterns(pattern)) {
+        if (sub.length == 0) continue;
+        auto it = verdict.find(sub.key);
+        if (it == verdict.end() || !it->second) {
+          all_good = false;
+          break;
+        }
+      }
+      if (!all_good) continue;
+
+      const double goodness = problem.Goodness(pattern);
+      ++result.patterns_tested;
+      result.total_task_cost += problem.TaskCost(pattern);
+      const bool good = problem.IsGood(pattern, goodness);
+      verdict[pattern.key] = good;
+      if (good) {
+        result.good_patterns.push_back(GoodPattern{pattern, goodness});
+        for (Pattern& child : problem.ChildPatterns(pattern)) {
+          next_level.push_back(std::move(child));
+        }
+      }
+    }
+    level = std::move(next_level);
+  }
+  SortGoodPatterns(&result.good_patterns);
+  return result;
+}
+
+namespace {
+
+void EtreeVisit(const MiningProblem& problem, std::vector<Pattern> stack,
+                MiningResult* result) {
+  while (!stack.empty()) {
+    Pattern pattern = std::move(stack.back());
+    stack.pop_back();
+    const double goodness = problem.Goodness(pattern);
+    ++result->patterns_tested;
+    result->total_task_cost += problem.TaskCost(pattern);
+    if (problem.IsGood(pattern, goodness)) {
+      for (Pattern& child : problem.ChildPatterns(pattern)) {
+        stack.push_back(std::move(child));
+      }
+      result->good_patterns.push_back(GoodPattern{std::move(pattern), goodness});
+    }
+  }
+}
+
+}  // namespace
+
+MiningResult EtreeTraversal(const MiningProblem& problem) {
+  MiningResult result;
+  EtreeVisit(problem, problem.RootPatterns(), &result);
+  SortGoodPatterns(&result.good_patterns);
+  return result;
+}
+
+MiningResult EtreeTraversalFrom(const MiningProblem& problem,
+                                const Pattern& root) {
+  MiningResult result;
+  EtreeVisit(problem, {root}, &result);
+  SortGoodPatterns(&result.good_patterns);
+  return result;
+}
+
+}  // namespace fpdm::core

@@ -1,0 +1,29 @@
+#ifndef FPDM_CORE_TRAVERSAL_H_
+#define FPDM_CORE_TRAVERSAL_H_
+
+#include "core/mining_problem.h"
+
+namespace fpdm::core {
+
+/// Sequential E-dag traversal (the data mining virtual machine of §3.1.5).
+///
+/// Visits a pattern only after all of its immediate subpatterns have been
+/// visited and found good — level-synchronous, lazily constructing the dag.
+/// By Theorem 1 this is equivalent to any optimal sequential program for the
+/// application: it tests the minimum possible set of patterns.
+MiningResult EdagTraversal(const MiningProblem& problem);
+
+/// Sequential E-tree traversal (§3.3.2): depth-first over the unique-parent
+/// tree, visiting a pattern as soon as its parent is good. May test patterns
+/// an E-dag traversal prunes (it gives up cross-branch pruning), but finds
+/// exactly the same good patterns (Lemma 2) and needs no level barrier.
+MiningResult EtreeTraversal(const MiningProblem& problem);
+
+/// E-tree traversal restricted to the subtree rooted at `root` (the body of
+/// an optimistic parallel worker). `root` itself is evaluated first.
+MiningResult EtreeTraversalFrom(const MiningProblem& problem,
+                                const Pattern& root);
+
+}  // namespace fpdm::core
+
+#endif  // FPDM_CORE_TRAVERSAL_H_

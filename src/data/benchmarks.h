@@ -1,0 +1,63 @@
+#ifndef FPDM_DATA_BENCHMARKS_H_
+#define FPDM_DATA_BENCHMARKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classify/dataset.h"
+
+namespace fpdm::data {
+
+/// Shape of one synthetic benchmark set. The seven Table 5.1/5.2 data sets
+/// (plus `letter` for Chapter 6) are reproduced by shape — row count
+/// (scaled down for the larger ones; see DESIGN.md), attribute mix, class
+/// count, missing-value profile — with a planted multi-way tree concept
+/// plus label noise that bounds every learner's accuracy.
+struct BenchmarkSpec {
+  std::string name;
+  int rows = 1000;
+  int numeric_attributes = 8;
+  int categorical_attributes = 0;
+  int categorical_cardinality = 4;
+  int classes = 2;
+  /// Numeric values are drawn from this many distinct levels (keeps the
+  /// boundary-basket counts realistic but bounded).
+  int numeric_distinct = 24;
+  /// Fraction of rows receiving missing values; within such a row each
+  /// value goes missing with probability missing_value_rate.
+  double missing_row_fraction = 0;
+  double missing_value_rate = 0.15;
+  /// Probability that a label is replaced by a uniformly random other
+  /// class — the main accuracy ceiling.
+  double noise = 0.1;
+  /// Probability mass pushed onto class 0 when labeling concept leaves
+  /// (controls the plurality-rule baseline).
+  double class_skew = 0;
+  /// Planted ground-truth tree: depth and branching (multi-way numeric
+  /// concepts are what give optimal sub-K-ary splits their edge).
+  int concept_depth = 3;
+  int concept_branches = 3;
+  uint64_t seed = 1;
+};
+
+/// Generates the data set for a spec. Deterministic in the seed.
+classify::Dataset GenerateBenchmark(const BenchmarkSpec& spec);
+
+/// The seven benchmark shapes of Tables 5.1/5.2 in paper order: diabetes,
+/// german, mushrooms, satimage, smoking, vote, yeast.
+std::vector<BenchmarkSpec> PaperBenchmarkSpecs();
+
+/// The `letter` shape used by the Parallel C4.5 experiments (Table 6.2).
+BenchmarkSpec LetterSpec();
+
+/// The `smoking` shape (also Table 6.2); same object as in
+/// PaperBenchmarkSpecs, exposed for the Chapter 6 benches.
+BenchmarkSpec SmokingSpec();
+
+/// Lookup by name across all of the above; aborts on unknown names.
+BenchmarkSpec SpecByName(const std::string& name);
+
+}  // namespace fpdm::data
+
+#endif  // FPDM_DATA_BENCHMARKS_H_

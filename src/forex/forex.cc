@@ -1,0 +1,171 @@
+#include "forex/forex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fpdm::forex {
+
+namespace {
+constexpr int kWeek = 5;
+constexpr int kMonth = 21;
+constexpr int kHalfYear = 126;
+constexpr int kYear = 252;
+}  // namespace
+
+std::vector<double> GenerateRateSeries(const RateSeriesConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> rates;
+  rates.reserve(static_cast<size_t>(config.num_days));
+  double rate = config.initial_rate;
+  int regime = rng.NextBool(0.5) ? 1 : -1;
+  for (int day = 0; day < config.num_days; ++day) {
+    rates.push_back(rate);
+    if (rng.NextBool(config.regime_flip_probability)) regime = -regime;
+    double log_return = config.momentum_drift * regime +
+                        config.daily_volatility * rng.NextGaussian();
+    if (day >= kYear) {
+      const double anchor = rates[static_cast<size_t>(day - kYear)];
+      log_return -= config.year_reversion * std::log(rate / anchor);
+    }
+    rate *= std::exp(log_return);
+  }
+  return rates;
+}
+
+classify::Dataset BuildForexDataset(const std::vector<double>& rates,
+                                    std::vector<int>* day_of_row) {
+  using classify::AttrType;
+  using classify::Attribute;
+  std::vector<Attribute> attributes;
+  for (const char* name : {"one", "two", "three", "four", "five", "average",
+                           "weighted", "month", "six-month", "year"}) {
+    attributes.push_back(Attribute{name, AttrType::kNumeric, {}});
+  }
+  classify::Dataset data(std::move(attributes), {"down", "up"});
+  if (day_of_row != nullptr) day_of_row->clear();
+
+  auto change = [&](int day, int back) {
+    return (rates[static_cast<size_t>(day)] -
+            rates[static_cast<size_t>(day - back)]) /
+           rates[static_cast<size_t>(day - back)] * 100.0;
+  };
+
+  const int n = static_cast<int>(rates.size());
+  for (int day = kYear; day + 1 < n; ++day) {
+    std::vector<double> row;
+    for (int back = 1; back <= kWeek; ++back) row.push_back(change(day, back));
+    double average = 0, weighted = 0, weight_sum = 0;
+    for (int back = 1; back <= kWeek; ++back) {
+      const double daily = change(day - back + 1, 1);
+      average += daily;
+      const double w = static_cast<double>(kWeek - back + 1);
+      weighted += w * daily;
+      weight_sum += w;
+    }
+    row.push_back(average / kWeek);
+    row.push_back(weighted / weight_sum);
+    row.push_back(change(day, kMonth));
+    row.push_back(change(day, kHalfYear));
+    row.push_back(change(day, kYear));
+    const int label =
+        rates[static_cast<size_t>(day) + 1] > rates[static_cast<size_t>(day)]
+            ? 1
+            : 0;
+    data.AddRow(std::move(row), label);
+    if (day_of_row != nullptr) day_of_row->push_back(day);
+  }
+  return data;
+}
+
+std::vector<CurrencyPair> PaperCurrencyPairs() {
+  return {
+      {"yu", "Japanese Yen", "U.S. Dollar", 5904, 9001},
+      {"du", "Deutsche Mark", "U.S. Dollar", 6076, 9002},
+      {"yd", "Japanese Yen", "Deutsche Mark", 6162, 9003},
+      {"fu", "French Franc", "U.S. Dollar", 6344, 9004},
+      {"up", "U.S. Dollar", "G.B. Sterling", 6419, 9005},
+  };
+}
+
+double SimulateTrading(const std::vector<double>& rates,
+                       const std::vector<int>& days,
+                       const std::vector<int>& predictions,
+                       bool start_in_first) {
+  assert(days.size() == predictions.size());
+  double wealth = 1.0;
+  for (size_t i = 0; i < days.size(); ++i) {
+    const int prediction = predictions[i];
+    if (prediction == 0) continue;
+    const int day = days[i];
+    if (day + 1 >= static_cast<int>(rates.size())) continue;
+    const double today = rates[static_cast<size_t>(day)];
+    const double tomorrow = rates[static_cast<size_t>(day) + 1];
+    // rate = units of the second currency per unit of the first. Holding
+    // the first currency and expecting it to fall (prediction -1): convert
+    // to the second today, back tomorrow -> wealth *= today / tomorrow.
+    if (start_in_first && prediction < 0) {
+      wealth *= today / tomorrow;
+    } else if (!start_in_first && prediction > 0) {
+      wealth *= tomorrow / today;
+    }
+  }
+  return wealth;
+}
+
+ForexOutcome RunForexPipeline(const CurrencyPair& pair,
+                              const classify::NyuMinerOptions& options,
+                              double min_confidence, double min_support) {
+  ForexOutcome outcome;
+  outcome.code = pair.code;
+
+  RateSeriesConfig series;
+  series.num_days = pair.num_days;
+  series.seed = pair.seed;
+  std::vector<double> rates = GenerateRateSeries(series);
+
+  std::vector<int> day_of_row;
+  classify::Dataset data = BuildForexDataset(rates, &day_of_row);
+
+  // Time split: first half trains (≈1972-1984), second half tests.
+  const int half = data.num_rows() / 2;
+  std::vector<int> train_rows, test_rows;
+  for (int r = 0; r < data.num_rows(); ++r) {
+    (r < half ? train_rows : test_rows).push_back(r);
+  }
+
+  classify::NyuMinerOptions rs = options;
+  rs.rs_min_confidence = min_confidence;
+  rs.rs_min_support = min_support;
+  classify::RsModel model =
+      classify::TrainNyuMinerRS(data, train_rows, rs, nullptr);
+  outcome.rules_selected = static_cast<int>(model.rules.size());
+
+  std::vector<int> covered_days;
+  std::vector<int> predictions;
+  int correct = 0;
+  for (int row : test_rows) {
+    auto match = model.rules.BestMatch(data.Row(row));
+    if (!match.has_value()) continue;
+    const int prediction = match->decision == 1 ? 1 : -1;
+    covered_days.push_back(day_of_row[static_cast<size_t>(row)]);
+    predictions.push_back(prediction);
+    const int actual = data.Label(row) == 1 ? 1 : -1;
+    correct += prediction == actual ? 1 : 0;
+  }
+  outcome.days_covered = static_cast<int>(covered_days.size());
+  outcome.accuracy =
+      covered_days.empty()
+          ? 0
+          : static_cast<double>(correct) / static_cast<double>(covered_days.size());
+  outcome.gain_first =
+      (SimulateTrading(rates, covered_days, predictions, true) - 1.0) * 100.0;
+  outcome.gain_second =
+      (SimulateTrading(rates, covered_days, predictions, false) - 1.0) * 100.0;
+  outcome.average_gain = (outcome.gain_first + outcome.gain_second) / 2.0;
+  return outcome;
+}
+
+}  // namespace fpdm::forex

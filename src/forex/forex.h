@@ -1,0 +1,78 @@
+#ifndef FPDM_FOREX_FOREX_H_
+#define FPDM_FOREX_FOREX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classify/dataset.h"
+#include "classify/nyuminer.h"
+#include "classify/rules.h"
+
+namespace fpdm::forex {
+
+/// Synthetic daily exchange-rate series (the substitution for 27 years of
+/// historical rates; see DESIGN.md): a geometric random walk with a slowly
+/// flipping hidden momentum regime and a weak pull toward the year-ago
+/// level. The regime injects the mild conditional predictability the
+/// rule-selection pipeline of §5.6 needs.
+struct RateSeriesConfig {
+  int num_days = 6000;
+  double initial_rate = 100.0;
+  double daily_volatility = 0.005;
+  double momentum_drift = 0.0016;     // per-day drift magnitude under a regime
+  double regime_flip_probability = 0.025;
+  double year_reversion = 0.0005;     // pull toward the rate 252 days ago
+  uint64_t seed = 1;
+};
+
+std::vector<double> GenerateRateSeries(const RateSeriesConfig& config);
+
+/// Builds the classification table of §5.6.1: for every day with a full
+/// year of history (and a next day), the 10 derived percentage changes
+/// (one..five, average, weighted, month, six-month, year) and the label
+/// "up"/"down" for tomorrow's movement. `day_of_row[i]` maps row i back to
+/// its day index in the rate series.
+classify::Dataset BuildForexDataset(const std::vector<double>& rates,
+                                    std::vector<int>* day_of_row);
+
+/// The five currency pairs of Table 5.5.
+struct CurrencyPair {
+  std::string code;   // "yu", "du", ...
+  std::string first;  // e.g. "Japanese Yen"
+  std::string second; // e.g. "U.S. Dollar"
+  int num_days;
+  uint64_t seed;
+};
+std::vector<CurrencyPair> PaperCurrencyPairs();
+
+/// Outcome of the §5.6 pipeline on one pair (one row of Table 5.6).
+struct ForexOutcome {
+  std::string code;
+  int rules_selected = 0;
+  int days_covered = 0;       // test days on which some rule fired
+  double accuracy = 0;        // directional accuracy on covered days
+  double gain_first = 0;      // % gain starting with 1000 units of `first`
+  double gain_second = 0;     // % gain starting with 1000 units of `second`
+  double average_gain = 0;
+};
+
+/// Runs the full pipeline: first half of the series trains NyuMiner-RS,
+/// rules above (min_confidence, min_support) are selected, and the simple
+/// convert-and-return strategy of §5.6.3 trades the second half.
+ForexOutcome RunForexPipeline(const CurrencyPair& pair,
+                              const classify::NyuMinerOptions& options,
+                              double min_confidence, double min_support);
+
+/// The trading loop, exposed for tests: on each covered day, if the
+/// prediction says the held currency will depreciate, convert out and back
+/// the next day. `predictions[i]` is +1 (rate up), -1 (rate down) or 0 (no
+/// trade) for `days[i]`; returns the final fraction of the initial wealth.
+double SimulateTrading(const std::vector<double>& rates,
+                       const std::vector<int>& days,
+                       const std::vector<int>& predictions,
+                       bool start_in_first);
+
+}  // namespace fpdm::forex
+
+#endif  // FPDM_FOREX_FOREX_H_

@@ -1,0 +1,481 @@
+#include "plinda/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace fpdm::plinda {
+
+namespace {
+
+/// Internal control-flow type: thrown at yield points when the host machine
+/// failed, caught only by Runtime::RunProcess. This is the simulation of
+/// asynchronous process death (see DESIGN.md) and never escapes the runtime.
+struct ProcessKilledException {};
+
+}  // namespace
+
+std::string ToString(const TraceEvent& event) {
+  const char* kind = "?";
+  switch (event.kind) {
+    case TraceEvent::Kind::kSpawned:
+      kind = "SPAWNED";
+      break;
+    case TraceEvent::Kind::kDone:
+      kind = "DONE";
+      break;
+    case TraceEvent::Kind::kKilled:
+      kind = "KILLED";
+      break;
+    case TraceEvent::Kind::kRespawned:
+      kind = "RESPAWNED";
+      break;
+    case TraceEvent::Kind::kMachineFailed:
+      kind = "MACHINE_FAILED";
+      break;
+    case TraceEvent::Kind::kMachineRecovered:
+      kind = "MACHINE_RECOVERED";
+      break;
+  }
+  char buf[160];
+  if (event.pid >= 0) {
+    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-17s %s (pid %d, machine %d)",
+                  event.time, kind, event.process.c_str(), event.pid,
+                  event.machine);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-17s machine %d", event.time,
+                  kind, event.machine);
+  }
+  return buf;
+}
+
+void Runtime::RecordLocked(TraceEvent::Kind kind, double time,
+                           const Proc* proc, int machine) {
+  if (!trace_enabled_) return;
+  TraceEvent event;
+  event.kind = kind;
+  event.time = time;
+  if (proc != nullptr) {
+    event.pid = proc->id;
+    event.process = proc->name;
+    event.machine = proc->machine;
+  } else {
+    event.machine = machine;
+  }
+  trace_.push_back(std::move(event));
+}
+
+Runtime::Runtime(int num_machines, RuntimeOptions options)
+    : options_(options), machines_(static_cast<size_t>(num_machines)) {
+  assert(num_machines > 0);
+}
+
+Runtime::~Runtime() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& proc : procs_) proc->cv.notify_all();
+  }
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Runtime::SetMachineSpeed(int machine, double speed) {
+  assert(machine >= 0 && machine < num_machines() && speed > 0);
+  machines_[static_cast<size_t>(machine)].speed = speed;
+}
+
+void Runtime::ScheduleFailure(int machine, double time) {
+  assert(machine >= 0 && machine < num_machines());
+  events_.push_back(Event{time, machine, /*failure=*/true});
+}
+
+void Runtime::ScheduleRecovery(int machine, double time) {
+  assert(machine >= 0 && machine < num_machines());
+  events_.push_back(Event{time, machine, /*failure=*/false});
+}
+
+int Runtime::Spawn(const std::string& name, ProcessFn fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  int machine = PickMachineLocked();
+  assert(machine >= 0);
+  return SpawnLocked(name, machine, std::move(fn), options_.spawn_delay);
+}
+
+int Runtime::SpawnOn(const std::string& name, int machine, ProcessFn fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(machine >= 0 && machine < num_machines());
+  return SpawnLocked(name, machine, std::move(fn), options_.spawn_delay);
+}
+
+int Runtime::PickMachineLocked() const {
+  std::vector<int> load(machines_.size(), 0);
+  for (const auto& proc : procs_) {
+    if (proc->state == ProcState::kReady || proc->state == ProcState::kBlocked) {
+      ++load[static_cast<size_t>(proc->machine)];
+    }
+  }
+  int best = -1;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    if (!machines_[m].up) continue;
+    if (best < 0 || load[m] < load[static_cast<size_t>(best)]) {
+      best = static_cast<int>(m);
+    }
+  }
+  return best;
+}
+
+int Runtime::SpawnLocked(const std::string& name, int machine, ProcessFn fn,
+                         double start_clock) {
+  auto proc = std::make_unique<Proc>();
+  proc->id = static_cast<int>(procs_.size());
+  proc->name = name;
+  proc->fn = std::move(fn);
+  proc->machine = machine;
+  proc->clock = start_clock;
+  proc->state = ProcState::kReady;
+  Proc* raw = proc.get();
+  procs_.push_back(std::move(proc));
+  RecordLocked(TraceEvent::Kind::kSpawned, start_clock, raw, raw->machine);
+  StartThreadLocked(raw);
+  return raw->id;
+}
+
+void Runtime::StartThreadLocked(Proc* proc) {
+  threads_.emplace_back(&Runtime::RunProcess, this, proc, proc->incarnation);
+}
+
+bool Runtime::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::stable_sort(events_.begin(), events_.end());
+  size_t next_event = 0;
+  deadlocked_ = false;
+  for (;;) {
+    if (++stats_.scheduler_steps > options_.max_steps) {
+      deadlocked_ = true;
+      break;
+    }
+    Proc* next = nullptr;
+    for (auto& up : procs_) {
+      Proc* p = up.get();
+      if (p->state != ProcState::kReady) continue;
+      if (next == nullptr || p->clock < next->clock ||
+          (p->clock == next->clock && p->id < next->id)) {
+        next = p;
+      }
+    }
+    const double horizon =
+        next != nullptr ? next->clock : std::numeric_limits<double>::infinity();
+    if (next_event < events_.size() && events_[next_event].time <= horizon) {
+      ApplyEventLocked(events_[next_event], lock);
+      ++next_event;
+      continue;
+    }
+    if (next == nullptr) {
+      bool stuck = !pending_respawns_.empty();
+      for (auto& up : procs_) {
+        if (up->state == ProcState::kBlocked) stuck = true;
+      }
+      deadlocked_ = stuck;
+      break;
+    }
+    GrantLocked(next, lock);
+  }
+  shutdown_ = true;
+  for (auto& proc : procs_) proc->cv.notify_all();
+  lock.unlock();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  return !deadlocked_;
+}
+
+void Runtime::GrantLocked(Proc* proc, std::unique_lock<std::mutex>& lock) {
+  active_pid_ = proc->id;
+  proc->granted = true;
+  proc->cv.notify_all();
+  sched_cv_.wait(lock, [&] { return active_pid_ == -1; });
+}
+
+void Runtime::ApplyEventLocked(const Event& event,
+                               std::unique_lock<std::mutex>& lock) {
+  Machine& machine = machines_[static_cast<size_t>(event.machine)];
+  if (event.failure) {
+    if (!machine.up) return;
+    machine.up = false;
+    RecordLocked(TraceEvent::Kind::kMachineFailed, event.time, nullptr,
+                 event.machine);
+    for (auto& up : procs_) {
+      Proc* proc = up.get();
+      if (proc->machine != event.machine) continue;
+      if (proc->state != ProcState::kReady &&
+          proc->state != ProcState::kBlocked) {
+        continue;
+      }
+      KillProcLocked(proc, event.time, lock);
+      if (auto_respawn_) RespawnLocked(proc, event.time);
+    }
+  } else {
+    if (machine.up) return;
+    machine.up = true;
+    RecordLocked(TraceEvent::Kind::kMachineRecovered, event.time, nullptr,
+                 event.machine);
+    while (!pending_respawns_.empty()) {
+      Proc* proc = pending_respawns_.front();
+      pending_respawns_.pop_front();
+      proc->machine = event.machine;
+      proc->clock = event.time;  // RespawnLocked adds the spawn delay
+      RespawnLocked(proc, event.time);
+    }
+  }
+}
+
+void Runtime::KillProcLocked(Proc* proc, double time,
+                             std::unique_lock<std::mutex>& lock) {
+  proc->kill_requested = true;
+  proc->clock = time;
+  RecordLocked(TraceEvent::Kind::kKilled, time, proc, proc->machine);
+  // Wake the process thread so it can unwind; RunProcess marks it dead and
+  // rolls back its open transaction.
+  GrantLocked(proc, lock);
+  assert(proc->state == ProcState::kDead);
+}
+
+void Runtime::RespawnLocked(Proc* proc, double time) {
+  int machine = PickMachineLocked();
+  if (machine < 0) {
+    pending_respawns_.push_back(proc);
+    return;
+  }
+  proc->machine = machine;
+  proc->clock = time + options_.spawn_delay;
+  proc->state = ProcState::kReady;
+  proc->granted = false;
+  proc->kill_requested = false;
+  ++proc->incarnation;
+  ++stats_.processes_respawned;
+  RecordLocked(TraceEvent::Kind::kRespawned, proc->clock, proc, machine);
+  StartThreadLocked(proc);
+}
+
+void Runtime::WakeBlockedLocked(double time) {
+  for (auto& up : procs_) {
+    Proc* proc = up.get();
+    if (proc->state == ProcState::kBlocked) {
+      proc->clock = std::max(proc->clock, time);
+      proc->state = ProcState::kReady;
+    }
+  }
+}
+
+void Runtime::AbortTxnLocked(Proc* proc, double time) {
+  if (!proc->txn_active) return;
+  // Restore the tuples the transaction removed; drop its unpublished outs.
+  // Restored tuples re-enter at the tail of the FIFO order, which is an
+  // acceptable deviation (no template in this repo depends on the relative
+  // order of a restored tuple).
+  bool restored = false;
+  for (Tuple& tuple : proc->txn_ins) {
+    space_.Out(std::move(tuple));
+    restored = true;
+  }
+  proc->txn_ins.clear();
+  proc->txn_outs.clear();
+  proc->txn_active = false;
+  ++stats_.transactions_aborted;
+  if (restored) WakeBlockedLocked(time);
+}
+
+void Runtime::RunProcess(Proc* proc, int incarnation) {
+  bool killed = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    proc->cv.wait(lock, [&] { return proc->granted || shutdown_; });
+    if (proc->kill_requested || shutdown_) killed = true;
+  }
+  if (!killed) {
+    ProcessContext ctx(this, proc);
+    try {
+      proc->fn(ctx);
+    } catch (const ProcessKilledException&) {
+      killed = true;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  AbortTxnLocked(proc, proc->clock);
+  if (killed) {
+    proc->state = ProcState::kDead;
+    ++stats_.processes_killed;
+  } else {
+    proc->state = ProcState::kDone;
+    completion_time_ = std::max(completion_time_, proc->clock);
+    RecordLocked(TraceEvent::Kind::kDone, proc->clock, proc, proc->machine);
+  }
+  proc->granted = false;
+  if (active_pid_ == proc->id) active_pid_ = -1;
+  sched_cv_.notify_all();
+  (void)incarnation;
+}
+
+void Runtime::Yield(Proc* proc, std::unique_lock<std::mutex>& lock) {
+  proc->granted = false;
+  active_pid_ = -1;
+  sched_cv_.notify_all();
+  proc->cv.wait(lock, [&] { return proc->granted || shutdown_; });
+  if (proc->kill_requested || shutdown_) throw ProcessKilledException{};
+}
+
+void Runtime::OpOut(Proc* proc, Tuple tuple) {
+  std::unique_lock<std::mutex> lock(mu_);
+  proc->clock += options_.tuple_op_latency;
+  ++stats_.tuple_ops;
+  if (proc->txn_active) {
+    proc->txn_outs.push_back(std::move(tuple));
+  } else {
+    space_.Out(std::move(tuple));
+    WakeBlockedLocked(proc->clock);
+  }
+  Yield(proc, lock);
+}
+
+bool Runtime::OpIn(Proc* proc, const Template& tmpl, Tuple* result,
+                   bool blocking, bool remove) {
+  std::unique_lock<std::mutex> lock(mu_);
+  proc->clock += options_.tuple_op_latency;
+  ++stats_.tuple_ops;
+  for (;;) {
+    // A transaction sees its own uncommitted outs.
+    if (proc->txn_active) {
+      bool matched = false;
+      for (auto it = proc->txn_outs.begin(); it != proc->txn_outs.end(); ++it) {
+        if (Matches(tmpl, *it)) {
+          if (result != nullptr) *result = *it;
+          if (remove) proc->txn_outs.erase(it);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        Yield(proc, lock);
+        return true;
+      }
+    }
+    Tuple found;
+    const bool ok =
+        remove ? space_.TryIn(tmpl, &found) : space_.TryRd(tmpl, &found);
+    if (ok) {
+      if (remove && proc->txn_active) proc->txn_ins.push_back(found);
+      if (result != nullptr) *result = std::move(found);
+      Yield(proc, lock);
+      return true;
+    }
+    if (!blocking) {
+      Yield(proc, lock);
+      return false;
+    }
+    proc->state = ProcState::kBlocked;
+    Yield(proc, lock);  // woken when some commit/out publishes new tuples
+  }
+}
+
+void Runtime::OpXStart(Proc* proc) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(!proc->txn_active && "nested transactions are not supported");
+  proc->clock += options_.txn_latency;
+  proc->txn_active = true;
+  Yield(proc, lock);
+}
+
+void Runtime::OpXCommit(Proc* proc, bool has_continuation, Tuple continuation) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(proc->txn_active && "xcommit without xstart");
+  proc->clock += options_.txn_latency;
+  bool published = !proc->txn_outs.empty();
+  for (Tuple& tuple : proc->txn_outs) space_.Out(std::move(tuple));
+  proc->txn_outs.clear();
+  proc->txn_ins.clear();
+  proc->txn_active = false;
+  if (has_continuation) continuations_[proc->id] = std::move(continuation);
+  ++stats_.transactions_committed;
+  if (published) WakeBlockedLocked(proc->clock);
+  Yield(proc, lock);
+}
+
+bool Runtime::OpXRecover(Proc* proc, Tuple* continuation) {
+  std::unique_lock<std::mutex> lock(mu_);
+  proc->clock += options_.txn_latency;
+  auto it = continuations_.find(proc->id);
+  const bool found = it != continuations_.end();
+  if (found && continuation != nullptr) *continuation = it->second;
+  Yield(proc, lock);
+  return found;
+}
+
+void Runtime::OpCompute(Proc* proc, double work_units) {
+  assert(work_units >= 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  proc->clock += work_units / machines_[static_cast<size_t>(proc->machine)].speed;
+  proc->work_done += work_units;
+  stats_.total_work += work_units;
+  Yield(proc, lock);
+}
+
+int Runtime::OpSpawn(Proc* proc, const std::string& name, ProcessFn fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  proc->clock += options_.tuple_op_latency;
+  int machine = PickMachineLocked();
+  assert(machine >= 0);
+  int id = SpawnLocked(name, machine, std::move(fn),
+                       proc->clock + options_.spawn_delay);
+  Yield(proc, lock);
+  return id;
+}
+
+// --- ProcessContext forwarding -------------------------------------------
+
+void ProcessContext::Out(Tuple tuple) { runtime_->OpOut(proc_, std::move(tuple)); }
+
+void ProcessContext::In(const Template& tmpl, Tuple* result) {
+  runtime_->OpIn(proc_, tmpl, result, /*blocking=*/true, /*remove=*/true);
+}
+
+bool ProcessContext::Inp(const Template& tmpl, Tuple* result) {
+  return runtime_->OpIn(proc_, tmpl, result, /*blocking=*/false,
+                        /*remove=*/true);
+}
+
+void ProcessContext::Rd(const Template& tmpl, Tuple* result) {
+  runtime_->OpIn(proc_, tmpl, result, /*blocking=*/true, /*remove=*/false);
+}
+
+bool ProcessContext::Rdp(const Template& tmpl, Tuple* result) {
+  return runtime_->OpIn(proc_, tmpl, result, /*blocking=*/false,
+                        /*remove=*/false);
+}
+
+void ProcessContext::XStart() { runtime_->OpXStart(proc_); }
+
+void ProcessContext::XCommit() {
+  runtime_->OpXCommit(proc_, /*has_continuation=*/false, Tuple());
+}
+
+void ProcessContext::XCommit(Tuple continuation) {
+  runtime_->OpXCommit(proc_, /*has_continuation=*/true, std::move(continuation));
+}
+
+bool ProcessContext::XRecover(Tuple* continuation) {
+  return runtime_->OpXRecover(proc_, continuation);
+}
+
+void ProcessContext::Compute(double work_units) {
+  runtime_->OpCompute(proc_, work_units);
+}
+
+int ProcessContext::Spawn(const std::string& name, ProcessFn fn) {
+  return runtime_->OpSpawn(proc_, name, std::move(fn));
+}
+
+double ProcessContext::Now() const { return proc_->clock; }
+
+}  // namespace fpdm::plinda

@@ -1,0 +1,277 @@
+#ifndef FPDM_PLINDA_RUNTIME_H_
+#define FPDM_PLINDA_RUNTIME_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "plinda/tuple.h"
+#include "plinda/tuple_space.h"
+
+namespace fpdm::plinda {
+
+class Runtime;
+class ProcessContext;
+
+/// A simulated PLinda process body. Called once per (re)incarnation of the
+/// process; fault-tolerant programs call XRecover() first to resume from
+/// their last committed continuation, exactly as in the paper's templates.
+using ProcessFn = std::function<void(ProcessContext&)>;
+
+/// Runtime tuning knobs (virtual seconds).
+struct RuntimeOptions {
+  /// Cost of one tuple-space operation (out/in/rd/...): models the LAN round
+  /// trip to the PLinda server.
+  double tuple_op_latency = 0.02;
+  /// Extra cost of xstart/xcommit bookkeeping.
+  double txn_latency = 0.01;
+  /// Delay before a (re)spawned process starts running (proc_eval + process
+  /// start; also the failure-detection + restart delay after a crash).
+  double spawn_delay = 2.0;
+  /// Safety valve: abort the simulation after this many scheduler steps.
+  uint64_t max_steps = 200'000'000;
+};
+
+/// One entry of the process-watch trace (the programmatic equivalent of
+/// the PLinda runtime "Monitor" window of Chapter 7): a lifecycle event of
+/// a simulated process or machine, stamped with virtual time.
+struct TraceEvent {
+  enum class Kind {
+    kSpawned,
+    kDone,
+    kKilled,
+    kRespawned,
+    kMachineFailed,
+    kMachineRecovered,
+  };
+  Kind kind = Kind::kSpawned;
+  double time = 0;
+  int pid = -1;          // -1 for machine events
+  int machine = -1;
+  std::string process;   // empty for machine events
+};
+
+/// Human-readable rendering of a trace event.
+std::string ToString(const TraceEvent& event);
+
+/// Aggregate counters exposed after Run().
+struct RuntimeStats {
+  uint64_t tuple_ops = 0;
+  uint64_t transactions_committed = 0;
+  uint64_t transactions_aborted = 0;
+  uint64_t processes_killed = 0;
+  uint64_t processes_respawned = 0;
+  uint64_t scheduler_steps = 0;
+  /// Sum over processes of Compute() work units actually performed
+  /// (including work later lost to failures).
+  double total_work = 0;
+};
+
+/// Deterministic virtual-time simulation of a PLinda network of
+/// workstations.
+///
+/// Each simulated process runs on its own OS thread, but a conservative
+/// scheduler admits exactly one process at a time — always the one with the
+/// smallest virtual clock — so execution is sequential, single-core
+/// friendly, and bit-for-bit reproducible. Virtual time advances through
+/// ProcessContext::Compute() (task work, divided by the host machine's speed
+/// factor) and through tuple-space operations (fixed latency).
+///
+/// Machine failures model a workstation owner returning (Piranha "retreat")
+/// or a crash: every process on the machine is killed, its open transaction
+/// is rolled back (tuples restored), and — PLinda's fault-tolerance
+/// guarantee, §7.1 — the process is re-spawned on another up machine where
+/// XRecover() returns the continuation of its last committed transaction.
+class Runtime {
+ public:
+  explicit Runtime(int num_machines, RuntimeOptions options = RuntimeOptions());
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Sets the relative speed of a machine (default 1.0; 2.0 = twice as fast).
+  void SetMachineSpeed(int machine, double speed);
+
+  /// Schedules machine failure/recovery at a virtual time. Failures kill all
+  /// processes currently placed on the machine; the machine accepts no new
+  /// processes until recovered.
+  void ScheduleFailure(int machine, double time);
+  void ScheduleRecovery(int machine, double time);
+
+  /// If true (default), killed processes are automatically re-spawned on an
+  /// up machine, as the PLinda server does.
+  void set_auto_respawn(bool enabled) { auto_respawn_ = enabled; }
+
+  /// Spawns a process before the simulation starts (on the least-loaded up
+  /// machine, or a specific one). Returns the process id.
+  int Spawn(const std::string& name, ProcessFn fn);
+  int SpawnOn(const std::string& name, int machine, ProcessFn fn);
+
+  /// Runs the simulation to completion. Returns true if every process
+  /// finished; false on deadlock (some process blocked forever — usually a
+  /// missing poison task) or when max_steps is exceeded.
+  bool Run();
+
+  /// Virtual time at which the last process finished.
+  double CompletionTime() const { return completion_time_; }
+
+  /// True if the previous Run() ended in deadlock.
+  bool deadlocked() const { return deadlocked_; }
+
+  TupleSpace& space() { return space_; }
+  const RuntimeStats& stats() const { return stats_; }
+  int num_machines() const { return static_cast<int>(machines_.size()); }
+
+  /// Process-watch trace: lifecycle events in virtual-time order. Enabled
+  /// by default; disable for very long simulations.
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+ private:
+  friend class ProcessContext;
+
+  enum class ProcState { kReady, kBlocked, kDone, kDead };
+
+  struct Proc {
+    int id = 0;
+    std::string name;
+    ProcessFn fn;
+    int machine = 0;
+    double clock = 0;
+    ProcState state = ProcState::kReady;
+    bool granted = false;
+    bool kill_requested = false;
+    int incarnation = 0;
+    std::condition_variable cv;
+
+    // Open transaction state.
+    bool txn_active = false;
+    std::vector<Tuple> txn_outs;  // buffered until commit
+    std::vector<Tuple> txn_ins;   // removed from space; restored on abort
+
+    double work_done = 0;
+  };
+
+  struct Machine {
+    double speed = 1.0;
+    bool up = true;
+  };
+
+  struct Event {
+    double time = 0;
+    int machine = 0;
+    bool failure = false;  // false = recovery
+    bool operator<(const Event& other) const { return time < other.time; }
+  };
+
+  // --- scheduler internals (all require mu_ held) ---
+  int PickMachineLocked() const;
+  int SpawnLocked(const std::string& name, int machine, ProcessFn fn,
+                  double start_clock);
+  void StartThreadLocked(Proc* proc);
+  void GrantLocked(Proc* proc, std::unique_lock<std::mutex>& lock);
+  void ApplyEventLocked(const Event& event, std::unique_lock<std::mutex>& lock);
+  void KillProcLocked(Proc* proc, double time, std::unique_lock<std::mutex>& lock);
+  void RespawnLocked(Proc* proc, double time);
+  void WakeBlockedLocked(double time);
+  void AbortTxnLocked(Proc* proc, double time);
+
+  // --- process-side entry points (called on process threads) ---
+  void RunProcess(Proc* proc, int incarnation);
+  void Yield(Proc* proc, std::unique_lock<std::mutex>& lock);
+  void OpOut(Proc* proc, Tuple tuple);
+  bool OpIn(Proc* proc, const Template& tmpl, Tuple* result, bool blocking,
+            bool remove);
+  void OpXStart(Proc* proc);
+  void OpXCommit(Proc* proc, bool has_continuation, Tuple continuation);
+  bool OpXRecover(Proc* proc, Tuple* continuation);
+  void OpCompute(Proc* proc, double work_units);
+  int OpSpawn(Proc* proc, const std::string& name, ProcessFn fn);
+
+  RuntimeOptions options_;
+  std::vector<Machine> machines_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<Event> events_;  // kept sorted by time
+  std::deque<Proc*> pending_respawns_;
+  std::map<int, Tuple> continuations_;  // by process id; survives respawn
+
+  TupleSpace space_;
+  RuntimeStats stats_;
+
+  void RecordLocked(TraceEvent::Kind kind, double time, const Proc* proc,
+                    int machine);
+
+  bool trace_enabled_ = true;
+  std::vector<TraceEvent> trace_;
+
+  std::mutex mu_;
+  std::condition_variable sched_cv_;
+  int active_pid_ = -1;  // process currently granted; -1 = scheduler
+  bool shutdown_ = false;
+  bool auto_respawn_ = true;
+  bool deadlocked_ = false;
+  double completion_time_ = 0;
+
+  std::vector<std::thread> threads_;
+};
+
+/// The handle a process body uses to talk to the tuple space, manage
+/// transactions, and advance virtual time. Mirrors the PLinda operations of
+/// the paper's program templates.
+class ProcessContext {
+ public:
+  /// Linda out: adds a tuple (buffered until xcommit inside a transaction).
+  void Out(Tuple tuple);
+
+  /// Blocking in: removes the oldest matching tuple, waiting if necessary.
+  void In(const Template& tmpl, Tuple* result);
+
+  /// Non-blocking in (inp). Returns false if nothing matches right now.
+  bool Inp(const Template& tmpl, Tuple* result);
+
+  /// Blocking / non-blocking read (rd / rdp): copies without removing.
+  void Rd(const Template& tmpl, Tuple* result);
+  bool Rdp(const Template& tmpl, Tuple* result);
+
+  /// Transaction control (xstart / xcommit / xrecover). XCommit's optional
+  /// tuple is the continuation: the live local variables a re-spawned
+  /// incarnation retrieves with XRecover.
+  void XStart();
+  void XCommit();
+  void XCommit(Tuple continuation);
+  bool XRecover(Tuple* continuation);
+
+  /// Performs `work_units` of computation in virtual time (divided by the
+  /// host machine's speed). This is also a kill point: if the machine failed
+  /// meanwhile, the process dies here and the work is lost.
+  void Compute(double work_units);
+
+  /// Spawns another process (proc_eval). Returns the new process id.
+  int Spawn(const std::string& name, ProcessFn fn);
+
+  double Now() const;
+  int pid() const { return proc_->id; }
+  int machine() const { return proc_->machine; }
+  /// Incarnation counter: 0 for the first run, +1 per respawn.
+  int incarnation() const { return proc_->incarnation; }
+
+ private:
+  friend class Runtime;
+  ProcessContext(Runtime* runtime, Runtime::Proc* proc)
+      : runtime_(runtime), proc_(proc) {}
+
+  Runtime* runtime_;
+  Runtime::Proc* proc_;
+};
+
+}  // namespace fpdm::plinda
+
+#endif  // FPDM_PLINDA_RUNTIME_H_

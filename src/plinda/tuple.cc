@@ -1,0 +1,174 @@
+#include "plinda/tuple.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpdm::plinda {
+
+ValueType TypeOf(const Value& value) {
+  switch (value.index()) {
+    case 0:
+      return ValueType::kInt;
+    case 1:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kString;
+  }
+}
+
+TemplateField TemplateField::Actual(Value value) {
+  TemplateField f;
+  f.is_formal = false;
+  f.actual = std::move(value);
+  return f;
+}
+
+TemplateField TemplateField::Formal(ValueType type) {
+  TemplateField f;
+  f.is_formal = true;
+  f.formal_type = type;
+  return f;
+}
+
+bool Matches(const Template& tmpl, const Tuple& tuple) {
+  if (tmpl.fields.size() != tuple.fields.size()) return false;
+  for (size_t i = 0; i < tmpl.fields.size(); ++i) {
+    const TemplateField& f = tmpl.fields[i];
+    if (f.is_formal) {
+      if (TypeOf(tuple.fields[i]) != f.formal_type) return false;
+    } else {
+      if (tuple.fields[i] != f.actual) return false;
+    }
+  }
+  return true;
+}
+
+int64_t GetInt(const Tuple& tuple, size_t index) {
+  assert(index < tuple.fields.size());
+  const int64_t* v = std::get_if<int64_t>(&tuple.fields[index]);
+  assert(v != nullptr);
+  return *v;
+}
+
+double GetDouble(const Tuple& tuple, size_t index) {
+  assert(index < tuple.fields.size());
+  const double* v = std::get_if<double>(&tuple.fields[index]);
+  assert(v != nullptr);
+  return *v;
+}
+
+const std::string& GetString(const Tuple& tuple, size_t index) {
+  assert(index < tuple.fields.size());
+  const std::string* v = std::get_if<std::string>(&tuple.fields[index]);
+  assert(v != nullptr);
+  return *v;
+}
+
+namespace {
+
+void AppendSize(size_t n, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu:", n);
+  out->append(buf);
+}
+
+bool ParseSize(const std::string& data, size_t* pos, size_t* n) {
+  size_t value = 0;
+  bool any = false;
+  while (*pos < data.size() && data[*pos] >= '0' && data[*pos] <= '9') {
+    value = value * 10 + static_cast<size_t>(data[*pos] - '0');
+    ++*pos;
+    any = true;
+  }
+  if (!any || *pos >= data.size() || data[*pos] != ':') return false;
+  ++*pos;
+  *n = value;
+  return true;
+}
+
+}  // namespace
+
+void SerializeTuple(const Tuple& tuple, std::string* out) {
+  AppendSize(tuple.fields.size(), out);
+  for (const Value& v : tuple.fields) {
+    switch (TypeOf(v)) {
+      case ValueType::kInt: {
+        out->push_back('i');
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld;",
+                      static_cast<long long>(std::get<int64_t>(v)));
+        out->append(buf);
+        break;
+      }
+      case ValueType::kDouble: {
+        out->push_back('d');
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g;", std::get<double>(v));
+        out->append(buf);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = std::get<std::string>(v);
+        out->push_back('s');
+        AppendSize(s.size(), out);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple) {
+  tuple->fields.clear();
+  size_t arity = 0;
+  if (!ParseSize(data, pos, &arity)) return false;
+  for (size_t i = 0; i < arity; ++i) {
+    if (*pos >= data.size()) return false;
+    char tag = data[(*pos)++];
+    if (tag == 'i' || tag == 'd') {
+      size_t end = data.find(';', *pos);
+      if (end == std::string::npos) return false;
+      std::string token = data.substr(*pos, end - *pos);
+      *pos = end + 1;
+      if (tag == 'i') {
+        tuple->fields.push_back(
+            static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+      } else {
+        tuple->fields.push_back(std::strtod(token.c_str(), nullptr));
+      }
+    } else if (tag == 's') {
+      size_t len = 0;
+      if (!ParseSize(data, pos, &len)) return false;
+      if (*pos + len > data.size()) return false;
+      tuple->fields.push_back(data.substr(*pos, len));
+      *pos += len;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Value& v = tuple.fields[i];
+    switch (TypeOf(v)) {
+      case ValueType::kInt:
+        out += std::to_string(std::get<int64_t>(v));
+        break;
+      case ValueType::kDouble:
+        out += std::to_string(std::get<double>(v));
+        break;
+      case ValueType::kString:
+        out += '"' + std::get<std::string>(v) + '"';
+        break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fpdm::plinda

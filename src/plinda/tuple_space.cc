@@ -1,0 +1,133 @@
+#include "plinda/tuple_space.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace fpdm::plinda {
+
+TupleSpace::Key TupleSpace::KeyFor(const Tuple& tuple) {
+  if (!tuple.fields.empty() && TypeOf(tuple.fields[0]) == ValueType::kString) {
+    return {tuple.fields.size(), std::get<std::string>(tuple.fields[0])};
+  }
+  return {tuple.fields.size(), std::string()};
+}
+
+void TupleSpace::Out(Tuple tuple) {
+  Key key = KeyFor(tuple);
+  buckets_[key].push_back(Stored{std::move(tuple), next_sequence_++});
+  ++size_;
+}
+
+template <typename Fn>
+void TupleSpace::ForEachCandidateBucket(const Template& tmpl, Fn&& fn) const {
+  const size_t arity = tmpl.fields.size();
+  if (arity > 0 && !tmpl.fields[0].is_formal &&
+      TypeOf(tmpl.fields[0].actual) == ValueType::kString) {
+    // First field is an actual string: exactly one bucket can match.
+    Key key{arity, std::get<std::string>(tmpl.fields[0].actual)};
+    auto it = buckets_.find(key);
+    if (it != buckets_.end()) fn(it->first);
+    return;
+  }
+  // Otherwise scan every bucket of this arity.
+  Key lo{arity, std::string()};
+  for (auto it = buckets_.lower_bound(lo);
+       it != buckets_.end() && it->first.first == arity; ++it) {
+    fn(it->first);
+  }
+}
+
+bool TupleSpace::TryIn(const Template& tmpl, Tuple* result) {
+  std::vector<Key> keys;
+  ForEachCandidateBucket(tmpl, [&](const Key& key) { keys.push_back(key); });
+
+  Bucket* best_bucket = nullptr;
+  Bucket::iterator best_it;
+  Key best_key;
+  uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+  for (const Key& key : keys) {
+    Bucket& bucket = buckets_[key];
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (it->sequence < best_seq && Matches(tmpl, it->tuple)) {
+        best_seq = it->sequence;
+        best_bucket = &bucket;
+        best_it = it;
+        best_key = key;
+        break;  // bucket is FIFO-ordered; first match is oldest in bucket
+      }
+    }
+  }
+  if (best_bucket == nullptr) return false;
+  if (result != nullptr) *result = std::move(best_it->tuple);
+  best_bucket->erase(best_it);
+  if (best_bucket->empty()) buckets_.erase(best_key);
+  --size_;
+  return true;
+}
+
+bool TupleSpace::TryRd(const Template& tmpl, Tuple* result) const {
+  const Tuple* best = nullptr;
+  uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+  ForEachCandidateBucket(tmpl, [&](const Key& key) {
+    const Bucket& bucket = buckets_.at(key);
+    for (const Stored& stored : bucket) {
+      if (stored.sequence < best_seq && Matches(tmpl, stored.tuple)) {
+        best_seq = stored.sequence;
+        best = &stored.tuple;
+        break;
+      }
+    }
+  });
+  if (best == nullptr) return false;
+  if (result != nullptr) *result = *best;
+  return true;
+}
+
+size_t TupleSpace::CountMatches(const Template& tmpl) const {
+  size_t count = 0;
+  ForEachCandidateBucket(tmpl, [&](const Key& key) {
+    for (const Stored& stored : buckets_.at(key)) {
+      if (Matches(tmpl, stored.tuple)) ++count;
+    }
+  });
+  return count;
+}
+
+void TupleSpace::Clear() {
+  buckets_.clear();
+  size_ = 0;
+}
+
+std::string TupleSpace::Checkpoint() const {
+  // Tuples are written in global sequence order so that Restore reproduces
+  // the FIFO matching order exactly.
+  std::vector<const Stored*> all;
+  all.reserve(size_);
+  for (const auto& [key, bucket] : buckets_) {
+    for (const Stored& stored : bucket) all.push_back(&stored);
+  }
+  std::sort(all.begin(), all.end(), [](const Stored* a, const Stored* b) {
+    return a->sequence < b->sequence;
+  });
+  std::string out;
+  for (const Stored* stored : all) SerializeTuple(stored->tuple, &out);
+  return out;
+}
+
+bool TupleSpace::Restore(const std::string& checkpoint) {
+  Clear();
+  next_sequence_ = 0;
+  size_t pos = 0;
+  while (pos < checkpoint.size()) {
+    Tuple tuple;
+    if (!DeserializeTuple(checkpoint, &pos, &tuple)) {
+      Clear();
+      return false;
+    }
+    Out(std::move(tuple));
+  }
+  return true;
+}
+
+}  // namespace fpdm::plinda

@@ -1,0 +1,82 @@
+#ifndef FPDM_PLINDA_TUPLE_SPACE_H_
+#define FPDM_PLINDA_TUPLE_SPACE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "plinda/tuple.h"
+
+namespace fpdm::plinda {
+
+/// The associative shared memory of Linda. Not thread-safe by itself: the
+/// NOW runtime serializes all access (simulated processes run one at a
+/// time), and unit tests exercise it directly.
+///
+/// Matching is FIFO among matching tuples (oldest `out` wins), which keeps
+/// the simulated executions deterministic.
+class TupleSpace {
+ public:
+  TupleSpace() = default;
+
+  // Copyable so transactions / checkpoints can snapshot it.
+  TupleSpace(const TupleSpace&) = default;
+  TupleSpace& operator=(const TupleSpace&) = default;
+
+  /// Adds a tuple (Linda `out`).
+  void Out(Tuple tuple);
+
+  /// Removes and returns the oldest matching tuple (`inp`). Returns false if
+  /// no tuple matches.
+  bool TryIn(const Template& tmpl, Tuple* result);
+
+  /// Copies the oldest matching tuple without removing it (`rdp`).
+  bool TryRd(const Template& tmpl, Tuple* result) const;
+
+  /// Number of matching tuples currently in the space.
+  size_t CountMatches(const Template& tmpl) const;
+
+  /// Total number of tuples in the space.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes every tuple.
+  void Clear();
+
+  /// Serializes the whole space (checkpoint-protected tuple space, §2.4.6).
+  std::string Checkpoint() const;
+
+  /// Replaces the contents of the space with a checkpoint produced by
+  /// Checkpoint(). Returns false (leaving the space empty) on corrupt input.
+  bool Restore(const std::string& checkpoint);
+
+ private:
+  struct Stored {
+    Tuple tuple;
+    uint64_t sequence;
+  };
+
+  // Tuples are bucketed by (arity, first-field string key) so that the common
+  // case — templates whose first field is an actual string tag like "task" —
+  // avoids scanning unrelated tuples. Tuples whose first field is not a
+  // string live in the bucket with an empty key and are also consulted by
+  // formal-first-field templates.
+  using Key = std::pair<size_t, std::string>;
+  using Bucket = std::list<Stored>;
+
+  static Key KeyFor(const Tuple& tuple);
+
+  // Returns the bucket keys a template may match: exactly one when the first
+  // field is an actual string; otherwise all buckets of that arity.
+  template <typename Fn>
+  void ForEachCandidateBucket(const Template& tmpl, Fn&& fn) const;
+
+  std::map<Key, Bucket> buckets_;
+  uint64_t next_sequence_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace fpdm::plinda
+
+#endif  // FPDM_PLINDA_TUPLE_SPACE_H_

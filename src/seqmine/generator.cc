@@ -1,0 +1,74 @@
+#include "seqmine/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpdm::seqmine {
+
+std::string RandomMotif(util::Rng* rng, int length) {
+  std::string motif;
+  motif.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    motif.push_back(kAminoAcids[rng->NextBounded(kNumAminoAcids)]);
+  }
+  return motif;
+}
+
+std::vector<std::string> GenerateProteinSet(const ProteinSetConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<std::string> sequences;
+  sequences.reserve(static_cast<size_t>(config.num_sequences));
+  for (int i = 0; i < config.num_sequences; ++i) {
+    const int length =
+        static_cast<int>(rng.NextInt(config.min_length, config.max_length));
+    sequences.push_back(RandomMotif(&rng, length));
+  }
+
+  for (const PlantedMotif& planted : config.planted) {
+    assert(planted.copies <= config.num_sequences);
+    // Choose `copies` distinct target sequences.
+    std::vector<int> targets(static_cast<size_t>(config.num_sequences));
+    for (int i = 0; i < config.num_sequences; ++i) targets[static_cast<size_t>(i)] = i;
+    rng.Shuffle(&targets);
+    for (int c = 0; c < planted.copies; ++c) {
+      std::string& seq = sequences[static_cast<size_t>(targets[static_cast<size_t>(c)])];
+      std::string copy = planted.motif;
+      for (char& ch : copy) {
+        if (rng.NextBool(planted.mutation_rate)) {
+          ch = kAminoAcids[rng.NextBounded(kNumAminoAcids)];
+        }
+      }
+      if (copy.size() >= seq.size()) {
+        seq = copy;
+        continue;
+      }
+      const size_t pos = rng.NextBounded(seq.size() - copy.size() + 1);
+      seq.replace(pos, copy.size(), copy);
+    }
+  }
+  return sequences;
+}
+
+ProteinSetConfig CyclinsLikeConfig() {
+  ProteinSetConfig config;
+  config.num_sequences = 47;
+  config.min_length = 80;
+  config.max_length = 160;
+  config.seed = 1998;
+  // A family of overlapping conserved regions, echoing the cyclin box: some
+  // exact and widely shared, some longer and noisier. Overlaps create the
+  // deep, skewed E-tree branches that make load balancing interesting.
+  util::Rng motif_rng(424242);
+  const std::string core = RandomMotif(&motif_rng, 24);
+  config.planted = {
+      {core.substr(0, 14), 20, 0.00},
+      {core.substr(4, 16), 14, 0.02},
+      {core, 9, 0.04},
+      {RandomMotif(&motif_rng, 18), 16, 0.02},
+      {RandomMotif(&motif_rng, 13), 24, 0.00},
+      {RandomMotif(&motif_rng, 20), 12, 0.05},
+  };
+  return config;
+}
+
+}  // namespace fpdm::seqmine

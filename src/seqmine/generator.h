@@ -1,0 +1,48 @@
+#ifndef FPDM_SEQMINE_GENERATOR_H_
+#define FPDM_SEQMINE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fpdm::seqmine {
+
+/// The 20 amino acid one-letter codes.
+inline constexpr char kAminoAcids[] = "ACDEFGHIKLMNPQRSTVWY";
+inline constexpr int kNumAminoAcids = 20;
+
+/// A motif planted into a subset of the generated sequences.
+struct PlantedMotif {
+  std::string motif;          // the segment to embed
+  int copies = 0;             // number of sequences that receive it
+  double mutation_rate = 0;   // per-character chance of a point mutation
+};
+
+/// Configuration of the synthetic protein set that substitutes for
+/// cyclins.pirx (see DESIGN.md): same shape — 47 sequences, shared motifs —
+/// scaled lengths so the full E-tree runs in seconds of real time.
+struct ProteinSetConfig {
+  int num_sequences = 47;
+  int min_length = 80;
+  int max_length = 160;
+  uint64_t seed = 1998;
+  std::vector<PlantedMotif> planted;
+};
+
+/// Generates the sequence set. Motifs are embedded at random positions of
+/// `copies` distinct sequences, each copy independently point-mutated at
+/// `mutation_rate` per character.
+std::vector<std::string> GenerateProteinSet(const ProteinSetConfig& config);
+
+/// A uniform random segment over the amino acid alphabet.
+std::string RandomMotif(util::Rng* rng, int length);
+
+/// The default configuration used by the Chapter 4 reproduction benches:
+/// a cyclins.pirx-like set with several overlapping planted motifs.
+ProteinSetConfig CyclinsLikeConfig();
+
+}  // namespace fpdm::seqmine
+
+#endif  // FPDM_SEQMINE_GENERATOR_H_

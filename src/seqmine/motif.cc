@@ -1,0 +1,156 @@
+#include "seqmine/motif.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpdm::seqmine {
+
+int Motif::NumLetters() const {
+  int total = 0;
+  for (const std::string& s : segments) total += static_cast<int>(s.size());
+  return total;
+}
+
+std::string Motif::Encode() const {
+  std::string key;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (i > 0) key += '*';
+    key += segments[i];
+  }
+  return key;
+}
+
+Motif Motif::Decode(std::string_view key) {
+  Motif motif;
+  std::string current;
+  for (char c : key) {
+    if (c == '*') {
+      if (!current.empty()) motif.segments.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) motif.segments.push_back(std::move(current));
+  return motif;
+}
+
+std::string Motif::ToString() const {
+  std::string out = "*";
+  for (const std::string& s : segments) {
+    out += s;
+    out += '*';
+  }
+  return out;
+}
+
+namespace {
+
+// Exact matching (0 mutations): greedy leftmost placement of the segments
+// in order is optimal for VLDC patterns.
+bool ExactMatch(const Motif& motif, std::string_view sequence,
+                MatchStats* stats) {
+  size_t offset = 0;
+  for (const std::string& segment : motif.segments) {
+    const size_t pos = sequence.find(segment, offset);
+    if (stats != nullptr) {
+      const size_t scanned =
+          (pos == std::string_view::npos ? sequence.size() : pos + segment.size()) -
+          offset;
+      stats->cells += scanned;
+    }
+    if (pos == std::string_view::npos) return false;
+    offset = pos + segment.size();
+  }
+  return true;
+}
+
+}  // namespace
+
+int MatchDistance(const Motif& motif, std::string_view sequence,
+                  int max_mutations, MatchStats* stats) {
+  if (motif.segments.empty()) return 0;
+  if (max_mutations == 0) {
+    return ExactMatch(motif, sequence, stats) ? 0 : 1;
+  }
+
+  const int m = static_cast<int>(sequence.size());
+  const int infinity = max_mutations + 1;
+
+  // chain[j]: minimal mutations to match the segments processed so far with
+  // the last match ending at or before position j (VLDCs make it
+  // non-increasing... non-decreasing in cost as j shrinks, i.e. monotone
+  // non-increasing in j). Starts at 0 everywhere: the leading VLDC is free.
+  std::vector<int> chain(static_cast<size_t>(m) + 1, 0);
+  std::vector<int> prev_row(static_cast<size_t>(m) + 1);
+  std::vector<int> row(static_cast<size_t>(m) + 1);
+
+  for (const std::string& segment : motif.segments) {
+    const int len = static_cast<int>(segment.size());
+    // Row 0: the segment may start after any prefix, at the cost of the
+    // chain so far (the inter-segment VLDC absorbs characters for free).
+    for (int j = 0; j <= m; ++j) prev_row[static_cast<size_t>(j)] = chain[static_cast<size_t>(j)];
+    for (int i = 1; i <= len; ++i) {
+      int row_min = infinity;
+      row[0] = std::min(prev_row[0] + 1, infinity);
+      row_min = row[0];
+      const char pc = segment[static_cast<size_t>(i - 1)];
+      for (int j = 1; j <= m; ++j) {
+        const int subst =
+            prev_row[static_cast<size_t>(j - 1)] + (pc != sequence[static_cast<size_t>(j - 1)] ? 1 : 0);
+        const int del = prev_row[static_cast<size_t>(j)] + 1;   // drop pattern char
+        const int ins = row[static_cast<size_t>(j - 1)] + 1;    // skip sequence char
+        int best = subst < del ? subst : del;
+        if (ins < best) best = ins;
+        if (best > infinity) best = infinity;
+        row[static_cast<size_t>(j)] = best;
+        if (best < row_min) row_min = best;
+      }
+      if (stats != nullptr) stats->cells += static_cast<uint64_t>(m) + 1;
+      if (row_min > max_mutations) return infinity;  // Ukkonen-style cutoff
+      std::swap(prev_row, row);
+    }
+    // Fold the finished segment into the chain with a trailing prefix-min:
+    // the next VLDC may skip any number of characters for free.
+    chain[0] = prev_row[0];
+    for (int j = 1; j <= m; ++j) {
+      chain[static_cast<size_t>(j)] =
+          std::min(chain[static_cast<size_t>(j - 1)], prev_row[static_cast<size_t>(j)]);
+    }
+  }
+  return chain[static_cast<size_t>(m)];
+}
+
+bool MatchesWithin(const Motif& motif, std::string_view sequence,
+                   int max_mutations, MatchStats* stats) {
+  return MatchDistance(motif, sequence, max_mutations, stats) <= max_mutations;
+}
+
+int OccurrenceNumber(const Motif& motif,
+                     const std::vector<std::string>& sequences,
+                     int max_mutations, MatchStats* stats) {
+  int count = 0;
+  for (const std::string& sequence : sequences) {
+    count += MatchesWithin(motif, sequence, max_mutations, stats) ? 1 : 0;
+  }
+  return count;
+}
+
+bool IsSubpattern(const Motif& inner, const Motif& outer) {
+  if (inner.segments.empty()) return true;
+  if (inner.segments.size() == 1) {
+    for (const std::string& seg : outer.segments) {
+      if (seg.find(inner.segments[0]) != std::string::npos) return true;
+    }
+    return false;
+  }
+  if (inner.segments.size() != outer.segments.size()) return false;
+  for (size_t i = 0; i < inner.segments.size(); ++i) {
+    if (outer.segments[i].find(inner.segments[i]) == std::string::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fpdm::seqmine

@@ -1,0 +1,78 @@
+#include "seqmine/problem.h"
+
+#include <algorithm>
+
+namespace fpdm::seqmine {
+
+SequenceMiningProblem::SequenceMiningProblem(std::vector<std::string> sequences,
+                                             SequenceMiningConfig config)
+    : sequences_(std::move(sequences)), config_(config), gst_(sequences_) {}
+
+std::vector<core::Pattern> SequenceMiningProblem::RootPatterns() const {
+  std::vector<core::Pattern> roots;
+  for (char c : gst_.Extensions("")) {
+    roots.push_back(core::Pattern{std::string(1, c), 1});
+  }
+  return roots;
+}
+
+std::vector<core::Pattern> SequenceMiningProblem::ChildPatterns(
+    const core::Pattern& pattern) const {
+  std::vector<core::Pattern> children;
+  for (char c : gst_.Extensions(pattern.key)) {
+    children.push_back(core::Pattern{pattern.key + c, pattern.length + 1});
+  }
+  return children;
+}
+
+std::vector<core::Pattern> SequenceMiningProblem::ImmediateSubpatterns(
+    const core::Pattern& pattern) const {
+  // The immediate subpatterns of a segment are its (k-1)-prefix and
+  // (k-1)-suffix (paper example 3.1.4).
+  std::vector<core::Pattern> subs;
+  if (pattern.length <= 1) return subs;
+  const std::string prefix = pattern.key.substr(0, pattern.key.size() - 1);
+  const std::string suffix = pattern.key.substr(1);
+  subs.push_back(core::Pattern{prefix, pattern.length - 1});
+  if (suffix != prefix) {
+    subs.push_back(core::Pattern{suffix, pattern.length - 1});
+  }
+  return subs;
+}
+
+const SequenceMiningProblem::Eval& SequenceMiningProblem::Evaluate(
+    const std::string& segment) const {
+  auto it = cache_.find(segment);
+  if (it != cache_.end()) return it->second;
+  Motif motif{{segment}};
+  MatchStats stats;
+  Eval eval;
+  eval.occurrence = OccurrenceNumber(motif, sequences_, config_.max_mutations,
+                                     &stats);
+  eval.cost = static_cast<double>(stats.cells);
+  return cache_.emplace(segment, eval).first->second;
+}
+
+double SequenceMiningProblem::Goodness(const core::Pattern& pattern) const {
+  return Evaluate(pattern.key).occurrence;
+}
+
+bool SequenceMiningProblem::IsGood(const core::Pattern&,
+                                   double goodness) const {
+  return goodness >= config_.min_occurrence;
+}
+
+double SequenceMiningProblem::TaskCost(const core::Pattern& pattern) const {
+  return Evaluate(pattern.key).cost;
+}
+
+std::vector<core::GoodPattern> SequenceMiningProblem::ReportableMotifs(
+    const core::MiningResult& result, int min_length) {
+  std::vector<core::GoodPattern> motifs;
+  for (const core::GoodPattern& gp : result.good_patterns) {
+    if (gp.pattern.length >= min_length) motifs.push_back(gp);
+  }
+  return motifs;
+}
+
+}  // namespace fpdm::seqmine

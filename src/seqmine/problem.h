@@ -1,0 +1,77 @@
+#ifndef FPDM_SEQMINE_PROBLEM_H_
+#define FPDM_SEQMINE_PROBLEM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mining_problem.h"
+#include "seqmine/motif.h"
+#include "seqmine/suffix_tree.h"
+
+namespace fpdm::seqmine {
+
+/// User parameters of a discovery run (paper §2.3.3): report motifs P of the
+/// form *X* with occurrence_no(P) >= min_occurrence within max_mutations
+/// mutations and |P| >= min_length.
+struct SequenceMiningConfig {
+  int min_length = 12;
+  int min_occurrence = 5;
+  int max_mutations = 0;
+};
+
+/// Sequence pattern discovery as an E-dag application (paper §4.2.1, the
+/// instantiation of table 4.1):
+///   * database      — the sequence set;
+///   * pattern       — a segment X (motif *X*), key = the segment itself;
+///   * goodness      — occurrence number within max_mutations;
+///   * good          — occurrence >= min_occurrence (good patterns shorter
+///                     than min_length are good *subpatterns*: they drive
+///                     expansion but are filtered from the report).
+///
+/// Child generation follows Wang et al.'s phase 1: a child X+c exists only
+/// if X+c occurs *exactly* somewhere in the set (answered by the GST), which
+/// is what bounds the branching to the segments actually present — the
+/// paper's cyclins E-tree with 20 top-level and 397 second-level patterns.
+class SequenceMiningProblem : public core::MiningProblem {
+ public:
+  SequenceMiningProblem(std::vector<std::string> sequences,
+                        SequenceMiningConfig config);
+
+  std::vector<core::Pattern> RootPatterns() const override;
+  std::vector<core::Pattern> ChildPatterns(
+      const core::Pattern& pattern) const override;
+  std::vector<core::Pattern> ImmediateSubpatterns(
+      const core::Pattern& pattern) const override;
+  double Goodness(const core::Pattern& pattern) const override;
+  bool IsGood(const core::Pattern& pattern, double goodness) const override;
+  double TaskCost(const core::Pattern& pattern) const override;
+
+  const std::vector<std::string>& sequences() const { return sequences_; }
+  const SequenceMiningConfig& config() const { return config_; }
+  const GeneralizedSuffixTree& gst() const { return gst_; }
+
+  /// Filters a traversal result down to reportable motifs (length >=
+  /// min_length); this is the "Number of Motifs" column of Table 4.2.
+  static std::vector<core::GoodPattern> ReportableMotifs(
+      const core::MiningResult& result, int min_length);
+
+ private:
+  struct Eval {
+    double occurrence = 0;
+    double cost = 0;
+  };
+  const Eval& Evaluate(const std::string& segment) const;
+
+  std::vector<std::string> sequences_;
+  SequenceMiningConfig config_;
+  GeneralizedSuffixTree gst_;
+  // Goodness/TaskCost memoization: both are queried for the same pattern
+  // (Compute(TaskCost) then Goodness), and the match is expensive. Safe
+  // without locks: the NOW runtime runs one process at a time.
+  mutable std::unordered_map<std::string, Eval> cache_;
+};
+
+}  // namespace fpdm::seqmine
+
+#endif  // FPDM_SEQMINE_PROBLEM_H_

@@ -1,0 +1,303 @@
+#include "seqmine/suffix_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+namespace fpdm::seqmine {
+
+namespace {
+// Leaf edges grow with the text during construction; kLeafEnd marks them.
+constexpr int kLeafEnd = std::numeric_limits<int>::max();
+constexpr int kSentinelBase = 256;
+}  // namespace
+
+GeneralizedSuffixTree::GeneralizedSuffixTree(
+    const std::vector<std::string>& sequences) {
+  size_t total = sequences.size();
+  for (const std::string& s : sequences) total += s.size();
+  text_.reserve(total);
+  seq_id_of_pos_.reserve(total);
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    for (char c : sequences[i]) {
+      text_.push_back(static_cast<unsigned char>(c));
+      seq_id_of_pos_.push_back(static_cast<int>(i));
+    }
+    text_.push_back(kSentinelBase + static_cast<int>(i));
+    seq_id_of_pos_.push_back(static_cast<int>(i));
+  }
+
+  nodes_.reserve(2 * text_.size() + 2);
+  NewNode(-1, -1);  // root
+  for (size_t pos = 0; pos < text_.size(); ++pos) {
+    AddSymbol(static_cast<int>(pos));
+  }
+  // Finalize leaf edges and compute string depths.
+  for (Node& node : nodes_) {
+    if (node.end == kLeafEnd) node.end = static_cast<int>(text_.size());
+  }
+  ComputeSequenceCounts();
+}
+
+int GeneralizedSuffixTree::EdgeLength(int node) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (node == 0) return 0;
+  const int end = n.end == kLeafEnd ? leaf_end_ + 1 : n.end;
+  return end - n.start;
+}
+
+int GeneralizedSuffixTree::FindChild(int node, int symbol) const {
+  for (const auto& [sym, child] : nodes_[static_cast<size_t>(node)].children) {
+    if (sym == symbol) return child;
+  }
+  return -1;
+}
+
+void GeneralizedSuffixTree::SetChild(int node, int symbol, int child) {
+  auto& children = nodes_[static_cast<size_t>(node)].children;
+  for (auto& [sym, existing] : children) {
+    if (sym == symbol) {
+      existing = child;
+      return;
+    }
+  }
+  children.emplace_back(symbol, child);
+  std::sort(children.begin(), children.end());
+}
+
+int GeneralizedSuffixTree::NewNode(int start, int end) {
+  Node node;
+  node.start = start;
+  node.end = end;
+  node.suffix_link = 0;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void GeneralizedSuffixTree::AddSymbol(int pos) {
+  leaf_end_ = pos;
+  ++remainder_;
+  int last_new_node = -1;
+  while (remainder_ > 0) {
+    if (active_length_ == 0) active_edge_ = pos;
+    const int edge_symbol = text_[static_cast<size_t>(active_edge_)];
+    int child = FindChild(active_node_, edge_symbol);
+    if (child == -1) {
+      SetChild(active_node_, edge_symbol, NewNode(pos, kLeafEnd));
+      if (last_new_node != -1) {
+        nodes_[static_cast<size_t>(last_new_node)].suffix_link = active_node_;
+        last_new_node = -1;
+      }
+    } else {
+      const int edge_len = EdgeLength(child);
+      if (active_length_ >= edge_len) {
+        // Walk down (skip/count trick).
+        active_edge_ += edge_len;
+        active_length_ -= edge_len;
+        active_node_ = child;
+        continue;
+      }
+      const size_t mid =
+          static_cast<size_t>(nodes_[static_cast<size_t>(child)].start +
+                              active_length_);
+      if (text_[mid] == text_[static_cast<size_t>(pos)]) {
+        // Symbol already on the edge: rule 3, stop this phase.
+        if (last_new_node != -1 && active_node_ != 0) {
+          nodes_[static_cast<size_t>(last_new_node)].suffix_link = active_node_;
+        }
+        ++active_length_;
+        break;
+      }
+      // Split the edge.
+      const int split = NewNode(nodes_[static_cast<size_t>(child)].start,
+                                nodes_[static_cast<size_t>(child)].start +
+                                    active_length_);
+      SetChild(active_node_, edge_symbol, split);
+      SetChild(split, text_[static_cast<size_t>(pos)], NewNode(pos, kLeafEnd));
+      nodes_[static_cast<size_t>(child)].start += active_length_;
+      SetChild(split, text_[static_cast<size_t>(nodes_[static_cast<size_t>(child)].start)],
+               child);
+      if (last_new_node != -1) {
+        nodes_[static_cast<size_t>(last_new_node)].suffix_link = split;
+      }
+      last_new_node = split;
+    }
+    --remainder_;
+    if (active_node_ == 0 && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remainder_ + 1;
+    } else if (active_node_ != 0) {
+      active_node_ = nodes_[static_cast<size_t>(active_node_)].suffix_link;
+    }
+  }
+}
+
+void GeneralizedSuffixTree::ComputeSequenceCounts() {
+  // Iterative post-order DFS with small-to-large set merging (Hui's color
+  // counting at toy scale). Also fills string depths.
+  struct Frame {
+    int node;
+    int depth;
+    size_t child_index;
+    std::set<int> colors;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, 0, {}});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Node& node = nodes_[static_cast<size_t>(frame.node)];
+    if (frame.child_index == 0) node.depth = frame.depth;
+    if (frame.child_index < node.children.size()) {
+      const int child = node.children[frame.child_index].second;
+      ++frame.child_index;
+      const int child_depth = frame.depth + EdgeLength(child);
+      stack.push_back(Frame{child, child_depth, 0, {}});
+      continue;
+    }
+    // All children done: pop, color leaves, merge into the parent.
+    Frame done = std::move(stack.back());
+    stack.pop_back();
+    Node& done_node = nodes_[static_cast<size_t>(done.node)];
+    if (done_node.children.empty() && done.node != 0) {
+      const int suffix_start = static_cast<int>(text_.size()) - done.depth;
+      done.colors.insert(seq_id_of_pos_[static_cast<size_t>(suffix_start)]);
+    }
+    done_node.seq_count = static_cast<int>(done.colors.size());
+    if (!stack.empty()) {
+      Frame& parent = stack.back();
+      if (parent.colors.size() < done.colors.size()) {
+        std::swap(parent.colors, done.colors);
+      }
+      parent.colors.insert(done.colors.begin(), done.colors.end());
+    }
+  }
+}
+
+bool GeneralizedSuffixTree::Walk(std::string_view segment, int* node,
+                                 int* edge_pos) const {
+  int current = 0;
+  int pos_on_edge = 0;
+  size_t i = 0;
+  while (i < segment.size()) {
+    if (pos_on_edge == EdgeLength(current)) {
+      const int symbol = static_cast<unsigned char>(segment[i]);
+      const int child = FindChild(current, symbol);
+      if (child == -1) return false;
+      current = child;
+      pos_on_edge = 0;
+    }
+    const Node& n = nodes_[static_cast<size_t>(current)];
+    const int symbol = text_[static_cast<size_t>(n.start + pos_on_edge)];
+    if (symbol != static_cast<unsigned char>(segment[i])) return false;
+    ++pos_on_edge;
+    ++i;
+  }
+  *node = current;
+  *edge_pos = pos_on_edge;
+  return true;
+}
+
+bool GeneralizedSuffixTree::Contains(std::string_view segment) const {
+  int node = 0, edge_pos = 0;
+  return Walk(segment, &node, &edge_pos);
+}
+
+std::vector<char> GeneralizedSuffixTree::Extensions(
+    std::string_view segment) const {
+  int node = 0, edge_pos = 0;
+  if (!Walk(segment, &node, &edge_pos)) return {};
+  std::vector<char> extensions;
+  if (edge_pos < EdgeLength(node)) {
+    const int symbol =
+        text_[static_cast<size_t>(nodes_[static_cast<size_t>(node)].start +
+                                  edge_pos)];
+    if (symbol < kSentinelBase) extensions.push_back(static_cast<char>(symbol));
+    return extensions;
+  }
+  for (const auto& [symbol, child] : nodes_[static_cast<size_t>(node)].children) {
+    (void)child;
+    if (symbol < kSentinelBase) extensions.push_back(static_cast<char>(symbol));
+  }
+  return extensions;
+}
+
+int GeneralizedSuffixTree::SequenceCount(std::string_view segment) const {
+  int node = 0, edge_pos = 0;
+  if (!Walk(segment, &node, &edge_pos)) return 0;
+  return nodes_[static_cast<size_t>(node)].seq_count;
+}
+
+std::vector<std::string> GeneralizedSuffixTree::MaximalSegments(
+    int min_seqs, size_t min_len) const {
+  std::vector<std::string> result;
+  // DFS over nodes with seq_count >= min_seqs, building path labels. A
+  // position is maximal when no non-sentinel extension keeps the count.
+  struct Frame {
+    int node;
+    std::string label;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, ""});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+
+    bool has_good_extension = false;
+    for (const auto& [symbol, child] : node.children) {
+      if (symbol >= kSentinelBase) continue;
+      if (nodes_[static_cast<size_t>(child)].seq_count >= min_seqs) {
+        has_good_extension = true;
+        // Extend the label along the child's edge, stopping at a sentinel.
+        const Node& c = nodes_[static_cast<size_t>(child)];
+        std::string child_label = frame.label;
+        bool hit_sentinel = false;
+        for (int p = c.start; p < c.end; ++p) {
+          const int sym = text_[static_cast<size_t>(p)];
+          if (sym >= kSentinelBase) {
+            hit_sentinel = true;
+            break;
+          }
+          child_label.push_back(static_cast<char>(sym));
+        }
+        if (hit_sentinel) {
+          // The edge dead-ends at a sequence boundary: the label up to the
+          // sentinel is maximal.
+          if (child_label.size() >= min_len &&
+              c.seq_count >= min_seqs) {
+            result.push_back(std::move(child_label));
+          }
+        } else {
+          stack.push_back(Frame{child, std::move(child_label)});
+        }
+      }
+    }
+    if (!has_good_extension && frame.node != 0 &&
+        node.seq_count >= min_seqs && frame.label.size() >= min_len) {
+      result.push_back(std::move(frame.label));
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const std::string& a, const std::string& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  // The DFS yields right-maximal segments; drop those that are substrings of
+  // a longer one (not left-maximal), so the result is two-sided maximal.
+  std::vector<std::string> maximal;
+  for (const std::string& seg : result) {
+    bool contained = false;
+    for (const std::string& longer : maximal) {
+      if (longer.size() > seg.size() &&
+          longer.find(seg) != std::string::npos) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.push_back(seg);
+  }
+  return maximal;
+}
+
+}  // namespace fpdm::seqmine

@@ -1,0 +1,97 @@
+#ifndef FPDM_SEQMINE_SUFFIX_TREE_H_
+#define FPDM_SEQMINE_SUFFIX_TREE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpdm::seqmine {
+
+/// Generalized suffix tree (GST) over a set of strings, built with
+/// Ukkonen's online algorithm in O(n) time and space (paper §2.3.4,
+/// subphase A of the Wang et al. discovery algorithm).
+///
+/// The strings are concatenated with per-string sentinel symbols, so every
+/// suffix of every string ends at a leaf. The tree answers the queries the
+/// discovery algorithms need:
+///   * does a segment occur exactly in the set;
+///   * which characters can extend an occurring segment (lazy E-dag child
+///     generation);
+///   * in how many distinct strings does a segment occur (Hui's color-set
+///     counting);
+///   * what are the maximal segments occurring in >= k strings (candidate
+///     enumeration for Wang phase 1).
+class GeneralizedSuffixTree {
+ public:
+  explicit GeneralizedSuffixTree(const std::vector<std::string>& sequences);
+
+  GeneralizedSuffixTree(const GeneralizedSuffixTree&) = delete;
+  GeneralizedSuffixTree& operator=(const GeneralizedSuffixTree&) = delete;
+
+  /// True if `segment` occurs as a substring of at least one sequence.
+  bool Contains(std::string_view segment) const;
+
+  /// Distinct characters c such that `segment` + c also occurs. For the
+  /// empty segment this is every character that occurs at all.
+  std::vector<char> Extensions(std::string_view segment) const;
+
+  /// Number of distinct sequences in which `segment` occurs exactly
+  /// (0 if it does not occur).
+  int SequenceCount(std::string_view segment) const;
+
+  /// All maximal segments of length >= min_len occurring in >= min_seqs
+  /// distinct sequences; maximal means no one-character extension keeps the
+  /// occurrence property. Sorted by decreasing length, then lexicographic.
+  std::vector<std::string> MaximalSegments(int min_seqs, size_t min_len) const;
+
+  /// Number of explicit tree nodes (root included); exposed for tests and
+  /// the micro-benchmarks.
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  // Symbols are ints: bytes 0..255 are text characters, 256+i is the
+  // sentinel terminating sequence i.
+  struct Node {
+    // Edge label into this node: text_[start, end).
+    int start = 0;
+    int end = 0;
+    int suffix_link = 0;
+    // Child node index per first edge symbol; linear scan is fine for the
+    // protein alphabet. Sorted by symbol for deterministic traversals.
+    std::vector<std::pair<int, int>> children;
+    // Distinct-sequence count of the subtree (filled after construction).
+    int seq_count = 0;
+    // Full path-label length down to (and including) this node's edge.
+    int depth = 0;
+  };
+
+  int EdgeLength(int node) const;
+  int FindChild(int node, int symbol) const;
+  void SetChild(int node, int symbol, int child);
+  int NewNode(int start, int end);
+
+  void AddSymbol(int pos);        // Ukkonen extension for text_[pos]
+  void ComputeSequenceCounts();   // leaf coloring + small-to-large merge
+
+  // Walks `segment` from the root. Returns false if it does not occur;
+  // otherwise sets *node to the node at or below the end of the walk and
+  // *edge_pos to the number of symbols consumed on the edge into *node
+  // (edge fully consumed means *edge_pos == EdgeLength(*node)).
+  bool Walk(std::string_view segment, int* node, int* edge_pos) const;
+
+  std::vector<int> text_;
+  std::vector<int> seq_id_of_pos_;  // sequence owning each text position
+  std::vector<Node> nodes_;
+
+  // Ukkonen state.
+  int active_node_ = 0;
+  int active_edge_ = 0;  // position in text_ of the active edge's first symbol
+  int active_length_ = 0;
+  int remainder_ = 0;
+  int leaf_end_ = -1;
+};
+
+}  // namespace fpdm::seqmine
+
+#endif  // FPDM_SEQMINE_SUFFIX_TREE_H_

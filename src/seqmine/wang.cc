@@ -1,0 +1,82 @@
+#include "seqmine/wang.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "core/traversal.h"
+#include "seqmine/suffix_tree.h"
+
+namespace fpdm::seqmine {
+
+WangResult WangDiscovery(const std::vector<std::string>& sequences,
+                         const SequenceMiningConfig& config, int sample_count,
+                         int sample_min_seqs) {
+  assert(sample_count >= 1 &&
+         sample_count <= static_cast<int>(sequences.size()));
+  WangResult result;
+
+  // Phase 1, subphase A: GST over the sample.
+  std::vector<std::string> sample(sequences.begin(),
+                                  sequences.begin() + sample_count);
+  GeneralizedSuffixTree gst(sample);
+
+  // Phase 1, subphase B: maximal qualifying segments, then all their
+  // sub-segments of qualifying length (deduplicated). Longest first so the
+  // subpattern optimization can fire.
+  std::vector<std::string> maximal = gst.MaximalSegments(
+      sample_min_seqs, static_cast<size_t>(config.min_length));
+  std::set<std::string> candidate_set;
+  for (const std::string& seg : maximal) {
+    for (size_t len = static_cast<size_t>(config.min_length); len <= seg.size();
+         ++len) {
+      for (size_t start = 0; start + len <= seg.size(); ++start) {
+        candidate_set.insert(seg.substr(start, len));
+      }
+    }
+  }
+  std::vector<std::string> candidates(candidate_set.begin(),
+                                      candidate_set.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const std::string& a, const std::string& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+
+  // Phase 2: evaluate over the full set with the subpattern optimization —
+  // if P is a subpattern of an accepted motif P', occurrence_no(P) >=
+  // occurrence_no(P') >= min_occurrence, so P is active without matching.
+  std::vector<core::GoodPattern> accepted;
+  for (const std::string& candidate : candidates) {
+    const Motif motif{{candidate}};
+    double lower_bound = -1;
+    for (const core::GoodPattern& gp : accepted) {
+      if (IsSubpattern(motif, Motif::Decode(gp.pattern.key))) {
+        lower_bound = std::max(lower_bound, gp.goodness);
+      }
+    }
+    if (lower_bound >= 0) {
+      ++result.candidates_skipped;
+      accepted.push_back(core::GoodPattern{
+          core::Pattern{candidate, static_cast<int>(candidate.size())},
+          lower_bound});
+      continue;
+    }
+    MatchStats stats;
+    const int occurrence = OccurrenceNumber(motif, sequences,
+                                            config.max_mutations, &stats);
+    ++result.candidates_evaluated;
+    result.total_cost += static_cast<double>(stats.cells);
+    if (occurrence >= config.min_occurrence) {
+      accepted.push_back(core::GoodPattern{
+          core::Pattern{candidate, static_cast<int>(candidate.size())},
+          static_cast<double>(occurrence)});
+    }
+  }
+
+  result.motifs = std::move(accepted);
+  core::SortGoodPatterns(&result.motifs);
+  return result;
+}
+
+}  // namespace fpdm::seqmine

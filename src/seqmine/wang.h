@@ -1,0 +1,46 @@
+#ifndef FPDM_SEQMINE_WANG_H_
+#define FPDM_SEQMINE_WANG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mining_problem.h"
+#include "seqmine/problem.h"
+
+namespace fpdm::seqmine {
+
+/// Result of the sequential Wang et al. discovery algorithm.
+struct WangResult {
+  /// Active motifs (single-segment form *X*), sorted by (length, key).
+  std::vector<core::GoodPattern> motifs;
+  /// Candidates whose occurrence number was actually computed.
+  size_t candidates_evaluated = 0;
+  /// Candidates accepted without matching thanks to the subpattern
+  /// optimization of §2.3.4 (their occurrence is a lower bound: the best
+  /// superpattern's occurrence).
+  size_t candidates_skipped = 0;
+  /// DP cells / characters scanned — comparable to MiningResult cost.
+  double total_cost = 0;
+};
+
+/// The best sequential sequence-pattern-discovery algorithm the paper builds
+/// on (Wang et al., SIGMOD '94; paper §2.3.4), for motifs of the form *X*:
+///
+///   Phase 1: build a generalized suffix tree over a sample of the
+///            sequences; harvest candidate segments (all segments of length
+///            >= min_length occurring exactly in >= sample_min_seqs sample
+///            sequences).
+///   Phase 2: evaluate candidate activity over the full set, longest first,
+///            skipping any candidate that is a subpattern of an already
+///            accepted motif (occurrence_no is anti-monotone).
+///
+/// `sample_count` sequences (the first ones) form the sample; it must be
+/// >= 1 and <= sequences.size().
+WangResult WangDiscovery(const std::vector<std::string>& sequences,
+                         const SequenceMiningConfig& config, int sample_count,
+                         int sample_min_seqs);
+
+}  // namespace fpdm::seqmine
+
+#endif  // FPDM_SEQMINE_WANG_H_

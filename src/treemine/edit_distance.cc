@@ -1,0 +1,130 @@
+#include "treemine/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fpdm::treemine {
+
+namespace {
+
+// Shared Zhang-Shasha skeleton. When `allow_cuts` is set, any complete
+// subtree on the text side may be removed at zero cost (Zhang's algorithm
+// for matching with cuttings); the pattern side never cuts.
+//
+// Returns the full treedist table td[i][j] (1-based postorder pairs):
+// distance between pattern-subtree(i) and text-subtree(j).
+std::vector<std::vector<int>> ZhangShasha(const OrderedTree& pattern,
+                                          const OrderedTree& text,
+                                          bool allow_cuts,
+                                          TreeMatchStats* stats) {
+  const OrderedTree::Postorder p = pattern.ComputePostorder();
+  const OrderedTree::Postorder t = text.ComputePostorder();
+  const int m = pattern.size();
+  const int n = text.size();
+  std::vector<std::vector<int>> td(
+      static_cast<size_t>(m) + 1, std::vector<int>(static_cast<size_t>(n) + 1, 0));
+  // Forest-distance scratch, reused per keyroot pair.
+  std::vector<std::vector<int>> fd(
+      static_cast<size_t>(m) + 1, std::vector<int>(static_cast<size_t>(n) + 1, 0));
+
+  for (int k1 : p.keyroots) {
+    const int l1 = p.leftmost[static_cast<size_t>(k1)];
+    for (int k2 : t.keyroots) {
+      const int l2 = t.leftmost[static_cast<size_t>(k2)];
+      const int rows = k1 - l1 + 1;
+      const int cols = k2 - l2 + 1;
+
+      fd[0][0] = 0;
+      for (int a = 1; a <= rows; ++a) fd[static_cast<size_t>(a)][0] = a;
+      for (int b = 1; b <= cols; ++b) {
+        const int j = l2 + b - 1;
+        int best = fd[0][static_cast<size_t>(b) - 1] + 1;  // insert text node
+        if (allow_cuts) {
+          // Cut the complete text subtree rooted at j (free).
+          const int before = t.leftmost[static_cast<size_t>(j)] - l2;
+          best = std::min(best, fd[0][static_cast<size_t>(before)]);
+        }
+        fd[0][static_cast<size_t>(b)] = best;
+      }
+
+      for (int a = 1; a <= rows; ++a) {
+        const int i = l1 + a - 1;
+        for (int b = 1; b <= cols; ++b) {
+          const int j = l2 + b - 1;
+          if (stats != nullptr) ++stats->cells;
+          int best = fd[static_cast<size_t>(a) - 1][static_cast<size_t>(b)] + 1;
+          best = std::min(
+              best, fd[static_cast<size_t>(a)][static_cast<size_t>(b) - 1] + 1);
+          if (allow_cuts) {
+            const int before = t.leftmost[static_cast<size_t>(j)] - l2;
+            best = std::min(
+                best, fd[static_cast<size_t>(a)][static_cast<size_t>(before)]);
+          }
+          const bool whole_subtrees =
+              p.leftmost[static_cast<size_t>(i)] == l1 &&
+              t.leftmost[static_cast<size_t>(j)] == l2;
+          if (whole_subtrees) {
+            const int relabel =
+                p.labels[static_cast<size_t>(i)] == t.labels[static_cast<size_t>(j)]
+                    ? 0
+                    : 1;
+            best = std::min(best, fd[static_cast<size_t>(a) - 1]
+                                    [static_cast<size_t>(b) - 1] +
+                                      relabel);
+            fd[static_cast<size_t>(a)][static_cast<size_t>(b)] = best;
+            td[static_cast<size_t>(i)][static_cast<size_t>(j)] = best;
+          } else {
+            const int pa = p.leftmost[static_cast<size_t>(i)] - l1;
+            const int tb = t.leftmost[static_cast<size_t>(j)] - l2;
+            best = std::min(best,
+                            fd[static_cast<size_t>(pa)][static_cast<size_t>(tb)] +
+                                td[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+            fd[static_cast<size_t>(a)][static_cast<size_t>(b)] = best;
+          }
+        }
+      }
+    }
+  }
+  return td;
+}
+
+}  // namespace
+
+int TreeEditDistance(const OrderedTree& a, const OrderedTree& b,
+                     TreeMatchStats* stats) {
+  if (a.empty() || b.empty()) return a.size() + b.size();
+  std::vector<std::vector<int>> td = ZhangShasha(a, b, /*allow_cuts=*/false,
+                                                 stats);
+  return td[static_cast<size_t>(a.size())][static_cast<size_t>(b.size())];
+}
+
+int MinCutDistance(const OrderedTree& motif, const OrderedTree& text,
+                   TreeMatchStats* stats) {
+  if (motif.empty()) return 0;
+  if (text.empty()) return motif.size();
+  std::vector<std::vector<int>> td =
+      ZhangShasha(motif, text, /*allow_cuts=*/true, stats);
+  int best = std::numeric_limits<int>::max();
+  for (int j = 1; j <= text.size(); ++j) {
+    best = std::min(best,
+                    td[static_cast<size_t>(motif.size())][static_cast<size_t>(j)]);
+  }
+  return best;
+}
+
+bool ContainsWithin(const OrderedTree& motif, const OrderedTree& text,
+                    int distance, TreeMatchStats* stats) {
+  return MinCutDistance(motif, text, stats) <= distance;
+}
+
+int TreeOccurrenceNumber(const OrderedTree& motif,
+                         const std::vector<OrderedTree>& forest, int distance,
+                         TreeMatchStats* stats) {
+  int count = 0;
+  for (const OrderedTree& tree : forest) {
+    count += ContainsWithin(motif, tree, distance, stats) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace fpdm::treemine

@@ -1,0 +1,40 @@
+#ifndef FPDM_TREEMINE_EDIT_DISTANCE_H_
+#define FPDM_TREEMINE_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "treemine/tree.h"
+
+namespace fpdm::treemine {
+
+/// Work counter (DP cells touched) for the NOW simulator's cost model.
+struct TreeMatchStats {
+  uint64_t cells = 0;
+};
+
+/// Plain ordered-tree edit distance (Zhang & Shasha): minimum unit-cost
+/// insertions, deletions and relabelings transforming `a` into `b`.
+int TreeEditDistance(const OrderedTree& a, const OrderedTree& b,
+                     TreeMatchStats* stats);
+
+/// The approximate-containment distance of §4.1.2: the minimum over all
+/// subtrees U of `text` of the edit distance between `motif` and U, where
+/// complete subtrees of U may additionally be *cut* (removed) at no cost
+/// before the comparison (Zhang's cut variant of the Zhang-Shasha DP).
+int MinCutDistance(const OrderedTree& motif, const OrderedTree& text,
+                   TreeMatchStats* stats);
+
+/// True if `text` contains `motif` within `distance` (cuttings allowed).
+bool ContainsWithin(const OrderedTree& motif, const OrderedTree& text,
+                    int distance, TreeMatchStats* stats);
+
+/// Number of trees in `forest` containing `motif` within `distance` — the
+/// occurrence number of a tree motif.
+int TreeOccurrenceNumber(const OrderedTree& motif,
+                         const std::vector<OrderedTree>& forest, int distance,
+                         TreeMatchStats* stats);
+
+}  // namespace fpdm::treemine
+
+#endif  // FPDM_TREEMINE_EDIT_DISTANCE_H_

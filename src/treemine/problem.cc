@@ -1,0 +1,152 @@
+#include "treemine/problem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+namespace fpdm::treemine {
+
+TreeMotifProblem::TreeMotifProblem(std::vector<OrderedTree> forest,
+                                   TreeMiningConfig config)
+    : forest_(std::move(forest)), config_(config) {
+  std::set<char> labels;
+  for (const OrderedTree& tree : forest_) {
+    for (int i = 0; i < tree.size(); ++i) labels.insert(tree.node(i).label);
+  }
+  labels_.assign(labels.begin(), labels.end());
+}
+
+std::vector<core::Pattern> TreeMotifProblem::RootPatterns() const {
+  std::vector<core::Pattern> roots;
+  for (char label : labels_) {
+    roots.push_back(core::Pattern{std::string(1, label), 1});
+  }
+  return roots;
+}
+
+std::vector<core::Pattern> TreeMotifProblem::ChildPatterns(
+    const core::Pattern& pattern) const {
+  const OrderedTree tree = OrderedTree::Parse(pattern.key);
+  std::vector<core::Pattern> children;
+  // Rightmost extension: attaching a new rightmost child to any node of the
+  // rightmost path generates every ordered tree exactly once (the unique
+  // parent is obtained by deleting the rightmost leaf).
+  for (int attach : tree.RightmostPath()) {
+    for (char label : labels_) {
+      OrderedTree extended = tree;
+      extended.AddNode(attach, label);
+      children.push_back(
+          core::Pattern{extended.Serialize(), pattern.length + 1});
+    }
+  }
+  return children;
+}
+
+std::vector<core::Pattern> TreeMotifProblem::ImmediateSubpatterns(
+    const core::Pattern& pattern) const {
+  const OrderedTree tree = OrderedTree::Parse(pattern.key);
+  std::vector<core::Pattern> subs;
+  if (tree.size() <= 1) return subs;
+  std::set<std::string> seen;
+  for (int i = 0; i < tree.size(); ++i) {
+    if (!tree.node(i).children.empty()) continue;
+    const std::string key = tree.WithoutLeaf(i).Serialize();
+    if (seen.insert(key).second) {
+      subs.push_back(core::Pattern{key, pattern.length - 1});
+    }
+  }
+  return subs;
+}
+
+const TreeMotifProblem::Eval& TreeMotifProblem::Evaluate(
+    const std::string& key) const {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const OrderedTree motif = OrderedTree::Parse(key);
+  TreeMatchStats stats;
+  Eval eval;
+  eval.occurrence =
+      TreeOccurrenceNumber(motif, forest_, config_.max_distance, &stats);
+  eval.cost = static_cast<double>(stats.cells);
+  return cache_.emplace(key, eval).first->second;
+}
+
+double TreeMotifProblem::Goodness(const core::Pattern& pattern) const {
+  return Evaluate(pattern.key).occurrence;
+}
+
+bool TreeMotifProblem::IsGood(const core::Pattern&, double goodness) const {
+  return goodness >= config_.min_occurrence;
+}
+
+double TreeMotifProblem::TaskCost(const core::Pattern& pattern) const {
+  return std::max(1.0, Evaluate(pattern.key).cost);
+}
+
+std::vector<core::GoodPattern> TreeMotifProblem::ReportableMotifs(
+    const core::MiningResult& result, int min_size) {
+  std::vector<core::GoodPattern> motifs;
+  for (const core::GoodPattern& gp : result.good_patterns) {
+    if (gp.pattern.length >= min_size) motifs.push_back(gp);
+  }
+  return motifs;
+}
+
+std::vector<OrderedTree> GenerateRnaForest(const RnaForestConfig& config) {
+  util::Rng rng(config.seed);
+  static constexpr char kInternalLabels[] = {'M', 'I', 'B', 'R'};
+  std::vector<OrderedTree> forest;
+  for (int t = 0; t < config.num_trees; ++t) {
+    // Build the shape first, then assign RNA-like labels: hairpins (H) are
+    // always leaves, interior nodes are stems/loops.
+    OrderedTree tree('N');
+    const int nodes =
+        static_cast<int>(rng.NextInt(config.min_nodes, config.max_nodes));
+    std::vector<int> parents = {-1};
+    for (int i = 1; i < nodes; ++i) {
+      const int parent = static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(tree.size())));
+      parents.push_back(parent);
+      tree.AddNode(parent, '?');
+    }
+    OrderedTree labeled('N');
+    std::vector<int> mapping(static_cast<size_t>(tree.size()), 0);
+    for (int i = 1; i < tree.size(); ++i) {
+      const char label = tree.node(i).children.empty()
+                             ? 'H'
+                             : kInternalLabels[rng.NextBounded(4)];
+      mapping[static_cast<size_t>(i)] = labeled.AddNode(
+          mapping[static_cast<size_t>(parents[static_cast<size_t>(i)])], label);
+    }
+    forest.push_back(std::move(labeled));
+  }
+  for (const auto& [motif_text, copies] : config.planted) {
+    const OrderedTree motif = OrderedTree::Parse(motif_text);
+    assert(!motif.empty());
+    std::vector<int> targets(static_cast<size_t>(config.num_trees));
+    for (int i = 0; i < config.num_trees; ++i) targets[static_cast<size_t>(i)] = i;
+    rng.Shuffle(&targets);
+    for (int c = 0; c < copies && c < config.num_trees; ++c) {
+      OrderedTree& host = forest[static_cast<size_t>(targets[static_cast<size_t>(c)])];
+      // Attach under an interior node (hairpins stay leaves).
+      std::vector<int> candidates;
+      for (int i = 0; i < host.size(); ++i) {
+        if (!host.node(i).children.empty() || i == host.root()) {
+          candidates.push_back(i);
+        }
+      }
+      const int attach = candidates[rng.NextBounded(candidates.size())];
+      // Graft the motif under a random host node.
+      std::function<void(int, int)> graft = [&](int motif_node, int parent) {
+        const int copied =
+            host.AddNode(parent, motif.node(motif_node).label);
+        for (int child : motif.node(motif_node).children) graft(child, copied);
+      };
+      graft(motif.root(), attach);
+    }
+  }
+  return forest;
+}
+
+}  // namespace fpdm::treemine

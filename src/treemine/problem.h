@@ -1,0 +1,79 @@
+#ifndef FPDM_TREEMINE_PROBLEM_H_
+#define FPDM_TREEMINE_PROBLEM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mining_problem.h"
+#include "treemine/edit_distance.h"
+#include "treemine/tree.h"
+#include "util/random.h"
+
+namespace fpdm::treemine {
+
+/// User parameters (paper §4.1.2): report motifs M with
+/// occurrence_no(M) >= min_occurrence within max_distance and
+/// |M| >= min_size nodes.
+struct TreeMiningConfig {
+  int min_size = 3;
+  int min_occurrence = 2;
+  int max_distance = 0;
+};
+
+/// Discovery of motifs in RNA secondary structures as an E-dag application
+/// (Table 4.1, right column): patterns are ordered labeled trees (key =
+/// the "M(B(H)I)" serialization), generated uniquely by rightmost-path
+/// extension; immediate subpatterns are all single-leaf removals; goodness
+/// is the occurrence number under cut distance. Free cuts make the
+/// occurrence number anti-monotone under leaf removal, which is what the
+/// E-dag pruning requires.
+class TreeMotifProblem : public core::MiningProblem {
+ public:
+  TreeMotifProblem(std::vector<OrderedTree> forest, TreeMiningConfig config);
+
+  std::vector<core::Pattern> RootPatterns() const override;
+  std::vector<core::Pattern> ChildPatterns(
+      const core::Pattern& pattern) const override;
+  std::vector<core::Pattern> ImmediateSubpatterns(
+      const core::Pattern& pattern) const override;
+  double Goodness(const core::Pattern& pattern) const override;
+  bool IsGood(const core::Pattern& pattern, double goodness) const override;
+  double TaskCost(const core::Pattern& pattern) const override;
+
+  const std::vector<OrderedTree>& forest() const { return forest_; }
+  const TreeMiningConfig& config() const { return config_; }
+
+  /// Filters a traversal result to reportable motifs (size >= min_size).
+  static std::vector<core::GoodPattern> ReportableMotifs(
+      const core::MiningResult& result, int min_size);
+
+ private:
+  struct Eval {
+    double occurrence = 0;
+    double cost = 0;
+  };
+  const Eval& Evaluate(const std::string& key) const;
+
+  std::vector<OrderedTree> forest_;
+  TreeMiningConfig config_;
+  std::vector<char> labels_;  // distinct labels observed in the forest
+  mutable std::unordered_map<std::string, Eval> cache_;
+};
+
+/// Synthetic RNA secondary structure generator: random trees over the
+/// {N,M,I,B,R,H} vocabulary with planted common substructures.
+struct RnaForestConfig {
+  int num_trees = 12;
+  int min_nodes = 12;
+  int max_nodes = 30;
+  uint64_t seed = 1998;
+  /// Planted motifs: (serialized tree, number of trees receiving it).
+  std::vector<std::pair<std::string, int>> planted;
+};
+
+std::vector<OrderedTree> GenerateRnaForest(const RnaForestConfig& config);
+
+}  // namespace fpdm::treemine
+
+#endif  // FPDM_TREEMINE_PROBLEM_H_

@@ -1,0 +1,123 @@
+#include "treemine/tree.h"
+
+#include <cassert>
+#include <functional>
+
+namespace fpdm::treemine {
+
+OrderedTree::OrderedTree(char root_label) {
+  nodes_.push_back(Node{root_label, {}});
+}
+
+OrderedTree OrderedTree::Parse(std::string_view text) {
+  OrderedTree tree;
+  size_t pos = 0;
+  // Recursive descent: node := label [ '(' node+ ')' ].
+  std::function<int(int)> parse_node = [&](int parent) -> int {
+    if (pos >= text.size() || text[pos] == '(' || text[pos] == ')') return -1;
+    const char label = text[pos++];
+    const int index = tree.AddNode(parent, label);
+    if (pos < text.size() && text[pos] == '(') {
+      ++pos;  // '('
+      while (pos < text.size() && text[pos] != ')') {
+        if (parse_node(index) < 0) return -1;
+      }
+      if (pos >= text.size()) return -1;  // missing ')'
+      ++pos;                              // ')'
+    }
+    return index;
+  };
+  if (text.empty()) return tree;
+  if (parse_node(-1) < 0 || pos != text.size()) return OrderedTree();
+  return tree;
+}
+
+std::string OrderedTree::Serialize() const {
+  if (empty()) return "";
+  std::string out;
+  std::function<void(int)> render = [&](int index) {
+    const Node& n = node(index);
+    out.push_back(n.label);
+    if (!n.children.empty()) {
+      out.push_back('(');
+      for (int child : n.children) render(child);
+      out.push_back(')');
+    }
+  };
+  render(0);
+  return out;
+}
+
+int OrderedTree::AddNode(int parent, char label) {
+  assert(parent == -1 ? nodes_.empty()
+                      : parent >= 0 && parent < static_cast<int>(nodes_.size()));
+  nodes_.push_back(Node{label, {}});
+  const int index = static_cast<int>(nodes_.size()) - 1;
+  if (parent >= 0) nodes_[static_cast<size_t>(parent)].children.push_back(index);
+  return index;
+}
+
+std::vector<int> OrderedTree::RightmostPath() const {
+  std::vector<int> path;
+  if (empty()) return path;
+  int current = 0;
+  path.push_back(current);
+  while (!node(current).children.empty()) {
+    current = node(current).children.back();
+    path.push_back(current);
+  }
+  return path;
+}
+
+OrderedTree OrderedTree::WithoutLeaf(int leaf) const {
+  assert(size() >= 2);
+  assert(node(leaf).children.empty());
+  OrderedTree out;
+  std::function<int(int, int)> copy = [&](int index, int parent) -> int {
+    if (index == leaf) return -1;
+    const int copied = out.AddNode(parent, node(index).label);
+    for (int child : node(index).children) copy(child, copied);
+    return copied;
+  };
+  copy(0, -1);
+  return out;
+}
+
+OrderedTree::Postorder OrderedTree::ComputePostorder() const {
+  Postorder post;
+  post.labels.assign(1, 0);    // 1-based
+  post.leftmost.assign(1, 0);  // 1-based
+  std::vector<int> order_of(static_cast<size_t>(size()), 0);
+  int counter = 0;
+  std::function<int(int)> visit = [&](int index) -> int {
+    int leftmost_leaf = -1;
+    for (int child : node(index).children) {
+      const int child_leftmost = visit(child);
+      if (leftmost_leaf < 0) leftmost_leaf = child_leftmost;
+    }
+    ++counter;
+    order_of[static_cast<size_t>(index)] = counter;
+    if (leftmost_leaf < 0) leftmost_leaf = counter;
+    post.labels.push_back(node(index).label);
+    post.leftmost.push_back(leftmost_leaf);
+    return leftmost_leaf;
+  };
+  if (!empty()) visit(0);
+  // LR-keyroots: nodes whose leftmost leaf differs from their parent's
+  // (equivalently: the highest node for each leftmost leaf).
+  const int n = size();
+  for (int i = 1; i <= n; ++i) {
+    bool is_keyroot = true;
+    for (int j = i + 1; j <= n; ++j) {
+      if (post.leftmost[static_cast<size_t>(j)] ==
+          post.leftmost[static_cast<size_t>(i)]) {
+        is_keyroot = false;
+        break;
+      }
+    }
+    if (is_keyroot) post.keyroots.push_back(i);
+  }
+  return post;
+}
+
+}  // namespace fpdm::treemine

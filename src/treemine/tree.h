@@ -1,0 +1,71 @@
+#ifndef FPDM_TREEMINE_TREE_H_
+#define FPDM_TREEMINE_TREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpdm::treemine {
+
+/// An ordered labeled tree — the RNA secondary structure representation of
+/// §4.1.2 (labels H=hairpin, I=internal loop, B=bulge, M=multi-branch,
+/// R=helical stem, N=root connector).
+class OrderedTree {
+ public:
+  struct Node {
+    char label = 0;
+    std::vector<int> children;  // indices into nodes(), in order
+  };
+
+  OrderedTree() = default;
+
+  /// Builds a single-node tree.
+  explicit OrderedTree(char root_label);
+
+  /// Parses the compact form "M(B(H)I(H))": label followed by optional
+  /// parenthesized children. Returns an empty tree on malformed input.
+  static OrderedTree Parse(std::string_view text);
+
+  /// Inverse of Parse; empty string for an empty tree.
+  std::string Serialize() const;
+
+  bool empty() const { return nodes_.empty(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  int root() const { return 0; }
+  const Node& node(int index) const {
+    return nodes_[static_cast<size_t>(index)];
+  }
+
+  /// Adds a node under `parent` (as its new rightmost child); pass -1 to
+  /// create the root of an empty tree. Returns the new node's index.
+  int AddNode(int parent, char label);
+
+  /// Node indices along the rightmost path, root first. The rightmost-
+  /// extension rule (unique E-dag generation, §3.1.2) may attach a new
+  /// rightmost child to any of these.
+  std::vector<int> RightmostPath() const;
+
+  /// A copy with the given leaf removed. Requires `leaf` to have no
+  /// children and the tree to have >= 2 nodes.
+  OrderedTree WithoutLeaf(int leaf) const;
+
+  /// Canonical postorder arrays for the Zhang-Shasha machinery: labels in
+  /// postorder (1-based), leftmost-leaf indices l(), and LR-keyroots.
+  struct Postorder {
+    std::vector<char> labels;     // [1..n]
+    std::vector<int> leftmost;    // [1..n]
+    std::vector<int> keyroots;    // ascending
+  };
+  Postorder ComputePostorder() const;
+
+  bool operator==(const OrderedTree& other) const {
+    return Serialize() == other.Serialize();
+  }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fpdm::treemine
+
+#endif  // FPDM_TREEMINE_TREE_H_

@@ -1,0 +1,47 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fpdm::util {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double Min(const std::vector<double>& values) {
+  assert(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  assert(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double EntropyFromCounts(const std::vector<size_t>& counts) {
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double entropy = 0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace fpdm::util

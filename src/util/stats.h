@@ -1,0 +1,25 @@
+#ifndef FPDM_UTIL_STATS_H_
+#define FPDM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fpdm::util {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Smallest / largest element; both require a non-empty input.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Binary entropy-style class entropy: -sum p_i log2 p_i over counts.
+/// Zero counts contribute nothing. Returns 0 when total is 0.
+double EntropyFromCounts(const std::vector<size_t>& counts);
+
+}  // namespace fpdm::util
+
+#endif  // FPDM_UTIL_STATS_H_

@@ -1,0 +1,35 @@
+#ifndef FPDM_UTIL_TABLE_H_
+#define FPDM_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpdm::util {
+
+/// Minimal fixed-width text table used by the benchmark harnesses to print
+/// paper-style rows ("Table 5.3", "Figure 4.8", ...).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule and column alignment.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a ratio as a percentage string, e.g. 0.876 -> "87.6%".
+std::string FormatPercent(double ratio, int digits = 1);
+
+}  // namespace fpdm::util
+
+#endif  // FPDM_UTIL_TABLE_H_

@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <set>
+
+#include "arm/apriori.h"
+#include "arm/problem.h"
+#include "core/parallel.h"
+#include "core/traversal.h"
+#include "gtest/gtest.h"
+
+namespace fpdm::arm {
+namespace {
+
+// The K-mart example of §2.2.1: pampers in 3 of 4 transactions, lipstick in
+// 2 of the 3 pamper transactions.
+TransactionDb KmartDb() {
+  // items: 0=pamper 1=soap 2=lipstick 3=soda 4=candy 5=beer
+  return {{0, 1, 2}, {0, 2, 3, 4}, {3, 5}, {0, 4, 5}};
+}
+
+std::set<Itemset> ItemsetsOf(const std::vector<FrequentItemset>& fs) {
+  std::set<Itemset> out;
+  for (const auto& f : fs) out.insert(f.items);
+  return out;
+}
+
+// Exhaustive frequent-set reference.
+std::vector<FrequentItemset> BruteForceFrequent(const TransactionDb& db,
+                                                int min_support) {
+  std::set<int> item_set;
+  for (const auto& t : db) item_set.insert(t.begin(), t.end());
+  std::vector<int> items(item_set.begin(), item_set.end());
+  std::vector<FrequentItemset> result;
+  const int n = static_cast<int>(items.size());
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Itemset candidate;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) candidate.push_back(items[static_cast<size_t>(i)]);
+    }
+    const int support = CountSupport(db, candidate);
+    if (support >= min_support) {
+      result.push_back(FrequentItemset{candidate, support});
+    }
+  }
+  return result;
+}
+
+TEST(AprioriTest, CountSupportMergeScan) {
+  TransactionDb db = KmartDb();
+  EXPECT_EQ(CountSupport(db, {0}), 3);
+  EXPECT_EQ(CountSupport(db, {0, 2}), 2);
+  EXPECT_EQ(CountSupport(db, {0, 5}), 1);
+  EXPECT_EQ(CountSupport(db, {9}), 0);
+  EXPECT_EQ(CountSupport(db, {}), 4);  // empty set in every transaction
+}
+
+TEST(AprioriTest, PaperExampleRule) {
+  TransactionDb db = KmartDb();
+  MiningStats stats;
+  std::vector<FrequentItemset> frequent = Apriori(db, 2, &stats);
+  EXPECT_TRUE(ItemsetsOf(frequent).count({0, 2}));
+  std::vector<AssociationRule> rules = GenerateRules(frequent, 0.6, nullptr);
+  // pamper -> lipstick holds with confidence 2/3.
+  bool found = false;
+  for (const auto& rule : rules) {
+    if (rule.antecedent == Itemset{0} && rule.consequent == Itemset{2}) {
+      found = true;
+      EXPECT_NEAR(rule.confidence, 2.0 / 3.0, 1e-12);
+      EXPECT_EQ(rule.support, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, MatchesBruteForce) {
+  BasketConfig config;
+  config.num_transactions = 120;
+  config.num_items = 12;
+  config.avg_transaction_size = 5;
+  config.patterns = {{{1, 3, 5}, 0.4}, {{2, 7}, 0.5}};
+  TransactionDb db = GenerateBaskets(config);
+  for (int min_support : {10, 25, 50}) {
+    std::vector<FrequentItemset> apriori = Apriori(db, min_support, nullptr);
+    std::vector<FrequentItemset> brute = BruteForceFrequent(db, min_support);
+    EXPECT_EQ(ItemsetsOf(apriori), ItemsetsOf(brute)) << min_support;
+    for (const auto& f : apriori) {
+      EXPECT_EQ(f.support, CountSupport(db, f.items));
+    }
+  }
+}
+
+TEST(AprioriTest, SubsetPruningFires) {
+  BasketConfig config;
+  config.num_transactions = 200;
+  config.num_items = 20;
+  config.patterns = {{{1, 2, 3, 4}, 0.3}};
+  TransactionDb db = GenerateBaskets(config);
+  MiningStats stats;
+  Apriori(db, 20, &stats);
+  EXPECT_GT(stats.candidates_generated, 0u);
+  EXPECT_GT(stats.passes, 1);
+}
+
+TEST(PartitionTest, AgreesWithApriori) {
+  BasketConfig config;
+  config.num_transactions = 300;
+  config.num_items = 15;
+  config.patterns = {{{0, 5, 9}, 0.35}, {{2, 11}, 0.4}};
+  config.seed = 77;
+  TransactionDb db = GenerateBaskets(config);
+  for (int partitions : {2, 3, 5}) {
+    std::vector<FrequentItemset> a = Apriori(db, 30, nullptr);
+    std::vector<FrequentItemset> p = Partition(db, 30, partitions, nullptr);
+    EXPECT_EQ(ItemsetsOf(a), ItemsetsOf(p)) << partitions << " partitions";
+  }
+}
+
+TEST(PartitionTest, SinglePartitionIsApriori) {
+  TransactionDb db = KmartDb();
+  EXPECT_EQ(ItemsetsOf(Apriori(db, 2, nullptr)),
+            ItemsetsOf(Partition(db, 2, 1, nullptr)));
+}
+
+TEST(RuleGenTest, ConfidencePruningSound) {
+  // Every rule from the brute-force set with conf >= threshold must appear.
+  BasketConfig config;
+  config.num_transactions = 100;
+  config.num_items = 8;
+  config.patterns = {{{1, 2, 3}, 0.5}};
+  TransactionDb db = GenerateBaskets(config);
+  std::vector<FrequentItemset> frequent = Apriori(db, 20, nullptr);
+  std::vector<AssociationRule> rules = GenerateRules(frequent, 0.8, nullptr);
+  // Reference: enumerate all (X, Y) partitions of every frequent set.
+  size_t expected = 0;
+  for (const auto& f : frequent) {
+    if (f.items.size() < 2) continue;
+    const int n = static_cast<int>(f.items.size());
+    for (uint32_t mask = 1; mask + 1 < (1u << n); ++mask) {
+      Itemset antecedent, consequent;
+      for (int i = 0; i < n; ++i) {
+        ((mask & (1u << i)) ? antecedent : consequent)
+            .push_back(f.items[static_cast<size_t>(i)]);
+      }
+      const double conf = static_cast<double>(f.support) /
+                          static_cast<double>(CountSupport(db, antecedent));
+      if (conf >= 0.8) ++expected;
+    }
+  }
+  EXPECT_EQ(rules.size(), expected);
+  for (const auto& rule : rules) EXPECT_GE(rule.confidence, 0.8);
+}
+
+TEST(ItemsetProblemTest, EdagMatchesApriori) {
+  BasketConfig config;
+  config.num_transactions = 150;
+  config.num_items = 10;
+  config.patterns = {{{1, 4, 7}, 0.4}};
+  TransactionDb db = GenerateBaskets(config);
+  const int min_support = 25;
+  ItemsetProblem problem(db, min_support);
+  core::MiningResult result = core::EdagTraversal(problem);
+  std::vector<FrequentItemset> via_edag =
+      ItemsetProblem::ToFrequentItemsets(result);
+  std::vector<FrequentItemset> via_apriori = Apriori(db, min_support, nullptr);
+  EXPECT_EQ(ItemsetsOf(via_edag), ItemsetsOf(via_apriori));
+  for (const auto& f : via_edag) {
+    EXPECT_EQ(f.support, CountSupport(db, f.items));
+  }
+}
+
+TEST(ItemsetProblemTest, EdagTestsSameCandidatesAsApriori) {
+  // Theorem 1 in action: the E-dag visits exactly the apriori-gen surviving
+  // candidates (level-wise, all-subsets-frequent).
+  BasketConfig config;
+  config.num_transactions = 150;
+  config.num_items = 10;
+  config.patterns = {{{1, 4, 7}, 0.4}, {{2, 5}, 0.5}};
+  TransactionDb db = GenerateBaskets(config);
+  ItemsetProblem problem(db, 25);
+  core::MiningResult edag = core::EdagTraversal(problem);
+  MiningStats stats;
+  std::vector<FrequentItemset> frequent = Apriori(db, 25, &stats);
+  // Apriori counts supports of L1 candidates (all items) plus surviving
+  // candidates; the E-dag tests the same sets.
+  std::set<int> items;
+  for (const auto& t : db) items.insert(t.begin(), t.end());
+  const size_t apriori_tested = items.size() + stats.candidates_generated -
+                                stats.candidates_pruned_by_subset;
+  EXPECT_EQ(edag.patterns_tested, apriori_tested);
+}
+
+TEST(ItemsetProblemTest, ParallelMiningCorrect) {
+  BasketConfig config;
+  config.num_transactions = 120;
+  config.num_items = 9;
+  config.patterns = {{{0, 3, 6}, 0.45}};
+  TransactionDb db = GenerateBaskets(config);
+  ItemsetProblem problem(db, 20);
+  core::MiningResult sequential = core::EdagTraversal(problem);
+  core::ParallelOptions options;
+  options.strategy = core::Strategy::kLoadBalanced;
+  options.num_workers = 3;
+  core::ParallelResult parallel = core::MineParallel(problem, options);
+  ASSERT_TRUE(parallel.ok);
+  std::set<std::string> seq_keys, par_keys;
+  for (const auto& gp : sequential.good_patterns) seq_keys.insert(gp.pattern.key);
+  for (const auto& gp : parallel.mining.good_patterns) par_keys.insert(gp.pattern.key);
+  EXPECT_EQ(seq_keys, par_keys);
+}
+
+TEST(BasketGenTest, DeterministicAndShaped) {
+  BasketConfig config;
+  config.num_transactions = 50;
+  TransactionDb a = GenerateBaskets(config);
+  TransactionDb b = GenerateBaskets(config);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 50u);
+  for (const auto& t : a) {
+    EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+    EXPECT_FALSE(t.empty());
+  }
+}
+
+TEST(BasketGenTest, PlantedPatternIsFrequent) {
+  BasketConfig config;
+  config.num_transactions = 400;
+  config.patterns = {{{3, 4, 5}, 0.5}};
+  TransactionDb db = GenerateBaskets(config);
+  EXPECT_GT(CountSupport(db, {3, 4, 5}), 150);
+}
+
+}  // namespace
+}  // namespace fpdm::arm

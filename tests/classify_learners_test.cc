@@ -1,0 +1,251 @@
+#include <vector>
+
+#include "classify/c45.h"
+#include "classify/cart.h"
+#include "classify/nyuminer.h"
+#include "data/benchmarks.h"
+#include "gtest/gtest.h"
+
+namespace fpdm::classify {
+namespace {
+
+struct TrainTest {
+  std::vector<int> train;
+  std::vector<int> test;
+};
+
+TrainTest Halves(const Dataset& data, uint64_t seed) {
+  TrainTest tt;
+  util::Rng rng(seed);
+  StratifiedHalfSplit(data, &rng, &tt.train, &tt.test);
+  return tt;
+}
+
+Dataset SmallBenchmark(const char* name, int rows) {
+  data::BenchmarkSpec spec = data::SpecByName(name);
+  spec.rows = rows;
+  return data::GenerateBenchmark(spec);
+}
+
+// A mildly-noisy variant for tests that assert a clear learnable margin on
+// few rows (the paper-shaped specs carry heavy label noise by design).
+Dataset MildBenchmark(const char* name, int rows) {
+  data::BenchmarkSpec spec = data::SpecByName(name);
+  spec.rows = rows;
+  spec.noise = 0.15;
+  spec.class_skew = 0;
+  return data::GenerateBenchmark(spec);
+}
+
+TEST(C45Test, BeatsPluralityOnLearnableData) {
+  Dataset data = MildBenchmark("diabetes", 600);
+  TrainTest tt = Halves(data, 1);
+  DecisionTree tree = TrainC45(data, tt.train, C45Options{}, nullptr);
+  EXPECT_GT(tree.Accuracy(data, tt.test), data.PluralityAccuracy() + 0.02);
+}
+
+TEST(C45Test, PessimisticPruningShrinksTree) {
+  Dataset data = SmallBenchmark("yeast", 600);
+  TrainTest tt = Halves(data, 2);
+  GrowthOptions growth;
+  growth.splitter = MakeC45Splitter();
+  DecisionTree raw = DecisionTree::Grow(data, tt.train, growth, nullptr);
+  DecisionTree pruned = TrainC45(data, tt.train, C45Options{}, nullptr);
+  EXPECT_LT(pruned.num_leaves(), raw.num_leaves());
+}
+
+TEST(C45Test, CategoricalSplitsAreMway) {
+  // On an all-categorical set the C4.5 root split must have one branch per
+  // observed value of the chosen attribute.
+  Dataset data = SmallBenchmark("mushrooms", 400);
+  Splitter splitter = MakeC45Splitter();
+  std::optional<Split> split = splitter(data, data.AllRows(), nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->type, AttrType::kCategorical);
+  EXPECT_GE(split->num_branches(), 3);
+  for (const auto& group : split->value_groups) {
+    EXPECT_EQ(group.size(), 1u);  // fixed m-way: one value per branch
+  }
+}
+
+TEST(C45Test, WindowingMatchesOrBeatsWorstTrial) {
+  Dataset data = SmallBenchmark("diabetes", 400);
+  TrainTest tt = Halves(data, 3);
+  C45Options options;
+  options.window_trials = 4;
+  options.seed = 5;
+  DecisionTree best = TrainC45Windowed(data, tt.train, options, nullptr);
+  util::Rng rng(options.seed);
+  int best_errors = data.num_rows();
+  for (int t = 0; t < options.window_trials; ++t) {
+    DecisionTree trial = C45WindowTrial(data, tt.train, options, rng.Next(), nullptr);
+    best_errors = std::min(best_errors, trial.Errors(data, tt.train));
+  }
+  EXPECT_EQ(best.Errors(data, tt.train), best_errors);
+}
+
+TEST(CartTest, BinarySplitsOnly) {
+  Dataset data = SmallBenchmark("satimage", 500);
+  Splitter splitter = MakeCartSplitter();
+  std::optional<Split> split = splitter(data, data.AllRows(), nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->num_branches(), 2);
+}
+
+TEST(CartTest, LearnsAndPrunes) {
+  Dataset data = SmallBenchmark("diabetes", 600);
+  TrainTest tt = Halves(data, 4);
+  CartOptions options;
+  options.cv_folds = 5;
+  DecisionTree tree = TrainCart(data, tt.train, options, nullptr);
+  EXPECT_GT(tree.Accuracy(data, tt.test), data.PluralityAccuracy());
+}
+
+TEST(NyuMinerTest, CvAccuracyAboveCartOnMultiwayConcept) {
+  // The satimage-like set plants 4-way numeric concepts: NyuMiner's optimal
+  // sub-4-ary splits should at least match binary CART.
+  Dataset data = SmallBenchmark("satimage", 2000);
+  TrainTest tt = Halves(data, 6);
+  NyuMinerOptions nyu;
+  nyu.cv_folds = 5;
+  CartOptions cart;
+  cart.cv_folds = 5;
+  DecisionTree nyu_tree = TrainNyuMinerCV(data, tt.train, nyu, nullptr);
+  DecisionTree cart_tree = TrainCart(data, tt.train, cart, nullptr);
+  EXPECT_GE(nyu_tree.Accuracy(data, tt.test),
+            cart_tree.Accuracy(data, tt.test) - 0.02);
+}
+
+Dataset CleanMushrooms(int rows) {
+  data::BenchmarkSpec spec = data::SpecByName("mushrooms");
+  spec.rows = rows;
+  spec.missing_row_fraction = 0;  // noise- and missing-free: fully learnable
+  return data::GenerateBenchmark(spec);
+}
+
+TEST(NyuMinerTest, UnprunedFitsTraining) {
+  Dataset data = CleanMushrooms(500);
+  NyuMinerOptions options;
+  options.min_split_rows = 2;
+  options.splitter.min_branch_rows = 1;  // allow singleton leaves: exact fit
+  DecisionTree tree =
+      TrainNyuMinerUnpruned(data, data.AllRows(), options, nullptr);
+  EXPECT_DOUBLE_EQ(tree.Accuracy(data, data.AllRows()), 1.0);
+}
+
+TEST(NyuMinerTest, RsTrialConvergesToConsistentTree) {
+  Dataset data = CleanMushrooms(500);
+  NyuMinerOptions options;
+  options.min_split_rows = 2;
+  options.splitter.min_branch_rows = 1;
+  DecisionTree tree = RsTrialTree(data, data.AllRows(), options, 42, nullptr);
+  // The final RS tree classifies all training rows correctly: the window
+  // absorbed every exception (the windowing loop's exit condition).
+  EXPECT_GT(tree.Accuracy(data, data.AllRows()), 0.995);
+}
+
+TEST(NyuMinerTest, RsModelBeatsPlurality) {
+  Dataset data = MildBenchmark("diabetes", 600);
+  TrainTest tt = Halves(data, 8);
+  NyuMinerOptions options;
+  options.rs_trials = 5;
+  RsModel model = TrainNyuMinerRS(data, tt.train, options, nullptr);
+  EXPECT_EQ(model.trees.size(), 5u);
+  EXPECT_GT(model.rules.size(), 0u);
+  int correct = 0;
+  for (int row : tt.test) {
+    correct += model.rules.Classify(data.Row(row)) == data.Label(row) ? 1 : 0;
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(tt.test.size());
+  EXPECT_GT(accuracy, data.PluralityAccuracy() + 0.02);
+}
+
+TEST(NyuMinerTest, DeterministicGivenSeed) {
+  Dataset data = SmallBenchmark("german", 400);
+  TrainTest tt = Halves(data, 9);
+  NyuMinerOptions options;
+  options.cv_folds = 4;
+  options.seed = 77;
+  DecisionTree a = TrainNyuMinerCV(data, tt.train, options, nullptr);
+  DecisionTree b = TrainNyuMinerCV(data, tt.train, options, nullptr);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  for (int row : tt.test) {
+    EXPECT_EQ(a.Classify(data.Row(row)), b.Classify(data.Row(row)));
+  }
+}
+
+TEST(LearnersTest, AllHandleMissingValues) {
+  Dataset data = SmallBenchmark("vote", 435);
+  TrainTest tt = Halves(data, 10);
+  EXPECT_GT(data.FractionRowsWithMissing(), 0.3);
+  NyuMinerOptions nyu;
+  nyu.cv_folds = 4;
+  C45Options c45;
+  CartOptions cart;
+  cart.cv_folds = 4;
+  DecisionTree t1 = TrainNyuMinerCV(data, tt.train, nyu, nullptr);
+  DecisionTree t2 = TrainC45(data, tt.train, c45, nullptr);
+  DecisionTree t3 = TrainCart(data, tt.train, cart, nullptr);
+  for (const DecisionTree* t : {&t1, &t2, &t3}) {
+    EXPECT_GT(t->Accuracy(data, tt.test), data.PluralityAccuracy());
+  }
+}
+
+TEST(BenchmarkDataTest, ShapesMatchSpecs) {
+  for (const data::BenchmarkSpec& spec : data::PaperBenchmarkSpecs()) {
+    Dataset data = data::GenerateBenchmark(spec);
+    EXPECT_EQ(data.num_rows(), spec.rows) << spec.name;
+    EXPECT_EQ(data.num_attributes(),
+              spec.numeric_attributes + spec.categorical_attributes)
+        << spec.name;
+    EXPECT_EQ(data.num_classes(), spec.classes) << spec.name;
+    if (spec.missing_row_fraction > 0) {
+      EXPECT_NEAR(data.FractionRowsWithMissing(), spec.missing_row_fraction,
+                  0.08)
+          << spec.name;
+    } else {
+      EXPECT_DOUBLE_EQ(data.FractionMissingValues(), 0.0) << spec.name;
+    }
+  }
+}
+
+TEST(BenchmarkDataTest, DeterministicInSeed) {
+  data::BenchmarkSpec spec = data::SpecByName("german");
+  Dataset a = data::GenerateBenchmark(spec);
+  Dataset b = data::GenerateBenchmark(spec);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.Label(r), b.Label(r));
+  }
+}
+
+TEST(BenchmarkDataTest, StratifiedHalvesBalanceClasses) {
+  Dataset data = SmallBenchmark("yeast", 800);
+  TrainTest tt = Halves(data, 20);
+  EXPECT_NEAR(static_cast<double>(tt.train.size()),
+              static_cast<double>(tt.test.size()), 10.0);
+  std::vector<double> train_counts = data.ClassCounts(tt.train);
+  std::vector<double> test_counts = data.ClassCounts(tt.test);
+  for (size_t c = 0; c < train_counts.size(); ++c) {
+    EXPECT_NEAR(train_counts[c], test_counts[c], 1.5) << "class " << c;
+  }
+}
+
+TEST(BenchmarkDataTest, FoldsPartitionRows) {
+  Dataset data = SmallBenchmark("diabetes", 300);
+  util::Rng rng(3);
+  std::vector<std::vector<int>> folds =
+      StratifiedFolds(data, data.AllRows(), 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> all;
+  for (const auto& fold : folds) {
+    EXPECT_GT(fold.size(), 50u);
+    all.insert(all.end(), fold.begin(), fold.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, data.AllRows());
+}
+
+}  // namespace
+}  // namespace fpdm::classify

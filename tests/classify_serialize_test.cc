@@ -1,0 +1,74 @@
+#include <string>
+
+#include "classify/nyuminer.h"
+#include "classify/tree.h"
+#include "data/benchmarks.h"
+#include "gtest/gtest.h"
+
+namespace fpdm::classify {
+namespace {
+
+DecisionTree GrowOn(const char* name, int rows, uint64_t seed) {
+  data::BenchmarkSpec spec = data::SpecByName(name);
+  spec.rows = rows;
+  Dataset data = data::GenerateBenchmark(spec);
+  NyuMinerOptions options;
+  options.seed = seed;
+  return TrainNyuMinerUnpruned(data, data.AllRows(), options, nullptr);
+}
+
+TEST(TreeSerializeTest, RoundTripPreservesStructureAndDecisions) {
+  data::BenchmarkSpec spec = data::SpecByName("german");  // mixed attrs
+  spec.rows = 400;
+  Dataset data = data::GenerateBenchmark(spec);
+  NyuMinerOptions options;
+  DecisionTree tree =
+      TrainNyuMinerUnpruned(data, data.AllRows(), options, nullptr);
+  ASSERT_GT(tree.num_nodes(), 1u);
+
+  std::optional<DecisionTree> back = DecisionTree::Deserialize(tree.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(back->num_leaves(), tree.num_leaves());
+  EXPECT_DOUBLE_EQ(back->training_rows(), tree.training_rows());
+  for (int row = 0; row < data.num_rows(); ++row) {
+    ASSERT_EQ(back->Classify(data.Row(row)), tree.Classify(data.Row(row)))
+        << "row " << row;
+  }
+  // Serialization is canonical: a second round trip is byte-identical.
+  EXPECT_EQ(back->Serialize(), tree.Serialize());
+}
+
+TEST(TreeSerializeTest, NumericOnlyTree) {
+  DecisionTree tree = GrowOn("diabetes", 300, 3);
+  std::optional<DecisionTree> back = DecisionTree::Deserialize(tree.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_nodes(), tree.num_nodes());
+}
+
+TEST(TreeSerializeTest, EmptyTree) {
+  DecisionTree empty;
+  EXPECT_EQ(empty.Serialize(), "");
+  std::optional<DecisionTree> back = DecisionTree::Deserialize("");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(TreeSerializeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DecisionTree::Deserialize("garbage").has_value());
+  EXPECT_FALSE(DecisionTree::Deserialize("L 0").has_value());  // truncated
+  EXPECT_FALSE(DecisionTree::Deserialize("N 0 2 1 1 0 T 0 1 0.5").has_value());
+  // Valid leaf followed by trailing garbage.
+  EXPECT_FALSE(DecisionTree::Deserialize("L 1 2 3 4 extra").has_value());
+}
+
+TEST(TreeSerializeTest, RejectsTruncatedChildren) {
+  DecisionTree tree = GrowOn("diabetes", 200, 5);
+  std::string text = tree.Serialize();
+  ASSERT_GT(text.size(), 40u);
+  EXPECT_FALSE(
+      DecisionTree::Deserialize(text.substr(0, text.size() / 2)).has_value());
+}
+
+}  // namespace
+}  // namespace fpdm::classify

@@ -1,0 +1,399 @@
+#include "classify/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "classify/impurity.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace fpdm::classify {
+namespace {
+
+Dataset TwoClassNumeric(const std::vector<std::pair<double, int>>& points) {
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"neg", "pos"});
+  for (const auto& [value, label] : points) data.AddRow({value}, label);
+  return data;
+}
+
+TEST(ImpurityTest, GiniBasics) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({5, 5}), 0.5);
+  EXPECT_DOUBLE_EQ(GiniImpurity({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({}), 0.0);
+  EXPECT_NEAR(GiniImpurity({1, 1, 1, 1}), 0.75, 1e-12);
+}
+
+TEST(ImpurityTest, EntropyBasics) {
+  EXPECT_DOUBLE_EQ(EntropyImpurity({5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(EntropyImpurity({10, 0}), 0.0);
+  EXPECT_NEAR(EntropyImpurity({1, 1, 1, 1}), 2.0, 1e-12);
+}
+
+TEST(ImpurityTest, AggregateWeighting) {
+  // Two branches: pure (4 rows) and uniform (4 rows): 0.5 * 0 + 0.5 * 0.5.
+  EXPECT_DOUBLE_EQ(AggregateImpurity(GiniImpurity, {{4, 0}, {2, 2}}), 0.25);
+}
+
+TEST(ImpurityTest, ConcavityProperty) {
+  // Definition 5(4): splitting never increases weighted impurity.
+  util::Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<double> a(3), b(3), merged(3);
+    for (int c = 0; c < 3; ++c) {
+      a[static_cast<size_t>(c)] = static_cast<double>(rng.NextBounded(20));
+      b[static_cast<size_t>(c)] = static_cast<double>(rng.NextBounded(20));
+      merged[static_cast<size_t>(c)] =
+          a[static_cast<size_t>(c)] + b[static_cast<size_t>(c)];
+    }
+    double na = 0, nb = 0;
+    for (double v : a) na += v;
+    for (double v : b) nb += v;
+    if (na + nb == 0) continue;
+    for (const ImpurityFn& phi : {ImpurityFn(GiniImpurity), ImpurityFn(EntropyImpurity)}) {
+      const double split_imp = AggregateImpurity(phi, {a, b});
+      const double merged_imp = phi(merged);
+      EXPECT_LE(split_imp, merged_imp + 1e-9);
+    }
+  }
+}
+
+TEST(BasketTest, BuildValueBasketsSortsAndCounts) {
+  Dataset data = TwoClassNumeric({{3, 1}, {1, 0}, {3, 0}, {2, 0}, {1, 0}});
+  std::vector<Basket> baskets = BuildValueBaskets(data, data.AllRows(), 0);
+  ASSERT_EQ(baskets.size(), 3u);
+  EXPECT_DOUBLE_EQ(baskets[0].lo, 1);
+  EXPECT_DOUBLE_EQ(baskets[0].counts[0], 2);
+  EXPECT_DOUBLE_EQ(baskets[2].counts[1], 1);
+}
+
+TEST(BasketTest, MissingValuesSkipped) {
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"a", "b"});
+  data.AddRow({1.0}, 0);
+  data.AddRow({Dataset::kMissing}, 1);
+  std::vector<Basket> baskets = BuildValueBaskets(data, data.AllRows(), 0);
+  ASSERT_EQ(baskets.size(), 1u);
+}
+
+TEST(BasketTest, BoundaryMergeMatchesPaperExample) {
+  // The 27 data elements of Figures 5.1-5.4: classes A=0, B=1, C=2.
+  std::vector<std::pair<double, int>> points = {
+      {0, 0}, {0, 0}, {0, 0}, {1, 0}, {1, 1}, {1, 1}, {1, 1}, {2, 1}, {2, 1},
+      {3, 2}, {3, 2}, {3, 2}, {4, 1}, {4, 1}, {4, 1}, {4, 2}, {5, 0}, {5, 0},
+      {6, 0}, {7, 2}, {7, 2}, {7, 2}, {8, 2}, {8, 2}, {9, 2}, {9, 2}, {9, 2}};
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"A", "B", "C"});
+  for (const auto& [v, c] : points) data.AddRow({v}, c);
+  std::vector<Basket> baskets = BuildValueBaskets(data, data.AllRows(), 0);
+  EXPECT_EQ(baskets.size(), 10u);  // Figure 5.2: 10 baskets
+  std::vector<Basket> merged = MergeAtBoundaries(std::move(baskets));
+  EXPECT_EQ(merged.size(), 7u);  // Figure 5.4: 7 baskets
+  // Basket {5,6} is the merged A-run.
+  EXPECT_DOUBLE_EQ(merged[5].lo, 5);
+  EXPECT_DOUBLE_EQ(merged[5].hi, 6);
+  EXPECT_DOUBLE_EQ(merged[5].counts[0], 3);
+}
+
+// Brute force: best partition of baskets into at most k contiguous runs.
+double BruteForceOrdered(const std::vector<Basket>& baskets, int max_k,
+                         const ImpurityFn& phi, int* best_branches) {
+  const int b = static_cast<int>(baskets.size());
+  double best = std::numeric_limits<double>::infinity();
+  *best_branches = 1;
+  // Enumerate cut masks over b-1 gaps.
+  for (uint32_t mask = 0; mask < (1u << (b - 1)); ++mask) {
+    const int cuts = __builtin_popcount(mask);
+    if (cuts + 1 > max_k) continue;
+    std::vector<std::vector<double>> groups;
+    groups.push_back(baskets[0].counts);
+    for (int i = 1; i < b; ++i) {
+      if (mask & (1u << (i - 1))) {
+        groups.push_back(baskets[static_cast<size_t>(i)].counts);
+      } else {
+        for (size_t c = 0; c < groups.back().size(); ++c) {
+          groups.back()[c] += baskets[static_cast<size_t>(i)].counts[c];
+        }
+      }
+    }
+    const double imp = AggregateImpurity(phi, groups);
+    if (imp < best - 1e-12 ||
+        (imp < best + 1e-12 && cuts + 1 < *best_branches)) {
+      best = imp;
+      *best_branches = cuts + 1;
+    }
+  }
+  return best;
+}
+
+TEST(OptimalPartitionTest, MatchesBruteForceRandomized) {
+  util::Rng rng(2024);
+  for (int round = 0; round < 60; ++round) {
+    const int b = static_cast<int>(rng.NextInt(2, 9));
+    const int classes = static_cast<int>(rng.NextInt(2, 4));
+    const int k = static_cast<int>(rng.NextInt(2, 5));
+    std::vector<Basket> baskets;
+    for (int i = 0; i < b; ++i) {
+      Basket basket;
+      basket.lo = basket.hi = i;
+      for (int c = 0; c < classes; ++c) {
+        basket.counts.push_back(static_cast<double>(rng.NextBounded(6)));
+      }
+      bool empty = true;
+      for (double v : basket.counts) empty &= v == 0;
+      if (empty) basket.counts[0] = 1;
+      baskets.push_back(std::move(basket));
+    }
+    for (const ImpurityFn& phi : {ImpurityFn(GiniImpurity), ImpurityFn(EntropyImpurity)}) {
+      int brute_branches = 0;
+      const double brute = BruteForceOrdered(baskets, k, phi, &brute_branches);
+      OrderedPartition dp = OptimalOrderedPartition(baskets, k, phi, nullptr);
+      ASSERT_NEAR(dp.impurity, brute, 1e-9) << "round " << round;
+      ASSERT_EQ(static_cast<int>(dp.cuts_after.size()) + 1, brute_branches)
+          << "round " << round;
+    }
+  }
+}
+
+// Theorem 5: merging at boundary points loses no optimal split.
+TEST(OptimalPartitionTest, BoundaryMergePreservesOptimum) {
+  util::Rng rng(777);
+  for (int round = 0; round < 40; ++round) {
+    const int b = static_cast<int>(rng.NextInt(3, 12));
+    std::vector<Basket> baskets;
+    for (int i = 0; i < b; ++i) {
+      Basket basket;
+      basket.lo = basket.hi = i;
+      // Bias toward pure baskets so merging actually happens.
+      if (rng.NextBool(0.6)) {
+        basket.counts = {0, 0};
+        basket.counts[rng.NextBounded(2)] = static_cast<double>(rng.NextInt(1, 5));
+      } else {
+        basket.counts = {static_cast<double>(rng.NextInt(1, 5)),
+                         static_cast<double>(rng.NextInt(1, 5))};
+      }
+      baskets.push_back(std::move(basket));
+    }
+    std::vector<Basket> merged = MergeAtBoundaries(baskets);
+    for (int k = 2; k <= 4; ++k) {
+      OrderedPartition raw =
+          OptimalOrderedPartition(baskets, k, GiniImpurity, nullptr);
+      OrderedPartition reduced =
+          OptimalOrderedPartition(merged, k, GiniImpurity, nullptr);
+      ASSERT_NEAR(raw.impurity, reduced.impurity, 1e-9)
+          << "round " << round << " k " << k;
+    }
+  }
+}
+
+TEST(NyuSplitTest, PerfectThreeWaySplitFound) {
+  // Classes occupy three clean value ranges: a 3-way split is pure.
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"a", "b", "c"});
+  for (int i = 0; i < 10; ++i) data.AddRow({static_cast<double>(i)}, 0);
+  for (int i = 10; i < 20; ++i) data.AddRow({static_cast<double>(i)}, 1);
+  for (int i = 20; i < 30; ++i) data.AddRow({static_cast<double>(i)}, 2);
+  NyuSplitterOptions options;
+  options.max_branches = 4;
+  std::optional<Split> split =
+      NyuOptimalSplitForAttribute(data, data.AllRows(), 0, options, nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->num_branches(), 3);  // fewest branches among optimal
+  EXPECT_NEAR(split->impurity, 0.0, 1e-12);
+  EXPECT_EQ(split->BranchOf(5), 0);
+  EXPECT_EQ(split->BranchOf(15), 1);
+  EXPECT_EQ(split->BranchOf(25), 2);
+}
+
+TEST(NyuSplitTest, RespectsMaxBranches) {
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"a", "b", "c"});
+  for (int i = 0; i < 9; ++i) {
+    data.AddRow({static_cast<double>(i)}, i % 3);
+    data.AddRow({static_cast<double>(i)}, i % 3);
+  }
+  NyuSplitterOptions options;
+  options.max_branches = 2;
+  std::optional<Split> split =
+      NyuOptimalSplitForAttribute(data, data.AllRows(), 0, options, nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_LE(split->num_branches(), 2);
+}
+
+TEST(NyuSplitTest, MissingValueGoesToDefaultBranch) {
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"a", "b"});
+  for (int i = 0; i < 8; ++i) data.AddRow({static_cast<double>(i)}, i < 4 ? 0 : 1);
+  NyuSplitterOptions options;
+  std::optional<Split> split =
+      NyuOptimalSplitForAttribute(data, data.AllRows(), 0, options, nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->BranchOf(Dataset::kMissing), split->default_branch);
+}
+
+// Exhaustive check of categorical optimality: every partition of the values
+// into at most K groups.
+double BruteForceCategorical(const Dataset& data, const std::vector<int>& rows,
+                             int attribute, int max_k, const ImpurityFn& phi) {
+  const int card =
+      static_cast<int>(data.attribute(attribute).categories.size());
+  const size_t classes = static_cast<size_t>(data.num_classes());
+  std::vector<std::vector<double>> per_value(
+      static_cast<size_t>(card), std::vector<double>(classes, 0.0));
+  for (int row : rows) {
+    const double v = data.Value(row, attribute);
+    if (Dataset::IsMissingValue(v)) continue;
+    ++per_value[static_cast<size_t>(v)][static_cast<size_t>(data.Label(row))];
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> assign(static_cast<size_t>(card), 0);
+  std::function<void(int, int)> recurse = [&](int v, int groups) {
+    if (v == card) {
+      std::vector<std::vector<double>> branch(static_cast<size_t>(groups),
+                                              std::vector<double>(classes, 0));
+      for (int i = 0; i < card; ++i) {
+        for (size_t c = 0; c < classes; ++c) {
+          branch[static_cast<size_t>(assign[static_cast<size_t>(i)])][c] +=
+              per_value[static_cast<size_t>(i)][c];
+        }
+      }
+      if (groups >= 2) best = std::min(best, AggregateImpurity(phi, branch));
+      return;
+    }
+    for (int g = 0; g < std::min(groups + 1, max_k); ++g) {
+      assign[static_cast<size_t>(v)] = g;
+      recurse(v + 1, std::max(groups, g + 1));
+    }
+  };
+  recurse(0, 0);
+  return best;
+}
+
+TEST(NyuSplitTest, CategoricalMatchesExhaustiveSearch) {
+  util::Rng rng(31337);
+  for (int round = 0; round < 25; ++round) {
+    const int card = static_cast<int>(rng.NextInt(3, 5));
+    const int classes = static_cast<int>(rng.NextInt(2, 3));
+    Attribute attr;
+    attr.name = "c";
+    attr.type = AttrType::kCategorical;
+    for (int v = 0; v < card; ++v) attr.categories.push_back("v");
+    std::vector<std::string> class_names;
+    for (int c = 0; c < classes; ++c) class_names.push_back("k");
+    Dataset data({attr}, class_names);
+    const int rows = static_cast<int>(rng.NextInt(20, 60));
+    for (int r = 0; r < rows; ++r) {
+      data.AddRow({static_cast<double>(rng.NextBounded(
+                      static_cast<uint64_t>(card)))},
+                  static_cast<int>(rng.NextBounded(
+                      static_cast<uint64_t>(classes))));
+    }
+    NyuSplitterOptions options;
+    options.max_branches = 3;
+    std::optional<Split> split = NyuOptimalSplitForAttribute(
+        data, data.AllRows(), 0, options, nullptr);
+    const double brute =
+        BruteForceCategorical(data, data.AllRows(), 0, 3, options.impurity);
+    if (!split.has_value()) {
+      // No useful split found; brute force must agree there is no gain, or
+      // the data was single-valued.
+      continue;
+    }
+    ASSERT_NEAR(split->impurity, brute, 1e-9) << "round " << round;
+  }
+}
+
+TEST(NyuSplitTest, CategoricalLogicalValueMergeKeepsPureValuesTogether) {
+  // Values 0,1 are pure class 0; values 2,3 pure class 1. The optimal
+  // 2-way split must group them by class.
+  Attribute attr{"c", AttrType::kCategorical, {"a", "b", "c", "d"}};
+  Dataset data({attr}, {"x", "y"});
+  for (int i = 0; i < 5; ++i) {
+    data.AddRow({0.0}, 0);
+    data.AddRow({1.0}, 0);
+    data.AddRow({2.0}, 1);
+    data.AddRow({3.0}, 1);
+  }
+  NyuSplitterOptions options;
+  options.max_branches = 4;
+  std::optional<Split> split =
+      NyuOptimalSplitForAttribute(data, data.AllRows(), 0, options, nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->num_branches(), 2);
+  EXPECT_NEAR(split->impurity, 0.0, 1e-12);
+  EXPECT_EQ(split->BranchOf(0), split->BranchOf(1));
+  EXPECT_EQ(split->BranchOf(2), split->BranchOf(3));
+  EXPECT_NE(split->BranchOf(0), split->BranchOf(2));
+}
+
+TEST(NyuSplitTest, WorksWithCustomImpurity) {
+  // A valid custom impurity (squared-error style): min(p, 1-p) scaled.
+  ImpurityFn custom = [](const std::vector<double>& counts) {
+    double total = 0, max = 0;
+    for (double c : counts) {
+      total += c;
+      max = std::max(max, c);
+    }
+    return total > 0 ? (total - max) / total : 0.0;
+  };
+  Dataset data = TwoClassNumeric(
+      {{1, 0}, {2, 0}, {3, 0}, {4, 1}, {5, 1}, {6, 1}, {7, 0}, {8, 0}});
+  NyuSplitterOptions options;
+  options.impurity = custom;
+  options.max_branches = 3;
+  std::optional<Split> split =
+      NyuOptimalSplitForAttribute(data, data.AllRows(), 0, options, nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->num_branches(), 3);
+  EXPECT_NEAR(split->impurity, 0.0, 1e-12);
+}
+
+TEST(NyuSplitTest, SubKaryBeatsRepeatedBinary) {
+  // §5.1's motivation: an optimal 3-way split can beat composing two
+  // optimal binary splits at the same node. At minimum, the sub-K impurity
+  // is never worse than the binary one.
+  util::Rng rng(4711);
+  int strictly_better = 0;
+  for (int round = 0; round < 30; ++round) {
+    Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"a", "b", "c"});
+    for (int r = 0; r < 60; ++r) {
+      data.AddRow({static_cast<double>(rng.NextBounded(10))},
+                  static_cast<int>(rng.NextBounded(3)));
+    }
+    NyuSplitterOptions binary;
+    binary.max_branches = 2;
+    NyuSplitterOptions multi;
+    multi.max_branches = 4;
+    auto s2 = NyuOptimalSplitForAttribute(data, data.AllRows(), 0, binary, nullptr);
+    auto sk = NyuOptimalSplitForAttribute(data, data.AllRows(), 0, multi, nullptr);
+    if (!s2 || !sk) continue;
+    EXPECT_LE(sk->impurity, s2->impurity + 1e-9);
+    strictly_better += sk->impurity < s2->impurity - 1e-9 ? 1 : 0;
+  }
+  EXPECT_GT(strictly_better, 5);  // the advantage is real, not incidental
+}
+
+TEST(NyuSplitTest, WorkCounterAccumulates) {
+  Dataset data = TwoClassNumeric({{1, 0}, {2, 1}, {3, 0}, {4, 1}, {5, 0}});
+  double work = 0;
+  NyuOptimalSplitForAttribute(data, data.AllRows(), 0, NyuSplitterOptions{},
+                              &work);
+  EXPECT_GT(work, 0);
+}
+
+TEST(NyuSplitTest, SplitterPicksBestAttribute) {
+  // Attribute 1 separates perfectly; attribute 0 is noise.
+  Dataset data({Attribute{"noise", AttrType::kNumeric, {}},
+                Attribute{"signal", AttrType::kNumeric, {}}},
+               {"a", "b"});
+  util::Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2;
+    data.AddRow({static_cast<double>(rng.NextBounded(10)),
+                 static_cast<double>(label * 10 + static_cast<int>(rng.NextBounded(3)))},
+                label);
+  }
+  Splitter splitter = MakeNyuSplitter(NyuSplitterOptions{});
+  std::optional<Split> split = splitter(data, data.AllRows(), nullptr);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->attribute, 1);
+  EXPECT_NEAR(split->impurity, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fpdm::classify

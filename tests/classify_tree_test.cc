@@ -1,0 +1,237 @@
+#include "classify/tree.h"
+
+#include "classify/c45.h"
+#include "classify/prune.h"
+#include "classify/rules.h"
+#include "data/benchmarks.h"
+#include "gtest/gtest.h"
+
+namespace fpdm::classify {
+namespace {
+
+// A clean 2-attribute concept: class = (x > 5) XOR-free conjunction with a
+// categorical gate — perfectly learnable.
+Dataset LearnableSet(int rows, uint64_t seed) {
+  Attribute num{"x", AttrType::kNumeric, {}};
+  Attribute cat{"color", AttrType::kCategorical, {"red", "green", "blue"}};
+  Dataset data({num, cat}, {"no", "yes"});
+  util::Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    const double x = static_cast<double>(rng.NextBounded(10));
+    const double c = static_cast<double>(rng.NextBounded(3));
+    const int label = (x > 4.5 && c != 2) ? 1 : 0;
+    data.AddRow({x, c}, label);
+  }
+  return data;
+}
+
+GrowthOptions NyuGrowth() {
+  GrowthOptions growth;
+  growth.splitter = MakeNyuSplitter(NyuSplitterOptions{});
+  growth.min_split_rows = 2;
+  return growth;
+}
+
+TEST(TreeTest, LearnsCleanConceptPerfectly) {
+  Dataset data = LearnableSet(300, 11);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  EXPECT_DOUBLE_EQ(tree.Accuracy(data, data.AllRows()), 1.0);
+  EXPECT_DOUBLE_EQ(tree.ResubstitutionError(), 0.0);
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+TEST(TreeTest, GeneralizesToFreshSample) {
+  Dataset train = LearnableSet(400, 11);
+  Dataset test = LearnableSet(400, 12);
+  DecisionTree tree = DecisionTree::Grow(train, train.AllRows(), NyuGrowth(), nullptr);
+  EXPECT_GT(tree.Accuracy(test, test.AllRows()), 0.97);
+}
+
+TEST(TreeTest, PureNodeStopsGrowth) {
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"a", "b"});
+  for (int i = 0; i < 10; ++i) data.AddRow({static_cast<double>(i)}, 0);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Classify({3.0, 0.0}), 0);
+}
+
+TEST(TreeTest, MinSplitRowsRespected) {
+  Dataset data = LearnableSet(100, 3);
+  GrowthOptions growth = NyuGrowth();
+  growth.min_split_rows = 1000;  // larger than the data: no splits at all
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), growth, nullptr);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+}
+
+TEST(TreeTest, MaxDepthRespected) {
+  data::BenchmarkSpec spec = data::SpecByName("yeast");
+  spec.rows = 300;
+  Dataset data = data::GenerateBenchmark(spec);
+  GrowthOptions growth = NyuGrowth();
+  growth.max_depth = 2;
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), growth, nullptr);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(TreeTest, CloneIsDeepAndEquivalent) {
+  Dataset data = LearnableSet(200, 7);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  DecisionTree clone = tree.Clone();
+  EXPECT_EQ(clone.num_nodes(), tree.num_nodes());
+  // Mutating the clone must not touch the original.
+  clone.mutable_root()->children.clear();
+  EXPECT_GT(tree.num_nodes(), clone.num_nodes());
+}
+
+TEST(TreeTest, MissingValuesFollowDefaultBranch) {
+  Dataset data = LearnableSet(300, 13);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  // Must not crash and must return a valid class.
+  const int label = tree.Classify({Dataset::kMissing, Dataset::kMissing});
+  EXPECT_GE(label, 0);
+  EXPECT_LT(label, 2);
+}
+
+TEST(TreeTest, ToTextMentionsAttributesAndClasses) {
+  Dataset data = LearnableSet(300, 11);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  const std::string text = tree.ToText(data);
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+}
+
+TEST(PruneTest, AlphaZeroKeepsResubstitutionError) {
+  Dataset data = LearnableSet(300, 17);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  DecisionTree pruned = PruneToAlpha(tree, 0.0);
+  EXPECT_DOUBLE_EQ(pruned.ResubstitutionError(), tree.ResubstitutionError());
+  EXPECT_LE(pruned.num_nodes(), tree.num_nodes());
+}
+
+TEST(PruneTest, HugeAlphaPrunesToRoot) {
+  Dataset data = LearnableSet(300, 17);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  DecisionTree pruned = PruneToAlpha(tree, 1e9);
+  EXPECT_EQ(pruned.num_nodes(), 1u);
+}
+
+TEST(PruneTest, AlphaSequenceIsIncreasing) {
+  data::BenchmarkSpec spec = data::SpecByName("diabetes");
+  spec.rows = 400;
+  Dataset data = data::GenerateBenchmark(spec);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  std::vector<double> alphas = CostComplexityAlphas(tree);
+  ASSERT_GE(alphas.size(), 2u);
+  EXPECT_DOUBLE_EQ(alphas[0], 0.0);
+  for (size_t i = 1; i < alphas.size(); ++i) {
+    EXPECT_GT(alphas[i], alphas[i - 1] - 1e-12);
+  }
+}
+
+TEST(PruneTest, TreeSizesDecreaseAlongAlphaSequence) {
+  data::BenchmarkSpec spec = data::SpecByName("diabetes");
+  spec.rows = 400;
+  Dataset data = data::GenerateBenchmark(spec);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  std::vector<double> alphas = CostComplexityAlphas(tree);
+  std::vector<double> probes = GeometricMidpoints(alphas);
+  size_t prev = tree.num_leaves() + 1;
+  for (double alpha : probes) {
+    DecisionTree pruned = PruneToAlpha(tree, alpha);
+    EXPECT_LE(pruned.num_leaves(), prev);
+    prev = pruned.num_leaves();
+  }
+  // The final probe must reach the root-only tree.
+  EXPECT_EQ(PruneToAlpha(tree, probes.back()).num_nodes(), 1u);
+}
+
+TEST(PruneTest, CvPruningShrinksNoisyTree) {
+  data::BenchmarkSpec spec = data::SpecByName("yeast");
+  spec.rows = 500;
+  Dataset data = data::GenerateBenchmark(spec);
+  double work = 0;
+  util::Rng rng(9);
+  GrowthOptions growth = NyuGrowth();
+  growth.min_split_rows = 5;
+  DecisionTree unpruned = DecisionTree::Grow(data, data.AllRows(), growth, nullptr);
+  DecisionTree pruned =
+      GrowWithCostComplexityCv(data, data.AllRows(), growth, 5, &rng, &work);
+  EXPECT_LT(pruned.num_leaves(), unpruned.num_leaves());
+  EXPECT_GT(work, 0);
+}
+
+TEST(RulesTest, HarvestProducesValidRules) {
+  Dataset data = LearnableSet(300, 19);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  std::vector<Rule> rules = HarvestRules(tree, data, data.AllRows());
+  ASSERT_FALSE(rules.empty());
+  for (const Rule& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.0);
+    EXPECT_LE(rule.confidence, 1.0);
+    EXPECT_GT(rule.support, 0.0);
+    EXPECT_FALSE(rule.conditions.empty());
+  }
+}
+
+TEST(RulesTest, RuleConfidenceAndSupportMeasured) {
+  // Hand-built tree: single split x <= 4.5.
+  Dataset data({Attribute{"x", AttrType::kNumeric, {}}}, {"a", "b"});
+  for (int i = 0; i < 10; ++i) data.AddRow({static_cast<double>(i)}, i < 5 ? 0 : 1);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  std::vector<Rule> rules = HarvestRules(tree, data, data.AllRows());
+  ASSERT_EQ(rules.size(), 2u);
+  for (const Rule& rule : rules) {
+    EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+    EXPECT_DOUBLE_EQ(rule.support, 0.5);
+  }
+}
+
+TEST(RulesTest, RuleListClassifiesAndFallsBack) {
+  Dataset data = LearnableSet(400, 23);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  RuleList list(HarvestRules(tree, data, data.AllRows()), 0.9, 0.01, 0);
+  EXPECT_GT(list.size(), 0u);
+  int correct = 0;
+  for (int row = 0; row < data.num_rows(); ++row) {
+    correct += list.Classify(data.Row(row)) == data.Label(row) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.num_rows(), 0.95);
+  // A row matching no rule (everything missing) falls back.
+  EXPECT_EQ(list.Classify({Dataset::kMissing, Dataset::kMissing}),
+            list.fallback());
+  EXPECT_FALSE(
+      list.BestMatch({Dataset::kMissing, Dataset::kMissing}).has_value());
+}
+
+TEST(RulesTest, ThresholdsFilterRules) {
+  Dataset data = LearnableSet(400, 29);
+  DecisionTree tree = DecisionTree::Grow(data, data.AllRows(), NyuGrowth(), nullptr);
+  std::vector<Rule> rules = HarvestRules(tree, data, data.AllRows());
+  RuleList strict(rules, 1.01, 0.5, 0);  // impossible confidence
+  EXPECT_EQ(strict.size(), 0u);
+}
+
+TEST(RulesTest, ConditionToStringReadable) {
+  Dataset data = LearnableSet(100, 31);
+  Condition c;
+  c.attribute = 1;
+  c.type = AttrType::kCategorical;
+  c.values = {0, 2};
+  EXPECT_EQ(c.ToString(data), "color in {red, blue}");
+}
+
+TEST(C45AddErrsTest, MatchesQuinlansKnownValue) {
+  // Quinlan's book example: a leaf with N=6, E=0 at cf=25% is charged
+  // about 1.24 extra errors (U_25%(0,6) = 0.206).
+  EXPECT_NEAR(C45AddErrs(6, 0, 0.25), 6 * 0.206, 0.02);
+  // And N=1, E=0 -> 0.75 extra errors.
+  EXPECT_NEAR(C45AddErrs(1, 0, 0.25), 0.75, 0.01);
+}
+
+TEST(C45AddErrsTest, MonotoneInConfidence) {
+  // Lower confidence (more pessimistic) charges more errors.
+  EXPECT_GT(C45AddErrs(20, 2, 0.10), C45AddErrs(20, 2, 0.40));
+}
+
+}  // namespace
+}  // namespace fpdm::classify

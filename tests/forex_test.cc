@@ -1,0 +1,100 @@
+#include "forex/forex.h"
+
+#include "gtest/gtest.h"
+
+namespace fpdm::forex {
+namespace {
+
+TEST(RateSeriesTest, DeterministicAndPositive) {
+  RateSeriesConfig config;
+  config.num_days = 1000;
+  std::vector<double> a = GenerateRateSeries(config);
+  std::vector<double> b = GenerateRateSeries(config);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 1000u);
+  for (double rate : a) EXPECT_GT(rate, 0);
+}
+
+TEST(RateSeriesTest, VolatilityInRange) {
+  RateSeriesConfig config;
+  config.num_days = 4000;
+  std::vector<double> rates = GenerateRateSeries(config);
+  double sum_sq = 0;
+  for (size_t i = 1; i < rates.size(); ++i) {
+    const double r = std::log(rates[i] / rates[i - 1]);
+    sum_sq += r * r;
+  }
+  const double daily_std = std::sqrt(sum_sq / (rates.size() - 1));
+  EXPECT_GT(daily_std, 0.003);
+  EXPECT_LT(daily_std, 0.012);
+}
+
+TEST(ForexDatasetTest, FeatureShapeAndLabels) {
+  RateSeriesConfig config;
+  config.num_days = 600;
+  std::vector<double> rates = GenerateRateSeries(config);
+  std::vector<int> day_of_row;
+  classify::Dataset data = BuildForexDataset(rates, &day_of_row);
+  EXPECT_EQ(data.num_attributes(), 10);
+  EXPECT_EQ(data.num_classes(), 2);
+  // Rows start after a year of history and stop before the last day.
+  EXPECT_EQ(data.num_rows(), 600 - 252 - 1);
+  ASSERT_EQ(day_of_row.size(), static_cast<size_t>(data.num_rows()));
+  // Check the "one" feature and label of an arbitrary row.
+  const int row = 10;
+  const int day = day_of_row[static_cast<size_t>(row)];
+  const double expected_one =
+      (rates[static_cast<size_t>(day)] - rates[static_cast<size_t>(day) - 1]) /
+      rates[static_cast<size_t>(day) - 1] * 100.0;
+  EXPECT_DOUBLE_EQ(data.Value(row, 0), expected_one);
+  EXPECT_EQ(data.Label(row),
+            rates[static_cast<size_t>(day) + 1] > rates[static_cast<size_t>(day)]
+                ? 1
+                : 0);
+}
+
+TEST(TradingTest, CorrectDownPredictionGains) {
+  // Rate falls from 100 to 90 on the traded day.
+  std::vector<double> rates = {100, 100, 90, 90};
+  // Hold first currency, predict down on day 1: convert out and back.
+  const double wealth = SimulateTrading(rates, {1}, {-1}, true);
+  EXPECT_NEAR(wealth, 100.0 / 90.0, 1e-12);
+  // Holding the second currency, a down prediction means stay put.
+  EXPECT_DOUBLE_EQ(SimulateTrading(rates, {1}, {-1}, false), 1.0);
+}
+
+TEST(TradingTest, WrongPredictionLoses) {
+  std::vector<double> rates = {100, 100, 110, 110};
+  const double wealth = SimulateTrading(rates, {1}, {-1}, true);
+  EXPECT_LT(wealth, 1.0);
+}
+
+TEST(TradingTest, NoTradeDaysKeepWealth) {
+  std::vector<double> rates = {100, 105, 95, 100};
+  EXPECT_DOUBLE_EQ(SimulateTrading(rates, {0, 1, 2}, {0, 0, 0}, true), 1.0);
+}
+
+TEST(ForexPipelineTest, SelectsRulesAndPredictsAboveChance) {
+  CurrencyPair pair{"test", "A", "B", 3500, 4242};
+  classify::NyuMinerOptions options;
+  options.rs_trials = 4;
+  options.seed = 11;
+  ForexOutcome outcome = RunForexPipeline(pair, options, 0.80, 0.01);
+  EXPECT_GT(outcome.rules_selected, 0);
+  EXPECT_GT(outcome.days_covered, 20);
+  // Selected high-confidence rules must beat coin flipping out of sample
+  // (the momentum regime is genuinely predictive).
+  EXPECT_GT(outcome.accuracy, 0.5);
+}
+
+TEST(ForexPipelineTest, PaperPairsAreConfigured) {
+  std::vector<CurrencyPair> pairs = PaperCurrencyPairs();
+  ASSERT_EQ(pairs.size(), 5u);
+  EXPECT_EQ(pairs[0].code, "yu");
+  for (const auto& pair : pairs) {
+    EXPECT_GT(pair.num_days, 5000);
+  }
+}
+
+}  // namespace
+}  // namespace fpdm::forex

@@ -1,0 +1,147 @@
+#include "plinda/tuple_space.h"
+
+#include "gtest/gtest.h"
+
+namespace fpdm::plinda {
+namespace {
+
+TEST(TupleSpaceTest, OutThenIn) {
+  TupleSpace space;
+  space.Out(MakeTuple("task", 1));
+  EXPECT_EQ(space.size(), 1u);
+  Tuple t;
+  ASSERT_TRUE(space.TryIn(MakeTemplate(A("task"), F(ValueType::kInt)), &t));
+  EXPECT_EQ(GetInt(t, 1), 1);
+  EXPECT_TRUE(space.empty());
+}
+
+TEST(TupleSpaceTest, TryInOnEmptyFails) {
+  TupleSpace space;
+  EXPECT_FALSE(space.TryIn(MakeTemplate(A("task")), nullptr));
+}
+
+TEST(TupleSpaceTest, RdDoesNotRemove) {
+  TupleSpace space;
+  space.Out(MakeTuple("x", 5));
+  Tuple t;
+  ASSERT_TRUE(space.TryRd(MakeTemplate(A("x"), F(ValueType::kInt)), &t));
+  EXPECT_EQ(space.size(), 1u);
+  ASSERT_TRUE(space.TryIn(MakeTemplate(A("x"), F(ValueType::kInt)), &t));
+  EXPECT_TRUE(space.empty());
+}
+
+TEST(TupleSpaceTest, FifoOrderAmongMatches) {
+  TupleSpace space;
+  space.Out(MakeTuple("t", 1));
+  space.Out(MakeTuple("t", 2));
+  space.Out(MakeTuple("t", 3));
+  Tuple t;
+  Template q = MakeTemplate(A("t"), F(ValueType::kInt));
+  ASSERT_TRUE(space.TryIn(q, &t));
+  EXPECT_EQ(GetInt(t, 1), 1);
+  ASSERT_TRUE(space.TryIn(q, &t));
+  EXPECT_EQ(GetInt(t, 1), 2);
+  ASSERT_TRUE(space.TryIn(q, &t));
+  EXPECT_EQ(GetInt(t, 1), 3);
+}
+
+TEST(TupleSpaceTest, FifoOrderAcrossBuckets) {
+  // A formal first field must consult every bucket of the arity and still
+  // return the globally oldest match.
+  TupleSpace space;
+  space.Out(MakeTuple("b", 1));
+  space.Out(MakeTuple("a", 2));
+  Tuple t;
+  Template q = MakeTemplate(F(ValueType::kString), F(ValueType::kInt));
+  ASSERT_TRUE(space.TryIn(q, &t));
+  EXPECT_EQ(GetString(t, 0), "b");
+  ASSERT_TRUE(space.TryIn(q, &t));
+  EXPECT_EQ(GetString(t, 0), "a");
+}
+
+TEST(TupleSpaceTest, NonStringFirstField) {
+  TupleSpace space;
+  space.Out(MakeTuple(10, "payload"));
+  Tuple t;
+  ASSERT_TRUE(
+      space.TryIn(MakeTemplate(A(int64_t{10}), F(ValueType::kString)), &t));
+  EXPECT_EQ(GetString(t, 1), "payload");
+}
+
+TEST(TupleSpaceTest, MatchingRespectsActualValues) {
+  TupleSpace space;
+  space.Out(MakeTuple("task", 1, "a"));
+  space.Out(MakeTuple("task", 2, "b"));
+  Tuple t;
+  ASSERT_TRUE(space.TryIn(
+      MakeTemplate(A("task"), A(int64_t{2}), F(ValueType::kString)), &t));
+  EXPECT_EQ(GetString(t, 2), "b");
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(TupleSpaceTest, CountMatches) {
+  TupleSpace space;
+  space.Out(MakeTuple("t", 1));
+  space.Out(MakeTuple("t", 2));
+  space.Out(MakeTuple("u", 3));
+  EXPECT_EQ(space.CountMatches(MakeTemplate(A("t"), F(ValueType::kInt))), 2u);
+  EXPECT_EQ(space.CountMatches(
+                MakeTemplate(F(ValueType::kString), F(ValueType::kInt))),
+            3u);
+}
+
+TEST(TupleSpaceTest, ClearEmptiesEverything) {
+  TupleSpace space;
+  space.Out(MakeTuple("t", 1));
+  space.Out(MakeTuple(2.5));
+  space.Clear();
+  EXPECT_TRUE(space.empty());
+  EXPECT_FALSE(space.TryIn(MakeTemplate(F(ValueType::kDouble)), nullptr));
+}
+
+TEST(TupleSpaceTest, CheckpointRestoreRoundTrip) {
+  TupleSpace space;
+  space.Out(MakeTuple("t", 1));
+  space.Out(MakeTuple("t", 2));
+  space.Out(MakeTuple("u", 3.5, "x"));
+  std::string checkpoint = space.Checkpoint();
+
+  TupleSpace restored;
+  ASSERT_TRUE(restored.Restore(checkpoint));
+  EXPECT_EQ(restored.size(), 3u);
+  // FIFO order must be preserved across restore (rollback recovery).
+  Tuple t;
+  Template q = MakeTemplate(A("t"), F(ValueType::kInt));
+  ASSERT_TRUE(restored.TryIn(q, &t));
+  EXPECT_EQ(GetInt(t, 1), 1);
+  ASSERT_TRUE(restored.TryIn(q, &t));
+  EXPECT_EQ(GetInt(t, 1), 2);
+}
+
+TEST(TupleSpaceTest, RestoreRejectsCorruptCheckpoint) {
+  TupleSpace space;
+  EXPECT_FALSE(space.Restore("not a checkpoint"));
+  EXPECT_TRUE(space.empty());
+}
+
+TEST(TupleSpaceTest, EmptyCheckpoint) {
+  TupleSpace space;
+  EXPECT_EQ(space.Checkpoint(), "");
+  EXPECT_TRUE(space.Restore(""));
+  EXPECT_TRUE(space.empty());
+}
+
+TEST(TupleSpaceTest, ManyTuplesStressFifo) {
+  TupleSpace space;
+  for (int i = 0; i < 1000; ++i) space.Out(MakeTuple("task", i));
+  Template q = MakeTemplate(A("task"), F(ValueType::kInt));
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t;
+    ASSERT_TRUE(space.TryIn(q, &t));
+    EXPECT_EQ(GetInt(t, 1), i);
+  }
+  EXPECT_TRUE(space.empty());
+}
+
+}  // namespace
+}  // namespace fpdm::plinda

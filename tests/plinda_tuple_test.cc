@@ -1,0 +1,88 @@
+#include "plinda/tuple.h"
+
+#include "gtest/gtest.h"
+
+namespace fpdm::plinda {
+namespace {
+
+TEST(TupleTest, MakeTupleTypes) {
+  Tuple t = MakeTuple("task", 3, 2.5);
+  ASSERT_EQ(t.fields.size(), 3u);
+  EXPECT_EQ(TypeOf(t.fields[0]), ValueType::kString);
+  EXPECT_EQ(TypeOf(t.fields[1]), ValueType::kInt);
+  EXPECT_EQ(TypeOf(t.fields[2]), ValueType::kDouble);
+  EXPECT_EQ(GetString(t, 0), "task");
+  EXPECT_EQ(GetInt(t, 1), 3);
+  EXPECT_DOUBLE_EQ(GetDouble(t, 2), 2.5);
+}
+
+TEST(TupleTest, MatchActuals) {
+  Tuple t = MakeTuple("result", 7);
+  EXPECT_TRUE(Matches(MakeTemplate(A("result"), A(int64_t{7})), t));
+  EXPECT_FALSE(Matches(MakeTemplate(A("result"), A(int64_t{8})), t));
+  EXPECT_FALSE(Matches(MakeTemplate(A("task"), A(int64_t{7})), t));
+}
+
+TEST(TupleTest, MatchFormalsByType) {
+  Tuple t = MakeTuple("result", 7, 1.5);
+  EXPECT_TRUE(Matches(
+      MakeTemplate(A("result"), F(ValueType::kInt), F(ValueType::kDouble)), t));
+  EXPECT_FALSE(Matches(
+      MakeTemplate(A("result"), F(ValueType::kDouble), F(ValueType::kDouble)),
+      t));
+}
+
+TEST(TupleTest, ArityMustAgree) {
+  Tuple t = MakeTuple("x", 1);
+  EXPECT_FALSE(Matches(MakeTemplate(A("x")), t));
+  EXPECT_FALSE(Matches(MakeTemplate(A("x"), F(ValueType::kInt), F(ValueType::kInt)), t));
+}
+
+TEST(TupleTest, EmptyTupleMatchesEmptyTemplate) {
+  EXPECT_TRUE(Matches(Template{}, Tuple{}));
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Tuple t = MakeTuple("task; with \"punctuation\"", -42, 3.14159265358979,
+                      std::string("embedded\0null", 13));
+  std::string data;
+  SerializeTuple(t, &data);
+  Tuple back;
+  size_t pos = 0;
+  ASSERT_TRUE(DeserializeTuple(data, &pos, &back));
+  EXPECT_EQ(pos, data.size());
+  EXPECT_EQ(back, t);
+}
+
+TEST(TupleTest, SerializeMultipleTuples) {
+  Tuple a = MakeTuple("a", 1);
+  Tuple b = MakeTuple(2.5);
+  std::string data;
+  SerializeTuple(a, &data);
+  SerializeTuple(b, &data);
+  size_t pos = 0;
+  Tuple back;
+  ASSERT_TRUE(DeserializeTuple(data, &pos, &back));
+  EXPECT_EQ(back, a);
+  ASSERT_TRUE(DeserializeTuple(data, &pos, &back));
+  EXPECT_EQ(back, b);
+  EXPECT_EQ(pos, data.size());
+}
+
+TEST(TupleTest, DeserializeRejectsGarbage) {
+  Tuple t;
+  size_t pos = 0;
+  std::string garbage = "2:ixyz";
+  EXPECT_FALSE(DeserializeTuple(garbage, &pos, &t));
+  pos = 0;
+  std::string truncated = "1:s10:abc";
+  EXPECT_FALSE(DeserializeTuple(truncated, &pos, &t));
+}
+
+TEST(TupleTest, ToStringIsReadable) {
+  Tuple t = MakeTuple("task", 3);
+  EXPECT_EQ(ToString(t), "(\"task\", 3)");
+}
+
+}  // namespace
+}  // namespace fpdm::plinda

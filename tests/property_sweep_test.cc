@@ -1,0 +1,219 @@
+// Cross-module property sweeps (parameterized gtest): the monotonicity and
+// anti-monotonicity laws the frameworks rely on, checked over randomized
+// inputs across a range of parameters.
+
+#include <set>
+#include <string>
+
+#include "classify/split.h"
+#include "core/parallel.h"
+#include "core/traversal.h"
+#include "gtest/gtest.h"
+#include "seqmine/generator.h"
+#include "seqmine/motif.h"
+#include "seqmine/problem.h"
+#include "treemine/edit_distance.h"
+#include "treemine/problem.h"
+#include "util/random.h"
+
+namespace fpdm {
+namespace {
+
+// --- Motif matching: distance laws over the mutation budget -------------
+
+class MotifBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MotifBudgetSweep, OccurrenceMonotoneInBudget) {
+  const int budget = GetParam();
+  util::Rng rng(100 + static_cast<uint64_t>(budget));
+  seqmine::ProteinSetConfig config;
+  config.num_sequences = 10;
+  config.min_length = 30;
+  config.max_length = 50;
+  config.seed = rng.Next();
+  std::vector<std::string> seqs = seqmine::GenerateProteinSet(config);
+  for (int round = 0; round < 10; ++round) {
+    seqmine::Motif motif{{seqmine::RandomMotif(&rng, 6)}};
+    const int at_budget = seqmine::OccurrenceNumber(motif, seqs, budget, nullptr);
+    const int at_budget_plus =
+        seqmine::OccurrenceNumber(motif, seqs, budget + 1, nullptr);
+    EXPECT_LE(at_budget, at_budget_plus) << motif.Encode();
+  }
+}
+
+TEST_P(MotifBudgetSweep, SubpatternAntiMonotone) {
+  // occurrence_no(P) <= occurrence_no(sub(P)) for prefixes and suffixes —
+  // the law the sequence E-dag pruning depends on (§2.3.4).
+  const int budget = GetParam();
+  util::Rng rng(300 + static_cast<uint64_t>(budget));
+  seqmine::ProteinSetConfig config;
+  config.num_sequences = 8;
+  config.min_length = 25;
+  config.max_length = 40;
+  config.seed = rng.Next();
+  std::vector<std::string> seqs = seqmine::GenerateProteinSet(config);
+  for (int round = 0; round < 10; ++round) {
+    const std::string segment = seqmine::RandomMotif(&rng, 5);
+    const int full = seqmine::OccurrenceNumber(seqmine::Motif{{segment}}, seqs,
+                                               budget, nullptr);
+    for (const std::string& sub :
+         {segment.substr(0, 4), segment.substr(1)}) {
+      EXPECT_GE(seqmine::OccurrenceNumber(seqmine::Motif{{sub}}, seqs, budget,
+                                          nullptr),
+                full)
+          << segment << " vs " << sub;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, MotifBudgetSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+// --- Optimal splits: laws over K -----------------------------------------
+
+class SplitKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitKSweep, ImpurityNonIncreasingInK) {
+  // An optimal sub-(K+1)-ary split is at least as pure as an optimal
+  // sub-K-ary one (the feasible set only grows).
+  const int k = GetParam();
+  util::Rng rng(500 + static_cast<uint64_t>(k));
+  for (int round = 0; round < 15; ++round) {
+    std::vector<classify::Basket> baskets;
+    const int b = static_cast<int>(rng.NextInt(4, 12));
+    for (int i = 0; i < b; ++i) {
+      classify::Basket basket;
+      basket.lo = basket.hi = i;
+      for (int c = 0; c < 3; ++c) {
+        basket.counts.push_back(static_cast<double>(rng.NextBounded(8)));
+      }
+      basket.counts[0] += 1;  // never empty
+      baskets.push_back(std::move(basket));
+    }
+    const double at_k =
+        classify::OptimalOrderedPartition(baskets, k, classify::GiniImpurity,
+                                          nullptr)
+            .impurity;
+    const double at_k1 =
+        classify::OptimalOrderedPartition(baskets, k + 1,
+                                          classify::GiniImpurity, nullptr)
+            .impurity;
+    EXPECT_LE(at_k1, at_k + 1e-12);
+  }
+}
+
+TEST_P(SplitKSweep, SplitNeverExceedsNodeImpurity) {
+  // Concavity (Definition 5): the optimal split's aggregate impurity never
+  // exceeds the unsplit node's impurity.
+  const int k = GetParam();
+  util::Rng rng(700 + static_cast<uint64_t>(k));
+  for (int round = 0; round < 15; ++round) {
+    std::vector<classify::Basket> baskets;
+    std::vector<double> totals(3, 0.0);
+    const int b = static_cast<int>(rng.NextInt(3, 10));
+    for (int i = 0; i < b; ++i) {
+      classify::Basket basket;
+      basket.lo = basket.hi = i;
+      for (int c = 0; c < 3; ++c) {
+        const double n = static_cast<double>(rng.NextBounded(8));
+        basket.counts.push_back(n);
+        totals[static_cast<size_t>(c)] += n;
+      }
+      baskets.push_back(std::move(basket));
+    }
+    double total = totals[0] + totals[1] + totals[2];
+    if (total <= 0) continue;
+    const double split_impurity =
+        classify::OptimalOrderedPartition(baskets, k, classify::GiniImpurity,
+                                          nullptr)
+            .impurity;
+    EXPECT_LE(split_impurity, classify::GiniImpurity(totals) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SplitKSweep, ::testing::Values(2, 3, 4, 6));
+
+// --- Tree motifs: cut-distance laws over the distance budget -------------
+
+class TreeDistanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDistanceSweep, OccurrenceMonotoneInDistance) {
+  const int distance = GetParam();
+  treemine::RnaForestConfig config;
+  config.num_trees = 8;
+  config.min_nodes = 8;
+  config.max_nodes = 14;
+  config.seed = 900 + static_cast<uint64_t>(distance);
+  std::vector<treemine::OrderedTree> forest =
+      treemine::GenerateRnaForest(config);
+  for (const char* motif_text : {"M(HH)", "B(H)I", "R(M(H)B)"}) {
+    treemine::OrderedTree motif = treemine::OrderedTree::Parse(motif_text);
+    EXPECT_LE(
+        treemine::TreeOccurrenceNumber(motif, forest, distance, nullptr),
+        treemine::TreeOccurrenceNumber(motif, forest, distance + 1, nullptr))
+        << motif_text;
+  }
+}
+
+TEST_P(TreeDistanceSweep, CutDistanceBoundedByEditDistance) {
+  // Cuts are free, so the cut distance to the best subtree never exceeds
+  // the plain edit distance to the whole tree.
+  const int seed = GetParam();
+  treemine::RnaForestConfig config;
+  config.num_trees = 4;
+  config.min_nodes = 6;
+  config.max_nodes = 12;
+  config.seed = 1300 + static_cast<uint64_t>(seed);
+  std::vector<treemine::OrderedTree> forest =
+      treemine::GenerateRnaForest(config);
+  treemine::OrderedTree motif = treemine::OrderedTree::Parse("M(B(H)I)");
+  for (const auto& tree : forest) {
+    EXPECT_LE(treemine::MinCutDistance(motif, tree, nullptr),
+              treemine::TreeEditDistance(motif, tree, nullptr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, TreeDistanceSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+// --- Parallel runs: failure-time sweep ------------------------------------
+
+class FailureTimeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureTimeSweep, ResultInvariantUnderFailureTiming) {
+  // Whenever (and wherever) a worker machine dies, the mined result is the
+  // failure-free one — the PLinda guarantee across the whole protocol.
+  seqmine::ProteinSetConfig pconfig;
+  pconfig.num_sequences = 8;
+  pconfig.min_length = 25;
+  pconfig.max_length = 35;
+  pconfig.seed = 77;
+  pconfig.planted = {{"MKWVTF", 5, 0.0}};
+  std::vector<std::string> seqs = seqmine::GenerateProteinSet(pconfig);
+  seqmine::SequenceMiningConfig mconfig{3, 5, 0};
+  seqmine::SequenceMiningProblem problem(seqs, mconfig);
+
+  std::set<std::string> baseline;
+  for (const auto& gp : core::EdagTraversal(problem).good_patterns) {
+    baseline.insert(gp.pattern.key);
+  }
+
+  core::ParallelOptions options;
+  options.strategy = core::Strategy::kLoadBalanced;
+  options.num_workers = 4;
+  options.seconds_per_work_unit = 1e-3;
+  options.failures = {{2, GetParam()}};
+  core::ParallelResult result = core::MineParallel(problem, options);
+  ASSERT_TRUE(result.ok);
+  std::set<std::string> mined;
+  for (const auto& gp : result.mining.good_patterns) {
+    mined.insert(gp.pattern.key);
+  }
+  EXPECT_EQ(mined, baseline) << "failure at t=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureTimes, FailureTimeSweep,
+                         ::testing::Values(1.0, 5.0, 12.0, 30.0));
+
+}  // namespace
+}  // namespace fpdm

@@ -1,0 +1,188 @@
+#include "seqmine/suffix_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace fpdm::seqmine {
+namespace {
+
+// Naive reference: substring containment and per-sequence counting by scan.
+bool NaiveContains(const std::vector<std::string>& seqs,
+                   const std::string& s) {
+  for (const auto& seq : seqs) {
+    if (seq.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+int NaiveSeqCount(const std::vector<std::string>& seqs, const std::string& s) {
+  int count = 0;
+  for (const auto& seq : seqs) {
+    count += seq.find(s) != std::string::npos ? 1 : 0;
+  }
+  return count;
+}
+
+std::set<char> NaiveExtensions(const std::vector<std::string>& seqs,
+                               const std::string& s) {
+  std::set<char> ext;
+  for (const auto& seq : seqs) {
+    if (s.empty()) {
+      for (char c : seq) ext.insert(c);
+      continue;
+    }
+    size_t pos = seq.find(s);
+    while (pos != std::string::npos) {
+      if (pos + s.size() < seq.size()) ext.insert(seq[pos + s.size()]);
+      pos = seq.find(s, pos + 1);
+    }
+  }
+  return ext;
+}
+
+TEST(SuffixTreeTest, ContainsBasic) {
+  GeneralizedSuffixTree gst({"banana"});
+  EXPECT_TRUE(gst.Contains("banana"));
+  EXPECT_TRUE(gst.Contains("anan"));
+  EXPECT_TRUE(gst.Contains("na"));
+  EXPECT_TRUE(gst.Contains(""));
+  EXPECT_FALSE(gst.Contains("bananas"));
+  EXPECT_FALSE(gst.Contains("x"));
+  EXPECT_FALSE(gst.Contains("ab"));
+}
+
+TEST(SuffixTreeTest, MultipleSequences) {
+  GeneralizedSuffixTree gst({"abcab", "bcada"});
+  EXPECT_TRUE(gst.Contains("abcab"));
+  EXPECT_TRUE(gst.Contains("bcada"));
+  EXPECT_TRUE(gst.Contains("cad"));
+  // Substrings must not cross sequence boundaries.
+  EXPECT_FALSE(gst.Contains("abb"));
+  EXPECT_FALSE(gst.Contains("abbc"));
+}
+
+TEST(SuffixTreeTest, SequenceCount) {
+  GeneralizedSuffixTree gst({"abab", "abba", "bbbb"});
+  EXPECT_EQ(gst.SequenceCount("ab"), 2);
+  EXPECT_EQ(gst.SequenceCount("bb"), 2);
+  EXPECT_EQ(gst.SequenceCount("b"), 3);
+  EXPECT_EQ(gst.SequenceCount("abab"), 1);
+  EXPECT_EQ(gst.SequenceCount("zz"), 0);
+}
+
+TEST(SuffixTreeTest, RepeatedOccurrencesCountOnce) {
+  GeneralizedSuffixTree gst({"aaaa", "bbbb"});
+  EXPECT_EQ(gst.SequenceCount("aa"), 1);  // three occurrences, one sequence
+}
+
+TEST(SuffixTreeTest, ExtensionsOfEmptyAreAllLetters) {
+  GeneralizedSuffixTree gst({"abc", "cde"});
+  std::vector<char> ext = gst.Extensions("");
+  std::set<char> got(ext.begin(), ext.end());
+  EXPECT_EQ(got, (std::set<char>{'a', 'b', 'c', 'd', 'e'}));
+}
+
+TEST(SuffixTreeTest, ExtensionsMidPattern) {
+  GeneralizedSuffixTree gst({"abcd", "abce", "abx"});
+  std::vector<char> ext = gst.Extensions("abc");
+  std::set<char> got(ext.begin(), ext.end());
+  EXPECT_EQ(got, (std::set<char>{'d', 'e'}));
+  ext = gst.Extensions("ab");
+  got = std::set<char>(ext.begin(), ext.end());
+  EXPECT_EQ(got, (std::set<char>{'c', 'x'}));
+}
+
+TEST(SuffixTreeTest, ExtensionsAtSequenceEndAreEmpty) {
+  GeneralizedSuffixTree gst({"abc"});
+  EXPECT_TRUE(gst.Extensions("abc").empty());
+  EXPECT_TRUE(gst.Extensions("zzz").empty());
+}
+
+TEST(SuffixTreeTest, RandomizedAgainstNaive) {
+  util::Rng rng(7777);
+  for (int round = 0; round < 20; ++round) {
+    // Small alphabet to force repeated structure (the hard case for
+    // Ukkonen's suffix links).
+    std::vector<std::string> seqs;
+    const int num_seqs = static_cast<int>(rng.NextInt(1, 4));
+    for (int i = 0; i < num_seqs; ++i) {
+      const int len = static_cast<int>(rng.NextInt(1, 40));
+      std::string s;
+      for (int j = 0; j < len; ++j) {
+        s.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+      }
+      seqs.push_back(s);
+    }
+    GeneralizedSuffixTree gst(seqs);
+    for (int q = 0; q < 60; ++q) {
+      const int len = static_cast<int>(rng.NextInt(1, 6));
+      std::string query;
+      for (int j = 0; j < len; ++j) {
+        query.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+      }
+      ASSERT_EQ(gst.Contains(query), NaiveContains(seqs, query))
+          << "round " << round << " query " << query;
+      ASSERT_EQ(gst.SequenceCount(query), NaiveSeqCount(seqs, query))
+          << "round " << round << " query " << query;
+      std::vector<char> ext = gst.Extensions(query);
+      std::set<char> got(ext.begin(), ext.end());
+      ASSERT_EQ(got, NaiveExtensions(seqs, query))
+          << "round " << round << " query " << query;
+    }
+  }
+}
+
+TEST(SuffixTreeTest, LinearNodeCount) {
+  // A suffix tree has at most 2n internal+leaf nodes; the naive trie would
+  // have quadratically many. This guards against accidental de-compression.
+  std::string s;
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    s.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+  }
+  GeneralizedSuffixTree gst({s});
+  EXPECT_LE(gst.node_count(), 2 * (s.size() + 1) + 1);
+}
+
+TEST(SuffixTreeTest, MaximalSegmentsSimple) {
+  // "abcde" shared by both sequences; every shorter shared segment is a
+  // substring of it.
+  GeneralizedSuffixTree gst({"xxabcdeyy", "zzabcdeww"});
+  std::vector<std::string> maximal = gst.MaximalSegments(2, 3);
+  ASSERT_FALSE(maximal.empty());
+  EXPECT_EQ(maximal[0], "abcde");
+  for (const std::string& seg : maximal) {
+    EXPECT_GE(gst.SequenceCount(seg), 2);
+    EXPECT_GE(seg.size(), 3u);
+  }
+}
+
+TEST(SuffixTreeTest, MaximalSegmentsRespectMinSeqs) {
+  GeneralizedSuffixTree gst({"abcabc", "defdef", "ghighi"});
+  // No segment of length >= 2 is shared by two sequences.
+  EXPECT_TRUE(gst.MaximalSegments(2, 2).empty());
+}
+
+TEST(SuffixTreeTest, MaximalSegmentsAreMaximal) {
+  GeneralizedSuffixTree gst({"qabcq", "wabcw", "eabce"});
+  std::vector<std::string> maximal = gst.MaximalSegments(3, 2);
+  // "abc" occurs in all three; no extension of it does.
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0], "abc");
+}
+
+TEST(SuffixTreeTest, SegmentEndingAtSequenceEnd) {
+  // The shared segment sits flush against sequence ends (sentinel edges).
+  GeneralizedSuffixTree gst({"xxtail", "yytail"});
+  std::vector<std::string> maximal = gst.MaximalSegments(2, 3);
+  ASSERT_FALSE(maximal.empty());
+  EXPECT_EQ(maximal[0], "tail");
+}
+
+}  // namespace
+}  // namespace fpdm::seqmine

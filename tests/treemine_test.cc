@@ -1,0 +1,257 @@
+#include <set>
+#include <string>
+
+#include "core/parallel.h"
+#include "core/traversal.h"
+#include "gtest/gtest.h"
+#include "treemine/edit_distance.h"
+#include "treemine/problem.h"
+#include "treemine/tree.h"
+
+namespace fpdm::treemine {
+namespace {
+
+TEST(OrderedTreeTest, ParseSerializeRoundTrip) {
+  for (const char* text : {"H", "M(BH)", "M(B(H)I(H))", "N(R(M(HIH)B))"}) {
+    OrderedTree tree = OrderedTree::Parse(text);
+    ASSERT_FALSE(tree.empty()) << text;
+    // Serialization canonicalizes: re-parse must be a fixpoint.
+    OrderedTree again = OrderedTree::Parse(tree.Serialize());
+    EXPECT_EQ(again.Serialize(), tree.Serialize()) << text;
+  }
+  EXPECT_EQ(OrderedTree::Parse("M(B(H)I(H))").size(), 5);
+}
+
+TEST(OrderedTreeTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(OrderedTree::Parse("(").empty());
+  EXPECT_TRUE(OrderedTree::Parse("M(").empty());
+  EXPECT_TRUE(OrderedTree::Parse("M(H))").empty());
+  EXPECT_TRUE(OrderedTree::Parse("MH").empty());  // two roots
+}
+
+TEST(OrderedTreeTest, RightmostPath) {
+  OrderedTree tree = OrderedTree::Parse("M(B(H)I(HR))");
+  std::vector<int> path = tree.RightmostPath();
+  // Path: M -> I -> R.
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(tree.node(path[0]).label, 'M');
+  EXPECT_EQ(tree.node(path[1]).label, 'I');
+  EXPECT_EQ(tree.node(path[2]).label, 'R');
+}
+
+TEST(OrderedTreeTest, WithoutLeaf) {
+  OrderedTree tree = OrderedTree::Parse("M(B(H)I)");
+  // Remove the H leaf.
+  int h = -1;
+  for (int i = 0; i < tree.size(); ++i) {
+    if (tree.node(i).label == 'H') h = i;
+  }
+  ASSERT_GE(h, 0);
+  EXPECT_EQ(tree.WithoutLeaf(h).Serialize(), "M(BI)");
+}
+
+TEST(TreeEditDistanceTest, IdenticalTreesZero) {
+  OrderedTree a = OrderedTree::Parse("M(B(H)I(H))");
+  EXPECT_EQ(TreeEditDistance(a, a, nullptr), 0);
+}
+
+TEST(TreeEditDistanceTest, SingleRelabel) {
+  OrderedTree a = OrderedTree::Parse("M(B(H)I)");
+  OrderedTree b = OrderedTree::Parse("M(B(R)I)");
+  EXPECT_EQ(TreeEditDistance(a, b, nullptr), 1);
+}
+
+TEST(TreeEditDistanceTest, SingleInsertDelete) {
+  OrderedTree a = OrderedTree::Parse("M(BI)");
+  OrderedTree b = OrderedTree::Parse("M(B(H)I)");
+  EXPECT_EQ(TreeEditDistance(a, b, nullptr), 1);
+  EXPECT_EQ(TreeEditDistance(b, a, nullptr), 1);
+}
+
+TEST(TreeEditDistanceTest, DeleteInternalNodePromotesChildren) {
+  // Deleting I makes its children children of M (§4.1.2 semantics).
+  OrderedTree a = OrderedTree::Parse("M(I(HB))");
+  OrderedTree b = OrderedTree::Parse("M(HB)");
+  EXPECT_EQ(TreeEditDistance(a, b, nullptr), 1);
+}
+
+TEST(TreeEditDistanceTest, OrderMatters) {
+  OrderedTree a = OrderedTree::Parse("M(HB)");
+  OrderedTree b = OrderedTree::Parse("M(BH)");
+  EXPECT_GT(TreeEditDistance(a, b, nullptr), 0);
+}
+
+TEST(TreeEditDistanceTest, DisjointTreesFullCost) {
+  OrderedTree a = OrderedTree::Parse("H");
+  OrderedTree b = OrderedTree::Parse("M(RR)");
+  // Relabel root + insert two children (or equivalent): 3 edits.
+  EXPECT_EQ(TreeEditDistance(a, b, nullptr), 3);
+}
+
+TEST(CutDistanceTest, ExactSubtreeOccurrence) {
+  OrderedTree motif = OrderedTree::Parse("B(H)");
+  OrderedTree text = OrderedTree::Parse("N(M(B(H)I(H))R)");
+  EXPECT_EQ(MinCutDistance(motif, text, nullptr), 0);
+  EXPECT_TRUE(ContainsWithin(motif, text, 0, nullptr));
+}
+
+TEST(CutDistanceTest, CutsAreFree) {
+  // The motif is the text root with all subtrees cut away.
+  OrderedTree motif = OrderedTree::Parse("N");
+  OrderedTree text = OrderedTree::Parse("N(M(HH)M(HHH)R)");
+  EXPECT_EQ(MinCutDistance(motif, text, nullptr), 0);
+}
+
+TEST(CutDistanceTest, PartialSubtreeViaCut) {
+  // M(BI) occurs in the text as M(B(H)I(H)) with the H subtrees cut.
+  OrderedTree motif = OrderedTree::Parse("M(BI)");
+  OrderedTree text = OrderedTree::Parse("N(M(B(H)I(H)))");
+  EXPECT_EQ(MinCutDistance(motif, text, nullptr), 0);
+}
+
+TEST(CutDistanceTest, CutsOnlyRemoveWholeSubtrees) {
+  // Motif M(H): text has M(I(H)); cutting I would orphan H, so the best is
+  // one edit (relabel I->H after cutting its child, or delete I).
+  OrderedTree motif = OrderedTree::Parse("M(H)");
+  OrderedTree text = OrderedTree::Parse("M(I(B))");
+  EXPECT_EQ(MinCutDistance(motif, text, nullptr), 1);
+}
+
+TEST(CutDistanceTest, WithinDistanceOne) {
+  OrderedTree motif = OrderedTree::Parse("M(B(R)I)");
+  OrderedTree text = OrderedTree::Parse("N(M(B(H)I(H)))");
+  // R vs H: one relabel; I's H child is cut free.
+  EXPECT_EQ(MinCutDistance(motif, text, nullptr), 1);
+  EXPECT_FALSE(ContainsWithin(motif, text, 0, nullptr));
+  EXPECT_TRUE(ContainsWithin(motif, text, 1, nullptr));
+}
+
+TEST(CutDistanceTest, AntiMonotoneUnderLeafRemoval) {
+  // The E-dag soundness property: removing a motif leaf never increases
+  // the cut distance.
+  util::Rng rng(8);
+  RnaForestConfig config;
+  config.num_trees = 6;
+  config.min_nodes = 8;
+  config.max_nodes = 16;
+  std::vector<OrderedTree> forest = GenerateRnaForest(config);
+  OrderedTree motif = OrderedTree::Parse("M(B(H)I(H)R)");
+  for (const OrderedTree& text : forest) {
+    const int d = MinCutDistance(motif, text, nullptr);
+    for (int i = 0; i < motif.size(); ++i) {
+      if (!motif.node(i).children.empty()) continue;
+      OrderedTree smaller = motif.WithoutLeaf(i);
+      EXPECT_LE(MinCutDistance(smaller, text, nullptr), d);
+    }
+  }
+}
+
+TEST(CutDistanceTest, OccurrenceNumber) {
+  std::vector<OrderedTree> forest = {
+      OrderedTree::Parse("N(M(B(H)I))"), OrderedTree::Parse("N(B(H)R)"),
+      OrderedTree::Parse("N(RRR)")};
+  OrderedTree motif = OrderedTree::Parse("B(H)");
+  EXPECT_EQ(TreeOccurrenceNumber(motif, forest, 0, nullptr), 2);
+  EXPECT_EQ(TreeOccurrenceNumber(motif, forest, 2, nullptr), 3);
+}
+
+TEST(TreeMotifProblemTest, GenerationIsUniqueAndComplete) {
+  // Every ordered labeled tree with <= 3 nodes over 2 labels must be
+  // generated exactly once by rightmost extension.
+  std::vector<OrderedTree> forest = {OrderedTree::Parse("A(A(BB)B)"),
+                                     OrderedTree::Parse("B(AB)")};
+  TreeMiningConfig config{1, 0, 0};  // occurrence threshold 0: expand all
+  TreeMotifProblem problem(forest, config);
+  std::set<std::string> seen;
+  std::vector<core::Pattern> frontier = problem.RootPatterns();
+  int generated = 0;
+  while (!frontier.empty()) {
+    std::vector<core::Pattern> next;
+    for (const core::Pattern& p : frontier) {
+      EXPECT_TRUE(seen.insert(p.key).second) << "duplicate " << p.key;
+      ++generated;
+      if (p.length >= 3) continue;
+      for (core::Pattern& c : problem.ChildPatterns(p)) next.push_back(c);
+    }
+    frontier = std::move(next);
+  }
+  // Counts over 2 labels: 2 trees of size 1, 8 of size 2 (2 shapes... the
+  // unique shape is root+child: 2*2=4), and size 3: shapes {chain, cherry}
+  // -> 2 shapes * 8 labelings = 16. Total 2 + 4 + 16 = 22.
+  EXPECT_EQ(generated, 22);
+}
+
+TEST(TreeMotifProblemTest, EdagFindsPlantedMotif) {
+  RnaForestConfig config;
+  config.num_trees = 10;
+  config.min_nodes = 10;
+  config.max_nodes = 18;
+  config.planted = {{"M(B(H)I(H))", 7}};
+  std::vector<OrderedTree> forest = GenerateRnaForest(config);
+  TreeMiningConfig mining{4, 7, 0};
+  TreeMotifProblem problem(forest, mining);
+  core::MiningResult result = core::EdagTraversal(problem);
+  auto motifs = TreeMotifProblem::ReportableMotifs(result, 4);
+  std::set<std::string> keys;
+  for (const auto& gp : motifs) keys.insert(gp.pattern.key);
+  EXPECT_TRUE(keys.count("M(B(H)I(H))") || keys.count("M(B(H)I)") ||
+              keys.count("M(BI(H))"))
+      << "no planted substructure discovered";
+  for (const auto& gp : motifs) {
+    OrderedTree m = OrderedTree::Parse(gp.pattern.key);
+    EXPECT_GE(TreeOccurrenceNumber(m, forest, 0, nullptr), 7) << gp.pattern.key;
+  }
+}
+
+TEST(TreeMotifProblemTest, EtreeEqualsEdag) {
+  RnaForestConfig config;
+  config.num_trees = 6;
+  config.min_nodes = 6;
+  config.max_nodes = 10;
+  config.planted = {{"M(HH)", 4}};
+  std::vector<OrderedTree> forest = GenerateRnaForest(config);
+  TreeMiningConfig mining{2, 4, 0};
+  TreeMotifProblem problem(forest, mining);
+  core::MiningResult edag = core::EdagTraversal(problem);
+  core::MiningResult etree = core::EtreeTraversal(problem);
+  std::set<std::string> a, b;
+  for (const auto& gp : edag.good_patterns) a.insert(gp.pattern.key);
+  for (const auto& gp : etree.good_patterns) b.insert(gp.pattern.key);
+  EXPECT_EQ(a, b);
+  EXPECT_LE(edag.patterns_tested, etree.patterns_tested);
+}
+
+TEST(TreeMotifProblemTest, ParallelDiscoveryMatches) {
+  RnaForestConfig config;
+  config.num_trees = 6;
+  config.min_nodes = 6;
+  config.max_nodes = 10;
+  config.planted = {{"B(HH)", 4}};
+  std::vector<OrderedTree> forest = GenerateRnaForest(config);
+  TreeMiningConfig mining{2, 4, 0};
+  TreeMotifProblem problem(forest, mining);
+  core::MiningResult sequential = core::EdagTraversal(problem);
+  core::ParallelOptions options;
+  options.strategy = core::Strategy::kOptimistic;
+  options.num_workers = 3;
+  core::ParallelResult parallel = core::MineParallel(problem, options);
+  ASSERT_TRUE(parallel.ok);
+  std::set<std::string> a, b;
+  for (const auto& gp : sequential.good_patterns) a.insert(gp.pattern.key);
+  for (const auto& gp : parallel.mining.good_patterns) b.insert(gp.pattern.key);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RnaForestTest, DeterministicAndBounded) {
+  RnaForestConfig config;
+  std::vector<OrderedTree> a = GenerateRnaForest(config);
+  std::vector<OrderedTree> b = GenerateRnaForest(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Serialize(), b[i].Serialize());
+    EXPECT_GE(a[i].size(), config.min_nodes);
+  }
+}
+
+}  // namespace
+}  // namespace fpdm::treemine
