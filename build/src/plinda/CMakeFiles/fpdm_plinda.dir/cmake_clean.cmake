@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_plinda.dir/runtime.cc.o"
+  "CMakeFiles/fpdm_plinda.dir/runtime.cc.o.d"
+  "CMakeFiles/fpdm_plinda.dir/tuple.cc.o"
+  "CMakeFiles/fpdm_plinda.dir/tuple.cc.o.d"
+  "CMakeFiles/fpdm_plinda.dir/tuple_space.cc.o"
+  "CMakeFiles/fpdm_plinda.dir/tuple_space.cc.o.d"
+  "libfpdm_plinda.a"
+  "libfpdm_plinda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_plinda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
