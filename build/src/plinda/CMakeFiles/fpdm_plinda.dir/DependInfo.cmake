@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plinda/chaos.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/chaos.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/chaos.cc.o.d"
   "/root/repo/src/plinda/runtime.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/runtime.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/runtime.cc.o.d"
   "/root/repo/src/plinda/tuple.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple.cc.o.d"
   "/root/repo/src/plinda/tuple_space.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple_space.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple_space.cc.o.d"

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plinda_chaos_test.cc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_chaos_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_chaos_test.cc.o.d"
+  "/root/repo/tests/plinda_runtime_test.cc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_runtime_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_runtime_test.cc.o.d"
+  "/root/repo/tests/plinda_space_test.cc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_space_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_space_test.cc.o.d"
+  "/root/repo/tests/plinda_tuple_test.cc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_tuple_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_plinda_tests.dir/plinda_tuple_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plinda/CMakeFiles/fpdm_plinda.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

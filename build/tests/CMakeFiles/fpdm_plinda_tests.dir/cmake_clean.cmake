@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_chaos_test.cc.o"
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_chaos_test.cc.o.d"
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_runtime_test.cc.o"
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_runtime_test.cc.o.d"
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_space_test.cc.o"
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_space_test.cc.o.d"
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_tuple_test.cc.o"
+  "CMakeFiles/fpdm_plinda_tests.dir/plinda_tuple_test.cc.o.d"
+  "fpdm_plinda_tests"
+  "fpdm_plinda_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_plinda_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/arm_test.cc" "tests/CMakeFiles/fpdm_tests.dir/arm_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/arm_test.cc.o.d"
+  "/root/repo/tests/chaos_soak_test.cc" "tests/CMakeFiles/fpdm_tests.dir/chaos_soak_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/chaos_soak_test.cc.o.d"
   "/root/repo/tests/classify_learners_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_learners_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_learners_test.cc.o.d"
   "/root/repo/tests/classify_parallel_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_parallel_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_parallel_test.cc.o.d"
   "/root/repo/tests/classify_serialize_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_serialize_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_serialize_test.cc.o.d"
@@ -16,9 +17,6 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/classify_tree_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_tree_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_tree_test.cc.o.d"
   "/root/repo/tests/core_traversal_test.cc" "tests/CMakeFiles/fpdm_tests.dir/core_traversal_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/core_traversal_test.cc.o.d"
   "/root/repo/tests/forex_test.cc" "tests/CMakeFiles/fpdm_tests.dir/forex_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/forex_test.cc.o.d"
-  "/root/repo/tests/plinda_runtime_test.cc" "tests/CMakeFiles/fpdm_tests.dir/plinda_runtime_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/plinda_runtime_test.cc.o.d"
-  "/root/repo/tests/plinda_space_test.cc" "tests/CMakeFiles/fpdm_tests.dir/plinda_space_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/plinda_space_test.cc.o.d"
-  "/root/repo/tests/plinda_tuple_test.cc" "tests/CMakeFiles/fpdm_tests.dir/plinda_tuple_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/plinda_tuple_test.cc.o.d"
   "/root/repo/tests/property_sweep_test.cc" "tests/CMakeFiles/fpdm_tests.dir/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/property_sweep_test.cc.o.d"
   "/root/repo/tests/seqmine_discovery_test.cc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_discovery_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_discovery_test.cc.o.d"
   "/root/repo/tests/seqmine_motif_test.cc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_motif_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_motif_test.cc.o.d"

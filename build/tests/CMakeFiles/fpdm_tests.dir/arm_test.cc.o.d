@@ -140,9 +140,10 @@ tests/CMakeFiles/fpdm_tests.dir/arm_test.cc.o: \
  /root/repo/src/core/mining_problem.h /root/repo/src/util/random.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/parallel.h \
- /root/repo/src/plinda/runtime.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime /usr/include/time.h \
+ /root/repo/src/plinda/chaos.h /root/repo/src/plinda/runtime.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/time.h \
  /usr/include/x86_64-linux-gnu/bits/time.h \
  /usr/include/x86_64-linux-gnu/bits/timex.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \

@@ -4,5 +4,9 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(fpdm_plinda_tests "/root/repo/build/tests/fpdm_plinda_tests")
+set_tests_properties(fpdm_plinda_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(fpdm_tests "/root/repo/build/tests/fpdm_tests")
-set_tests_properties(fpdm_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;22;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(fpdm_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fpdm_plinda_tests_tsan "/usr/bin/cmake" "-DSOURCE_DIR=/root/repo" "-DBINARY_DIR=/root/repo/build/tsan" "-P" "/root/repo/tests/run_tsan.cmake")
+set_tests_properties(fpdm_plinda_tests_tsan PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")

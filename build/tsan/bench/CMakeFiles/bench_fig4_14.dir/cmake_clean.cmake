@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_14.dir/bench_fig4_14.cc.o"
+  "CMakeFiles/bench_fig4_14.dir/bench_fig4_14.cc.o.d"
+  "bench_fig4_14"
+  "bench_fig4_14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

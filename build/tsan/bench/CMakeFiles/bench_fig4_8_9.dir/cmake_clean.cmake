@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_8_9.dir/bench_fig4_8_9.cc.o"
+  "CMakeFiles/bench_fig4_8_9.dir/bench_fig4_8_9.cc.o.d"
+  "bench_fig4_8_9"
+  "bench_fig4_8_9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_8_9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

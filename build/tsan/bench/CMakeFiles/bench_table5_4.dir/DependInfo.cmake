@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_4.cc" "bench/CMakeFiles/bench_table5_4.dir/bench_table5_4.cc.o" "gcc" "bench/CMakeFiles/bench_table5_4.dir/bench_table5_4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tsan/src/core/CMakeFiles/fpdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/plinda/CMakeFiles/fpdm_plinda.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/seqmine/CMakeFiles/fpdm_seqmine.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/treemine/CMakeFiles/fpdm_treemine.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/arm/CMakeFiles/fpdm_arm.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/classify/CMakeFiles/fpdm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/data/CMakeFiles/fpdm_data.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/forex/CMakeFiles/fpdm_forex.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/util/CMakeFiles/fpdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forex_trading.dir/forex_trading.cpp.o"
+  "CMakeFiles/forex_trading.dir/forex_trading.cpp.o.d"
+  "forex_trading"
+  "forex_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forex_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

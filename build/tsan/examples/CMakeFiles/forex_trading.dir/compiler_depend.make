@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for forex_trading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for forex_trading.
+# This may be replaced when dependencies are built.

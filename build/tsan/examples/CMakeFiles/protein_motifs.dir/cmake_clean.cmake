@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_motifs.dir/protein_motifs.cpp.o"
+  "CMakeFiles/protein_motifs.dir/protein_motifs.cpp.o.d"
+  "protein_motifs"
+  "protein_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_motifs.dir/rna_motifs.cpp.o"
+  "CMakeFiles/rna_motifs.dir/rna_motifs.cpp.o.d"
+  "rna_motifs"
+  "rna_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

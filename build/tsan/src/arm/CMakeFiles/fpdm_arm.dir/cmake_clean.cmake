@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_arm.dir/apriori.cc.o"
+  "CMakeFiles/fpdm_arm.dir/apriori.cc.o.d"
+  "CMakeFiles/fpdm_arm.dir/problem.cc.o"
+  "CMakeFiles/fpdm_arm.dir/problem.cc.o.d"
+  "libfpdm_arm.a"
+  "libfpdm_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpdm_arm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/c45.cc" "src/classify/CMakeFiles/fpdm_classify.dir/c45.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/c45.cc.o.d"
+  "/root/repo/src/classify/cart.cc" "src/classify/CMakeFiles/fpdm_classify.dir/cart.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/cart.cc.o.d"
+  "/root/repo/src/classify/dataset.cc" "src/classify/CMakeFiles/fpdm_classify.dir/dataset.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/dataset.cc.o.d"
+  "/root/repo/src/classify/impurity.cc" "src/classify/CMakeFiles/fpdm_classify.dir/impurity.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/impurity.cc.o.d"
+  "/root/repo/src/classify/nyuminer.cc" "src/classify/CMakeFiles/fpdm_classify.dir/nyuminer.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/nyuminer.cc.o.d"
+  "/root/repo/src/classify/parallel.cc" "src/classify/CMakeFiles/fpdm_classify.dir/parallel.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/parallel.cc.o.d"
+  "/root/repo/src/classify/prune.cc" "src/classify/CMakeFiles/fpdm_classify.dir/prune.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/prune.cc.o.d"
+  "/root/repo/src/classify/rules.cc" "src/classify/CMakeFiles/fpdm_classify.dir/rules.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/rules.cc.o.d"
+  "/root/repo/src/classify/split.cc" "src/classify/CMakeFiles/fpdm_classify.dir/split.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/split.cc.o.d"
+  "/root/repo/src/classify/tree.cc" "src/classify/CMakeFiles/fpdm_classify.dir/tree.cc.o" "gcc" "src/classify/CMakeFiles/fpdm_classify.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tsan/src/plinda/CMakeFiles/fpdm_plinda.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/util/CMakeFiles/fpdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_classify.dir/c45.cc.o"
+  "CMakeFiles/fpdm_classify.dir/c45.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/cart.cc.o"
+  "CMakeFiles/fpdm_classify.dir/cart.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/dataset.cc.o"
+  "CMakeFiles/fpdm_classify.dir/dataset.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/impurity.cc.o"
+  "CMakeFiles/fpdm_classify.dir/impurity.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/nyuminer.cc.o"
+  "CMakeFiles/fpdm_classify.dir/nyuminer.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/parallel.cc.o"
+  "CMakeFiles/fpdm_classify.dir/parallel.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/prune.cc.o"
+  "CMakeFiles/fpdm_classify.dir/prune.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/rules.cc.o"
+  "CMakeFiles/fpdm_classify.dir/rules.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/split.cc.o"
+  "CMakeFiles/fpdm_classify.dir/split.cc.o.d"
+  "CMakeFiles/fpdm_classify.dir/tree.cc.o"
+  "CMakeFiles/fpdm_classify.dir/tree.cc.o.d"
+  "libfpdm_classify.a"
+  "libfpdm_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

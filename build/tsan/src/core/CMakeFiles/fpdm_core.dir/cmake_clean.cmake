@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_core.dir/parallel.cc.o"
+  "CMakeFiles/fpdm_core.dir/parallel.cc.o.d"
+  "CMakeFiles/fpdm_core.dir/traversal.cc.o"
+  "CMakeFiles/fpdm_core.dir/traversal.cc.o.d"
+  "libfpdm_core.a"
+  "libfpdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_data.dir/benchmarks.cc.o"
+  "CMakeFiles/fpdm_data.dir/benchmarks.cc.o.d"
+  "libfpdm_data.a"
+  "libfpdm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

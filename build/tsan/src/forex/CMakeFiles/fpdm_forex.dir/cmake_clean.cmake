@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_forex.dir/forex.cc.o"
+  "CMakeFiles/fpdm_forex.dir/forex.cc.o.d"
+  "libfpdm_forex.a"
+  "libfpdm_forex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_forex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plinda/chaos.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/chaos.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/chaos.cc.o.d"
+  "/root/repo/src/plinda/runtime.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/runtime.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/runtime.cc.o.d"
+  "/root/repo/src/plinda/tuple.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple.cc.o.d"
+  "/root/repo/src/plinda/tuple_space.cc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple_space.cc.o" "gcc" "src/plinda/CMakeFiles/fpdm_plinda.dir/tuple_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tsan/src/util/CMakeFiles/fpdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fpdm_plinda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seqmine/generator.cc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/generator.cc.o" "gcc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/generator.cc.o.d"
+  "/root/repo/src/seqmine/motif.cc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/motif.cc.o" "gcc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/motif.cc.o.d"
+  "/root/repo/src/seqmine/problem.cc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/problem.cc.o" "gcc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/problem.cc.o.d"
+  "/root/repo/src/seqmine/suffix_tree.cc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/suffix_tree.cc.o" "gcc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/suffix_tree.cc.o.d"
+  "/root/repo/src/seqmine/wang.cc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/wang.cc.o" "gcc" "src/seqmine/CMakeFiles/fpdm_seqmine.dir/wang.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tsan/src/core/CMakeFiles/fpdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/util/CMakeFiles/fpdm_util.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/plinda/CMakeFiles/fpdm_plinda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_seqmine.dir/generator.cc.o"
+  "CMakeFiles/fpdm_seqmine.dir/generator.cc.o.d"
+  "CMakeFiles/fpdm_seqmine.dir/motif.cc.o"
+  "CMakeFiles/fpdm_seqmine.dir/motif.cc.o.d"
+  "CMakeFiles/fpdm_seqmine.dir/problem.cc.o"
+  "CMakeFiles/fpdm_seqmine.dir/problem.cc.o.d"
+  "CMakeFiles/fpdm_seqmine.dir/suffix_tree.cc.o"
+  "CMakeFiles/fpdm_seqmine.dir/suffix_tree.cc.o.d"
+  "CMakeFiles/fpdm_seqmine.dir/wang.cc.o"
+  "CMakeFiles/fpdm_seqmine.dir/wang.cc.o.d"
+  "libfpdm_seqmine.a"
+  "libfpdm_seqmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_seqmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/treemine/edit_distance.cc" "src/treemine/CMakeFiles/fpdm_treemine.dir/edit_distance.cc.o" "gcc" "src/treemine/CMakeFiles/fpdm_treemine.dir/edit_distance.cc.o.d"
+  "/root/repo/src/treemine/problem.cc" "src/treemine/CMakeFiles/fpdm_treemine.dir/problem.cc.o" "gcc" "src/treemine/CMakeFiles/fpdm_treemine.dir/problem.cc.o.d"
+  "/root/repo/src/treemine/tree.cc" "src/treemine/CMakeFiles/fpdm_treemine.dir/tree.cc.o" "gcc" "src/treemine/CMakeFiles/fpdm_treemine.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tsan/src/core/CMakeFiles/fpdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/util/CMakeFiles/fpdm_util.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/plinda/CMakeFiles/fpdm_plinda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

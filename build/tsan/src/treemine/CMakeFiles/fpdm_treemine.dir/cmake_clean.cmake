@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_treemine.dir/edit_distance.cc.o"
+  "CMakeFiles/fpdm_treemine.dir/edit_distance.cc.o.d"
+  "CMakeFiles/fpdm_treemine.dir/problem.cc.o"
+  "CMakeFiles/fpdm_treemine.dir/problem.cc.o.d"
+  "CMakeFiles/fpdm_treemine.dir/tree.cc.o"
+  "CMakeFiles/fpdm_treemine.dir/tree.cc.o.d"
+  "libfpdm_treemine.a"
+  "libfpdm_treemine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_treemine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdm_util.dir/random.cc.o"
+  "CMakeFiles/fpdm_util.dir/random.cc.o.d"
+  "CMakeFiles/fpdm_util.dir/stats.cc.o"
+  "CMakeFiles/fpdm_util.dir/stats.cc.o.d"
+  "CMakeFiles/fpdm_util.dir/table.cc.o"
+  "CMakeFiles/fpdm_util.dir/table.cc.o.d"
+  "libfpdm_util.a"
+  "libfpdm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arm_test.cc" "tests/CMakeFiles/fpdm_tests.dir/arm_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/arm_test.cc.o.d"
+  "/root/repo/tests/chaos_soak_test.cc" "tests/CMakeFiles/fpdm_tests.dir/chaos_soak_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/chaos_soak_test.cc.o.d"
+  "/root/repo/tests/classify_learners_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_learners_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_learners_test.cc.o.d"
+  "/root/repo/tests/classify_parallel_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_parallel_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_parallel_test.cc.o.d"
+  "/root/repo/tests/classify_serialize_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_serialize_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_serialize_test.cc.o.d"
+  "/root/repo/tests/classify_split_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_split_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_split_test.cc.o.d"
+  "/root/repo/tests/classify_tree_test.cc" "tests/CMakeFiles/fpdm_tests.dir/classify_tree_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/classify_tree_test.cc.o.d"
+  "/root/repo/tests/core_traversal_test.cc" "tests/CMakeFiles/fpdm_tests.dir/core_traversal_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/core_traversal_test.cc.o.d"
+  "/root/repo/tests/forex_test.cc" "tests/CMakeFiles/fpdm_tests.dir/forex_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/forex_test.cc.o.d"
+  "/root/repo/tests/property_sweep_test.cc" "tests/CMakeFiles/fpdm_tests.dir/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/property_sweep_test.cc.o.d"
+  "/root/repo/tests/seqmine_discovery_test.cc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_discovery_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_discovery_test.cc.o.d"
+  "/root/repo/tests/seqmine_motif_test.cc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_motif_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_motif_test.cc.o.d"
+  "/root/repo/tests/seqmine_suffix_tree_test.cc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_suffix_tree_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/seqmine_suffix_tree_test.cc.o.d"
+  "/root/repo/tests/treemine_test.cc" "tests/CMakeFiles/fpdm_tests.dir/treemine_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/treemine_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/fpdm_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/fpdm_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tsan/src/forex/CMakeFiles/fpdm_forex.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/arm/CMakeFiles/fpdm_arm.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/treemine/CMakeFiles/fpdm_treemine.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/data/CMakeFiles/fpdm_data.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/classify/CMakeFiles/fpdm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/seqmine/CMakeFiles/fpdm_seqmine.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/core/CMakeFiles/fpdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/plinda/CMakeFiles/fpdm_plinda.dir/DependInfo.cmake"
+  "/root/repo/build/tsan/src/util/CMakeFiles/fpdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,147 @@
+// Chaos harness demo: the same master/worker program runs twice — once
+// failure-free, once under a seeded fault plan that crashes workstations
+// AND the tuple-space server itself (§2.4.6 rollback recovery: periodic
+// checkpoint + operation log). The answer is identical either way; only the
+// virtual clock knows the difference.
+
+#include <cstdio>
+#include <vector>
+
+#include "plinda/chaos.h"
+#include "plinda/runtime.h"
+
+namespace {
+
+using namespace fpdm::plinda;
+
+constexpr int kChunks = 12;
+constexpr int kWorkers = 3;
+
+struct RunOutcome {
+  bool ok = false;
+  int64_t total = 0;
+  double completion = 0;
+  RuntimeStats stats;
+};
+
+// Sums 1..kChunks*100 chunk by chunk: the master outs one task per chunk,
+// workers fold each chunk inside a transaction, the master adds up the
+// partial sums. Every tuple op rides through the (crashable) server.
+RunOutcome RunSum(const FaultPlan& plan, std::vector<TraceEvent>* trace) {
+  Runtime runtime(kWorkers);
+  InstallFaultPlan(&runtime, plan);
+
+  RunOutcome outcome;
+  runtime.SpawnOn("master", 0, [&](ProcessContext& ctx) {
+    int64_t phase = 0;
+    Tuple cont;
+    if (ctx.XRecover(&cont)) phase = GetInt(cont, 0);
+    if (phase == 0) {  // a re-spawned master must not re-out the tasks
+      ctx.XStart();
+      for (int c = 0; c < kChunks; ++c) ctx.Out(MakeTuple("task", c));
+      ctx.XCommit(MakeTuple(int64_t{1}));
+    }
+    ctx.XStart();
+    int64_t total = 0;
+    for (int c = 0; c < kChunks; ++c) {
+      Tuple reply;
+      ctx.In(MakeTemplate(A("sum"), F(ValueType::kInt), F(ValueType::kInt)),
+             &reply);
+      total += GetInt(reply, 2);
+    }
+    outcome.total = total;
+    ctx.XCommit();
+    ctx.XStart();
+    for (int w = 0; w < kWorkers; ++w) ctx.Out(MakeTuple("task", -1));
+    ctx.XCommit();
+  });
+
+  for (int w = 0; w < kWorkers; ++w) {
+    runtime.SpawnOn("worker-" + std::to_string(w), w, [&](ProcessContext& ctx) {
+      for (;;) {
+        ctx.XStart();
+        Tuple task;
+        ctx.In(MakeTemplate(A("task"), F(ValueType::kInt)), &task);
+        const int64_t chunk = GetInt(task, 1);
+        if (chunk < 0) {
+          ctx.XCommit();
+          return;
+        }
+        ctx.Compute(25.0);  // long enough to straddle injected faults
+        int64_t sum = 0;
+        for (int i = 1; i <= 100; ++i) sum += chunk * 100 + i;
+        ctx.Out(MakeTuple("sum", chunk, sum));
+        ctx.XCommit();
+      }
+    });
+  }
+
+  outcome.ok = runtime.Run();
+  outcome.completion = runtime.CompletionTime();
+  outcome.stats = runtime.stats();
+  if (trace != nullptr) *trace = runtime.trace();
+  if (!runtime.diagnostic().empty()) {
+    std::printf("diagnostic:\n%s", runtime.diagnostic().c_str());
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  // Failure-free baseline.
+  const RunOutcome quiet = RunSum(FaultPlan{}, nullptr);
+
+  // A seeded chaos schedule: machine crashes/retreats plus one tuple-space
+  // server crash. Machine 0 is spared — the master runs there.
+  ChaosOptions chaos;
+  chaos.seed = 5;
+  chaos.start_time = 10.0;
+  chaos.horizon = 0.8 * quiet.completion;
+  chaos.machine_mttf = quiet.completion / 2;
+  chaos.machine_mttr = quiet.completion / 8;
+  chaos.server_mttf = quiet.completion / 3;
+  chaos.server_mttr = quiet.completion / 10;
+  const FaultPlan plan = GenerateFaultPlan(kWorkers, chaos);
+
+  std::printf("fault plan (seed %llu):\n%s\n",
+              static_cast<unsigned long long>(chaos.seed),
+              ToString(plan).c_str());
+
+  std::vector<TraceEvent> trace;
+  const RunOutcome chaotic = RunSum(plan, &trace);
+
+  std::printf("recovery trace (Chapter 7's Monitor window):\n");
+  for (const TraceEvent& event : trace) {
+    std::printf("  %s\n", ToString(event).c_str());
+  }
+
+  std::printf("\n%-22s %14s %14s\n", "", "failure-free", "under chaos");
+  std::printf("%-22s %14lld %14lld\n", "total", (long long)quiet.total,
+              (long long)chaotic.total);
+  std::printf("%-22s %14.1f %14.1f\n", "virtual completion", quiet.completion,
+              chaotic.completion);
+  std::printf("%-22s %14llu %14llu\n", "kills",
+              (unsigned long long)quiet.stats.processes_killed,
+              (unsigned long long)chaotic.stats.processes_killed);
+  std::printf("%-22s %14llu %14llu\n", "respawns",
+              (unsigned long long)quiet.stats.processes_respawned,
+              (unsigned long long)chaotic.stats.processes_respawned);
+  std::printf("%-22s %14llu %14llu\n", "txn aborts",
+              (unsigned long long)quiet.stats.transactions_aborted,
+              (unsigned long long)chaotic.stats.transactions_aborted);
+  std::printf("%-22s %14llu %14llu\n", "server crashes",
+              (unsigned long long)quiet.stats.server_failures,
+              (unsigned long long)chaotic.stats.server_failures);
+  std::printf("%-22s %14llu %14llu\n", "server checkpoints",
+              (unsigned long long)quiet.stats.server_checkpoints,
+              (unsigned long long)chaotic.stats.server_checkpoints);
+  std::printf("%-22s %14llu %14llu\n", "log ops replayed",
+              (unsigned long long)quiet.stats.server_ops_replayed,
+              (unsigned long long)chaotic.stats.server_ops_replayed);
+
+  const bool identical = quiet.ok && chaotic.ok && quiet.total == chaotic.total;
+  std::printf("\nresults identical under chaos: %s\n",
+              identical ? "yes" : "NO (bug!)");
+  return identical ? 0 : 1;
+}

@@ -41,6 +41,7 @@ void ApplyFailures(plinda::Runtime* runtime, const ParallelExecOptions& exec) {
   for (const auto& [machine, time] : exec.failures) {
     runtime->ScheduleFailure(machine, time);
   }
+  plinda::InstallFaultPlan(runtime, exec.fault_plan);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include "classify/c45.h"
 #include "classify/nyuminer.h"
+#include "plinda/chaos.h"
 #include "plinda/runtime.h"
 
 namespace fpdm::classify {
@@ -20,6 +21,10 @@ struct ParallelExecOptions {
   /// Machine failures to inject: (machine, virtual time). Machine 0 hosts
   /// the master.
   std::vector<std::pair<int, double>> failures;
+  /// Seeded chaos schedule (machine and tuple-space-server faults) applied
+  /// on top of `failures`; see plinda/chaos.h. Keep machine 0 spared: the
+  /// master (and worker 0) run there.
+  plinda::FaultPlan fault_plan;
 };
 
 /// Result of a parallel tree-building run.

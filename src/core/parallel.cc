@@ -205,7 +205,7 @@ void EtreeMaster(ProcessContext& ctx, const MiningProblem& problem,
 // handed to the load-balanced protocol instead.
 void PledMaster(ProcessContext& ctx, const MiningProblem& problem,
                 const ParallelOptions& options, bool hybrid,
-                SharedState* shared) {
+                SharedState* /*shared*/) {
   std::map<std::string, bool> verdict;
   std::vector<Pattern> pending;
   int64_t active = 0;
@@ -310,6 +310,7 @@ ParallelResult MineParallel(const MiningProblem& problem,
   for (const auto& [machine, time] : opts.failures) {
     runtime.ScheduleFailure(machine, time);
   }
+  plinda::InstallFaultPlan(&runtime, opts.fault_plan);
 
   auto shared = std::make_unique<SharedState>();
   SharedState* shared_ptr = shared.get();

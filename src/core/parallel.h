@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/mining_problem.h"
+#include "plinda/chaos.h"
 #include "plinda/runtime.h"
 
 namespace fpdm::core {
@@ -60,6 +61,12 @@ struct ParallelOptions {
   /// Virtual-machine failures to inject: (machine index, virtual time).
   /// Machine 0 hosts the master; see DESIGN.md on master fault tolerance.
   std::vector<std::pair<int, double>> failures;
+
+  /// Seeded chaos schedule (machine and tuple-space-server faults) applied
+  /// on top of `failures`. See plinda/chaos.h; generate with
+  /// GenerateFaultPlan and leave machine 0 spared (the master does not
+  /// commit continuations).
+  plinda::FaultPlan fault_plan;
 
   plinda::RuntimeOptions runtime;
 };

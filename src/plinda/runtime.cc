@@ -13,6 +13,23 @@ namespace {
 /// asynchronous process death (see DESIGN.md) and never escapes the runtime.
 struct ProcessKilledException {};
 
+/// Sibling of ProcessKilledException for protocol misuse: the offending
+/// process unwinds, a RuntimeError is recorded, and no respawn happens
+/// (re-running a buggy program would fail the same way).
+struct ProtocolErrorException {};
+
+/// A template matching exactly `tuple` (all fields actual). Used to replay
+/// logged removals: FIFO matching removes the same tuple the original
+/// operation removed, even among duplicates.
+Template ExactTemplate(const Tuple& tuple) {
+  Template tmpl;
+  tmpl.fields.reserve(tuple.fields.size());
+  for (const Value& value : tuple.fields) {
+    tmpl.fields.push_back(TemplateField::Actual(value));
+  }
+  return tmpl;
+}
+
 }  // namespace
 
 std::string ToString(const TraceEvent& event) {
@@ -36,16 +53,54 @@ std::string ToString(const TraceEvent& event) {
     case TraceEvent::Kind::kMachineRecovered:
       kind = "MACHINE_RECOVERED";
       break;
+    case TraceEvent::Kind::kServerFailed:
+      kind = "SERVER_FAILED";
+      break;
+    case TraceEvent::Kind::kServerRecovered:
+      kind = "SERVER_RECOVERED";
+      break;
+    case TraceEvent::Kind::kServerCheckpoint:
+      kind = "SERVER_CHECKPOINT";
+      break;
+    case TraceEvent::Kind::kError:
+      kind = "ERROR";
+      break;
   }
   char buf[160];
   if (event.pid >= 0) {
     std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-17s %s (pid %d, machine %d)",
                   event.time, kind, event.process.c_str(), event.pid,
                   event.machine);
-  } else {
+  } else if (event.machine >= 0) {
     std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-17s machine %d", event.time,
                   kind, event.machine);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-17s tuple-space server",
+                  event.time, kind);
   }
+  return buf;
+}
+
+std::string ToString(const RuntimeError& error) {
+  const char* what = "?";
+  switch (error.code) {
+    case RuntimeError::Code::kXCommitWithoutXStart:
+      what = "xcommit without xstart";
+      break;
+    case RuntimeError::Code::kNestedXStart:
+      what = "nested xstart (transactions cannot nest)";
+      break;
+    case RuntimeError::Code::kXRecoverInsideTransaction:
+      what = "xrecover inside an open transaction";
+      break;
+    case RuntimeError::Code::kNoMachineAvailable:
+      what = "spawn requested while every machine is down";
+      break;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "[t=%8.2f] protocol error in %s (pid %d): %s%s%s",
+                error.time, error.process.c_str(), error.pid, what,
+                error.detail.empty() ? "" : " — ", error.detail.c_str());
   return buf;
 }
 
@@ -88,12 +143,21 @@ void Runtime::SetMachineSpeed(int machine, double speed) {
 
 void Runtime::ScheduleFailure(int machine, double time) {
   assert(machine >= 0 && machine < num_machines());
-  events_.push_back(Event{time, machine, /*failure=*/true});
+  events_.push_back(Event{time, Event::Kind::kMachineFail, machine});
 }
 
 void Runtime::ScheduleRecovery(int machine, double time) {
   assert(machine >= 0 && machine < num_machines());
-  events_.push_back(Event{time, machine, /*failure=*/false});
+  events_.push_back(Event{time, Event::Kind::kMachineRecover, machine});
+}
+
+void Runtime::ScheduleServerFailure(double time) {
+  events_.push_back(Event{time, Event::Kind::kServerFail, -1});
+  server_protected_ = true;  // start maintaining checkpoint + op log
+}
+
+void Runtime::ScheduleServerRecovery(double time) {
+  events_.push_back(Event{time, Event::Kind::kServerRecover, -1});
 }
 
 int Runtime::Spawn(const std::string& name, ProcessFn fn) {
@@ -149,8 +213,17 @@ void Runtime::StartThreadLocked(Proc* proc) {
 bool Runtime::Run() {
   std::unique_lock<std::mutex> lock(mu_);
   std::stable_sort(events_.begin(), events_.end());
-  size_t next_event = 0;
+  next_event_ = 0;
   deadlocked_ = false;
+  diagnostic_.clear();
+  if (server_protected_) {
+    // Initial checkpoint at t=0 covers tuples seeded before Run().
+    server_checkpoint_ = space_.Checkpoint();
+    server_log_.clear();
+    ++stats_.server_checkpoints;
+    RecordLocked(TraceEvent::Kind::kServerCheckpoint, 0.0, nullptr, -1);
+    next_checkpoint_time_ = options_.server_checkpoint_interval;
+  }
   for (;;) {
     if (++stats_.scheduler_steps > options_.max_steps) {
       deadlocked_ = true;
@@ -165,30 +238,82 @@ bool Runtime::Run() {
         next = p;
       }
     }
+    if (next == nullptr) {
+      bool waiting = !pending_respawns_.empty();
+      for (auto& up : procs_) {
+        if (up->state == ProcState::kBlocked) waiting = true;
+      }
+      // Every process finished: the simulation is over and faults scheduled
+      // beyond this point never happen.
+      if (!waiting) break;
+      // Someone is blocked or awaiting a machine: only a future event can
+      // unstick them; with no events left this is a deadlock.
+      if (next_event_ >= events_.size()) {
+        deadlocked_ = true;
+        break;
+      }
+    }
     const double horizon =
         next != nullptr ? next->clock : std::numeric_limits<double>::infinity();
-    if (next_event < events_.size() && events_[next_event].time <= horizon) {
-      ApplyEventLocked(events_[next_event], lock);
-      ++next_event;
+    if (next_event_ < events_.size() && events_[next_event_].time <= horizon) {
+      ApplyEventLocked(events_[next_event_], lock);
+      ++next_event_;
       continue;
-    }
-    if (next == nullptr) {
-      bool stuck = !pending_respawns_.empty();
-      for (auto& up : procs_) {
-        if (up->state == ProcState::kBlocked) stuck = true;
-      }
-      deadlocked_ = stuck;
-      break;
     }
     GrantLocked(next, lock);
   }
+  if (deadlocked_ || !errors_.empty()) BuildDiagnosticLocked();
   shutdown_ = true;
   for (auto& proc : procs_) proc->cv.notify_all();
   lock.unlock();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
-  return !deadlocked_;
+  return !deadlocked_ && errors_.empty();
+}
+
+void Runtime::BuildDiagnosticLocked() {
+  std::string out;
+  if (deadlocked_) {
+    out += "deadlock: no process can make progress\n";
+    for (const auto& up : procs_) {
+      const Proc* proc = up.get();
+      if (proc->state != ProcState::kBlocked) continue;
+      char head[128];
+      std::snprintf(head, sizeof(head), "  %s (pid %d, machine %d) blocked on ",
+                    proc->name.c_str(), proc->id, proc->machine);
+      out += head;
+      if (proc->block_reason == BlockReason::kServer) {
+        out += "tuple-space server recovery";
+      } else {
+        out += proc->blocked_remove ? "in " : "rd ";
+        out += ToString(proc->blocked_tmpl);
+      }
+      out += '\n';
+    }
+    for (const Proc* proc : pending_respawns_) {
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "  %s (pid %d) killed, awaiting an up machine\n",
+                    proc->name.c_str(), proc->id);
+      out += line;
+    }
+    if (!server_up_) {
+      bool recovery_pending = false;
+      for (size_t e = next_event_; e < events_.size(); ++e) {
+        if (events_[e].kind == Event::Kind::kServerRecover) {
+          recovery_pending = true;
+        }
+      }
+      out += recovery_pending
+                 ? "  tuple-space server is down (recovery still scheduled)\n"
+                 : "  tuple-space server is down and no recovery is scheduled\n";
+    }
+  }
+  for (const RuntimeError& error : errors_) {
+    out += "  " + ToString(error) + '\n';
+  }
+  diagnostic_ = std::move(out);
 }
 
 void Runtime::GrantLocked(Proc* proc, std::unique_lock<std::mutex>& lock) {
@@ -200,35 +325,144 @@ void Runtime::GrantLocked(Proc* proc, std::unique_lock<std::mutex>& lock) {
 
 void Runtime::ApplyEventLocked(const Event& event,
                                std::unique_lock<std::mutex>& lock) {
-  Machine& machine = machines_[static_cast<size_t>(event.machine)];
-  if (event.failure) {
-    if (!machine.up) return;
-    machine.up = false;
-    RecordLocked(TraceEvent::Kind::kMachineFailed, event.time, nullptr,
-                 event.machine);
-    for (auto& up : procs_) {
-      Proc* proc = up.get();
-      if (proc->machine != event.machine) continue;
-      if (proc->state != ProcState::kReady &&
-          proc->state != ProcState::kBlocked) {
-        continue;
+  switch (event.kind) {
+    case Event::Kind::kMachineFail: {
+      Machine& machine = machines_[static_cast<size_t>(event.machine)];
+      if (!machine.up) return;
+      machine.up = false;
+      RecordLocked(TraceEvent::Kind::kMachineFailed, event.time, nullptr,
+                   event.machine);
+      for (auto& up : procs_) {
+        Proc* proc = up.get();
+        if (proc->machine != event.machine) continue;
+        if (proc->state != ProcState::kReady &&
+            proc->state != ProcState::kBlocked) {
+          continue;
+        }
+        KillProcLocked(proc, event.time, lock);
+        if (auto_respawn_) RespawnLocked(proc, event.time);
       }
-      KillProcLocked(proc, event.time, lock);
-      if (auto_respawn_) RespawnLocked(proc, event.time);
+      return;
     }
-  } else {
-    if (machine.up) return;
-    machine.up = true;
-    RecordLocked(TraceEvent::Kind::kMachineRecovered, event.time, nullptr,
-                 event.machine);
-    while (!pending_respawns_.empty()) {
-      Proc* proc = pending_respawns_.front();
-      pending_respawns_.pop_front();
-      proc->machine = event.machine;
-      proc->clock = event.time;  // RespawnLocked adds the spawn delay
-      RespawnLocked(proc, event.time);
+    case Event::Kind::kMachineRecover: {
+      Machine& machine = machines_[static_cast<size_t>(event.machine)];
+      if (machine.up) return;
+      machine.up = true;
+      RecordLocked(TraceEvent::Kind::kMachineRecovered, event.time, nullptr,
+                   event.machine);
+      while (!pending_respawns_.empty()) {
+        Proc* proc = pending_respawns_.front();
+        pending_respawns_.pop_front();
+        proc->machine = event.machine;
+        proc->clock = event.time;  // RespawnLocked adds the spawn delay
+        RespawnLocked(proc, event.time);
+      }
+      return;
+    }
+    case Event::Kind::kServerFail: {
+      if (!server_up_) return;
+      // Periodic checkpoints due before the crash cover the current state
+      // (no mutation happened since, or they would already be taken).
+      MaybeCheckpointLocked(event.time);
+      server_up_ = false;
+      server_down_since_ = event.time;
+      ++stats_.server_failures;
+      // The server's volatile memory is gone: recovery must rebuild the
+      // space from checkpoint + log, not from this in-process object.
+      space_.Clear();
+      RecordLocked(TraceEvent::Kind::kServerFailed, event.time, nullptr, -1);
+      return;
+    }
+    case Event::Kind::kServerRecover: {
+      if (server_up_) return;
+      // Rollback recovery (§2.4.6): last periodic checkpoint, then the
+      // operation log, then restorations from transactions aborted while
+      // the server was down.
+      const bool restored = space_.Restore(server_checkpoint_);
+      assert(restored && "server checkpoint must round-trip");
+      (void)restored;
+      for (const ServerLogEntry& entry : server_log_) {
+        if (entry.removed) {
+          space_.TryIn(ExactTemplate(entry.tuple), nullptr);
+        } else {
+          space_.Out(entry.tuple);
+        }
+      }
+      stats_.server_ops_replayed += server_log_.size();
+      for (Tuple& tuple : deferred_restores_) space_.Out(std::move(tuple));
+      deferred_restores_.clear();
+      // Fresh checkpoint of the recovered state; the replayed log is spent.
+      server_checkpoint_ = space_.Checkpoint();
+      server_log_.clear();
+      ++stats_.server_checkpoints;
+      next_checkpoint_time_ = event.time + options_.server_checkpoint_interval;
+      server_up_ = true;
+      stats_.server_downtime += event.time - server_down_since_;
+      RecordLocked(TraceEvent::Kind::kServerRecovered, event.time, nullptr, -1);
+      // Stalled clients resume after the restart delay; processes blocked on
+      // templates also recheck (the recovered space may satisfy them).
+      WakeBlockedLocked(event.time + options_.server_restart_delay);
+      return;
     }
   }
+}
+
+void Runtime::MaybeCheckpointLocked(double now) {
+  if (!server_protected_ || !server_up_) return;
+  while (next_checkpoint_time_ <= now) {
+    server_checkpoint_ = space_.Checkpoint();
+    server_log_.clear();
+    ++stats_.server_checkpoints;
+    // Stamped at the boundary the checkpoint covers; taken lazily at the
+    // first mutation past it, so trace times of checkpoint events may
+    // precede the event that triggered them.
+    RecordLocked(TraceEvent::Kind::kServerCheckpoint, next_checkpoint_time_,
+                 nullptr, -1);
+    next_checkpoint_time_ += options_.server_checkpoint_interval;
+  }
+}
+
+void Runtime::ServerOutLocked(double now, Tuple tuple) {
+  MaybeCheckpointLocked(now);
+  if (server_protected_) {
+    server_log_.push_back(ServerLogEntry{/*removed=*/false, tuple});
+  }
+  space_.Out(std::move(tuple));
+}
+
+bool Runtime::ServerTryInLocked(double now, const Template& tmpl,
+                                Tuple* result) {
+  MaybeCheckpointLocked(now);
+  Tuple found;
+  if (!space_.TryIn(tmpl, &found)) return false;
+  if (server_protected_) {
+    server_log_.push_back(ServerLogEntry{/*removed=*/true, found});
+  }
+  if (result != nullptr) *result = std::move(found);
+  return true;
+}
+
+void Runtime::WaitServerLocked(Proc* proc, std::unique_lock<std::mutex>& lock) {
+  while (!server_up_) {
+    proc->state = ProcState::kBlocked;
+    proc->block_reason = BlockReason::kServer;
+    Yield(proc, lock);
+  }
+  proc->block_reason = BlockReason::kNone;
+}
+
+void Runtime::FailProcLocked(Proc* proc, RuntimeError::Code code,
+                             std::string detail) {
+  RuntimeError error;
+  error.code = code;
+  error.time = proc->clock;
+  error.pid = proc->id;
+  error.process = proc->name;
+  error.detail = std::move(detail);
+  errors_.push_back(std::move(error));
+  proc->errored = true;
+  RecordLocked(TraceEvent::Kind::kError, proc->clock, proc, proc->machine);
+  throw ProtocolErrorException{};
 }
 
 void Runtime::KillProcLocked(Proc* proc, double time,
@@ -274,21 +508,27 @@ void Runtime::AbortTxnLocked(Proc* proc, double time) {
   // Restore the tuples the transaction removed; drop its unpublished outs.
   // Restored tuples re-enter at the tail of the FIFO order, which is an
   // acceptable deviation (no template in this repo depends on the relative
-  // order of a restored tuple).
+  // order of a restored tuple). While the server is down the restorations
+  // are parked and applied right after recovery's log replay.
   bool restored = false;
   for (Tuple& tuple : proc->txn_ins) {
-    space_.Out(std::move(tuple));
+    if (server_up_) {
+      ServerOutLocked(time, std::move(tuple));
+    } else {
+      deferred_restores_.push_back(std::move(tuple));
+    }
     restored = true;
   }
   proc->txn_ins.clear();
   proc->txn_outs.clear();
   proc->txn_active = false;
   ++stats_.transactions_aborted;
-  if (restored) WakeBlockedLocked(time);
+  if (restored && server_up_) WakeBlockedLocked(time);
 }
 
 void Runtime::RunProcess(Proc* proc, int incarnation) {
   bool killed = false;
+  bool errored = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     proc->cv.wait(lock, [&] { return proc->granted || shutdown_; });
@@ -300,6 +540,8 @@ void Runtime::RunProcess(Proc* proc, int incarnation) {
       proc->fn(ctx);
     } catch (const ProcessKilledException&) {
       killed = true;
+    } catch (const ProtocolErrorException&) {
+      errored = true;
     }
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -307,6 +549,9 @@ void Runtime::RunProcess(Proc* proc, int incarnation) {
   if (killed) {
     proc->state = ProcState::kDead;
     ++stats_.processes_killed;
+  } else if (errored) {
+    // Terminated by FailProcLocked: counted in errors_, not as a failure.
+    proc->state = ProcState::kDead;
   } else {
     proc->state = ProcState::kDone;
     completion_time_ = std::max(completion_time_, proc->clock);
@@ -328,12 +573,13 @@ void Runtime::Yield(Proc* proc, std::unique_lock<std::mutex>& lock) {
 
 void Runtime::OpOut(Proc* proc, Tuple tuple) {
   std::unique_lock<std::mutex> lock(mu_);
+  WaitServerLocked(proc, lock);
   proc->clock += options_.tuple_op_latency;
   ++stats_.tuple_ops;
   if (proc->txn_active) {
     proc->txn_outs.push_back(std::move(tuple));
   } else {
-    space_.Out(std::move(tuple));
+    ServerOutLocked(proc->clock, std::move(tuple));
     WakeBlockedLocked(proc->clock);
   }
   Yield(proc, lock);
@@ -345,6 +591,7 @@ bool Runtime::OpIn(Proc* proc, const Template& tmpl, Tuple* result,
   proc->clock += options_.tuple_op_latency;
   ++stats_.tuple_ops;
   for (;;) {
+    WaitServerLocked(proc, lock);
     // A transaction sees its own uncommitted outs.
     if (proc->txn_active) {
       bool matched = false;
@@ -362,8 +609,8 @@ bool Runtime::OpIn(Proc* proc, const Template& tmpl, Tuple* result,
       }
     }
     Tuple found;
-    const bool ok =
-        remove ? space_.TryIn(tmpl, &found) : space_.TryRd(tmpl, &found);
+    const bool ok = remove ? ServerTryInLocked(proc->clock, tmpl, &found)
+                           : space_.TryRd(tmpl, &found);
     if (ok) {
       if (remove && proc->txn_active) proc->txn_ins.push_back(found);
       if (result != nullptr) *result = std::move(found);
@@ -375,13 +622,20 @@ bool Runtime::OpIn(Proc* proc, const Template& tmpl, Tuple* result,
       return false;
     }
     proc->state = ProcState::kBlocked;
+    proc->block_reason = BlockReason::kTemplate;
+    proc->blocked_tmpl = tmpl;
+    proc->blocked_remove = remove;
     Yield(proc, lock);  // woken when some commit/out publishes new tuples
   }
 }
 
 void Runtime::OpXStart(Proc* proc) {
   std::unique_lock<std::mutex> lock(mu_);
-  assert(!proc->txn_active && "nested transactions are not supported");
+  WaitServerLocked(proc, lock);
+  if (proc->txn_active) {
+    FailProcLocked(proc, RuntimeError::Code::kNestedXStart,
+                   "transaction already open");
+  }
   proc->clock += options_.txn_latency;
   proc->txn_active = true;
   Yield(proc, lock);
@@ -389,10 +643,16 @@ void Runtime::OpXStart(Proc* proc) {
 
 void Runtime::OpXCommit(Proc* proc, bool has_continuation, Tuple continuation) {
   std::unique_lock<std::mutex> lock(mu_);
-  assert(proc->txn_active && "xcommit without xstart");
+  WaitServerLocked(proc, lock);
+  if (!proc->txn_active) {
+    FailProcLocked(proc, RuntimeError::Code::kXCommitWithoutXStart,
+                   "no transaction is open");
+  }
   proc->clock += options_.txn_latency;
   bool published = !proc->txn_outs.empty();
-  for (Tuple& tuple : proc->txn_outs) space_.Out(std::move(tuple));
+  for (Tuple& tuple : proc->txn_outs) {
+    ServerOutLocked(proc->clock, std::move(tuple));
+  }
   proc->txn_outs.clear();
   proc->txn_ins.clear();
   proc->txn_active = false;
@@ -404,6 +664,11 @@ void Runtime::OpXCommit(Proc* proc, bool has_continuation, Tuple continuation) {
 
 bool Runtime::OpXRecover(Proc* proc, Tuple* continuation) {
   std::unique_lock<std::mutex> lock(mu_);
+  WaitServerLocked(proc, lock);
+  if (proc->txn_active) {
+    FailProcLocked(proc, RuntimeError::Code::kXRecoverInsideTransaction,
+                   "xrecover must run outside transactions");
+  }
   proc->clock += options_.txn_latency;
   auto it = continuations_.find(proc->id);
   const bool found = it != continuations_.end();
@@ -425,7 +690,10 @@ int Runtime::OpSpawn(Proc* proc, const std::string& name, ProcessFn fn) {
   std::unique_lock<std::mutex> lock(mu_);
   proc->clock += options_.tuple_op_latency;
   int machine = PickMachineLocked();
-  assert(machine >= 0);
+  if (machine < 0) {
+    FailProcLocked(proc, RuntimeError::Code::kNoMachineAvailable,
+                   "cannot place process \"" + name + "\"");
+  }
   int id = SpawnLocked(name, machine, std::move(fn),
                        proc->clock + options_.spawn_delay);
   Yield(proc, lock);

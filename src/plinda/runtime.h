@@ -35,6 +35,13 @@ struct RuntimeOptions {
   /// Delay before a (re)spawned process starts running (proc_eval + process
   /// start; also the failure-detection + restart delay after a crash).
   double spawn_delay = 2.0;
+  /// Virtual seconds between periodic checkpoints of the tuple-space server
+  /// (§2.4.6). Checkpoint + operation log are only maintained once a server
+  /// failure has been scheduled, so failure-free runs pay nothing.
+  double server_checkpoint_interval = 50.0;
+  /// Extra delay between the server recovery event and stalled clients
+  /// resuming (server restart + log replay time).
+  double server_restart_delay = 2.0;
   /// Safety valve: abort the simulation after this many scheduler steps.
   uint64_t max_steps = 200'000'000;
 };
@@ -50,16 +57,41 @@ struct TraceEvent {
     kRespawned,
     kMachineFailed,
     kMachineRecovered,
+    kServerFailed,      // tuple-space server crash (machine/pid = -1)
+    kServerRecovered,   // server back up: checkpoint restored, log replayed
+    kServerCheckpoint,  // periodic checkpoint of the tuple space taken
+    kError,             // protocol misuse terminated the process
   };
   Kind kind = Kind::kSpawned;
   double time = 0;
-  int pid = -1;          // -1 for machine events
-  int machine = -1;
-  std::string process;   // empty for machine events
+  int pid = -1;          // -1 for machine and server events
+  int machine = -1;      // -1 for server events
+  std::string process;   // empty for machine and server events
 };
 
 /// Human-readable rendering of a trace event.
 std::string ToString(const TraceEvent& event);
+
+/// A structured runtime error: PLinda protocol misuse by a process body
+/// (e.g. xcommit without xstart). Instead of asserting — which silently
+/// corrupts state in release builds — the runtime records one of these,
+/// terminates the offending process, and makes Run() return false.
+struct RuntimeError {
+  enum class Code {
+    kXCommitWithoutXStart,
+    kNestedXStart,
+    kXRecoverInsideTransaction,
+    kNoMachineAvailable,  // spawn requested while every machine is down
+  };
+  Code code = Code::kXCommitWithoutXStart;
+  double time = 0;
+  int pid = -1;
+  std::string process;
+  std::string detail;
+};
+
+/// Human-readable rendering of a runtime error.
+std::string ToString(const RuntimeError& error);
 
 /// Aggregate counters exposed after Run().
 struct RuntimeStats {
@@ -69,6 +101,13 @@ struct RuntimeStats {
   uint64_t processes_killed = 0;
   uint64_t processes_respawned = 0;
   uint64_t scheduler_steps = 0;
+  /// Tuple-space server failure model (§2.4.6).
+  uint64_t server_failures = 0;
+  uint64_t server_checkpoints = 0;
+  /// Logged operations replayed on top of the last checkpoint at recovery.
+  uint64_t server_ops_replayed = 0;
+  /// Total virtual seconds the server was down (crash to recovery event).
+  double server_downtime = 0;
   /// Sum over processes of Compute() work units actually performed
   /// (including work later lost to failures).
   double total_work = 0;
@@ -89,6 +128,9 @@ struct RuntimeStats {
 /// is rolled back (tuples restored), and — PLinda's fault-tolerance
 /// guarantee, §7.1 — the process is re-spawned on another up machine where
 /// XRecover() returns the continuation of its last committed transaction.
+/// Tuple-space-server failures (§2.4.6) lose the space's volatile memory
+/// and recover it from a periodic checkpoint plus an operation log; see
+/// ScheduleServerFailure and DESIGN.md "Fault model".
 class Runtime {
  public:
   explicit Runtime(int num_machines, RuntimeOptions options = RuntimeOptions());
@@ -105,6 +147,17 @@ class Runtime {
   /// processes until recovered.
   void ScheduleFailure(int machine, double time);
   void ScheduleRecovery(int machine, double time);
+
+  /// Schedules a tuple-space-server crash / restart at a virtual time
+  /// (§2.4.6 made real). While the server is down every tuple-space
+  /// operation stalls; at the crash the in-memory space is lost, and the
+  /// restart recovers it from the last periodic checkpoint plus an
+  /// operation log replayed on top. Scheduling a failure enables the
+  /// checkpoint+log machinery (see RuntimeOptions::server_checkpoint_interval).
+  /// Open transactions survive client-side: their buffered outs publish on
+  /// the recovered server at commit, and aborts restore their ins there.
+  void ScheduleServerFailure(double time);
+  void ScheduleServerRecovery(double time);
 
   /// If true (default), killed processes are automatically re-spawned on an
   /// up machine, as the PLinda server does.
@@ -126,6 +179,16 @@ class Runtime {
   /// True if the previous Run() ended in deadlock.
   bool deadlocked() const { return deadlocked_; }
 
+  /// Protocol-misuse errors recorded during the previous Run(). Non-empty
+  /// errors also make Run() return false.
+  const std::vector<RuntimeError>& errors() const { return errors_; }
+
+  /// Human-readable post-mortem of a failed Run(): which processes are
+  /// blocked on which templates (or on server recovery), which are awaiting
+  /// an up machine, whether the server is down, and any protocol errors.
+  /// Empty after a successful run.
+  const std::string& diagnostic() const { return diagnostic_; }
+
   TupleSpace& space() { return space_; }
   const RuntimeStats& stats() const { return stats_; }
   int num_machines() const { return static_cast<int>(machines_.size()); }
@@ -140,6 +203,9 @@ class Runtime {
 
   enum class ProcState { kReady, kBlocked, kDone, kDead };
 
+  /// Why a kBlocked process is blocked, for the deadlock diagnostic.
+  enum class BlockReason { kNone, kTemplate, kServer };
+
   struct Proc {
     int id = 0;
     std::string name;
@@ -149,8 +215,13 @@ class Runtime {
     ProcState state = ProcState::kReady;
     bool granted = false;
     bool kill_requested = false;
+    bool errored = false;  // terminated by a protocol error, not a failure
     int incarnation = 0;
     std::condition_variable cv;
+
+    BlockReason block_reason = BlockReason::kNone;
+    Template blocked_tmpl;  // meaningful when block_reason == kTemplate
+    bool blocked_remove = false;  // in/inp vs rd/rdp
 
     // Open transaction state.
     bool txn_active = false;
@@ -166,10 +237,18 @@ class Runtime {
   };
 
   struct Event {
+    enum class Kind { kMachineFail, kMachineRecover, kServerFail, kServerRecover };
     double time = 0;
-    int machine = 0;
-    bool failure = false;  // false = recovery
+    Kind kind = Kind::kMachineFail;
+    int machine = -1;  // -1 for server events
     bool operator<(const Event& other) const { return time < other.time; }
+  };
+
+  /// One entry of the tuple-space-server operation log: every mutation of
+  /// the space since the last checkpoint, replayed in order at recovery.
+  struct ServerLogEntry {
+    bool removed = false;  // false: tuple was out'ed; true: tuple was in'ed
+    Tuple tuple;
   };
 
   // --- scheduler internals (all require mu_ held) ---
@@ -183,6 +262,23 @@ class Runtime {
   void RespawnLocked(Proc* proc, double time);
   void WakeBlockedLocked(double time);
   void AbortTxnLocked(Proc* proc, double time);
+  void BuildDiagnosticLocked();
+
+  // --- tuple-space server (all require mu_ held) ---
+  /// Takes every periodic checkpoint due at or before `now` (the space only
+  /// changes through the helpers below, so a lazily taken checkpoint equals
+  /// the state at its boundary).
+  void MaybeCheckpointLocked(double now);
+  /// All server-side mutations of the space flow through these two helpers
+  /// so the recovery log stays complete.
+  void ServerOutLocked(double now, Tuple tuple);
+  bool ServerTryInLocked(double now, const Template& tmpl, Tuple* result);
+  /// Blocks the process until the server is up (throws if killed meanwhile).
+  void WaitServerLocked(Proc* proc, std::unique_lock<std::mutex>& lock);
+  /// Records a protocol error, terminates the process ([[noreturn]] via the
+  /// internal unwind exception).
+  [[noreturn]] void FailProcLocked(Proc* proc, RuntimeError::Code code,
+                                   std::string detail);
 
   // --- process-side entry points (called on process threads) ---
   void RunProcess(Proc* proc, int incarnation);
@@ -200,11 +296,29 @@ class Runtime {
   std::vector<Machine> machines_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<Event> events_;  // kept sorted by time
+  size_t next_event_ = 0;      // cursor into events_ during Run()
   std::deque<Proc*> pending_respawns_;
+  // Committed continuations live in the checkpoint-protected part of the
+  // server (they are durable by §2.4.6), so they survive server crashes.
   std::map<int, Tuple> continuations_;  // by process id; survives respawn
 
   TupleSpace space_;
   RuntimeStats stats_;
+
+  // Tuple-space server failure model. The checkpoint + operation log are
+  // maintained only when a server failure has been scheduled.
+  bool server_up_ = true;
+  bool server_protected_ = false;
+  double server_down_since_ = 0;
+  std::string server_checkpoint_;
+  double next_checkpoint_time_ = 0;
+  std::vector<ServerLogEntry> server_log_;
+  // Transaction aborts that happen while the server is down park their
+  // tuple restorations here; they are applied right after log replay.
+  std::vector<Tuple> deferred_restores_;
+
+  std::vector<RuntimeError> errors_;
+  std::string diagnostic_;
 
   void RecordLocked(TraceEvent::Kind kind, double time, const Proc* proc,
                     int machine);

@@ -171,4 +171,39 @@ std::string ToString(const Tuple& tuple) {
   return out;
 }
 
+std::string ToString(const Template& tmpl) {
+  std::string out = "(";
+  for (size_t i = 0; i < tmpl.fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    const TemplateField& f = tmpl.fields[i];
+    if (f.is_formal) {
+      switch (f.formal_type) {
+        case ValueType::kInt:
+          out += "?int";
+          break;
+        case ValueType::kDouble:
+          out += "?double";
+          break;
+        case ValueType::kString:
+          out += "?string";
+          break;
+      }
+    } else {
+      switch (TypeOf(f.actual)) {
+        case ValueType::kInt:
+          out += std::to_string(std::get<int64_t>(f.actual));
+          break;
+        case ValueType::kDouble:
+          out += std::to_string(std::get<double>(f.actual));
+          break;
+        case ValueType::kString:
+          out += '"' + std::get<std::string>(f.actual) + '"';
+          break;
+      }
+    }
+  }
+  out += ")";
+  return out;
+}
+
 }  // namespace fpdm::plinda

@@ -92,6 +92,10 @@ bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple);
 /// Human-readable rendering for logs and test failures.
 std::string ToString(const Tuple& tuple);
 
+/// Human-readable rendering of a template; formals print as ?int / ?double /
+/// ?string. Used by the runtime's deadlock diagnostics.
+std::string ToString(const Template& tmpl);
+
 }  // namespace fpdm::plinda
 
 #endif  // FPDM_PLINDA_TUPLE_H_

@@ -1,6 +1,7 @@
 #include "plinda/tuple_space.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <vector>
 
@@ -99,6 +100,21 @@ void TupleSpace::Clear() {
   size_ = 0;
 }
 
+namespace {
+
+constexpr char kCheckpointMagic[] = "fpdmckpt1:";
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
 std::string TupleSpace::Checkpoint() const {
   // Tuples are written in global sequence order so that Restore reproduces
   // the FIFO matching order exactly.
@@ -110,22 +126,76 @@ std::string TupleSpace::Checkpoint() const {
   std::sort(all.begin(), all.end(), [](const Stored* a, const Stored* b) {
     return a->sequence < b->sequence;
   });
-  std::string out;
-  for (const Stored* stored : all) SerializeTuple(stored->tuple, &out);
-  return out;
+  std::string payload;
+  for (const Stored* stored : all) SerializeTuple(stored->tuple, &payload);
+  // Header: magic, tuple count, payload bytes, FNV-1a of the payload. Every
+  // strict prefix and every byte flip of the result fails at least one of
+  // the header checks in Restore.
+  char header[96];
+  std::snprintf(header, sizeof(header), "%s%zu:%zu:%016llx:", kCheckpointMagic,
+                all.size(), payload.size(),
+                static_cast<unsigned long long>(Fnv1a(payload)));
+  return std::string(header) + payload;
 }
 
 bool TupleSpace::Restore(const std::string& checkpoint) {
   Clear();
   next_sequence_ = 0;
-  size_t pos = 0;
-  while (pos < checkpoint.size()) {
+  const size_t magic_len = sizeof(kCheckpointMagic) - 1;
+  if (checkpoint.compare(0, magic_len, kCheckpointMagic) != 0) return false;
+  size_t pos = magic_len;
+  auto parse_field = [&](size_t* value) {
+    size_t v = 0;
+    bool any = false;
+    while (pos < checkpoint.size() && checkpoint[pos] >= '0' &&
+           checkpoint[pos] <= '9') {
+      v = v * 10 + static_cast<size_t>(checkpoint[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any || pos >= checkpoint.size() || checkpoint[pos] != ':') {
+      return false;
+    }
+    ++pos;
+    *value = v;
+    return true;
+  };
+  size_t count = 0, payload_bytes = 0;
+  if (!parse_field(&count) || !parse_field(&payload_bytes)) return false;
+  if (pos + 17 > checkpoint.size() || checkpoint[pos + 16] != ':') return false;
+  uint64_t want_hash = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = checkpoint[pos + static_cast<size_t>(i)];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    want_hash = (want_hash << 4) | digit;
+  }
+  pos += 17;
+  // The payload must span the rest of the string exactly: truncation and
+  // trailing garbage both fail here.
+  if (checkpoint.size() - pos != payload_bytes) return false;
+  const std::string payload = checkpoint.substr(pos);
+  if (Fnv1a(payload) != want_hash) return false;
+  size_t ppos = 0;
+  size_t restored = 0;
+  while (ppos < payload.size()) {
     Tuple tuple;
-    if (!DeserializeTuple(checkpoint, &pos, &tuple)) {
+    if (!DeserializeTuple(payload, &ppos, &tuple)) {
       Clear();
       return false;
     }
     Out(std::move(tuple));
+    ++restored;
+  }
+  if (restored != count) {
+    Clear();
+    return false;
   }
   return true;
 }

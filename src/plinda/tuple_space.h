@@ -45,10 +45,16 @@ class TupleSpace {
   void Clear();
 
   /// Serializes the whole space (checkpoint-protected tuple space, §2.4.6).
+  /// The encoding carries a self-describing header — magic, payload size,
+  /// tuple count and a 64-bit FNV-1a checksum — so that Restore can reject
+  /// any truncated or bit-flipped image instead of silently accepting a
+  /// prefix that happens to end on a tuple boundary.
   std::string Checkpoint() const;
 
   /// Replaces the contents of the space with a checkpoint produced by
-  /// Checkpoint(). Returns false (leaving the space empty) on corrupt input.
+  /// Checkpoint(). Returns false (leaving the space empty) on corrupt,
+  /// truncated or extended input; an empty string is not a valid checkpoint
+  /// (Checkpoint() of an empty space emits a header).
   bool Restore(const std::string& checkpoint);
 
  private:

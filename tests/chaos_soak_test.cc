@@ -1,0 +1,137 @@
+// Chaos soak: the paper's free-parallelism claim (Chapter 7) is that a
+// PLinda mining program survives workstation churn — and with the §2.4.6
+// server checkpoint, tuple-space-server crashes — without changing its
+// answer. For a sweep of seeded fault plans, parallel apriori (E-tree) and
+// parallel NyuMiner-CV must produce bit-identical results to the
+// failure-free run.
+
+#include <cstdint>
+#include <string>
+
+#include "arm/problem.h"
+#include "classify/parallel.h"
+#include "core/parallel.h"
+#include "data/benchmarks.h"
+#include "gtest/gtest.h"
+#include "plinda/chaos.h"
+
+namespace fpdm {
+namespace {
+
+struct SweepTotals {
+  uint64_t respawns = 0;
+  uint64_t aborts = 0;
+  uint64_t server_failures = 0;
+  int plans_with_server_crash = 0;
+
+  void Accumulate(const plinda::RuntimeStats& stats,
+                  const plinda::FaultPlan& plan) {
+    respawns += stats.processes_respawned;
+    aborts += stats.transactions_aborted;
+    server_failures += stats.server_failures;
+    if (plan.server_crashes() > 0) ++plans_with_server_crash;
+  }
+
+  // The acceptance bar for a soak sweep: every interesting failure path
+  // actually ran, including a tuple-space-server crash mid-run.
+  void ExpectInteresting() const {
+    EXPECT_GE(respawns, 1u) << "no process was ever killed and respawned";
+    EXPECT_GE(aborts, 1u) << "no transaction was ever rolled back";
+    EXPECT_GE(plans_with_server_crash, 1) << "no plan scheduled a server crash";
+    EXPECT_GE(server_failures, 1u) << "no server crash fired mid-run";
+  }
+};
+
+// Fault pressure scaled to the failure-free completion time `t`: faults land
+// in the first ~60% of the run, machines fail a few times per run, and the
+// server crashes in most plans. Machine 0 stays spared (the masters run
+// there and do not commit continuations; see plinda/chaos.h).
+plinda::ChaosOptions ScaledChaos(uint64_t seed, double t) {
+  plinda::ChaosOptions chaos;
+  chaos.seed = seed;
+  chaos.start_time = 0.05 * t;
+  chaos.horizon = 0.6 * t;
+  chaos.machine_mttf = t / 3;
+  chaos.machine_mttr = t / 10;
+  chaos.server_mttf = 0.3 * t;
+  chaos.server_mttr = t / 20;
+  chaos.max_server_failures = 1;
+  return chaos;
+}
+
+TEST(ChaosSoakTest, AprioriMiningBitIdenticalUnderFaults) {
+  arm::BasketConfig config;
+  config.num_transactions = 120;
+  config.num_items = 9;
+  config.patterns = {{{0, 3, 6}, 0.45}, {{1, 5}, 0.5}};
+  arm::TransactionDb db = arm::GenerateBaskets(config);
+  arm::ItemsetProblem problem(db, 20);
+
+  core::ParallelOptions base;
+  base.strategy = core::Strategy::kLoadBalanced;
+  base.num_workers = 4;
+  core::ParallelResult baseline = core::MineParallel(problem, base);
+  ASSERT_TRUE(baseline.ok);
+  ASSERT_FALSE(baseline.mining.good_patterns.empty());
+
+  SweepTotals totals;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    core::ParallelOptions opts = base;
+    opts.fault_plan = plinda::GenerateFaultPlan(
+        base.num_workers, ScaledChaos(seed, baseline.completion_time));
+    core::ParallelResult chaotic = core::MineParallel(problem, opts);
+    ASSERT_TRUE(chaotic.ok)
+        << "seed " << seed << ", plan:\n"
+        << ToString(opts.fault_plan) << chaotic.stats.processes_respawned;
+
+    // Bit-identical mining result: same patterns, same goodness values.
+    const auto& expected = baseline.mining.good_patterns;
+    const auto& actual = chaotic.mining.good_patterns;
+    ASSERT_EQ(actual.size(), expected.size()) << "seed " << seed;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].pattern.key, expected[i].pattern.key)
+          << "seed " << seed << ", pattern " << i;
+      EXPECT_EQ(actual[i].goodness, expected[i].goodness)
+          << "seed " << seed << ", pattern " << i;
+    }
+    totals.Accumulate(chaotic.stats, opts.fault_plan);
+  }
+  totals.ExpectInteresting();
+}
+
+TEST(ChaosSoakTest, NyuMinerCvBitIdenticalUnderFaults) {
+  data::BenchmarkSpec spec = data::SpecByName("diabetes");
+  spec.rows = 300;
+  classify::Dataset data = data::GenerateBenchmark(spec);
+  classify::NyuMinerOptions options;
+  options.cv_folds = 4;
+  options.seed = 123;
+
+  classify::ParallelExecOptions base;
+  base.num_workers = 3;
+  base.seconds_per_work_unit = 1e-3;
+  classify::ParallelTreeResult baseline =
+      classify::ParallelNyuMinerCV(data, data.AllRows(), options, base);
+  ASSERT_TRUE(baseline.ok);
+  const std::string expected_tree = baseline.tree.Serialize();
+
+  SweepTotals totals;
+  for (uint64_t seed = 101; seed <= 110; ++seed) {
+    classify::ParallelExecOptions exec = base;
+    exec.fault_plan = plinda::GenerateFaultPlan(
+        base.num_workers, ScaledChaos(seed, baseline.completion_time));
+    classify::ParallelTreeResult chaotic =
+        classify::ParallelNyuMinerCV(data, data.AllRows(), options, exec);
+    ASSERT_TRUE(chaotic.ok) << "seed " << seed << ", plan:\n"
+                            << ToString(exec.fault_plan);
+    // Bit-identical tree. (Completion time may go either way: an aborted
+    // task returns to tuple space where an idle worker can steal it, so a
+    // fault can even break an unlucky task assignment and finish sooner.)
+    EXPECT_EQ(chaotic.tree.Serialize(), expected_tree) << "seed " << seed;
+    totals.Accumulate(chaotic.stats, exec.fault_plan);
+  }
+  totals.ExpectInteresting();
+}
+
+}  // namespace
+}  // namespace fpdm

@@ -205,6 +205,36 @@ TEST(RuntimeTest, DeadlockDetected) {
   });
   EXPECT_FALSE(rt.Run());
   EXPECT_TRUE(rt.deadlocked());
+  // The diagnostic names the blocked process and its pending template.
+  EXPECT_NE(rt.diagnostic().find("stuck"), std::string::npos) << rt.diagnostic();
+  EXPECT_NE(rt.diagnostic().find("\"never\""), std::string::npos)
+      << rt.diagnostic();
+}
+
+TEST(RuntimeTest, DeadlockDiagnosticListsEveryBlockedProcess) {
+  Runtime rt(2);
+  rt.Spawn("wants-apples", [](ProcessContext& ctx) {
+    Tuple t;
+    ctx.In(MakeTemplate(A("apple"), F(ValueType::kInt)), &t);
+  });
+  rt.Spawn("wants-pears", [](ProcessContext& ctx) {
+    Tuple t;
+    ctx.Rd(MakeTemplate(A("pear"), F(ValueType::kString)), &t);
+  });
+  EXPECT_FALSE(rt.Run());
+  const std::string& diag = rt.diagnostic();
+  EXPECT_NE(diag.find("wants-apples"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("in (\"apple\", ?int)"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("wants-pears"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("rd (\"pear\", ?string)"), std::string::npos) << diag;
+}
+
+TEST(RuntimeTest, DiagnosticEmptyOnSuccess) {
+  Runtime rt(1);
+  rt.Spawn("p", [](ProcessContext& ctx) { ctx.Compute(1.0); });
+  ASSERT_TRUE(rt.Run());
+  EXPECT_TRUE(rt.diagnostic().empty());
+  EXPECT_TRUE(rt.errors().empty());
 }
 
 TEST(RuntimeTest, TransactionCommitPublishesOuts) {

@@ -1,6 +1,7 @@
 #include "plinda/tuple_space.h"
 
 #include "gtest/gtest.h"
+#include "util/random.h"
 
 namespace fpdm::plinda {
 namespace {
@@ -125,10 +126,80 @@ TEST(TupleSpaceTest, RestoreRejectsCorruptCheckpoint) {
 }
 
 TEST(TupleSpaceTest, EmptyCheckpoint) {
+  // An empty space still produces a (non-empty) header so that Restore can
+  // distinguish "empty space" from "no checkpoint at all".
   TupleSpace space;
-  EXPECT_EQ(space.Checkpoint(), "");
-  EXPECT_TRUE(space.Restore(""));
-  EXPECT_TRUE(space.empty());
+  const std::string checkpoint = space.Checkpoint();
+  EXPECT_FALSE(checkpoint.empty());
+  TupleSpace restored;
+  restored.Out(MakeTuple("stale", 1));
+  EXPECT_TRUE(restored.Restore(checkpoint));
+  EXPECT_TRUE(restored.empty());
+  // The empty string is NOT a valid checkpoint.
+  EXPECT_FALSE(restored.Restore(""));
+  EXPECT_TRUE(restored.empty());
+}
+
+// Property (chaos hardening): no corruption of a valid checkpoint may be
+// silently accepted. Every strict prefix and every single-byte flip must
+// make Restore return false and leave the space empty — never crash, never
+// restore a partial image. Before the checksummed header, a prefix ending
+// on a tuple boundary restored "successfully" with tuples missing.
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  static std::string ValidCheckpoint() {
+    TupleSpace space;
+    space.Out(MakeTuple("task", 1, "payload"));
+    space.Out(MakeTuple("task", 2, "x"));
+    space.Out(MakeTuple(3.25, int64_t{-7}));
+    space.Out(MakeTuple("result", 42));
+    return space.Checkpoint();
+  }
+
+  static void ExpectRejected(const std::string& corrupt, const char* what,
+                             size_t index) {
+    TupleSpace space;
+    space.Out(MakeTuple("pre-existing", 0));  // must be gone afterwards too
+    EXPECT_FALSE(space.Restore(corrupt)) << what << " at " << index;
+    EXPECT_TRUE(space.empty()) << what << " at " << index;
+  }
+};
+
+TEST_F(CheckpointCorruptionTest, EveryPrefixRejected) {
+  const std::string checkpoint = ValidCheckpoint();
+  for (size_t len = 0; len < checkpoint.size(); ++len) {
+    ExpectRejected(checkpoint.substr(0, len), "prefix", len);
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, EverySingleByteFlipRejected) {
+  const std::string checkpoint = ValidCheckpoint();
+  for (size_t i = 0; i < checkpoint.size(); ++i) {
+    std::string corrupt = checkpoint;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);  // flip within printable
+    if (corrupt[i] == checkpoint[i]) continue;
+    ExpectRejected(corrupt, "byte flip", i);
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, RandomMutationsRejected) {
+  const std::string checkpoint = ValidCheckpoint();
+  util::Rng rng(20260807);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string corrupt = checkpoint;
+    const size_t i = rng.NextBounded(corrupt.size());
+    const char flipped =
+        static_cast<char>(rng.NextBounded(256));
+    if (flipped == corrupt[i]) continue;
+    corrupt[i] = flipped;
+    ExpectRejected(corrupt, "random mutation", static_cast<size_t>(trial));
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, TrailingGarbageRejected) {
+  const std::string checkpoint = ValidCheckpoint();
+  ExpectRejected(checkpoint + "x", "trailing garbage", 0);
+  ExpectRejected(checkpoint + checkpoint, "doubled checkpoint", 0);
 }
 
 TEST(TupleSpaceTest, ManyTuplesStressFifo) {

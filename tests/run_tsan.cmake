@@ -1,0 +1,40 @@
+# Nested ThreadSanitizer build + run of the PLinda test suite, invoked as a
+# tier-1 ctest case (see tests/CMakeLists.txt):
+#   cmake -DSOURCE_DIR=... -DBINARY_DIR=... -P run_tsan.cmake
+# Configures SOURCE_DIR into BINARY_DIR with FPDM_SANITIZE=thread, builds
+# only fpdm_plinda_tests (fpdm_util + fpdm_plinda, a few seconds), and runs
+# it. Any data race aborts the test.
+
+foreach(var SOURCE_DIR BINARY_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} must be passed with -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DFPDM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_result)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "TSan configure failed")
+endif()
+
+include(ProcessorCount)
+ProcessorCount(nproc)
+if(nproc EQUAL 0)
+  set(nproc 4)
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --target fpdm_plinda_tests
+          -j ${nproc}
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "TSan build failed")
+endif()
+
+execute_process(
+  COMMAND ${BINARY_DIR}/tests/fpdm_plinda_tests
+  RESULT_VARIABLE run_result)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "fpdm_plinda_tests failed under ThreadSanitizer")
+endif()
