@@ -1,0 +1,139 @@
+// Wall-clock scaling benchmarks of ExecutionMode::kRealParallel: the same
+// mining programs the virtual-time benches simulate, executed for real on
+// OS threads against the sharded tuple space, swept over worker counts.
+// On a multicore host the 4-worker rows run >2x faster than the 1-worker
+// rows (the acceptance curve of the real backend); on a single-core host
+// the sweep still runs and documents the flat curve. Emit JSON with
+//   bench_scaling --benchmark_format=json
+// (tools/run_benches.sh writes BENCH_scaling.json at the repo root).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "arm/problem.h"
+#include "classify/parallel.h"
+#include "core/parallel.h"
+#include "data/benchmarks.h"
+#include "seqmine/generator.h"
+#include "seqmine/problem.h"
+
+namespace {
+
+using namespace fpdm;
+
+// Shared counters: elapsed wall seconds reported by the runtime itself,
+// cores visible to the process (to interpret flat curves on small hosts),
+// and the cross-shard slow-path share of tuple operations.
+void FillCounters(benchmark::State& state, double wall_time, uint64_t ops,
+                  uint64_t cross_shard) {
+  state.counters["wall_time_s"] = wall_time;
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["tuple_ops"] = static_cast<double>(ops);
+  state.counters["cross_shard_ops"] = static_cast<double>(cross_shard);
+}
+
+// Frequent-itemset mining (§2.2) under the load-balanced E-tree strategy:
+// workers pull one itemset task at a time and push children back, so the
+// support-counting work spreads across however many cores are available.
+void BM_ScalingApriori(benchmark::State& state) {
+  arm::BasketConfig config;
+  config.num_transactions = 600;
+  config.num_items = 30;
+  config.avg_transaction_size = 8;
+  config.patterns = {{{1, 4, 7}, 0.25}, {{2, 5, 9, 12}, 0.2}, {{3, 8}, 0.3}};
+  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
+                                    /*min_support=*/40);
+  core::ParallelOptions options;
+  options.strategy = core::Strategy::kLoadBalanced;
+  options.execution_mode = plinda::ExecutionMode::kRealParallel;
+  options.num_workers = static_cast<int>(state.range(0));
+  core::ParallelResult result;
+  for (auto _ : state) {
+    result = core::MineParallel(problem, options);
+    if (!result.ok) state.SkipWithError("parallel run failed");
+    benchmark::DoNotOptimize(result.mining.good_patterns.size());
+  }
+  FillCounters(state, result.wall_time, result.stats.tuple_ops,
+               result.stats.cross_shard_ops);
+  state.counters["patterns_tested"] =
+      static_cast<double>(result.mining.patterns_tested);
+}
+BENCHMARK(BM_ScalingApriori)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Sequence motif discovery (§4.2): the per-task motif-matching DP is the
+// dominant cost and runs concurrently on the worker threads.
+void BM_ScalingSeqmine(benchmark::State& state) {
+  seqmine::ProteinSetConfig config;
+  config.num_sequences = 16;
+  config.min_length = 50;
+  config.max_length = 70;
+  config.seed = 321;
+  config.planted = {{"MKWVTFISLLFL", 9, 0.0}, {"HKSEVAHRFK", 7, 0.0}};
+  const seqmine::SequenceMiningProblem problem(
+      seqmine::GenerateProteinSet(config),
+      seqmine::SequenceMiningConfig{/*min_length=*/4, /*min_occurrence=*/6,
+                                    /*max_mutations=*/1});
+  core::ParallelOptions options;
+  options.strategy = core::Strategy::kLoadBalanced;
+  options.execution_mode = plinda::ExecutionMode::kRealParallel;
+  options.num_workers = static_cast<int>(state.range(0));
+  core::ParallelResult result;
+  for (auto _ : state) {
+    result = core::MineParallel(problem, options);
+    if (!result.ok) state.SkipWithError("parallel run failed");
+    benchmark::DoNotOptimize(result.mining.good_patterns.size());
+  }
+  FillCounters(state, result.wall_time, result.stats.tuple_ops,
+               result.stats.cross_shard_ops);
+  state.counters["patterns_tested"] =
+      static_cast<double>(result.mining.patterns_tested);
+}
+BENCHMARK(BM_ScalingSeqmine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// NyuMiner-CV (§6.1.1): one auxiliary tree per fold, grown concurrently by
+// the workers while the master grows the main tree.
+void BM_ScalingNyuMinerCV(benchmark::State& state) {
+  data::BenchmarkSpec spec = data::SpecByName("diabetes");
+  spec.rows = 800;
+  const classify::Dataset data = data::GenerateBenchmark(spec);
+  classify::NyuMinerOptions options;
+  options.cv_folds = 8;
+  options.seed = 123;
+  classify::ParallelExecOptions exec;
+  exec.execution_mode = plinda::ExecutionMode::kRealParallel;
+  exec.num_workers = static_cast<int>(state.range(0));
+  classify::ParallelTreeResult result;
+  for (auto _ : state) {
+    result = classify::ParallelNyuMinerCV(data, data.AllRows(), options, exec);
+    if (!result.ok) state.SkipWithError("parallel run failed");
+    benchmark::DoNotOptimize(result.tree.num_nodes());
+  }
+  FillCounters(state, result.wall_time, result.stats.tuple_ops,
+               result.stats.cross_shard_ops);
+  state.counters["tree_nodes"] = static_cast<double>(result.tree.num_nodes());
+}
+BENCHMARK(BM_ScalingNyuMinerCV)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -30,6 +30,80 @@ void SortFrequent(std::vector<FrequentItemset>* frequent) {
             });
 }
 
+// Prefix trie over a candidate set — the hash-tree of §2.2.5 with sorted
+// children instead of hash buckets. One walk per transaction counts every
+// contained candidate at once: paths that share no prefix with the
+// transaction are never entered, replacing the candidates × transactions
+// merge-scan of the naive counting loop. Candidates of mixed sizes coexist
+// (an ending node may have children), so Partition's merged candidate set
+// needs only one trie.
+class CandidateTrie {
+ public:
+  explicit CandidateTrie(const std::vector<Itemset>& candidates) {
+    nodes_.push_back(Node{});
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      int node = 0;
+      for (int item : candidates[c]) node = Child(node, item);
+      nodes_[static_cast<size_t>(node)].candidate = static_cast<int>(c);
+    }
+  }
+
+  // Increments supports[c] for every candidate c contained in `transaction`
+  // (ascending item list). `node_visits` accrues the number of trie nodes
+  // entered — the work actually done, reported as MiningStats::support_counts.
+  void Count(const std::vector<int>& transaction, std::vector<int>* supports,
+             size_t* node_visits) const {
+    Walk(0, transaction.data(), transaction.data() + transaction.size(),
+         supports, node_visits);
+  }
+
+ private:
+  struct Node {
+    int item = -1;
+    int candidate = -1;  // index into the candidate list when a set ends here
+    std::vector<int> children;  // node indices, ascending by item
+  };
+
+  int Child(int node, int item) {
+    const std::vector<int>& children = nodes_[static_cast<size_t>(node)].children;
+    const auto pos = static_cast<size_t>(
+        std::lower_bound(children.begin(), children.end(), item,
+                         [this](int idx, int value) {
+                           return nodes_[static_cast<size_t>(idx)].item < value;
+                         }) -
+        children.begin());
+    if (pos < children.size() &&
+        nodes_[static_cast<size_t>(children[pos])].item == item) {
+      return children[pos];
+    }
+    const int idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{item, -1, {}});  // may invalidate `children`
+    auto& mutable_children = nodes_[static_cast<size_t>(node)].children;
+    mutable_children.insert(mutable_children.begin() + static_cast<long>(pos),
+                            idx);
+    return idx;
+  }
+
+  void Walk(int node, const int* t, const int* end, std::vector<int>* supports,
+            size_t* node_visits) const {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    if (n.candidate >= 0) ++(*supports)[static_cast<size_t>(n.candidate)];
+    // Children and the remaining transaction suffix are both ascending:
+    // advance them in lockstep and descend on each common item.
+    for (int child : n.children) {
+      const int item = nodes_[static_cast<size_t>(child)].item;
+      while (t != end && *t < item) ++t;
+      if (t == end) return;
+      if (*t == item) {
+        if (node_visits != nullptr) ++*node_visits;
+        Walk(child, t + 1, end, supports, node_visits);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+};
+
 }  // namespace
 
 int CountSupport(const TransactionDb& db, const Itemset& items) {
@@ -99,15 +173,19 @@ std::vector<FrequentItemset> Apriori(const TransactionDb& db, int min_support,
     }
     if (candidates.empty()) break;
 
-    // One database pass counts all candidates of this level.
+    // One database pass counts all candidates of this level through the
+    // prefix trie (§2.2.5): each transaction makes a single subset walk
+    // instead of one merge-scan per candidate.
+    const CandidateTrie trie(candidates);
     std::vector<int> supports(candidates.size(), 0);
+    size_t node_visits = 0;
     for (const auto& transaction : db) {
-      for (size_t c = 0; c < candidates.size(); ++c) {
-        if (stats != nullptr) ++stats->support_counts;
-        supports[c] += Contains(transaction, candidates[c]) ? 1 : 0;
-      }
+      trie.Count(transaction, &supports, &node_visits);
     }
-    if (stats != nullptr) ++stats->passes;
+    if (stats != nullptr) {
+      stats->support_counts += node_visits;
+      ++stats->passes;
+    }
 
     std::vector<Itemset> next_level;
     for (size_t c = 0; c < candidates.size(); ++c) {
@@ -150,15 +228,25 @@ std::vector<FrequentItemset> Partition(const TransactionDb& db,
   }
   // Step 3+4: one final pass computes global support for the merged
   // candidates. (Any globally frequent set is locally frequent somewhere.)
+  // The candidates have mixed sizes, which the trie supports directly.
+  const std::vector<Itemset> candidate_list(global_candidates.begin(),
+                                            global_candidates.end());
+  const CandidateTrie trie(candidate_list);
+  std::vector<int> supports(candidate_list.size(), 0);
+  size_t node_visits = 0;
+  for (const auto& transaction : db) {
+    trie.Count(transaction, &supports, &node_visits);
+  }
   std::vector<FrequentItemset> result;
-  for (const Itemset& candidate : global_candidates) {
-    if (stats != nullptr) stats->support_counts += db.size();
-    const int support = CountSupport(db, candidate);
-    if (support >= min_support) {
-      result.push_back(FrequentItemset{candidate, support});
+  for (size_t c = 0; c < candidate_list.size(); ++c) {
+    if (supports[c] >= min_support) {
+      result.push_back(FrequentItemset{candidate_list[c], supports[c]});
     }
   }
-  if (stats != nullptr) ++stats->passes;
+  if (stats != nullptr) {
+    stats->support_counts += node_visits;
+    ++stats->passes;
+  }
   SortFrequent(&result);
   return result;
 }

@@ -24,7 +24,9 @@ struct FrequentItemset {
 struct MiningStats {
   size_t candidates_generated = 0;
   size_t candidates_pruned_by_subset = 0;  // killed by the apriori-gen check
-  size_t support_counts = 0;               // candidate-vs-transaction tests
+  /// Work of the counting passes: prefix-trie nodes entered while walking
+  /// transactions (the hash-tree subset test of §2.2.5).
+  size_t support_counts = 0;
   int passes = 0;                          // database scans
 };
 

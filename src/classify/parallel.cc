@@ -44,6 +44,12 @@ void ApplyFailures(plinda::Runtime* runtime, const ParallelExecOptions& exec) {
   plinda::InstallFaultPlan(runtime, exec.fault_plan);
 }
 
+plinda::RuntimeOptions RuntimeOptionsFor(const ParallelExecOptions& exec) {
+  plinda::RuntimeOptions options = exec.runtime;
+  options.mode = exec.execution_mode;
+  return options;
+}
+
 }  // namespace
 
 ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
@@ -69,12 +75,17 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
   growth.max_depth = options.max_depth;
 
   ParallelTreeResult result;
-  plinda::Runtime runtime(exec.num_workers, exec.runtime);
+  plinda::Runtime runtime(exec.num_workers, RuntimeOptionsFor(exec));
   ApplyFailures(&runtime, exec);
   const double spw = exec.seconds_per_work_unit;
 
-  // Shared state (one simulated process runs at a time; see DESIGN.md).
-  double total_work = 0;
+  // Shared state. Work and per-alpha error vectors are recorded per fold
+  // (each fold is one task, claimed by exactly one worker at a time), so the
+  // indexed writes are race-free even when the workers run concurrently in
+  // kRealParallel mode, and the driver folds them in index order — float
+  // sums come out bit-identical in both execution modes.
+  double master_work = 0;
+  std::vector<double> fold_work(static_cast<size_t>(std::max(folds, 1)), 0.0);
   DecisionTree final_tree;
 
   runtime.SpawnOn("master", 0, [&](ProcessContext& ctx) {
@@ -85,7 +96,7 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
     // Build the main tree while the workers grow the auxiliary trees.
     double work = 0;
     DecisionTree main_tree = DecisionTree::Grow(data, rows, growth, &work);
-    total_work += work;
+    master_work += work;
     ctx.Compute(work * spw);
     const std::vector<double> alphas = CostComplexityAlphas(main_tree);
     const std::vector<double> probes = GeometricMidpoints(alphas);
@@ -93,18 +104,26 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
     ctx.Out(MakeTuple("alphas", JoinDoubles(probes)));
     ctx.XCommit();
 
-    std::vector<double> cv_errors(probes.size(), 0.0);
+    // Collect the per-fold error vectors keyed by fold index, then fold them
+    // in fold order — not arrival order, which is scheduling-dependent in
+    // kRealParallel mode. This matches the sequential fold loop of
+    // GrowWithCostComplexityCv bit for bit.
+    std::vector<std::vector<double>> fold_errors(static_cast<size_t>(folds));
     for (int v = 0; v < folds; ++v) {
       ctx.XStart();
       Tuple reply;
       ctx.In(MakeTemplate(A("alpha_list"), F(ValueType::kInt),
                           F(ValueType::kString)),
              &reply);
-      const std::vector<double> errors = SplitDoubles(GetString(reply, 2));
+      fold_errors[static_cast<size_t>(GetInt(reply, 1))] =
+          SplitDoubles(GetString(reply, 2));
+      ctx.XCommit();
+    }
+    std::vector<double> cv_errors(probes.size(), 0.0);
+    for (const std::vector<double>& errors : fold_errors) {
       for (size_t k = 0; k < cv_errors.size() && k < errors.size(); ++k) {
         cv_errors[k] += errors[k];
       }
-      ctx.XCommit();
     }
     if (folds >= 2) {
       size_t best = 0;
@@ -143,7 +162,7 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
         }
         double work = 0;
         DecisionTree aux = DecisionTree::Grow(data, train, growth, &work);
-        total_work += work;
+        fold_work[static_cast<size_t>(v)] += work;
         ctx.Compute(work * spw);
 
         Tuple alphas_tuple;
@@ -160,8 +179,12 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
 
   result.ok = runtime.Run();
   result.completion_time = runtime.CompletionTime();
+  result.wall_time = runtime.wall_time();
   result.stats = runtime.stats();
-  result.total_work = total_work;
+  result.total_work = master_work;
+  for (int v = 0; v < folds; ++v) {
+    result.total_work += fold_work[static_cast<size_t>(v)];
+  }
   result.tree = std::move(final_tree);
   return result;
 }
@@ -176,6 +199,7 @@ struct TrialRun {
   std::vector<DecisionTree> trees;
   bool ok = false;
   double completion_time = 0;
+  double wall_time = 0;
   double total_work = 0;
   plinda::RuntimeStats stats;
 };
@@ -190,9 +214,12 @@ TrialRun RunTrialsInParallel(int trials, uint64_t seed,
   util::Rng rng(seed);
   for (auto& s : seeds) s = rng.Next();
 
-  plinda::Runtime runtime(exec.num_workers, exec.runtime);
+  plinda::Runtime runtime(exec.num_workers, RuntimeOptionsFor(exec));
   ApplyFailures(&runtime, exec);
-  double total_work = 0;
+  // Work is recorded per trial (each trial is claimed by one worker), so the
+  // writes are race-free under kRealParallel and the index-order fold below
+  // is deterministic.
+  std::vector<double> trial_work(static_cast<size_t>(trials), 0.0);
 
   runtime.SpawnOn("master", 0, [&](ProcessContext& ctx) {
     ctx.XStart();
@@ -223,7 +250,7 @@ TrialRun RunTrialsInParallel(int trials, uint64_t seed,
         double work = 0;
         run.trees[static_cast<size_t>(t)] =
             run_trial(static_cast<int>(t), seeds[static_cast<size_t>(t)], &work);
-        total_work += work;
+        trial_work[static_cast<size_t>(t)] += work;
         ctx.Compute(work * exec.seconds_per_work_unit);
         ctx.Out(MakeTuple("trial_done", t));
         ctx.XCommit();
@@ -233,8 +260,10 @@ TrialRun RunTrialsInParallel(int trials, uint64_t seed,
 
   run.ok = runtime.Run();
   run.completion_time = runtime.CompletionTime();
+  run.wall_time = runtime.wall_time();
   run.stats = runtime.stats();
-  run.total_work = total_work;
+  run.total_work = 0;
+  for (double work : trial_work) run.total_work += work;
   return run;
 }
 
@@ -253,6 +282,7 @@ ParallelTreeResult ParallelC45(const Dataset& data,
   ParallelTreeResult result;
   result.ok = run.ok;
   result.completion_time = run.completion_time;
+  result.wall_time = run.wall_time;
   result.total_work = run.total_work;
   result.stats = run.stats;
   // Same selection rule as TrainC45Windowed: fewest training errors, first
@@ -282,6 +312,7 @@ ParallelRsResult ParallelNyuMinerRS(const Dataset& data,
   ParallelRsResult result;
   result.ok = run.ok;
   result.completion_time = run.completion_time;
+  result.wall_time = run.wall_time;
   result.total_work = run.total_work;
   result.stats = run.stats;
   result.model.trees = std::move(run.trees);

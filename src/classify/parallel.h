@@ -13,6 +13,11 @@ namespace fpdm::classify {
 /// machine 0 with worker 0, as in Chapter 4).
 struct ParallelExecOptions {
   int num_workers = 2;
+  /// Execution backend: deterministic virtual-time simulator (default) or
+  /// real multicore threads (plinda::ExecutionMode::kRealParallel). The
+  /// trained model is bit-identical in both modes; fault injection
+  /// (`failures` / `fault_plan`) requires the simulator.
+  plinda::ExecutionMode execution_mode = plinda::ExecutionMode::kSimulated;
   /// Virtual seconds per unit of splitter work; calibrated by the benches
   /// so 1-worker runs land near the paper's sequential times (Tables
   /// 6.1-6.3).
@@ -32,6 +37,8 @@ struct ParallelTreeResult {
   DecisionTree tree;
   bool ok = false;
   double completion_time = 0;
+  /// Elapsed wall seconds of the run (both modes).
+  double wall_time = 0;
   double total_work = 0;  // splitter work units across all processes
   plinda::RuntimeStats stats;
 };
@@ -59,6 +66,8 @@ struct ParallelRsResult {
   RsModel model;
   bool ok = false;
   double completion_time = 0;
+  /// Elapsed wall seconds of the run (both modes).
+  double wall_time = 0;
   double total_work = 0;
   plinda::RuntimeStats stats;
 };

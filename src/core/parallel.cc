@@ -4,7 +4,9 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include "core/traversal.h"
 
@@ -31,11 +33,14 @@ constexpr int64_t kEvaluate = 0;
 constexpr int64_t kExpand = 1;
 constexpr int64_t kSubtree = 2;
 
-// Counters shared between the simulated processes and the driver. Safe
-// without locking: the NOW runtime admits one process at a time.
+// Counters shared between the processes and the driver. In kRealParallel
+// mode the workers run concurrently, so the per-evaluation records are
+// mutex-guarded; task costs are recorded per pattern and summed in a
+// canonical (sorted) order by the driver, so total_task_cost is bit-identical
+// regardless of the order the evaluations actually ran in.
 struct SharedState {
-  size_t patterns_tested = 0;
-  double total_task_cost = 0;
+  std::mutex mu;
+  std::vector<std::pair<std::string, double>> task_costs;  // (key, cost)
   std::vector<GoodPattern> master_good;  // found by master-side expansion
 };
 
@@ -63,8 +68,10 @@ double EvaluateOnWorker(ProcessContext& ctx, const MiningProblem& problem,
                         SharedState* shared) {
   ctx.Compute(problem.TaskCost(pattern) * seconds_per_work_unit);
   const double goodness = problem.Goodness(pattern);
-  ++shared->patterns_tested;
-  shared->total_task_cost += problem.TaskCost(pattern);
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->task_costs.emplace_back(pattern.key, problem.TaskCost(pattern));
+  }
   if (problem.IsGood(pattern, goodness)) {
     ctx.Out(MakeTuple("good", pattern.key, pattern.length, goodness));
   }
@@ -100,15 +107,21 @@ void WorkerBody(ProcessContext& ctx, const MiningProblem& problem,
       case kExpand: {
         double goodness =
             EvaluateOnWorker(ctx, problem, pattern, seconds_per_work_unit, shared);
-        int64_t spawned = 0;
+        std::vector<Pattern> children;
         if (problem.IsGood(pattern, goodness)) {
-          for (const Pattern& child : problem.ChildPatterns(pattern)) {
-            ctx.Out(TaskTuple(child, kExpand));
-            ++spawned;
-          }
+          children = problem.ChildPatterns(pattern);
         }
-        ctx.Out(
-            MakeTuple("report", pattern.key, pattern.length, goodness, spawned));
+        // The report MUST go out before the child tasks. A commit publishes
+        // its outs one at a time; with children first, a fast sibling chain
+        // can consume a child and deliver the whole subtree's reports while
+        // this report is still unpublished, driving the master's `active`
+        // counter to zero early. Report-first plus FIFO matching guarantees
+        // the master consumes a parent's report before any descendant's.
+        ctx.Out(MakeTuple("report", pattern.key, pattern.length, goodness,
+                          static_cast<int64_t>(children.size())));
+        for (const Pattern& child : children) {
+          ctx.Out(TaskTuple(child, kExpand));
+        }
         break;
       }
       case kSubtree: {
@@ -155,8 +168,10 @@ std::vector<Pattern> ExpandLocally(ProcessContext& ctx,
     for (const Pattern& pattern : frontier) {
       ctx.Compute(problem.TaskCost(pattern) * seconds_per_work_unit);
       const double goodness = problem.Goodness(pattern);
-      ++shared->patterns_tested;
-      shared->total_task_cost += problem.TaskCost(pattern);
+      {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->task_costs.emplace_back(pattern.key, problem.TaskCost(pattern));
+      }
       if (problem.IsGood(pattern, goodness)) {
         shared->master_good.push_back(GoodPattern{pattern, goodness});
         for (Pattern& child : problem.ChildPatterns(pattern)) {
@@ -306,6 +321,7 @@ ParallelResult MineParallel(const MiningProblem& problem,
     opts.initial_level = opts.num_workers >= opts.adaptive_threshold ? 2 : 1;
   }
 
+  opts.runtime.mode = opts.execution_mode;
   plinda::Runtime runtime(opts.num_workers, opts.runtime);
   for (const auto& [machine, time] : opts.failures) {
     runtime.ScheduleFailure(machine, time);
@@ -349,6 +365,7 @@ ParallelResult MineParallel(const MiningProblem& problem,
   ParallelResult result;
   result.ok = runtime.Run();
   result.completion_time = runtime.CompletionTime();
+  result.wall_time = runtime.wall_time();
   result.stats = runtime.stats();
   result.num_workers = opts.num_workers;
 
@@ -367,8 +384,13 @@ ParallelResult MineParallel(const MiningProblem& problem,
     result.mining.good_patterns.push_back(gp);
   }
   SortGoodPatterns(&result.mining.good_patterns);
-  result.mining.patterns_tested = shared->patterns_tested;
-  result.mining.total_task_cost = shared->total_task_cost;
+  // Sum task costs in canonical (sorted) order, not evaluation order, so the
+  // floating-point total is bit-identical across execution modes and runs.
+  std::sort(shared->task_costs.begin(), shared->task_costs.end());
+  result.mining.patterns_tested = shared->task_costs.size();
+  double total_cost = 0;
+  for (const auto& [key, cost] : shared->task_costs) total_cost += cost;
+  result.mining.total_task_cost = total_cost;
   return result;
 }
 

@@ -37,6 +37,13 @@ const char* StrategyName(Strategy strategy);
 struct ParallelOptions {
   Strategy strategy = Strategy::kLoadBalanced;
 
+  /// Execution backend: deterministic virtual-time simulator (default) or
+  /// real multicore threads (plinda::ExecutionMode::kRealParallel). The
+  /// mining result is bit-identical in both modes; completion_time is
+  /// virtual seconds vs elapsed wall seconds respectively. Fault injection
+  /// (`failures` / `fault_plan`) requires the simulator.
+  plinda::ExecutionMode execution_mode = plinda::ExecutionMode::kSimulated;
+
   /// Number of worker processes; each runs on its own machine (the master
   /// shares machine 0 with worker 0, matching the paper's setup where the
   /// mostly-blocked master does not get a dedicated workstation).
@@ -74,8 +81,12 @@ struct ParallelOptions {
 /// Outcome of a parallel run: the mining result plus simulator telemetry.
 struct ParallelResult {
   MiningResult mining;
-  /// Virtual completion time of the whole program (master included).
+  /// Virtual completion time of the whole program (master included). In
+  /// kRealParallel mode this equals wall_time.
   double completion_time = 0;
+  /// Elapsed wall seconds of the run (both modes; the scaling benchmarks
+  /// read this in kRealParallel mode).
+  double wall_time = 0;
   plinda::RuntimeStats stats;
   int num_workers = 0;
   bool ok = false;  // false on simulated deadlock (protocol bug)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 
 namespace fpdm::plinda {
@@ -96,6 +97,9 @@ std::string ToString(const RuntimeError& error) {
     case RuntimeError::Code::kNoMachineAvailable:
       what = "spawn requested while every machine is down";
       break;
+    case RuntimeError::Code::kFaultInjectionUnsupported:
+      what = "fault injection is unsupported in kRealParallel mode";
+      break;
   }
   char buf[256];
   std::snprintf(buf, sizeof(buf), "[t=%8.2f] protocol error in %s (pid %d): %s%s%s",
@@ -164,13 +168,15 @@ int Runtime::Spawn(const std::string& name, ProcessFn fn) {
   std::unique_lock<std::mutex> lock(mu_);
   int machine = PickMachineLocked();
   assert(machine >= 0);
-  return SpawnLocked(name, machine, std::move(fn), options_.spawn_delay);
+  return SpawnLocked(name, machine, std::move(fn),
+                     real_mode() ? 0.0 : options_.spawn_delay);
 }
 
 int Runtime::SpawnOn(const std::string& name, int machine, ProcessFn fn) {
   std::unique_lock<std::mutex> lock(mu_);
   assert(machine >= 0 && machine < num_machines());
-  return SpawnLocked(name, machine, std::move(fn), options_.spawn_delay);
+  return SpawnLocked(name, machine, std::move(fn),
+                     real_mode() ? 0.0 : options_.spawn_delay);
 }
 
 int Runtime::PickMachineLocked() const {
@@ -211,6 +217,8 @@ void Runtime::StartThreadLocked(Proc* proc) {
 }
 
 bool Runtime::Run() {
+  if (real_mode()) return RunReal();
+  const auto run_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   std::stable_sort(events_.begin(), events_.end());
   next_event_ = 0;
@@ -269,6 +277,9 @@ bool Runtime::Run() {
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
+  wall_time_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             run_start)
+                   .count();
   return !deadlocked_ && errors_.empty();
 }
 
@@ -278,7 +289,11 @@ void Runtime::BuildDiagnosticLocked() {
     out += "deadlock: no process can make progress\n";
     for (const auto& up : procs_) {
       const Proc* proc = up.get();
-      if (proc->state != ProcState::kBlocked) continue;
+      // Real mode: deadlocked waiters were cancelled (state kDead) but keep
+      // real_blocked + their template for exactly this post-mortem.
+      const bool blocked = proc->state == ProcState::kBlocked ||
+                           (real_mode() && proc->real_blocked);
+      if (!blocked) continue;
       char head[128];
       std::snprintf(head, sizeof(head), "  %s (pid %d, machine %d) blocked on ",
                     proc->name.c_str(), proc->id, proc->machine);
@@ -527,6 +542,11 @@ void Runtime::AbortTxnLocked(Proc* proc, double time) {
 }
 
 void Runtime::RunProcess(Proc* proc, int incarnation) {
+  if (real_mode()) {
+    RunProcessReal(proc);
+    (void)incarnation;
+    return;
+  }
   bool killed = false;
   bool errored = false;
   {
@@ -572,6 +592,10 @@ void Runtime::Yield(Proc* proc, std::unique_lock<std::mutex>& lock) {
 }
 
 void Runtime::OpOut(Proc* proc, Tuple tuple) {
+  if (real_mode()) {
+    RealOut(proc, std::move(tuple));
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   WaitServerLocked(proc, lock);
   proc->clock += options_.tuple_op_latency;
@@ -587,6 +611,7 @@ void Runtime::OpOut(Proc* proc, Tuple tuple) {
 
 bool Runtime::OpIn(Proc* proc, const Template& tmpl, Tuple* result,
                    bool blocking, bool remove) {
+  if (real_mode()) return RealIn(proc, tmpl, result, blocking, remove);
   std::unique_lock<std::mutex> lock(mu_);
   proc->clock += options_.tuple_op_latency;
   ++stats_.tuple_ops;
@@ -630,6 +655,10 @@ bool Runtime::OpIn(Proc* proc, const Template& tmpl, Tuple* result,
 }
 
 void Runtime::OpXStart(Proc* proc) {
+  if (real_mode()) {
+    RealXStart(proc);
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   WaitServerLocked(proc, lock);
   if (proc->txn_active) {
@@ -642,6 +671,10 @@ void Runtime::OpXStart(Proc* proc) {
 }
 
 void Runtime::OpXCommit(Proc* proc, bool has_continuation, Tuple continuation) {
+  if (real_mode()) {
+    RealXCommit(proc, has_continuation, std::move(continuation));
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   WaitServerLocked(proc, lock);
   if (!proc->txn_active) {
@@ -663,6 +696,7 @@ void Runtime::OpXCommit(Proc* proc, bool has_continuation, Tuple continuation) {
 }
 
 bool Runtime::OpXRecover(Proc* proc, Tuple* continuation) {
+  if (real_mode()) return RealXRecover(proc, continuation);
   std::unique_lock<std::mutex> lock(mu_);
   WaitServerLocked(proc, lock);
   if (proc->txn_active) {
@@ -679,6 +713,14 @@ bool Runtime::OpXRecover(Proc* proc, Tuple* continuation) {
 
 void Runtime::OpCompute(Proc* proc, double work_units) {
   assert(work_units >= 0);
+  if (real_mode()) {
+    // The real work happens on the calling thread; the units only feed the
+    // total_work statistic (folded in after the join). Also a cancellation
+    // point so compute-heavy processes notice a deadlock shutdown.
+    if (rspace_->closed()) throw ProcessKilledException{};
+    proc->work_done += work_units;
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   proc->clock += work_units / machines_[static_cast<size_t>(proc->machine)].speed;
   proc->work_done += work_units;
@@ -687,6 +729,7 @@ void Runtime::OpCompute(Proc* proc, double work_units) {
 }
 
 int Runtime::OpSpawn(Proc* proc, const std::string& name, ProcessFn fn) {
+  if (real_mode()) return RealSpawn(proc, name, std::move(fn));
   std::unique_lock<std::mutex> lock(mu_);
   proc->clock += options_.tuple_op_latency;
   int machine = PickMachineLocked();
@@ -698,6 +741,292 @@ int Runtime::OpSpawn(Proc* proc, const std::string& name, ProcessFn fn) {
                        proc->clock + options_.spawn_delay);
   Yield(proc, lock);
   return id;
+}
+
+// --- real-parallel backend (ExecutionMode::kRealParallel) ----------------
+
+double Runtime::NowReal() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       real_start_)
+      .count();
+}
+
+bool Runtime::RunReal() {
+  std::unique_lock<std::mutex> lock(mu_);
+  deadlocked_ = false;
+  diagnostic_.clear();
+  if (!events_.empty()) {
+    // The fault model needs the deterministic virtual-time scheduler (kill
+    // points, rollback replay, virtual respawn delays): fail fast instead of
+    // silently ignoring the scheduled faults.
+    RuntimeError error;
+    error.code = RuntimeError::Code::kFaultInjectionUnsupported;
+    error.detail =
+        "scheduled machine/server faults require ExecutionMode::kSimulated";
+    errors_.push_back(std::move(error));
+    shutdown_ = true;
+    for (auto& proc : procs_) proc->cv.notify_all();
+    BuildDiagnosticLocked();
+    lock.unlock();
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    return false;
+  }
+
+  rspace_ = std::make_unique<ShardedTupleSpace>(options_.real_shards);
+  for (Tuple& tuple : space_.TakeAllInOrder()) rspace_->Out(std::move(tuple));
+  real_start_ = std::chrono::steady_clock::now();
+  started_real_ = true;
+  for (auto& proc : procs_) proc->cv.notify_all();
+
+  // Watchdog: waits for every process to finish, detecting true deadlocks
+  // along the way. "Every live process is parked inside a blocking in/rd and
+  // the publish epoch did not move" observed twice in a row means nobody can
+  // ever wake anybody: cancel by closing the space, which unwinds the
+  // waiters through ProcessKilledException.
+  bool prev_all_blocked = false;
+  uint64_t prev_epoch = 0;
+  bool closed_for_deadlock = false;
+  for (;;) {
+    sched_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    const int total = static_cast<int>(procs_.size());
+    int finished = 0;
+    for (auto& up : procs_) {
+      if (up->state == ProcState::kDone || up->state == ProcState::kDead) {
+        ++finished;
+      }
+    }
+    if (finished == total) break;
+    if (closed_for_deadlock) continue;  // cancellation in flight
+    const int live = total - finished;
+    const int blocked = rspace_->waiters();
+    const uint64_t epoch = rspace_->publish_epoch();
+    if (blocked >= live) {
+      // Final confirmation before cancelling: a parked waiter whose
+      // template has a match in the space is merely starved of CPU (the
+      // matching publish already bumped its shard's generation, so it will
+      // consume the tuple once scheduled) — common on oversubscribed
+      // single-core hosts. Only an all-parked, epoch-stable, no-match
+      // state can never resolve itself.
+      if (prev_all_blocked && epoch == prev_epoch && !AnyRealWaiterCanMatch()) {
+        deadlocked_ = true;
+        closed_for_deadlock = true;
+        lock.unlock();  // Close() takes shard locks; never under mu_
+        rspace_->Close();
+        lock.lock();
+        continue;
+      }
+      prev_all_blocked = true;
+      prev_epoch = epoch;
+    } else {
+      prev_all_blocked = false;
+    }
+  }
+
+  wall_time_ = NowReal();
+  completion_time_ = wall_time_;
+  shutdown_ = true;
+  for (auto& proc : procs_) proc->cv.notify_all();
+  lock.unlock();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  lock.lock();
+  // Every process thread joined: the atomics and per-process counters are
+  // final, and the sharded space is quiescent.
+  stats_.tuple_ops += real_tuple_ops_.exchange(0);
+  stats_.transactions_committed += real_commits_.exchange(0);
+  stats_.transactions_aborted += real_aborts_.exchange(0);
+  stats_.cross_shard_ops += rspace_->cross_shard_ops();
+  for (auto& up : procs_) stats_.total_work += up->work_done;
+  // Drain the sharded space back so space() harvesting works identically in
+  // both modes (FIFO order preserved).
+  for (Tuple& tuple : rspace_->TakeAllInOrder()) space_.Out(std::move(tuple));
+  if (deadlocked_ || !errors_.empty()) BuildDiagnosticLocked();
+  return !deadlocked_ && errors_.empty();
+}
+
+bool Runtime::AnyRealWaiterCanMatch() {
+  for (auto& up : procs_) {
+    Proc* proc = up.get();
+    if (proc->state == ProcState::kDone || proc->state == ProcState::kDead) {
+      continue;
+    }
+    Template tmpl;
+    bool parked = false;
+    {
+      std::lock_guard<std::mutex> guard(proc->real_mu);
+      parked = proc->real_blocked;
+      if (parked) tmpl = proc->blocked_tmpl;
+    }
+    if (parked && rspace_->TryRd(tmpl, nullptr)) return true;
+  }
+  return false;
+}
+
+void Runtime::RunProcessReal(Proc* proc) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    proc->cv.wait(lock, [&] { return started_real_ || shutdown_; });
+    if (!started_real_) {  // shut down before Run(): never ran
+      proc->state = ProcState::kDead;
+      sched_cv_.notify_all();
+      return;
+    }
+  }
+  bool killed = false;
+  bool errored = false;
+  ProcessContext ctx(this, proc);
+  try {
+    proc->fn(ctx);
+  } catch (const ProcessKilledException&) {
+    killed = true;
+  } catch (const ProtocolErrorException&) {
+    errored = true;
+  }
+  RealAbortTxn(proc);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (killed) {
+    proc->state = ProcState::kDead;
+    ++stats_.processes_killed;
+  } else if (errored) {
+    proc->state = ProcState::kDead;
+  } else {
+    proc->state = ProcState::kDone;
+    RecordLocked(TraceEvent::Kind::kDone, NowReal(), proc, proc->machine);
+  }
+  sched_cv_.notify_all();
+}
+
+void Runtime::RealAbortTxn(Proc* proc) {
+  if (!proc->txn_active) return;
+  if (!rspace_->closed()) {
+    // Restore the tuples the transaction removed; drop unpublished outs.
+    for (Tuple& tuple : proc->txn_ins) rspace_->Out(std::move(tuple));
+  }
+  proc->txn_ins.clear();
+  proc->txn_outs.clear();
+  proc->txn_active = false;
+  real_aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::FailProcReal(Proc* proc, RuntimeError::Code code,
+                           std::string detail) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    RuntimeError error;
+    error.code = code;
+    error.time = NowReal();
+    error.pid = proc->id;
+    error.process = proc->name;
+    error.detail = std::move(detail);
+    errors_.push_back(std::move(error));
+    proc->errored = true;
+    RecordLocked(TraceEvent::Kind::kError, NowReal(), proc, proc->machine);
+  }
+  throw ProtocolErrorException{};
+}
+
+void Runtime::RealOut(Proc* proc, Tuple tuple) {
+  if (rspace_->closed()) throw ProcessKilledException{};
+  real_tuple_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (proc->txn_active) {
+    proc->txn_outs.push_back(std::move(tuple));
+  } else {
+    rspace_->Out(std::move(tuple));
+  }
+}
+
+bool Runtime::RealIn(Proc* proc, const Template& tmpl, Tuple* result,
+                     bool blocking, bool remove) {
+  if (rspace_->closed()) throw ProcessKilledException{};
+  real_tuple_ops_.fetch_add(1, std::memory_order_relaxed);
+  // A transaction sees its own uncommitted outs (same as the simulator).
+  if (proc->txn_active) {
+    for (auto it = proc->txn_outs.begin(); it != proc->txn_outs.end(); ++it) {
+      if (Matches(tmpl, *it)) {
+        if (result != nullptr) *result = *it;
+        if (remove) proc->txn_outs.erase(it);
+        return true;
+      }
+    }
+  }
+  Tuple found;
+  if (blocking) {
+    {
+      std::lock_guard<std::mutex> guard(proc->real_mu);
+      proc->block_reason = BlockReason::kTemplate;
+      proc->blocked_tmpl = tmpl;
+      proc->blocked_remove = remove;
+      proc->real_blocked = true;
+    }
+    if (!rspace_->WaitIn(tmpl, &found, remove)) {
+      // Space closed while we waited: deadlock cancellation or shutdown.
+      // real_blocked stays set for the post-mortem diagnostic.
+      throw ProcessKilledException{};
+    }
+    std::lock_guard<std::mutex> guard(proc->real_mu);
+    proc->real_blocked = false;
+  } else {
+    const bool ok = remove ? rspace_->TryIn(tmpl, &found)
+                           : rspace_->TryRd(tmpl, &found);
+    if (!ok) return false;
+  }
+  if (remove && proc->txn_active) proc->txn_ins.push_back(found);
+  if (result != nullptr) *result = std::move(found);
+  return true;
+}
+
+void Runtime::RealXStart(Proc* proc) {
+  if (rspace_->closed()) throw ProcessKilledException{};
+  if (proc->txn_active) {
+    FailProcReal(proc, RuntimeError::Code::kNestedXStart,
+                 "transaction already open");
+  }
+  proc->txn_active = true;
+}
+
+void Runtime::RealXCommit(Proc* proc, bool has_continuation,
+                          Tuple continuation) {
+  if (rspace_->closed()) throw ProcessKilledException{};
+  if (!proc->txn_active) {
+    FailProcReal(proc, RuntimeError::Code::kXCommitWithoutXStart,
+                 "no transaction is open");
+  }
+  for (Tuple& tuple : proc->txn_outs) rspace_->Out(std::move(tuple));
+  proc->txn_outs.clear();
+  proc->txn_ins.clear();
+  proc->txn_active = false;
+  if (has_continuation) {
+    std::lock_guard<std::mutex> lock(mu_);
+    continuations_[proc->id] = std::move(continuation);
+  }
+  real_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Runtime::RealXRecover(Proc* proc, Tuple* continuation) {
+  if (rspace_->closed()) throw ProcessKilledException{};
+  if (proc->txn_active) {
+    FailProcReal(proc, RuntimeError::Code::kXRecoverInsideTransaction,
+                 "xrecover must run outside transactions");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = continuations_.find(proc->id);
+  const bool found = it != continuations_.end();
+  if (found && continuation != nullptr) *continuation = it->second;
+  return found;
+}
+
+int Runtime::RealSpawn(Proc* proc, const std::string& name, ProcessFn fn) {
+  if (rspace_->closed()) throw ProcessKilledException{};
+  real_tuple_ops_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_);
+  int machine = PickMachineLocked();
+  assert(machine >= 0 && "machines never fail in real mode");
+  // The new thread passes the start gate immediately (started_real_ is set).
+  (void)proc;
+  return SpawnLocked(name, machine, std::move(fn), NowReal());
 }
 
 // --- ProcessContext forwarding -------------------------------------------

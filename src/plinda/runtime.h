@@ -1,6 +1,8 @@
 #ifndef FPDM_PLINDA_RUNTIME_H_
 #define FPDM_PLINDA_RUNTIME_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "plinda/sharded_space.h"
 #include "plinda/tuple.h"
 #include "plinda/tuple_space.h"
 
@@ -25,8 +28,32 @@ class ProcessContext;
 /// their last committed continuation, exactly as in the paper's templates.
 using ProcessFn = std::function<void(ProcessContext&)>;
 
-/// Runtime tuning knobs (virtual seconds).
+/// How the runtime executes the PLinda processes.
+enum class ExecutionMode {
+  /// Deterministic virtual-time simulation: every process gets its own OS
+  /// thread but a conservative scheduler admits exactly one at a time.
+  /// Supports the full fault model (machine and tuple-space-server
+  /// failures); bit-for-bit reproducible, including virtual times.
+  kSimulated,
+  /// Real parallel execution: all runnable processes run concurrently on
+  /// their OS threads against a sharded, thread-safe tuple space
+  /// (ShardedTupleSpace). Wall-clock fast, scales with cores; virtual time
+  /// does not advance (Compute only accrues work statistics) and fault
+  /// injection is unsupported — scheduling any fault makes Run() fail with
+  /// RuntimeError::Code::kFaultInjectionUnsupported. Mining protocols whose
+  /// results are scheduling-independent (all of core/ and classify/)
+  /// produce bit-identical results in either mode.
+  kRealParallel,
+};
+
+/// Runtime tuning knobs (virtual seconds; latencies apply to the simulated
+/// mode only).
 struct RuntimeOptions {
+  /// Execution backend: deterministic simulator or real multicore threads.
+  ExecutionMode mode = ExecutionMode::kSimulated;
+  /// Shard count of the concurrent tuple space in kRealParallel mode
+  /// (<= 0: derived from hardware_concurrency).
+  int real_shards = 0;
   /// Cost of one tuple-space operation (out/in/rd/...): models the LAN round
   /// trip to the PLinda server.
   double tuple_op_latency = 0.02;
@@ -48,7 +75,8 @@ struct RuntimeOptions {
 
 /// One entry of the process-watch trace (the programmatic equivalent of
 /// the PLinda runtime "Monitor" window of Chapter 7): a lifecycle event of
-/// a simulated process or machine, stamped with virtual time.
+/// a simulated process or machine, stamped with virtual time (simulated
+/// mode) or elapsed wall seconds (real-parallel mode).
 struct TraceEvent {
   enum class Kind {
     kSpawned,
@@ -82,6 +110,11 @@ struct RuntimeError {
     kNestedXStart,
     kXRecoverInsideTransaction,
     kNoMachineAvailable,  // spawn requested while every machine is down
+    /// A machine or server fault was scheduled on a kRealParallel runtime.
+    /// The fault model needs the deterministic virtual-time scheduler (kill
+    /// points, rollback, virtual respawn delays); run such experiments in
+    /// kSimulated mode.
+    kFaultInjectionUnsupported,
   };
   Code code = Code::kXCommitWithoutXStart;
   double time = 0;
@@ -111,17 +144,20 @@ struct RuntimeStats {
   /// Sum over processes of Compute() work units actually performed
   /// (including work later lost to failures).
   double total_work = 0;
+  /// kRealParallel only: tuple-space operations that took the all-shard
+  /// slow path (formal-first-field templates).
+  uint64_t cross_shard_ops = 0;
 };
 
-/// Deterministic virtual-time simulation of a PLinda network of
-/// workstations.
+/// A PLinda network of workstations, in one of two execution modes.
 ///
-/// Each simulated process runs on its own OS thread, but a conservative
-/// scheduler admits exactly one process at a time — always the one with the
-/// smallest virtual clock — so execution is sequential, single-core
-/// friendly, and bit-for-bit reproducible. Virtual time advances through
-/// ProcessContext::Compute() (task work, divided by the host machine's speed
-/// factor) and through tuple-space operations (fixed latency).
+/// **Simulated (default).** Each simulated process runs on its own OS
+/// thread, but a conservative scheduler admits exactly one process at a
+/// time — always the one with the smallest virtual clock — so execution is
+/// sequential, single-core friendly, and bit-for-bit reproducible. Virtual
+/// time advances through ProcessContext::Compute() (task work, divided by
+/// the host machine's speed factor) and through tuple-space operations
+/// (fixed latency).
 ///
 /// Machine failures model a workstation owner returning (Piranha "retreat")
 /// or a crash: every process on the machine is killed, its open transaction
@@ -131,6 +167,15 @@ struct RuntimeStats {
 /// Tuple-space-server failures (§2.4.6) lose the space's volatile memory
 /// and recover it from a periodic checkpoint plus an operation log; see
 /// ScheduleServerFailure and DESIGN.md "Fault model".
+///
+/// **Real-parallel (ExecutionMode::kRealParallel).** All processes run
+/// concurrently against a sharded, thread-safe tuple space; wall-clock
+/// speed scales with cores. Fault injection is unsupported in this mode
+/// (Run() fails fast with kFaultInjectionUnsupported), virtual time does
+/// not advance, and CompletionTime() returns elapsed wall seconds. A
+/// deadlock (every live process blocked on in/rd with nothing left to
+/// publish) is detected by a watchdog, cancelled, and reported through
+/// deadlocked()/diagnostic() exactly like the simulator.
 class Runtime {
  public:
   explicit Runtime(int num_machines, RuntimeOptions options = RuntimeOptions());
@@ -144,7 +189,8 @@ class Runtime {
 
   /// Schedules machine failure/recovery at a virtual time. Failures kill all
   /// processes currently placed on the machine; the machine accepts no new
-  /// processes until recovered.
+  /// processes until recovered. Simulated mode only: a kRealParallel Run()
+  /// with any scheduled event fails with kFaultInjectionUnsupported.
   void ScheduleFailure(int machine, double time);
   void ScheduleRecovery(int machine, double time);
 
@@ -156,6 +202,7 @@ class Runtime {
   /// checkpoint+log machinery (see RuntimeOptions::server_checkpoint_interval).
   /// Open transactions survive client-side: their buffered outs publish on
   /// the recovered server at commit, and aborts restore their ins there.
+  /// Simulated mode only (see ScheduleFailure).
   void ScheduleServerFailure(double time);
   void ScheduleServerRecovery(double time);
 
@@ -168,13 +215,17 @@ class Runtime {
   int Spawn(const std::string& name, ProcessFn fn);
   int SpawnOn(const std::string& name, int machine, ProcessFn fn);
 
-  /// Runs the simulation to completion. Returns true if every process
+  /// Runs the program to completion. Returns true if every process
   /// finished; false on deadlock (some process blocked forever — usually a
-  /// missing poison task) or when max_steps is exceeded.
+  /// missing poison task), protocol error, or when max_steps is exceeded.
   bool Run();
 
-  /// Virtual time at which the last process finished.
+  /// Virtual time at which the last process finished (simulated mode), or
+  /// elapsed wall seconds of the run (real-parallel mode).
   double CompletionTime() const { return completion_time_; }
+
+  /// Elapsed wall seconds of the previous Run() (both modes).
+  double wall_time() const { return wall_time_; }
 
   /// True if the previous Run() ended in deadlock.
   bool deadlocked() const { return deadlocked_; }
@@ -189,6 +240,10 @@ class Runtime {
   /// Empty after a successful run.
   const std::string& diagnostic() const { return diagnostic_; }
 
+  /// The tuple space. In real-parallel mode the live tuples reside in the
+  /// sharded concurrent space while Run() is in flight and are drained back
+  /// here when it returns, so pre-seeding tuples before Run() and
+  /// harvesting results after Run() work identically in both modes.
   TupleSpace& space() { return space_; }
   const RuntimeStats& stats() const { return stats_; }
   int num_machines() const { return static_cast<int>(machines_.size()); }
@@ -222,6 +277,11 @@ class Runtime {
     BlockReason block_reason = BlockReason::kNone;
     Template blocked_tmpl;  // meaningful when block_reason == kTemplate
     bool blocked_remove = false;  // in/inp vs rd/rdp
+    // Real mode: true while parked in (or cancelled out of) a blocking
+    // in/rd. Guarded by real_mu together with the blocked_* fields above,
+    // so the watchdog's liveness probe can read them mid-run.
+    bool real_blocked = false;
+    std::mutex real_mu;
 
     // Open transaction state.
     bool txn_active = false;
@@ -250,6 +310,10 @@ class Runtime {
     bool removed = false;  // false: tuple was out'ed; true: tuple was in'ed
     Tuple tuple;
   };
+
+  bool real_mode() const {
+    return options_.mode == ExecutionMode::kRealParallel;
+  }
 
   // --- scheduler internals (all require mu_ held) ---
   int PickMachineLocked() const;
@@ -292,6 +356,31 @@ class Runtime {
   void OpCompute(Proc* proc, double work_units);
   int OpSpawn(Proc* proc, const std::string& name, ProcessFn fn);
 
+  // --- real-parallel backend (ExecutionMode::kRealParallel) ---
+  /// Driver: transfers the seeded space into the sharded space, releases
+  /// every process thread, watches for completion/deadlock, joins, and
+  /// drains the sharded space back.
+  bool RunReal();
+  /// Watchdog liveness probe: true if any parked waiter's template matches
+  /// a tuple currently in the sharded space — that waiter is merely starved
+  /// of CPU (its wakeup is already pending), not deadlocked. Requires mu_.
+  bool AnyRealWaiterCanMatch();
+  /// Elapsed wall seconds since RunReal() released the processes.
+  double NowReal() const;
+  void RunProcessReal(Proc* proc);
+  /// Rolls back `proc`'s open transaction (restores its ins unless the
+  /// space is closed). Called by the owning thread during unwind.
+  void RealAbortTxn(Proc* proc);
+  [[noreturn]] void FailProcReal(Proc* proc, RuntimeError::Code code,
+                                 std::string detail);
+  void RealOut(Proc* proc, Tuple tuple);
+  bool RealIn(Proc* proc, const Template& tmpl, Tuple* result, bool blocking,
+              bool remove);
+  void RealXStart(Proc* proc);
+  void RealXCommit(Proc* proc, bool has_continuation, Tuple continuation);
+  bool RealXRecover(Proc* proc, Tuple* continuation);
+  int RealSpawn(Proc* proc, const std::string& name, ProcessFn fn);
+
   RuntimeOptions options_;
   std::vector<Machine> machines_;
   std::vector<std::unique_ptr<Proc>> procs_;
@@ -333,6 +422,17 @@ class Runtime {
   bool auto_respawn_ = true;
   bool deadlocked_ = false;
   double completion_time_ = 0;
+  double wall_time_ = 0;
+
+  // Real-parallel state. The sharded space exists only during/after a
+  // real-mode Run(); per-op counters are atomics so processes never
+  // serialize on mu_ for bookkeeping.
+  std::unique_ptr<ShardedTupleSpace> rspace_;
+  bool started_real_ = false;  // start gate (guarded by mu_)
+  std::chrono::steady_clock::time_point real_start_;
+  std::atomic<uint64_t> real_tuple_ops_{0};
+  std::atomic<uint64_t> real_commits_{0};
+  std::atomic<uint64_t> real_aborts_{0};
 
   std::vector<std::thread> threads_;
 };
@@ -365,7 +465,9 @@ class ProcessContext {
 
   /// Performs `work_units` of computation in virtual time (divided by the
   /// host machine's speed). This is also a kill point: if the machine failed
-  /// meanwhile, the process dies here and the work is lost.
+  /// meanwhile, the process dies here and the work is lost. In real-parallel
+  /// mode the units only accrue to RuntimeStats::total_work — the real work
+  /// happens on the calling thread.
   void Compute(double work_units);
 
   /// Spawns another process (proc_eval). Returns the new process id.

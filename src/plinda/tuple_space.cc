@@ -7,62 +7,90 @@
 
 namespace fpdm::plinda {
 
-TupleSpace::Key TupleSpace::KeyFor(const Tuple& tuple) {
+BucketKeyView BucketKeyFor(const Tuple& tuple) {
   if (!tuple.fields.empty() && TypeOf(tuple.fields[0]) == ValueType::kString) {
-    return {tuple.fields.size(), std::get<std::string>(tuple.fields[0])};
+    return {tuple.fields.size(),
+            std::string_view(std::get<std::string>(tuple.fields[0]))};
   }
-  return {tuple.fields.size(), std::string()};
+  return {tuple.fields.size(), std::string_view()};
+}
+
+bool SingleBucketKeyFor(const Template& tmpl, BucketKeyView* key) {
+  const size_t arity = tmpl.fields.size();
+  if (arity == 0) {
+    *key = {0, std::string_view()};
+    return true;
+  }
+  const TemplateField& first = tmpl.fields[0];
+  if (!first.is_formal) {
+    // An actual first field pins the bucket: the matching tuple's first
+    // field equals it, so it is the string's bucket — or the empty-key
+    // bucket, where every non-string-first tuple lives.
+    *key = {arity, TypeOf(first.actual) == ValueType::kString
+                       ? std::string_view(std::get<std::string>(first.actual))
+                       : std::string_view()};
+    return true;
+  }
+  if (first.formal_type != ValueType::kString) {
+    // A formal int/double first field only matches non-string-first tuples,
+    // which all live in the empty-key bucket.
+    *key = {arity, std::string_view()};
+    return true;
+  }
+  // Formal string first field: any bucket of this arity may match.
+  return false;
 }
 
 void TupleSpace::Out(Tuple tuple) {
-  Key key = KeyFor(tuple);
-  buckets_[key].push_back(Stored{std::move(tuple), next_sequence_++});
+  const BucketKeyView key = BucketKeyFor(tuple);
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(BucketKey{key.first, std::string(key.second)}, Bucket{})
+             .first;
+  }
+  it->second.push_back(Stored{std::move(tuple), next_sequence_++});
   ++size_;
 }
 
-template <typename Fn>
-void TupleSpace::ForEachCandidateBucket(const Template& tmpl, Fn&& fn) const {
-  const size_t arity = tmpl.fields.size();
-  if (arity > 0 && !tmpl.fields[0].is_formal &&
-      TypeOf(tmpl.fields[0].actual) == ValueType::kString) {
-    // First field is an actual string: exactly one bucket can match.
-    Key key{arity, std::get<std::string>(tmpl.fields[0].actual)};
-    auto it = buckets_.find(key);
-    if (it != buckets_.end()) fn(it->first);
+template <typename Map, typename Fn>
+void TupleSpace::ForEachCandidateBucket(Map& buckets, const Template& tmpl,
+                                        Fn&& fn) {
+  BucketKeyView key;
+  if (SingleBucketKeyFor(tmpl, &key)) {
+    auto it = buckets.find(key);
+    if (it != buckets.end()) fn(it);
     return;
   }
-  // Otherwise scan every bucket of this arity.
-  Key lo{arity, std::string()};
-  for (auto it = buckets_.lower_bound(lo);
-       it != buckets_.end() && it->first.first == arity; ++it) {
-    fn(it->first);
+  // Formal string first field: scan every bucket of this arity.
+  const size_t arity = tmpl.fields.size();
+  const BucketKeyView lo{arity, std::string_view()};
+  for (auto it = buckets.lower_bound(lo);
+       it != buckets.end() && it->first.first == arity;) {
+    auto current = it++;  // fn may erase `current`
+    fn(current);
   }
 }
 
 bool TupleSpace::TryIn(const Template& tmpl, Tuple* result) {
-  std::vector<Key> keys;
-  ForEachCandidateBucket(tmpl, [&](const Key& key) { keys.push_back(key); });
-
-  Bucket* best_bucket = nullptr;
+  BucketMap::iterator best_bucket = buckets_.end();
   Bucket::iterator best_it;
-  Key best_key;
   uint64_t best_seq = std::numeric_limits<uint64_t>::max();
-  for (const Key& key : keys) {
-    Bucket& bucket = buckets_[key];
+  ForEachCandidateBucket(buckets_, tmpl, [&](BucketMap::iterator bucket_it) {
+    Bucket& bucket = bucket_it->second;
     for (auto it = bucket.begin(); it != bucket.end(); ++it) {
       if (it->sequence < best_seq && Matches(tmpl, it->tuple)) {
         best_seq = it->sequence;
-        best_bucket = &bucket;
+        best_bucket = bucket_it;
         best_it = it;
-        best_key = key;
         break;  // bucket is FIFO-ordered; first match is oldest in bucket
       }
     }
-  }
-  if (best_bucket == nullptr) return false;
+  });
+  if (best_bucket == buckets_.end()) return false;
   if (result != nullptr) *result = std::move(best_it->tuple);
-  best_bucket->erase(best_it);
-  if (best_bucket->empty()) buckets_.erase(best_key);
+  best_bucket->second.erase(best_it);
+  if (best_bucket->second.empty()) buckets_.erase(best_bucket);
   --size_;
   return true;
 }
@@ -70,16 +98,16 @@ bool TupleSpace::TryIn(const Template& tmpl, Tuple* result) {
 bool TupleSpace::TryRd(const Template& tmpl, Tuple* result) const {
   const Tuple* best = nullptr;
   uint64_t best_seq = std::numeric_limits<uint64_t>::max();
-  ForEachCandidateBucket(tmpl, [&](const Key& key) {
-    const Bucket& bucket = buckets_.at(key);
-    for (const Stored& stored : bucket) {
-      if (stored.sequence < best_seq && Matches(tmpl, stored.tuple)) {
-        best_seq = stored.sequence;
-        best = &stored.tuple;
-        break;
-      }
-    }
-  });
+  ForEachCandidateBucket(
+      buckets_, tmpl, [&](BucketMap::const_iterator bucket_it) {
+        for (const Stored& stored : bucket_it->second) {
+          if (stored.sequence < best_seq && Matches(tmpl, stored.tuple)) {
+            best_seq = stored.sequence;
+            best = &stored.tuple;
+            break;
+          }
+        }
+      });
   if (best == nullptr) return false;
   if (result != nullptr) *result = *best;
   return true;
@@ -87,17 +115,35 @@ bool TupleSpace::TryRd(const Template& tmpl, Tuple* result) const {
 
 size_t TupleSpace::CountMatches(const Template& tmpl) const {
   size_t count = 0;
-  ForEachCandidateBucket(tmpl, [&](const Key& key) {
-    for (const Stored& stored : buckets_.at(key)) {
-      if (Matches(tmpl, stored.tuple)) ++count;
-    }
-  });
+  ForEachCandidateBucket(buckets_, tmpl,
+                         [&](BucketMap::const_iterator bucket_it) {
+                           for (const Stored& stored : bucket_it->second) {
+                             if (Matches(tmpl, stored.tuple)) ++count;
+                           }
+                         });
   return count;
 }
 
 void TupleSpace::Clear() {
   buckets_.clear();
   size_ = 0;
+}
+
+std::vector<Tuple> TupleSpace::TakeAllInOrder() {
+  std::vector<std::pair<uint64_t, Tuple>> entries;
+  entries.reserve(size_);
+  for (auto& [key, bucket] : buckets_) {
+    for (Stored& stored : bucket) {
+      entries.emplace_back(stored.sequence, std::move(stored.tuple));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Tuple> tuples;
+  tuples.reserve(entries.size());
+  for (auto& [seq, tuple] : entries) tuples.push_back(std::move(tuple));
+  Clear();
+  return tuples;
 }
 
 namespace {

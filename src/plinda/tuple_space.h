@@ -5,14 +5,49 @@
 #include <list>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "plinda/tuple.h"
 
 namespace fpdm::plinda {
 
+/// The bucket key of the tuple-space index: (arity, first-field string key).
+/// Tuples whose first field is an actual string tag like "task" are indexed
+/// under it; everything else shares the empty key of its arity.
+using BucketKey = std::pair<size_t, std::string>;
+
+/// Heterogeneous probe for BucketKey lookups: built from a string_view into
+/// the template/tuple, so the hot TryIn/TryRd/CountMatches path allocates no
+/// std::string per call.
+using BucketKeyView = std::pair<size_t, std::string_view>;
+
+/// Transparent (heterogeneous) ordering over BucketKey/BucketKeyView, so the
+/// bucket index can be probed with a view without materializing a key.
+struct BucketKeyLess {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return std::string_view(a.second) < std::string_view(b.second);
+  }
+};
+
+/// Returns the bucket key of a tuple as a view into its first field (valid
+/// while the tuple lives). Shared with the sharded concurrent space so both
+/// index tuples identically.
+BucketKeyView BucketKeyFor(const Tuple& tuple);
+
+/// Returns the single bucket key a template with an actual first field can
+/// match, or nullopt-equivalent via `*single=false` when the first field is
+/// formal (the template may match any bucket of its arity).
+bool SingleBucketKeyFor(const Template& tmpl, BucketKeyView* key);
+
 /// The associative shared memory of Linda. Not thread-safe by itself: the
-/// NOW runtime serializes all access (simulated processes run one at a
-/// time), and unit tests exercise it directly.
+/// simulated NOW runtime serializes all access (simulated processes run one
+/// at a time), and unit tests exercise it directly. The thread-safe sibling
+/// used by ExecutionMode::kRealParallel is ShardedTupleSpace.
 ///
 /// Matching is FIFO among matching tuples (oldest `out` wins), which keeps
 /// the simulated executions deterministic.
@@ -44,6 +79,11 @@ class TupleSpace {
   /// Removes every tuple.
   void Clear();
 
+  /// Removes and returns every tuple in FIFO (`out`) order. Used to hand the
+  /// space over to / back from the real-parallel backend without disturbing
+  /// the matching order.
+  std::vector<Tuple> TakeAllInOrder();
+
   /// Serializes the whole space (checkpoint-protected tuple space, §2.4.6).
   /// The encoding carries a self-describing header — magic, payload size,
   /// tuple count and a 64-bit FNV-1a checksum — so that Restore can reject
@@ -67,18 +107,18 @@ class TupleSpace {
   // case — templates whose first field is an actual string tag like "task" —
   // avoids scanning unrelated tuples. Tuples whose first field is not a
   // string live in the bucket with an empty key and are also consulted by
-  // formal-first-field templates.
-  using Key = std::pair<size_t, std::string>;
+  // formal-first-field templates. The comparator is transparent: lookups
+  // probe with BucketKeyView and never build a std::string.
   using Bucket = std::list<Stored>;
+  using BucketMap = std::map<BucketKey, Bucket, BucketKeyLess>;
 
-  static Key KeyFor(const Tuple& tuple);
+  // Calls `fn` on every bucket a template may match: exactly one when the
+  // first field is an actual value; otherwise all buckets of that arity.
+  template <typename Map, typename Fn>
+  static void ForEachCandidateBucket(Map& buckets, const Template& tmpl,
+                                     Fn&& fn);
 
-  // Returns the bucket keys a template may match: exactly one when the first
-  // field is an actual string; otherwise all buckets of that arity.
-  template <typename Fn>
-  void ForEachCandidateBucket(const Template& tmpl, Fn&& fn) const;
-
-  std::map<Key, Bucket> buckets_;
+  BucketMap buckets_;
   uint64_t next_sequence_ = 0;
   size_t size_ = 0;
 };

@@ -42,14 +42,21 @@ std::vector<core::Pattern> SequenceMiningProblem::ImmediateSubpatterns(
 
 const SequenceMiningProblem::Eval& SequenceMiningProblem::Evaluate(
     const std::string& segment) const {
-  auto it = cache_.find(segment);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(segment);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: concurrent workers evaluating distinct
+  // patterns must not serialize on the expensive match. A racing duplicate
+  // computes the same value; emplace keeps the first.
   Motif motif{{segment}};
   MatchStats stats;
   Eval eval;
   eval.occurrence = OccurrenceNumber(motif, sequences_, config_.max_mutations,
                                      &stats);
   eval.cost = static_cast<double>(stats.cells);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   return cache_.emplace(segment, eval).first->second;
 }
 

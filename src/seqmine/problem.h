@@ -1,6 +1,7 @@
 #ifndef FPDM_SEQMINE_PROBLEM_H_
 #define FPDM_SEQMINE_PROBLEM_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,8 +68,11 @@ class SequenceMiningProblem : public core::MiningProblem {
   SequenceMiningConfig config_;
   GeneralizedSuffixTree gst_;
   // Goodness/TaskCost memoization: both are queried for the same pattern
-  // (Compute(TaskCost) then Goodness), and the match is expensive. Safe
-  // without locks: the NOW runtime runs one process at a time.
+  // (Compute(TaskCost) then Goodness), and the match is expensive. The
+  // mutex guards map access only — the match runs outside it — so the
+  // problem is safe to share across kRealParallel workers; references into
+  // the node-based map stay valid across inserts.
+  mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, Eval> cache_;
 };
 

@@ -61,14 +61,19 @@ std::vector<core::Pattern> TreeMotifProblem::ImmediateSubpatterns(
 
 const TreeMotifProblem::Eval& TreeMotifProblem::Evaluate(
     const std::string& key) const {
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock (see SequenceMiningProblem::Evaluate).
   const OrderedTree motif = OrderedTree::Parse(key);
   TreeMatchStats stats;
   Eval eval;
   eval.occurrence =
       TreeOccurrenceNumber(motif, forest_, config_.max_distance, &stats);
   eval.cost = static_cast<double>(stats.cells);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   return cache_.emplace(key, eval).first->second;
 }
 

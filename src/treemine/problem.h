@@ -1,6 +1,7 @@
 #ifndef FPDM_TREEMINE_PROBLEM_H_
 #define FPDM_TREEMINE_PROBLEM_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,10 @@ class TreeMotifProblem : public core::MiningProblem {
   std::vector<OrderedTree> forest_;
   TreeMiningConfig config_;
   std::vector<char> labels_;  // distinct labels observed in the forest
+  // Memoized evaluations; the mutex guards map access only (the tree match
+  // runs outside it), making the problem shareable across kRealParallel
+  // workers. References into the node-based map stay valid across inserts.
+  mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, Eval> cache_;
 };
 

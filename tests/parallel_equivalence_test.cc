@@ -1,0 +1,141 @@
+// Bit-identical equivalence between the two execution backends: every
+// mining driver must produce exactly the same result under the
+// deterministic virtual-time simulator and under kRealParallel threads.
+// Goodness values and cost totals are compared with EXPECT_EQ on doubles
+// on purpose — "close" is not good enough, the accumulation orders are
+// canonicalized so the sums are bit-identical.
+
+#include <string>
+#include <vector>
+
+#include "arm/problem.h"
+#include "classify/parallel.h"
+#include "core/parallel.h"
+#include "data/benchmarks.h"
+#include "gtest/gtest.h"
+#include "seqmine/generator.h"
+#include "seqmine/problem.h"
+
+namespace fpdm {
+namespace {
+
+void ExpectSameMining(const core::ParallelResult& sim,
+                      const core::ParallelResult& real,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_TRUE(sim.ok);
+  ASSERT_TRUE(real.ok);
+  EXPECT_EQ(sim.mining.patterns_tested, real.mining.patterns_tested);
+  EXPECT_EQ(sim.mining.total_task_cost, real.mining.total_task_cost);
+  ASSERT_EQ(sim.mining.good_patterns.size(), real.mining.good_patterns.size());
+  for (size_t i = 0; i < sim.mining.good_patterns.size(); ++i) {
+    const core::GoodPattern& a = sim.mining.good_patterns[i];
+    const core::GoodPattern& b = real.mining.good_patterns[i];
+    EXPECT_EQ(a.pattern.key, b.pattern.key) << "index " << i;
+    EXPECT_EQ(a.pattern.length, b.pattern.length) << "index " << i;
+    EXPECT_EQ(a.goodness, b.goodness) << "index " << i;
+  }
+}
+
+core::ParallelResult RunMode(const core::MiningProblem& problem,
+                             core::Strategy strategy,
+                             plinda::ExecutionMode mode) {
+  core::ParallelOptions options;
+  options.strategy = strategy;
+  options.execution_mode = mode;
+  options.num_workers = 4;
+  return core::MineParallel(problem, options);
+}
+
+TEST(ParallelEquivalenceTest, ItemsetsAllStrategies) {
+  arm::BasketConfig config;
+  config.num_transactions = 150;
+  config.num_items = 20;
+  config.avg_transaction_size = 6;
+  config.patterns = {{{1, 4, 7}, 0.3}, {{2, 5}, 0.4}};
+  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
+                                    /*min_support=*/15);
+  for (core::Strategy strategy :
+       {core::Strategy::kPled, core::Strategy::kOptimistic,
+        core::Strategy::kLoadBalanced, core::Strategy::kHybrid}) {
+    const core::ParallelResult sim =
+        RunMode(problem, strategy, plinda::ExecutionMode::kSimulated);
+    const core::ParallelResult real =
+        RunMode(problem, strategy, plinda::ExecutionMode::kRealParallel);
+    ExpectSameMining(sim, real, core::StrategyName(strategy));
+    EXPECT_GE(real.wall_time, 0.0);
+    EXPECT_EQ(real.completion_time, real.wall_time);
+  }
+}
+
+TEST(ParallelEquivalenceTest, RealModeIsInternallyDeterministic) {
+  arm::BasketConfig config;
+  config.num_transactions = 150;
+  config.num_items = 20;
+  config.avg_transaction_size = 6;
+  config.patterns = {{{1, 4, 7}, 0.3}};
+  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
+                                    /*min_support=*/15);
+  // Two real runs schedule threads differently; the mining result may not.
+  const core::ParallelResult first =
+      RunMode(problem, core::Strategy::kLoadBalanced,
+              plinda::ExecutionMode::kRealParallel);
+  const core::ParallelResult second =
+      RunMode(problem, core::Strategy::kLoadBalanced,
+              plinda::ExecutionMode::kRealParallel);
+  ExpectSameMining(first, second, "real-vs-real");
+}
+
+TEST(ParallelEquivalenceTest, SequenceMotifs) {
+  seqmine::ProteinSetConfig config;
+  config.num_sequences = 8;
+  config.min_length = 30;
+  config.max_length = 40;
+  config.seed = 321;
+  config.planted = {{"MKWVTF", 5, 0.0}};
+  const seqmine::SequenceMiningProblem problem(
+      seqmine::GenerateProteinSet(config),
+      seqmine::SequenceMiningConfig{/*min_length=*/4, /*min_occurrence=*/5,
+                                    /*max_mutations=*/0});
+  for (core::Strategy strategy :
+       {core::Strategy::kLoadBalanced, core::Strategy::kHybrid}) {
+    const core::ParallelResult sim =
+        RunMode(problem, strategy, plinda::ExecutionMode::kSimulated);
+    const core::ParallelResult real =
+        RunMode(problem, strategy, plinda::ExecutionMode::kRealParallel);
+    ExpectSameMining(sim, real, core::StrategyName(strategy));
+  }
+}
+
+TEST(ParallelEquivalenceTest, NyuMinerCvTree) {
+  data::BenchmarkSpec spec = data::SpecByName("diabetes");
+  spec.rows = 300;
+  const classify::Dataset data = data::GenerateBenchmark(spec);
+  classify::NyuMinerOptions options;
+  options.cv_folds = 4;
+  options.seed = 123;
+  const classify::DecisionTree sequential =
+      classify::TrainNyuMinerCV(data, data.AllRows(), options, nullptr);
+
+  auto run = [&](plinda::ExecutionMode mode) {
+    classify::ParallelExecOptions exec;
+    exec.num_workers = 4;
+    exec.execution_mode = mode;
+    return classify::ParallelNyuMinerCV(data, data.AllRows(), options, exec);
+  };
+  const classify::ParallelTreeResult sim =
+      run(plinda::ExecutionMode::kSimulated);
+  const classify::ParallelTreeResult real =
+      run(plinda::ExecutionMode::kRealParallel);
+  ASSERT_TRUE(sim.ok);
+  ASSERT_TRUE(real.ok);
+  // The trained tree is byte-identical across both backends and matches
+  // the sequential trainer.
+  EXPECT_EQ(real.tree.Serialize(), sim.tree.Serialize());
+  EXPECT_EQ(real.tree.Serialize(), sequential.Serialize());
+  EXPECT_EQ(real.total_work, sim.total_work);
+  EXPECT_GE(real.wall_time, 0.0);
+}
+
+}  // namespace
+}  // namespace fpdm

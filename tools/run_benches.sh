@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the benchmark binaries and refreshes the committed benchmark
+# JSONs at the repo root:
+#   BENCH_micro.json   — primitive micro-benchmarks (bench_micro)
+#   BENCH_scaling.json — kRealParallel wall-clock scaling vs worker count
+#                        (bench_scaling; the speedup curve is only visible
+#                        on a multicore host — check the hw_threads counter)
+# Usage: tools/run_benches.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j --target bench_micro bench_scaling
+
+"$build_dir/bench/bench_micro" \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json
+"$build_dir/bench/bench_scaling" \
+  --benchmark_out="$repo_root/BENCH_scaling.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo_root/BENCH_micro.json and $repo_root/BENCH_scaling.json"
