@@ -104,6 +104,45 @@ BENCHMARK(BM_ScalingSeqmine)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// The same Apriori workload in ExecutionMode::kDistributed: every worker
+// is a forked OS process and the tuple space is a separate server process
+// behind a Unix-domain socket, so this row prices the wire protocol + WAL
+// against the in-process sharded space of BM_ScalingApriori. Iterations are
+// pinned: each one forks a server and a full worker fleet, so letting the
+// harness auto-scale the count would make the bench needlessly slow.
+void BM_ScalingDistributedApriori(benchmark::State& state) {
+  arm::BasketConfig config;
+  config.num_transactions = 600;
+  config.num_items = 30;
+  config.avg_transaction_size = 8;
+  config.patterns = {{{1, 4, 7}, 0.25}, {{2, 5, 9, 12}, 0.2}, {{3, 8}, 0.3}};
+  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
+                                    /*min_support=*/40);
+  core::ParallelOptions options;
+  options.strategy = core::Strategy::kLoadBalanced;
+  options.execution_mode = plinda::ExecutionMode::kDistributed;
+  options.num_workers = static_cast<int>(state.range(0));
+  core::ParallelResult result;
+  for (auto _ : state) {
+    result = core::MineParallel(problem, options);
+    if (!result.ok) state.SkipWithError("distributed run failed");
+    benchmark::DoNotOptimize(result.mining.good_patterns.size());
+  }
+  FillCounters(state, result.wall_time, result.stats.tuple_ops,
+               result.stats.cross_shard_ops);
+  state.counters["patterns_tested"] =
+      static_cast<double>(result.mining.patterns_tested);
+  state.counters["server_checkpoints"] =
+      static_cast<double>(result.stats.server_checkpoints);
+}
+BENCHMARK(BM_ScalingDistributedApriori)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // NyuMiner-CV (§6.1.1): one auxiliary tree per fold, grown concurrently by
 // the workers while the master grows the main tree.
 void BM_ScalingNyuMinerCV(benchmark::State& state) {

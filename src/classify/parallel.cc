@@ -78,6 +78,12 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
   plinda::Runtime runtime(exec.num_workers, RuntimeOptionsFor(exec));
   ApplyFailures(&runtime, exec);
   const double spw = exec.seconds_per_work_unit;
+  // kDistributed forks the processes, so writes to the shared variables
+  // below are lost: the tree, the master's work, and the per-fold work come
+  // back as tuples instead, published inside the task transactions so they
+  // stay exactly-once under faults.
+  const bool dist =
+      exec.execution_mode == plinda::ExecutionMode::kDistributed;
 
   // Shared state. Work and per-alpha error vectors are recorded per fold
   // (each fold is one task, claimed by exactly one worker at a time), so the
@@ -136,6 +142,10 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
     }
 
     ctx.XStart();
+    if (dist) {
+      ctx.Out(MakeTuple("final_tree", final_tree.Serialize()));
+      ctx.Out(MakeTuple("master_work", master_work));
+    }
     for (int w = 0; w < exec.num_workers; ++w) {
       ctx.Out(MakeTuple("learning_set", -1));
     }
@@ -172,6 +182,7 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
         const std::vector<double> errors = CvErrorsPerAlpha(
             aux, data, fold_rows[static_cast<size_t>(v)], probes);
         ctx.Out(MakeTuple("alpha_list", v, JoinDoubles(errors)));
+        if (dist) ctx.Out(MakeTuple("fold_work", v, work));
         ctx.XCommit();
       }
     });
@@ -181,6 +192,24 @@ ParallelTreeResult ParallelNyuMinerCV(const Dataset& data,
   result.completion_time = runtime.CompletionTime();
   result.wall_time = runtime.wall_time();
   result.stats = runtime.stats();
+  if (dist) {
+    Tuple tuple;
+    if (runtime.space().TryIn(
+            MakeTemplate(A("final_tree"), F(ValueType::kString)), &tuple)) {
+      if (auto tree = DecisionTree::Deserialize(GetString(tuple, 1))) {
+        final_tree = std::move(*tree);
+      }
+    }
+    if (runtime.space().TryIn(
+            MakeTemplate(A("master_work"), F(ValueType::kDouble)), &tuple)) {
+      master_work = GetDouble(tuple, 1);
+    }
+    plinda::Template fold_work_template = MakeTemplate(
+        A("fold_work"), F(ValueType::kInt), F(ValueType::kDouble));
+    while (runtime.space().TryIn(fold_work_template, &tuple)) {
+      fold_work[static_cast<size_t>(GetInt(tuple, 1))] += GetDouble(tuple, 2);
+    }
+  }
   result.total_work = master_work;
   for (int v = 0; v < folds; ++v) {
     result.total_work += fold_work[static_cast<size_t>(v)];
@@ -218,8 +247,12 @@ TrialRun RunTrialsInParallel(int trials, uint64_t seed,
   ApplyFailures(&runtime, exec);
   // Work is recorded per trial (each trial is claimed by one worker), so the
   // writes are race-free under kRealParallel and the index-order fold below
-  // is deterministic.
+  // is deterministic. kDistributed forks the workers, so each trial's tree
+  // and work come back as a ("trial_tree", t, tree, work) tuple instead,
+  // out'ed inside the task transaction for exactly-once under faults.
   std::vector<double> trial_work(static_cast<size_t>(trials), 0.0);
+  const bool dist =
+      exec.execution_mode == plinda::ExecutionMode::kDistributed;
 
   runtime.SpawnOn("master", 0, [&](ProcessContext& ctx) {
     ctx.XStart();
@@ -252,6 +285,11 @@ TrialRun RunTrialsInParallel(int trials, uint64_t seed,
             run_trial(static_cast<int>(t), seeds[static_cast<size_t>(t)], &work);
         trial_work[static_cast<size_t>(t)] += work;
         ctx.Compute(work * exec.seconds_per_work_unit);
+        if (dist) {
+          ctx.Out(MakeTuple("trial_tree", t,
+                            run.trees[static_cast<size_t>(t)].Serialize(),
+                            work));
+        }
         ctx.Out(MakeTuple("trial_done", t));
         ctx.XCommit();
       }
@@ -262,6 +300,20 @@ TrialRun RunTrialsInParallel(int trials, uint64_t seed,
   run.completion_time = runtime.CompletionTime();
   run.wall_time = runtime.wall_time();
   run.stats = runtime.stats();
+  if (dist) {
+    Tuple tuple;
+    plinda::Template trial_tree_template =
+        MakeTemplate(A("trial_tree"), F(ValueType::kInt),
+                     F(ValueType::kString), F(ValueType::kDouble));
+    while (runtime.space().TryIn(trial_tree_template, &tuple)) {
+      const size_t t = static_cast<size_t>(GetInt(tuple, 1));
+      if (t >= run.trees.size()) continue;
+      if (auto tree = DecisionTree::Deserialize(GetString(tuple, 2))) {
+        run.trees[t] = std::move(*tree);
+      }
+      trial_work[t] += GetDouble(tuple, 3);
+    }
+  }
   run.total_work = 0;
   for (double work : trial_work) run.total_work += work;
   return run;

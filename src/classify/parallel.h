@@ -13,10 +13,12 @@ namespace fpdm::classify {
 /// machine 0 with worker 0, as in Chapter 4).
 struct ParallelExecOptions {
   int num_workers = 2;
-  /// Execution backend: deterministic virtual-time simulator (default) or
-  /// real multicore threads (plinda::ExecutionMode::kRealParallel). The
-  /// trained model is bit-identical in both modes; fault injection
-  /// (`failures` / `fault_plan`) requires the simulator.
+  /// Execution backend: deterministic virtual-time simulator (default),
+  /// real multicore threads (kRealParallel), or forked OS processes talking
+  /// to a tuple-space server process (kDistributed). The trained model is
+  /// bit-identical in all modes; fault injection (`failures` /
+  /// `fault_plan`) needs the simulator or kDistributed — distributed fault
+  /// times are wall seconds since Run().
   plinda::ExecutionMode execution_mode = plinda::ExecutionMode::kSimulated;
   /// Virtual seconds per unit of splitter work; calibrated by the benches
   /// so 1-worker runs land near the paper's sequential times (Tables

@@ -42,6 +42,12 @@ struct SharedState {
   std::mutex mu;
   std::vector<std::pair<std::string, double>> task_costs;  // (key, cost)
   std::vector<GoodPattern> master_good;  // found by master-side expansion
+  /// kDistributed: the processes are forked, so writes to this struct are
+  /// lost. Costs and master-found patterns travel as ("cost", key, cost) /
+  /// ("good", ...) tuples instead, out'ed inside the task transactions so
+  /// they stay exactly-once under faults; the driver harvests them from the
+  /// drained space after Run().
+  bool dist = false;
 };
 
 Tuple TaskTuple(const Pattern& pattern, int64_t mode) {
@@ -68,7 +74,9 @@ double EvaluateOnWorker(ProcessContext& ctx, const MiningProblem& problem,
                         SharedState* shared) {
   ctx.Compute(problem.TaskCost(pattern) * seconds_per_work_unit);
   const double goodness = problem.Goodness(pattern);
-  {
+  if (shared->dist) {
+    ctx.Out(MakeTuple("cost", pattern.key, problem.TaskCost(pattern)));
+  } else {
     std::lock_guard<std::mutex> lock(shared->mu);
     shared->task_costs.emplace_back(pattern.key, problem.TaskCost(pattern));
   }
@@ -168,12 +176,18 @@ std::vector<Pattern> ExpandLocally(ProcessContext& ctx,
     for (const Pattern& pattern : frontier) {
       ctx.Compute(problem.TaskCost(pattern) * seconds_per_work_unit);
       const double goodness = problem.Goodness(pattern);
-      {
+      if (shared->dist) {
+        ctx.Out(MakeTuple("cost", pattern.key, problem.TaskCost(pattern)));
+      } else {
         std::lock_guard<std::mutex> lock(shared->mu);
         shared->task_costs.emplace_back(pattern.key, problem.TaskCost(pattern));
       }
       if (problem.IsGood(pattern, goodness)) {
-        shared->master_good.push_back(GoodPattern{pattern, goodness});
+        if (shared->dist) {
+          ctx.Out(MakeTuple("good", pattern.key, pattern.length, goodness));
+        } else {
+          shared->master_good.push_back(GoodPattern{pattern, goodness});
+        }
         for (Pattern& child : problem.ChildPatterns(pattern)) {
           next.push_back(std::move(child));
         }
@@ -329,6 +343,7 @@ ParallelResult MineParallel(const MiningProblem& problem,
   plinda::InstallFaultPlan(&runtime, opts.fault_plan);
 
   auto shared = std::make_unique<SharedState>();
+  shared->dist = opts.execution_mode == plinda::ExecutionMode::kDistributed;
   SharedState* shared_ptr = shared.get();
 
   // Master on machine 0 (shared with worker 0 — it mostly blocks on in).
@@ -384,6 +399,15 @@ ParallelResult MineParallel(const MiningProblem& problem,
     result.mining.good_patterns.push_back(gp);
   }
   SortGoodPatterns(&result.mining.good_patterns);
+  if (shared->dist) {
+    // Cost records come back through the space (the forked workers cannot
+    // write the shared vectors).
+    plinda::Template cost_template =
+        MakeTemplate(A("cost"), F(ValueType::kString), F(ValueType::kDouble));
+    while (runtime.space().TryIn(cost_template, &tuple)) {
+      shared->task_costs.emplace_back(GetString(tuple, 1), GetDouble(tuple, 2));
+    }
+  }
   // Sum task costs in canonical (sorted) order, not evaluation order, so the
   // floating-point total is bit-identical across execution modes and runs.
   std::sort(shared->task_costs.begin(), shared->task_costs.end());

@@ -37,11 +37,13 @@ const char* StrategyName(Strategy strategy);
 struct ParallelOptions {
   Strategy strategy = Strategy::kLoadBalanced;
 
-  /// Execution backend: deterministic virtual-time simulator (default) or
-  /// real multicore threads (plinda::ExecutionMode::kRealParallel). The
-  /// mining result is bit-identical in both modes; completion_time is
-  /// virtual seconds vs elapsed wall seconds respectively. Fault injection
-  /// (`failures` / `fault_plan`) requires the simulator.
+  /// Execution backend: deterministic virtual-time simulator (default),
+  /// real multicore threads (kRealParallel), or forked OS processes talking
+  /// to a tuple-space server process (kDistributed). The mining result is
+  /// bit-identical in all modes; completion_time is virtual seconds for the
+  /// simulator, elapsed wall seconds otherwise. Fault injection
+  /// (`failures` / `fault_plan`) needs the simulator or kDistributed —
+  /// distributed fault times are wall seconds since Run().
   plinda::ExecutionMode execution_mode = plinda::ExecutionMode::kSimulated;
 
   /// Number of worker processes; each runs on its own machine (the master

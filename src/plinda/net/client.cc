@@ -1,0 +1,295 @@
+#include "plinda/net/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace fpdm::plinda::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: writing to a crashed server must surface as EPIPE (the
+    // reconnect path), not deliver SIGPIPE to the caller — the supervisor
+    // and test binaries do not override the default disposition.
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+RemoteTupleSpace::RemoteTupleSpace(RemoteSpaceOptions options)
+    : options_(std::move(options)) {}
+
+RemoteTupleSpace::~RemoteTupleSpace() { CloseFd(); }
+
+void RemoteTupleSpace::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void RemoteTupleSpace::Abandon() { CloseFd(); }
+
+bool RemoteTupleSpace::EnsureConnected() {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  if (options_.pid < 0) return true;  // control connections skip HELLO
+  Request hello;
+  hello.op = Op::kHello;
+  hello.pid = options_.pid;
+  hello.incarnation = options_.incarnation;
+  std::string framed;
+  AppendFrame(EncodeRequest(hello), &framed);
+  Reply reply;
+  bool wire_error = false;
+  if (!SendAndReceiveOnce(framed, &reply, &wire_error) ||
+      reply.status != WireStatus::kOk) {
+    CloseFd();
+    return false;
+  }
+  return true;
+}
+
+bool RemoteTupleSpace::SendAndReceiveOnce(const std::string& framed,
+                                          Reply* reply, bool* wire_error) {
+  if (!WriteAll(fd_, framed.data(), framed.size())) return false;
+  FrameReader reader;
+  std::string payload;
+  char buf[65536];
+  for (;;) {
+    const FrameReader::Result result = reader.Next(&payload);
+    if (result == FrameReader::Result::kFrame) break;
+    if (result == FrameReader::Result::kError) {
+      last_error_ = reader.error();
+      *wire_error = true;
+      return false;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      reader.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or error: the server went away
+  }
+  std::string error;
+  if (!DecodeReply(payload, reply, &error)) {
+    last_error_ = error;
+    *wire_error = true;
+    return false;
+  }
+  return true;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
+                                                    Reply* reply) {
+  // Sequence every request of a registered client exactly once: retries
+  // resend the same number, which is what the server dedups on.
+  if (options_.pid >= 0 && request.seq == 0) request.seq = ++next_seq_;
+  request.pid = options_.pid;
+  request.incarnation = options_.incarnation;
+  std::string framed;
+  AppendFrame(EncodeRequest(request), &framed);
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options_.reconnect_timeout_s));
+  for (;;) {
+    if (fd_ >= 0 || EnsureConnected()) {
+      bool wire_error = false;
+      if (SendAndReceiveOnce(framed, reply, &wire_error)) {
+        switch (reply->status) {
+          case WireStatus::kOk:
+            return CallStatus::kOk;
+          case WireStatus::kNotFound:
+            return CallStatus::kNotFound;
+          case WireStatus::kCancelled:
+            return CallStatus::kCancelled;
+          case WireStatus::kError:
+            last_error_ = reply->error;
+            return CallStatus::kWireError;
+        }
+      }
+      CloseFd();
+      if (wire_error) return CallStatus::kWireError;
+    }
+    if (Clock::now() >= deadline) {
+      if (last_error_.empty()) last_error_ = "tuple-space server unreachable";
+      return CallStatus::kUnreachable;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.reconnect_interval_s));
+  }
+}
+
+bool RemoteTupleSpace::Connect() {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options_.reconnect_timeout_s));
+  while (!EnsureConnected()) {
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.reconnect_interval_s));
+  }
+  return true;
+}
+
+void RemoteTupleSpace::Bye() {
+  if (fd_ < 0) return;
+  Request request;
+  request.op = Op::kBye;
+  request.pid = options_.pid;
+  request.incarnation = options_.incarnation;
+  std::string framed;
+  AppendFrame(EncodeRequest(request), &framed);
+  Reply reply;
+  bool wire_error = false;
+  SendAndReceiveOnce(framed, &reply, &wire_error);
+  CloseFd();
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Out(const Tuple& tuple) {
+  Request request;
+  request.op = Op::kOut;
+  request.tuple = tuple;
+  Reply reply;
+  return Call(request, &reply);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::In(const Template& tmpl,
+                                                  bool blocking, bool remove,
+                                                  Tuple* result) {
+  Request request;
+  request.op = Op::kIn;
+  request.tmpl = tmpl;
+  request.flags = static_cast<uint8_t>((remove ? kInRemove : 0) |
+                                       (blocking ? kInBlocking : 0));
+  Reply reply;
+  const CallStatus status = Call(request, &reply);
+  if (status == CallStatus::kOk && reply.has_tuple && result != nullptr) {
+    *result = std::move(reply.tuple);
+  }
+  return status;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Count(const Template& tmpl,
+                                                     uint64_t* count) {
+  Request request;
+  request.op = Op::kCount;
+  request.tmpl = tmpl;
+  Reply reply;
+  const CallStatus status = Call(request, &reply);
+  if (status == CallStatus::kOk && count != nullptr) *count = reply.count;
+  return status;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::XStart() {
+  Request request;
+  request.op = Op::kXStart;
+  Reply reply;
+  return Call(request, &reply);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::XCommit(
+    const std::vector<Tuple>& outs, bool has_continuation,
+    const Tuple& continuation) {
+  Request request;
+  request.op = Op::kXCommit;
+  request.outs = outs;
+  request.has_continuation = has_continuation;
+  request.continuation = continuation;
+  Reply reply;
+  return Call(request, &reply);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::XAbort() {
+  Request request;
+  request.op = Op::kXAbort;
+  Reply reply;
+  return Call(request, &reply);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::XRecover(Tuple* continuation) {
+  Request request;
+  request.op = Op::kXRecover;
+  Reply reply;
+  const CallStatus status = Call(request, &reply);
+  if (status == CallStatus::kOk && reply.has_tuple &&
+      continuation != nullptr) {
+    *continuation = std::move(reply.tuple);
+  }
+  return status;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::TakeAll(
+    std::vector<Tuple>* tuples) {
+  Request request;
+  request.op = Op::kTakeAll;
+  Reply reply;
+  const CallStatus status = Call(request, &reply);
+  if (status == CallStatus::kOk && tuples != nullptr) {
+    *tuples = std::move(reply.tuples);
+  }
+  return status;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Stats(Reply* reply) {
+  Request request;
+  request.op = Op::kStats;
+  return Call(request, reply);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Status(Reply* reply) {
+  Request request;
+  request.op = Op::kStatus;
+  return Call(request, reply);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Cancel() {
+  Request request;
+  request.op = Op::kCancel;
+  Reply reply;
+  return Call(request, &reply);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Shutdown() {
+  Request request;
+  request.op = Op::kShutdown;
+  Reply reply;
+  return Call(request, &reply);
+}
+
+}  // namespace fpdm::plinda::net

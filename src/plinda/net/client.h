@@ -1,0 +1,97 @@
+#ifndef FPDM_PLINDA_NET_CLIENT_H_
+#define FPDM_PLINDA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plinda/net/wire.h"
+#include "plinda/tuple.h"
+
+namespace fpdm::plinda::net {
+
+struct RemoteSpaceOptions {
+  std::string socket_path;
+  /// PLinda process id this client speaks for; -1 for control connections
+  /// (the runtime supervisor), which skip registration and sequencing.
+  int32_t pid = -1;
+  int32_t incarnation = 0;
+  /// How long a call keeps retrying against an unreachable server before
+  /// giving up. Covers server crash + checkpoint recovery + restart.
+  double reconnect_timeout_s = 20.0;
+  double reconnect_interval_s = 0.02;
+};
+
+/// Client side of the wire protocol: the tuple-space stub a distributed
+/// worker process talks through. Calls are synchronous (one request in
+/// flight); blocking in/rd simply wait for the server's reply.
+///
+/// Fault tolerance: when the server connection dies mid-call, the client
+/// reconnects (re-registering via HELLO with its incarnation) and resends
+/// the same request with the same sequence number; the server's (pid, seq)
+/// dedup turns the retry into the cached original reply, so effects stay
+/// exactly-once across server crashes.
+class RemoteTupleSpace {
+ public:
+  enum class CallStatus {
+    kOk,
+    kNotFound,     // inp/rdp miss, xrecover without a continuation
+    kCancelled,    // run cancelled (deadlock watchdog) — unwind
+    kUnreachable,  // server gone past the reconnect window
+    kWireError,    // protocol violation; detail in last_error()
+  };
+
+  explicit RemoteTupleSpace(RemoteSpaceOptions options);
+  ~RemoteTupleSpace();
+
+  RemoteTupleSpace(const RemoteTupleSpace&) = delete;
+  RemoteTupleSpace& operator=(const RemoteTupleSpace&) = delete;
+
+  /// Establishes the initial connection (retrying until the reconnect
+  /// window closes — the server may still be binding its socket).
+  bool Connect();
+
+  /// Clean goodbye: tells the server this client is exiting on purpose, so
+  /// its disappearance is not treated as a crash. Best effort.
+  void Bye();
+
+  /// Closes the inherited descriptor without any protocol traffic. Used by
+  /// freshly forked children to drop the parent's connection.
+  void Abandon();
+
+  CallStatus Out(const Tuple& tuple);
+  CallStatus In(const Template& tmpl, bool blocking, bool remove,
+                Tuple* result);
+  CallStatus Count(const Template& tmpl, uint64_t* count);
+  CallStatus XStart();
+  CallStatus XCommit(const std::vector<Tuple>& outs, bool has_continuation,
+                     const Tuple& continuation);
+  CallStatus XAbort();
+  CallStatus XRecover(Tuple* continuation);
+  CallStatus TakeAll(std::vector<Tuple>* tuples);
+  CallStatus Stats(Reply* reply);
+  CallStatus Status(Reply* reply);
+  CallStatus Cancel();
+  CallStatus Shutdown();
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  CallStatus Call(Request& request, Reply* reply);
+  bool EnsureConnected();
+  /// One send+receive attempt on the current connection. Returns false on
+  /// transport failure (caller reconnects and retries); sets *wire_error on
+  /// an undecodable reply (caller gives up — the stream is garbage).
+  bool SendAndReceiveOnce(const std::string& framed, Reply* reply,
+                          bool* wire_error);
+  void CloseFd();
+
+  RemoteSpaceOptions options_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace fpdm::plinda::net
+
+#endif  // FPDM_PLINDA_NET_CLIENT_H_

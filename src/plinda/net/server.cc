@@ -1,0 +1,854 @@
+#include "plinda/net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace fpdm::plinda::net {
+
+namespace {
+
+constexpr char kSnapshotMagic[] = "fpdmsrv1:";
+
+/// An all-actuals template matching exactly one tuple value. Replaying an
+/// IN log entry removes the oldest tuple equal to the logged one, which is
+/// exactly the tuple the live path removed (the oldest equal duplicate is
+/// also the oldest match of the original template).
+Template ExactTemplate(const Tuple& tuple) {
+  Template tmpl;
+  tmpl.fields.reserve(tuple.fields.size());
+  for (const Value& v : tuple.fields) {
+    tmpl.fields.push_back(TemplateField::Actual(v));
+  }
+  return tmpl;
+}
+
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+SpaceServer::SpaceServer(SpaceServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  if (options_.checkpoint_every_ops < 1) options_.checkpoint_every_ops = 1;
+}
+
+SpaceServer::~SpaceServer() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [fd, conn] : conns_) ::close(fd);
+}
+
+// --- sharded space --------------------------------------------------------
+
+size_t SpaceServer::ShardIndexFor(const BucketKeyView& key) const {
+  if (shards_.size() == 1) return 0;
+  // Deterministic across restarts (unlike std::hash), so a recovered server
+  // routes every tuple to the shard its checkpoint put it in.
+  uint64_t h = Fnv1a64(key.second);
+  h ^= key.first + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return static_cast<size_t>(h % shards_.size());
+}
+
+bool SpaceServer::FindMatch(const Template& tmpl, Tuple* result, bool remove) {
+  BucketKeyView key;
+  if (SingleBucketKeyFor(tmpl, &key)) {
+    TupleSpace& shard = shards_[ShardIndexFor(key)];
+    return remove ? shard.TryIn(tmpl, result) : shard.TryRd(tmpl, result);
+  }
+  // Formal-string-first template: scan shards in index order. With one
+  // shard (the default) matching is exactly global-FIFO; with more, FIFO
+  // holds within each shard only.
+  if (shards_.size() > 1) ++cross_shard_ops_;
+  for (TupleSpace& shard : shards_) {
+    if (remove ? shard.TryIn(tmpl, result) : shard.TryRd(tmpl, result)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t SpaceServer::CountAcrossShards(const Template& tmpl) {
+  BucketKeyView key;
+  if (SingleBucketKeyFor(tmpl, &key)) {
+    return shards_[ShardIndexFor(key)].CountMatches(tmpl);
+  }
+  if (shards_.size() > 1) ++cross_shard_ops_;
+  size_t count = 0;
+  for (const TupleSpace& shard : shards_) count += shard.CountMatches(tmpl);
+  return count;
+}
+
+void SpaceServer::PublishTuple(Tuple tuple) {
+  const BucketKeyView key = BucketKeyFor(tuple);
+  shards_[ShardIndexFor(key)].Out(std::move(tuple));
+  ++publish_epoch_;
+}
+
+// --- log + checkpoint -----------------------------------------------------
+
+std::string SpaceServer::EncodeSnapshot() const {
+  std::string payload;
+  PutU64(epoch_, &payload);
+  PutU32(static_cast<uint32_t>(shards_.size()), &payload);
+  for (const TupleSpace& shard : shards_) {
+    PutString(shard.Checkpoint(), &payload);
+  }
+  PutU32(static_cast<uint32_t>(continuations_.size()), &payload);
+  for (const auto& [pid, cont] : continuations_) {
+    PutI32(pid, &payload);
+    PutTuple(cont, &payload);
+  }
+  PutU32(static_cast<uint32_t>(clients_.size()), &payload);
+  for (const auto& [pid, c] : clients_) {
+    PutI32(pid, &payload);
+    PutI32(c.incarnation, &payload);
+    PutU64(c.last_seq, &payload);
+    PutString(c.last_reply, &payload);
+    PutU8(c.txn_open ? 1 : 0, &payload);
+    PutU32(static_cast<uint32_t>(c.txn_ins.size()), &payload);
+    for (const Tuple& t : c.txn_ins) PutTuple(t, &payload);
+  }
+  PutU64(publish_epoch_, &payload);
+  PutU64(tuple_ops_, &payload);
+  PutU64(commits_, &payload);
+  PutU64(aborts_, &payload);
+  PutU64(checkpoints_, &payload);
+  PutU64(cross_shard_ops_, &payload);
+
+  std::string out = kSnapshotMagic;
+  PutU32(static_cast<uint32_t>(payload.size()), &out);
+  PutU64(Fnv1a64(payload), &out);
+  out += payload;
+  return out;
+}
+
+bool SpaceServer::LoadSnapshot(const std::string& path) {
+  std::string raw;
+  if (!ReadFile(path, &raw)) return false;
+  const size_t magic_len = sizeof(kSnapshotMagic) - 1;
+  if (raw.compare(0, magic_len, kSnapshotMagic) != 0) return false;
+  ByteReader header{std::string_view(raw).substr(magic_len)};
+  uint32_t payload_len = 0;
+  uint64_t want_hash = 0;
+  if (!header.TakeU32(&payload_len) || !header.TakeU64(&want_hash)) {
+    return false;
+  }
+  const std::string_view payload =
+      std::string_view(raw).substr(magic_len + header.pos);
+  if (payload.size() != payload_len) return false;
+  if (Fnv1a64(payload) != want_hash) return false;
+
+  ByteReader r{payload};
+  uint32_t num_shards = 0;
+  if (!r.TakeU64(&epoch_) || !r.TakeU32(&num_shards)) return false;
+  if (num_shards != static_cast<uint32_t>(options_.num_shards)) return false;
+  shards_.assign(num_shards, TupleSpace{});
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    std::string ckpt;
+    if (!r.TakeString(&ckpt) || !shards_[i].Restore(ckpt)) return false;
+  }
+  uint32_t n = 0;
+  if (!r.TakeU32(&n)) return false;
+  continuations_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t pid = 0;
+    Tuple cont;
+    if (!r.TakeI32(&pid) || !r.TakeTuple(&cont)) return false;
+    continuations_.emplace(pid, std::move(cont));
+  }
+  if (!r.TakeU32(&n)) return false;
+  clients_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t pid = 0;
+    ClientState c;
+    uint8_t txn_open = 0;
+    uint32_t n_ins = 0;
+    if (!r.TakeI32(&pid) || !r.TakeI32(&c.incarnation) ||
+        !r.TakeU64(&c.last_seq) || !r.TakeString(&c.last_reply) ||
+        !r.TakeU8(&txn_open) || !r.TakeU32(&n_ins)) {
+      return false;
+    }
+    c.txn_open = txn_open != 0;
+    for (uint32_t j = 0; j < n_ins; ++j) {
+      Tuple t;
+      if (!r.TakeTuple(&t)) return false;
+      c.txn_ins.push_back(std::move(t));
+    }
+    clients_.emplace(pid, std::move(c));
+  }
+  if (!r.TakeU64(&publish_epoch_) || !r.TakeU64(&tuple_ops_) ||
+      !r.TakeU64(&commits_) || !r.TakeU64(&aborts_) ||
+      !r.TakeU64(&checkpoints_) || !r.TakeU64(&cross_shard_ops_)) {
+    return false;
+  }
+  return r.AtEnd();
+}
+
+bool SpaceServer::TakeCheckpoint() {
+  const uint64_t old_epoch = epoch_;
+  epoch_ += 1;
+  const std::string snapshot = EncodeSnapshot();
+  const std::string ckpt_path = options_.state_dir + "/ckpt";
+  const std::string tmp_path = ckpt_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = WriteAll(fd, snapshot.data(), snapshot.size());
+  ::close(fd);
+  // The rename is the commit point: a crash before it leaves the previous
+  // checkpoint + log pair intact; a crash after it recovers from the new
+  // checkpoint and the (possibly missing, i.e. empty) new log.
+  if (!ok || ::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
+    epoch_ = old_epoch;
+    return false;
+  }
+  if (log_fd_ >= 0) ::close(log_fd_);
+  const std::string log_path =
+      options_.state_dir + "/log." + std::to_string(epoch_);
+  log_fd_ = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (log_fd_ < 0) return false;
+  ::unlink(
+      (options_.state_dir + "/log." + std::to_string(old_epoch)).c_str());
+  ops_since_checkpoint_ = 0;
+  ++checkpoints_;
+  return true;
+}
+
+void SpaceServer::AppendLog(const LogEntry& entry) {
+  std::string frame;
+  AppendFrame(EncodeLogEntry(entry), &frame);
+  WriteAll(log_fd_, frame.data(), frame.size());
+  // Deliberately no checkpoint here: callers apply the entry right after
+  // appending it, and a checkpoint taken in between would snapshot the
+  // pre-apply state while unlinking the log that holds the entry — losing
+  // it from durable state. The serve loop checkpoints once every entry
+  // appended so far has been applied.
+  ++ops_since_checkpoint_;
+}
+
+bool SpaceServer::ReplayLog(const std::string& path) {
+  std::string raw;
+  if (!ReadFile(path, &raw)) return true;  // missing log = empty log
+  size_t off = 0;
+  while (off + 4 <= raw.size()) {
+    const auto* p = reinterpret_cast<const unsigned char*>(raw.data() + off);
+    const uint32_t len = static_cast<uint32_t>(p[0]) |
+                         (static_cast<uint32_t>(p[1]) << 8) |
+                         (static_cast<uint32_t>(p[2]) << 16) |
+                         (static_cast<uint32_t>(p[3]) << 24);
+    if (len > kMaxFramePayload || off + 4 + len > raw.size()) break;
+    LogEntry entry;
+    std::string error;
+    if (!DecodeLogEntry(std::string_view(raw).substr(off + 4, len), &entry,
+                        &error)) {
+      break;
+    }
+    ApplyEntry(entry);
+    ++ops_replayed_;
+    off += 4 + len;
+  }
+  // A torn tail (the crash interrupted an append) is expected: truncate to
+  // the last complete entry so the next epoch starts from a clean prefix.
+  if (off < raw.size()) ::truncate(path.c_str(), static_cast<off_t>(off));
+  return true;
+}
+
+bool SpaceServer::Recover() {
+  ::mkdir(options_.state_dir.c_str(), 0755);
+  shards_.assign(static_cast<size_t>(options_.num_shards), TupleSpace{});
+  const std::string ckpt_path = options_.state_dir + "/ckpt";
+  struct stat st;
+  if (::stat(ckpt_path.c_str(), &st) == 0) {
+    if (!LoadSnapshot(ckpt_path)) return false;  // corrupt checkpoint: fatal
+  }
+  ReplayLog(options_.state_dir + "/log." + std::to_string(epoch_));
+  // Collapse the replayed log into a fresh checkpoint so every boot starts
+  // with an empty log and a bounded-size on-disk state.
+  return TakeCheckpoint();
+}
+
+// --- mutation application (live + replay) ---------------------------------
+
+std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
+  Reply reply;
+  switch (entry.kind) {
+    case LogKind::kHello: {
+      ClientState& c = clients_[entry.pid];
+      if (c.txn_open) {
+        for (const Tuple& t : c.txn_ins) PublishTuple(t);
+        ++aborts_;
+      }
+      c = ClientState{};
+      c.incarnation = entry.incarnation;
+      break;
+    }
+    case LogKind::kOut:
+      PublishTuple(entry.tuple);
+      ++tuple_ops_;
+      break;
+    case LogKind::kIn: {
+      Tuple removed;
+      FindMatch(ExactTemplate(entry.tuple), &removed, /*remove=*/true);
+      ++tuple_ops_;
+      if (entry.in_txn && entry.pid >= 0) {
+        clients_[entry.pid].txn_ins.push_back(entry.tuple);
+      }
+      reply.has_tuple = true;
+      reply.tuple = entry.tuple;
+      break;
+    }
+    case LogKind::kXStart: {
+      ClientState& c = clients_[entry.pid];
+      c.txn_open = true;
+      c.txn_ins.clear();
+      break;
+    }
+    case LogKind::kCommit: {
+      for (const Tuple& t : entry.outs) {
+        PublishTuple(t);
+        ++tuple_ops_;
+      }
+      if (entry.has_continuation) {
+        continuations_[entry.pid] = entry.continuation;
+      }
+      ClientState& c = clients_[entry.pid];
+      c.txn_open = false;
+      c.txn_ins.clear();
+      ++commits_;
+      break;
+    }
+    case LogKind::kAbort: {
+      ClientState& c = clients_[entry.pid];
+      for (const Tuple& t : c.txn_ins) PublishTuple(t);
+      c.txn_open = false;
+      c.txn_ins.clear();
+      ++aborts_;
+      break;
+    }
+    case LogKind::kXRecover: {
+      auto it = continuations_.find(entry.pid);
+      if (it == continuations_.end()) {
+        reply.status = WireStatus::kNotFound;
+      } else {
+        reply.has_tuple = true;
+        reply.tuple = it->second;
+        continuations_.erase(it);
+      }
+      break;
+    }
+  }
+  const std::string encoded = EncodeReply(reply);
+  if (entry.seq != 0 && entry.pid >= 0) {
+    ClientState& c = clients_[entry.pid];
+    c.last_seq = entry.seq;
+    c.last_reply = encoded;
+  }
+  return encoded;
+}
+
+// --- request handling -----------------------------------------------------
+
+void SpaceServer::SendEncoded(Conn& conn, const std::string& encoded_reply) {
+  AppendFrame(encoded_reply, &conn.outbuf);
+}
+
+void SpaceServer::SendReply(Conn& conn, const Reply& reply) {
+  SendEncoded(conn, EncodeReply(reply));
+}
+
+void SpaceServer::SendError(Conn& conn, const std::string& detail) {
+  Reply reply;
+  reply.status = WireStatus::kError;
+  reply.error = detail;
+  SendReply(conn, reply);
+}
+
+void SpaceServer::SatisfyWaiters() {
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    Tuple t;
+    if (!FindMatch(it->tmpl, &t, /*remove=*/false)) {
+      ++it;
+      continue;
+    }
+    auto cit = conns_.find(it->fd);
+    if (cit == conns_.end()) {
+      it = waiters_.erase(it);  // connection died while parked
+      continue;
+    }
+    Conn& conn = cit->second;
+    if (it->remove) {
+      bool in_txn = false;
+      if (it->pid >= 0) {
+        auto client = clients_.find(it->pid);
+        in_txn = client != clients_.end() && client->second.txn_open;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kIn;
+      entry.pid = it->pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = it->seq;
+      entry.in_txn = in_txn;
+      entry.tuple = t;
+      AppendLog(entry);
+      SendEncoded(conn, ApplyEntry(entry));
+    } else {
+      Reply reply;
+      reply.has_tuple = true;
+      reply.tuple = t;
+      ++tuple_ops_;
+      SendReply(conn, reply);
+    }
+    it = waiters_.erase(it);
+  }
+}
+
+void SpaceServer::HandleHello(Conn& conn, const Request& request) {
+  conn.pid = request.pid;
+  conn.incarnation = request.incarnation;
+  if (request.pid < 0) {  // control connection: nothing to register
+    SendReply(conn, Reply{});
+    return;
+  }
+  auto it = clients_.find(request.pid);
+  if (it != clients_.end() &&
+      request.incarnation < it->second.incarnation) {
+    SendError(conn, "stale incarnation");
+    conn.close_after_flush = true;
+    return;
+  }
+  if (it != clients_.end() &&
+      request.incarnation == it->second.incarnation) {
+    // Reconnect of a live incarnation (server restarted or the connection
+    // dropped): keep the dedup and transaction state exactly as it was.
+    SendReply(conn, Reply{});
+    return;
+  }
+  // New client or a respawned incarnation: crash-abort whatever the old
+  // incarnation left open and reset its dedup window.
+  LogEntry entry;
+  entry.kind = LogKind::kHello;
+  entry.pid = request.pid;
+  entry.incarnation = request.incarnation;
+  AppendLog(entry);
+  SendEncoded(conn, ApplyEntry(entry));
+  SatisfyWaiters();
+}
+
+void SpaceServer::HandleIn(Conn& conn, const Request& request) {
+  const bool remove = (request.flags & kInRemove) != 0;
+  const bool blocking = (request.flags & kInBlocking) != 0;
+  Tuple t;
+  if (FindMatch(request.tmpl, &t, /*remove=*/false)) {
+    if (remove) {
+      bool in_txn = false;
+      if (conn.pid >= 0) {
+        auto client = clients_.find(conn.pid);
+        in_txn = client != clients_.end() && client->second.txn_open;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kIn;
+      entry.pid = conn.pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = request.seq;
+      entry.in_txn = in_txn;
+      entry.tuple = std::move(t);
+      AppendLog(entry);
+      SendEncoded(conn, ApplyEntry(entry));
+    } else {
+      Reply reply;
+      reply.has_tuple = true;
+      reply.tuple = std::move(t);
+      ++tuple_ops_;
+      SendReply(conn, reply);
+    }
+    return;
+  }
+  if (blocking) {
+    Waiter w;
+    w.fd = conn.fd;
+    w.pid = conn.pid;
+    w.seq = request.seq;
+    w.tmpl = request.tmpl;
+    w.remove = remove;
+    waiters_.push_back(std::move(w));  // no reply until a match appears
+    return;
+  }
+  ++tuple_ops_;
+  Reply reply;
+  reply.status = WireStatus::kNotFound;
+  SendReply(conn, reply);
+}
+
+void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
+  Request request;
+  std::string error;
+  if (!DecodeRequest(payload, &request, &error)) {
+    SendError(conn, error);
+    conn.close_after_flush = true;
+    return;
+  }
+  if (request.op == Op::kHello) {
+    HandleHello(conn, request);
+    return;
+  }
+  if (cancelled_ && conn.pid >= 0 && request.op != Op::kBye) {
+    Reply reply;
+    reply.status = WireStatus::kCancelled;
+    SendReply(conn, reply);
+    return;
+  }
+  // Exactly-once: a retried mutating request (same pid, same seq) gets the
+  // cached reply of its first execution instead of a second application.
+  if (conn.pid >= 0 && request.seq != 0) {
+    auto it = clients_.find(conn.pid);
+    if (it != clients_.end()) {
+      if (request.seq == it->second.last_seq &&
+          !it->second.last_reply.empty()) {
+        SendEncoded(conn, it->second.last_reply);
+        return;
+      }
+      if (request.seq < it->second.last_seq) {
+        SendError(conn, "stale sequence number");
+        return;
+      }
+    }
+  }
+  switch (request.op) {
+    case Op::kOut: {
+      LogEntry entry;
+      entry.kind = LogKind::kOut;
+      entry.pid = conn.pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = request.seq;
+      entry.tuple = request.tuple;
+      AppendLog(entry);
+      SendEncoded(conn, ApplyEntry(entry));
+      SatisfyWaiters();
+      break;
+    }
+    case Op::kIn:
+      HandleIn(conn, request);
+      break;
+    case Op::kXStart: {
+      if (conn.pid < 0) {
+        SendError(conn, "xstart requires a registered client");
+        break;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kXStart;
+      entry.pid = conn.pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = request.seq;
+      AppendLog(entry);
+      SendEncoded(conn, ApplyEntry(entry));
+      break;
+    }
+    case Op::kXCommit: {
+      if (conn.pid < 0) {
+        SendError(conn, "xcommit requires a registered client");
+        break;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kCommit;
+      entry.pid = conn.pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = request.seq;
+      entry.outs = request.outs;
+      entry.has_continuation = request.has_continuation;
+      entry.continuation = request.continuation;
+      AppendLog(entry);
+      SendEncoded(conn, ApplyEntry(entry));
+      SatisfyWaiters();
+      break;
+    }
+    case Op::kXAbort: {
+      if (conn.pid < 0) {
+        SendError(conn, "xabort requires a registered client");
+        break;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kAbort;
+      entry.pid = conn.pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = request.seq;
+      AppendLog(entry);
+      SendEncoded(conn, ApplyEntry(entry));
+      SatisfyWaiters();
+      break;
+    }
+    case Op::kXRecover: {
+      if (conn.pid < 0) {
+        SendError(conn, "xrecover requires a registered client");
+        break;
+      }
+      if (continuations_.find(conn.pid) == continuations_.end()) {
+        Reply reply;
+        reply.status = WireStatus::kNotFound;
+        SendReply(conn, reply);
+        break;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kXRecover;
+      entry.pid = conn.pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = request.seq;
+      AppendLog(entry);
+      SendEncoded(conn, ApplyEntry(entry));
+      break;
+    }
+    case Op::kCount: {
+      Reply reply;
+      reply.count = CountAcrossShards(request.tmpl);
+      ++tuple_ops_;
+      SendReply(conn, reply);
+      break;
+    }
+    case Op::kTakeAll: {
+      Reply reply;
+      for (TupleSpace& shard : shards_) {
+        for (Tuple& t : shard.TakeAllInOrder()) {
+          reply.tuples.push_back(std::move(t));
+        }
+      }
+      SendReply(conn, reply);
+      break;
+    }
+    case Op::kStats: {
+      Reply reply;
+      reply.tuple_ops = tuple_ops_;
+      reply.commits = commits_;
+      reply.aborts = aborts_;
+      reply.checkpoints = checkpoints_;
+      reply.ops_replayed = ops_replayed_;
+      reply.cross_shard_ops = cross_shard_ops_;
+      reply.publish_epoch = publish_epoch_;
+      SendReply(conn, reply);
+      break;
+    }
+    case Op::kStatus: {
+      Reply reply;
+      reply.publish_epoch = publish_epoch_;
+      for (const Waiter& w : waiters_) {
+        ParkedWaiter parked;
+        parked.pid = w.pid;
+        parked.remove = w.remove;
+        parked.tmpl_text = ToString(w.tmpl);
+        reply.parked.push_back(std::move(parked));
+      }
+      SendReply(conn, reply);
+      break;
+    }
+    case Op::kCancel: {
+      cancelled_ = true;
+      Reply cancelled;
+      cancelled.status = WireStatus::kCancelled;
+      const std::string encoded = EncodeReply(cancelled);
+      for (const Waiter& w : waiters_) {
+        auto cit = conns_.find(w.fd);
+        if (cit != conns_.end()) SendEncoded(cit->second, encoded);
+      }
+      waiters_.clear();
+      SendReply(conn, Reply{});
+      break;
+    }
+    case Op::kShutdown:
+      SendReply(conn, Reply{});
+      stop_ = true;
+      break;
+    case Op::kBye:
+      conn.saw_bye = true;
+      SendReply(conn, Reply{});
+      conn.close_after_flush = true;
+      break;
+    case Op::kHello:
+      break;  // handled above
+  }
+}
+
+void SpaceServer::DropConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  // A vanished client (no BYE) with an open transaction is a crash: roll
+  // the transaction back so its tuples become visible again — unless a
+  // newer incarnation already registered and reset the state.
+  if (!conn.saw_bye && conn.pid >= 0) {
+    auto client = clients_.find(conn.pid);
+    if (client != clients_.end() &&
+        client->second.incarnation == conn.incarnation &&
+        client->second.txn_open) {
+      LogEntry entry;
+      entry.kind = LogKind::kAbort;
+      entry.pid = conn.pid;
+      entry.incarnation = conn.incarnation;
+      entry.seq = 0;  // server-initiated
+      AppendLog(entry);
+      ApplyEntry(entry);
+      SatisfyWaiters();
+    }
+  }
+  waiters_.remove_if([fd](const Waiter& w) { return w.fd == fd; });
+  ::close(fd);
+  conns_.erase(it);
+}
+
+// --- the serve loop -------------------------------------------------------
+
+int SpaceServer::Serve() {
+  ::signal(SIGPIPE, SIG_IGN);
+  if (!Recover()) return 1;
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return 1;
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) return 1;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0 || !SetNonBlocking(listen_fd_)) {
+    return 1;
+  }
+
+  std::vector<pollfd> pfds;
+  std::vector<int> io_fds;
+  while (!stop_) {
+    pfds.clear();
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.outbuf.empty()) events |= POLLOUT;
+      pfds.push_back(pollfd{fd, events, 0});
+    }
+    if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200) < 0 &&
+        errno != EINTR) {
+      break;
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        Conn conn;
+        conn.fd = fd;
+        conns_.emplace(fd, std::move(conn));
+      }
+    }
+
+    io_fds.clear();
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents != 0) io_fds.push_back(pfds[i].fd);
+    }
+    std::vector<int> to_drop;
+    for (int fd : io_fds) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      bool dead = false;
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+          conn.reader.Feed(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n == 0) dead = true;
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR) {
+          dead = true;
+        }
+        break;
+      }
+      std::string payload;
+      for (;;) {
+        const FrameReader::Result result = conn.reader.Next(&payload);
+        if (result == FrameReader::Result::kFrame) {
+          HandleFrame(conn, payload);
+          if (stop_) break;
+          continue;
+        }
+        if (result == FrameReader::Result::kError) {
+          SendError(conn, conn.reader.error());
+          dead = true;  // the byte stream is unrecoverable
+        }
+        break;
+      }
+      // Flush opportunistically; POLLOUT picks up the remainder.
+      while (!conn.outbuf.empty()) {
+        const ssize_t n = ::write(fd, conn.outbuf.data(), conn.outbuf.size());
+        if (n > 0) {
+          conn.outbuf.erase(0, static_cast<size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        dead = true;
+        break;
+      }
+      if (dead || (conn.close_after_flush && conn.outbuf.empty())) {
+        to_drop.push_back(fd);
+      }
+    }
+    for (int fd : to_drop) DropConn(fd);
+    // Checkpoint at a quiescent point: every logged entry is applied, so
+    // the snapshot and the fresh log form a consistent cut.
+    if (ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
+      TakeCheckpoint();
+    }
+  }
+
+  // Best-effort blocking flush of pending replies (the SHUTDOWN ack).
+  for (auto& [fd, conn] : conns_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    if (!conn.outbuf.empty()) {
+      WriteAll(fd, conn.outbuf.data(), conn.outbuf.size());
+    }
+    ::close(fd);
+  }
+  conns_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace fpdm::plinda::net

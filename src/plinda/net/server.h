@@ -1,0 +1,138 @@
+#ifndef FPDM_PLINDA_NET_SERVER_H_
+#define FPDM_PLINDA_NET_SERVER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "plinda/net/wire.h"
+#include "plinda/tuple.h"
+#include "plinda/tuple_space.h"
+
+namespace fpdm::plinda::net {
+
+struct SpaceServerOptions {
+  /// Unix-domain socket the server listens on.
+  std::string socket_path;
+  /// Directory holding the checkpoint and write-ahead log. The server
+  /// recovers from whatever it finds there, so restarting with the same
+  /// state_dir resumes the crashed server's space exactly.
+  std::string state_dir;
+  /// Tuple-space shards, routed by the (arity, first-field-key) bucket hash.
+  int num_shards = 1;
+  /// Logged operations between checkpoints (bounds replay work).
+  int checkpoint_every_ops = 256;
+};
+
+/// The tuple-space server process of ExecutionMode::kDistributed: owns the
+/// sharded space and serves the wire protocol over a Unix-domain socket.
+///
+/// The server is deliberately single-threaded: one poll() loop multiplexes
+/// every client connection, so no operation ever interleaves with another
+/// and the write-ahead log is a serial history of the space. Blocking
+/// in/rd requests park server-side in FIFO arrival order and are satisfied
+/// as soon as a publish makes a match available.
+///
+/// Durability follows the PR-1 fault model: every mutating request is
+/// appended to the log (and flushed) before it is applied and acknowledged;
+/// a checksummed checkpoint every `checkpoint_every_ops` logged entries
+/// bounds replay. Retried requests are deduplicated by (pid, seq) so a
+/// client that resends after a server crash gets the cached reply instead
+/// of a double-applied op (exactly-once effects).
+class SpaceServer {
+ public:
+  explicit SpaceServer(SpaceServerOptions options);
+  ~SpaceServer();
+
+  SpaceServer(const SpaceServer&) = delete;
+  SpaceServer& operator=(const SpaceServer&) = delete;
+
+  /// Recovers state, binds the socket, and serves until a SHUTDOWN request.
+  /// Returns 0 on clean shutdown, nonzero on a fatal setup error (bad
+  /// state_dir, unusable socket path, corrupt checkpoint).
+  int Serve();
+
+ private:
+  struct ClientState {
+    int32_t incarnation = 0;
+    uint64_t last_seq = 0;
+    std::string last_reply;  // encoded Reply payload of the last logged op
+    bool txn_open = false;
+    std::vector<Tuple> txn_ins;  // tuples to restore if the txn aborts
+  };
+
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;
+    int32_t pid = -1;  // set by HELLO; control connections stay -1
+    int32_t incarnation = 0;
+    bool saw_bye = false;
+    bool close_after_flush = false;
+  };
+
+  struct Waiter {
+    int fd = -1;  // connection the reply goes to
+    int32_t pid = -1;
+    uint64_t seq = 0;
+    Template tmpl;
+    bool remove = false;
+  };
+
+  // --- state recovery ----------------------------------------------------
+  bool Recover();
+  bool LoadSnapshot(const std::string& path);
+  std::string EncodeSnapshot() const;
+  bool TakeCheckpoint();
+  void AppendLog(const LogEntry& entry);
+  bool ReplayLog(const std::string& path);
+
+  /// Applies a logged mutation to the space / client tables and returns the
+  /// encoded reply payload the client got (or gets). Shared by the live
+  /// path and crash replay so both produce identical state.
+  std::string ApplyEntry(const LogEntry& entry);
+
+  // --- request handling --------------------------------------------------
+  void HandleFrame(Conn& conn, const std::string& payload);
+  void HandleHello(Conn& conn, const Request& request);
+  void HandleIn(Conn& conn, const Request& request);
+  void SatisfyWaiters();
+  void SendReply(Conn& conn, const Reply& reply);
+  void SendEncoded(Conn& conn, const std::string& encoded_reply);
+  void SendError(Conn& conn, const std::string& detail);
+  void DropConn(int fd);  // EOF / error: crash-abort the client's txn
+
+  // --- sharded space -----------------------------------------------------
+  size_t ShardIndexFor(const BucketKeyView& key) const;
+  bool FindMatch(const Template& tmpl, Tuple* result, bool remove);
+  size_t CountAcrossShards(const Template& tmpl);
+  void PublishTuple(Tuple tuple);
+
+  SpaceServerOptions options_;
+  std::vector<TupleSpace> shards_;
+  std::map<int32_t, Tuple> continuations_;
+  std::map<int32_t, ClientState> clients_;
+  std::list<Waiter> waiters_;  // FIFO by arrival
+  std::map<int, Conn> conns_;
+
+  uint64_t epoch_ = 0;  // checkpoint epoch; the log file is log.<epoch>
+  int log_fd_ = -1;
+  int listen_fd_ = -1;
+  int ops_since_checkpoint_ = 0;
+  bool cancelled_ = false;
+  bool stop_ = false;
+
+  uint64_t publish_epoch_ = 0;
+  uint64_t tuple_ops_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t ops_replayed_ = 0;
+  uint64_t cross_shard_ops_ = 0;
+};
+
+}  // namespace fpdm::plinda::net
+
+#endif  // FPDM_PLINDA_NET_SERVER_H_

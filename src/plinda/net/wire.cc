@@ -1,0 +1,321 @@
+#include "plinda/net/wire.h"
+
+#include <cstring>
+
+namespace fpdm::plinda::net {
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v & 0xffffffffu), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s.data(), s.size());
+}
+
+void PutTuple(const Tuple& tuple, std::string* out) {
+  std::string text;
+  SerializeTuple(tuple, &text);
+  PutString(text, out);
+}
+
+void PutTemplate(const Template& tmpl, std::string* out) {
+  std::string text;
+  SerializeTemplate(tmpl, &text);
+  PutString(text, out);
+}
+
+bool ByteReader::TakeU8(uint8_t* v) {
+  if (pos + 1 > data.size()) return false;
+  *v = static_cast<uint8_t>(data[pos++]);
+  return true;
+}
+
+bool ByteReader::TakeU32(uint32_t* v) {
+  if (pos + 4 > data.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  pos += 4;
+  return true;
+}
+
+bool ByteReader::TakeU64(uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  if (!TakeU32(&lo) || !TakeU32(&hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool ByteReader::TakeI32(int32_t* v) {
+  uint32_t u = 0;
+  if (!TakeU32(&u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+bool ByteReader::TakeString(std::string* s) {
+  uint32_t len = 0;
+  if (!TakeU32(&len)) return false;
+  if (len > kMaxFramePayload || pos + len > data.size()) return false;
+  s->assign(data.data() + pos, len);
+  pos += len;
+  return true;
+}
+
+bool ByteReader::TakeTuple(Tuple* tuple) {
+  std::string text;
+  if (!TakeString(&text)) return false;
+  size_t tpos = 0;
+  return DeserializeTuple(text, &tpos, tuple) && tpos == text.size();
+}
+
+bool ByteReader::TakeTemplate(Template* tmpl) {
+  std::string text;
+  if (!TakeString(&text)) return false;
+  size_t tpos = 0;
+  return DeserializeTemplate(text, &tpos, tmpl) && tpos == text.size();
+}
+
+namespace {
+
+bool Fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload.data(), payload.size());
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  buffer_.append(data, n);
+}
+
+FrameReader::Result FrameReader::Next(std::string* payload) {
+  if (broken_) return Result::kError;
+  // Compact the consumed prefix occasionally so the buffer doesn't grow
+  // without bound on long-lived connections.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > (64u << 10))) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buffer_.size() - pos_ < 4) return Result::kNeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len > kMaxFramePayload) {
+    broken_ = true;
+    error_ = "frame length " + std::to_string(len) + " exceeds limit";
+    return Result::kError;
+  }
+  if (buffer_.size() - pos_ - 4 < len) return Result::kNeedMore;
+  payload->assign(buffer_, pos_ + 4, len);
+  pos_ += 4 + len;
+  return Result::kFrame;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  PutU8(static_cast<uint8_t>(request.op), &out);
+  PutI32(request.pid, &out);
+  PutI32(request.incarnation, &out);
+  PutU64(request.seq, &out);
+  PutU8(request.flags, &out);
+  PutTemplate(request.tmpl, &out);
+  PutTuple(request.tuple, &out);
+  PutU32(static_cast<uint32_t>(request.outs.size()), &out);
+  for (const Tuple& t : request.outs) PutTuple(t, &out);
+  PutU8(request.has_continuation ? 1 : 0, &out);
+  PutTuple(request.continuation, &out);
+  return out;
+}
+
+bool DecodeRequest(std::string_view payload, Request* request,
+                   std::string* error) {
+  ByteReader r{payload};
+  uint8_t op = 0;
+  if (!r.TakeU8(&op)) return Fail(error, "request: truncated opcode");
+  if (op < static_cast<uint8_t>(Op::kHello) ||
+      op > static_cast<uint8_t>(Op::kBye)) {
+    return Fail(error, "request: unknown opcode");
+  }
+  request->op = static_cast<Op>(op);
+  if (!r.TakeI32(&request->pid) || !r.TakeI32(&request->incarnation) ||
+      !r.TakeU64(&request->seq) || !r.TakeU8(&request->flags)) {
+    return Fail(error, "request: truncated header");
+  }
+  if (!r.TakeTemplate(&request->tmpl)) {
+    return Fail(error, "request: malformed template");
+  }
+  if (!r.TakeTuple(&request->tuple)) {
+    return Fail(error, "request: malformed tuple");
+  }
+  uint32_t n_outs = 0;
+  if (!r.TakeU32(&n_outs)) return Fail(error, "request: truncated outs");
+  request->outs.clear();
+  for (uint32_t i = 0; i < n_outs; ++i) {
+    Tuple t;
+    if (!r.TakeTuple(&t)) return Fail(error, "request: malformed out tuple");
+    request->outs.push_back(std::move(t));
+  }
+  uint8_t has_cont = 0;
+  if (!r.TakeU8(&has_cont)) {
+    return Fail(error, "request: truncated continuation flag");
+  }
+  request->has_continuation = has_cont != 0;
+  if (!r.TakeTuple(&request->continuation)) {
+    return Fail(error, "request: malformed continuation");
+  }
+  if (!r.AtEnd()) return Fail(error, "request: trailing bytes");
+  return true;
+}
+
+std::string EncodeReply(const Reply& reply) {
+  std::string out;
+  PutU8(static_cast<uint8_t>(reply.status), &out);
+  PutU8(reply.has_tuple ? 1 : 0, &out);
+  PutTuple(reply.tuple, &out);
+  PutU32(static_cast<uint32_t>(reply.tuples.size()), &out);
+  for (const Tuple& t : reply.tuples) PutTuple(t, &out);
+  PutU64(reply.count, &out);
+  PutU64(reply.tuple_ops, &out);
+  PutU64(reply.commits, &out);
+  PutU64(reply.aborts, &out);
+  PutU64(reply.checkpoints, &out);
+  PutU64(reply.ops_replayed, &out);
+  PutU64(reply.cross_shard_ops, &out);
+  PutU64(reply.publish_epoch, &out);
+  PutU32(static_cast<uint32_t>(reply.parked.size()), &out);
+  for (const ParkedWaiter& w : reply.parked) {
+    PutI32(w.pid, &out);
+    PutU8(w.remove ? 1 : 0, &out);
+    PutString(w.tmpl_text, &out);
+  }
+  PutString(reply.error, &out);
+  return out;
+}
+
+bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
+  ByteReader r{payload};
+  uint8_t status = 0;
+  if (!r.TakeU8(&status)) return Fail(error, "reply: truncated status");
+  if (status > static_cast<uint8_t>(WireStatus::kError)) {
+    return Fail(error, "reply: unknown status");
+  }
+  reply->status = static_cast<WireStatus>(status);
+  uint8_t has_tuple = 0;
+  if (!r.TakeU8(&has_tuple)) return Fail(error, "reply: truncated flags");
+  reply->has_tuple = has_tuple != 0;
+  if (!r.TakeTuple(&reply->tuple)) {
+    return Fail(error, "reply: malformed tuple");
+  }
+  uint32_t n_tuples = 0;
+  if (!r.TakeU32(&n_tuples)) return Fail(error, "reply: truncated tuples");
+  reply->tuples.clear();
+  for (uint32_t i = 0; i < n_tuples; ++i) {
+    Tuple t;
+    if (!r.TakeTuple(&t)) return Fail(error, "reply: malformed tuple list");
+    reply->tuples.push_back(std::move(t));
+  }
+  if (!r.TakeU64(&reply->count) || !r.TakeU64(&reply->tuple_ops) ||
+      !r.TakeU64(&reply->commits) || !r.TakeU64(&reply->aborts) ||
+      !r.TakeU64(&reply->checkpoints) || !r.TakeU64(&reply->ops_replayed) ||
+      !r.TakeU64(&reply->cross_shard_ops) ||
+      !r.TakeU64(&reply->publish_epoch)) {
+    return Fail(error, "reply: truncated counters");
+  }
+  uint32_t n_parked = 0;
+  if (!r.TakeU32(&n_parked)) return Fail(error, "reply: truncated parked");
+  reply->parked.clear();
+  for (uint32_t i = 0; i < n_parked; ++i) {
+    ParkedWaiter w;
+    uint8_t remove = 0;
+    if (!r.TakeI32(&w.pid) || !r.TakeU8(&remove) ||
+        !r.TakeString(&w.tmpl_text)) {
+      return Fail(error, "reply: malformed parked entry");
+    }
+    w.remove = remove != 0;
+    reply->parked.push_back(std::move(w));
+  }
+  if (!r.TakeString(&reply->error)) {
+    return Fail(error, "reply: truncated error text");
+  }
+  if (!r.AtEnd()) return Fail(error, "reply: trailing bytes");
+  return true;
+}
+
+std::string EncodeLogEntry(const LogEntry& entry) {
+  std::string out;
+  PutU8(static_cast<uint8_t>(entry.kind), &out);
+  PutI32(entry.pid, &out);
+  PutI32(entry.incarnation, &out);
+  PutU64(entry.seq, &out);
+  PutU8(entry.in_txn ? 1 : 0, &out);
+  PutTuple(entry.tuple, &out);
+  PutU32(static_cast<uint32_t>(entry.outs.size()), &out);
+  for (const Tuple& t : entry.outs) PutTuple(t, &out);
+  PutU8(entry.has_continuation ? 1 : 0, &out);
+  PutTuple(entry.continuation, &out);
+  return out;
+}
+
+bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
+                    std::string* error) {
+  ByteReader r{payload};
+  uint8_t kind = 0;
+  if (!r.TakeU8(&kind)) return Fail(error, "log: truncated kind");
+  if (kind < static_cast<uint8_t>(LogKind::kHello) ||
+      kind > static_cast<uint8_t>(LogKind::kXRecover)) {
+    return Fail(error, "log: unknown kind");
+  }
+  entry->kind = static_cast<LogKind>(kind);
+  uint8_t in_txn = 0;
+  if (!r.TakeI32(&entry->pid) || !r.TakeI32(&entry->incarnation) ||
+      !r.TakeU64(&entry->seq) || !r.TakeU8(&in_txn)) {
+    return Fail(error, "log: truncated header");
+  }
+  entry->in_txn = in_txn != 0;
+  if (!r.TakeTuple(&entry->tuple)) return Fail(error, "log: malformed tuple");
+  uint32_t n_outs = 0;
+  if (!r.TakeU32(&n_outs)) return Fail(error, "log: truncated outs");
+  entry->outs.clear();
+  for (uint32_t i = 0; i < n_outs; ++i) {
+    Tuple t;
+    if (!r.TakeTuple(&t)) return Fail(error, "log: malformed out tuple");
+    entry->outs.push_back(std::move(t));
+  }
+  uint8_t has_cont = 0;
+  if (!r.TakeU8(&has_cont)) return Fail(error, "log: truncated flag");
+  entry->has_continuation = has_cont != 0;
+  if (!r.TakeTuple(&entry->continuation)) {
+    return Fail(error, "log: malformed continuation");
+  }
+  if (!r.AtEnd()) return Fail(error, "log: trailing bytes");
+  return true;
+}
+
+}  // namespace fpdm::plinda::net

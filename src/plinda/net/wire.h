@@ -1,0 +1,187 @@
+#ifndef FPDM_PLINDA_NET_WIRE_H_
+#define FPDM_PLINDA_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "plinda/tuple.h"
+
+/// Wire protocol of the distributed tuple-space server. Every message is a
+/// frame: a u32 little-endian payload length followed by that many payload
+/// bytes. The payload is an opcode byte plus an op-specific body. Tuples and
+/// templates travel as length-prefixed strings of the textual encoding from
+/// tuple.cc. All decode paths are bounds-checked and return errors instead
+/// of reading past the buffer: a corrupt or adversarial stream yields a
+/// structured failure, never undefined behavior.
+namespace fpdm::plinda::net {
+
+/// Upper bound on a single frame payload. Large enough for a full TAKEALL
+/// reply of any workload we run; small enough to reject garbage lengths
+/// from a corrupt stream before allocating.
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+/// Appends the frame header + payload to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+// --- low-level byte codec -------------------------------------------------
+// Little-endian primitives shared by the request/reply/log encoders, the
+// server's snapshot format, and the wire tests.
+
+void PutU8(uint8_t v, std::string* out);
+void PutU32(uint32_t v, std::string* out);
+void PutU64(uint64_t v, std::string* out);
+void PutI32(int32_t v, std::string* out);
+void PutString(std::string_view s, std::string* out);
+void PutTuple(const Tuple& tuple, std::string* out);
+void PutTemplate(const Template& tmpl, std::string* out);
+
+/// Bounds-checked reader over an encoded buffer. Every Take* returns false
+/// once the input is exhausted or malformed; callers bail out with a decode
+/// error instead of reading past the end.
+struct ByteReader {
+  std::string_view data;
+  size_t pos = 0;
+
+  bool TakeU8(uint8_t* v);
+  bool TakeU32(uint32_t* v);
+  bool TakeU64(uint64_t* v);
+  bool TakeI32(int32_t* v);
+  bool TakeString(std::string* s);
+  bool TakeTuple(Tuple* tuple);
+  bool TakeTemplate(Template* tmpl);
+  bool AtEnd() const { return pos == data.size(); }
+};
+
+/// Incremental frame extractor for a byte stream. Feed bytes as they arrive;
+/// Next() yields complete frame payloads in order.
+class FrameReader {
+ public:
+  enum class Result { kFrame, kNeedMore, kError };
+
+  void Feed(const char* data, size_t n);
+  /// kFrame: `*payload` holds the next complete frame. kNeedMore: feed more
+  /// bytes. kError: the stream is corrupt (oversized frame); the reader
+  /// stays broken.
+  Result Next(std::string* payload);
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+  std::string error_;
+  bool broken_ = false;
+};
+
+enum class Op : uint8_t {
+  kHello = 1,   // pid, incarnation — identifies the client process
+  kOut = 2,     // tuple
+  kIn = 3,      // template + flags: in/inp/rd/rdp, parked when blocking
+  kXStart = 4,  // open a transaction
+  kXCommit = 5, // atomically publish outs + optional continuation
+  kXAbort = 6,  // roll back: restore tuples removed inside the transaction
+  kXRecover = 7,// fetch + consume this pid's continuation, if any
+  kCount = 8,   // count matching tuples
+  kTakeAll = 9, // drain every tuple in FIFO order (end-of-run harvest)
+  kStats = 10,  // server counters
+  kStatus = 11, // parked-waiter snapshot for deadlock detection
+  kCancel = 12, // cancel the run: parked + future blocking ops fail
+  kShutdown = 13,
+  kBye = 14,    // clean disconnect: suppress the crash-abort on EOF
+};
+
+// kIn flags.
+inline constexpr uint8_t kInRemove = 1;    // in/inp (vs rd/rdp)
+inline constexpr uint8_t kInBlocking = 2;  // in/rd (vs inp/rdp)
+
+struct Request {
+  Op op = Op::kHello;
+  int32_t pid = -1;         // kHello
+  int32_t incarnation = 0;  // kHello
+  /// Per-client sequence number; the server deduplicates retried mutating
+  /// requests by (pid, seq). 0 = unsequenced (control connections, kHello).
+  uint64_t seq = 0;
+  uint8_t flags = 0;         // kIn
+  Template tmpl;             // kIn, kCount
+  Tuple tuple;               // kOut
+  std::vector<Tuple> outs;   // kXCommit
+  bool has_continuation = false;
+  Tuple continuation;        // kXCommit
+};
+
+std::string EncodeRequest(const Request& request);
+bool DecodeRequest(std::string_view payload, Request* request,
+                   std::string* error);
+
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,   // inp/rdp miss, xrecover with no continuation
+  kCancelled = 2,  // the run was cancelled (deadlock watchdog)
+  kError = 3,      // protocol violation; detail in Reply::error
+};
+
+struct ParkedWaiter {
+  int32_t pid = -1;
+  bool remove = false;
+  std::string tmpl_text;  // human-readable template, for diagnostics
+};
+
+struct Reply {
+  WireStatus status = WireStatus::kOk;
+  bool has_tuple = false;
+  Tuple tuple;                // kIn hit, kXRecover hit
+  std::vector<Tuple> tuples;  // kTakeAll
+  uint64_t count = 0;         // kCount
+  // kStats counters.
+  uint64_t tuple_ops = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t checkpoints = 0;
+  uint64_t ops_replayed = 0;
+  uint64_t cross_shard_ops = 0;
+  // kStatus.
+  uint64_t publish_epoch = 0;
+  std::vector<ParkedWaiter> parked;
+  std::string error;  // kError detail
+};
+
+std::string EncodeReply(const Reply& reply);
+bool DecodeReply(std::string_view payload, Reply* reply, std::string* error);
+
+// --- Write-ahead log ------------------------------------------------------
+//
+// The server logs every state-mutating request (framed, same as the wire)
+// before applying it; replay after a crash reproduces the space, the
+// continuation table, and the per-client dedup state exactly. seq 0 marks
+// server-initiated entries (crash-abort of a dead client's transaction).
+
+enum class LogKind : uint8_t {
+  kHello = 1,    // client (re)registered: abort its open txn, reset dedup
+  kOut = 2,
+  kIn = 3,       // a destructive in/inp removed `tuple`
+  kXStart = 4,
+  kCommit = 5,
+  kAbort = 6,
+  kXRecover = 7, // a continuation was consumed
+};
+
+struct LogEntry {
+  LogKind kind = LogKind::kOut;
+  int32_t pid = -1;
+  int32_t incarnation = 0;
+  uint64_t seq = 0;
+  bool in_txn = false;      // kIn: removal happened inside a transaction
+  Tuple tuple;              // kOut, kIn
+  std::vector<Tuple> outs;  // kCommit
+  bool has_continuation = false;
+  Tuple continuation;       // kCommit
+};
+
+std::string EncodeLogEntry(const LogEntry& entry);
+bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
+                    std::string* error);
+
+}  // namespace fpdm::plinda::net
+
+#endif  // FPDM_PLINDA_NET_WIRE_H_

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <limits>
 
+// Complete type for the dclient_ unique_ptr destroyed in ~Runtime.
+#include "plinda/net/client.h"
+
 namespace fpdm::plinda {
 
 namespace {
@@ -100,6 +103,12 @@ std::string ToString(const RuntimeError& error) {
     case RuntimeError::Code::kFaultInjectionUnsupported:
       what = "fault injection is unsupported in kRealParallel mode";
       break;
+    case RuntimeError::Code::kWireProtocolError:
+      what = "tuple-space server wire protocol failure";
+      break;
+    case RuntimeError::Code::kDistributedSpawnUnsupported:
+      what = "spawn from a running process is unsupported in kDistributed mode";
+      break;
   }
   char buf[256];
   std::snprintf(buf, sizeof(buf), "[t=%8.2f] protocol error in %s (pid %d): %s%s%s",
@@ -169,14 +178,14 @@ int Runtime::Spawn(const std::string& name, ProcessFn fn) {
   int machine = PickMachineLocked();
   assert(machine >= 0);
   return SpawnLocked(name, machine, std::move(fn),
-                     real_mode() ? 0.0 : options_.spawn_delay);
+                     real_mode() || dist_mode() ? 0.0 : options_.spawn_delay);
 }
 
 int Runtime::SpawnOn(const std::string& name, int machine, ProcessFn fn) {
   std::unique_lock<std::mutex> lock(mu_);
   assert(machine >= 0 && machine < num_machines());
   return SpawnLocked(name, machine, std::move(fn),
-                     real_mode() ? 0.0 : options_.spawn_delay);
+                     real_mode() || dist_mode() ? 0.0 : options_.spawn_delay);
 }
 
 int Runtime::PickMachineLocked() const {
@@ -208,7 +217,9 @@ int Runtime::SpawnLocked(const std::string& name, int machine, ProcessFn fn,
   Proc* raw = proc.get();
   procs_.push_back(std::move(proc));
   RecordLocked(TraceEvent::Kind::kSpawned, start_clock, raw, raw->machine);
-  StartThreadLocked(raw);
+  // Distributed mode forks an OS process per Proc inside RunDistributed();
+  // the parent must stay single-threaded so fork() is safe.
+  if (!dist_mode()) StartThreadLocked(raw);
   return raw->id;
 }
 
@@ -218,6 +229,7 @@ void Runtime::StartThreadLocked(Proc* proc) {
 
 bool Runtime::Run() {
   if (real_mode()) return RunReal();
+  if (dist_mode()) return RunDistributed();
   const auto run_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   std::stable_sort(events_.begin(), events_.end());
@@ -596,6 +608,10 @@ void Runtime::OpOut(Proc* proc, Tuple tuple) {
     RealOut(proc, std::move(tuple));
     return;
   }
+  if (dist_mode()) {
+    DistOut(proc, std::move(tuple));
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   WaitServerLocked(proc, lock);
   proc->clock += options_.tuple_op_latency;
@@ -612,6 +628,7 @@ void Runtime::OpOut(Proc* proc, Tuple tuple) {
 bool Runtime::OpIn(Proc* proc, const Template& tmpl, Tuple* result,
                    bool blocking, bool remove) {
   if (real_mode()) return RealIn(proc, tmpl, result, blocking, remove);
+  if (dist_mode()) return DistIn(proc, tmpl, result, blocking, remove);
   std::unique_lock<std::mutex> lock(mu_);
   proc->clock += options_.tuple_op_latency;
   ++stats_.tuple_ops;
@@ -659,6 +676,10 @@ void Runtime::OpXStart(Proc* proc) {
     RealXStart(proc);
     return;
   }
+  if (dist_mode()) {
+    DistXStart(proc);
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   WaitServerLocked(proc, lock);
   if (proc->txn_active) {
@@ -673,6 +694,10 @@ void Runtime::OpXStart(Proc* proc) {
 void Runtime::OpXCommit(Proc* proc, bool has_continuation, Tuple continuation) {
   if (real_mode()) {
     RealXCommit(proc, has_continuation, std::move(continuation));
+    return;
+  }
+  if (dist_mode()) {
+    DistXCommit(proc, has_continuation, std::move(continuation));
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -697,6 +722,7 @@ void Runtime::OpXCommit(Proc* proc, bool has_continuation, Tuple continuation) {
 
 bool Runtime::OpXRecover(Proc* proc, Tuple* continuation) {
   if (real_mode()) return RealXRecover(proc, continuation);
+  if (dist_mode()) return DistXRecover(proc, continuation);
   std::unique_lock<std::mutex> lock(mu_);
   WaitServerLocked(proc, lock);
   if (proc->txn_active) {
@@ -713,6 +739,12 @@ bool Runtime::OpXRecover(Proc* proc, Tuple* continuation) {
 
 void Runtime::OpCompute(Proc* proc, double work_units) {
   assert(work_units >= 0);
+  if (dist_mode()) {
+    // Real work on the worker process; units feed the status-file report
+    // the supervisor folds into total_work.
+    proc->work_done += work_units;
+    return;
+  }
   if (real_mode()) {
     // The real work happens on the calling thread; the units only feed the
     // total_work statistic (folded in after the join). Also a cancellation
@@ -729,6 +761,10 @@ void Runtime::OpCompute(Proc* proc, double work_units) {
 }
 
 int Runtime::OpSpawn(Proc* proc, const std::string& name, ProcessFn fn) {
+  if (dist_mode()) {
+    FailProcDist(proc, RuntimeError::Code::kDistributedSpawnUnsupported,
+                 "cannot place process \"" + name + "\"");
+  }
   if (real_mode()) return RealSpawn(proc, name, std::move(fn));
   std::unique_lock<std::mutex> lock(mu_);
   proc->clock += options_.tuple_op_latency;

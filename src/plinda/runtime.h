@@ -20,6 +20,10 @@
 
 namespace fpdm::plinda {
 
+namespace net {
+class RemoteTupleSpace;
+}  // namespace net
+
 class Runtime;
 class ProcessContext;
 
@@ -44,6 +48,18 @@ enum class ExecutionMode {
   /// results are scheduling-independent (all of core/ and classify/)
   /// produce bit-identical results in either mode.
   kRealParallel,
+  /// Distributed execution: every process is a forked OS process talking to
+  /// a tuple-space *server process* over a Unix-domain socket (the wire
+  /// protocol in plinda/net/). Crossing the process boundary restores the
+  /// fault model that kRealParallel gave up: ScheduleFailure() SIGKILLs the
+  /// worker processes placed on the failed machine (respawned with
+  /// XRecover-visible incarnations), and ScheduleServerFailure() SIGKILLs
+  /// the server, which recovers from its on-disk checkpoint + operation
+  /// log. Fault times are wall-clock seconds since Run(). Deterministic
+  /// mining protocols produce bit-identical results in all three modes.
+  /// Restriction: ProcessContext::Spawn is unsupported (the process tree is
+  /// fixed at Run(); all of core/ and classify/ spawn up front).
+  kDistributed,
 };
 
 /// Runtime tuning knobs (virtual seconds; latencies apply to the simulated
@@ -71,6 +87,22 @@ struct RuntimeOptions {
   double server_restart_delay = 2.0;
   /// Safety valve: abort the simulation after this many scheduler steps.
   uint64_t max_steps = 200'000'000;
+  /// kDistributed: shard count inside the tuple-space server process
+  /// (single-threaded; sharding only bounds bucket-map sizes).
+  int distributed_shards = 1;
+  /// kDistributed: server checkpoints its space every this many logged
+  /// operations (the knob behind RuntimeStats::server_checkpoints).
+  int distributed_checkpoint_ops = 256;
+  /// kDistributed: directory for the server socket + recovery state. Empty
+  /// (default) creates a private mkdtemp directory, removed after Run();
+  /// a caller-provided directory is kept.
+  std::string distributed_dir;
+  /// kDistributed: hard wall-clock ceiling on Run(); exceeded = deadlock.
+  double distributed_wall_limit = 120.0;
+  /// kDistributed: how long a worker's tuple-space call retries against an
+  /// unreachable server before failing the run. Must comfortably cover a
+  /// scheduled server failure + recovery gap.
+  double distributed_reconnect_timeout = 20.0;
 };
 
 /// One entry of the process-watch trace (the programmatic equivalent of
@@ -115,6 +147,13 @@ struct RuntimeError {
     /// points, rollback, virtual respawn delays); run such experiments in
     /// kSimulated mode.
     kFaultInjectionUnsupported,
+    /// kDistributed: the wire conversation with the tuple-space server broke
+    /// beyond recovery (undecodable reply, or unreachable past the
+    /// reconnect window). Detail carries the transport error.
+    kWireProtocolError,
+    /// kDistributed: ProcessContext::Spawn was called (the distributed
+    /// process tree is fixed before Run()).
+    kDistributedSpawnUnsupported,
   };
   Code code = Code::kXCommitWithoutXStart;
   double time = 0;
@@ -176,6 +215,14 @@ struct RuntimeStats {
 /// deadlock (every live process blocked on in/rd with nothing left to
 /// publish) is detected by a watchdog, cancelled, and reported through
 /// deadlocked()/diagnostic() exactly like the simulator.
+///
+/// **Distributed (ExecutionMode::kDistributed).** Each process is a forked
+/// OS process; the tuple space lives in a separate server process reached
+/// over a Unix-domain socket (plinda/net/). Faults come back: scheduled
+/// machine failures SIGKILL worker processes (auto-respawned with bumped
+/// incarnations) and scheduled server failures SIGKILL the server, which
+/// recovers from an on-disk checkpoint + operation log. Results and stats
+/// drain back into space()/stats() exactly like real-parallel mode.
 class Runtime {
  public:
   explicit Runtime(int num_machines, RuntimeOptions options = RuntimeOptions());
@@ -288,6 +335,10 @@ class Runtime {
     std::vector<Tuple> txn_outs;  // buffered until commit
     std::vector<Tuple> txn_ins;   // removed from space; restored on abort
 
+    // Distributed mode (supervisor side): the worker's OS pid, or -1 when
+    // no incarnation is currently running.
+    long os_pid = -1;
+
     double work_done = 0;
   };
 
@@ -313,6 +364,9 @@ class Runtime {
 
   bool real_mode() const {
     return options_.mode == ExecutionMode::kRealParallel;
+  }
+  bool dist_mode() const {
+    return options_.mode == ExecutionMode::kDistributed;
   }
 
   // --- scheduler internals (all require mu_ held) ---
@@ -381,6 +435,26 @@ class Runtime {
   bool RealXRecover(Proc* proc, Tuple* continuation);
   int RealSpawn(Proc* proc, const std::string& name, ProcessFn fn);
 
+  // --- distributed backend (ExecutionMode::kDistributed) ---
+  // Implemented in runtime_dist.cc. The parent process becomes the
+  // supervisor: it forks the tuple-space server and one OS process per
+  // Proc, applies scheduled faults with SIGKILL, respawns victims, watches
+  // for deadlock via server STATUS polls, and drains results back into
+  // space_ when every worker is done.
+  bool RunDistributed();
+  /// Body of a forked worker process: connects to the server, runs the
+  /// ProcessFn, reports work/error through a per-incarnation status file,
+  /// and returns the child's exit code.
+  int RunWorkerChild(Proc* proc);
+  void DistOut(Proc* proc, Tuple tuple);
+  bool DistIn(Proc* proc, const Template& tmpl, Tuple* result, bool blocking,
+              bool remove);
+  void DistXStart(Proc* proc);
+  void DistXCommit(Proc* proc, bool has_continuation, Tuple continuation);
+  bool DistXRecover(Proc* proc, Tuple* continuation);
+  [[noreturn]] void FailProcDist(Proc* proc, RuntimeError::Code code,
+                                 std::string detail);
+
   RuntimeOptions options_;
   std::vector<Machine> machines_;
   std::vector<std::unique_ptr<Proc>> procs_;
@@ -433,6 +507,14 @@ class Runtime {
   std::atomic<uint64_t> real_tuple_ops_{0};
   std::atomic<uint64_t> real_commits_{0};
   std::atomic<uint64_t> real_aborts_{0};
+
+  // Distributed state. dclient_ exists only inside a forked worker (its
+  // connection to the server); the supervisor's control traffic uses
+  // short-lived clients local to RunDistributed().
+  std::unique_ptr<net::RemoteTupleSpace> dclient_;
+  std::string dist_dir_;
+  std::string dist_socket_;
+  std::vector<RuntimeError> dist_child_errors_;  // set inside the child only
 
   std::vector<std::thread> threads_;
 };

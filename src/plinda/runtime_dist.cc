@@ -1,0 +1,713 @@
+// ExecutionMode::kDistributed backend: the supervisor (parent process), the
+// forked worker bodies, and the tuple-space ops a worker issues over the
+// wire. The parent stays single-threaded so fork() is safe; every PLinda
+// process is an OS process, and the tuple space lives in a SpaceServer
+// process reached through RemoteTupleSpace (see plinda/net/).
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "plinda/net/client.h"
+#include "plinda/net/server.h"
+#include "plinda/net/supervisor.h"
+#include "plinda/runtime.h"
+
+namespace fpdm::plinda {
+
+namespace {
+
+using CallStatus = net::RemoteTupleSpace::CallStatus;
+
+/// Unwind types of a distributed worker child: the process-boundary
+/// equivalents of the simulator's internal exceptions. Thrown by the Dist*
+/// ops and caught only by RunWorkerChild, in this translation unit.
+struct DistKilledException {};
+struct DistProtocolErrorException {};
+
+/// Where a worker incarnation reports its outcome. Written by the child
+/// right before _exit, read by the supervisor after reaping it, so the file
+/// is always complete when read (a SIGKILLed incarnation never writes one).
+std::string StatusFilePath(const std::string& dir, int pid, int incarnation) {
+  return dir + "/proc." + std::to_string(pid) + "." +
+         std::to_string(incarnation);
+}
+
+void WriteFileOnce(const std::string& path, const std::string& content) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t w = ::write(fd, content.data() + off, content.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<size_t>(w);
+  }
+  ::close(fd);
+}
+
+struct WorkerReport {
+  double work = 0;
+  bool has_error = false;
+  int error_code = 0;
+  std::string error_detail;
+};
+
+bool ReadWorkerReport(const std::string& path, WorkerReport* report) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  char line[1024];
+  bool any = false;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "work ", 5) == 0) {
+      report->work = std::strtod(line + 5, nullptr);
+      any = true;
+    } else if (std::strncmp(line, "error ", 6) == 0) {
+      char* end = nullptr;
+      report->error_code = static_cast<int>(std::strtol(line + 6, &end, 10));
+      report->has_error = true;
+      std::string detail = end != nullptr ? end : "";
+      while (!detail.empty() && detail.front() == ' ') detail.erase(0, 1);
+      while (!detail.empty() &&
+             (detail.back() == '\n' || detail.back() == '\r')) {
+        detail.pop_back();
+      }
+      report->error_detail = std::move(detail);
+      any = true;
+    }
+  }
+  std::fclose(file);
+  return any;
+}
+
+}  // namespace
+
+// --- worker side (runs in the forked child) ------------------------------
+
+void Runtime::FailProcDist(Proc* proc, RuntimeError::Code code,
+                           std::string detail) {
+  RuntimeError error;
+  error.code = code;
+  error.time = NowReal();
+  error.pid = proc->id;
+  error.process = proc->name;
+  error.detail = std::move(detail);
+  dist_child_errors_.push_back(std::move(error));
+  proc->errored = true;
+  throw DistProtocolErrorException{};
+}
+
+void Runtime::DistOut(Proc* proc, Tuple tuple) {
+  if (proc->txn_active) {
+    proc->txn_outs.push_back(std::move(tuple));
+    return;
+  }
+  switch (dclient_->Out(tuple)) {
+    case CallStatus::kOk:
+      return;
+    case CallStatus::kCancelled:
+      throw DistKilledException{};
+    default:
+      FailProcDist(proc, RuntimeError::Code::kWireProtocolError,
+                   dclient_->last_error());
+  }
+}
+
+bool Runtime::DistIn(Proc* proc, const Template& tmpl, Tuple* result,
+                     bool blocking, bool remove) {
+  // A transaction sees its own uncommitted outs (same as the simulator).
+  // Removals from the shared space are rolled back server-side on abort, so
+  // no client-side txn_ins bookkeeping is needed.
+  if (proc->txn_active) {
+    for (auto it = proc->txn_outs.begin(); it != proc->txn_outs.end(); ++it) {
+      if (Matches(tmpl, *it)) {
+        if (result != nullptr) *result = *it;
+        if (remove) proc->txn_outs.erase(it);
+        return true;
+      }
+    }
+  }
+  Tuple found;
+  switch (dclient_->In(tmpl, blocking, remove, &found)) {
+    case CallStatus::kOk:
+      if (result != nullptr) *result = std::move(found);
+      return true;
+    case CallStatus::kNotFound:
+      return false;
+    case CallStatus::kCancelled:
+      throw DistKilledException{};
+    default:
+      FailProcDist(proc, RuntimeError::Code::kWireProtocolError,
+                   dclient_->last_error());
+  }
+}
+
+void Runtime::DistXStart(Proc* proc) {
+  if (proc->txn_active) {
+    FailProcDist(proc, RuntimeError::Code::kNestedXStart,
+                 "transaction already open");
+  }
+  switch (dclient_->XStart()) {
+    case CallStatus::kOk:
+      proc->txn_active = true;
+      return;
+    case CallStatus::kCancelled:
+      throw DistKilledException{};
+    default:
+      FailProcDist(proc, RuntimeError::Code::kWireProtocolError,
+                   dclient_->last_error());
+  }
+}
+
+void Runtime::DistXCommit(Proc* proc, bool has_continuation,
+                          Tuple continuation) {
+  if (!proc->txn_active) {
+    FailProcDist(proc, RuntimeError::Code::kXCommitWithoutXStart,
+                 "no transaction is open");
+  }
+  switch (dclient_->XCommit(proc->txn_outs, has_continuation, continuation)) {
+    case CallStatus::kOk:
+      proc->txn_outs.clear();
+      proc->txn_ins.clear();
+      proc->txn_active = false;
+      return;
+    case CallStatus::kCancelled:
+      throw DistKilledException{};
+    default:
+      FailProcDist(proc, RuntimeError::Code::kWireProtocolError,
+                   dclient_->last_error());
+  }
+}
+
+bool Runtime::DistXRecover(Proc* proc, Tuple* continuation) {
+  if (proc->txn_active) {
+    FailProcDist(proc, RuntimeError::Code::kXRecoverInsideTransaction,
+                 "xrecover must run outside transactions");
+  }
+  Tuple found;
+  switch (dclient_->XRecover(&found)) {
+    case CallStatus::kOk:
+      if (continuation != nullptr) *continuation = std::move(found);
+      return true;
+    case CallStatus::kNotFound:
+      return false;
+    case CallStatus::kCancelled:
+      throw DistKilledException{};
+    default:
+      FailProcDist(proc, RuntimeError::Code::kWireProtocolError,
+                   dclient_->last_error());
+  }
+}
+
+int Runtime::RunWorkerChild(Proc* proc) {
+  ::signal(SIGPIPE, SIG_IGN);
+  net::RemoteSpaceOptions copts;
+  copts.socket_path = dist_socket_;
+  copts.pid = proc->id;
+  copts.incarnation = proc->incarnation;
+  copts.reconnect_timeout_s = options_.distributed_reconnect_timeout;
+  dclient_ = std::make_unique<net::RemoteTupleSpace>(copts);
+  int code = 0;
+  if (!dclient_->Connect()) {
+    RuntimeError error;
+    error.code = RuntimeError::Code::kWireProtocolError;
+    error.time = NowReal();
+    error.pid = proc->id;
+    error.process = proc->name;
+    error.detail = "cannot reach the tuple-space server";
+    dist_child_errors_.push_back(std::move(error));
+    code = 2;
+  } else {
+    ProcessContext ctx(this, proc);
+    try {
+      proc->fn(ctx);
+    } catch (const DistKilledException&) {
+      code = 3;
+    } catch (const DistProtocolErrorException&) {
+      code = 2;
+    } catch (const std::exception& e) {
+      RuntimeError error;
+      error.code = RuntimeError::Code::kWireProtocolError;
+      error.time = NowReal();
+      error.pid = proc->id;
+      error.process = proc->name;
+      error.detail = std::string("uncaught exception in process body: ") +
+                     e.what();
+      dist_child_errors_.push_back(std::move(error));
+      code = 2;
+    }
+    if (code == 0 && proc->txn_active) {
+      // Clean return with an open transaction rolls it back, mirroring the
+      // simulator's unwind path.
+      dclient_->XAbort();
+      proc->txn_active = false;
+      proc->txn_outs.clear();
+    }
+  }
+  char work_line[64];
+  std::snprintf(work_line, sizeof(work_line), "work %.17g\n", proc->work_done);
+  std::string content = work_line;
+  for (const RuntimeError& error : dist_child_errors_) {
+    std::string detail = error.detail;
+    for (char& c : detail) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    content += "error " + std::to_string(static_cast<int>(error.code)) + " " +
+               detail + "\n";
+  }
+  WriteFileOnce(StatusFilePath(dist_dir_, proc->id, proc->incarnation),
+                content);
+  if (code != 3) dclient_->Bye();
+  return code;
+}
+
+// --- supervisor side (the parent process) --------------------------------
+
+bool Runtime::RunDistributed() {
+  using Clock = std::chrono::steady_clock;
+  deadlocked_ = false;
+  diagnostic_.clear();
+
+  const bool owns_dir = options_.distributed_dir.empty();
+  dist_dir_ = owns_dir ? net::MakeStateDir() : options_.distributed_dir;
+  if (!owns_dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(dist_dir_, ec);
+  }
+  real_start_ = Clock::now();
+  auto now = [&] {
+    return std::chrono::duration<double>(Clock::now() - real_start_).count();
+  };
+  auto fail_run = [&](std::string detail) {
+    RuntimeError error;
+    error.code = RuntimeError::Code::kWireProtocolError;
+    error.time = now();
+    error.detail = std::move(detail);
+    errors_.push_back(std::move(error));
+  };
+
+  if (dist_dir_.empty()) {
+    fail_run("cannot create the distributed state directory");
+    BuildDiagnosticLocked();
+    return false;
+  }
+  dist_socket_ = dist_dir_ + "/space.sock";
+
+  net::SpaceServerOptions sopts;
+  sopts.socket_path = dist_socket_;
+  sopts.state_dir = dist_dir_ + "/state";
+  sopts.num_shards = std::max(1, options_.distributed_shards);
+  sopts.checkpoint_every_ops = std::max(1, options_.distributed_checkpoint_ops);
+
+  pid_t server_pid = net::ForkServerProcess(sopts);
+  bool server_up = server_pid > 0 && net::WaitForSocket(dist_socket_, 10.0);
+  bool fatal = false;
+
+  net::RemoteSpaceOptions ctl_opts;
+  ctl_opts.socket_path = dist_socket_;
+  ctl_opts.pid = -1;
+  // Short window: a control call against a down server must return quickly
+  // so the supervisor keeps applying events (including the restart).
+  ctl_opts.reconnect_timeout_s = 0.3;
+  ctl_opts.reconnect_interval_s = 0.01;
+  net::RemoteTupleSpace ctl(ctl_opts);
+
+  if (!server_up) {
+    fail_run("tuple-space server failed to start");
+    fatal = true;
+  } else {
+    // Seed the server with the tuples out'ed before Run().
+    for (Tuple& tuple : space_.TakeAllInOrder()) {
+      if (ctl.Out(tuple) != CallStatus::kOk) {
+        fail_run("seeding the tuple-space server failed: " + ctl.last_error());
+        fatal = true;
+        break;
+      }
+    }
+  }
+
+  std::stable_sort(events_.begin(), events_.end());
+  next_event_ = 0;
+
+  auto fork_worker = [&](Proc* proc) {
+    proc->state = ProcState::kReady;
+    const pid_t pid =
+        net::ForkChild([this, proc] { return RunWorkerChild(proc); });
+    proc->os_pid = pid;
+    if (pid <= 0) {
+      fail_run("fork of worker \"" + proc->name + "\" failed");
+      proc->state = ProcState::kDead;
+      return false;
+    }
+    return true;
+  };
+  if (!fatal) {
+    for (auto& up : procs_) {
+      if (!fork_worker(up.get())) {
+        fatal = true;
+        break;
+      }
+    }
+  }
+
+  const double status_poll_interval = 0.04;
+  double next_status_poll = 0.0;
+  bool prev_all_parked = false;
+  uint64_t prev_epoch = 0;
+  bool run_cancelled = false;
+  bool cancel_grace_spent = false;
+  bool wall_limited = false;
+  double cancel_time = 0;
+  std::vector<net::ParkedWaiter> last_parked;
+  int unplanned_server_deaths = 0;
+
+  auto restart_server = [&](const char* what) {
+    server_pid = net::ForkServerProcess(sopts);
+    if (server_pid <= 0 || !net::WaitForSocket(dist_socket_, 10.0)) {
+      fail_run(std::string(what) + ": tuple-space server failed to restart");
+      return false;
+    }
+    server_up = true;
+    return true;
+  };
+
+  while (!fatal) {
+    bool all_finished = true;
+    for (auto& up : procs_) {
+      if (up->state == ProcState::kReady) all_finished = false;
+    }
+    if (all_finished) {
+      if (pending_respawns_.empty()) break;
+      if (next_event_ >= events_.size()) {
+        // Killed processes wait for a machine that will never come back.
+        deadlocked_ = true;
+        break;
+      }
+    }
+    const double t = now();
+    if (t > options_.distributed_wall_limit) {
+      deadlocked_ = true;
+      wall_limited = true;
+      break;
+    }
+
+    // 1. Scheduled fault events (times are wall seconds since Run()).
+    while (next_event_ < events_.size() && events_[next_event_].time <= t) {
+      const Event event = events_[next_event_];
+      ++next_event_;
+      switch (event.kind) {
+        case Event::Kind::kMachineFail: {
+          Machine& machine = machines_[static_cast<size_t>(event.machine)];
+          if (!machine.up) break;
+          machine.up = false;
+          RecordLocked(TraceEvent::Kind::kMachineFailed, t, nullptr,
+                       event.machine);
+          for (auto& up : procs_) {
+            Proc* proc = up.get();
+            if (proc->machine == event.machine &&
+                proc->state == ProcState::kReady && proc->os_pid > 0) {
+              net::KillProcess(static_cast<pid_t>(proc->os_pid));
+            }
+          }
+          break;  // the reap pass below handles death + respawn
+        }
+        case Event::Kind::kMachineRecover: {
+          Machine& machine = machines_[static_cast<size_t>(event.machine)];
+          if (machine.up) break;
+          machine.up = true;
+          RecordLocked(TraceEvent::Kind::kMachineRecovered, t, nullptr,
+                       event.machine);
+          while (!pending_respawns_.empty()) {
+            Proc* proc = pending_respawns_.front();
+            pending_respawns_.pop_front();
+            proc->machine = event.machine;
+            ++proc->incarnation;
+            ++stats_.processes_respawned;
+            if (!fork_worker(proc)) {
+              fatal = true;
+              break;
+            }
+            RecordLocked(TraceEvent::Kind::kRespawned, t, proc, proc->machine);
+          }
+          break;
+        }
+        case Event::Kind::kServerFail: {
+          if (!server_up) break;
+          net::KillProcess(server_pid);
+          net::ExitInfo info;
+          net::WaitForExit(server_pid, 5.0, &info);
+          server_up = false;
+          server_down_since_ = t;
+          ++stats_.server_failures;
+          RecordLocked(TraceEvent::Kind::kServerFailed, t, nullptr, -1);
+          break;
+        }
+        case Event::Kind::kServerRecover: {
+          if (server_up) break;
+          if (!restart_server("scheduled recovery")) {
+            fatal = true;
+            break;
+          }
+          stats_.server_downtime += now() - server_down_since_;
+          RecordLocked(TraceEvent::Kind::kServerRecovered, now(), nullptr, -1);
+          break;
+        }
+      }
+      if (fatal) break;
+    }
+    if (fatal) break;
+
+    // 2. Reap exited children (workers and, if it crashed, the server).
+    for (;;) {
+      std::vector<pid_t> watched;
+      if (server_up && server_pid > 0) watched.push_back(server_pid);
+      for (auto& up : procs_) {
+        if (up->state == ProcState::kReady && up->os_pid > 0) {
+          watched.push_back(static_cast<pid_t>(up->os_pid));
+        }
+      }
+      net::ExitInfo info;
+      if (!net::ReapAny(watched, &info)) break;
+      if (info.pid == server_pid) {
+        // Unplanned server death: recover it from checkpoint + log.
+        ++stats_.server_failures;
+        ++unplanned_server_deaths;
+        server_up = false;
+        const double down_at = now();
+        RecordLocked(TraceEvent::Kind::kServerFailed, down_at, nullptr, -1);
+        if (unplanned_server_deaths > 5) {
+          fail_run("tuple-space server keeps crashing");
+          fatal = true;
+          break;
+        }
+        if (!restart_server("crash recovery")) {
+          fatal = true;
+          break;
+        }
+        stats_.server_downtime += now() - down_at;
+        RecordLocked(TraceEvent::Kind::kServerRecovered, now(), nullptr, -1);
+        continue;
+      }
+      Proc* proc = nullptr;
+      for (auto& up : procs_) {
+        if (up->os_pid == info.pid) {
+          proc = up.get();
+          break;
+        }
+      }
+      if (proc == nullptr) continue;
+      proc->os_pid = -1;
+      WorkerReport report;
+      const bool have_report = ReadWorkerReport(
+          StatusFilePath(dist_dir_, proc->id, proc->incarnation), &report);
+      if (have_report) {
+        stats_.total_work += report.work;
+        proc->work_done += report.work;
+      }
+      if (info.exited && info.exit_code == 0) {
+        proc->state = ProcState::kDone;
+        RecordLocked(TraceEvent::Kind::kDone, now(), proc, proc->machine);
+      } else if (info.exited && info.exit_code == 3) {
+        // Cancelled by the deadlock watchdog.
+        proc->state = ProcState::kDead;
+        ++stats_.processes_killed;
+      } else if (info.exited) {
+        proc->state = ProcState::kDead;
+        proc->errored = true;
+        RuntimeError error;
+        if (have_report && report.has_error) {
+          error.code = static_cast<RuntimeError::Code>(report.error_code);
+          error.detail = report.error_detail;
+        } else {
+          error.code = RuntimeError::Code::kWireProtocolError;
+          error.detail =
+              "worker exited with code " + std::to_string(info.exit_code);
+        }
+        error.time = now();
+        error.pid = proc->id;
+        error.process = proc->name;
+        errors_.push_back(std::move(error));
+        RecordLocked(TraceEvent::Kind::kError, now(), proc, proc->machine);
+      } else {
+        // Signaled: a machine failure killed the worker mid-run. The server
+        // crash-aborts its open transaction on connection EOF.
+        ++stats_.processes_killed;
+        RecordLocked(TraceEvent::Kind::kKilled, now(), proc, proc->machine);
+        if (run_cancelled || !auto_respawn_) {
+          proc->state = ProcState::kDead;
+        } else {
+          const int machine =
+              machines_[static_cast<size_t>(proc->machine)].up
+                  ? proc->machine
+                  : PickMachineLocked();
+          if (machine < 0) {
+            proc->state = ProcState::kDead;
+            pending_respawns_.push_back(proc);
+          } else {
+            proc->machine = machine;
+            ++proc->incarnation;
+            ++stats_.processes_respawned;
+            if (!fork_worker(proc)) {
+              fatal = true;
+              break;
+            }
+            RecordLocked(TraceEvent::Kind::kRespawned, now(), proc, machine);
+          }
+        }
+      }
+    }
+    if (fatal) break;
+
+    // 3. Deadlock watchdog: every live worker parked server-side and the
+    // publish epoch stable across two polls means nobody can wake anybody.
+    if (server_up && !run_cancelled && t >= next_status_poll) {
+      next_status_poll = t + status_poll_interval;
+      net::Reply reply;
+      if (ctl.Status(&reply) == CallStatus::kOk) {
+        int live = 0;
+        for (auto& up : procs_) {
+          if (up->state == ProcState::kReady) ++live;
+        }
+        const bool all_parked =
+            live > 0 && static_cast<int>(reply.parked.size()) >= live &&
+            next_event_ >= events_.size() && pending_respawns_.empty();
+        if (all_parked && prev_all_parked &&
+            reply.publish_epoch == prev_epoch) {
+          run_cancelled = true;
+          deadlocked_ = true;
+          cancel_time = now();
+          last_parked = reply.parked;
+          ctl.Cancel();
+        }
+        prev_all_parked = all_parked;
+        prev_epoch = reply.publish_epoch;
+      }
+    }
+
+    // Workers that ignore the cancellation (compute loops with no tuple
+    // ops) are killed after a grace period.
+    if (run_cancelled && !cancel_grace_spent && now() - cancel_time > 2.0) {
+      cancel_grace_spent = true;
+      for (auto& up : procs_) {
+        if (up->state == ProcState::kReady && up->os_pid > 0) {
+          net::KillProcess(static_cast<pid_t>(up->os_pid));
+        }
+      }
+      run_cancelled = true;  // reap pass marks them dead, no respawn
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Kill and reap anything still running (fatal abort, wall limit).
+  for (auto& up : procs_) {
+    Proc* proc = up.get();
+    if (proc->os_pid > 0) {
+      net::KillProcess(static_cast<pid_t>(proc->os_pid));
+      net::ExitInfo info;
+      net::WaitForExit(static_cast<pid_t>(proc->os_pid), 2.0, &info);
+      proc->os_pid = -1;
+      if (proc->state == ProcState::kReady) {
+        proc->state = ProcState::kDead;
+        ++stats_.processes_killed;
+      }
+    }
+  }
+
+  // Drain results + counters back, restarting the server if it is down
+  // (e.g. a failure was scheduled with no recovery before the end).
+  if (!server_up && server_pid > 0) {
+    net::ExitInfo info;
+    net::WaitForExit(server_pid, 1.0, &info);
+  }
+  if (!server_up) {
+    if (restart_server("end-of-run drain")) {
+      RecordLocked(TraceEvent::Kind::kServerRecovered, now(), nullptr, -1);
+    }
+  }
+  if (server_up) {
+    net::Reply server_stats;
+    if (ctl.Stats(&server_stats) == CallStatus::kOk) {
+      stats_.tuple_ops += server_stats.tuple_ops;
+      stats_.transactions_committed += server_stats.commits;
+      stats_.transactions_aborted += server_stats.aborts;
+      stats_.server_checkpoints += server_stats.checkpoints;
+      stats_.server_ops_replayed += server_stats.ops_replayed;
+      stats_.cross_shard_ops += server_stats.cross_shard_ops;
+    }
+    std::vector<Tuple> drained;
+    if (ctl.TakeAll(&drained) == CallStatus::kOk) {
+      for (Tuple& tuple : drained) space_.Out(std::move(tuple));
+    } else {
+      fail_run("end-of-run drain failed: " + ctl.last_error());
+    }
+    ctl.Shutdown();
+    ctl.Abandon();
+    net::ExitInfo info;
+    if (!net::WaitForExit(server_pid, 5.0, &info)) {
+      net::KillProcess(server_pid);
+      net::WaitForExit(server_pid, 2.0, &info);
+    }
+  } else if (server_pid > 0) {
+    net::KillProcess(server_pid);
+    net::ExitInfo info;
+    net::WaitForExit(server_pid, 2.0, &info);
+  }
+
+  wall_time_ = now();
+  completion_time_ = wall_time_;
+
+  if (deadlocked_ || !errors_.empty()) {
+    std::string out;
+    if (deadlocked_) {
+      out += "deadlock: no process can make progress\n";
+      for (const net::ParkedWaiter& waiter : last_parked) {
+        const Proc* proc =
+            waiter.pid >= 0 && waiter.pid < static_cast<int32_t>(procs_.size())
+                ? procs_[static_cast<size_t>(waiter.pid)].get()
+                : nullptr;
+        char head[128];
+        std::snprintf(head, sizeof(head),
+                      "  %s (pid %d, machine %d) blocked on ",
+                      proc != nullptr ? proc->name.c_str() : "?", waiter.pid,
+                      proc != nullptr ? proc->machine : -1);
+        out += head;
+        out += waiter.remove ? "in " : "rd ";
+        out += waiter.tmpl_text;
+        out += '\n';
+      }
+      for (const Proc* proc : pending_respawns_) {
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "  %s (pid %d) killed, awaiting an up machine\n",
+                      proc->name.c_str(), proc->id);
+        out += line;
+      }
+      if (wall_limited) {
+        out += "  wall-clock limit exceeded (distributed_wall_limit)\n";
+      }
+    }
+    for (const RuntimeError& error : errors_) {
+      out += "  " + ToString(error) + '\n';
+    }
+    diagnostic_ = std::move(out);
+  }
+
+  if (owns_dir) net::RemoveTree(dist_dir_);
+  return !deadlocked_ && errors_.empty();
+}
+
+}  // namespace fpdm::plinda

@@ -87,36 +87,93 @@ bool ParseSize(const std::string& data, size_t* pos, size_t* n) {
   return true;
 }
 
+void AppendValue(const Value& v, std::string* out) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt: {
+      out->push_back('i');
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld;",
+                    static_cast<long long>(std::get<int64_t>(v)));
+      out->append(buf);
+      break;
+    }
+    case ValueType::kDouble: {
+      out->push_back('d');
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.17g;", std::get<double>(v));
+      out->append(buf);
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(v);
+      out->push_back('s');
+      AppendSize(s.size(), out);
+      out->append(s);
+      break;
+    }
+  }
+}
+
+bool ParseValue(const std::string& data, size_t* pos, Value* value) {
+  if (*pos >= data.size()) return false;
+  char tag = data[(*pos)++];
+  if (tag == 'i' || tag == 'd') {
+    size_t end = data.find(';', *pos);
+    if (end == std::string::npos) return false;
+    std::string token = data.substr(*pos, end - *pos);
+    *pos = end + 1;
+    if (tag == 'i') {
+      *value =
+          static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10));
+    } else {
+      *value = std::strtod(token.c_str(), nullptr);
+    }
+    return true;
+  }
+  if (tag == 's') {
+    size_t len = 0;
+    if (!ParseSize(data, pos, &len)) return false;
+    if (*pos + len > data.size()) return false;
+    *value = data.substr(*pos, len);
+    *pos += len;
+    return true;
+  }
+  return false;
+}
+
+char TypeTag(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return 'i';
+    case ValueType::kDouble:
+      return 'd';
+    case ValueType::kString:
+      return 's';
+  }
+  return '?';
+}
+
+bool TypeFromTag(char tag, ValueType* type) {
+  switch (tag) {
+    case 'i':
+      *type = ValueType::kInt;
+      return true;
+    case 'd':
+      *type = ValueType::kDouble;
+      return true;
+    case 's':
+      *type = ValueType::kString;
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 void SerializeTuple(const Tuple& tuple, std::string* out) {
   AppendSize(tuple.fields.size(), out);
-  for (const Value& v : tuple.fields) {
-    switch (TypeOf(v)) {
-      case ValueType::kInt: {
-        out->push_back('i');
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%lld;",
-                      static_cast<long long>(std::get<int64_t>(v)));
-        out->append(buf);
-        break;
-      }
-      case ValueType::kDouble: {
-        out->push_back('d');
-        char buf[48];
-        std::snprintf(buf, sizeof(buf), "%.17g;", std::get<double>(v));
-        out->append(buf);
-        break;
-      }
-      case ValueType::kString: {
-        const std::string& s = std::get<std::string>(v);
-        out->push_back('s');
-        AppendSize(s.size(), out);
-        out->append(s);
-        break;
-      }
-    }
-  }
+  for (const Value& v : tuple.fields) AppendValue(v, out);
 }
 
 bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple) {
@@ -124,30 +181,57 @@ bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple) {
   size_t arity = 0;
   if (!ParseSize(data, pos, &arity)) return false;
   for (size_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!ParseValue(data, pos, &v)) return false;
+    tuple->fields.push_back(std::move(v));
+  }
+  return true;
+}
+
+void SerializeTemplate(const Template& tmpl, std::string* out) {
+  AppendSize(tmpl.fields.size(), out);
+  for (const TemplateField& f : tmpl.fields) {
+    if (f.is_formal) {
+      out->push_back('F');
+      out->push_back(TypeTag(f.formal_type));
+    } else {
+      out->push_back('A');
+      AppendValue(f.actual, out);
+    }
+  }
+}
+
+bool DeserializeTemplate(const std::string& data, size_t* pos,
+                         Template* tmpl) {
+  tmpl->fields.clear();
+  size_t arity = 0;
+  if (!ParseSize(data, pos, &arity)) return false;
+  for (size_t i = 0; i < arity; ++i) {
     if (*pos >= data.size()) return false;
-    char tag = data[(*pos)++];
-    if (tag == 'i' || tag == 'd') {
-      size_t end = data.find(';', *pos);
-      if (end == std::string::npos) return false;
-      std::string token = data.substr(*pos, end - *pos);
-      *pos = end + 1;
-      if (tag == 'i') {
-        tuple->fields.push_back(
-            static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
-      } else {
-        tuple->fields.push_back(std::strtod(token.c_str(), nullptr));
-      }
-    } else if (tag == 's') {
-      size_t len = 0;
-      if (!ParseSize(data, pos, &len)) return false;
-      if (*pos + len > data.size()) return false;
-      tuple->fields.push_back(data.substr(*pos, len));
-      *pos += len;
+    char kind = data[(*pos)++];
+    if (kind == 'F') {
+      if (*pos >= data.size()) return false;
+      ValueType type;
+      if (!TypeFromTag(data[(*pos)++], &type)) return false;
+      tmpl->fields.push_back(TemplateField::Formal(type));
+    } else if (kind == 'A') {
+      Value v;
+      if (!ParseValue(data, pos, &v)) return false;
+      tmpl->fields.push_back(TemplateField::Actual(std::move(v)));
     } else {
       return false;
     }
   }
   return true;
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
 }
 
 std::string ToString(const Tuple& tuple) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -88,6 +89,18 @@ void SerializeTuple(const Tuple& tuple, std::string* out);
 /// Parses one tuple starting at *pos; advances *pos. Returns false on
 /// malformed input.
 bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple);
+
+/// Appends a portable textual encoding of a template (anti-tuple): actuals
+/// use the tuple value encoding, formals carry only a type tag. Used by the
+/// wire protocol of the distributed tuple-space server.
+void SerializeTemplate(const Template& tmpl, std::string* out);
+
+/// Parses one template starting at *pos; advances *pos. Returns false on
+/// malformed input.
+bool DeserializeTemplate(const std::string& data, size_t* pos, Template* tmpl);
+
+/// 64-bit FNV-1a hash, shared by checkpoint checksumming and shard routing.
+uint64_t Fnv1a64(std::string_view data);
 
 /// Human-readable rendering for logs and test failures.
 std::string ToString(const Tuple& tuple);

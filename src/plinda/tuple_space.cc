@@ -150,15 +150,6 @@ namespace {
 
 constexpr char kCheckpointMagic[] = "fpdmckpt1:";
 
-uint64_t Fnv1a(const std::string& data) {
-  uint64_t hash = 14695981039346656037ull;
-  for (unsigned char c : data) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
 }  // namespace
 
 std::string TupleSpace::Checkpoint() const {
@@ -180,7 +171,7 @@ std::string TupleSpace::Checkpoint() const {
   char header[96];
   std::snprintf(header, sizeof(header), "%s%zu:%zu:%016llx:", kCheckpointMagic,
                 all.size(), payload.size(),
-                static_cast<unsigned long long>(Fnv1a(payload)));
+                static_cast<unsigned long long>(Fnv1a64(payload)));
   return std::string(header) + payload;
 }
 
@@ -227,7 +218,7 @@ bool TupleSpace::Restore(const std::string& checkpoint) {
   // trailing garbage both fail here.
   if (checkpoint.size() - pos != payload_bytes) return false;
   const std::string payload = checkpoint.substr(pos);
-  if (Fnv1a(payload) != want_hash) return false;
+  if (Fnv1a64(payload) != want_hash) return false;
   size_t ppos = 0;
   size_t restored = 0;
   while (ppos < payload.size()) {

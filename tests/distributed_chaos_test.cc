@@ -1,0 +1,154 @@
+// Fault tolerance of ExecutionMode::kDistributed: SIGKILLing real worker
+// processes mid-transaction and SIGKILLing the tuple-space server process
+// mid-run must not lose or duplicate work. Workers sleep inside their task
+// transactions so the scheduled wall-clock faults land mid-task
+// deterministically; the PLinda transaction + continuation machinery then
+// has to deliver exactly-once task effects through the recovery.
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "arm/problem.h"
+#include "core/parallel.h"
+#include "gtest/gtest.h"
+#include "plinda/runtime.h"
+#include "plinda/tuple.h"
+
+namespace fpdm {
+namespace {
+
+using plinda::A;
+using plinda::ExecutionMode;
+using plinda::F;
+using plinda::GetInt;
+using plinda::MakeTemplate;
+using plinda::MakeTuple;
+using plinda::ProcessContext;
+using plinda::Runtime;
+using plinda::RuntimeOptions;
+using plinda::Tuple;
+using plinda::ValueType;
+
+constexpr int kNumTasks = 10;
+
+RuntimeOptions DistOptions() {
+  RuntimeOptions options;
+  options.mode = ExecutionMode::kDistributed;
+  options.distributed_checkpoint_ops = 8;  // several checkpoints per run
+  return options;
+}
+
+// One worker consumes kNumTasks ("task", i) tuples, one per transaction,
+// sleeping ~20ms inside each so the run spans a deterministic wall-clock
+// window. Progress is committed as a continuation, so a respawned
+// incarnation resumes exactly where the last commit left off.
+void TaskLoop(ProcessContext& ctx) {
+  int64_t done = 0;
+  Tuple cont;
+  if (ctx.XRecover(&cont)) done = GetInt(cont, 1);
+  while (done < kNumTasks) {
+    ctx.XStart();
+    Tuple task;
+    ctx.In(MakeTemplate(A("task"), F(ValueType::kInt)), &task);
+    ctx.Out(MakeTuple("res", GetInt(task, 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ctx.Compute(1.0);
+    ++done;
+    ctx.XCommit(MakeTuple("progress", done));
+  }
+}
+
+// Drains the ("res", i) tuples and checks every task produced its result
+// exactly once — no losses, no duplicates — regardless of the faults.
+void ExpectExactlyOnceResults(Runtime& runtime) {
+  std::multiset<int64_t> results;
+  Tuple tuple;
+  while (runtime.space().TryIn(MakeTemplate(A("res"), F(ValueType::kInt)),
+                               &tuple)) {
+    results.insert(GetInt(tuple, 1));
+  }
+  ASSERT_EQ(results.size(), static_cast<size_t>(kNumTasks));
+  for (int64_t i = 0; i < kNumTasks; ++i) {
+    EXPECT_EQ(results.count(i), 1u) << "task " << i;
+  }
+}
+
+TEST(DistributedChaosTest, WorkerKilledMidTransactionIsRespawned) {
+  Runtime runtime(2, DistOptions());
+  // ~200ms of work on machine 1; the kill at 50ms lands mid-transaction
+  // (the worker sleeps inside it), the recovery at 120ms respawns.
+  runtime.ScheduleFailure(1, 0.05);
+  runtime.ScheduleRecovery(1, 0.12);
+  for (int64_t i = 0; i < kNumTasks; ++i) {
+    runtime.space().Out(MakeTuple("task", i));
+  }
+  runtime.SpawnOn("worker", 1, TaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  EXPECT_GE(runtime.stats().processes_killed, 1u);
+  EXPECT_GE(runtime.stats().processes_respawned, 1u);
+  ExpectExactlyOnceResults(runtime);
+  // The aborted transaction's removal was rolled back server-side.
+  EXPECT_GE(runtime.stats().transactions_aborted, 1u);
+}
+
+TEST(DistributedChaosTest, ServerKilledMidRunRecoversFromCheckpointAndLog) {
+  Runtime runtime(1, DistOptions());
+  // The server dies at 40ms — mid-run, past several logged operations —
+  // and restarts at 100ms from its checkpoint + log. The worker's calls
+  // stall, reconnect, and resend; dedup makes the retries exactly-once.
+  runtime.ScheduleServerFailure(0.04);
+  runtime.ScheduleServerRecovery(0.10);
+  for (int64_t i = 0; i < kNumTasks; ++i) {
+    runtime.space().Out(MakeTuple("task", i));
+  }
+  runtime.SpawnOn("worker", 0, TaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  EXPECT_EQ(runtime.stats().server_failures, 1u);
+  EXPECT_GE(runtime.stats().server_checkpoints, 1u);
+  EXPECT_GT(runtime.stats().server_downtime, 0.0);
+  ExpectExactlyOnceResults(runtime);
+}
+
+TEST(DistributedChaosTest, MinerSurvivesWorkerKillWithIdenticalResults) {
+  arm::BasketConfig config;
+  config.num_transactions = 200;
+  config.num_items = 22;
+  config.avg_transaction_size = 6;
+  config.patterns = {{{1, 4, 7}, 0.3}, {{2, 5}, 0.4}};
+  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
+                                    /*min_support=*/18);
+
+  core::ParallelOptions reference;
+  reference.strategy = core::Strategy::kLoadBalanced;
+  reference.execution_mode = ExecutionMode::kSimulated;
+  reference.num_workers = 4;
+  const core::ParallelResult sim = core::MineParallel(problem, reference);
+  ASSERT_TRUE(sim.ok);
+
+  core::ParallelOptions faulty = reference;
+  faulty.execution_mode = ExecutionMode::kDistributed;
+  // Wall-clock kill early in the run; worker 1's open task transaction
+  // rolls back and the worker respawns on an up machine. Whether the kill
+  // lands mid-task or after the run's tail is timing-dependent — the
+  // result may never be.
+  faulty.failures = {{1, 0.01}};
+  const core::ParallelResult dist = core::MineParallel(problem, faulty);
+  ASSERT_TRUE(dist.ok);
+
+  EXPECT_EQ(sim.mining.patterns_tested, dist.mining.patterns_tested);
+  EXPECT_EQ(sim.mining.total_task_cost, dist.mining.total_task_cost);
+  ASSERT_EQ(sim.mining.good_patterns.size(), dist.mining.good_patterns.size());
+  for (size_t i = 0; i < sim.mining.good_patterns.size(); ++i) {
+    EXPECT_EQ(sim.mining.good_patterns[i].pattern.key,
+              dist.mining.good_patterns[i].pattern.key)
+        << i;
+    EXPECT_EQ(sim.mining.good_patterns[i].goodness,
+              dist.mining.good_patterns[i].goodness)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace fpdm

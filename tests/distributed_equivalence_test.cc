@@ -1,0 +1,148 @@
+// Bit-identical equivalence of ExecutionMode::kDistributed against the
+// deterministic simulator (which parallel_equivalence_test.cc has already
+// pinned to kRealParallel). The distributed backend forks one OS process
+// per PLinda process and a tuple-space server process, so nothing here may
+// rely on shared memory — every result must travel through the wire
+// protocol and still come back byte-for-byte identical.
+
+#include <string>
+#include <vector>
+
+#include "arm/problem.h"
+#include "classify/parallel.h"
+#include "core/parallel.h"
+#include "data/benchmarks.h"
+#include "gtest/gtest.h"
+#include "seqmine/generator.h"
+#include "seqmine/problem.h"
+
+namespace fpdm {
+namespace {
+
+void ExpectSameMining(const core::ParallelResult& sim,
+                      const core::ParallelResult& dist,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_TRUE(sim.ok);
+  ASSERT_TRUE(dist.ok);
+  EXPECT_EQ(sim.mining.patterns_tested, dist.mining.patterns_tested);
+  EXPECT_EQ(sim.mining.total_task_cost, dist.mining.total_task_cost);
+  ASSERT_EQ(sim.mining.good_patterns.size(), dist.mining.good_patterns.size());
+  for (size_t i = 0; i < sim.mining.good_patterns.size(); ++i) {
+    const core::GoodPattern& a = sim.mining.good_patterns[i];
+    const core::GoodPattern& b = dist.mining.good_patterns[i];
+    EXPECT_EQ(a.pattern.key, b.pattern.key) << "index " << i;
+    EXPECT_EQ(a.pattern.length, b.pattern.length) << "index " << i;
+    EXPECT_EQ(a.goodness, b.goodness) << "index " << i;
+  }
+}
+
+core::ParallelResult RunMode(const core::MiningProblem& problem,
+                             core::Strategy strategy,
+                             plinda::ExecutionMode mode) {
+  core::ParallelOptions options;
+  options.strategy = strategy;
+  options.execution_mode = mode;
+  options.num_workers = 4;
+  return core::MineParallel(problem, options);
+}
+
+TEST(DistributedEquivalenceTest, ItemsetsAllStrategies) {
+  arm::BasketConfig config;
+  config.num_transactions = 150;
+  config.num_items = 20;
+  config.avg_transaction_size = 6;
+  config.patterns = {{{1, 4, 7}, 0.3}, {{2, 5}, 0.4}};
+  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
+                                    /*min_support=*/15);
+  for (core::Strategy strategy :
+       {core::Strategy::kPled, core::Strategy::kOptimistic,
+        core::Strategy::kLoadBalanced, core::Strategy::kHybrid}) {
+    const core::ParallelResult sim =
+        RunMode(problem, strategy, plinda::ExecutionMode::kSimulated);
+    const core::ParallelResult dist =
+        RunMode(problem, strategy, plinda::ExecutionMode::kDistributed);
+    ExpectSameMining(sim, dist, core::StrategyName(strategy));
+    EXPECT_GE(dist.wall_time, 0.0);
+    EXPECT_EQ(dist.completion_time, dist.wall_time);
+    EXPECT_GT(dist.stats.tuple_ops, 0u);
+  }
+}
+
+TEST(DistributedEquivalenceTest, SequenceMotifs) {
+  seqmine::ProteinSetConfig config;
+  config.num_sequences = 8;
+  config.min_length = 30;
+  config.max_length = 40;
+  config.seed = 321;
+  config.planted = {{"MKWVTF", 5, 0.0}};
+  const seqmine::SequenceMiningProblem problem(
+      seqmine::GenerateProteinSet(config),
+      seqmine::SequenceMiningConfig{/*min_length=*/4, /*min_occurrence=*/5,
+                                    /*max_mutations=*/0});
+  for (core::Strategy strategy :
+       {core::Strategy::kLoadBalanced, core::Strategy::kHybrid}) {
+    const core::ParallelResult sim =
+        RunMode(problem, strategy, plinda::ExecutionMode::kSimulated);
+    const core::ParallelResult dist =
+        RunMode(problem, strategy, plinda::ExecutionMode::kDistributed);
+    ExpectSameMining(sim, dist, core::StrategyName(strategy));
+  }
+}
+
+TEST(DistributedEquivalenceTest, NyuMinerCvTree) {
+  data::BenchmarkSpec spec = data::SpecByName("diabetes");
+  spec.rows = 300;
+  const classify::Dataset data = data::GenerateBenchmark(spec);
+  classify::NyuMinerOptions options;
+  options.cv_folds = 4;
+  options.seed = 123;
+  const classify::DecisionTree sequential =
+      classify::TrainNyuMinerCV(data, data.AllRows(), options, nullptr);
+
+  auto run = [&](plinda::ExecutionMode mode) {
+    classify::ParallelExecOptions exec;
+    exec.num_workers = 4;
+    exec.execution_mode = mode;
+    return classify::ParallelNyuMinerCV(data, data.AllRows(), options, exec);
+  };
+  const classify::ParallelTreeResult sim =
+      run(plinda::ExecutionMode::kSimulated);
+  const classify::ParallelTreeResult dist =
+      run(plinda::ExecutionMode::kDistributed);
+  ASSERT_TRUE(sim.ok);
+  ASSERT_TRUE(dist.ok) << "distributed run failed";
+  // The tree crossed the process boundary serialized and must come back
+  // byte-identical to the simulator's and the sequential trainer's.
+  EXPECT_EQ(dist.tree.Serialize(), sim.tree.Serialize());
+  EXPECT_EQ(dist.tree.Serialize(), sequential.Serialize());
+  EXPECT_EQ(dist.total_work, sim.total_work);
+  EXPECT_GE(dist.wall_time, 0.0);
+}
+
+TEST(DistributedEquivalenceTest, C45WindowedTree) {
+  data::BenchmarkSpec spec = data::SpecByName("german");
+  spec.rows = 300;
+  const classify::Dataset data = data::GenerateBenchmark(spec);
+  classify::C45Options options;
+  options.window_trials = 4;
+  options.seed = 7;
+
+  auto run = [&](plinda::ExecutionMode mode) {
+    classify::ParallelExecOptions exec;
+    exec.num_workers = 3;
+    exec.execution_mode = mode;
+    return classify::ParallelC45(data, data.AllRows(), options, exec);
+  };
+  const classify::ParallelTreeResult sim =
+      run(plinda::ExecutionMode::kSimulated);
+  const classify::ParallelTreeResult dist =
+      run(plinda::ExecutionMode::kDistributed);
+  ASSERT_TRUE(sim.ok);
+  ASSERT_TRUE(dist.ok) << "distributed run failed";
+  EXPECT_EQ(dist.tree.Serialize(), sim.tree.Serialize());
+  EXPECT_EQ(dist.total_work, sim.total_work);
+}
+
+}  // namespace
+}  // namespace fpdm

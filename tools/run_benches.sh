@@ -1,24 +1,57 @@
 #!/usr/bin/env bash
-# Builds the benchmark binaries and refreshes the committed benchmark
-# JSONs at the repo root:
+# Builds the benchmark binaries and refreshes the benchmark JSONs:
 #   BENCH_micro.json   — primitive micro-benchmarks (bench_micro)
-#   BENCH_scaling.json — kRealParallel wall-clock scaling vs worker count
-#                        (bench_scaling; the speedup curve is only visible
-#                        on a multicore host — check the hw_threads counter)
-# Usage: tools/run_benches.sh [build-dir]   (default: build)
+#   BENCH_scaling.json — kRealParallel / kDistributed wall-clock scaling vs
+#                        worker count (bench_scaling; the speedup curve is
+#                        only visible on a multicore host — check the
+#                        hw_threads counter)
+# Usage: tools/run_benches.sh [--quick] [build-dir] [out-dir]
+#   --quick    shrink per-benchmark min time for a CI smoke run; the numbers
+#              are noisy and only prove the binaries run end to end
+#   build-dir  CMake build directory (default: <repo>/build)
+#   out-dir    where the JSONs are written (default: the repo root, i.e. the
+#              committed files; CI points this at a temp dir)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+  shift
+fi
 build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root}"
 
 cmake -B "$build_dir" -S "$repo_root"
+
+# Benchmark numbers from a sanitized build are meaningless (TSan/ASan add
+# multi-x slowdowns) and would silently poison the committed JSONs, so
+# refuse the build dir outright instead of producing garbage.
+sanitize="$(grep -E '^FPDM_SANITIZE:' "$build_dir/CMakeCache.txt" \
+  | head -n1 | cut -d= -f2- || true)"
+if [[ -n "$sanitize" ]]; then
+  echo "error: $build_dir is configured with FPDM_SANITIZE=$sanitize;" >&2
+  echo "benchmark numbers from a sanitized build are not meaningful." >&2
+  echo "Use a plain build dir (or reconfigure with -DFPDM_SANITIZE=)." >&2
+  exit 1
+fi
+
 cmake --build "$build_dir" -j --target bench_micro bench_scaling
 
-"$build_dir/bench/bench_micro" \
-  --benchmark_out="$repo_root/BENCH_micro.json" \
-  --benchmark_out_format=json
-"$build_dir/bench/bench_scaling" \
-  --benchmark_out="$repo_root/BENCH_scaling.json" \
-  --benchmark_out_format=json
+mkdir -p "$out_dir"
+extra_args=()
+if [[ "$quick" == 1 ]]; then
+  extra_args+=(--benchmark_min_time=0.01)
+fi
 
-echo "wrote $repo_root/BENCH_micro.json and $repo_root/BENCH_scaling.json"
+"$build_dir/bench/bench_micro" \
+  --benchmark_out="$out_dir/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  "${extra_args[@]+"${extra_args[@]}"}"
+"$build_dir/bench/bench_scaling" \
+  --benchmark_out="$out_dir/BENCH_scaling.json" \
+  --benchmark_out_format=json \
+  "${extra_args[@]+"${extra_args[@]}"}"
+
+echo "wrote $out_dir/BENCH_micro.json and $out_dir/BENCH_scaling.json"
