@@ -120,12 +120,24 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
   if (options_.pid >= 0 && request.seq == 0) request.seq = ++next_seq_;
   request.pid = options_.pid;
   request.incarnation = options_.incarnation;
+  const std::string payload = EncodeRequest(request);
+  if (payload.size() > kMaxFramePayload) {
+    // The server's FrameReader would reject the frame as a corrupt stream;
+    // fail the call up front with a structured error instead.
+    last_error_ = "request exceeds the frame payload limit";
+    return CallStatus::kWireError;
+  }
   std::string framed;
-  AppendFrame(EncodeRequest(request), &framed);
-  const auto deadline =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(
-                             options_.reconnect_timeout_s));
+  AppendFrame(payload, &framed);
+  // The reconnect window is anchored at the moment the transport fails, not
+  // at call entry: a blocking in/rd legitimately sits parked server-side for
+  // arbitrarily long before a server crash drops the connection, and must
+  // still get its full window of reconnect attempts. Each failure of a live
+  // connection re-arms the window — the server was reachable until then.
+  const auto window = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.reconnect_timeout_s));
+  bool deadline_armed = false;
+  Clock::time_point deadline{};
   for (;;) {
     if (fd_ >= 0 || EnsureConnected()) {
       bool wire_error = false;
@@ -144,6 +156,11 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
       }
       CloseFd();
       if (wire_error) return CallStatus::kWireError;
+      deadline = Clock::now() + window;
+      deadline_armed = true;
+    } else if (!deadline_armed) {
+      deadline = Clock::now() + window;
+      deadline_armed = true;
     }
     if (Clock::now() >= deadline) {
       if (last_error_.empty()) last_error_ = "tuple-space server unreachable";

@@ -248,16 +248,33 @@ bool SpaceServer::TakeCheckpoint() {
   return true;
 }
 
-void SpaceServer::AppendLog(const LogEntry& entry) {
+bool SpaceServer::AppendLog(const LogEntry& entry) {
+  const std::string encoded = EncodeLogEntry(entry);
+  // An oversized entry would be skipped (and truncated away) by ReplayLog,
+  // silently un-doing an acknowledged op on recovery; requests are capped at
+  // kMaxFramePayload and entries encode smaller, so this cannot fire for
+  // request-derived entries — it guards the invariant, not a live path.
+  if (log_fd_ < 0 || encoded.size() > kMaxFramePayload) {
+    wal_failed_ = true;
+    stop_ = true;
+    return false;
+  }
   std::string frame;
-  AppendFrame(EncodeLogEntry(entry), &frame);
-  WriteAll(log_fd_, frame.data(), frame.size());
+  AppendFrame(encoded, &frame);
+  if (!WriteAll(log_fd_, frame.data(), frame.size())) {
+    // A partial append is a torn tail: recovery truncates it away, so the
+    // entry is NOT durable. Stop serving instead of acknowledging it.
+    wal_failed_ = true;
+    stop_ = true;
+    return false;
+  }
   // Deliberately no checkpoint here: callers apply the entry right after
   // appending it, and a checkpoint taken in between would snapshot the
   // pre-apply state while unlinking the log that holds the entry — losing
   // it from durable state. The serve loop checkpoints once every entry
   // appended so far has been applied.
   ++ops_since_checkpoint_;
+  return true;
 }
 
 bool SpaceServer::ReplayLog(const std::string& path) {
@@ -383,6 +400,15 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
 // --- request handling -----------------------------------------------------
 
 void SpaceServer::SendEncoded(Conn& conn, const std::string& encoded_reply) {
+  // Never emit a frame the peer's FrameReader would reject as corrupt: an
+  // oversized reply becomes a structured error the client can surface.
+  if (encoded_reply.size() > kMaxFramePayload) {
+    Reply reply;
+    reply.status = WireStatus::kError;
+    reply.error = "reply exceeds the frame payload limit";
+    AppendFrame(EncodeReply(reply), &conn.outbuf);
+    return;
+  }
   AppendFrame(encoded_reply, &conn.outbuf);
 }
 
@@ -423,7 +449,7 @@ void SpaceServer::SatisfyWaiters() {
       entry.seq = it->seq;
       entry.in_txn = in_txn;
       entry.tuple = t;
-      AppendLog(entry);
+      if (!AppendLog(entry)) return;  // WAL lost: leave the waiter parked
       SendEncoded(conn, ApplyEntry(entry));
     } else {
       Reply reply;
@@ -463,7 +489,7 @@ void SpaceServer::HandleHello(Conn& conn, const Request& request) {
   entry.kind = LogKind::kHello;
   entry.pid = request.pid;
   entry.incarnation = request.incarnation;
-  AppendLog(entry);
+  if (!AppendLog(entry)) return;
   SendEncoded(conn, ApplyEntry(entry));
   SatisfyWaiters();
 }
@@ -486,7 +512,7 @@ void SpaceServer::HandleIn(Conn& conn, const Request& request) {
       entry.seq = request.seq;
       entry.in_txn = in_txn;
       entry.tuple = std::move(t);
-      AppendLog(entry);
+      if (!AppendLog(entry)) return;
       SendEncoded(conn, ApplyEntry(entry));
     } else {
       Reply reply;
@@ -555,7 +581,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       entry.incarnation = conn.incarnation;
       entry.seq = request.seq;
       entry.tuple = request.tuple;
-      AppendLog(entry);
+      if (!AppendLog(entry)) break;
       SendEncoded(conn, ApplyEntry(entry));
       SatisfyWaiters();
       break;
@@ -573,7 +599,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       entry.pid = conn.pid;
       entry.incarnation = conn.incarnation;
       entry.seq = request.seq;
-      AppendLog(entry);
+      if (!AppendLog(entry)) break;
       SendEncoded(conn, ApplyEntry(entry));
       break;
     }
@@ -590,7 +616,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       entry.outs = request.outs;
       entry.has_continuation = request.has_continuation;
       entry.continuation = request.continuation;
-      AppendLog(entry);
+      if (!AppendLog(entry)) break;
       SendEncoded(conn, ApplyEntry(entry));
       SatisfyWaiters();
       break;
@@ -605,7 +631,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       entry.pid = conn.pid;
       entry.incarnation = conn.incarnation;
       entry.seq = request.seq;
-      AppendLog(entry);
+      if (!AppendLog(entry)) break;
       SendEncoded(conn, ApplyEntry(entry));
       SatisfyWaiters();
       break;
@@ -626,7 +652,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       entry.pid = conn.pid;
       entry.incarnation = conn.incarnation;
       entry.seq = request.seq;
-      AppendLog(entry);
+      if (!AppendLog(entry)) break;
       SendEncoded(conn, ApplyEntry(entry));
       break;
     }
@@ -644,7 +670,36 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
           reply.tuples.push_back(std::move(t));
         }
       }
-      SendReply(conn, reply);
+      const std::string encoded = EncodeReply(reply);
+      if (encoded.size() > kMaxFramePayload) {
+        // The peer's FrameReader would reject the reply as corrupt. Put the
+        // tuples back (per-shard FIFO order is preserved: the drain emitted
+        // each shard's tuples oldest-first) and fail with a structured
+        // error instead of durably draining a harvest nobody can receive.
+        for (Tuple& t : reply.tuples) PublishTuple(std::move(t));
+        SendError(conn, "takeall reply exceeds the frame payload limit");
+        break;
+      }
+      // The drain writes no log entry, so force a checkpoint before the
+      // ack: recovery must not resurrect harvested tuples. See the kTakeAll
+      // note in wire.h for the retry semantics around a crash here.
+      if (!TakeCheckpoint()) {
+        if (log_fd_ < 0) {
+          // The checkpoint committed (rename succeeded) but the fresh log
+          // could not be opened: the drain IS durable, so deliver it, then
+          // stop serving rather than silently drop future mutations.
+          SendEncoded(conn, encoded);
+          wal_failed_ = true;
+          stop_ = true;
+          break;
+        }
+        // Failed before the rename: durable state still holds the tuples;
+        // restore the in-memory space to match and report the failure.
+        for (Tuple& t : reply.tuples) PublishTuple(std::move(t));
+        SendError(conn, "takeall checkpoint failed");
+        break;
+      }
+      SendEncoded(conn, encoded);
       break;
     }
     case Op::kStats: {
@@ -699,31 +754,42 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
   }
 }
 
-void SpaceServer::DropConn(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  Conn& conn = it->second;
-  // A vanished client (no BYE) with an open transaction is a crash: roll
-  // the transaction back so its tuples become visible again — unless a
-  // newer incarnation already registered and reset the state.
-  if (!conn.saw_bye && conn.pid >= 0) {
-    auto client = clients_.find(conn.pid);
-    if (client != clients_.end() &&
-        client->second.incarnation == conn.incarnation &&
-        client->second.txn_open) {
-      LogEntry entry;
-      entry.kind = LogKind::kAbort;
-      entry.pid = conn.pid;
-      entry.incarnation = conn.incarnation;
-      entry.seq = 0;  // server-initiated
-      AppendLog(entry);
-      ApplyEntry(entry);
-      SatisfyWaiters();
-    }
+void SpaceServer::DropConns(const std::vector<int>& fds) {
+  // Phase 1: detach every dying connection — erase it from conns_, purge
+  // its parked waiters, close the socket — BEFORE any crash-abort runs.
+  // Tuples republished by an abort must only ever be matched by waiters of
+  // live connections; a dead client's waiter consuming one would log a
+  // durable removal whose reply goes to a closed socket, losing the tuple
+  // to every live process.
+  std::vector<Conn> dropped;
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    dropped.push_back(std::move(it->second));
+    conns_.erase(it);
+    waiters_.remove_if([fd](const Waiter& w) { return w.fd == fd; });
+    ::close(fd);
   }
-  waiters_.remove_if([fd](const Waiter& w) { return w.fd == fd; });
-  ::close(fd);
-  conns_.erase(it);
+  // Phase 2: a vanished client (no BYE) with an open transaction is a
+  // crash: roll the transaction back so its tuples become visible again —
+  // unless a newer incarnation already registered and reset the state.
+  for (const Conn& conn : dropped) {
+    if (conn.saw_bye || conn.pid < 0) continue;
+    auto client = clients_.find(conn.pid);
+    if (client == clients_.end() ||
+        client->second.incarnation != conn.incarnation ||
+        !client->second.txn_open) {
+      continue;
+    }
+    LogEntry entry;
+    entry.kind = LogKind::kAbort;
+    entry.pid = conn.pid;
+    entry.incarnation = conn.incarnation;
+    entry.seq = 0;  // server-initiated
+    if (!AppendLog(entry)) return;
+    ApplyEntry(entry);
+    SatisfyWaiters();
+  }
 }
 
 // --- the serve loop -------------------------------------------------------
@@ -827,15 +893,23 @@ int SpaceServer::Serve() {
         to_drop.push_back(fd);
       }
     }
-    for (int fd : to_drop) DropConn(fd);
+    DropConns(to_drop);
     // Checkpoint at a quiescent point: every logged entry is applied, so
     // the snapshot and the fresh log form a consistent cut.
-    if (ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
-      TakeCheckpoint();
+    if (!stop_ && ops_since_checkpoint_ >= options_.checkpoint_every_ops &&
+        !TakeCheckpoint() && log_fd_ < 0) {
+      // The rename committed but the fresh log would not open: any further
+      // mutation would be acknowledged yet lost from durable state. Stop
+      // serving. (A failure before the rename keeps the old checkpoint +
+      // log pair and the open log fd, so it is safe to retry next pass.)
+      wal_failed_ = true;
+      stop_ = true;
     }
   }
 
-  // Best-effort blocking flush of pending replies (the SHUTDOWN ack).
+  // Best-effort blocking flush of pending replies (the SHUTDOWN ack). Safe
+  // even on a WAL failure: every buffered reply was durably logged before
+  // it was encoded, so nothing unlogged can be acknowledged here.
   for (auto& [fd, conn] : conns_) {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
@@ -848,7 +922,7 @@ int SpaceServer::Serve() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
-  return 0;
+  return wal_failed_ ? 1 : 0;
 }
 
 }  // namespace fpdm::plinda::net

@@ -51,7 +51,9 @@ class SpaceServer {
 
   /// Recovers state, binds the socket, and serves until a SHUTDOWN request.
   /// Returns 0 on clean shutdown, nonzero on a fatal setup error (bad
-  /// state_dir, unusable socket path, corrupt checkpoint).
+  /// state_dir, unusable socket path, corrupt checkpoint) or when the
+  /// write-ahead log stops accepting appends mid-run — the server exits
+  /// rather than acknowledge mutations it cannot make durable.
   int Serve();
 
  private:
@@ -86,7 +88,12 @@ class SpaceServer {
   bool LoadSnapshot(const std::string& path);
   std::string EncodeSnapshot() const;
   bool TakeCheckpoint();
-  void AppendLog(const LogEntry& entry);
+  /// Appends the entry to the write-ahead log. Returns false — and stops the
+  /// server (wal_failed_) — when the entry cannot be made durable (log fd
+  /// lost, short write, oversized entry): callers must not apply or
+  /// acknowledge the mutation in that case, or a recovered server would
+  /// disagree with what clients were told.
+  bool AppendLog(const LogEntry& entry);
   bool ReplayLog(const std::string& path);
 
   /// Applies a logged mutation to the space / client tables and returns the
@@ -102,7 +109,11 @@ class SpaceServer {
   void SendReply(Conn& conn, const Reply& reply);
   void SendEncoded(Conn& conn, const std::string& encoded_reply);
   void SendError(Conn& conn, const std::string& detail);
-  void DropConn(int fd);  // EOF / error: crash-abort the client's txn
+  /// Drops every connection in `fds` (EOF / error), then crash-aborts the
+  /// open transactions of the vanished clients. Two phases on purpose: all
+  /// dying connections and their parked waiters leave the tables before any
+  /// abort republishes tuples, so a dead client can never consume them.
+  void DropConns(const std::vector<int>& fds);
 
   // --- sharded space -----------------------------------------------------
   size_t ShardIndexFor(const BucketKeyView& key) const;
@@ -123,6 +134,7 @@ class SpaceServer {
   int ops_since_checkpoint_ = 0;
   bool cancelled_ = false;
   bool stop_ = false;
+  bool wal_failed_ = false;  // durability lost: stop serving, exit nonzero
 
   uint64_t publish_epoch_ = 0;
   uint64_t tuple_ops_ = 0;

@@ -22,7 +22,13 @@ namespace fpdm::plinda::net {
 /// from a corrupt stream before allocating.
 inline constexpr size_t kMaxFramePayload = 16u << 20;
 
-/// Appends the frame header + payload to `out`.
+/// Appends the frame header + payload to `out`. Deliberately does not cap
+/// the payload itself (tests feed oversized frames to FrameReader through
+/// it); every sender enforces kMaxFramePayload before framing — the client
+/// fails an oversized request with a structured error, and the server never
+/// emits an oversized reply (SendEncoded substitutes a WireStatus::kError
+/// reply) — so a frame the receiving FrameReader would reject as a corrupt
+/// stream is never put on the wire.
 void AppendFrame(std::string_view payload, std::string* out);
 
 // --- low-level byte codec -------------------------------------------------
@@ -83,7 +89,15 @@ enum class Op : uint8_t {
   kXAbort = 6,  // roll back: restore tuples removed inside the transaction
   kXRecover = 7,// fetch + consume this pid's continuation, if any
   kCount = 8,   // count matching tuples
-  kTakeAll = 9, // drain every tuple in FIFO order (end-of-run harvest)
+  // Drains every tuple in FIFO order (end-of-run harvest). Durable: the
+  // server forces a checkpoint before acknowledging, so recovery never
+  // resurrects harvested tuples. Not deduplicated (the harvesting control
+  // connection is unsequenced): if the server crashes after committing the
+  // checkpoint but before the reply arrives, a retry returns only tuples
+  // published since — at-most-once delivery. The runtime harvests exactly
+  // once, after all workers have exited and fault injection has ended, so
+  // that window is outside the fault model.
+  kTakeAll = 9,
   kStats = 10,  // server counters
   kStatus = 11, // parked-waiter snapshot for deadlock detection
   kCancel = 12, // cancel the run: parked + future blocking ops fail

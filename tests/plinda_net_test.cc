@@ -5,8 +5,13 @@
 // crash-recovery from checkpoint + log, and the kDistributed runtime
 // backend end to end.
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -341,6 +346,69 @@ class NetIntegrationTest : public ::testing::Test {
 
 using CallStatus = RemoteTupleSpace::CallStatus;
 
+// Minimal raw-socket client for protocol sequences RemoteTupleSpace cannot
+// drive — e.g. abandoning a connection while a blocking in is still parked
+// server-side (RemoteTupleSpace::In would sit waiting for the reply).
+class RawClient {
+ public:
+  explicit RawClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+    }
+  }
+  ~RawClient() { Close(); }
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// Abrupt disconnect with no BYE, as a SIGKILLed worker would leave.
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool Send(const Request& request) {
+    std::string framed;
+    AppendFrame(EncodeRequest(request), &framed);
+    size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t w = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (w < 0) return false;
+      off += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool Receive(Reply* reply) {
+    std::string payload;
+    char buf[4096];
+    for (;;) {
+      const FrameReader::Result result = reader_.Next(&payload);
+      if (result == FrameReader::Result::kFrame) break;
+      if (result == FrameReader::Result::kError) return false;
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) return false;
+      reader_.Feed(buf, static_cast<size_t>(n));
+    }
+    std::string error;
+    return DecodeReply(payload, reply, &error);
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
 TEST_F(NetIntegrationTest, BasicOpsAndFifoOrder) {
   RemoteTupleSpace client(ClientOptions(1));
   ASSERT_TRUE(client.Connect());
@@ -555,6 +623,159 @@ TEST_F(NetIntegrationTest, ServerCrashRecoveryFromCheckpointAndLog) {
   ASSERT_EQ(client.Stats(&stats), CallStatus::kOk);
   EXPECT_GT(stats.checkpoints + stats.ops_replayed, 0u);
   client.Bye();
+}
+
+TEST_F(NetIntegrationTest, DeadClientsParkedWaiterCannotConsumeItsCrashAbort) {
+  RemoteTupleSpace ctl(ClientOptions(-1));
+  ASSERT_TRUE(ctl.Connect());
+  ASSERT_EQ(ctl.Out(MakeTuple("job", 1)), CallStatus::kOk);
+
+  // Raw protocol: register, open a transaction, remove the tuple inside it,
+  // park a blocking in on the same template, then vanish without BYE. The
+  // crash-abort republishes the tuple; the dead client's own parked waiter
+  // must not consume it (that would log a durable removal whose reply goes
+  // to a closed socket — the tuple would be lost to every live process).
+  RawClient victim(sopts_.socket_path);
+  ASSERT_TRUE(victim.ok());
+  Reply reply;
+  Request hello;
+  hello.op = Op::kHello;
+  hello.pid = 2;
+  ASSERT_TRUE(victim.Send(hello));
+  ASSERT_TRUE(victim.Receive(&reply));
+  Request xstart;
+  xstart.op = Op::kXStart;
+  xstart.seq = 1;
+  ASSERT_TRUE(victim.Send(xstart));
+  ASSERT_TRUE(victim.Receive(&reply));
+  Request take;
+  take.op = Op::kIn;
+  take.seq = 2;
+  take.flags = kInRemove;
+  take.tmpl = MakeTemplate(A("job"), F(ValueType::kInt));
+  ASSERT_TRUE(victim.Send(take));
+  ASSERT_TRUE(victim.Receive(&reply));
+  ASSERT_TRUE(reply.has_tuple);
+  Request park;
+  park.op = Op::kIn;
+  park.seq = 3;
+  park.flags = kInRemove | kInBlocking;
+  park.tmpl = MakeTemplate(A("job"), F(ValueType::kInt));
+  ASSERT_TRUE(victim.Send(park));
+  // No reply arrives: the in is parked. Give the server a moment to park
+  // it, then die abruptly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  victim.Close();
+
+  uint64_t count = 0;
+  for (int i = 0; i < 200 && count == 0; ++i) {
+    ASSERT_EQ(ctl.Count(MakeTemplate(A("job"), F(ValueType::kInt)), &count),
+              CallStatus::kOk);
+    if (count == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_EQ(count, 1u);
+  ctl.Bye();
+}
+
+TEST_F(NetIntegrationTest, ParkedCallOutlivingReconnectWindowSurvivesCrash) {
+  // A blocking in may sit parked server-side far longer than the reconnect
+  // window before the server crashes. The window must be anchored at the
+  // transport failure, not at call entry — otherwise the call returns
+  // kUnreachable without a single reconnect attempt.
+  const pid_t child = ForkChild([&] {
+    RemoteSpaceOptions opts = ClientOptions(2);
+    opts.reconnect_timeout_s = 1.5;
+    RemoteTupleSpace worker(opts);
+    if (!worker.Connect()) return 10;
+    Tuple tuple;
+    if (worker.In(MakeTemplate(A("late"), F(ValueType::kInt)),
+                  /*blocking=*/true, /*remove=*/true,
+                  &tuple) != CallStatus::kOk) {
+      return 11;
+    }
+    return GetInt(tuple, 1) == 9 ? 0 : 12;
+  });
+  ASSERT_GT(child, 0);
+
+  // Let the child stay parked well past its 1.5s reconnect window, then
+  // SIGKILL the server and restart it on the same state directory.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+  StopServer();
+  StartServer();
+
+  RemoteTupleSpace ctl(ClientOptions(-1));
+  ASSERT_TRUE(ctl.Connect());
+  ASSERT_EQ(ctl.Out(MakeTuple("late", 9)), CallStatus::kOk);
+  ExitInfo info;
+  ASSERT_TRUE(WaitForExit(child, 15.0, &info));
+  EXPECT_TRUE(info.exited);
+  EXPECT_EQ(info.exit_code, 0);
+  ctl.Bye();
+}
+
+TEST_F(NetIntegrationTest, TakeAllDrainSurvivesServerCrash) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(client.Out(MakeTuple("res", i)), CallStatus::kOk);
+  }
+  RemoteTupleSpace ctl(ClientOptions(-1));
+  ASSERT_TRUE(ctl.Connect());
+  std::vector<Tuple> drained;
+  ASSERT_EQ(ctl.TakeAll(&drained), CallStatus::kOk);
+  EXPECT_EQ(drained.size(), 6u);
+
+  // SIGKILL + restart on the same state directory: the acknowledged drain
+  // must be durable — recovery must not resurrect harvested tuples.
+  StopServer();
+  StartServer();
+
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(A("res"), F(ValueType::kInt)), &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 0u);
+  std::vector<Tuple> again;
+  ASSERT_EQ(ctl.TakeAll(&again), CallStatus::kOk);
+  EXPECT_TRUE(again.empty());
+  client.Bye();
+  ctl.Bye();
+}
+
+TEST_F(NetIntegrationTest, OversizedTrafficFailsStructurallyNotAsCorruption) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  // A request over the frame cap must fail client-side with a structured
+  // error, never reach the wire as what the server would treat as a
+  // corrupt stream.
+  const std::string huge(kMaxFramePayload + 1, 'x');
+  EXPECT_EQ(client.Out(MakeTuple("big", huge)), CallStatus::kWireError);
+  EXPECT_NE(client.last_error().find("frame payload limit"),
+            std::string::npos)
+      << client.last_error();
+
+  // Tuples that fit individually but whose combined TAKEALL reply exceeds
+  // the cap: the server must keep the tuples and answer a structured error
+  // instead of emitting a frame the client's FrameReader rejects.
+  const std::string chunk(6u << 20, 'y');
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(client.Out(MakeTuple("blob", i, chunk)), CallStatus::kOk);
+  }
+  RemoteTupleSpace ctl(ClientOptions(-1));
+  ASSERT_TRUE(ctl.Connect());
+  std::vector<Tuple> drained;
+  EXPECT_EQ(ctl.TakeAll(&drained), CallStatus::kWireError);
+  EXPECT_NE(ctl.last_error().find("frame payload limit"), std::string::npos)
+      << ctl.last_error();
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(A("blob"), F(ValueType::kInt),
+                                      F(ValueType::kString)),
+                         &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 3u);
+  client.Bye();
+  ctl.Bye();
 }
 
 // ---------------------------------------------------------------------------
