@@ -1,14 +1,21 @@
 // Micro-benchmarks (google-benchmark) of the performance-critical
-// primitives: tuple-space matching, GST construction, the motif-matching
-// DP, the optimal sub-K-ary split DP, one Apriori pass, and tree edit
-// distance with cuts.
+// primitives: tuple-space matching, the wire protocol (unbatched vs
+// batched round trips against a live server process), GST construction,
+// the motif-matching DP, the optimal sub-K-ary split DP, one Apriori pass,
+// and tree edit distance with cuts.
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
 
 #include "arm/apriori.h"
 #include "arm/problem.h"
 #include "classify/split.h"
 #include "data/benchmarks.h"
+#include "plinda/net/client.h"
+#include "plinda/net/server.h"
+#include "plinda/net/supervisor.h"
 #include "plinda/tuple_space.h"
 #include "seqmine/generator.h"
 #include "seqmine/motif.h"
@@ -47,6 +54,106 @@ void BM_TupleSpaceMatchMiss(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TupleSpaceMatchMiss);
+
+// Wire-protocol round-trip amortization: 256 outs + 256 takes per
+// iteration against a live tuple-space server process over a Unix socket.
+// The unbatched variant pays one RPC round trip per operation (512 per
+// iteration, the PR-3 behavior); the batched variant coalesces the same
+// 512 sub-ops into two kBatch frames flushed in one round trip each. The
+// items/s ratio between the two rows is the headline batching win.
+class WireBench {
+ public:
+  WireBench() {
+    dir_ = plinda::net::MakeStateDir();
+    sopts_.socket_path = dir_ + "/space.sock";
+    sopts_.state_dir = dir_ + "/state";
+    server_pid_ = plinda::net::ForkServerProcess(sopts_);
+    plinda::net::WaitForSocket(sopts_.socket_path, 10.0);
+    plinda::net::RemoteSpaceOptions copts;
+    copts.socket_path = sopts_.socket_path;
+    copts.pid = 1;
+    client_ = std::make_unique<plinda::net::RemoteTupleSpace>(copts);
+    ok_ = client_->Connect();
+  }
+
+  ~WireBench() {
+    if (client_ != nullptr) client_->Bye();
+    if (server_pid_ > 0) {
+      plinda::net::KillProcess(server_pid_);
+      plinda::net::ExitInfo info;
+      plinda::net::WaitForExit(server_pid_, 5.0, &info);
+    }
+    plinda::net::RemoveTree(dir_);
+  }
+
+  bool ok() const { return ok_; }
+  plinda::net::RemoteTupleSpace& client() { return *client_; }
+
+  void FillCounters(benchmark::State& state) {
+    state.counters["rpc_round_trips"] =
+        static_cast<double>(client_->rpc_round_trips());
+    state.counters["bytes_on_wire"] = static_cast<double>(
+        client_->bytes_sent() + client_->bytes_received());
+    state.counters["batch_frames"] =
+        static_cast<double>(client_->batch_frames_sent());
+  }
+
+ private:
+  std::string dir_;
+  plinda::net::SpaceServerOptions sopts_;
+  pid_t server_pid_ = -1;
+  std::unique_ptr<plinda::net::RemoteTupleSpace> client_;
+  bool ok_ = false;
+};
+
+constexpr int kWireOps = 256;
+
+void BM_WireUnbatchedOutIn(benchmark::State& state) {
+  using namespace plinda;
+  WireBench bench;
+  if (!bench.ok()) {
+    state.SkipWithError("server connect failed");
+    return;
+  }
+  const Template query = MakeTemplate(A("w"), F(ValueType::kInt));
+  for (auto _ : state) {
+    for (int i = 0; i < kWireOps; ++i) {
+      bench.client().Out(MakeTuple("w", i));
+    }
+    Tuple t;
+    for (int i = 0; i < kWireOps; ++i) {
+      bench.client().In(query, /*blocking=*/false, /*remove=*/true, &t);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kWireOps * 2);
+  bench.FillCounters(state);
+}
+BENCHMARK(BM_WireUnbatchedOutIn)->UseRealTime();
+
+void BM_WireBatchedOutIn(benchmark::State& state) {
+  using namespace plinda;
+  WireBench bench;
+  if (!bench.ok()) {
+    state.SkipWithError("server connect failed");
+    return;
+  }
+  const Template query = MakeTemplate(A("w"), F(ValueType::kInt));
+  for (auto _ : state) {
+    for (int i = 0; i < kWireOps; ++i) {
+      bench.client().BatchOut(MakeTuple("w", i));
+    }
+    for (int i = 0; i < kWireOps; ++i) {
+      bench.client().BatchIn(query, /*remove=*/true);
+    }
+    if (bench.client().Flush() != net::RemoteTupleSpace::CallStatus::kOk) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kWireOps * 2);
+  bench.FillCounters(state);
+}
+BENCHMARK(BM_WireBatchedOutIn)->UseRealTime();
 
 void BM_SuffixTreeBuild(benchmark::State& state) {
   seqmine::ProteinSetConfig config = seqmine::CyclinsLikeConfig();

@@ -110,18 +110,40 @@ BENCHMARK(BM_ScalingSeqmine)
 // against the in-process sharded space of BM_ScalingApriori. Iterations are
 // pinned: each one forks a server and a full worker fleet, so letting the
 // harness auto-scale the count would make the bench needlessly slow.
-void BM_ScalingDistributedApriori(benchmark::State& state) {
+arm::ItemsetProblem DistributedAprioriProblem() {
   arm::BasketConfig config;
   config.num_transactions = 600;
   config.num_items = 30;
   config.avg_transaction_size = 8;
   config.patterns = {{{1, 4, 7}, 0.25}, {{2, 5, 9, 12}, 0.2}, {{3, 8}, 0.3}};
-  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
-                                    /*min_support=*/40);
+  return arm::ItemsetProblem(arm::GenerateBaskets(config),
+                             /*min_support=*/40);
+}
+
+// Wire-traffic counters of a distributed run: round trips and bytes summed
+// across every worker plus the supervisor's control connection, kBatch
+// frames applied server-side, and the mean sub-ops those frames carried.
+// rpc_calls is the number batching exists to shrink — compare the batched
+// and unbatched rows at the same worker count.
+void FillWireCounters(benchmark::State& state,
+                      const plinda::RuntimeStats& stats) {
+  state.counters["rpc_calls"] = static_cast<double>(stats.rpc_calls);
+  state.counters["bytes_on_wire"] = static_cast<double>(stats.bytes_on_wire);
+  state.counters["batch_frames"] = static_cast<double>(stats.batch_frames);
+  state.counters["tuples_per_batch"] =
+      stats.batch_frames == 0
+          ? 0.0
+          : static_cast<double>(stats.batched_tuple_ops) /
+                static_cast<double>(stats.batch_frames);
+}
+
+void RunScalingDistributedApriori(benchmark::State& state, bool batching) {
+  const arm::ItemsetProblem problem = DistributedAprioriProblem();
   core::ParallelOptions options;
   options.strategy = core::Strategy::kLoadBalanced;
   options.execution_mode = plinda::ExecutionMode::kDistributed;
   options.num_workers = static_cast<int>(state.range(0));
+  options.runtime.distributed_batching = batching;
   core::ParallelResult result;
   for (auto _ : state) {
     result = core::MineParallel(problem, options);
@@ -130,12 +152,32 @@ void BM_ScalingDistributedApriori(benchmark::State& state) {
   }
   FillCounters(state, result.wall_time, result.stats.tuple_ops,
                result.stats.cross_shard_ops);
+  FillWireCounters(state, result.stats);
   state.counters["patterns_tested"] =
       static_cast<double>(result.mining.patterns_tested);
   state.counters["server_checkpoints"] =
       static_cast<double>(result.stats.server_checkpoints);
 }
+
+void BM_ScalingDistributedApriori(benchmark::State& state) {
+  RunScalingDistributedApriori(state, /*batching=*/true);
+}
 BENCHMARK(BM_ScalingDistributedApriori)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The identical workload with write coalescing and frame deferral off —
+// every call is its own round trip, as before the batching layer. The
+// rpc_calls ratio against BM_ScalingDistributedApriori at the same worker
+// count is the protocol-level win, decoupled from wall-clock noise.
+void BM_ScalingDistributedAprioriUnbatched(benchmark::State& state) {
+  RunScalingDistributedApriori(state, /*batching=*/false);
+}
+BENCHMARK(BM_ScalingDistributedAprioriUnbatched)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -1,10 +1,13 @@
 #include "plinda/net/client.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -14,6 +17,16 @@ namespace fpdm::plinda::net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Seal the open coalescing batch once it would encode roughly this big, so
+/// a single kBatch frame stays far below kMaxFramePayload even for tuples
+/// carrying serialized trees.
+constexpr size_t kMaxBatchBytes = 2u << 20;
+constexpr size_t kMaxBatchOps = 1024;
+/// Flush inline once this many frames are queued: the server's per-client
+/// dedup window (kDedupWindow = 16) must cover every frame a reconnect can
+/// resend, so the queue depth stays well under it.
+constexpr size_t kMaxQueuedFrames = 8;
 
 bool WriteAll(int fd, const char* data, size_t n) {
   size_t off = 0;
@@ -31,6 +44,66 @@ bool WriteAll(int fd, const char* data, size_t n) {
   return true;
 }
 
+/// Gathered write of every iovec, one syscall per kernel acceptance. The
+/// single-writev flush is what makes a multi-frame pipeline cost the same
+/// number of syscalls as one unbatched request.
+bool WritevAll(int fd, std::vector<iovec> iov, uint64_t* bytes_sent) {
+  size_t idx = 0;
+  size_t off = 0;
+  while (idx < iov.size()) {
+    const iovec save = iov[idx];
+    iov[idx].iov_base = static_cast<char*>(save.iov_base) + off;
+    iov[idx].iov_len = save.iov_len - off;
+    msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov.data() + idx;
+    msg.msg_iovlen = iov.size() - idx;
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    iov[idx] = save;
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (bytes_sent != nullptr) *bytes_sent += static_cast<uint64_t>(w);
+    size_t n = static_cast<size_t>(w);
+    while (idx < iov.size()) {
+      const size_t remaining = iov[idx].iov_len - off;
+      if (n < remaining) {
+        off += n;
+        break;
+      }
+      n -= remaining;
+      off = 0;
+      ++idx;
+    }
+  }
+  return true;
+}
+
+/// Rough encoded size of a tuple, for the batch-sealing threshold.
+size_t RoughTupleBytes(const Tuple& tuple) {
+  size_t n = 16;
+  for (const Value& v : tuple.fields) {
+    n += 28;
+    if (const std::string* s = std::get_if<std::string>(&v)) n += s->size();
+  }
+  return n;
+}
+
+RemoteTupleSpace::CallStatus MapWireStatus(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return RemoteTupleSpace::CallStatus::kOk;
+    case WireStatus::kNotFound:
+      return RemoteTupleSpace::CallStatus::kNotFound;
+    case WireStatus::kCancelled:
+      return RemoteTupleSpace::CallStatus::kCancelled;
+    case WireStatus::kError:
+      return RemoteTupleSpace::CallStatus::kWireError;
+  }
+  return RemoteTupleSpace::CallStatus::kWireError;
+}
+
 }  // namespace
 
 RemoteTupleSpace::RemoteTupleSpace(RemoteSpaceOptions options)
@@ -43,9 +116,16 @@ void RemoteTupleSpace::CloseFd() {
     ::close(fd_);
     fd_ = -1;
   }
+  reader_ = FrameReader{};
 }
 
 void RemoteTupleSpace::Abandon() { CloseFd(); }
+
+void RemoteTupleSpace::BackoffSleep() {
+  if (backoff_s_ <= 0) backoff_s_ = options_.reconnect_interval_s;
+  std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s_));
+  backoff_s_ = std::min(backoff_s_ * 2, kBackoffCap);
+}
 
 bool RemoteTupleSpace::EnsureConnected() {
   if (fd_ >= 0) return true;
@@ -65,7 +145,11 @@ bool RemoteTupleSpace::EnsureConnected() {
     return false;
   }
   fd_ = fd;
-  if (options_.pid < 0) return true;  // control connections skip HELLO
+  reader_ = FrameReader{};
+  if (options_.pid < 0) {  // control connections skip HELLO
+    backoff_s_ = 0;
+    return true;
+  }
   Request hello;
   hello.op = Op::kHello;
   hello.pid = options_.pid;
@@ -74,31 +158,30 @@ bool RemoteTupleSpace::EnsureConnected() {
   AppendFrame(EncodeRequest(hello), &framed);
   Reply reply;
   bool wire_error = false;
-  if (!SendAndReceiveOnce(framed, &reply, &wire_error) ||
-      reply.status != WireStatus::kOk) {
+  if (!WriteAll(fd_, framed.data(), framed.size()) ||
+      !ReadReply(&reply, &wire_error) || reply.status != WireStatus::kOk) {
     CloseFd();
     return false;
   }
+  backoff_s_ = 0;
   return true;
 }
 
-bool RemoteTupleSpace::SendAndReceiveOnce(const std::string& framed,
-                                          Reply* reply, bool* wire_error) {
-  if (!WriteAll(fd_, framed.data(), framed.size())) return false;
-  FrameReader reader;
+bool RemoteTupleSpace::ReadReply(Reply* reply, bool* wire_error) {
   std::string payload;
   char buf[65536];
   for (;;) {
-    const FrameReader::Result result = reader.Next(&payload);
+    const FrameReader::Result result = reader_.Next(&payload);
     if (result == FrameReader::Result::kFrame) break;
     if (result == FrameReader::Result::kError) {
-      last_error_ = reader.error();
+      last_error_ = reader_.error();
       *wire_error = true;
       return false;
     }
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n > 0) {
-      reader.Feed(buf, static_cast<size_t>(n));
+      reader_.Feed(buf, static_cast<size_t>(n));
+      bytes_received_ += static_cast<uint64_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -113,10 +196,9 @@ bool RemoteTupleSpace::SendAndReceiveOnce(const std::string& framed,
   return true;
 }
 
-RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
-                                                    Reply* reply) {
-  // Sequence every request of a registered client exactly once: retries
-  // resend the same number, which is what the server dedups on.
+bool RemoteTupleSpace::QueueFrame(Request& request, Reply* capture) {
+  // Sequence every request of a registered client exactly once: resends
+  // reuse the same number, which is what the server dedups on.
   if (options_.pid >= 0 && request.seq == 0) request.seq = ++next_seq_;
   request.pid = options_.pid;
   request.incarnation = options_.incarnation;
@@ -125,10 +207,64 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
     // The server's FrameReader would reject the frame as a corrupt stream;
     // fail the call up front with a structured error instead.
     last_error_ = "request exceeds the frame payload limit";
-    return CallStatus::kWireError;
+    if (capture == nullptr && deferred_error_ == CallStatus::kOk) {
+      deferred_error_ = CallStatus::kWireError;
+    }
+    return false;
   }
-  std::string framed;
-  AppendFrame(payload, &framed);
+  PendingFrame frame;
+  AppendFrame(payload, &frame.framed);
+  frame.capture = capture;
+  queued_.push_back(std::move(frame));
+  return true;
+}
+
+void RemoteTupleSpace::SealBatch(Reply* capture) {
+  if (batch_.empty()) return;
+  Request request;
+  request.op = Op::kBatch;
+  request.batch = std::move(batch_);
+  batch_.clear();
+  batch_bytes_ = 0;
+  batch_frames_sent_ += 1;
+  batched_ops_sent_ += request.batch.size();
+  QueueFrame(request, capture);
+}
+
+void RemoteTupleSpace::DrainStatus() {
+  if (!status_inflight_) return;
+  status_inflight_ = false;
+  if (fd_ < 0) return;
+  // kStatus is read-only and unlogged, so discarding the reply (or losing
+  // it to a dead connection) costs nothing; the caller just re-begins.
+  Reply reply;
+  bool wire_error = false;
+  if (!ReadReply(&reply, &wire_error)) CloseFd();
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::SyncFlush(
+    Request* sync, Reply* sync_reply, std::vector<BatchItem>* items) {
+  // A sticky deferred failure poisons the client: surface it before putting
+  // anything else on the wire, exactly where the unbatched protocol would
+  // have surfaced the failed call itself.
+  if (deferred_error_ != CallStatus::kOk) {
+    queued_.clear();
+    batch_.clear();
+    batch_bytes_ = 0;
+    return deferred_error_;
+  }
+  DrainStatus();
+  Reply batch_reply;
+  SealBatch(items != nullptr ? &batch_reply : nullptr);
+  Reply local;
+  if (sync != nullptr) {
+    if (!QueueFrame(*sync, sync_reply != nullptr ? sync_reply : &local)) {
+      return CallStatus::kWireError;
+    }
+  }
+  if (queued_.empty()) return CallStatus::kOk;
+
+  CallStatus captured = CallStatus::kOk;
   // The reconnect window is anchored at the moment the transport fails, not
   // at call entry: a blocking in/rd legitimately sits parked server-side for
   // arbitrarily long before a server crash drops the connection, and must
@@ -140,22 +276,56 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
   Clock::time_point deadline{};
   for (;;) {
     if (fd_ >= 0 || EnsureConnected()) {
-      bool wire_error = false;
-      if (SendAndReceiveOnce(framed, reply, &wire_error)) {
-        switch (reply->status) {
-          case WireStatus::kOk:
-            return CallStatus::kOk;
-          case WireStatus::kNotFound:
-            return CallStatus::kNotFound;
-          case WireStatus::kCancelled:
-            return CallStatus::kCancelled;
-          case WireStatus::kError:
-            last_error_ = reply->error;
+      // One gathered write for every unreplied frame, then one reply per
+      // frame in order. Replied frames leave the queue immediately, so a
+      // mid-pipeline transport failure resends exactly the unreplied tail
+      // (same seqs — the server's dedup window absorbs any overlap).
+      std::vector<iovec> iov;
+      iov.reserve(queued_.size());
+      for (PendingFrame& f : queued_) {
+        iov.push_back(iovec{f.framed.data(), f.framed.size()});
+      }
+      bool transport_ok = WritevAll(fd_, std::move(iov), &bytes_sent_);
+      if (transport_ok) frames_sent_ += queued_.size();
+      while (transport_ok && !queued_.empty()) {
+        Reply reply;
+        bool wire_error = false;
+        if (!ReadReply(&reply, &wire_error)) {
+          if (wire_error) {
+            queued_.clear();
             return CallStatus::kWireError;
+          }
+          transport_ok = false;
+          break;
+        }
+        PendingFrame frame = std::move(queued_.front());
+        queued_.pop_front();
+        if (frame.capture == nullptr) {
+          // Deferred frame: fold a failure into the sticky error. A
+          // kNotFound here is a valid miss (batched inp/rdp), not a fault.
+          if (reply.status == WireStatus::kCancelled &&
+              deferred_error_ == CallStatus::kOk) {
+            deferred_error_ = CallStatus::kCancelled;
+          } else if (reply.status == WireStatus::kError) {
+            if (deferred_error_ == CallStatus::kOk) {
+              deferred_error_ = CallStatus::kWireError;
+            }
+            last_error_ = reply.error;
+          }
+        } else {
+          if (reply.status == WireStatus::kError) last_error_ = reply.error;
+          const CallStatus status = MapWireStatus(reply.status);
+          if (captured == CallStatus::kOk) captured = status;
+          *frame.capture = std::move(reply);
         }
       }
+      if (queued_.empty()) {
+        ++rpc_round_trips_;
+        if (items != nullptr) *items = std::move(batch_reply.items);
+        if (deferred_error_ != CallStatus::kOk) return deferred_error_;
+        return captured;
+      }
       CloseFd();
-      if (wire_error) return CallStatus::kWireError;
       deadline = Clock::now() + window;
       deadline_armed = true;
     } else if (!deadline_armed) {
@@ -163,12 +333,17 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
       deadline_armed = true;
     }
     if (Clock::now() >= deadline) {
+      queued_.clear();  // captures would dangle past this call
       if (last_error_.empty()) last_error_ = "tuple-space server unreachable";
       return CallStatus::kUnreachable;
     }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(options_.reconnect_interval_s));
+    BackoffSleep();
   }
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Call(Request& request,
+                                                    Reply* reply) {
+  return SyncFlush(&request, reply);
 }
 
 bool RemoteTupleSpace::Connect() {
@@ -178,13 +353,14 @@ bool RemoteTupleSpace::Connect() {
                              options_.reconnect_timeout_s));
   while (!EnsureConnected()) {
     if (Clock::now() >= deadline) return false;
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(options_.reconnect_interval_s));
+    BackoffSleep();
   }
   return true;
 }
 
 void RemoteTupleSpace::Bye() {
+  DrainStatus();
+  if (!queued_.empty() || !batch_.empty()) SyncFlush(nullptr, nullptr);
   if (fd_ < 0) return;
   Request request;
   request.op = Op::kBye;
@@ -194,9 +370,165 @@ void RemoteTupleSpace::Bye() {
   AppendFrame(EncodeRequest(request), &framed);
   Reply reply;
   bool wire_error = false;
-  SendAndReceiveOnce(framed, &reply, &wire_error);
+  if (WriteAll(fd_, framed.data(), framed.size())) {
+    ReadReply(&reply, &wire_error);
+  }
   CloseFd();
 }
+
+// --- write coalescing -----------------------------------------------------
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::BatchOut(const Tuple& tuple) {
+  BatchOp op;
+  op.op = Op::kOut;
+  op.tuple = tuple;
+  batch_bytes_ += RoughTupleBytes(tuple);
+  batch_.push_back(std::move(op));
+  if (batch_.size() >= kMaxBatchOps || batch_bytes_ >= kMaxBatchBytes) {
+    SealBatch(nullptr);
+  }
+  if (queued_.size() >= kMaxQueuedFrames) return SyncFlush(nullptr, nullptr);
+  return deferred_error_;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::BatchIn(const Template& tmpl,
+                                                       bool remove) {
+  BatchOp op;
+  op.op = Op::kIn;
+  op.flags = remove ? kInRemove : 0;  // never kInBlocking: batches can't park
+  op.tmpl = tmpl;
+  batch_bytes_ += 128;
+  batch_.push_back(std::move(op));
+  if (batch_.size() >= kMaxBatchOps || batch_bytes_ >= kMaxBatchBytes) {
+    SealBatch(nullptr);
+  }
+  if (queued_.size() >= kMaxQueuedFrames) return SyncFlush(nullptr, nullptr);
+  return deferred_error_;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Flush(
+    std::vector<BatchItem>* items) {
+  return SyncFlush(nullptr, nullptr, items);
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::DeferXStart() {
+  SealBatch(nullptr);
+  Request request;
+  request.op = Op::kXStart;
+  QueueFrame(request, nullptr);
+  if (queued_.size() >= kMaxQueuedFrames) return SyncFlush(nullptr, nullptr);
+  return deferred_error_;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::DeferXCommit(
+    const std::vector<Tuple>& outs, bool has_continuation,
+    const Tuple& continuation) {
+  SealBatch(nullptr);
+  Request request;
+  request.op = Op::kXCommit;
+  request.outs = outs;
+  request.has_continuation = has_continuation;
+  request.continuation = continuation;
+  QueueFrame(request, nullptr);
+  if (queued_.size() >= kMaxQueuedFrames) return SyncFlush(nullptr, nullptr);
+  return deferred_error_;
+}
+
+// --- pipelined control-plane calls ----------------------------------------
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::BeginStatus() {
+  DrainStatus();
+  if (!queued_.empty() || !batch_.empty()) {
+    const CallStatus status = SyncFlush(nullptr, nullptr);
+    if (status != CallStatus::kOk) return status;
+  }
+  if (fd_ < 0 && !EnsureConnected()) return CallStatus::kUnreachable;
+  Request request;
+  request.op = Op::kStatus;
+  request.pid = options_.pid;
+  request.incarnation = options_.incarnation;
+  std::string framed;
+  AppendFrame(EncodeRequest(request), &framed);
+  if (!WriteAll(fd_, framed.data(), framed.size())) {
+    CloseFd();
+    return CallStatus::kUnreachable;
+  }
+  bytes_sent_ += framed.size();
+  ++frames_sent_;
+  status_inflight_ = true;
+  return CallStatus::kOk;
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::PollStatus(Reply* reply) {
+  if (!status_inflight_) {
+    last_error_ = "no status poll in flight";
+    return CallStatus::kWireError;
+  }
+  if (fd_ < 0) {
+    status_inflight_ = false;
+    return CallStatus::kUnreachable;
+  }
+  char buf[65536];
+  for (;;) {
+    std::string payload;
+    const FrameReader::Result result = reader_.Next(&payload);
+    if (result == FrameReader::Result::kFrame) {
+      status_inflight_ = false;
+      std::string error;
+      if (!DecodeReply(payload, reply, &error)) {
+        last_error_ = error;
+        return CallStatus::kWireError;
+      }
+      ++rpc_round_trips_;
+      return MapWireStatus(reply->status);
+    }
+    if (result == FrameReader::Result::kError) {
+      status_inflight_ = false;
+      last_error_ = reader_.error();
+      return CallStatus::kWireError;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 0);
+    if (ready == 0) return CallStatus::kPending;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CloseFd();
+      status_inflight_ = false;
+      return CallStatus::kUnreachable;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      bytes_received_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseFd();
+    status_inflight_ = false;
+    return CallStatus::kUnreachable;
+  }
+}
+
+RemoteTupleSpace::CallStatus RemoteTupleSpace::Harvest(
+    Reply* stats, std::vector<Tuple>* tuples) {
+  DrainStatus();
+  Reply stats_local;
+  Request stats_request;
+  stats_request.op = Op::kStats;
+  if (!QueueFrame(stats_request, stats != nullptr ? stats : &stats_local)) {
+    return CallStatus::kWireError;
+  }
+  Request takeall;
+  takeall.op = Op::kTakeAll;
+  Reply reply;
+  const CallStatus status = SyncFlush(&takeall, &reply);
+  if (status == CallStatus::kOk && tuples != nullptr) {
+    *tuples = std::move(reply.tuples);
+  }
+  return status;
+}
+
+// --- synchronous op wrappers ----------------------------------------------
 
 RemoteTupleSpace::CallStatus RemoteTupleSpace::Out(const Tuple& tuple) {
   Request request;

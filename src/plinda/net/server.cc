@@ -18,7 +18,8 @@ namespace fpdm::plinda::net {
 
 namespace {
 
-constexpr char kSnapshotMagic[] = "fpdmsrv1:";
+// v2: per-client dedup *window* (seq, reply) pairs + batch counters.
+constexpr char kSnapshotMagic[] = "fpdmsrv2:";
 
 /// An all-actuals template matching exactly one tuple value. Replaying an
 /// IN log entry removes the oldest tuple equal to the logged one, which is
@@ -138,7 +139,11 @@ std::string SpaceServer::EncodeSnapshot() const {
     PutI32(pid, &payload);
     PutI32(c.incarnation, &payload);
     PutU64(c.last_seq, &payload);
-    PutString(c.last_reply, &payload);
+    PutU32(static_cast<uint32_t>(c.replies.size()), &payload);
+    for (const auto& [seq, reply] : c.replies) {
+      PutU64(seq, &payload);
+      PutString(reply, &payload);
+    }
     PutU8(c.txn_open ? 1 : 0, &payload);
     PutU32(static_cast<uint32_t>(c.txn_ins.size()), &payload);
     for (const Tuple& t : c.txn_ins) PutTuple(t, &payload);
@@ -149,6 +154,8 @@ std::string SpaceServer::EncodeSnapshot() const {
   PutU64(aborts_, &payload);
   PutU64(checkpoints_, &payload);
   PutU64(cross_shard_ops_, &payload);
+  PutU64(batch_frames_, &payload);
+  PutU64(batched_ops_, &payload);
 
   std::string out = kSnapshotMagic;
   PutU32(static_cast<uint32_t>(payload.size()), &out);
@@ -197,12 +204,20 @@ bool SpaceServer::LoadSnapshot(const std::string& path) {
     int32_t pid = 0;
     ClientState c;
     uint8_t txn_open = 0;
+    uint32_t n_replies = 0;
     uint32_t n_ins = 0;
     if (!r.TakeI32(&pid) || !r.TakeI32(&c.incarnation) ||
-        !r.TakeU64(&c.last_seq) || !r.TakeString(&c.last_reply) ||
-        !r.TakeU8(&txn_open) || !r.TakeU32(&n_ins)) {
+        !r.TakeU64(&c.last_seq) || !r.TakeU32(&n_replies)) {
       return false;
     }
+    if (n_replies > kDedupWindow) return false;
+    for (uint32_t j = 0; j < n_replies; ++j) {
+      uint64_t seq = 0;
+      std::string reply;
+      if (!r.TakeU64(&seq) || !r.TakeString(&reply)) return false;
+      c.replies.emplace_back(seq, std::move(reply));
+    }
+    if (!r.TakeU8(&txn_open) || !r.TakeU32(&n_ins)) return false;
     c.txn_open = txn_open != 0;
     for (uint32_t j = 0; j < n_ins; ++j) {
       Tuple t;
@@ -213,7 +228,8 @@ bool SpaceServer::LoadSnapshot(const std::string& path) {
   }
   if (!r.TakeU64(&publish_epoch_) || !r.TakeU64(&tuple_ops_) ||
       !r.TakeU64(&commits_) || !r.TakeU64(&aborts_) ||
-      !r.TakeU64(&checkpoints_) || !r.TakeU64(&cross_shard_ops_)) {
+      !r.TakeU64(&checkpoints_) || !r.TakeU64(&cross_shard_ops_) ||
+      !r.TakeU64(&batch_frames_) || !r.TakeU64(&batched_ops_)) {
     return false;
   }
   return r.AtEnd();
@@ -320,6 +336,37 @@ bool SpaceServer::Recover() {
 
 // --- mutation application (live + replay) ---------------------------------
 
+void SpaceServer::CacheReply(ClientState& client, uint64_t seq,
+                             const std::string& encoded) {
+  if (seq > client.last_seq) client.last_seq = seq;
+  client.replies.emplace_back(seq, encoded);
+  while (client.replies.size() > kDedupWindow) client.replies.pop_front();
+}
+
+Reply SpaceServer::BatchReplyFor(const LogEntry& entry) {
+  Reply reply;
+  reply.items.reserve(entry.effects.size());
+  for (const BatchEffect& effect : entry.effects) {
+    BatchItem item;
+    switch (effect.kind) {
+      case BatchEffectKind::kPublished:
+        break;  // kOk, no tuple
+      case BatchEffectKind::kTook:
+      case BatchEffectKind::kRead:
+        item.has_tuple = true;
+        item.tuple = effect.tuple;
+        break;
+      case BatchEffectKind::kMiss:
+        item.status = WireStatus::kNotFound;
+        break;
+    }
+    reply.items.push_back(std::move(item));
+  }
+  ++batch_frames_;
+  batched_ops_ += entry.effects.size();
+  return reply;
+}
+
 std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
   Reply reply;
   switch (entry.kind) {
@@ -387,12 +434,36 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
       }
       break;
     }
+    case LogKind::kBatch: {
+      // Replay of a whole batch frame: re-apply the resolved effects in
+      // order. The live path already mutated the space while resolving
+      // (HandleBatch), so only replay reaches this case.
+      for (const BatchEffect& effect : entry.effects) {
+        switch (effect.kind) {
+          case BatchEffectKind::kPublished:
+            PublishTuple(effect.tuple);
+            break;
+          case BatchEffectKind::kTook: {
+            Tuple removed;
+            FindMatch(ExactTemplate(effect.tuple), &removed, /*remove=*/true);
+            if (effect.in_txn && entry.pid >= 0) {
+              clients_[entry.pid].txn_ins.push_back(effect.tuple);
+            }
+            break;
+          }
+          case BatchEffectKind::kRead:
+          case BatchEffectKind::kMiss:
+            break;
+        }
+        ++tuple_ops_;
+      }
+      reply = BatchReplyFor(entry);
+      break;
+    }
   }
   const std::string encoded = EncodeReply(reply);
   if (entry.seq != 0 && entry.pid >= 0) {
-    ClientState& c = clients_[entry.pid];
-    c.last_seq = entry.seq;
-    c.last_reply = encoded;
+    CacheReply(clients_[entry.pid], entry.seq, encoded);
   }
   return encoded;
 }
@@ -539,6 +610,71 @@ void SpaceServer::HandleIn(Conn& conn, const Request& request) {
   SendReply(conn, reply);
 }
 
+void SpaceServer::HandleBatch(Conn& conn, const Request& request) {
+  // Validate before touching anything: the batch is all-or-nothing, so a
+  // malformed sub-op must reject the whole frame with no partial effects.
+  // (DecodeRequest already rejects unknown sub-opcodes; blocking is a
+  // semantic check — a parked sub-op would need a second WAL record under
+  // the same seq, breaking the one-frame/one-record atomicity argument.)
+  for (const BatchOp& op : request.batch) {
+    if (op.op == Op::kIn && (op.flags & kInBlocking) != 0) {
+      SendError(conn, "batch: blocking sub-op not allowed");
+      return;
+    }
+  }
+  bool in_txn = false;
+  if (conn.pid >= 0) {
+    auto client = clients_.find(conn.pid);
+    in_txn = client != clients_.end() && client->second.txn_open;
+  }
+  // Resolve every sub-op against the space, mutating as we go (later
+  // sub-ops see the effects of earlier ones in the same batch) and
+  // recording each resolved effect. The WAL record is appended AFTER
+  // resolution — the one place we invert the log-before-apply discipline —
+  // which is safe because the server is single-threaded (nothing observes
+  // the intermediate state), no ack is sent unless the append succeeds,
+  // and a crash in between loses the in-memory mutation together with the
+  // log record, so the client's retry re-applies from scratch.
+  LogEntry entry;
+  entry.kind = LogKind::kBatch;
+  entry.pid = conn.pid;
+  entry.incarnation = conn.incarnation;
+  entry.seq = request.seq;
+  entry.effects.reserve(request.batch.size());
+  bool published = false;
+  for (const BatchOp& op : request.batch) {
+    BatchEffect effect;
+    if (op.op == Op::kOut) {
+      effect.kind = BatchEffectKind::kPublished;
+      effect.tuple = op.tuple;
+      PublishTuple(op.tuple);
+      published = true;
+    } else {
+      const bool remove = (op.flags & kInRemove) != 0;
+      Tuple t;
+      if (FindMatch(op.tmpl, &t, remove)) {
+        effect.kind = remove ? BatchEffectKind::kTook : BatchEffectKind::kRead;
+        effect.in_txn = remove && in_txn;
+        effect.tuple = std::move(t);
+        if (effect.in_txn && conn.pid >= 0) {
+          clients_[conn.pid].txn_ins.push_back(effect.tuple);
+        }
+      } else {
+        effect.kind = BatchEffectKind::kMiss;
+      }
+    }
+    ++tuple_ops_;
+    entry.effects.push_back(std::move(effect));
+  }
+  if (!AppendLog(entry)) return;
+  const std::string encoded = EncodeReply(BatchReplyFor(entry));
+  if (entry.seq != 0 && conn.pid >= 0) {
+    CacheReply(clients_[conn.pid], entry.seq, encoded);
+  }
+  SendEncoded(conn, encoded);
+  if (published) SatisfyWaiters();
+}
+
 void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
   Request request;
   std::string error;
@@ -559,15 +695,18 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
   }
   // Exactly-once: a retried mutating request (same pid, same seq) gets the
   // cached reply of its first execution instead of a second application.
+  // The scan covers the whole dedup window because a pipelined client
+  // resends every unreplied frame after a reconnect, not just the newest.
   if (conn.pid >= 0 && request.seq != 0) {
     auto it = clients_.find(conn.pid);
     if (it != clients_.end()) {
-      if (request.seq == it->second.last_seq &&
-          !it->second.last_reply.empty()) {
-        SendEncoded(conn, it->second.last_reply);
-        return;
+      for (const auto& [seq, cached] : it->second.replies) {
+        if (seq == request.seq) {
+          SendEncoded(conn, cached);
+          return;
+        }
       }
-      if (request.seq < it->second.last_seq) {
+      if (request.seq <= it->second.last_seq) {
         SendError(conn, "stale sequence number");
         return;
       }
@@ -588,6 +727,9 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
     }
     case Op::kIn:
       HandleIn(conn, request);
+      break;
+    case Op::kBatch:
+      HandleBatch(conn, request);
       break;
     case Op::kXStart: {
       if (conn.pid < 0) {
@@ -710,6 +852,8 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       reply.checkpoints = checkpoints_;
       reply.ops_replayed = ops_replayed_;
       reply.cross_shard_ops = cross_shard_ops_;
+      reply.batch_frames = batch_frames_;
+      reply.batched_ops = batched_ops_;
       reply.publish_epoch = publish_epoch_;
       SendReply(conn, reply);
       break;

@@ -2,6 +2,7 @@
 #define FPDM_PLINDA_NET_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <string>
@@ -57,10 +58,20 @@ class SpaceServer {
   int Serve();
 
  private:
+  /// Replies cached per client for dedup of retried requests. A pipelined
+  /// client can have several sequenced frames in flight at once (a coalesced
+  /// batch + deferred transaction frames + the sync call that flushed them),
+  /// and after a server crash it resends every unreplied frame — so the
+  /// dedup state must cover a window of recent seqs, not just the latest
+  /// one. 16 comfortably exceeds the client's maximum flush depth (~4).
+  static constexpr size_t kDedupWindow = 16;
+
   struct ClientState {
     int32_t incarnation = 0;
-    uint64_t last_seq = 0;
-    std::string last_reply;  // encoded Reply payload of the last logged op
+    uint64_t last_seq = 0;  // highest seq ever logged for this client
+    /// (seq, encoded Reply payload) of the last kDedupWindow logged ops,
+    /// newest at the back.
+    std::deque<std::pair<uint64_t, std::string>> replies;
     bool txn_open = false;
     std::vector<Tuple> txn_ins;  // tuples to restore if the txn aborts
   };
@@ -101,10 +112,20 @@ class SpaceServer {
   /// path and crash replay so both produce identical state.
   std::string ApplyEntry(const LogEntry& entry);
 
+  /// Records `encoded` in the client's dedup window and advances last_seq.
+  void CacheReply(ClientState& client, uint64_t seq,
+                  const std::string& encoded);
+
+  /// Builds the batched reply (one item per effect, request order) and bumps
+  /// the batch counters. Shared by the live path and replay so a retried
+  /// kBatch gets a bit-identical cached reply.
+  Reply BatchReplyFor(const LogEntry& entry);
+
   // --- request handling --------------------------------------------------
   void HandleFrame(Conn& conn, const std::string& payload);
   void HandleHello(Conn& conn, const Request& request);
   void HandleIn(Conn& conn, const Request& request);
+  void HandleBatch(Conn& conn, const Request& request);
   void SatisfyWaiters();
   void SendReply(Conn& conn, const Reply& reply);
   void SendEncoded(Conn& conn, const std::string& encoded_reply);
@@ -143,6 +164,8 @@ class SpaceServer {
   uint64_t checkpoints_ = 0;
   uint64_t ops_replayed_ = 0;
   uint64_t cross_shard_ops_ = 0;
+  uint64_t batch_frames_ = 0;  // kBatch frames applied (live + replay)
+  uint64_t batched_ops_ = 0;   // sub-ops carried by those frames
 };
 
 }  // namespace fpdm::plinda::net

@@ -31,16 +31,43 @@ void PutString(std::string_view s, std::string* out) {
   out->append(s.data(), s.size());
 }
 
+namespace {
+
+/// Overwrites the 4 length bytes at `pos` after the payload behind them has
+/// been serialized in place (PutTuple/PutTemplate write a placeholder first).
+void PatchU32(std::string* out, size_t pos, size_t v) {
+  (*out)[pos] = static_cast<char>(v & 0xff);
+  (*out)[pos + 1] = static_cast<char>((v >> 8) & 0xff);
+  (*out)[pos + 2] = static_cast<char>((v >> 16) & 0xff);
+  (*out)[pos + 3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+/// Cheap upper-ish estimate of a tuple's encoded size, for reserve().
+size_t EstimateTupleBytes(const Tuple& tuple) {
+  size_t n = 16;
+  for (const Value& v : tuple.fields) {
+    const std::string* s = std::get_if<std::string>(&v);
+    n += 28 + (s != nullptr ? s->size() : 0);
+  }
+  return n;
+}
+
+}  // namespace
+
 void PutTuple(const Tuple& tuple, std::string* out) {
-  std::string text;
-  SerializeTuple(tuple, &text);
-  PutString(text, out);
+  // Serialize straight into the destination through a patched length
+  // prefix, skipping the temporary string a two-step encode would build.
+  const size_t len_pos = out->size();
+  PutU32(0, out);
+  SerializeTuple(tuple, out);
+  PatchU32(out, len_pos, out->size() - len_pos - 4);
 }
 
 void PutTemplate(const Template& tmpl, std::string* out) {
-  std::string text;
-  SerializeTemplate(tmpl, &text);
-  PutString(text, out);
+  const size_t len_pos = out->size();
+  PutU32(0, out);
+  SerializeTemplate(tmpl, out);
+  PatchU32(out, len_pos, out->size() - len_pos - 4);
 }
 
 bool ByteReader::TakeU8(uint8_t* v) {
@@ -82,17 +109,30 @@ bool ByteReader::TakeString(std::string* s) {
 }
 
 bool ByteReader::TakeTuple(Tuple* tuple) {
-  std::string text;
-  if (!TakeString(&text)) return false;
+  // Parse in place out of the receive buffer: no intermediate string.
+  uint32_t len = 0;
+  if (!TakeU32(&len)) return false;
+  if (len > kMaxFramePayload || pos + len > data.size()) return false;
+  const std::string_view text = data.substr(pos, len);
   size_t tpos = 0;
-  return DeserializeTuple(text, &tpos, tuple) && tpos == text.size();
+  if (!DeserializeTuple(text, &tpos, tuple) || tpos != text.size()) {
+    return false;
+  }
+  pos += len;
+  return true;
 }
 
 bool ByteReader::TakeTemplate(Template* tmpl) {
-  std::string text;
-  if (!TakeString(&text)) return false;
+  uint32_t len = 0;
+  if (!TakeU32(&len)) return false;
+  if (len > kMaxFramePayload || pos + len > data.size()) return false;
+  const std::string_view text = data.substr(pos, len);
   size_t tpos = 0;
-  return DeserializeTemplate(text, &tpos, tmpl) && tpos == text.size();
+  if (!DeserializeTemplate(text, &tpos, tmpl) || tpos != text.size()) {
+    return false;
+  }
+  pos += len;
+  return true;
 }
 
 namespace {
@@ -140,6 +180,13 @@ FrameReader::Result FrameReader::Next(std::string* payload) {
 
 std::string EncodeRequest(const Request& request) {
   std::string out;
+  size_t estimate = 64 + EstimateTupleBytes(request.tuple) +
+                    EstimateTupleBytes(request.continuation);
+  for (const Tuple& t : request.outs) estimate += EstimateTupleBytes(t);
+  for (const BatchOp& op : request.batch) {
+    estimate += 16 + EstimateTupleBytes(op.tuple);
+  }
+  out.reserve(estimate);
   PutU8(static_cast<uint8_t>(request.op), &out);
   PutI32(request.pid, &out);
   PutI32(request.incarnation, &out);
@@ -151,6 +198,13 @@ std::string EncodeRequest(const Request& request) {
   for (const Tuple& t : request.outs) PutTuple(t, &out);
   PutU8(request.has_continuation ? 1 : 0, &out);
   PutTuple(request.continuation, &out);
+  PutU32(static_cast<uint32_t>(request.batch.size()), &out);
+  for (const BatchOp& op : request.batch) {
+    PutU8(static_cast<uint8_t>(op.op), &out);
+    PutU8(op.flags, &out);
+    PutTuple(op.tuple, &out);
+    PutTemplate(op.tmpl, &out);
+  }
   return out;
 }
 
@@ -160,7 +214,7 @@ bool DecodeRequest(std::string_view payload, Request* request,
   uint8_t op = 0;
   if (!r.TakeU8(&op)) return Fail(error, "request: truncated opcode");
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kBye)) {
+      op > static_cast<uint8_t>(Op::kBatch)) {
     return Fail(error, "request: unknown opcode");
   }
   request->op = static_cast<Op>(op);
@@ -190,12 +244,38 @@ bool DecodeRequest(std::string_view payload, Request* request,
   if (!r.TakeTuple(&request->continuation)) {
     return Fail(error, "request: malformed continuation");
   }
+  uint32_t n_batch = 0;
+  if (!r.TakeU32(&n_batch)) return Fail(error, "request: truncated batch");
+  request->batch.clear();
+  for (uint32_t i = 0; i < n_batch; ++i) {
+    BatchOp op;
+    uint8_t sub_op = 0;
+    if (!r.TakeU8(&sub_op) || !r.TakeU8(&op.flags)) {
+      return Fail(error, "request: truncated batch op");
+    }
+    if (sub_op != static_cast<uint8_t>(Op::kOut) &&
+        sub_op != static_cast<uint8_t>(Op::kIn)) {
+      return Fail(error, "request: unsupported batch sub-op");
+    }
+    op.op = static_cast<Op>(sub_op);
+    if (!r.TakeTuple(&op.tuple) || !r.TakeTemplate(&op.tmpl)) {
+      return Fail(error, "request: malformed batch op");
+    }
+    request->batch.push_back(std::move(op));
+  }
   if (!r.AtEnd()) return Fail(error, "request: trailing bytes");
   return true;
 }
 
 std::string EncodeReply(const Reply& reply) {
   std::string out;
+  size_t estimate = 128 + EstimateTupleBytes(reply.tuple) +
+                    32 * reply.parked.size() + reply.error.size();
+  for (const Tuple& t : reply.tuples) estimate += EstimateTupleBytes(t);
+  for (const BatchItem& item : reply.items) {
+    estimate += 8 + EstimateTupleBytes(item.tuple);
+  }
+  out.reserve(estimate);
   PutU8(static_cast<uint8_t>(reply.status), &out);
   PutU8(reply.has_tuple ? 1 : 0, &out);
   PutTuple(reply.tuple, &out);
@@ -208,12 +288,20 @@ std::string EncodeReply(const Reply& reply) {
   PutU64(reply.checkpoints, &out);
   PutU64(reply.ops_replayed, &out);
   PutU64(reply.cross_shard_ops, &out);
+  PutU64(reply.batch_frames, &out);
+  PutU64(reply.batched_ops, &out);
   PutU64(reply.publish_epoch, &out);
   PutU32(static_cast<uint32_t>(reply.parked.size()), &out);
   for (const ParkedWaiter& w : reply.parked) {
     PutI32(w.pid, &out);
     PutU8(w.remove ? 1 : 0, &out);
     PutString(w.tmpl_text, &out);
+  }
+  PutU32(static_cast<uint32_t>(reply.items.size()), &out);
+  for (const BatchItem& item : reply.items) {
+    PutU8(static_cast<uint8_t>(item.status), &out);
+    PutU8(item.has_tuple ? 1 : 0, &out);
+    PutTuple(item.tuple, &out);
   }
   PutString(reply.error, &out);
   return out;
@@ -245,6 +333,7 @@ bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
       !r.TakeU64(&reply->commits) || !r.TakeU64(&reply->aborts) ||
       !r.TakeU64(&reply->checkpoints) || !r.TakeU64(&reply->ops_replayed) ||
       !r.TakeU64(&reply->cross_shard_ops) ||
+      !r.TakeU64(&reply->batch_frames) || !r.TakeU64(&reply->batched_ops) ||
       !r.TakeU64(&reply->publish_epoch)) {
     return Fail(error, "reply: truncated counters");
   }
@@ -261,6 +350,24 @@ bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
     w.remove = remove != 0;
     reply->parked.push_back(std::move(w));
   }
+  uint32_t n_items = 0;
+  if (!r.TakeU32(&n_items)) return Fail(error, "reply: truncated items");
+  reply->items.clear();
+  for (uint32_t i = 0; i < n_items; ++i) {
+    BatchItem item;
+    uint8_t status = 0;
+    uint8_t has_tuple = 0;
+    if (!r.TakeU8(&status) || !r.TakeU8(&has_tuple) ||
+        !r.TakeTuple(&item.tuple)) {
+      return Fail(error, "reply: malformed batch item");
+    }
+    if (status > static_cast<uint8_t>(WireStatus::kError)) {
+      return Fail(error, "reply: unknown batch item status");
+    }
+    item.status = static_cast<WireStatus>(status);
+    item.has_tuple = has_tuple != 0;
+    reply->items.push_back(std::move(item));
+  }
   if (!r.TakeString(&reply->error)) {
     return Fail(error, "reply: truncated error text");
   }
@@ -270,6 +377,13 @@ bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
 
 std::string EncodeLogEntry(const LogEntry& entry) {
   std::string out;
+  size_t estimate = 48 + EstimateTupleBytes(entry.tuple) +
+                    EstimateTupleBytes(entry.continuation);
+  for (const Tuple& t : entry.outs) estimate += EstimateTupleBytes(t);
+  for (const BatchEffect& e : entry.effects) {
+    estimate += 8 + EstimateTupleBytes(e.tuple);
+  }
+  out.reserve(estimate);
   PutU8(static_cast<uint8_t>(entry.kind), &out);
   PutI32(entry.pid, &out);
   PutI32(entry.incarnation, &out);
@@ -280,6 +394,12 @@ std::string EncodeLogEntry(const LogEntry& entry) {
   for (const Tuple& t : entry.outs) PutTuple(t, &out);
   PutU8(entry.has_continuation ? 1 : 0, &out);
   PutTuple(entry.continuation, &out);
+  PutU32(static_cast<uint32_t>(entry.effects.size()), &out);
+  for (const BatchEffect& e : entry.effects) {
+    PutU8(static_cast<uint8_t>(e.kind), &out);
+    PutU8(e.in_txn ? 1 : 0, &out);
+    PutTuple(e.tuple, &out);
+  }
   return out;
 }
 
@@ -289,7 +409,7 @@ bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
   uint8_t kind = 0;
   if (!r.TakeU8(&kind)) return Fail(error, "log: truncated kind");
   if (kind < static_cast<uint8_t>(LogKind::kHello) ||
-      kind > static_cast<uint8_t>(LogKind::kXRecover)) {
+      kind > static_cast<uint8_t>(LogKind::kBatch)) {
     return Fail(error, "log: unknown kind");
   }
   entry->kind = static_cast<LogKind>(kind);
@@ -313,6 +433,25 @@ bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
   entry->has_continuation = has_cont != 0;
   if (!r.TakeTuple(&entry->continuation)) {
     return Fail(error, "log: malformed continuation");
+  }
+  uint32_t n_effects = 0;
+  if (!r.TakeU32(&n_effects)) return Fail(error, "log: truncated effects");
+  entry->effects.clear();
+  for (uint32_t i = 0; i < n_effects; ++i) {
+    BatchEffect e;
+    uint8_t effect_kind = 0;
+    uint8_t in_txn = 0;
+    if (!r.TakeU8(&effect_kind) || !r.TakeU8(&in_txn)) {
+      return Fail(error, "log: truncated effect");
+    }
+    if (effect_kind < static_cast<uint8_t>(BatchEffectKind::kPublished) ||
+        effect_kind > static_cast<uint8_t>(BatchEffectKind::kMiss)) {
+      return Fail(error, "log: unknown effect kind");
+    }
+    e.kind = static_cast<BatchEffectKind>(effect_kind);
+    e.in_txn = in_txn != 0;
+    if (!r.TakeTuple(&e.tuple)) return Fail(error, "log: malformed effect");
+    entry->effects.push_back(std::move(e));
   }
   if (!r.AtEnd()) return Fail(error, "log: trailing bytes");
   return true;

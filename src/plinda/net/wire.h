@@ -103,11 +103,28 @@ enum class Op : uint8_t {
   kCancel = 12, // cancel the run: parked + future blocking ops fail
   kShutdown = 13,
   kBye = 14,    // clean disconnect: suppress the crash-abort on EOF
+  // N non-blocking sub-ops (out, inp/rdp) under one (pid, incarnation, seq):
+  // one frame on the wire, one WAL record on the server, one batched reply.
+  // The whole batch applies atomically — a retry after a server crash either
+  // finds the single log record (cached batched reply) or nothing (fresh
+  // re-apply); there is no half-applied state in between. Blocking sub-ops
+  // are rejected with a structured error: a parked tail would need a second
+  // WAL record under the same seq, which would break that argument — the
+  // client pipelines a separate kIn frame behind the batch instead.
+  kBatch = 15,
 };
 
 // kIn flags.
 inline constexpr uint8_t kInRemove = 1;    // in/inp (vs rd/rdp)
 inline constexpr uint8_t kInBlocking = 2;  // in/rd (vs inp/rdp)
+
+/// One sub-operation of a kBatch request.
+struct BatchOp {
+  Op op = Op::kOut;   // kOut or kIn (non-blocking: inp/rdp)
+  uint8_t flags = 0;  // kIn flags; kInBlocking is a protocol error here
+  Tuple tuple;        // kOut
+  Template tmpl;      // kIn
+};
 
 struct Request {
   Op op = Op::kHello;
@@ -122,6 +139,7 @@ struct Request {
   std::vector<Tuple> outs;   // kXCommit
   bool has_continuation = false;
   Tuple continuation;        // kXCommit
+  std::vector<BatchOp> batch;  // kBatch
 };
 
 std::string EncodeRequest(const Request& request);
@@ -141,6 +159,14 @@ struct ParkedWaiter {
   std::string tmpl_text;  // human-readable template, for diagnostics
 };
 
+/// Per-sub-op result inside a kBatch reply, in request order. kOk with no
+/// tuple = out applied; kOk with a tuple = inp/rdp hit; kNotFound = miss.
+struct BatchItem {
+  WireStatus status = WireStatus::kOk;
+  bool has_tuple = false;
+  Tuple tuple;
+};
+
 struct Reply {
   WireStatus status = WireStatus::kOk;
   bool has_tuple = false;
@@ -154,9 +180,12 @@ struct Reply {
   uint64_t checkpoints = 0;
   uint64_t ops_replayed = 0;
   uint64_t cross_shard_ops = 0;
+  uint64_t batch_frames = 0;  // kBatch frames applied
+  uint64_t batched_ops = 0;   // sub-ops carried by those frames
   // kStatus.
   uint64_t publish_epoch = 0;
   std::vector<ParkedWaiter> parked;
+  std::vector<BatchItem> items;  // kBatch
   std::string error;  // kError detail
 };
 
@@ -178,6 +207,25 @@ enum class LogKind : uint8_t {
   kCommit = 5,
   kAbort = 6,
   kXRecover = 7, // a continuation was consumed
+  // A whole kBatch frame as ONE record. The entry stores resolved per-sub-op
+  // *effects* (which tuple was published / removed / read / missed), not the
+  // request, so replay reproduces both the space mutation and the cached
+  // batched reply bit-identically without re-running the matching.
+  kBatch = 8,
+};
+
+/// Resolved effect of one kBatch sub-op (the LogKind::kBatch payload).
+enum class BatchEffectKind : uint8_t {
+  kPublished = 1,  // out: `tuple` was published
+  kTook = 2,       // inp hit: `tuple` was removed (in_txn per effect)
+  kRead = 3,       // rdp hit: `tuple` was read, space untouched
+  kMiss = 4,       // inp/rdp miss: no mutation, kNotFound item
+};
+
+struct BatchEffect {
+  BatchEffectKind kind = BatchEffectKind::kPublished;
+  bool in_txn = false;  // kTook: removal happened inside a transaction
+  Tuple tuple;          // empty for kMiss
 };
 
 struct LogEntry {
@@ -190,6 +238,7 @@ struct LogEntry {
   std::vector<Tuple> outs;  // kCommit
   bool has_continuation = false;
   Tuple continuation;       // kCommit
+  std::vector<BatchEffect> effects;  // kBatch
 };
 
 std::string EncodeLogEntry(const LogEntry& entry);

@@ -811,7 +811,7 @@ bool Runtime::RunReal() {
   }
 
   rspace_ = std::make_unique<ShardedTupleSpace>(options_.real_shards);
-  for (Tuple& tuple : space_.TakeAllInOrder()) rspace_->Out(std::move(tuple));
+  rspace_->OutBatch(space_.TakeAllInOrder());
   real_start_ = std::chrono::steady_clock::now();
   started_real_ = true;
   for (auto& proc : procs_) proc->cv.notify_all();
@@ -1030,7 +1030,7 @@ void Runtime::RealXCommit(Proc* proc, bool has_continuation,
     FailProcReal(proc, RuntimeError::Code::kXCommitWithoutXStart,
                  "no transaction is open");
   }
-  for (Tuple& tuple : proc->txn_outs) rspace_->Out(std::move(tuple));
+  rspace_->OutBatch(std::move(proc->txn_outs));
   proc->txn_outs.clear();
   proc->txn_ins.clear();
   proc->txn_active = false;

@@ -103,6 +103,13 @@ struct RuntimeOptions {
   /// unreachable server before failing the run. Must comfortably cover a
   /// scheduled server failure + recovery gap.
   double distributed_reconnect_timeout = 20.0;
+  /// kDistributed: coalesce consecutive non-blocking outs into kBatch
+  /// frames and defer transaction frames so a worker's steady-state task
+  /// loop costs one RPC round trip instead of three (see
+  /// net::RemoteTupleSpace). Off = one synchronous round trip per tuple op,
+  /// the PR-3 wire behavior — kept as a comparison baseline; results are
+  /// bit-identical either way.
+  bool distributed_batching = true;
 };
 
 /// One entry of the process-watch trace (the programmatic equivalent of
@@ -186,6 +193,15 @@ struct RuntimeStats {
   /// kRealParallel only: tuple-space operations that took the all-shard
   /// slow path (formal-first-field templates).
   uint64_t cross_shard_ops = 0;
+  /// kDistributed only: wire-level counters summed over every worker
+  /// incarnation plus the supervisor's control connection. rpc_calls counts
+  /// round trips (flushes that waited for replies), so
+  /// tuple_ops / rpc_calls measures how well batching + pipelining amortize
+  /// the per-request latency.
+  uint64_t rpc_calls = 0;
+  uint64_t bytes_on_wire = 0;  // sent + received
+  uint64_t batch_frames = 0;   // kBatch frames the server applied
+  uint64_t batched_tuple_ops = 0;  // sub-ops carried by those frames
 };
 
 /// A PLinda network of workstations, in one of two execution modes.

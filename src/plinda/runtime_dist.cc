@@ -61,6 +61,8 @@ void WriteFileOnce(const std::string& path, const std::string& content) {
 
 struct WorkerReport {
   double work = 0;
+  uint64_t rpc = 0;    // client round trips of this incarnation
+  uint64_t bytes = 0;  // bytes sent + received
   bool has_error = false;
   int error_code = 0;
   std::string error_detail;
@@ -74,6 +76,12 @@ bool ReadWorkerReport(const std::string& path, WorkerReport* report) {
   while (std::fgets(line, sizeof(line), file) != nullptr) {
     if (std::strncmp(line, "work ", 5) == 0) {
       report->work = std::strtod(line + 5, nullptr);
+      any = true;
+    } else if (std::strncmp(line, "rpc ", 4) == 0) {
+      report->rpc = std::strtoull(line + 4, nullptr, 10);
+      any = true;
+    } else if (std::strncmp(line, "bytes ", 6) == 0) {
+      report->bytes = std::strtoull(line + 6, nullptr, 10);
       any = true;
     } else if (std::strncmp(line, "error ", 6) == 0) {
       char* end = nullptr;
@@ -115,7 +123,15 @@ void Runtime::DistOut(Proc* proc, Tuple tuple) {
     proc->txn_outs.push_back(std::move(tuple));
     return;
   }
-  switch (dclient_->Out(tuple)) {
+  // Batched mode coalesces consecutive non-blocking outs: the tuple rides
+  // in a kBatch frame flushed before the next blocking op, so a stream of
+  // outs costs one round trip instead of one each. Failures of the
+  // deferred frame surface here on a later out or at the next sync call —
+  // the same unwind points the synchronous path has.
+  const CallStatus status = options_.distributed_batching
+                                ? dclient_->BatchOut(tuple)
+                                : dclient_->Out(tuple);
+  switch (status) {
     case CallStatus::kOk:
       return;
     case CallStatus::kCancelled:
@@ -160,7 +176,13 @@ void Runtime::DistXStart(Proc* proc) {
     FailProcDist(proc, RuntimeError::Code::kNestedXStart,
                  "transaction already open");
   }
-  switch (dclient_->XStart()) {
+  // Batched mode defers the xstart frame: it flushes (in order, one writev)
+  // with the next blocking in/rd or commit, collapsing the steady-state
+  // task loop [xcommit, xstart, blocking in] to one round trip.
+  const CallStatus status = options_.distributed_batching
+                                ? dclient_->DeferXStart()
+                                : dclient_->XStart();
+  switch (status) {
     case CallStatus::kOk:
       proc->txn_active = true;
       return;
@@ -178,7 +200,18 @@ void Runtime::DistXCommit(Proc* proc, bool has_continuation,
     FailProcDist(proc, RuntimeError::Code::kXCommitWithoutXStart,
                  "no transaction is open");
   }
-  switch (dclient_->XCommit(proc->txn_outs, has_continuation, continuation)) {
+  // Batched mode defers the commit frame. The optimistic local txn-clear is
+  // safe: if the deferred commit is later rejected (cancelled run), the
+  // sticky deferred error unwinds this worker at its next wire call, and if
+  // the worker crashes before the frame flushes, the server's crash-abort
+  // on EOF rolls the transaction back — either way the commit applied
+  // exactly once or not at all.
+  const CallStatus status =
+      options_.distributed_batching
+          ? dclient_->DeferXCommit(proc->txn_outs, has_continuation,
+                                   continuation)
+          : dclient_->XCommit(proc->txn_outs, has_continuation, continuation);
+  switch (status) {
     case CallStatus::kOk:
       proc->txn_outs.clear();
       proc->txn_ins.clear();
@@ -256,9 +289,37 @@ int Runtime::RunWorkerChild(Proc* proc) {
       proc->txn_active = false;
       proc->txn_outs.clear();
     }
+    if (code == 0) {
+      // Push any still-deferred frames (typically the final task's commit)
+      // before declaring success: a deferred failure must fail this
+      // incarnation the same way a synchronous one would have.
+      switch (dclient_->Flush()) {
+        case CallStatus::kOk:
+        case CallStatus::kNotFound:
+          break;
+        case CallStatus::kCancelled:
+          code = 3;
+          break;
+        default: {
+          RuntimeError error;
+          error.code = RuntimeError::Code::kWireProtocolError;
+          error.time = NowReal();
+          error.pid = proc->id;
+          error.process = proc->name;
+          error.detail = dclient_->last_error();
+          dist_child_errors_.push_back(std::move(error));
+          code = 2;
+          break;
+        }
+      }
+    }
   }
-  char work_line[64];
-  std::snprintf(work_line, sizeof(work_line), "work %.17g\n", proc->work_done);
+  char work_line[128];
+  std::snprintf(work_line, sizeof(work_line),
+                "work %.17g\nrpc %llu\nbytes %llu\n", proc->work_done,
+                static_cast<unsigned long long>(dclient_->rpc_round_trips()),
+                static_cast<unsigned long long>(dclient_->bytes_sent() +
+                                                dclient_->bytes_received()));
   std::string content = work_line;
   for (const RuntimeError& error : dist_child_errors_) {
     std::string detail = error.detail;
@@ -329,13 +390,23 @@ bool Runtime::RunDistributed() {
     fail_run("tuple-space server failed to start");
     fatal = true;
   } else {
-    // Seed the server with the tuples out'ed before Run().
+    // Seed the server with the tuples out'ed before Run(). Batched mode
+    // coalesces the whole seed stream into kBatch frames + one flush
+    // instead of one round trip per tuple.
     for (Tuple& tuple : space_.TakeAllInOrder()) {
-      if (ctl.Out(tuple) != CallStatus::kOk) {
+      const CallStatus status = options_.distributed_batching
+                                    ? ctl.BatchOut(tuple)
+                                    : ctl.Out(tuple);
+      if (status != CallStatus::kOk) {
         fail_run("seeding the tuple-space server failed: " + ctl.last_error());
         fatal = true;
         break;
       }
+    }
+    if (!fatal && options_.distributed_batching &&
+        ctl.Flush() != CallStatus::kOk) {
+      fail_run("seeding the tuple-space server failed: " + ctl.last_error());
+      fatal = true;
     }
   }
 
@@ -516,6 +587,8 @@ bool Runtime::RunDistributed() {
       if (have_report) {
         stats_.total_work += report.work;
         proc->work_done += report.work;
+        stats_.rpc_calls += report.rpc;
+        stats_.bytes_on_wire += report.bytes;
       }
       if (info.exited && info.exit_code == 0) {
         proc->state = ProcState::kDone;
@@ -573,10 +646,19 @@ bool Runtime::RunDistributed() {
 
     // 3. Deadlock watchdog: every live worker parked server-side and the
     // publish epoch stable across two polls means nobody can wake anybody.
-    if (server_up && !run_cancelled && t >= next_status_poll) {
-      next_status_poll = t + status_poll_interval;
+    // The STATUS request is pipelined (BeginStatus/PollStatus): the reply
+    // round trip overlaps the reap/event work above instead of stalling the
+    // loop — which matters when a fault plan has the server mid-recovery.
+    if (server_up && !run_cancelled) {
+      if (!ctl.status_inflight() && t >= next_status_poll) {
+        next_status_poll = t + status_poll_interval;
+        ctl.BeginStatus();
+      }
       net::Reply reply;
-      if (ctl.Status(&reply) == CallStatus::kOk) {
+      if (ctl.status_inflight() &&
+          ctl.PollStatus(&reply) == CallStatus::kOk) {
+        // (kPending keeps the loop moving; a transport failure closed the
+        // control connection and the next BeginStatus reconnects.)
         int live = 0;
         for (auto& up : procs_) {
           if (up->state == ProcState::kReady) ++live;
@@ -640,16 +722,28 @@ bool Runtime::RunDistributed() {
   }
   if (server_up) {
     net::Reply server_stats;
-    if (ctl.Stats(&server_stats) == CallStatus::kOk) {
+    std::vector<Tuple> drained;
+    bool have_stats = false;
+    bool drain_ok = false;
+    if (options_.distributed_batching) {
+      // Pipelined STATS + TAKEALL: the whole harvest is one round trip.
+      const CallStatus status = ctl.Harvest(&server_stats, &drained);
+      have_stats = drain_ok = status == CallStatus::kOk;
+    } else {
+      have_stats = ctl.Stats(&server_stats) == CallStatus::kOk;
+      drain_ok = ctl.TakeAll(&drained) == CallStatus::kOk;
+    }
+    if (have_stats) {
       stats_.tuple_ops += server_stats.tuple_ops;
       stats_.transactions_committed += server_stats.commits;
       stats_.transactions_aborted += server_stats.aborts;
       stats_.server_checkpoints += server_stats.checkpoints;
       stats_.server_ops_replayed += server_stats.ops_replayed;
       stats_.cross_shard_ops += server_stats.cross_shard_ops;
+      stats_.batch_frames += server_stats.batch_frames;
+      stats_.batched_tuple_ops += server_stats.batched_ops;
     }
-    std::vector<Tuple> drained;
-    if (ctl.TakeAll(&drained) == CallStatus::kOk) {
+    if (drain_ok) {
       for (Tuple& tuple : drained) space_.Out(std::move(tuple));
     } else {
       fail_run("end-of-run drain failed: " + ctl.last_error());
@@ -666,6 +760,8 @@ bool Runtime::RunDistributed() {
     net::ExitInfo info;
     net::WaitForExit(server_pid, 2.0, &info);
   }
+  stats_.rpc_calls += ctl.rpc_round_trips();
+  stats_.bytes_on_wire += ctl.bytes_sent() + ctl.bytes_received();
 
   wall_time_ = now();
   completion_time_ = wall_time_;

@@ -57,6 +57,52 @@ void ShardedTupleSpace::Out(Tuple tuple) {
   }
 }
 
+void ShardedTupleSpace::OutBatch(std::vector<Tuple> tuples) {
+  if (tuples.empty()) return;
+  if (tuples.size() == 1) {
+    Out(std::move(tuples.front()));
+    return;
+  }
+  // Which shards does this batch touch? Lock exactly those, in index order
+  // (the same order FindAcrossShards uses, so no lock cycle is possible).
+  std::vector<size_t> shard_of(tuples.size());
+  std::vector<bool> involved(shards_.size(), false);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    shard_of[i] = ShardIndex(BucketKeyFor(tuples[i]));
+    involved[shard_of[i]] = true;
+  }
+  std::vector<std::unique_lock<std::mutex>> locks;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (involved[s]) locks.emplace_back(shards_[s]->mu);
+  }
+  // With every involved shard locked, per-tuple sequence assignment in
+  // input order keeps each bucket list sequence-sorted even against
+  // concurrent single Outs (they serialize on their shard's lock).
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    Shard& shard = *shards_[shard_of[i]];
+    const BucketKeyView key = BucketKeyFor(tuples[i]);
+    const uint64_t seq = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    auto it = shard.buckets.find(key);
+    if (it == shard.buckets.end()) {
+      it = shard.buckets
+               .emplace(BucketKey{key.first, std::string(key.second)}, Bucket{})
+               .first;
+    }
+    it->second.push_back(Stored{std::move(tuples[i]), seq});
+    ++shard.generation;
+  }
+  size_.fetch_add(tuples.size(), std::memory_order_release);
+  locks.clear();
+  epoch_.fetch_add(tuples.size(), std::memory_order_seq_cst);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (involved[s]) shards_[s]->cv.notify_all();
+  }
+  if (cross_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> g(global_mu_);
+    global_cv_.notify_all();
+  }
+}
+
 bool ShardedTupleSpace::FindInShardLocked(Shard& shard, const Template& tmpl,
                                           Tuple* result, bool remove) {
   BucketMap::iterator best_bucket = shard.buckets.end();

@@ -40,6 +40,12 @@ class ShardedTupleSpace {
   /// Adds a tuple and wakes waiters that may match it (Linda `out`).
   void Out(Tuple tuple);
 
+  /// Bulk out: inserts every tuple in order, taking each involved shard
+  /// lock once instead of once per tuple. Sequence numbers are assigned in
+  /// input order with the involved shard locks held, so matching order is
+  /// identical to calling Out() in a loop.
+  void OutBatch(std::vector<Tuple> tuples);
+
   /// Non-blocking in/rd (`inp` / `rdp`).
   bool TryIn(const Template& tmpl, Tuple* result);
   bool TryRd(const Template& tmpl, Tuple* result);

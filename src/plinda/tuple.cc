@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace fpdm::plinda {
 
@@ -73,7 +74,7 @@ void AppendSize(size_t n, std::string* out) {
   out->append(buf);
 }
 
-bool ParseSize(const std::string& data, size_t* pos, size_t* n) {
+bool ParseSize(std::string_view data, size_t* pos, size_t* n) {
   size_t value = 0;
   bool any = false;
   while (*pos < data.size() && data[*pos] >= '0' && data[*pos] <= '9') {
@@ -114,19 +115,24 @@ void AppendValue(const Value& v, std::string* out) {
   }
 }
 
-bool ParseValue(const std::string& data, size_t* pos, Value* value) {
+bool ParseValue(std::string_view data, size_t* pos, Value* value) {
   if (*pos >= data.size()) return false;
   char tag = data[(*pos)++];
   if (tag == 'i' || tag == 'd') {
-    size_t end = data.find(';', *pos);
-    if (end == std::string::npos) return false;
-    std::string token = data.substr(*pos, end - *pos);
+    const size_t end = data.find(';', *pos);
+    if (end == std::string_view::npos) return false;
+    // The numeric token needs a NUL terminator for strtoll/strtod; it is
+    // short, so a stack copy beats materializing the whole input.
+    char token[64];
+    const size_t len = end - *pos;
+    if (len >= sizeof(token)) return false;
+    std::memcpy(token, data.data() + *pos, len);
+    token[len] = '\0';
     *pos = end + 1;
     if (tag == 'i') {
-      *value =
-          static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10));
+      *value = static_cast<int64_t>(std::strtoll(token, nullptr, 10));
     } else {
-      *value = std::strtod(token.c_str(), nullptr);
+      *value = std::strtod(token, nullptr);
     }
     return true;
   }
@@ -134,7 +140,7 @@ bool ParseValue(const std::string& data, size_t* pos, Value* value) {
     size_t len = 0;
     if (!ParseSize(data, pos, &len)) return false;
     if (*pos + len > data.size()) return false;
-    *value = data.substr(*pos, len);
+    *value = std::string(data.substr(*pos, len));
     *pos += len;
     return true;
   }
@@ -176,7 +182,7 @@ void SerializeTuple(const Tuple& tuple, std::string* out) {
   for (const Value& v : tuple.fields) AppendValue(v, out);
 }
 
-bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple) {
+bool DeserializeTuple(std::string_view data, size_t* pos, Tuple* tuple) {
   tuple->fields.clear();
   size_t arity = 0;
   if (!ParseSize(data, pos, &arity)) return false;
@@ -201,7 +207,7 @@ void SerializeTemplate(const Template& tmpl, std::string* out) {
   }
 }
 
-bool DeserializeTemplate(const std::string& data, size_t* pos,
+bool DeserializeTemplate(std::string_view data, size_t* pos,
                          Template* tmpl) {
   tmpl->fields.clear();
   size_t arity = 0;

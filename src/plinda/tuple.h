@@ -87,8 +87,9 @@ const std::string& GetString(const Tuple& tuple, size_t index);
 void SerializeTuple(const Tuple& tuple, std::string* out);
 
 /// Parses one tuple starting at *pos; advances *pos. Returns false on
-/// malformed input.
-bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple);
+/// malformed input. Takes a view so wire decoders can parse tuples in place
+/// out of a received frame without copying the bytes first.
+bool DeserializeTuple(std::string_view data, size_t* pos, Tuple* tuple);
 
 /// Appends a portable textual encoding of a template (anti-tuple): actuals
 /// use the tuple value encoding, formals carry only a type tag. Used by the
@@ -96,8 +97,9 @@ bool DeserializeTuple(const std::string& data, size_t* pos, Tuple* tuple);
 void SerializeTemplate(const Template& tmpl, std::string* out);
 
 /// Parses one template starting at *pos; advances *pos. Returns false on
-/// malformed input.
-bool DeserializeTemplate(const std::string& data, size_t* pos, Template* tmpl);
+/// malformed input. Takes a view for the same in-place reason as
+/// DeserializeTuple.
+bool DeserializeTemplate(std::string_view data, size_t* pos, Template* tmpl);
 
 /// 64-bit FNV-1a hash, shared by checkpoint checksumming and shard routing.
 uint64_t Fnv1a64(std::string_view data);

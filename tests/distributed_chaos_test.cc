@@ -8,11 +8,13 @@
 #include <chrono>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "arm/problem.h"
 #include "core/parallel.h"
 #include "gtest/gtest.h"
+#include "plinda/chaos.h"
 #include "plinda/runtime.h"
 #include "plinda/tuple.h"
 
@@ -109,6 +111,74 @@ TEST(DistributedChaosTest, ServerKilledMidRunRecoversFromCheckpointAndLog) {
   EXPECT_GE(runtime.stats().server_checkpoints, 1u);
   EXPECT_GT(runtime.stats().server_downtime, 0.0);
   ExpectExactlyOnceResults(runtime);
+}
+
+// Like TaskLoop, but after each commit the worker publishes a three-tuple
+// result group through the write-coalescing path, so the group travels as
+// ONE kBatch frame (a single WAL record server-side). A server kill landing
+// mid-flush forces a reconnect + resend; the dedup window must make the
+// whole group apply exactly once — never a partial group, never twice.
+void BatchyTaskLoop(ProcessContext& ctx) {
+  int64_t done = 0;
+  Tuple cont;
+  if (ctx.XRecover(&cont)) done = GetInt(cont, 1);
+  while (done < kNumTasks) {
+    ctx.XStart();
+    Tuple task;
+    ctx.In(MakeTemplate(A("task"), F(ValueType::kInt)), &task);
+    const int64_t id = GetInt(task, 1);
+    ctx.Out(MakeTuple("res", id));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ctx.Compute(1.0);
+    ++done;
+    ctx.XCommit(MakeTuple("progress", done));
+    for (int64_t part = 0; part < 3; ++part) {
+      ctx.Out(MakeTuple("part", id, part));
+    }
+  }
+}
+
+TEST(DistributedChaosTest, MidBatchServerKillAppliesWholeBatchOnceOrNotAtAll) {
+  // 22 seeded fault plans spread server kills across the whole run window,
+  // so some land while a worker's coalesced frames are mid-flight.
+  for (uint64_t seed = 1; seed <= 22; ++seed) {
+    plinda::ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.start_time = 0.02;
+    chaos.horizon = 0.25;
+    chaos.machine_mttf = 0;  // server faults only: workers stay alive, so
+                             // every out (txn or batched) is exactly-once
+    chaos.server_mttf = 0.07;
+    chaos.server_mttr = 0.05;
+    chaos.max_server_failures = 2;
+    const plinda::FaultPlan plan = plinda::GenerateFaultPlan(1, chaos);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + ToString(plan));
+
+    Runtime runtime(1, DistOptions());
+    plinda::InstallFaultPlan(&runtime, plan);
+    for (int64_t i = 0; i < kNumTasks; ++i) {
+      runtime.space().Out(MakeTuple("task", i));
+    }
+    runtime.SpawnOn("worker", 0, BatchyTaskLoop);
+    ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+    ExpectExactlyOnceResults(runtime);
+    // Every task's three-part group survived intact: 3 parts per task,
+    // each exactly once.
+    std::multiset<std::pair<int64_t, int64_t>> parts;
+    Tuple tuple;
+    while (runtime.space().TryIn(
+        MakeTemplate(A("part"), F(ValueType::kInt), F(ValueType::kInt)),
+        &tuple)) {
+      parts.insert({GetInt(tuple, 1), GetInt(tuple, 2)});
+    }
+    ASSERT_EQ(parts.size(), static_cast<size_t>(kNumTasks * 3));
+    for (int64_t i = 0; i < kNumTasks; ++i) {
+      for (int64_t part = 0; part < 3; ++part) {
+        EXPECT_EQ(parts.count({i, part}), 1u)
+            << "task " << i << " part " << part;
+      }
+    }
+  }
 }
 
 TEST(DistributedChaosTest, MinerSurvivesWorkerKillWithIdenticalResults) {

@@ -779,6 +779,419 @@ TEST_F(NetIntegrationTest, OversizedTrafficFailsStructurallyNotAsCorruption) {
 }
 
 // ---------------------------------------------------------------------------
+// kBatch: codec round trips, fuzz, and batched/pipelined client traffic
+// ---------------------------------------------------------------------------
+
+Request SampleBatchRequest() {
+  Request request;
+  request.op = Op::kBatch;
+  request.pid = 4;
+  request.incarnation = 1;
+  request.seq = 9;
+  BatchOp out;
+  out.op = Op::kOut;
+  out.tuple = MakeTuple("a", 1, 2.5);
+  BatchOp take;
+  take.op = Op::kIn;
+  take.flags = kInRemove;
+  take.tmpl = MakeTemplate(A("a"), F(ValueType::kInt), F(ValueType::kDouble));
+  request.batch = {out, take};
+  return request;
+}
+
+Reply SampleBatchReply() {
+  Reply reply;
+  reply.status = WireStatus::kOk;
+  reply.batch_frames = 3;
+  reply.batched_ops = 12;
+  BatchItem published;  // out applied: kOk, no tuple
+  BatchItem hit;
+  hit.has_tuple = true;
+  hit.tuple = MakeTuple("hit", 2);
+  BatchItem miss;
+  miss.status = WireStatus::kNotFound;
+  reply.items = {published, hit, miss};
+  return reply;
+}
+
+LogEntry SampleBatchLogEntry() {
+  LogEntry entry;
+  entry.kind = LogKind::kBatch;
+  entry.pid = 2;
+  entry.incarnation = 3;
+  entry.seq = 17;
+  BatchEffect published;
+  published.kind = BatchEffectKind::kPublished;
+  published.tuple = MakeTuple("pub", 1);
+  BatchEffect took;
+  took.kind = BatchEffectKind::kTook;
+  took.in_txn = true;
+  took.tuple = MakeTuple("gone", 2.5);
+  BatchEffect read;
+  read.kind = BatchEffectKind::kRead;
+  read.tuple = MakeTuple("seen", "s");
+  BatchEffect miss;
+  miss.kind = BatchEffectKind::kMiss;
+  entry.effects = {published, took, read, miss};
+  return entry;
+}
+
+TEST(WireCodecTest, BatchRequestRoundTrip) {
+  const Request request = SampleBatchRequest();
+  std::string error;
+  Request back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(request), &back, &error)) << error;
+  EXPECT_EQ(back.op, Op::kBatch);
+  EXPECT_EQ(back.pid, request.pid);
+  EXPECT_EQ(back.seq, request.seq);
+  ASSERT_EQ(back.batch.size(), 2u);
+  EXPECT_EQ(back.batch[0].op, Op::kOut);
+  EXPECT_EQ(back.batch[0].tuple, request.batch[0].tuple);
+  EXPECT_EQ(back.batch[1].op, Op::kIn);
+  EXPECT_EQ(back.batch[1].flags, kInRemove);
+  EXPECT_TRUE(Matches(back.batch[1].tmpl, MakeTuple("a", 7, 1.5)));
+}
+
+TEST(WireCodecTest, BatchReplyRoundTrip) {
+  const Reply reply = SampleBatchReply();
+  std::string error;
+  Reply back;
+  ASSERT_TRUE(DecodeReply(EncodeReply(reply), &back, &error)) << error;
+  EXPECT_EQ(back.batch_frames, 3u);
+  EXPECT_EQ(back.batched_ops, 12u);
+  ASSERT_EQ(back.items.size(), 3u);
+  EXPECT_EQ(back.items[0].status, WireStatus::kOk);
+  EXPECT_FALSE(back.items[0].has_tuple);
+  ASSERT_TRUE(back.items[1].has_tuple);
+  EXPECT_EQ(back.items[1].tuple, reply.items[1].tuple);
+  EXPECT_EQ(back.items[2].status, WireStatus::kNotFound);
+}
+
+TEST(WireCodecTest, BatchLogEntryRoundTrip) {
+  const LogEntry entry = SampleBatchLogEntry();
+  std::string error;
+  LogEntry back;
+  ASSERT_TRUE(DecodeLogEntry(EncodeLogEntry(entry), &back, &error)) << error;
+  EXPECT_EQ(back.kind, LogKind::kBatch);
+  EXPECT_EQ(back.seq, entry.seq);
+  ASSERT_EQ(back.effects.size(), 4u);
+  EXPECT_EQ(back.effects[0].kind, BatchEffectKind::kPublished);
+  EXPECT_EQ(back.effects[0].tuple, entry.effects[0].tuple);
+  EXPECT_EQ(back.effects[1].kind, BatchEffectKind::kTook);
+  EXPECT_TRUE(back.effects[1].in_txn);
+  EXPECT_EQ(back.effects[2].kind, BatchEffectKind::kRead);
+  EXPECT_EQ(back.effects[3].kind, BatchEffectKind::kMiss);
+}
+
+TEST(WireFuzzTest, BatchFrameEveryTruncationFailsCleanly) {
+  // Same contract as the non-batch truncation sweep: a strict prefix of a
+  // valid kBatch encoding must decode to a structured error (false + a
+  // non-empty message), never succeed or crash.
+  const std::string encodings[] = {
+      EncodeRequest(SampleBatchRequest()),
+      EncodeReply(SampleBatchReply()),
+      EncodeLogEntry(SampleBatchLogEntry()),
+  };
+  for (const std::string& full : encodings) {
+    for (size_t len = 0; len < full.size(); ++len) {
+      const std::string_view prefix(full.data(), len);
+      std::string error;
+      Request request;
+      Reply reply;
+      LogEntry entry;
+      EXPECT_FALSE(DecodeRequest(prefix, &request, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+      error.clear();
+      EXPECT_FALSE(DecodeReply(prefix, &reply, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+      error.clear();
+      EXPECT_FALSE(DecodeLogEntry(prefix, &entry, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+    }
+  }
+}
+
+TEST(WireFuzzTest, BatchFrameBitFlipsFailStructurallyOrDecode) {
+  uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string seeds[] = {
+      EncodeRequest(SampleBatchRequest()),
+      EncodeReply(SampleBatchReply()),
+      EncodeLogEntry(SampleBatchLogEntry()),
+  };
+  for (int round = 0; round < 600; ++round) {
+    std::string mutated = seeds[next() % 3];
+    const int flips = 1 + static_cast<int>(next() % 3);
+    for (int f = 0; f < flips; ++f) {
+      mutated[next() % mutated.size()] ^=
+          static_cast<char>(1u << (next() % 8));
+    }
+    std::string error;
+    Request request;
+    Reply reply;
+    LogEntry entry;
+    // A flip may happen to produce another valid encoding; what it must
+    // never produce is a decoder that fails without an error message (or
+    // crashes — the sanitizer legs watch that half).
+    if (!DecodeRequest(mutated, &request, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+    error.clear();
+    if (!DecodeReply(mutated, &reply, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+    error.clear();
+    if (!DecodeLogEntry(mutated, &entry, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST_F(NetIntegrationTest, BatchedOpsApplyInOrderWithPerOpResults) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  const uint64_t before = client.rpc_round_trips();
+  const Template query = MakeTemplate(A("t"), F(ValueType::kInt));
+  ASSERT_EQ(client.BatchOut(MakeTuple("t", 1)), CallStatus::kOk);
+  ASSERT_EQ(client.BatchOut(MakeTuple("t", 2)), CallStatus::kOk);
+  // Sub-ops resolve sequentially server-side: the take sees the batch's own
+  // outs and removes the oldest; the read then sees the survivor.
+  ASSERT_EQ(client.BatchIn(query, /*remove=*/true), CallStatus::kOk);
+  ASSERT_EQ(client.BatchIn(query, /*remove=*/false), CallStatus::kOk);
+  ASSERT_EQ(client.BatchIn(MakeTemplate(A("absent")), /*remove=*/true),
+            CallStatus::kOk);
+  std::vector<BatchItem> items;
+  ASSERT_EQ(client.Flush(&items), CallStatus::kOk);
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].status, WireStatus::kOk);
+  EXPECT_FALSE(items[0].has_tuple);
+  ASSERT_TRUE(items[2].has_tuple);
+  EXPECT_EQ(GetInt(items[2].tuple, 1), 1);
+  ASSERT_TRUE(items[3].has_tuple);
+  EXPECT_EQ(GetInt(items[3].tuple, 1), 2);
+  EXPECT_EQ(items[4].status, WireStatus::kNotFound);
+  // The whole five-op batch cost one round trip.
+  EXPECT_EQ(client.rpc_round_trips() - before, 1u);
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(query, &count), CallStatus::kOk);
+  EXPECT_EQ(count, 1u);
+  client.Bye();
+}
+
+TEST_F(NetIntegrationTest, DeferredTxnFramesRideWithTheNextBlockingCall) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  ASSERT_EQ(client.Out(MakeTuple("job", 5)), CallStatus::kOk);
+
+  const uint64_t before = client.rpc_round_trips();
+  // The worker steady state: [xcommit, xstart, blocking in] as one flush.
+  ASSERT_EQ(client.DeferXStart(), CallStatus::kOk);
+  Tuple task;
+  ASSERT_EQ(client.In(MakeTemplate(A("job"), F(ValueType::kInt)),
+                      /*blocking=*/true, /*remove=*/true, &task),
+            CallStatus::kOk);
+  EXPECT_EQ(GetInt(task, 1), 5);
+  ASSERT_EQ(client.DeferXCommit({MakeTuple("res", 6)}, true,
+                                MakeTuple("cont", 1)),
+            CallStatus::kOk);
+  ASSERT_EQ(client.DeferXStart(), CallStatus::kOk);
+  ASSERT_EQ(client.In(MakeTemplate(A("res"), F(ValueType::kInt)),
+                      /*blocking=*/true, /*remove=*/true, &task),
+            CallStatus::kOk);
+  EXPECT_EQ(GetInt(task, 1), 6);
+  // Two flushes total: [xstart, in] and [xcommit, xstart, in].
+  EXPECT_EQ(client.rpc_round_trips() - before, 2u);
+  ASSERT_EQ(client.XAbort(), CallStatus::kOk);
+  Tuple cont;
+  ASSERT_EQ(client.XRecover(&cont), CallStatus::kOk);
+  EXPECT_EQ(GetInt(cont, 1), 1);
+  client.Bye();
+}
+
+TEST_F(NetIntegrationTest, QueuedFramesSurviveAServerRestartBeforeFlush) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(client.BatchOut(MakeTuple("p", i)), CallStatus::kOk);
+  }
+  // Nothing has touched the wire yet; kill and restart the server, then
+  // flush — the client reconnects and the batch applies exactly once.
+  StopServer();
+  StartServer();
+  std::vector<BatchItem> items;
+  ASSERT_EQ(client.Flush(&items), CallStatus::kOk);
+  ASSERT_EQ(items.size(), 3u);
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(A("p"), F(ValueType::kInt)), &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 3u);
+  client.Bye();
+}
+
+TEST_F(NetIntegrationTest, BatchRetryIsServedFromTheDedupWindow) {
+  RemoteTupleSpace ctl(ClientOptions(-1));
+  ASSERT_TRUE(ctl.Connect());
+
+  RawClient worker(sopts_.socket_path);
+  ASSERT_TRUE(worker.ok());
+  Reply reply;
+  Request hello;
+  hello.op = Op::kHello;
+  hello.pid = 6;
+  ASSERT_TRUE(worker.Send(hello));
+  ASSERT_TRUE(worker.Receive(&reply));
+
+  Request batch;
+  batch.op = Op::kBatch;
+  batch.pid = 6;
+  batch.seq = 1;
+  BatchOp out;
+  out.op = Op::kOut;
+  out.tuple = MakeTuple("d", 1);
+  BatchOp take;
+  take.op = Op::kIn;
+  take.flags = kInRemove;
+  take.tmpl = MakeTemplate(A("d"), F(ValueType::kInt));
+  batch.batch = {out, take};
+  ASSERT_TRUE(worker.Send(batch));
+  Reply first;
+  ASSERT_TRUE(worker.Receive(&first));
+  ASSERT_EQ(first.status, WireStatus::kOk);
+  ASSERT_EQ(first.items.size(), 2u);
+  ASSERT_TRUE(first.items[1].has_tuple);
+
+  // The identical frame again, as a post-crash resend would: the cached
+  // reply comes back and the out is NOT re-applied.
+  ASSERT_TRUE(worker.Send(batch));
+  Reply second;
+  ASSERT_TRUE(worker.Receive(&second));
+  EXPECT_EQ(second.status, WireStatus::kOk);
+  ASSERT_EQ(second.items.size(), 2u);
+  EXPECT_TRUE(second.items[1].has_tuple);
+  EXPECT_EQ(second.items[1].tuple, first.items[1].tuple);
+  uint64_t count = 0;
+  ASSERT_EQ(ctl.Count(MakeTemplate(A("d"), F(ValueType::kInt)), &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 0u);
+  ctl.Bye();
+}
+
+TEST_F(NetIntegrationTest, BlockingSubOpInABatchIsAStructuredError) {
+  RawClient worker(sopts_.socket_path);
+  ASSERT_TRUE(worker.ok());
+  Reply reply;
+  Request hello;
+  hello.op = Op::kHello;
+  hello.pid = 7;
+  ASSERT_TRUE(worker.Send(hello));
+  ASSERT_TRUE(worker.Receive(&reply));
+
+  Request batch;
+  batch.op = Op::kBatch;
+  batch.pid = 7;
+  batch.seq = 1;
+  BatchOp park;
+  park.op = Op::kIn;
+  park.flags = kInRemove | kInBlocking;
+  park.tmpl = MakeTemplate(A("never"));
+  batch.batch = {park};
+  ASSERT_TRUE(worker.Send(batch));
+  ASSERT_TRUE(worker.Receive(&reply));
+  EXPECT_EQ(reply.status, WireStatus::kError);
+  EXPECT_NE(reply.error.find("blocking"), std::string::npos) << reply.error;
+}
+
+TEST_F(NetIntegrationTest, AsyncStatusPollAndSingleRoundTripHarvest) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(client.Out(MakeTuple("h", i)), CallStatus::kOk);
+  }
+  RemoteTupleSpace ctl(ClientOptions(-1));
+  ASSERT_TRUE(ctl.Connect());
+
+  ASSERT_EQ(ctl.BeginStatus(), CallStatus::kOk);
+  EXPECT_TRUE(ctl.status_inflight());
+  Reply status;
+  CallStatus polled = CallStatus::kPending;
+  for (int i = 0; i < 2000 && polled == CallStatus::kPending; ++i) {
+    polled = ctl.PollStatus(&status);
+    if (polled == CallStatus::kPending) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(polled, CallStatus::kOk);
+  EXPECT_FALSE(ctl.status_inflight());
+  EXPECT_GT(status.publish_epoch, 0u);
+
+  // A synchronous call while a status poll is in flight drains the stale
+  // reply first, so replies never cross streams.
+  ASSERT_EQ(ctl.BeginStatus(), CallStatus::kOk);
+  uint64_t count = 0;
+  ASSERT_EQ(ctl.Count(MakeTemplate(A("h"), F(ValueType::kInt)), &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 4u);
+  EXPECT_FALSE(ctl.status_inflight());
+
+  const uint64_t before = ctl.rpc_round_trips();
+  Reply stats;
+  std::vector<Tuple> drained;
+  ASSERT_EQ(ctl.Harvest(&stats, &drained), CallStatus::kOk);
+  EXPECT_EQ(drained.size(), 4u);
+  EXPECT_GE(stats.tuple_ops, 4u);
+  EXPECT_EQ(ctl.rpc_round_trips() - before, 1u);
+  ASSERT_EQ(ctl.Count(MakeTemplate(A("h"), F(ValueType::kInt)), &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 0u);
+  client.Bye();
+  ctl.Bye();
+}
+
+TEST_F(NetIntegrationTest, OversizedBatchSealsAndFlushesAutomatically) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  // Well past kMaxBatchOps (1024): the client must seal full frames and
+  // flush inline when the queue deepens, without the caller noticing.
+  constexpr int kOps = 2600;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(client.BatchOut(MakeTuple("bulk", i)), CallStatus::kOk);
+  }
+  ASSERT_EQ(client.Flush(), CallStatus::kOk);
+  EXPECT_GE(client.batch_frames_sent(), 3u);
+  EXPECT_EQ(client.batched_ops_sent(), static_cast<uint64_t>(kOps));
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(A("bulk"), F(ValueType::kInt)), &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, static_cast<uint64_t>(kOps));
+  client.Bye();
+}
+
+TEST_F(NetIntegrationTest, BatchedMutationsSurviveServerCrashRecovery) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(client.BatchOut(MakeTuple("keep", i)), CallStatus::kOk);
+  }
+  ASSERT_EQ(client.BatchIn(MakeTemplate(A("keep"), A(int64_t{0})),
+                           /*remove=*/true),
+            CallStatus::kOk);
+  ASSERT_EQ(client.Flush(), CallStatus::kOk);
+  // The batch was one WAL record; recovery must replay it exactly once.
+  StopServer();
+  StartServer();
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(A("keep"), F(ValueType::kInt)), &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 7u);
+  client.Bye();
+}
+
+// ---------------------------------------------------------------------------
 // kDistributed runtime end to end (forked workers + server process)
 // ---------------------------------------------------------------------------
 

@@ -20,6 +20,36 @@ def fail(path, message):
     sys.exit(1)
 
 
+def check_context(path, context):
+    """Rejects bench JSON measured on a debug or sanitized build.
+
+    Timings from an unoptimized or sanitizer-instrumented libfpdm are not
+    comparable to release numbers, so they must never land in the committed
+    BENCH_*.json files. tools/run_benches.sh stamps fpdm_build_type /
+    fpdm_sanitize / git_sha into the context; files without the stamp
+    (hand-run binaries, pre-stamp files) are rejected too. Google
+    Benchmark's own library_build_type is NOT consulted: it describes the
+    prebuilt libbenchmark package, not this tree's code generation.
+    """
+    if not isinstance(context, dict):
+        fail(path, "missing benchmark 'context'")
+    build_type = context.get("fpdm_build_type")
+    if not isinstance(build_type, str) or not build_type:
+        fail(path, "context lacks fpdm_build_type — regenerate with "
+                   "tools/run_benches.sh on a release build")
+    if build_type.lower() in ("debug", "unknown", ""):
+        fail(path, f"fpdm_build_type is '{build_type}' — benchmark numbers "
+                   "from a debug build are not meaningful")
+    sanitize = context.get("fpdm_sanitize")
+    if sanitize not in (None, "", "none"):
+        fail(path, f"fpdm_sanitize is '{sanitize}' — benchmark numbers from "
+                   "a sanitized build are not meaningful")
+    git_sha = context.get("git_sha")
+    if not isinstance(git_sha, str) or not git_sha or git_sha == "unknown":
+        fail(path, "context lacks git_sha — regenerate with "
+                   "tools/run_benches.sh inside the git checkout")
+
+
 def check_file(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -29,6 +59,7 @@ def check_file(path):
 
     if not isinstance(doc, dict) or "benchmarks" not in doc:
         fail(path, "missing top-level 'benchmarks' key")
+    check_context(path, doc.get("context"))
     benchmarks = doc["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
         fail(path, "'benchmarks' is empty — no benchmark ran")

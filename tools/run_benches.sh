@@ -39,8 +39,19 @@ fi
 
 cmake --build "$build_dir" -j --target bench_micro bench_scaling
 
+# Stamp the JSON context with OUR library's build configuration and the
+# commit the numbers were measured at. Google Benchmark's own
+# library_build_type describes the prebuilt libbenchmark (often a debug
+# package), not this tree; fpdm_build_type is what check_bench_json.py
+# keys on, and git_sha ties committed BENCH_*.json files to a revision.
+build_type="$(grep -E '^CMAKE_BUILD_TYPE:' "$build_dir/CMakeCache.txt" \
+  | head -n1 | cut -d= -f2- || true)"
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+context="fpdm_build_type=${build_type:-unknown}"
+context+=",fpdm_sanitize=none,git_sha=$git_sha"
+
 mkdir -p "$out_dir"
-extra_args=()
+extra_args=(--benchmark_context="$context")
 if [[ "$quick" == 1 ]]; then
   extra_args+=(--benchmark_min_time=0.01)
 fi
