@@ -9,9 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <thread>
 
 #include "arm/problem.h"
+#include "plinda/runtime.h"
+#include "plinda/tuple.h"
 #include "classify/parallel.h"
 #include "core/parallel.h"
 #include "data/benchmarks.h"
@@ -137,13 +140,15 @@ void FillWireCounters(benchmark::State& state,
                 static_cast<double>(stats.batch_frames);
 }
 
-void RunScalingDistributedApriori(benchmark::State& state, bool batching) {
+void RunScalingDistributedApriori(benchmark::State& state, bool batching,
+                                  int servers) {
   const arm::ItemsetProblem problem = DistributedAprioriProblem();
   core::ParallelOptions options;
   options.strategy = core::Strategy::kLoadBalanced;
   options.execution_mode = plinda::ExecutionMode::kDistributed;
   options.num_workers = static_cast<int>(state.range(0));
   options.runtime.distributed_batching = batching;
+  options.runtime.distributed_servers = servers;
   core::ParallelResult result;
   for (auto _ : state) {
     result = core::MineParallel(problem, options);
@@ -157,15 +162,32 @@ void RunScalingDistributedApriori(benchmark::State& state, bool batching) {
       static_cast<double>(result.mining.patterns_tested);
   state.counters["server_checkpoints"] =
       static_cast<double>(result.stats.server_checkpoints);
+  // Multi-server placement observability: formal-first all-shard ops and
+  // the pipelined gather rounds they cost. rounds_per_scatter ≈ 1 (not N)
+  // is the scatter legs riding as one writev + one pipelined gather.
+  state.counters["servers"] = static_cast<double>(servers);
+  state.counters["scatter_ops"] =
+      static_cast<double>(result.stats.dist_scatter_ops);
+  state.counters["rounds_per_scatter"] =
+      result.stats.dist_scatter_ops == 0
+          ? 0.0
+          : static_cast<double>(result.stats.dist_scatter_rounds) /
+                static_cast<double>(result.stats.dist_scatter_ops);
 }
 
+// Arg 0 sweeps the worker fleet against one server; arg 1 then sweeps the
+// shard-server count at the largest fleet — the single-threaded server
+// poll loop is the ceiling the 2- and 4-server rows exist to lift.
 void BM_ScalingDistributedApriori(benchmark::State& state) {
-  RunScalingDistributedApriori(state, /*batching=*/true);
+  RunScalingDistributedApriori(state, /*batching=*/true,
+                               static_cast<int>(state.range(1)));
 }
 BENCHMARK(BM_ScalingDistributedApriori)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
     ->Iterations(2)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
@@ -175,9 +197,56 @@ BENCHMARK(BM_ScalingDistributedApriori)
 // rpc_calls ratio against BM_ScalingDistributedApriori at the same worker
 // count is the protocol-level win, decoupled from wall-clock noise.
 void BM_ScalingDistributedAprioriUnbatched(benchmark::State& state) {
-  RunScalingDistributedApriori(state, /*batching=*/false);
+  RunScalingDistributedApriori(state, /*batching=*/false, /*servers=*/1);
 }
 BENCHMARK(BM_ScalingDistributedAprioriUnbatched)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The formal-first all-shard slow path in isolation: the miners route
+// every op to a single bucket, so this bench is what actually prices the
+// scatter/gather — a consumer draining tuples spread over many distinct
+// buckets with a formal-first template. Every in probes ALL shard servers;
+// rounds_per_scatter ≈ 1 across the server sweep shows the N legs ride as
+// one pipelined gather, not N serial round trips.
+void BM_ScatterGatherDistributed(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  constexpr int64_t kTasks = 32;
+  plinda::RuntimeStats stats;
+  for (auto _ : state) {
+    plinda::RuntimeOptions options;
+    options.mode = plinda::ExecutionMode::kDistributed;
+    options.distributed_servers = servers;
+    plinda::Runtime runtime(1, options);
+    for (int64_t i = 0; i < kTasks; ++i) {
+      runtime.space().Out(plinda::MakeTuple("t" + std::to_string(i), i));
+    }
+    runtime.SpawnOn("consumer", 0, [](plinda::ProcessContext& ctx) {
+      for (int64_t i = 0; i < kTasks; ++i) {
+        plinda::Tuple t;
+        ctx.In(plinda::MakeTemplate(plinda::F(plinda::ValueType::kString),
+                                    plinda::F(plinda::ValueType::kInt)),
+               &t);
+      }
+    });
+    if (!runtime.Run()) state.SkipWithError("scatter run failed");
+    stats = runtime.stats();
+    benchmark::DoNotOptimize(stats.tuple_ops);
+  }
+  state.counters["servers"] = static_cast<double>(servers);
+  state.counters["scatter_ops"] = static_cast<double>(stats.dist_scatter_ops);
+  state.counters["rounds_per_scatter"] =
+      stats.dist_scatter_ops == 0
+          ? 0.0
+          : static_cast<double>(stats.dist_scatter_rounds) /
+                static_cast<double>(stats.dist_scatter_ops);
+  state.counters["rpc_calls"] = static_cast<double>(stats.rpc_calls);
+}
+BENCHMARK(BM_ScatterGatherDistributed)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

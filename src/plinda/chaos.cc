@@ -64,8 +64,13 @@ std::string ToString(const FaultEvent& event) {
       kind = "SERVER_RECOVER";
       break;
   }
+  const bool server_event = event.kind == FaultEvent::Kind::kServerCrash ||
+                            event.kind == FaultEvent::Kind::kServerRecover;
   char buf[96];
-  if (event.machine >= 0) {
+  if (server_event && event.machine >= 0) {
+    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-14s tuple-space server %d",
+                  event.time, kind, event.machine);
+  } else if (event.machine >= 0) {
     std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-14s machine %d", event.time,
                   kind, event.machine);
   } else {
@@ -157,9 +162,16 @@ FaultPlan GenerateFaultPlan(int num_machines, const ChaosOptions& options) {
     int crashes = 0;
     while (t < options.horizon && crashes < options.max_server_failures) {
       const double recover = t + Exponential(&rng, options.server_mttr);
-      plan.events.push_back(FaultEvent{FaultEvent::Kind::kServerCrash, t, -1});
+      // Multi-server runtimes get a uniformly drawn victim index; the
+      // recovery restarts that same server.
+      const int victim =
+          options.num_servers > 1
+              ? static_cast<int>(rng.NextInt(0, options.num_servers - 1))
+              : -1;
       plan.events.push_back(
-          FaultEvent{FaultEvent::Kind::kServerRecover, recover, -1});
+          FaultEvent{FaultEvent::Kind::kServerCrash, t, victim});
+      plan.events.push_back(
+          FaultEvent{FaultEvent::Kind::kServerRecover, recover, victim});
       ++crashes;
       t = recover + Exponential(&rng, options.server_mttf);
     }
@@ -185,10 +197,10 @@ void InstallFaultPlan(Runtime* runtime, const FaultPlan& plan) {
         runtime->ScheduleRecovery(event.machine, event.time);
         break;
       case FaultEvent::Kind::kServerCrash:
-        runtime->ScheduleServerFailure(event.time);
+        runtime->ScheduleServerFailure(event.time, event.machine);
         break;
       case FaultEvent::Kind::kServerRecover:
-        runtime->ScheduleServerRecovery(event.time);
+        runtime->ScheduleServerRecovery(event.time, event.machine);
         break;
     }
   }

@@ -48,6 +48,13 @@ struct ChaosOptions {
   double server_mttf = 0;
   double server_mttr = 20.0;
   int max_server_failures = 1;
+
+  /// Shard-server processes the distributed runtime runs
+  /// (RuntimeOptions::distributed_servers). When > 1, each server crash
+  /// picks a victim index uniformly (recovery restarts the same index);
+  /// at 1 the events carry index -1, the "the server" of a single-server
+  /// runtime. The simulator's single logical server ignores the index.
+  int num_servers = 1;
 };
 
 /// One scheduled fault. Machine events carry the machine index; server

@@ -18,8 +18,10 @@ namespace fpdm::plinda::net {
 
 namespace {
 
-// v2: per-client dedup *window* (seq, reply) pairs + batch counters.
-constexpr char kSnapshotMagic[] = "fpdmsrv2:";
+// v3: continuation stamps + per-peer forward queues/counters for
+// multi-server placement (v2 added the per-client dedup window + batch
+// counters).
+constexpr char kSnapshotMagic[] = "fpdmsrv3:";
 
 /// An all-actuals template matching exactly one tuple value. Replaying an
 /// IN log entry removes the oldest tuple equal to the logged one, which is
@@ -66,12 +68,23 @@ SpaceServer::SpaceServer(SpaceServerOptions options)
     : options_(std::move(options)) {
   if (options_.num_shards < 1) options_.num_shards = 1;
   if (options_.checkpoint_every_ops < 1) options_.checkpoint_every_ops = 1;
+  placement_ = options_.placement.empty()
+                   ? std::vector<std::string>{options_.socket_path}
+                   : options_.placement;
+  if (options_.server_index < 0 ||
+      static_cast<size_t>(options_.server_index) >= placement_.size()) {
+    options_.server_index = 0;
+  }
+  peers_.resize(placement_.size());
 }
 
 SpaceServer::~SpaceServer() {
   if (log_fd_ >= 0) ::close(log_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   for (auto& [fd, conn] : conns_) ::close(fd);
+  for (PeerLink& peer : peers_) {
+    if (peer.fd >= 0) ::close(peer.fd);
+  }
 }
 
 // --- sharded space --------------------------------------------------------
@@ -132,7 +145,8 @@ std::string SpaceServer::EncodeSnapshot() const {
   PutU32(static_cast<uint32_t>(continuations_.size()), &payload);
   for (const auto& [pid, cont] : continuations_) {
     PutI32(pid, &payload);
-    PutTuple(cont, &payload);
+    PutU64(cont.first, &payload);  // stamp: (incarnation<<32)|commit counter
+    PutTuple(cont.second, &payload);
   }
   PutU32(static_cast<uint32_t>(clients_.size()), &payload);
   for (const auto& [pid, c] : clients_) {
@@ -156,6 +170,21 @@ std::string SpaceServer::EncodeSnapshot() const {
   PutU64(cross_shard_ops_, &payload);
   PutU64(batch_frames_, &payload);
   PutU64(batched_ops_, &payload);
+  // Peer forward state: fseq counters, unacked queues, and watermarks.
+  // Persisting these makes forwarding exactly-once across a crash: replay
+  // of post-snapshot commits re-assigns identical fseqs, already-acked
+  // forwards that resend are deduplicated by the peer's watermark.
+  PutU32(static_cast<uint32_t>(peers_.size()), &payload);
+  for (const PeerLink& peer : peers_) {
+    PutU64(peer.next_fseq, &payload);
+    PutU64(peer.watermark, &payload);
+    PutU32(static_cast<uint32_t>(peer.unacked.size()), &payload);
+    for (const auto& [fseq, outs] : peer.unacked) {
+      PutU64(fseq, &payload);
+      PutU32(static_cast<uint32_t>(outs.size()), &payload);
+      for (const Tuple& t : outs) PutTuple(t, &payload);
+    }
+  }
 
   std::string out = kSnapshotMagic;
   PutU32(static_cast<uint32_t>(payload.size()), &out);
@@ -194,9 +223,12 @@ bool SpaceServer::LoadSnapshot(const std::string& path) {
   continuations_.clear();
   for (uint32_t i = 0; i < n; ++i) {
     int32_t pid = 0;
+    uint64_t stamp = 0;
     Tuple cont;
-    if (!r.TakeI32(&pid) || !r.TakeTuple(&cont)) return false;
-    continuations_.emplace(pid, std::move(cont));
+    if (!r.TakeI32(&pid) || !r.TakeU64(&stamp) || !r.TakeTuple(&cont)) {
+      return false;
+    }
+    continuations_.emplace(pid, std::make_pair(stamp, std::move(cont)));
   }
   if (!r.TakeU32(&n)) return false;
   clients_.clear();
@@ -231,6 +263,33 @@ bool SpaceServer::LoadSnapshot(const std::string& path) {
       !r.TakeU64(&checkpoints_) || !r.TakeU64(&cross_shard_ops_) ||
       !r.TakeU64(&batch_frames_) || !r.TakeU64(&batched_ops_)) {
     return false;
+  }
+  uint32_t num_servers = 0;
+  if (!r.TakeU32(&num_servers)) return false;
+  // A restarted server must rejoin the same placement it crashed in: a
+  // changed server count would re-route buckets and orphan forwards.
+  if (num_servers != static_cast<uint32_t>(peers_.size())) return false;
+  for (PeerLink& peer : peers_) {
+    uint32_t n_unacked = 0;
+    peer.unacked.clear();
+    if (!r.TakeU64(&peer.next_fseq) || !r.TakeU64(&peer.watermark) ||
+        !r.TakeU32(&n_unacked)) {
+      return false;
+    }
+    for (uint32_t i = 0; i < n_unacked; ++i) {
+      uint64_t fseq = 0;
+      uint32_t n_outs = 0;
+      if (!r.TakeU64(&fseq) || !r.TakeU32(&n_outs)) return false;
+      std::vector<Tuple> outs;
+      outs.reserve(n_outs);
+      for (uint32_t j = 0; j < n_outs; ++j) {
+        Tuple t;
+        if (!r.TakeTuple(&t)) return false;
+        outs.push_back(std::move(t));
+      }
+      peer.unacked.emplace_back(fseq, std::move(outs));
+    }
+    peer.sent = 0;  // nothing is on the wire in a fresh process
   }
   return r.AtEnd();
 }
@@ -402,12 +461,31 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
       break;
     }
     case LogKind::kCommit: {
+      // Transactions have single-server affinity, but their outs can target
+      // any bucket: publish the locally-placed ones, forward the rest to
+      // their owning server (one kForward per commit per target, so the
+      // per-source FIFO channel preserves commit order end to end). The
+      // home server counts every commit out in tuple_ops_; the forward
+      // apply on the target deliberately does not.
+      const size_t self = static_cast<size_t>(options_.server_index);
+      std::map<size_t, std::vector<Tuple>> foreign;
       for (const Tuple& t : entry.outs) {
-        PublishTuple(t);
+        const size_t target = placement_.size() > 1
+                                  ? PlacementIndex(BucketKeyFor(t),
+                                                   placement_.size())
+                                  : self;
+        if (target == self) {
+          PublishTuple(t);
+        } else {
+          foreign[target].push_back(t);
+        }
         ++tuple_ops_;
       }
+      for (auto& [target, outs] : foreign) {
+        EnqueueForward(target, std::move(outs));
+      }
       if (entry.has_continuation) {
-        continuations_[entry.pid] = entry.continuation;
+        continuations_[entry.pid] = {entry.cont_stamp, entry.continuation};
       }
       ClientState& c = clients_[entry.pid];
       c.txn_open = false;
@@ -429,7 +507,8 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
         reply.status = WireStatus::kNotFound;
       } else {
         reply.has_tuple = true;
-        reply.tuple = it->second;
+        reply.cont_stamp = it->second.first;
+        reply.tuple = it->second.second;
         continuations_.erase(it);
       }
       break;
@@ -460,9 +539,26 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
       reply = BatchReplyFor(entry);
       break;
     }
+    case LogKind::kForward: {
+      // Commit outs delivered from peer server entry.pid under forward seq
+      // entry.seq. The watermark guard makes replay and re-delivery
+      // idempotent; no tuple_ops_ bump — the home server counted them.
+      if (entry.pid >= 0 &&
+          static_cast<size_t>(entry.pid) < peers_.size()) {
+        PeerLink& src = peers_[static_cast<size_t>(entry.pid)];
+        if (entry.seq > src.watermark) {
+          for (const Tuple& t : entry.outs) PublishTuple(t);
+          src.watermark = entry.seq;
+        }
+      }
+      break;
+    }
   }
   const std::string encoded = EncodeReply(reply);
-  if (entry.seq != 0 && entry.pid >= 0) {
+  // kForward entries reuse pid as the SOURCE SERVER index — caching their
+  // replies would collide with a real client's dedup window.
+  if (entry.seq != 0 && entry.pid >= 0 &&
+      entry.kind != LogKind::kForward) {
     CacheReply(clients_[entry.pid], entry.seq, encoded);
   }
   return encoded;
@@ -536,8 +632,12 @@ void SpaceServer::SatisfyWaiters() {
 void SpaceServer::HandleHello(Conn& conn, const Request& request) {
   conn.pid = request.pid;
   conn.incarnation = request.incarnation;
+  // Every HELLO reply carries the placement map, so a worker that connects
+  // to any one server learns where every bucket lives.
+  Reply hello;
+  hello.placement = placement_;
   if (request.pid < 0) {  // control connection: nothing to register
-    SendReply(conn, Reply{});
+    SendReply(conn, hello);
     return;
   }
   auto it = clients_.find(request.pid);
@@ -551,17 +651,20 @@ void SpaceServer::HandleHello(Conn& conn, const Request& request) {
       request.incarnation == it->second.incarnation) {
     // Reconnect of a live incarnation (server restarted or the connection
     // dropped): keep the dedup and transaction state exactly as it was.
-    SendReply(conn, Reply{});
+    SendReply(conn, hello);
     return;
   }
   // New client or a respawned incarnation: crash-abort whatever the old
-  // incarnation left open and reset its dedup window.
+  // incarnation left open and reset its dedup window. HELLO entries are
+  // unsequenced (never cached), so sending the placement-bearing reply
+  // instead of ApplyEntry's encoding cannot diverge from a replayed one.
   LogEntry entry;
   entry.kind = LogKind::kHello;
   entry.pid = request.pid;
   entry.incarnation = request.incarnation;
   if (!AppendLog(entry)) return;
-  SendEncoded(conn, ApplyEntry(entry));
+  ApplyEntry(entry);
+  SendReply(conn, hello);
   SatisfyWaiters();
 }
 
@@ -758,6 +861,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       entry.outs = request.outs;
       entry.has_continuation = request.has_continuation;
       entry.continuation = request.continuation;
+      entry.cont_stamp = request.cont_stamp;
       if (!AppendLog(entry)) break;
       SendEncoded(conn, ApplyEntry(entry));
       SatisfyWaiters();
@@ -861,6 +965,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
     case Op::kStatus: {
       Reply reply;
       reply.publish_epoch = publish_epoch_;
+      reply.forwards_pending = ForwardsPending();
       for (const Waiter& w : waiters_) {
         ParkedWaiter parked;
         parked.pid = w.pid;
@@ -882,6 +987,58 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       }
       waiters_.clear();
       SendReply(conn, Reply{});
+      break;
+    }
+    case Op::kUnpark: {
+      // Scatter/gather loser cancellation: the client won its blocking rd
+      // on another server and retracts the legs parked here. Reply order
+      // matches frame order, so the parked frame's kNotFound goes out
+      // before the unpark ack. A leg that already fired (its waiter is
+      // gone) makes this a no-op ack and the client discards the extra
+      // reply — the parked op is a non-destructive rd either way.
+      Reply miss;
+      miss.status = WireStatus::kNotFound;
+      for (auto it = waiters_.begin(); it != waiters_.end();) {
+        if (it->fd == conn.fd) {
+          SendReply(conn, miss);
+          it = waiters_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      SendReply(conn, Reply{});
+      break;
+    }
+    case Op::kForward: {
+      // Server-to-server delivery of commit outs placed here. request.pid
+      // is the SOURCE SERVER index and request.seq its forward seq; the
+      // source resends its whole unacked queue after a reconnect, so
+      // duplicates are acked without logging (watermark dedup).
+      if (conn.pid >= 0) {
+        SendError(conn, "forward from a registered client");
+        break;
+      }
+      const int32_t src = request.pid;
+      if (src < 0 || static_cast<size_t>(src) >= peers_.size() ||
+          static_cast<size_t>(src) ==
+              static_cast<size_t>(options_.server_index) ||
+          request.seq == 0) {
+        SendError(conn, "forward: bad source server or sequence");
+        break;
+      }
+      if (request.seq <= peers_[static_cast<size_t>(src)].watermark) {
+        SendReply(conn, Reply{});  // duplicate delivery: ack only
+        break;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kForward;
+      entry.pid = src;
+      entry.seq = request.seq;
+      entry.outs = request.outs;
+      if (!AppendLog(entry)) break;
+      ApplyEntry(entry);
+      SendReply(conn, Reply{});
+      SatisfyWaiters();
       break;
     }
     case Op::kShutdown:
@@ -936,6 +1093,128 @@ void SpaceServer::DropConns(const std::vector<int>& fds) {
   }
 }
 
+// --- peer forwarding (multi-server placement) -----------------------------
+
+void SpaceServer::EnqueueForward(size_t target, std::vector<Tuple> outs) {
+  PeerLink& peer = peers_[target];
+  peer.unacked.emplace_back(++peer.next_fseq, std::move(outs));
+}
+
+uint64_t SpaceServer::ForwardsPending() const {
+  uint64_t pending = 0;
+  for (const PeerLink& peer : peers_) pending += peer.unacked.size();
+  return pending;
+}
+
+void SpaceServer::DropPeer(PeerLink& peer) {
+  if (peer.fd >= 0) ::close(peer.fd);
+  peer.fd = -1;
+  peer.sent = 0;  // a fresh connection resends the whole unacked queue
+  peer.outbuf.clear();
+  peer.reader = FrameReader{};
+}
+
+void SpaceServer::ReadPeerAcks(PeerLink& peer) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(peer.fd, buf, sizeof(buf));
+    if (n > 0) {
+      peer.reader.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0 ||
+        (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      DropPeer(peer);
+      return;
+    }
+    break;
+  }
+  std::string payload;
+  for (;;) {
+    const FrameReader::Result result = peer.reader.Next(&payload);
+    if (result == FrameReader::Result::kFrame) {
+      Reply reply;
+      std::string error;
+      // Acks arrive strictly in send order (one connection, one reply per
+      // frame), so each kOk retires the oldest unacked forward. Anything
+      // else — decode failure, an error reply, an ack with nothing
+      // outstanding — is an unusable link: drop and resend from scratch.
+      if (!DecodeReply(payload, &reply, &error) ||
+          reply.status != WireStatus::kOk || peer.unacked.empty()) {
+        DropPeer(peer);
+        return;
+      }
+      peer.unacked.pop_front();
+      if (peer.sent > 0) --peer.sent;
+      continue;
+    }
+    if (result == FrameReader::Result::kError) DropPeer(peer);
+    break;
+  }
+}
+
+void SpaceServer::PumpPeers() {
+  for (size_t k = 0; k < peers_.size(); ++k) {
+    if (k == static_cast<size_t>(options_.server_index)) continue;
+    PeerLink& peer = peers_[k];
+    if (peer.fd < 0 && peer.unacked.empty()) continue;
+    if (peer.fd < 0) {
+      // Reconnect, throttled: the peer may be mid-restart after a fault
+      // injection. The watermark on its side makes the resend harmless.
+      const auto now = std::chrono::steady_clock::now();
+      if (now < peer.next_attempt) continue;
+      peer.next_attempt = now + std::chrono::milliseconds(20);
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) continue;
+      sockaddr_un addr;
+      std::memset(&addr, 0, sizeof(addr));
+      addr.sun_family = AF_UNIX;
+      if (placement_[k].size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        continue;
+      }
+      std::strncpy(addr.sun_path, placement_[k].c_str(),
+                   sizeof(addr.sun_path) - 1);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+        ::close(fd);
+        continue;
+      }
+      SetNonBlocking(fd);
+      peer.fd = fd;
+      peer.sent = 0;
+      peer.outbuf.clear();
+      peer.reader = FrameReader{};
+    }
+    // Encode the unsent tail of the queue. Deliberately no HELLO: the peer
+    // connection stays pid -1 on the receiving side, outside the client
+    // dedup window and the post-cancel gate (forwards must drain even
+    // after a Cancel so the harvest sees every committed tuple).
+    while (peer.sent < peer.unacked.size()) {
+      const auto& [fseq, outs] = peer.unacked[peer.sent];
+      Request request;
+      request.op = Op::kForward;
+      request.pid = static_cast<int32_t>(options_.server_index);
+      request.seq = fseq;
+      request.outs = outs;
+      AppendFrame(EncodeRequest(request), &peer.outbuf);
+      ++peer.sent;
+    }
+    while (!peer.outbuf.empty()) {
+      const ssize_t n =
+          ::write(peer.fd, peer.outbuf.data(), peer.outbuf.size());
+      if (n > 0) {
+        peer.outbuf.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      DropPeer(peer);
+      break;
+    }
+  }
+}
+
 // --- the serve loop -------------------------------------------------------
 
 int SpaceServer::Serve() {
@@ -947,7 +1226,17 @@ int SpaceServer::Serve() {
   sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) return 1;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    // sun_path is a fixed 108-byte field: binding a silently truncated
+    // path would serve on a socket no client ever connects to. Fail loudly
+    // with a distinct exit code the supervisor maps to a structured error.
+    std::fprintf(stderr,
+                 "fpdm server: socket path exceeds sun_path limit "
+                 "(%zu >= %zu bytes): %s\n",
+                 options_.socket_path.size(), sizeof(addr.sun_path),
+                 options_.socket_path.c_str());
+    return 4;
+  }
   std::strncpy(addr.sun_path, options_.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
   ::unlink(options_.socket_path.c_str());
@@ -959,6 +1248,7 @@ int SpaceServer::Serve() {
 
   std::vector<pollfd> pfds;
   std::vector<int> io_fds;
+  std::vector<size_t> peer_slots;
   while (!stop_) {
     pfds.clear();
     pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
@@ -967,9 +1257,24 @@ int SpaceServer::Serve() {
       if (!conn.outbuf.empty()) events |= POLLOUT;
       pfds.push_back(pollfd{fd, events, 0});
     }
+    const size_t peer_base = pfds.size();
+    peer_slots.clear();
+    for (size_t k = 0; k < peers_.size(); ++k) {
+      if (peers_[k].fd < 0) continue;
+      short events = POLLIN;
+      if (!peers_[k].outbuf.empty()) events |= POLLOUT;
+      pfds.push_back(pollfd{peers_[k].fd, events, 0});
+      peer_slots.push_back(k);
+    }
     if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200) < 0 &&
         errno != EINTR) {
       break;
+    }
+
+    for (size_t i = peer_base; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      PeerLink& peer = peers_[peer_slots[i - peer_base]];
+      if (peer.fd == pfds[i].fd) ReadPeerAcks(peer);
     }
 
     if ((pfds[0].revents & POLLIN) != 0) {
@@ -984,7 +1289,7 @@ int SpaceServer::Serve() {
     }
 
     io_fds.clear();
-    for (size_t i = 1; i < pfds.size(); ++i) {
+    for (size_t i = 1; i < peer_base; ++i) {
       if (pfds[i].revents != 0) io_fds.push_back(pfds[i].fd);
     }
     std::vector<int> to_drop;
@@ -1038,6 +1343,9 @@ int SpaceServer::Serve() {
       }
     }
     DropConns(to_drop);
+    // Connect/resend/flush the peer forward links once per pass: a commit
+    // this pass queued its foreign outs, so they go out before we sleep.
+    PumpPeers();
     // Checkpoint at a quiescent point: every logged entry is applied, so
     // the snapshot and the fresh log form a consistent cut.
     if (!stop_ && ops_since_checkpoint_ >= options_.checkpoint_every_ops &&

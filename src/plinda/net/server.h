@@ -1,11 +1,13 @@
 #ifndef FPDM_PLINDA_NET_SERVER_H_
 #define FPDM_PLINDA_NET_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "plinda/net/wire.h"
@@ -25,6 +27,14 @@ struct SpaceServerOptions {
   int num_shards = 1;
   /// Logged operations between checkpoints (bounds replay work).
   int checkpoint_every_ops = 256;
+  /// Multi-server placement: this server's index and the socket path of
+  /// every shard server, indexed by server index (including this one).
+  /// Empty placement = single-server mode, equivalent to {socket_path}.
+  /// The placement map is published to clients in the HELLO reply; commit
+  /// outs whose bucket PlacementIndex()es to another server are forwarded
+  /// there over a server-to-server link (Op::kForward).
+  int server_index = 0;
+  std::vector<std::string> placement;
 };
 
 /// The tuple-space server process of ExecutionMode::kDistributed: owns the
@@ -94,6 +104,25 @@ class SpaceServer {
     bool remove = false;
   };
 
+  /// Outbound server-to-server forwarding state for one peer server (the
+  /// entry at our own index stays unused). Commit outs placed on the peer
+  /// are queued here under a monotone forward sequence number and stay
+  /// queued until the peer acknowledges them; a reconnect resends the whole
+  /// unacked queue from the front with the original fseqs, and the peer's
+  /// per-source watermark turns re-delivery into an ack-only no-op —
+  /// exactly-once, mirroring the client's (pid, seq) dedup story.
+  struct PeerLink {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;
+    /// (fseq, outs) awaiting the peer's ack, oldest first.
+    std::deque<std::pair<uint64_t, std::vector<Tuple>>> unacked;
+    size_t sent = 0;         // prefix of unacked already on this connection
+    uint64_t next_fseq = 0;  // last forward seq assigned to this peer
+    uint64_t watermark = 0;  // highest forward seq applied FROM this peer
+    std::chrono::steady_clock::time_point next_attempt{};
+  };
+
   // --- state recovery ----------------------------------------------------
   bool Recover();
   bool LoadSnapshot(const std::string& path);
@@ -142,9 +171,29 @@ class SpaceServer {
   size_t CountAcrossShards(const Template& tmpl);
   void PublishTuple(Tuple tuple);
 
+  // --- peer forwarding (multi-server placement) --------------------------
+  /// Queues commit outs owned by peer `target` under the next forward seq.
+  /// Durability rides on the commit's own WAL entry: replay re-assigns the
+  /// identical fseq, and the snapshot persists the queues and counters.
+  void EnqueueForward(size_t target, std::vector<Tuple> outs);
+  /// Connects / resends / flushes every peer link; called once per serve
+  /// loop pass. Transport errors drop the link — the unacked queue resends
+  /// on the next pass and the peer's watermark dedups.
+  void PumpPeers();
+  void DropPeer(PeerLink& peer);
+  /// Drains ack replies from a readable peer link.
+  void ReadPeerAcks(PeerLink& peer);
+  /// Commit outs queued for other servers but not yet acknowledged there.
+  uint64_t ForwardsPending() const;
+
   SpaceServerOptions options_;
   std::vector<TupleSpace> shards_;
-  std::map<int32_t, Tuple> continuations_;
+  /// Socket path per server index; size 1 = single-server mode (no peers).
+  std::vector<std::string> placement_;
+  std::vector<PeerLink> peers_;  // indexed by server index; self unused
+  /// pid -> (stamp, continuation): stamp = (incarnation<<32)|commit counter,
+  /// so an XRecover scatter can pick the newest continuation across servers.
+  std::map<int32_t, std::pair<uint64_t, Tuple>> continuations_;
   std::map<int32_t, ClientState> clients_;
   std::list<Waiter> waiters_;  // FIFO by arrival
   std::map<int, Conn> conns_;

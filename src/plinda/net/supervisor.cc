@@ -85,6 +85,14 @@ bool WaitForExit(pid_t pid, double timeout_s, ExitInfo* info) {
   }
 }
 
+size_t MaxSocketPathLength() {
+  return sizeof(sockaddr_un{}.sun_path) - 1;
+}
+
+bool SocketPathFits(const std::string& path) {
+  return path.size() <= MaxSocketPathLength();
+}
+
 bool WaitForSocket(const std::string& path, double timeout_s) {
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -92,7 +100,7 @@ bool WaitForSocket(const std::string& path, double timeout_s) {
   sockaddr_un addr;
   ::memset(&addr, 0, sizeof(addr));
   addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) return false;
+  if (!SocketPathFits(path)) return false;
   ::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   for (;;) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);

@@ -44,8 +44,19 @@ bool ReapAny(const std::vector<pid_t>& pids, ExitInfo* info);
 /// Blocks (polling) until `pid` exits or the timeout lapses.
 bool WaitForExit(pid_t pid, double timeout_s, ExitInfo* info);
 
+/// Longest Unix-domain socket path the platform accepts (sun_path minus
+/// the NUL). Paths beyond this silently truncate in naive code; everything
+/// here rejects them instead — see SocketPathFits.
+size_t MaxSocketPathLength();
+
+/// True if `path` fits sockaddr_un::sun_path. Callers with a too-long path
+/// (typically a very long $TMPDIR) must fail up front with a structured
+/// error rather than bind a truncated path.
+bool SocketPathFits(const std::string& path);
+
 /// Polls until something is accepting connections on the Unix-domain
-/// socket at `path`.
+/// socket at `path`. Returns false immediately (no timeout burn) when the
+/// path cannot fit sun_path.
 bool WaitForSocket(const std::string& path, double timeout_s);
 
 /// Creates a fresh private directory for sockets + server state

@@ -4,6 +4,15 @@
 
 namespace fpdm::plinda::net {
 
+size_t PlacementIndex(const BucketKeyView& key, size_t num_servers) {
+  if (num_servers <= 1) return 0;
+  // Same deterministic mix as SpaceServer::ShardIndexFor, so the placement
+  // survives restarts and is computed identically by every process.
+  uint64_t h = Fnv1a64(key.second);
+  h ^= key.first + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return static_cast<size_t>(h % num_servers);
+}
+
 void PutU8(uint8_t v, std::string* out) {
   out->push_back(static_cast<char>(v));
 }
@@ -205,6 +214,7 @@ std::string EncodeRequest(const Request& request) {
     PutTuple(op.tuple, &out);
     PutTemplate(op.tmpl, &out);
   }
+  PutU64(request.cont_stamp, &out);
   return out;
 }
 
@@ -214,7 +224,7 @@ bool DecodeRequest(std::string_view payload, Request* request,
   uint8_t op = 0;
   if (!r.TakeU8(&op)) return Fail(error, "request: truncated opcode");
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kBatch)) {
+      op > static_cast<uint8_t>(Op::kForward)) {
     return Fail(error, "request: unknown opcode");
   }
   request->op = static_cast<Op>(op);
@@ -263,6 +273,9 @@ bool DecodeRequest(std::string_view payload, Request* request,
     }
     request->batch.push_back(std::move(op));
   }
+  if (!r.TakeU64(&request->cont_stamp)) {
+    return Fail(error, "request: truncated continuation stamp");
+  }
   if (!r.AtEnd()) return Fail(error, "request: trailing bytes");
   return true;
 }
@@ -271,6 +284,7 @@ std::string EncodeReply(const Reply& reply) {
   std::string out;
   size_t estimate = 128 + EstimateTupleBytes(reply.tuple) +
                     32 * reply.parked.size() + reply.error.size();
+  for (const std::string& path : reply.placement) estimate += 8 + path.size();
   for (const Tuple& t : reply.tuples) estimate += EstimateTupleBytes(t);
   for (const BatchItem& item : reply.items) {
     estimate += 8 + EstimateTupleBytes(item.tuple);
@@ -304,6 +318,10 @@ std::string EncodeReply(const Reply& reply) {
     PutTuple(item.tuple, &out);
   }
   PutString(reply.error, &out);
+  PutU32(static_cast<uint32_t>(reply.placement.size()), &out);
+  for (const std::string& path : reply.placement) PutString(path, &out);
+  PutU64(reply.cont_stamp, &out);
+  PutU64(reply.forwards_pending, &out);
   return out;
 }
 
@@ -371,6 +389,21 @@ bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
   if (!r.TakeString(&reply->error)) {
     return Fail(error, "reply: truncated error text");
   }
+  uint32_t n_placement = 0;
+  if (!r.TakeU32(&n_placement)) {
+    return Fail(error, "reply: truncated placement");
+  }
+  reply->placement.clear();
+  for (uint32_t i = 0; i < n_placement; ++i) {
+    std::string path;
+    if (!r.TakeString(&path)) {
+      return Fail(error, "reply: malformed placement entry");
+    }
+    reply->placement.push_back(std::move(path));
+  }
+  if (!r.TakeU64(&reply->cont_stamp) || !r.TakeU64(&reply->forwards_pending)) {
+    return Fail(error, "reply: truncated placement counters");
+  }
   if (!r.AtEnd()) return Fail(error, "reply: trailing bytes");
   return true;
 }
@@ -400,6 +433,7 @@ std::string EncodeLogEntry(const LogEntry& entry) {
     PutU8(e.in_txn ? 1 : 0, &out);
     PutTuple(e.tuple, &out);
   }
+  PutU64(entry.cont_stamp, &out);
   return out;
 }
 
@@ -409,7 +443,7 @@ bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
   uint8_t kind = 0;
   if (!r.TakeU8(&kind)) return Fail(error, "log: truncated kind");
   if (kind < static_cast<uint8_t>(LogKind::kHello) ||
-      kind > static_cast<uint8_t>(LogKind::kBatch)) {
+      kind > static_cast<uint8_t>(LogKind::kForward)) {
     return Fail(error, "log: unknown kind");
   }
   entry->kind = static_cast<LogKind>(kind);
@@ -452,6 +486,9 @@ bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
     e.in_txn = in_txn != 0;
     if (!r.TakeTuple(&e.tuple)) return Fail(error, "log: malformed effect");
     entry->effects.push_back(std::move(e));
+  }
+  if (!r.TakeU64(&entry->cont_stamp)) {
+    return Fail(error, "log: truncated continuation stamp");
   }
   if (!r.AtEnd()) return Fail(error, "log: trailing bytes");
   return true;

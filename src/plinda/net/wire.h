@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "plinda/tuple.h"
+#include "plinda/tuple_space.h"
 
 /// Wire protocol of the distributed tuple-space server. Every message is a
 /// frame: a u32 little-endian payload length followed by that many payload
@@ -21,6 +22,14 @@ namespace fpdm::plinda::net {
 /// reply of any workload we run; small enough to reject garbage lengths
 /// from a corrupt stream before allocating.
 inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+/// The static bucket→server map of the multi-server placement: which of the
+/// `num_servers` SpaceServer processes owns the (arity, key) bucket. Shared
+/// by the servers (to split commit outs into local vs forwarded), the client
+/// (to route every op), and the supervisor (to seed tuples at their homes).
+/// Deterministic across processes and restarts — it reuses the FNV-1a shard
+/// mix the in-server bucket sharding already pins down.
+size_t PlacementIndex(const BucketKeyView& key, size_t num_servers);
 
 /// Appends the frame header + payload to `out`. Deliberately does not cap
 /// the payload itself (tests feed oversized frames to FrameReader through
@@ -112,6 +121,18 @@ enum class Op : uint8_t {
   // WAL record under the same seq, which would break that argument — the
   // client pipelines a separate kIn frame behind the batch instead.
   kBatch = 15,
+  // Multi-server placement (scatter/gather slow path): tells a server to
+  // wake a blocking in/rd this client parked there. The server replies
+  // kNotFound for the parked frame, then kOk for the unpark itself, so the
+  // client's pipelined reply accounting stays in order. Unparking a client
+  // with no parked waiter is a no-op (the waiter may have fired first).
+  kUnpark = 16,
+  // Server-to-server delivery of commit outs whose bucket lives on another
+  // server. pid carries the *source server index*, seq a per-(source,target)
+  // monotone forward sequence number; the target applies iff seq advances
+  // its watermark (logged durably), so crash/reconnect re-delivery is
+  // idempotent. Never sent by clients.
+  kForward = 17,
 };
 
 // kIn flags.
@@ -140,6 +161,12 @@ struct Request {
   bool has_continuation = false;
   Tuple continuation;        // kXCommit
   std::vector<BatchOp> batch;  // kBatch
+  /// kXCommit: client-assigned recency stamp of the continuation,
+  /// (incarnation << 32) | per-incarnation commit counter. XRecover scatters
+  /// destructively across all servers and keeps the highest stamp, so a
+  /// respawned worker resumes from its *latest* committed continuation even
+  /// though successive commits may have different home servers.
+  uint64_t cont_stamp = 0;
 };
 
 std::string EncodeRequest(const Request& request);
@@ -187,6 +214,17 @@ struct Reply {
   std::vector<ParkedWaiter> parked;
   std::vector<BatchItem> items;  // kBatch
   std::string error;  // kError detail
+  /// kHello: the placement map — socket path of every shard server, indexed
+  /// by server index. Clients bootstrap from any one server's HELLO and
+  /// route all traffic with PlacementIndex against placement.size().
+  std::vector<std::string> placement;
+  /// kXRecover hit: the stamp the continuation was committed under.
+  uint64_t cont_stamp = 0;
+  /// kStatus: commit outs this server still has to deliver to (or get
+  /// acknowledged by) peer servers. The supervisor's watchdog and harvest
+  /// barrier wait for the sum over servers to hit zero, so no decision is
+  /// made while tuples are in flight between servers.
+  uint64_t forwards_pending = 0;
 };
 
 std::string EncodeReply(const Reply& reply);
@@ -212,6 +250,11 @@ enum class LogKind : uint8_t {
   // request, so replay reproduces both the space mutation and the cached
   // batched reply bit-identically without re-running the matching.
   kBatch = 8,
+  // A peer server's kForward applied: `outs` were published here, `pid` is
+  // the source server index and `seq` the forward sequence number that
+  // advanced the per-source watermark. Replay reproduces both the tuples and
+  // the dedup watermark.
+  kForward = 9,
 };
 
 /// Resolved effect of one kBatch sub-op (the LogKind::kBatch payload).
@@ -239,6 +282,7 @@ struct LogEntry {
   bool has_continuation = false;
   Tuple continuation;       // kCommit
   std::vector<BatchEffect> effects;  // kBatch
+  uint64_t cont_stamp = 0;  // kCommit: recency stamp of the continuation
 };
 
 std::string EncodeLogEntry(const LogEntry& entry);

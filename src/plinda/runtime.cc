@@ -109,6 +109,12 @@ std::string ToString(const RuntimeError& error) {
     case RuntimeError::Code::kDistributedSpawnUnsupported:
       what = "spawn from a running process is unsupported in kDistributed mode";
       break;
+    case RuntimeError::Code::kCrossServerTransaction:
+      what = "transaction issued a destructive in owned by a foreign server";
+      break;
+    case RuntimeError::Code::kBadSocketPath:
+      what = "server socket path exceeds the sun_path limit";
+      break;
   }
   char buf[256];
   std::snprintf(buf, sizeof(buf), "[t=%8.2f] protocol error in %s (pid %d): %s%s%s",
@@ -165,12 +171,22 @@ void Runtime::ScheduleRecovery(int machine, double time) {
 }
 
 void Runtime::ScheduleServerFailure(double time) {
-  events_.push_back(Event{time, Event::Kind::kServerFail, -1});
+  ScheduleServerFailure(time, -1);
+}
+
+// Event::machine doubles as the shard-server index in kDistributed mode
+// (-1 = round-robin). The simulator's single logical server ignores it.
+void Runtime::ScheduleServerFailure(double time, int server_index) {
+  events_.push_back(Event{time, Event::Kind::kServerFail, server_index});
   server_protected_ = true;  // start maintaining checkpoint + op log
 }
 
 void Runtime::ScheduleServerRecovery(double time) {
-  events_.push_back(Event{time, Event::Kind::kServerRecover, -1});
+  ScheduleServerRecovery(time, -1);
+}
+
+void Runtime::ScheduleServerRecovery(double time, int server_index) {
+  events_.push_back(Event{time, Event::Kind::kServerRecover, server_index});
 }
 
 int Runtime::Spawn(const std::string& name, ProcessFn fn) {

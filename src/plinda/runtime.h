@@ -22,6 +22,7 @@ namespace fpdm::plinda {
 
 namespace net {
 class RemoteTupleSpace;
+class ShardedRemoteSpace;
 }  // namespace net
 
 class Runtime;
@@ -90,6 +91,14 @@ struct RuntimeOptions {
   /// kDistributed: shard count inside the tuple-space server process
   /// (single-threaded; sharding only bounds bucket-map sizes).
   int distributed_shards = 1;
+  /// kDistributed: number of tuple-space *server processes*. The (arity,
+  /// first-key) buckets are statically placed across them by hash
+  /// (net::PlacementIndex); each server keeps its own write-ahead log and
+  /// checkpoint, workers keep one pipelined connection per server, and
+  /// formal-first all-shard operations become one scatter/gather round.
+  /// Transactions have single-server affinity (see
+  /// RuntimeError::Code::kCrossServerTransaction).
+  int distributed_servers = 1;
   /// kDistributed: server checkpoints its space every this many logged
   /// operations (the knob behind RuntimeStats::server_checkpoints).
   int distributed_checkpoint_ops = 256;
@@ -161,6 +170,16 @@ struct RuntimeError {
     /// kDistributed: ProcessContext::Spawn was called (the distributed
     /// process tree is fixed before Run()).
     kDistributedSpawnUnsupported,
+    /// kDistributed, multi-server: a transaction bound to one home server
+    /// issued a destructive in owned by another server. Transactions have
+    /// single-server affinity; restructure the protocol so each
+    /// transaction's destructive ins share one (arity, first-key) bucket
+    /// placement (every miner in core/ and classify/ already does).
+    kCrossServerTransaction,
+    /// kDistributed: the Unix-domain socket path for a server would not fit
+    /// sockaddr_un::sun_path (typically a very long $TMPDIR). Point
+    /// RuntimeOptions::distributed_dir somewhere shorter.
+    kBadSocketPath,
   };
   Code code = Code::kXCommitWithoutXStart;
   double time = 0;
@@ -202,6 +221,16 @@ struct RuntimeStats {
   uint64_t bytes_on_wire = 0;  // sent + received
   uint64_t batch_frames = 0;   // kBatch frames the server applied
   uint64_t batched_tuple_ops = 0;  // sub-ops carried by those frames
+  /// kDistributed, multi-server: per-server-index RPC round trips summed
+  /// over every worker incarnation — how evenly the bucket placement
+  /// spreads the load. Size = RuntimeOptions::distributed_servers.
+  std::vector<uint64_t> per_server_rpc_calls;
+  /// kDistributed, multi-server: formal-first operations that scattered to
+  /// every server, and the pipelined gather rounds they cost.
+  /// dist_scatter_rounds / dist_scatter_ops ≈ 1 means every all-server
+  /// operation was one wall-clock round, not N serial round trips.
+  uint64_t dist_scatter_ops = 0;
+  uint64_t dist_scatter_rounds = 0;
 };
 
 /// A PLinda network of workstations, in one of two execution modes.
@@ -265,9 +294,15 @@ class Runtime {
   /// checkpoint+log machinery (see RuntimeOptions::server_checkpoint_interval).
   /// Open transactions survive client-side: their buffered outs publish on
   /// the recovered server at commit, and aborts restore their ins there.
-  /// Simulated mode only (see ScheduleFailure).
+  /// Simulated mode only (see ScheduleFailure) — plus kDistributed, where
+  /// the crash is a real SIGKILL of a server process. With multiple server
+  /// processes (RuntimeOptions::distributed_servers > 1), `server_index`
+  /// picks the victim; -1 rotates round-robin over the shard servers. The
+  /// simulator has a single logical server and ignores the index.
   void ScheduleServerFailure(double time);
+  void ScheduleServerFailure(double time, int server_index);
   void ScheduleServerRecovery(double time);
+  void ScheduleServerRecovery(double time, int server_index);
 
   /// If true (default), killed processes are automatically re-spawned on an
   /// up machine, as the PLinda server does.
@@ -525,9 +560,9 @@ class Runtime {
   std::atomic<uint64_t> real_aborts_{0};
 
   // Distributed state. dclient_ exists only inside a forked worker (its
-  // connection to the server); the supervisor's control traffic uses
-  // short-lived clients local to RunDistributed().
-  std::unique_ptr<net::RemoteTupleSpace> dclient_;
+  // pipelined connections to the shard servers); the supervisor's control
+  // traffic uses short-lived clients local to RunDistributed().
+  std::unique_ptr<net::ShardedRemoteSpace> dclient_;
   std::string dist_dir_;
   std::string dist_socket_;
   std::vector<RuntimeError> dist_child_errors_;  // set inside the child only

@@ -15,8 +15,10 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "plinda/net/client.h"
@@ -63,6 +65,10 @@ struct WorkerReport {
   double work = 0;
   uint64_t rpc = 0;    // client round trips of this incarnation
   uint64_t bytes = 0;  // bytes sent + received
+  uint64_t scatter = 0;         // formal-first all-server scatter ops
+  uint64_t scatter_rounds = 0;  // pipelined gather rounds they cost
+  /// (server index, round trips on that leg) — placement load spread.
+  std::vector<std::pair<int, uint64_t>> per_server;
   bool has_error = false;
   int error_code = 0;
   std::string error_detail;
@@ -82,6 +88,18 @@ bool ReadWorkerReport(const std::string& path, WorkerReport* report) {
       any = true;
     } else if (std::strncmp(line, "bytes ", 6) == 0) {
       report->bytes = std::strtoull(line + 6, nullptr, 10);
+      any = true;
+    } else if (std::strncmp(line, "scatter ", 8) == 0) {
+      report->scatter = std::strtoull(line + 8, nullptr, 10);
+      any = true;
+    } else if (std::strncmp(line, "scatter_rounds ", 15) == 0) {
+      report->scatter_rounds = std::strtoull(line + 15, nullptr, 10);
+      any = true;
+    } else if (std::strncmp(line, "rpc_server ", 11) == 0) {
+      char* end = nullptr;
+      const long server = std::strtol(line + 11, &end, 10);
+      const uint64_t trips = std::strtoull(end, nullptr, 10);
+      report->per_server.emplace_back(static_cast<int>(server), trips);
       any = true;
     } else if (std::strncmp(line, "error ", 6) == 0) {
       char* end = nullptr;
@@ -165,6 +183,9 @@ bool Runtime::DistIn(Proc* proc, const Template& tmpl, Tuple* result,
       return false;
     case CallStatus::kCancelled:
       throw DistKilledException{};
+    case CallStatus::kCrossServerTxn:
+      FailProcDist(proc, RuntimeError::Code::kCrossServerTransaction,
+                   dclient_->last_error());
     default:
       FailProcDist(proc, RuntimeError::Code::kWireProtocolError,
                    dclient_->last_error());
@@ -247,12 +268,14 @@ bool Runtime::DistXRecover(Proc* proc, Tuple* continuation) {
 
 int Runtime::RunWorkerChild(Proc* proc) {
   ::signal(SIGPIPE, SIG_IGN);
-  net::RemoteSpaceOptions copts;
+  net::ShardedRemoteOptions copts;
+  // Bootstrap from server 0 only: the HELLO reply publishes the placement
+  // map, from which the client connects its remaining legs.
   copts.socket_path = dist_socket_;
   copts.pid = proc->id;
   copts.incarnation = proc->incarnation;
   copts.reconnect_timeout_s = options_.distributed_reconnect_timeout;
-  dclient_ = std::make_unique<net::RemoteTupleSpace>(copts);
+  dclient_ = std::make_unique<net::ShardedRemoteSpace>(copts);
   int code = 0;
   if (!dclient_->Connect()) {
     RuntimeError error;
@@ -314,13 +337,22 @@ int Runtime::RunWorkerChild(Proc* proc) {
       }
     }
   }
-  char work_line[128];
+  char work_line[256];
   std::snprintf(work_line, sizeof(work_line),
-                "work %.17g\nrpc %llu\nbytes %llu\n", proc->work_done,
+                "work %.17g\nrpc %llu\nbytes %llu\nscatter %llu\n"
+                "scatter_rounds %llu\n",
+                proc->work_done,
                 static_cast<unsigned long long>(dclient_->rpc_round_trips()),
                 static_cast<unsigned long long>(dclient_->bytes_sent() +
-                                                dclient_->bytes_received()));
+                                                dclient_->bytes_received()),
+                static_cast<unsigned long long>(dclient_->scatter_ops()),
+                static_cast<unsigned long long>(dclient_->scatter_rounds()));
   std::string content = work_line;
+  const std::vector<uint64_t> per_server = dclient_->per_server_rpc();
+  for (size_t k = 0; k < per_server.size(); ++k) {
+    content += "rpc_server " + std::to_string(k) + " " +
+               std::to_string(per_server[k]) + "\n";
+  }
   for (const RuntimeError& error : dist_child_errors_) {
     std::string detail = error.detail;
     for (char& c : detail) {
@@ -365,48 +397,110 @@ bool Runtime::RunDistributed() {
     BuildDiagnosticLocked();
     return false;
   }
-  dist_socket_ = dist_dir_ + "/space.sock";
+  const int num_servers = std::max(1, options_.distributed_servers);
+  std::vector<std::string> placement;
+  placement.reserve(static_cast<size_t>(num_servers));
+  for (int k = 0; k < num_servers; ++k) {
+    placement.push_back(dist_dir_ + "/space." + std::to_string(k) + ".sock");
+  }
+  dist_socket_ = placement[0];
+  for (const std::string& path : placement) {
+    if (!net::SocketPathFits(path)) {
+      RuntimeError error;
+      error.code = RuntimeError::Code::kBadSocketPath;
+      error.time = now();
+      error.detail = "\"" + path + "\" (" + std::to_string(path.size()) +
+                     " bytes) exceeds the " +
+                     std::to_string(net::MaxSocketPathLength()) +
+                     "-byte sun_path limit; point "
+                     "RuntimeOptions::distributed_dir (or $TMPDIR) at a "
+                     "shorter path";
+      errors_.push_back(std::move(error));
+      BuildDiagnosticLocked();
+      if (owns_dir) net::RemoveTree(dist_dir_);
+      wall_time_ = now();
+      completion_time_ = wall_time_;
+      return false;
+    }
+  }
 
-  net::SpaceServerOptions sopts;
-  sopts.socket_path = dist_socket_;
-  sopts.state_dir = dist_dir_ + "/state";
-  sopts.num_shards = std::max(1, options_.distributed_shards);
-  sopts.checkpoint_every_ops = std::max(1, options_.distributed_checkpoint_ops);
+  auto server_opts = [&](int k) {
+    net::SpaceServerOptions sopts;
+    sopts.socket_path = placement[static_cast<size_t>(k)];
+    sopts.state_dir = dist_dir_ + "/state." + std::to_string(k);
+    sopts.num_shards = std::max(1, options_.distributed_shards);
+    sopts.checkpoint_every_ops =
+        std::max(1, options_.distributed_checkpoint_ops);
+    sopts.server_index = k;
+    sopts.placement = placement;
+    return sopts;
+  };
 
-  pid_t server_pid = net::ForkServerProcess(sopts);
-  bool server_up = server_pid > 0 && net::WaitForSocket(dist_socket_, 10.0);
+  std::vector<pid_t> server_pids(static_cast<size_t>(num_servers), -1);
+  std::vector<bool> server_ok(static_cast<size_t>(num_servers), false);
+  std::vector<double> server_down_at(static_cast<size_t>(num_servers), 0.0);
   bool fatal = false;
+  for (int k = 0; k < num_servers; ++k) {
+    server_pids[static_cast<size_t>(k)] = net::ForkServerProcess(server_opts(k));
+    server_ok[static_cast<size_t>(k)] =
+        server_pids[static_cast<size_t>(k)] > 0 &&
+        net::WaitForSocket(placement[static_cast<size_t>(k)], 10.0);
+    if (!server_ok[static_cast<size_t>(k)]) {
+      fail_run("tuple-space server " + std::to_string(k) + " failed to start");
+      fatal = true;
+      break;
+    }
+  }
+  auto all_servers_up = [&] {
+    for (int k = 0; k < num_servers; ++k) {
+      if (!server_ok[static_cast<size_t>(k)]) return false;
+    }
+    return true;
+  };
 
-  net::RemoteSpaceOptions ctl_opts;
-  ctl_opts.socket_path = dist_socket_;
-  ctl_opts.pid = -1;
-  // Short window: a control call against a down server must return quickly
-  // so the supervisor keeps applying events (including the restart).
-  ctl_opts.reconnect_timeout_s = 0.3;
-  ctl_opts.reconnect_interval_s = 0.01;
-  net::RemoteTupleSpace ctl(ctl_opts);
+  // One control connection per shard server: the STATUS watchdog, the
+  // cancel broadcast, and the end-of-run harvest all fan out across them.
+  std::vector<std::unique_ptr<net::RemoteTupleSpace>> ctls;
+  for (int k = 0; k < num_servers; ++k) {
+    net::RemoteSpaceOptions ctl_opts;
+    ctl_opts.socket_path = placement[static_cast<size_t>(k)];
+    ctl_opts.pid = -1;
+    // Short window: a control call against a down server must return quickly
+    // so the supervisor keeps applying events (including the restart).
+    ctl_opts.reconnect_timeout_s = 0.3;
+    ctl_opts.reconnect_interval_s = 0.01;
+    ctls.push_back(std::make_unique<net::RemoteTupleSpace>(ctl_opts));
+  }
 
-  if (!server_up) {
-    fail_run("tuple-space server failed to start");
-    fatal = true;
-  } else {
-    // Seed the server with the tuples out'ed before Run(). Batched mode
-    // coalesces the whole seed stream into kBatch frames + one flush
-    // instead of one round trip per tuple.
+  if (!fatal) {
+    // Seed the servers with the tuples out'ed before Run(), routed by the
+    // same bucket placement the workers use. Batched mode coalesces each
+    // server's seed stream into kBatch frames + one flush per server.
     for (Tuple& tuple : space_.TakeAllInOrder()) {
+      const size_t k =
+          num_servers > 1
+              ? net::PlacementIndex(BucketKeyFor(tuple),
+                                    static_cast<size_t>(num_servers))
+              : 0;
       const CallStatus status = options_.distributed_batching
-                                    ? ctl.BatchOut(tuple)
-                                    : ctl.Out(tuple);
+                                    ? ctls[k]->BatchOut(tuple)
+                                    : ctls[k]->Out(tuple);
       if (status != CallStatus::kOk) {
-        fail_run("seeding the tuple-space server failed: " + ctl.last_error());
+        fail_run("seeding the tuple-space servers failed: " +
+                 ctls[k]->last_error());
         fatal = true;
         break;
       }
     }
-    if (!fatal && options_.distributed_batching &&
-        ctl.Flush() != CallStatus::kOk) {
-      fail_run("seeding the tuple-space server failed: " + ctl.last_error());
-      fatal = true;
+    if (!fatal && options_.distributed_batching) {
+      for (auto& c : ctls) {
+        if (c->Flush() != CallStatus::kOk) {
+          fail_run("seeding the tuple-space servers failed: " +
+                   c->last_error());
+          fatal = true;
+          break;
+        }
+      }
     }
   }
 
@@ -444,14 +538,25 @@ bool Runtime::RunDistributed() {
   double cancel_time = 0;
   std::vector<net::ParkedWaiter> last_parked;
   int unplanned_server_deaths = 0;
+  int next_victim = 0;  // round-robin cursor for server_index == -1 kills
 
-  auto restart_server = [&](const char* what) {
-    server_pid = net::ForkServerProcess(sopts);
-    if (server_pid <= 0 || !net::WaitForSocket(dist_socket_, 10.0)) {
-      fail_run(std::string(what) + ": tuple-space server failed to restart");
+  // Watchdog round state: one pipelined STATUS per server, evaluated only
+  // once the whole round has gathered.
+  std::vector<net::Reply> status_replies(static_cast<size_t>(num_servers));
+  std::vector<bool> status_done(static_cast<size_t>(num_servers), false);
+  bool status_round = false;
+  bool status_round_valid = true;
+
+  auto restart_server = [&](int k, const char* what) {
+    server_pids[static_cast<size_t>(k)] =
+        net::ForkServerProcess(server_opts(k));
+    if (server_pids[static_cast<size_t>(k)] <= 0 ||
+        !net::WaitForSocket(placement[static_cast<size_t>(k)], 10.0)) {
+      fail_run(std::string(what) + ": tuple-space server " +
+               std::to_string(k) + " failed to restart");
       return false;
     }
-    server_up = true;
+    server_ok[static_cast<size_t>(k)] = true;
     return true;
   };
 
@@ -516,24 +621,41 @@ bool Runtime::RunDistributed() {
           break;
         }
         case Event::Kind::kServerFail: {
-          if (!server_up) break;
-          net::KillProcess(server_pid);
+          // Event::machine doubles as the shard-server index; -1 rotates
+          // round-robin so repeated unspecific kills hit every server.
+          int victim = event.machine;
+          if (victim < 0) {
+            victim = next_victim;
+            next_victim = (next_victim + 1) % num_servers;
+          }
+          victim %= num_servers;
+          if (!server_ok[static_cast<size_t>(victim)]) break;
+          net::KillProcess(server_pids[static_cast<size_t>(victim)]);
           net::ExitInfo info;
-          net::WaitForExit(server_pid, 5.0, &info);
-          server_up = false;
-          server_down_since_ = t;
+          net::WaitForExit(server_pids[static_cast<size_t>(victim)], 5.0,
+                           &info);
+          server_ok[static_cast<size_t>(victim)] = false;
+          server_down_at[static_cast<size_t>(victim)] = t;
           ++stats_.server_failures;
           RecordLocked(TraceEvent::Kind::kServerFailed, t, nullptr, -1);
           break;
         }
         case Event::Kind::kServerRecover: {
-          if (server_up) break;
-          if (!restart_server("scheduled recovery")) {
-            fatal = true;
-            break;
+          // Index -1 restarts every down server.
+          for (int k = 0; k < num_servers && !fatal; ++k) {
+            if (event.machine >= 0 && event.machine % num_servers != k) {
+              continue;
+            }
+            if (server_ok[static_cast<size_t>(k)]) continue;
+            if (!restart_server(k, "scheduled recovery")) {
+              fatal = true;
+              break;
+            }
+            stats_.server_downtime +=
+                now() - server_down_at[static_cast<size_t>(k)];
+            RecordLocked(TraceEvent::Kind::kServerRecovered, now(), nullptr,
+                         -1);
           }
-          stats_.server_downtime += now() - server_down_since_;
-          RecordLocked(TraceEvent::Kind::kServerRecovered, now(), nullptr, -1);
           break;
         }
       }
@@ -544,7 +666,12 @@ bool Runtime::RunDistributed() {
     // 2. Reap exited children (workers and, if it crashed, the server).
     for (;;) {
       std::vector<pid_t> watched;
-      if (server_up && server_pid > 0) watched.push_back(server_pid);
+      for (int k = 0; k < num_servers; ++k) {
+        if (server_ok[static_cast<size_t>(k)] &&
+            server_pids[static_cast<size_t>(k)] > 0) {
+          watched.push_back(server_pids[static_cast<size_t>(k)]);
+        }
+      }
       for (auto& up : procs_) {
         if (up->state == ProcState::kReady && up->os_pid > 0) {
           watched.push_back(static_cast<pid_t>(up->os_pid));
@@ -552,11 +679,18 @@ bool Runtime::RunDistributed() {
       }
       net::ExitInfo info;
       if (!net::ReapAny(watched, &info)) break;
-      if (info.pid == server_pid) {
+      int dead_server = -1;
+      for (int k = 0; k < num_servers; ++k) {
+        if (info.pid == server_pids[static_cast<size_t>(k)]) {
+          dead_server = k;
+          break;
+        }
+      }
+      if (dead_server >= 0) {
         // Unplanned server death: recover it from checkpoint + log.
         ++stats_.server_failures;
         ++unplanned_server_deaths;
-        server_up = false;
+        server_ok[static_cast<size_t>(dead_server)] = false;
         const double down_at = now();
         RecordLocked(TraceEvent::Kind::kServerFailed, down_at, nullptr, -1);
         if (unplanned_server_deaths > 5) {
@@ -564,7 +698,7 @@ bool Runtime::RunDistributed() {
           fatal = true;
           break;
         }
-        if (!restart_server("crash recovery")) {
+        if (!restart_server(dead_server, "crash recovery")) {
           fatal = true;
           break;
         }
@@ -589,6 +723,17 @@ bool Runtime::RunDistributed() {
         proc->work_done += report.work;
         stats_.rpc_calls += report.rpc;
         stats_.bytes_on_wire += report.bytes;
+        stats_.dist_scatter_ops += report.scatter;
+        stats_.dist_scatter_rounds += report.scatter_rounds;
+        for (const auto& [server, trips] : report.per_server) {
+          if (server < 0) continue;
+          if (stats_.per_server_rpc_calls.size() <=
+              static_cast<size_t>(server)) {
+            stats_.per_server_rpc_calls.resize(static_cast<size_t>(server) + 1,
+                                               0);
+          }
+          stats_.per_server_rpc_calls[static_cast<size_t>(server)] += trips;
+        }
       }
       if (info.exited && info.exit_code == 0) {
         proc->state = ProcState::kDone;
@@ -644,38 +789,87 @@ bool Runtime::RunDistributed() {
     }
     if (fatal) break;
 
-    // 3. Deadlock watchdog: every live worker parked server-side and the
-    // publish epoch stable across two polls means nobody can wake anybody.
-    // The STATUS request is pipelined (BeginStatus/PollStatus): the reply
-    // round trip overlaps the reap/event work above instead of stalling the
-    // loop — which matters when a fault plan has the server mid-recovery.
-    if (server_up && !run_cancelled) {
-      if (!ctl.status_inflight() && t >= next_status_poll) {
+    // 3. Deadlock watchdog, fanned out over the shard servers: one
+    // pipelined STATUS per server (BeginStatus/PollStatus overlap the reap
+    // and event work above), evaluated only once the whole round has
+    // gathered. Nobody can wake anybody when every live worker is parked
+    // on some server (distinct pids — a scatter park shows up on several),
+    // the summed publish epoch is stable across two rounds, and no commit
+    // forwards are still in flight between servers.
+    if (all_servers_up() && !run_cancelled) {
+      if (!status_round && t >= next_status_poll) {
         next_status_poll = t + status_poll_interval;
-        ctl.BeginStatus();
+        status_round = true;
+        status_round_valid = true;
+        for (int k = 0; k < num_servers; ++k) {
+          status_done[static_cast<size_t>(k)] = false;
+          if (ctls[static_cast<size_t>(k)]->BeginStatus() !=
+              CallStatus::kOk) {
+            status_done[static_cast<size_t>(k)] = true;
+            status_round_valid = false;
+          }
+        }
       }
-      net::Reply reply;
-      if (ctl.status_inflight() &&
-          ctl.PollStatus(&reply) == CallStatus::kOk) {
-        // (kPending keeps the loop moving; a transport failure closed the
-        // control connection and the next BeginStatus reconnects.)
-        int live = 0;
-        for (auto& up : procs_) {
-          if (up->state == ProcState::kReady) ++live;
+      if (status_round) {
+        bool all_done = true;
+        for (int k = 0; k < num_servers; ++k) {
+          if (status_done[static_cast<size_t>(k)]) continue;
+          const CallStatus poll = ctls[static_cast<size_t>(k)]->PollStatus(
+              &status_replies[static_cast<size_t>(k)]);
+          if (poll == CallStatus::kOk) {
+            status_done[static_cast<size_t>(k)] = true;
+          } else if (poll == CallStatus::kPending) {
+            all_done = false;
+          } else {
+            // Transport hiccup (server mid-restart): void the round; the
+            // next BeginStatus reconnects.
+            status_done[static_cast<size_t>(k)] = true;
+            status_round_valid = false;
+          }
         }
-        const bool all_parked =
-            live > 0 && static_cast<int>(reply.parked.size()) >= live &&
-            next_event_ >= events_.size() && pending_respawns_.empty();
-        if (all_parked && prev_all_parked &&
-            reply.publish_epoch == prev_epoch) {
-          run_cancelled = true;
-          deadlocked_ = true;
-          cancel_time = now();
-          last_parked = reply.parked;
-          ctl.Cancel();
+        if (all_done) {
+          status_round = false;
+          if (status_round_valid) {
+            int live = 0;
+            for (auto& up : procs_) {
+              if (up->state == ProcState::kReady) ++live;
+            }
+            std::set<int32_t> parked_pids;
+            uint64_t epoch_sum = 0;
+            uint64_t forwards_pending = 0;
+            for (int k = 0; k < num_servers; ++k) {
+              const net::Reply& reply =
+                  status_replies[static_cast<size_t>(k)];
+              for (const net::ParkedWaiter& waiter : reply.parked) {
+                parked_pids.insert(waiter.pid);
+              }
+              epoch_sum += reply.publish_epoch;
+              forwards_pending += reply.forwards_pending;
+            }
+            const bool all_parked =
+                live > 0 && static_cast<int>(parked_pids.size()) >= live &&
+                next_event_ >= events_.size() && pending_respawns_.empty();
+            if (all_parked && prev_all_parked && epoch_sum == prev_epoch &&
+                forwards_pending == 0) {
+              run_cancelled = true;
+              deadlocked_ = true;
+              cancel_time = now();
+              last_parked.clear();
+              std::set<int32_t> seen;
+              for (int k = 0; k < num_servers; ++k) {
+                for (const net::ParkedWaiter& waiter :
+                     status_replies[static_cast<size_t>(k)].parked) {
+                  if (seen.insert(waiter.pid).second) {
+                    last_parked.push_back(waiter);
+                  }
+                }
+              }
+              for (auto& c : ctls) c->Cancel();
+            }
+            prev_all_parked = all_parked;
+            prev_epoch = epoch_sum;
+          }
         }
-        prev_all_parked = all_parked;
-        prev_epoch = reply.publish_epoch;
       }
     }
 
@@ -709,31 +903,91 @@ bool Runtime::RunDistributed() {
     }
   }
 
-  // Drain results + counters back, restarting the server if it is down
+  // Drain results + counters back, restarting any server that is down
   // (e.g. a failure was scheduled with no recovery before the end).
-  if (!server_up && server_pid > 0) {
-    net::ExitInfo info;
-    net::WaitForExit(server_pid, 1.0, &info);
-  }
-  if (!server_up) {
-    if (restart_server("end-of-run drain")) {
+  for (int k = 0; k < num_servers; ++k) {
+    if (server_ok[static_cast<size_t>(k)]) continue;
+    if (server_pids[static_cast<size_t>(k)] > 0) {
+      net::ExitInfo info;
+      net::WaitForExit(server_pids[static_cast<size_t>(k)], 1.0, &info);
+    }
+    if (restart_server(k, "end-of-run drain")) {
       RecordLocked(TraceEvent::Kind::kServerRecovered, now(), nullptr, -1);
     }
   }
-  if (server_up) {
-    net::Reply server_stats;
-    std::vector<Tuple> drained;
-    bool have_stats = false;
-    bool drain_ok = false;
-    if (options_.distributed_batching) {
-      // Pipelined STATS + TAKEALL: the whole harvest is one round trip.
-      const CallStatus status = ctl.Harvest(&server_stats, &drained);
-      have_stats = drain_ok = status == CallStatus::kOk;
-    } else {
-      have_stats = ctl.Stats(&server_stats) == CallStatus::kOk;
-      drain_ok = ctl.TakeAll(&drained) == CallStatus::kOk;
+  if (all_servers_up()) {
+    if (num_servers > 1) {
+      // Forward-drain barrier: commit outs can still be in flight between
+      // servers (Op::kForward). Harvesting before they land would lose
+      // them, so poll STATUS until every server reports zero pending
+      // forwards.
+      const auto barrier_deadline =
+          Clock::now() + std::chrono::milliseconds(5000);
+      for (;;) {
+        uint64_t pending = 0;
+        bool polled = true;
+        for (int k = 0; k < num_servers; ++k) {
+          net::Reply reply;
+          if (ctls[static_cast<size_t>(k)]->Status(&reply) !=
+              CallStatus::kOk) {
+            polled = false;
+            break;
+          }
+          pending += reply.forwards_pending;
+        }
+        if (polled && pending == 0) break;
+        if (Clock::now() >= barrier_deadline) {
+          fail_run("forwarded commits did not quiesce before the harvest");
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
     }
-    if (have_stats) {
+
+    // Pipelined multi-leg harvest: STATS + TAKEALL written to every server
+    // back to back, replies gathered afterwards — one wall-clock round for
+    // the whole fleet instead of two round trips per server.
+    std::vector<net::Reply> leg_stats(static_cast<size_t>(num_servers));
+    std::vector<net::Reply> leg_take(static_cast<size_t>(num_servers));
+    std::vector<bool> leg_ok(static_cast<size_t>(num_servers), false);
+    for (int k = 0; k < num_servers; ++k) {
+      net::Request stats_req;
+      stats_req.op = net::Op::kStats;
+      net::Request take_req;
+      take_req.op = net::Op::kTakeAll;
+      leg_ok[static_cast<size_t>(k)] =
+          ctls[static_cast<size_t>(k)]->BeginPipeline(stats_req) ==
+              CallStatus::kOk &&
+          ctls[static_cast<size_t>(k)]->BeginPipeline(take_req) ==
+              CallStatus::kOk;
+    }
+    for (int k = 0; k < num_servers; ++k) {
+      if (leg_ok[static_cast<size_t>(k)]) {
+        leg_ok[static_cast<size_t>(k)] =
+            ctls[static_cast<size_t>(k)]->FinishPipeline(
+                &leg_stats[static_cast<size_t>(k)]) == CallStatus::kOk &&
+            ctls[static_cast<size_t>(k)]->FinishPipeline(
+                &leg_take[static_cast<size_t>(k)]) == CallStatus::kOk;
+      }
+      if (!leg_ok[static_cast<size_t>(k)]) {
+        // Per-leg synchronous fallback (e.g. the pipelined pair raced a
+        // restart): one STATS + TAKEALL round trip against that server.
+        std::vector<Tuple> drained;
+        if (ctls[static_cast<size_t>(k)]->Harvest(
+                &leg_stats[static_cast<size_t>(k)], &drained) ==
+            CallStatus::kOk) {
+          leg_take[static_cast<size_t>(k)].tuples = std::move(drained);
+          leg_ok[static_cast<size_t>(k)] = true;
+        }
+      }
+    }
+    for (int k = 0; k < num_servers; ++k) {
+      if (!leg_ok[static_cast<size_t>(k)]) {
+        fail_run("end-of-run drain failed: " +
+                 ctls[static_cast<size_t>(k)]->last_error());
+        continue;
+      }
+      const net::Reply& server_stats = leg_stats[static_cast<size_t>(k)];
       stats_.tuple_ops += server_stats.tuple_ops;
       stats_.transactions_committed += server_stats.commits;
       stats_.transactions_aborted += server_stats.aborts;
@@ -742,26 +996,35 @@ bool Runtime::RunDistributed() {
       stats_.cross_shard_ops += server_stats.cross_shard_ops;
       stats_.batch_frames += server_stats.batch_frames;
       stats_.batched_tuple_ops += server_stats.batched_ops;
+      for (Tuple& tuple : leg_take[static_cast<size_t>(k)].tuples) {
+        space_.Out(std::move(tuple));
+      }
     }
-    if (drain_ok) {
-      for (Tuple& tuple : drained) space_.Out(std::move(tuple));
-    } else {
-      fail_run("end-of-run drain failed: " + ctl.last_error());
+    for (auto& c : ctls) {
+      c->Shutdown();
+      c->Abandon();
     }
-    ctl.Shutdown();
-    ctl.Abandon();
-    net::ExitInfo info;
-    if (!net::WaitForExit(server_pid, 5.0, &info)) {
-      net::KillProcess(server_pid);
-      net::WaitForExit(server_pid, 2.0, &info);
+    for (int k = 0; k < num_servers; ++k) {
+      net::ExitInfo info;
+      if (!net::WaitForExit(server_pids[static_cast<size_t>(k)], 5.0,
+                            &info)) {
+        net::KillProcess(server_pids[static_cast<size_t>(k)]);
+        net::WaitForExit(server_pids[static_cast<size_t>(k)], 2.0, &info);
+      }
     }
-  } else if (server_pid > 0) {
-    net::KillProcess(server_pid);
-    net::ExitInfo info;
-    net::WaitForExit(server_pid, 2.0, &info);
+  } else {
+    for (int k = 0; k < num_servers; ++k) {
+      if (server_pids[static_cast<size_t>(k)] > 0) {
+        net::KillProcess(server_pids[static_cast<size_t>(k)]);
+        net::ExitInfo info;
+        net::WaitForExit(server_pids[static_cast<size_t>(k)], 2.0, &info);
+      }
+    }
   }
-  stats_.rpc_calls += ctl.rpc_round_trips();
-  stats_.bytes_on_wire += ctl.bytes_sent() + ctl.bytes_received();
+  for (const auto& c : ctls) {
+    stats_.rpc_calls += c->rpc_round_trips();
+    stats_.bytes_on_wire += c->bytes_sent() + c->bytes_received();
+  }
 
   wall_time_ = now();
   completion_time_ = wall_time_;

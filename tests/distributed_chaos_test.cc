@@ -6,7 +6,9 @@
 // has to deliver exactly-once task effects through the recovery.
 
 #include <chrono>
+#include <cstdlib>
 #include <set>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -35,10 +37,20 @@ using plinda::ValueType;
 
 constexpr int kNumTasks = 10;
 
-RuntimeOptions DistOptions() {
+/// Shard-server count for the runs that do not pin one explicitly:
+/// FPDM_TEST_SERVERS in the environment (CI runs the suite at 3), default 1.
+int TestServers() {
+  const char* env = std::getenv("FPDM_TEST_SERVERS");
+  if (env == nullptr || *env == '\0') return 1;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 1;
+}
+
+RuntimeOptions DistOptions(int servers = 0) {
   RuntimeOptions options;
   options.mode = ExecutionMode::kDistributed;
   options.distributed_checkpoint_ops = 8;  // several checkpoints per run
+  options.distributed_servers = servers > 0 ? servers : TestServers();
   return options;
 }
 
@@ -179,6 +191,122 @@ TEST(DistributedChaosTest, MidBatchServerKillAppliesWholeBatchOnceOrNotAtAll) {
       }
     }
   }
+}
+
+// Formal-first task consumption: the tasks are seeded under kNumTasks
+// DISTINCT bucket keys ("t0", "t1", ...) so they spread across the shard
+// servers, and the worker's template leads with a formal — every In must
+// probe all shards (the scatter/gather slow path), claim the winner's
+// tuple destructively, and bind the transaction to the winner.
+void ScatterTaskLoop(ProcessContext& ctx) {
+  int64_t done = 0;
+  Tuple cont;
+  if (ctx.XRecover(&cont)) done = GetInt(cont, 1);
+  while (done < kNumTasks) {
+    ctx.XStart();
+    Tuple task;
+    ctx.In(MakeTemplate(F(ValueType::kString), F(ValueType::kInt),
+                        F(ValueType::kInt)),
+           &task);
+    ctx.Out(MakeTuple("res", GetInt(task, 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ctx.Compute(1.0);
+    ++done;
+    ctx.XCommit(MakeTuple("progress", done));
+  }
+}
+
+void SeedScatterTasks(Runtime& runtime) {
+  for (int64_t i = 0; i < kNumTasks; ++i) {
+    runtime.space().Out(
+        MakeTuple("t" + std::to_string(i), i, static_cast<int64_t>(0)));
+  }
+}
+
+TEST(DistributedChaosTest, ScatterGatherPipelinesAcrossServers) {
+  // Fault-free baseline for the all-shard slow path at 3 servers: results
+  // are exactly-once and the gather legs are pipelined — the round counter
+  // grows with the number of scatter ops, not ops × servers.
+  Runtime runtime(1, DistOptions(/*servers=*/3));
+  SeedScatterTasks(runtime);
+  runtime.SpawnOn("worker", 0, ScatterTaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  ExpectExactlyOnceResults(runtime);
+  const plinda::RuntimeStats& stats = runtime.stats();
+  EXPECT_GE(stats.dist_scatter_ops, static_cast<uint64_t>(kNumTasks));
+  EXPECT_GE(stats.dist_scatter_rounds, stats.dist_scatter_ops);
+  EXPECT_LE(stats.dist_scatter_rounds, 4 * stats.dist_scatter_ops);
+  // Every scatter probes every shard, so all three legs carried traffic.
+  ASSERT_EQ(stats.per_server_rpc_calls.size(), 3u);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_GT(stats.per_server_rpc_calls[k], 0u) << "server " << k;
+  }
+}
+
+TEST(DistributedChaosTest, BlockingScatterParksAcrossServersUntilProduced) {
+  // The consumer starts before any task exists, so each formal-first In
+  // misses its probe and must PARK a blocking rd on all three shards; the
+  // producer then publishes tasks one at a time under rotating bucket
+  // keys, waking whichever shard receives the tuple. The unpark retraction
+  // of the losing legs must leave no stray matches behind.
+  Runtime runtime(1, DistOptions(/*servers=*/3));
+  runtime.SpawnOn("producer", 0, [](ProcessContext& ctx) {
+    for (int64_t i = 0; i < kNumTasks; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ctx.Out(MakeTuple("t" + std::to_string(i), i, static_cast<int64_t>(0)));
+    }
+  });
+  runtime.SpawnOn("consumer", 0, [](ProcessContext& ctx) {
+    for (int64_t i = 0; i < kNumTasks; ++i) {
+      Tuple task;
+      ctx.In(MakeTemplate(F(ValueType::kString), F(ValueType::kInt),
+                          F(ValueType::kInt)),
+             &task);
+      ctx.Out(MakeTuple("res", GetInt(task, 1)));
+    }
+  });
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  ExpectExactlyOnceResults(runtime);
+  EXPECT_GE(runtime.stats().dist_scatter_ops,
+            static_cast<uint64_t>(kNumTasks));
+  EXPECT_LE(runtime.stats().dist_scatter_rounds,
+            4 * runtime.stats().dist_scatter_ops);
+}
+
+TEST(DistributedChaosTest, ShardServerKilledMidScatterRecoversExactlyOnce) {
+  // 22 seeded fault plans, each killing individual shard servers (victim
+  // drawn per crash) while a worker runs formal-first scatter transactions
+  // across 3 servers. Whatever the kill interrupts — a probe, a parked
+  // leg, the winner claim, the commit, or a forwarded out — recovery from
+  // the per-server WAL + checkpoint plus client resend/dedup must deliver
+  // every task's effects exactly once.
+  uint64_t total_kills = 0;
+  for (uint64_t seed = 1; seed <= 22; ++seed) {
+    plinda::ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.start_time = 0.02;
+    chaos.horizon = 0.25;
+    chaos.machine_mttf = 0;  // shard-server faults only
+    chaos.server_mttf = 0.07;
+    chaos.server_mttr = 0.05;
+    chaos.max_server_failures = 2;
+    chaos.num_servers = 3;
+    const plinda::FaultPlan plan = plinda::GenerateFaultPlan(1, chaos);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + ToString(plan));
+
+    Runtime runtime(1, DistOptions(/*servers=*/3));
+    plinda::InstallFaultPlan(&runtime, plan);
+    SeedScatterTasks(runtime);
+    runtime.SpawnOn("worker", 0, ScatterTaskLoop);
+    ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+    ExpectExactlyOnceResults(runtime);
+    EXPECT_GE(runtime.stats().dist_scatter_ops,
+              static_cast<uint64_t>(kNumTasks));
+    total_kills += runtime.stats().server_failures;
+  }
+  // The plans must actually have exercised shard kills (most seeds land at
+  // least one crash inside the run's wall-clock window).
+  EXPECT_GE(total_kills, 5u);
 }
 
 TEST(DistributedChaosTest, MinerSurvivesWorkerKillWithIdenticalResults) {

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "plinda/net/wire.h"
 #include "plinda/runtime.h"
 #include "plinda/tuple.h"
+#include "plinda/tuple_space.h"
 
 namespace fpdm::plinda::net {
 namespace {
@@ -1262,6 +1264,470 @@ TEST(DistributedRuntimeTest, ProtocolMisuseIsReportedNotSwallowed) {
   ASSERT_FALSE(runtime.errors().empty());
   EXPECT_EQ(runtime.errors()[0].code,
             RuntimeError::Code::kXCommitWithoutXStart);
+}
+
+TEST(DistributedRuntimeTest, OverlongSocketPathFailsStructurally) {
+  // A long distributed_dir would silently truncate into sockaddr_un's
+  // sun_path (108 bytes on Linux); the runtime must detect it up front and
+  // fail with a structured, actionable error instead of binding a socket
+  // at a mangled path.
+  RuntimeOptions options = DistOptions();
+  options.distributed_dir = "/tmp/" + std::string(200, 'x');
+  Runtime runtime(1, options);
+  runtime.SpawnOn("idle", 0, [](ProcessContext&) {});
+  EXPECT_FALSE(runtime.Run());
+  ASSERT_FALSE(runtime.errors().empty());
+  EXPECT_EQ(runtime.errors()[0].code, RuntimeError::Code::kBadSocketPath);
+  EXPECT_NE(runtime.errors()[0].detail.find("sun_path"), std::string::npos)
+      << runtime.errors()[0].detail;
+  EXPECT_NE(runtime.errors()[0].detail.find("distributed_dir"),
+            std::string::npos)
+      << runtime.errors()[0].detail;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-server placement (PR 5): codec round trips, fuzzing of the HELLO
+// placement map and the forwarding/gather encodings, and live scatter/gather
+// against three real shard servers.
+// ---------------------------------------------------------------------------
+
+Reply SamplePlacementReply() {
+  Reply reply;
+  reply.status = WireStatus::kOk;
+  reply.placement = {"/tmp/fpdm/s0.sock", "/tmp/fpdm/s1.sock",
+                     "/tmp/fpdm/s2.sock"};
+  reply.cont_stamp = (uint64_t{3} << 32) | 17;
+  reply.forwards_pending = 5;
+  return reply;
+}
+
+Request SampleForwardRequest() {
+  Request request;
+  request.op = Op::kForward;
+  request.pid = 1;  // source server index
+  request.seq = 42;  // per-(source, target) forward sequence
+  request.outs = {MakeTuple("fwd", 1), MakeTuple("fwd", 2, 2.5)};
+  return request;
+}
+
+LogEntry SampleForwardLogEntry() {
+  LogEntry entry;
+  entry.kind = LogKind::kForward;
+  entry.pid = 2;  // source server index
+  entry.seq = 9;  // forward-sequence watermark value
+  entry.outs = {MakeTuple("fwd", 7, "payload")};
+  return entry;
+}
+
+TEST(WireCodecTest, HelloPlacementReplyRoundTrip) {
+  const Reply reply = SamplePlacementReply();
+  std::string error;
+  Reply back;
+  ASSERT_TRUE(DecodeReply(EncodeReply(reply), &back, &error)) << error;
+  ASSERT_EQ(back.placement.size(), 3u);
+  EXPECT_EQ(back.placement[0], reply.placement[0]);
+  EXPECT_EQ(back.placement[2], reply.placement[2]);
+  EXPECT_EQ(back.cont_stamp, reply.cont_stamp);
+  EXPECT_EQ(back.forwards_pending, reply.forwards_pending);
+}
+
+TEST(WireCodecTest, ForwardAndContStampRoundTrip) {
+  std::string error;
+  // Server-to-server forward request: source index + fseq + the out group.
+  const Request fwd = SampleForwardRequest();
+  Request fwd_back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(fwd), &fwd_back, &error)) << error;
+  EXPECT_EQ(fwd_back.op, Op::kForward);
+  EXPECT_EQ(fwd_back.pid, 1);
+  EXPECT_EQ(fwd_back.seq, 42u);
+  ASSERT_EQ(fwd_back.outs.size(), 2u);
+  EXPECT_EQ(fwd_back.outs[1], fwd.outs[1]);
+
+  // Unpark carries no payload beyond the op itself.
+  Request unpark;
+  unpark.op = Op::kUnpark;
+  unpark.pid = 3;
+  Request unpark_back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(unpark), &unpark_back, &error))
+      << error;
+  EXPECT_EQ(unpark_back.op, Op::kUnpark);
+
+  // The commit's continuation recency stamp survives the request codec...
+  Request commit;
+  commit.op = Op::kXCommit;
+  commit.pid = 4;
+  commit.seq = 7;
+  commit.has_continuation = true;
+  commit.continuation = MakeTuple("progress", 3);
+  commit.cont_stamp = (uint64_t{2} << 32) | 11;
+  Request commit_back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(commit), &commit_back, &error))
+      << error;
+  EXPECT_EQ(commit_back.cont_stamp, commit.cont_stamp);
+
+  // ...and the WAL codec, for both the commit and the applied forward.
+  LogEntry centry;
+  centry.kind = LogKind::kCommit;
+  centry.pid = 4;
+  centry.seq = 7;
+  centry.has_continuation = true;
+  centry.continuation = MakeTuple("progress", 3);
+  centry.cont_stamp = commit.cont_stamp;
+  LogEntry centry_back;
+  ASSERT_TRUE(DecodeLogEntry(EncodeLogEntry(centry), &centry_back, &error))
+      << error;
+  EXPECT_EQ(centry_back.cont_stamp, centry.cont_stamp);
+
+  const LogEntry fentry = SampleForwardLogEntry();
+  LogEntry fentry_back;
+  ASSERT_TRUE(DecodeLogEntry(EncodeLogEntry(fentry), &fentry_back, &error))
+      << error;
+  EXPECT_EQ(fentry_back.kind, LogKind::kForward);
+  EXPECT_EQ(fentry_back.pid, 2);
+  EXPECT_EQ(fentry_back.seq, 9u);
+  ASSERT_EQ(fentry_back.outs.size(), 1u);
+  EXPECT_EQ(fentry_back.outs[0], fentry.outs[0]);
+}
+
+TEST(WireFuzzTest, PlacementAndForwardEveryTruncationFailsCleanly) {
+  // The multi-leg gather decodes one reply per scatter leg off the same
+  // stream, so a truncated placement/gather reply must fail structurally —
+  // never decode short, never crash.
+  const std::string encodings[] = {
+      EncodeReply(SamplePlacementReply()),
+      EncodeReply([] {
+        Reply reply;  // a gather leg's reply: hit + recovery stamp
+        reply.has_tuple = true;
+        reply.tuple = MakeTuple("hit", 4);
+        reply.cont_stamp = (uint64_t{1} << 32) | 2;
+        return reply;
+      }()),
+      EncodeRequest(SampleForwardRequest()),
+      EncodeLogEntry(SampleForwardLogEntry()),
+  };
+  for (const std::string& full : encodings) {
+    for (size_t len = 0; len < full.size(); ++len) {
+      const std::string_view prefix(full.data(), len);
+      std::string error;
+      Request request;
+      Reply reply;
+      LogEntry entry;
+      EXPECT_FALSE(DecodeRequest(prefix, &request, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+      error.clear();
+      EXPECT_FALSE(DecodeReply(prefix, &reply, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+      error.clear();
+      EXPECT_FALSE(DecodeLogEntry(prefix, &entry, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+    }
+  }
+}
+
+TEST(WireFuzzTest, PlacementAndForwardBitFlipsFailStructurallyOrDecode) {
+  uint64_t state = 0x853c49e6748fea9bull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string seeds[] = {
+      EncodeReply(SamplePlacementReply()),
+      EncodeRequest(SampleForwardRequest()),
+      EncodeLogEntry(SampleForwardLogEntry()),
+  };
+  for (int round = 0; round < 600; ++round) {
+    std::string mutated = seeds[next() % 3];
+    const int flips = 1 + static_cast<int>(next() % 3);
+    for (int f = 0; f < flips; ++f) {
+      mutated[next() % mutated.size()] ^=
+          static_cast<char>(1u << (next() % 8));
+    }
+    std::string error;
+    Request request;
+    Reply reply;
+    LogEntry entry;
+    // A flip may still be a valid encoding; a failure must always carry a
+    // structured error (the sanitizer legs watch the no-UB half).
+    if (!DecodeRequest(mutated, &request, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+    error.clear();
+    if (!DecodeReply(mutated, &reply, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+    error.clear();
+    if (!DecodeLogEntry(mutated, &entry, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST_F(NetIntegrationTest, UnparkRetractsParkedLegAndKeepsReplyOrder) {
+  // A blocking rd with no match parks server-side; Unpark must fail the
+  // parked frame with kNotFound BEFORE acking the unpark itself, so a
+  // gathering client sees exactly one reply per outstanding frame, in
+  // frame order.
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  Request park;
+  park.op = Op::kIn;
+  park.flags = kInBlocking;  // rd: non-destructive park
+  park.tmpl = MakeTemplate(A("never-published"), F(ValueType::kInt));
+  ASSERT_EQ(client.BeginPipeline(park), CallStatus::kOk);
+  ASSERT_EQ(client.Unpark(), CallStatus::kOk);
+  ASSERT_EQ(client.pipeline_inflight(), 2u);
+  Reply parked_reply;
+  ASSERT_EQ(client.FinishPipeline(&parked_reply), CallStatus::kNotFound);
+  Reply unpark_ack;
+  ASSERT_EQ(client.FinishPipeline(&unpark_ack), CallStatus::kOk);
+  EXPECT_EQ(client.pipeline_inflight(), 0u);
+  // Unparking with nothing parked is a no-op ack, not an error.
+  ASSERT_EQ(client.Unpark(), CallStatus::kOk);
+  Reply idle_ack;
+  EXPECT_EQ(client.FinishPipeline(&idle_ack), CallStatus::kOk);
+  client.Bye();
+}
+
+class ShardedNetIntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kServers = 3;
+
+  void SetUp() override {
+    dir_ = MakeStateDir();
+    ASSERT_FALSE(dir_.empty());
+    for (size_t k = 0; k < kServers; ++k) {
+      placement_.push_back(dir_ + "/s" + std::to_string(k) + ".sock");
+    }
+    for (size_t k = 0; k < kServers; ++k) {
+      SpaceServerOptions sopts;
+      sopts.socket_path = placement_[k];
+      sopts.state_dir = dir_ + "/state." + std::to_string(k);
+      sopts.checkpoint_every_ops = 4;
+      sopts.server_index = static_cast<int>(k);
+      sopts.placement = placement_;
+      const pid_t pid = ForkServerProcess(sopts);
+      ASSERT_GT(pid, 0);
+      server_pids_.push_back(pid);
+    }
+    for (const std::string& path : placement_) {
+      ASSERT_TRUE(WaitForSocket(path, 10.0));
+    }
+  }
+
+  void TearDown() override {
+    for (const pid_t pid : server_pids_) {
+      KillProcess(pid);
+      ExitInfo info;
+      WaitForExit(pid, 5.0, &info);
+    }
+    RemoveTree(dir_);
+  }
+
+  ShardedRemoteOptions ShardedOptions(int32_t pid, int32_t incarnation = 0) {
+    ShardedRemoteOptions opts;
+    opts.socket_path = placement_[0];  // bootstrap: learn the map via HELLO
+    opts.pid = pid;
+    opts.incarnation = incarnation;
+    opts.reconnect_timeout_s = 10.0;
+    return opts;
+  }
+
+  /// A key whose arity-`arity` bucket places on shard `server`.
+  std::string KeyForServer(size_t server, size_t arity) {
+    for (int i = 0; i < 1000; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      const Tuple probe =
+          arity == 2 ? MakeTuple(key, 0) : MakeTuple(key, 0, 0);
+      if (PlacementIndex(BucketKeyFor(probe), kServers) == server) return key;
+    }
+    ADD_FAILURE() << "no key places on server " << server;
+    return "";
+  }
+
+  /// Per-server match count, asked of each server directly over its own
+  /// control connection — observes where tuples physically live.
+  std::vector<uint64_t> DirectCounts(const Template& tmpl) {
+    std::vector<uint64_t> counts;
+    for (const std::string& path : placement_) {
+      RemoteSpaceOptions opts;
+      opts.socket_path = path;
+      opts.pid = -1;  // control connection: no HELLO, no registration
+      opts.reconnect_timeout_s = 5.0;
+      RemoteTupleSpace ctl(opts);
+      uint64_t count = 0;
+      EXPECT_EQ(ctl.Count(tmpl, &count), CallStatus::kOk);
+      counts.push_back(count);
+      ctl.Bye();
+    }
+    return counts;
+  }
+
+  std::string dir_;
+  std::vector<std::string> placement_;
+  std::vector<pid_t> server_pids_;
+};
+
+TEST_F(ShardedNetIntegrationTest, PlacementLearnedFromHelloAndOutsRouted) {
+  ShardedRemoteSpace client(ShardedOptions(1));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+  ASSERT_EQ(client.num_servers(), kServers);
+
+  // Publish under 12 distinct bucket keys; the client must route each out
+  // to the placement owner of its bucket.
+  for (int64_t i = 0; i < 12; ++i) {
+    ASSERT_EQ(client.Out(MakeTuple("key" + std::to_string(i), i)),
+              CallStatus::kOk);
+  }
+  const Template all =
+      MakeTemplate(F(ValueType::kString), F(ValueType::kInt));
+  // Each server physically holds exactly its placement slice.
+  const std::vector<uint64_t> counts = DirectCounts(all);
+  uint64_t total = 0;
+  for (size_t k = 0; k < kServers; ++k) {
+    uint64_t expected = 0;
+    for (int64_t i = 0; i < 12; ++i) {
+      const Tuple t = MakeTuple("key" + std::to_string(i), i);
+      if (PlacementIndex(BucketKeyFor(t), kServers) == k) ++expected;
+    }
+    EXPECT_EQ(counts[k], expected) << "server " << k;
+    total += counts[k];
+  }
+  EXPECT_EQ(total, 12u);
+
+  // The formal-first count scatters and sums across the shards...
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(all, &count), CallStatus::kOk);
+  EXPECT_EQ(count, 12u);
+
+  // ...and the formal-first in drains every tuple back, wherever it lives.
+  std::multiset<int64_t> got;
+  for (int64_t i = 0; i < 12; ++i) {
+    Tuple t;
+    ASSERT_EQ(client.In(all, /*blocking=*/false, /*remove=*/true, &t),
+              CallStatus::kOk)
+        << i;
+    got.insert(GetInt(t, 1));
+  }
+  for (int64_t i = 0; i < 12; ++i) EXPECT_EQ(got.count(i), 1u) << i;
+  Tuple none;
+  EXPECT_EQ(client.In(all, false, true, &none), CallStatus::kNotFound);
+  EXPECT_GT(client.scatter_ops(), 0u);
+  EXPECT_LE(client.scatter_rounds(), 4 * client.scatter_ops());
+  client.Bye();
+}
+
+TEST_F(ShardedNetIntegrationTest, ForeignCommitOutsAreForwardedToOwners) {
+  ShardedRemoteSpace client(ShardedOptions(2));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+
+  // Seed the task at a known shard, then consume it in a transaction: the
+  // destructive in binds the txn's home to that shard.
+  const std::string home_key = KeyForServer(0, 2);
+  ASSERT_EQ(client.Out(MakeTuple(home_key, 7)), CallStatus::kOk);
+  ASSERT_EQ(client.XStart(), CallStatus::kOk);
+  Tuple task;
+  ASSERT_EQ(client.In(MakeTemplate(A(home_key), F(ValueType::kInt)),
+                      /*blocking=*/true, /*remove=*/true, &task),
+            CallStatus::kOk);
+
+  // Commit outs owned by every shard. The home server applies its own and
+  // forwards the foreign groups over the server-to-server links.
+  std::vector<Tuple> outs;
+  for (size_t k = 0; k < kServers; ++k) {
+    outs.push_back(MakeTuple(KeyForServer(k, 3), static_cast<int64_t>(k),
+                             GetInt(task, 1)));
+  }
+  ASSERT_EQ(client.XCommit(outs, /*has_continuation=*/false, Tuple{}),
+            CallStatus::kOk);
+
+  // Every out is readable through the sharded client (read-your-writes
+  // across the forward), and each physically lives on its bucket's owner.
+  const Template res_tmpl = MakeTemplate(
+      F(ValueType::kString), F(ValueType::kInt), F(ValueType::kInt));
+  uint64_t count = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {  // forwards are applied by the owner asynchronously — poll briefly
+    ASSERT_EQ(client.Count(res_tmpl, &count), CallStatus::kOk);
+    if (count == kServers) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_EQ(count, kServers);
+  const std::vector<uint64_t> counts = DirectCounts(res_tmpl);
+  for (size_t k = 0; k < kServers; ++k) {
+    EXPECT_EQ(counts[k], 1u) << "server " << k;
+  }
+  client.Bye();
+}
+
+TEST_F(ShardedNetIntegrationTest, CrossServerDestructiveInIsAStructuredError) {
+  ShardedRemoteSpace client(ShardedOptions(3));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+  const std::string key_a = KeyForServer(0, 2);
+  const std::string key_b = KeyForServer(1, 2);
+  ASSERT_EQ(client.Out(MakeTuple(key_a, 1)), CallStatus::kOk);
+  ASSERT_EQ(client.Out(MakeTuple(key_b, 2)), CallStatus::kOk);
+  ASSERT_EQ(client.XStart(), CallStatus::kOk);
+  Tuple t;
+  ASSERT_EQ(client.In(MakeTemplate(A(key_a), F(ValueType::kInt)), true, true,
+                      &t),
+            CallStatus::kOk);
+  // The second destructive in routes to a different shard than the bound
+  // home: single-server transaction affinity makes that a structured
+  // client-side error, not silent corruption.
+  EXPECT_EQ(client.In(MakeTemplate(A(key_b), F(ValueType::kInt)), true, true,
+                      &t),
+            CallStatus::kCrossServerTxn);
+  EXPECT_FALSE(client.last_error().empty());
+  ASSERT_EQ(client.XAbort(), CallStatus::kOk);
+  // The abort rolled the first take back; both tuples are still there.
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(F(ValueType::kString),
+                                      F(ValueType::kInt)),
+                         &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 2u);
+  client.Bye();
+}
+
+TEST_F(ShardedNetIntegrationTest, XRecoverScatterReturnsNewestContinuation) {
+  // Two committed continuations with different home servers: the worker's
+  // first txn homes on shard 0, its second on shard 1. The respawned
+  // incarnation's XRecover scatters destructively and must return the
+  // NEWER continuation, regardless of which shard stored it.
+  const std::string key_a = KeyForServer(0, 2);
+  const std::string key_b = KeyForServer(1, 2);
+  {
+    ShardedRemoteSpace worker(ShardedOptions(4, /*incarnation=*/0));
+    ASSERT_TRUE(worker.Connect()) << worker.last_error();
+    ASSERT_EQ(worker.Out(MakeTuple(key_a, 1)), CallStatus::kOk);
+    ASSERT_EQ(worker.Out(MakeTuple(key_b, 2)), CallStatus::kOk);
+    Tuple t;
+    ASSERT_EQ(worker.XStart(), CallStatus::kOk);
+    ASSERT_EQ(worker.In(MakeTemplate(A(key_a), F(ValueType::kInt)), true,
+                        true, &t),
+              CallStatus::kOk);
+    ASSERT_EQ(worker.XCommit({}, true, MakeTuple("progress", 1)),
+              CallStatus::kOk);
+    ASSERT_EQ(worker.XStart(), CallStatus::kOk);
+    ASSERT_EQ(worker.In(MakeTemplate(A(key_b), F(ValueType::kInt)), true,
+                        true, &t),
+              CallStatus::kOk);
+    ASSERT_EQ(worker.XCommit({}, true, MakeTuple("progress", 2)),
+              CallStatus::kOk);
+    worker.Abandon();  // simulate the crash: no Bye
+  }
+  ShardedRemoteSpace respawned(ShardedOptions(4, /*incarnation=*/1));
+  ASSERT_TRUE(respawned.Connect()) << respawned.last_error();
+  Tuple cont;
+  ASSERT_EQ(respawned.XRecover(&cont), CallStatus::kOk);
+  EXPECT_EQ(GetInt(cont, 1), 2);
+  // The recover consumed every stored continuation: a second call finds
+  // nothing.
+  EXPECT_EQ(respawned.XRecover(&cont), CallStatus::kNotFound);
+  respawned.Bye();
 }
 
 }  // namespace

@@ -10,8 +10,10 @@ catches is the order-of-magnitude class of regression — an accidentally
 quadratic loop, a lost fast path, a round-trip-per-op protocol slip.
 
 Benchmarks present on only one side are reported but never fail the gate:
-new benchmarks land before their baseline exists, and retired ones leave
-stale baseline rows behind.
+rows absent from the committed baseline are listed as "new" (they land
+before their baseline exists — e.g. a fresh multi-server series), and
+retired ones leave stale baseline rows behind. A run where every current
+row is new passes: there is nothing to gate on yet.
 
 Usage: compare_bench_json.py BASELINE CURRENT [--max-ratio N]
 Exits non-zero listing every regressed row.
@@ -80,10 +82,16 @@ def main():
         print(f"{marker:>10}  {ratio:6.2f}x  {name}")
         if ratio > args.max_ratio:
             regressions.append((name, ratio))
-    for name in sorted(set(current) - set(baseline)):
-        print(f"note: {name} only in current (no baseline yet)")
+    new_rows = sorted(set(current) - set(baseline))
+    for name in new_rows:
+        print(f"{'new':>10}  {'':>8}  {name}  (no baseline yet)")
 
     if compared == 0:
+        if new_rows:
+            print(f"\nall {len(new_rows)} current benchmark(s) are new — "
+                  "no baseline rows to gate on; refresh the committed "
+                  "baseline to start gating them")
+            return 0
         print("no benchmark names overlap between baseline and current",
               file=sys.stderr)
         return 2

@@ -2,9 +2,11 @@
 # Builds the benchmark binaries and refreshes the benchmark JSONs:
 #   BENCH_micro.json   — primitive micro-benchmarks (bench_micro)
 #   BENCH_scaling.json — kRealParallel / kDistributed wall-clock scaling vs
-#                        worker count (bench_scaling; the speedup curve is
-#                        only visible on a multicore host — check the
-#                        hw_threads counter)
+#                        worker count, plus the multi-server shard-placement
+#                        series (BM_ScalingDistributedApriori/<workers>/<servers>
+#                        sweeps 1/2/4 shard servers at the largest fleet;
+#                        the speedup curve is only visible on a multicore
+#                        host — check the hw_threads counter)
 # Usage: tools/run_benches.sh [--quick] [build-dir] [out-dir]
 #   --quick    shrink per-benchmark min time for a CI smoke run; the numbers
 #              are noisy and only prove the binaries run end to end
