@@ -138,6 +138,13 @@ void FillWireCounters(benchmark::State& state,
           ? 0.0
           : static_cast<double>(stats.batched_tuple_ops) /
                 static_cast<double>(stats.batch_frames);
+  // 2PC observability: commits that spanned shard servers and the PREPARE
+  // votes they logged. Single-server rows must report 0 for both — those
+  // commits take the coordinator-only fast path with no prepare round.
+  state.counters["txn_prepares"] =
+      static_cast<double>(stats.dist_txn_prepares);
+  state.counters["txn_cross_server"] =
+      static_cast<double>(stats.dist_txn_cross_server);
 }
 
 void RunScalingDistributedApriori(benchmark::State& state, bool batching,

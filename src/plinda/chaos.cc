@@ -66,16 +66,17 @@ std::string ToString(const FaultEvent& event) {
   }
   const bool server_event = event.kind == FaultEvent::Kind::kServerCrash ||
                             event.kind == FaultEvent::Kind::kServerRecover;
-  char buf[96];
+  const char* torn = event.torn_tail ? " (torn WAL tail)" : "";
+  char buf[112];
   if (server_event && event.machine >= 0) {
-    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-14s tuple-space server %d",
-                  event.time, kind, event.machine);
+    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-14s tuple-space server %d%s",
+                  event.time, kind, event.machine, torn);
   } else if (event.machine >= 0) {
     std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-14s machine %d", event.time,
                   kind, event.machine);
   } else {
-    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-14s tuple-space server",
-                  event.time, kind);
+    std::snprintf(buf, sizeof(buf), "[t=%8.2f] %-14s tuple-space server%s",
+                  event.time, kind, torn);
   }
   return buf;
 }
@@ -168,8 +169,11 @@ FaultPlan GenerateFaultPlan(int num_machines, const ChaosOptions& options) {
           options.num_servers > 1
               ? static_cast<int>(rng.NextInt(0, options.num_servers - 1))
               : -1;
+      // Drawn even when the probability is 0 so enabling torn tails does
+      // not reshuffle the victim/time sequence of an existing seed.
+      const bool torn = rng.NextBool(options.torn_tail_probability);
       plan.events.push_back(
-          FaultEvent{FaultEvent::Kind::kServerCrash, t, victim});
+          FaultEvent{FaultEvent::Kind::kServerCrash, t, victim, torn});
       plan.events.push_back(
           FaultEvent{FaultEvent::Kind::kServerRecover, recover, victim});
       ++crashes;
@@ -197,7 +201,8 @@ void InstallFaultPlan(Runtime* runtime, const FaultPlan& plan) {
         runtime->ScheduleRecovery(event.machine, event.time);
         break;
       case FaultEvent::Kind::kServerCrash:
-        runtime->ScheduleServerFailure(event.time, event.machine);
+        runtime->ScheduleServerFailure(event.time, event.machine,
+                                       event.torn_tail);
         break;
       case FaultEvent::Kind::kServerRecover:
         runtime->ScheduleServerRecovery(event.time, event.machine);

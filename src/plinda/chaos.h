@@ -49,6 +49,12 @@ struct ChaosOptions {
   double server_mttr = 20.0;
   int max_server_failures = 1;
 
+  /// Fraction of server crashes whose on-disk image has a torn final WAL
+  /// append (the crash landed mid-write). Recovery must detect the damaged
+  /// record by checksum and replay only the intact prefix. kDistributed
+  /// only; the simulator ignores the flag.
+  double torn_tail_probability = 0;
+
   /// Shard-server processes the distributed runtime runs
   /// (RuntimeOptions::distributed_servers). When > 1, each server crash
   /// picks a victim index uniformly (recovery restarts the same index);
@@ -70,6 +76,9 @@ struct FaultEvent {
   Kind kind = Kind::kMachineCrash;
   double time = 0;
   int machine = -1;
+  /// kServerCrash only: the crash tears the victim's final WAL append
+  /// (see ChaosOptions::torn_tail_probability).
+  bool torn_tail = false;
 };
 
 /// A reproducible schedule of machine and server faults, sorted by time.

@@ -755,13 +755,15 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::XStart() {
 
 RemoteTupleSpace::CallStatus RemoteTupleSpace::XCommit(
     const std::vector<Tuple>& outs, bool has_continuation,
-    const Tuple& continuation, uint64_t cont_stamp) {
+    const Tuple& continuation, uint64_t cont_stamp,
+    const std::vector<uint32_t>& participants) {
   Request request;
   request.op = Op::kXCommit;
   request.outs = outs;
   request.has_continuation = has_continuation;
   request.continuation = continuation;
   request.cont_stamp = cont_stamp;
+  request.participants = participants;
   Reply reply;
   return Call(request, &reply);
 }
@@ -893,26 +895,20 @@ void ShardedRemoteSpace::Abandon() {
   for (auto& leg : legs_) leg->Abandon();
 }
 
-ShardedRemoteSpace::CallStatus ShardedRemoteSpace::EnsureHome(size_t leg) {
+ShardedRemoteSpace::CallStatus ShardedRemoteSpace::EnsureParticipant(
+    size_t leg) {
   if (!txn_open_) return CallStatus::kOk;
-  if (home_ < 0) {
-    home_ = static_cast<int>(leg);
-    if (xstart_pending_) {
-      xstart_pending_ = false;
-      const CallStatus status = xstart_deferred_
-                                    ? legs_[leg]->DeferXStart()
-                                    : legs_[leg]->XStart();
-      if (status != CallStatus::kOk) last_error_ = legs_[leg]->last_error();
+  if (home_ < 0) home_ = static_cast<int>(leg);
+  if (participants_.insert(static_cast<uint32_t>(leg)).second) {
+    // First destructive in on this leg: open the transaction there so its
+    // tentative removals are tracked (and, at commit time, so the leg can
+    // vote PREPARED in the 2PC round if it is not the home server).
+    const CallStatus status = xstart_deferred_ ? legs_[leg]->DeferXStart()
+                                               : legs_[leg]->XStart();
+    if (status != CallStatus::kOk) {
+      last_error_ = legs_[leg]->last_error();
       return status;
     }
-    return CallStatus::kOk;
-  }
-  if (static_cast<size_t>(home_) != leg) {
-    last_error_ =
-        "cross-server transaction: destructive in routed to server " +
-        std::to_string(leg) + " but the transaction is bound to server " +
-        std::to_string(home_);
-    return CallStatus::kCrossServerTxn;
   }
   return CallStatus::kOk;
 }
@@ -965,7 +961,7 @@ ShardedRemoteSpace::CallStatus ShardedRemoteSpace::In(const Template& tmpl,
     CallStatus status = FlushOthers(leg);
     if (status != CallStatus::kOk) return status;
     if (remove) {
-      status = EnsureHome(leg);
+      status = EnsureParticipant(leg);
       if (status != CallStatus::kOk) return status;
     }
     status = legs_[leg]->In(tmpl, blocking, remove, result);
@@ -1132,7 +1128,7 @@ ShardedRemoteSpace::CallStatus ShardedRemoteSpace::ScatterIn(
     }
     // Claim the winner's exact tuple with a sequenced (exactly-once) inp;
     // a kNotFound means another worker stole it — rescan.
-    status = EnsureHome(winner);
+    status = EnsureParticipant(winner);
     if (status != CallStatus::kOk) return status;
     Tuple got;
     status = legs_[winner]->In(AllActuals(t), /*blocking=*/false,
@@ -1194,7 +1190,7 @@ ShardedRemoteSpace::CallStatus ShardedRemoteSpace::Count(
 ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XStart() {
   txn_open_ = true;
   home_ = -1;
-  xstart_pending_ = true;
+  participants_.clear();
   xstart_deferred_ = false;
   return CallStatus::kOk;
 }
@@ -1202,14 +1198,14 @@ ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XStart() {
 ShardedRemoteSpace::CallStatus ShardedRemoteSpace::DeferXStart() {
   txn_open_ = true;
   home_ = -1;
-  xstart_pending_ = true;
+  participants_.clear();
   xstart_deferred_ = true;
   return CallStatus::kOk;
 }
 
-ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XCommit(
+ShardedRemoteSpace::CallStatus ShardedRemoteSpace::CommitInternal(
     const std::vector<Tuple>& outs, bool has_continuation,
-    const Tuple& continuation) {
+    const Tuple& continuation, bool defer) {
   // A transaction that never did a destructive in can commit anywhere:
   // spread the in-free commit load deterministically by pid.
   if (home_ < 0) {
@@ -1219,14 +1215,20 @@ ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XCommit(
                 : 0;
   }
   const size_t home = static_cast<size_t>(home_);
-  if (xstart_pending_) {
-    xstart_pending_ = false;
-    const CallStatus status = xstart_deferred_ ? legs_[home]->DeferXStart()
-                                               : legs_[home]->XStart();
+  if (participants_.count(static_cast<uint32_t>(home)) == 0 && txn_open_) {
+    // No destructive in bound the home leg: open the transaction there so
+    // the commit record has a matching XStart.
+    const CallStatus status = (defer || xstart_deferred_)
+                                  ? legs_[home]->DeferXStart()
+                                  : legs_[home]->XStart();
     if (status != CallStatus::kOk) {
       last_error_ = legs_[home]->last_error();
       return status;
     }
+  }
+  std::vector<uint32_t> others;
+  for (uint32_t k : participants_) {
+    if (k != static_cast<uint32_t>(home)) others.push_back(k);
   }
   const uint64_t stamp =
       (static_cast<uint64_t>(static_cast<uint32_t>(options_.incarnation))
@@ -1234,54 +1236,63 @@ ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XCommit(
       ++commit_seq_;
   txn_open_ = false;
   home_ = -1;
-  const CallStatus status =
-      legs_[home]->XCommit(outs, has_continuation, continuation, stamp);
+  participants_.clear();
+  if (others.empty()) {
+    // Fast path: every destructive in landed on the home server — a
+    // single-record commit with no prepare round, deferrable as before.
+    const CallStatus status =
+        defer ? legs_[home]->DeferXCommit(outs, has_continuation,
+                                          continuation, stamp)
+              : legs_[home]->XCommit(outs, has_continuation, continuation,
+                                     stamp);
+    if (status != CallStatus::kOk) last_error_ = legs_[home]->last_error();
+    return status;
+  }
+  // 2PC slow path — ALWAYS synchronous, even when the caller deferred: the
+  // coordinator parks the reply until the votes decide, and pipelining the
+  // next transaction's frames behind a parked commit would let them apply
+  // mid-decision. Participant legs must be flushed first so their XStart +
+  // destructive ins are server-side before any PREPARE can arrive over the
+  // peer channel (a PREPARE racing ahead of them would vote REFUSED and
+  // abort a healthy commit).
+  CallStatus status = FlushOthers(home);
+  if (status != CallStatus::kOk) return status;
+  status = legs_[home]->XCommit(outs, has_continuation, continuation, stamp,
+                                others);
   if (status != CallStatus::kOk) last_error_ = legs_[home]->last_error();
   return status;
+}
+
+ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XCommit(
+    const std::vector<Tuple>& outs, bool has_continuation,
+    const Tuple& continuation) {
+  return CommitInternal(outs, has_continuation, continuation,
+                        /*defer=*/false);
 }
 
 ShardedRemoteSpace::CallStatus ShardedRemoteSpace::DeferXCommit(
     const std::vector<Tuple>& outs, bool has_continuation,
     const Tuple& continuation) {
-  if (home_ < 0) {
-    home_ = legs_.size() > 1
-                ? static_cast<int>(static_cast<uint32_t>(options_.pid) %
-                                   legs_.size())
-                : 0;
-  }
-  const size_t home = static_cast<size_t>(home_);
-  if (xstart_pending_) {
-    xstart_pending_ = false;
-    const CallStatus status = legs_[home]->DeferXStart();
-    if (status != CallStatus::kOk) {
-      last_error_ = legs_[home]->last_error();
-      return status;
-    }
-  }
-  const uint64_t stamp =
-      (static_cast<uint64_t>(static_cast<uint32_t>(options_.incarnation))
-       << 32) |
-      ++commit_seq_;
-  txn_open_ = false;
-  home_ = -1;
-  const CallStatus status =
-      legs_[home]->DeferXCommit(outs, has_continuation, continuation, stamp);
-  if (status != CallStatus::kOk) last_error_ = legs_[home]->last_error();
-  return status;
+  return CommitInternal(outs, has_continuation, continuation,
+                        /*defer=*/true);
 }
 
 ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XAbort() {
-  const bool started = txn_open_ && home_ >= 0 && !xstart_pending_;
-  const int home = home_;
+  // No atomicity needed to abort: roll back every participant leg
+  // independently (each republishes its own tentative ins).
+  const std::set<uint32_t> parts = participants_;
   txn_open_ = false;
   home_ = -1;
-  xstart_pending_ = false;
-  if (!started) return CallStatus::kOk;  // nothing ever reached a server
-  const CallStatus status = legs_[static_cast<size_t>(home)]->XAbort();
-  if (status != CallStatus::kOk) {
-    last_error_ = legs_[static_cast<size_t>(home)]->last_error();
+  participants_.clear();
+  CallStatus worst = CallStatus::kOk;
+  for (uint32_t k : parts) {
+    const CallStatus status = legs_[k]->XAbort();
+    if (status != CallStatus::kOk && worst == CallStatus::kOk) {
+      worst = status;
+      last_error_ = legs_[k]->last_error();
+    }
   }
-  return status;
+  return worst;
 }
 
 ShardedRemoteSpace::CallStatus ShardedRemoteSpace::XRecover(

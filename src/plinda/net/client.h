@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -59,13 +60,11 @@ class RemoteTupleSpace {
  public:
   enum class CallStatus {
     kOk,
-    kNotFound,       // inp/rdp miss, xrecover without a continuation
-    kCancelled,      // run cancelled (deadlock watchdog) — unwind
-    kUnreachable,    // server gone past the reconnect window
-    kWireError,      // protocol violation; detail in last_error()
-    kPending,        // PollStatus/PollPipeline: the reply not here yet
-    kCrossServerTxn  // txn bound to one server routed a destructive op
-                     // to another (single-server affinity rule)
+    kNotFound,     // inp/rdp miss, xrecover without a continuation
+    kCancelled,    // run cancelled (deadlock watchdog) — unwind
+    kUnreachable,  // server gone past the reconnect window
+    kWireError,    // protocol violation; detail in last_error()
+    kPending       // PollStatus/PollPipeline: the reply not here yet
   };
 
   /// Exponential backoff ceiling for reconnect attempts (seconds).
@@ -96,8 +95,12 @@ class RemoteTupleSpace {
                 Tuple* result);
   CallStatus Count(const Template& tmpl, uint64_t* count);
   CallStatus XStart();
+  /// `participants` (server indexes other than this one whose buckets took
+  /// destructive ins inside the transaction) turns the commit into a 2PC
+  /// round coordinated by this server; empty = single-server fast path.
   CallStatus XCommit(const std::vector<Tuple>& outs, bool has_continuation,
-                     const Tuple& continuation, uint64_t cont_stamp = 0);
+                     const Tuple& continuation, uint64_t cont_stamp = 0,
+                     const std::vector<uint32_t>& participants = {});
   CallStatus XAbort();
   CallStatus XRecover(Tuple* continuation);
   CallStatus TakeAll(std::vector<Tuple>* tuples);
@@ -261,11 +264,13 @@ struct ShardedRemoteOptions {
 ///    gathered as a pipeline — one wall-clock round per all-shard op, not N
 ///    serial round trips. Blocking scatters park a non-destructive rd on
 ///    every server and retract the losers with kUnpark once one fires.
-///  - Transactions have single-server affinity: the home server is bound by
-///    the first destructive in (or pid % N for in-only-free transactions),
-///    the deferred XStart is held back until the home is known, and a
-///    destructive in routed elsewhere fails with kCrossServerTxn. Commit
-///    outs for foreign buckets are forwarded server-side (Op::kForward).
+///  - Transactions span servers via 2PC: the home server — bound by the
+///    first destructive in, else pid % N — coordinates the commit. Every
+///    leg whose bucket takes a destructive in joins as a participant (an
+///    XStart opens the transaction there on first touch), and a commit
+///    whose participants all collapse onto the home server stays the
+///    single-record fast path with no prepare round. Commit outs for
+///    foreign buckets are forwarded server-side (Op::kForward) either way.
 ///  - XRecover scatters destructively to every server and returns the
 ///    continuation with the newest stamp, so a respawned worker finds its
 ///    checkpoint no matter which home server its commits used.
@@ -320,9 +325,18 @@ class ShardedRemoteSpace {
   const std::string& last_error() const { return last_error_; }
 
  private:
-  /// Binds the transaction's home server (sending the held-back XStart) or
-  /// rejects a destructive in routed away from the bound home.
-  CallStatus EnsureHome(size_t leg);
+  /// Joins `leg` to the open transaction: binds it as the home server if
+  /// none is bound yet, and opens the transaction there (XStart, deferred
+  /// or synchronous per the caller's original choice) on first touch.
+  CallStatus EnsureParticipant(size_t leg);
+  /// Shared commit path. Participants beyond the home server force the 2PC
+  /// slow path, which is ALWAYS synchronous — a deferred cross-server
+  /// commit pipelined ahead of the next transaction's frames could reach
+  /// the coordinator while the decision is still parked and clobber the
+  /// re-armed client state.
+  CallStatus CommitInternal(const std::vector<Tuple>& outs,
+                            bool has_continuation, const Tuple& continuation,
+                            bool defer);
   /// Flushes deferred frames on every leg except `except` (SIZE_MAX =
   /// flush all), so a read on one server observes this client's earlier
   /// writes to the others.
@@ -340,9 +354,11 @@ class ShardedRemoteSpace {
   ShardedRemoteOptions options_;
   std::vector<std::unique_ptr<RemoteTupleSpace>> legs_;
   bool txn_open_ = false;
-  int home_ = -1;             // server index the open txn is bound to
-  bool xstart_pending_ = false;   // XStart requested, home not yet known
-  bool xstart_deferred_ = false;  // the pending XStart should be deferred
+  int home_ = -1;  // first participant = the commit's coordinator
+  /// Legs holding an open server-side transaction (destructive ins joined
+  /// them). Empty while txn_open_ = the XStart has not reached any server.
+  std::set<uint32_t> participants_;
+  bool xstart_deferred_ = false;  // open legs with DeferXStart, not XStart
   uint32_t commit_seq_ = 0;   // per-incarnation continuation stamp counter
   uint64_t scatter_ops_ = 0;
   uint64_t scatter_rounds_ = 0;

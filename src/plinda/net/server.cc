@@ -18,10 +18,10 @@ namespace fpdm::plinda::net {
 
 namespace {
 
-// v3: continuation stamps + per-peer forward queues/counters for
-// multi-server placement (v2 added the per-client dedup window + batch
-// counters).
-constexpr char kSnapshotMagic[] = "fpdmsrv3:";
+// v4: 2PC state — typed peer messages, coordinator/participant transaction
+// tables, decision outcomes, txn counters (v3 added continuation stamps +
+// per-peer forward queues for multi-server placement).
+constexpr char kSnapshotMagic[] = "fpdmsrv4:";
 
 /// An all-actuals template matching exactly one tuple value. Replaying an
 /// IN log entry removes the oldest tuple equal to the logged one, which is
@@ -179,12 +179,56 @@ std::string SpaceServer::EncodeSnapshot() const {
     PutU64(peer.next_fseq, &payload);
     PutU64(peer.watermark, &payload);
     PutU32(static_cast<uint32_t>(peer.unacked.size()), &payload);
-    for (const auto& [fseq, outs] : peer.unacked) {
-      PutU64(fseq, &payload);
-      PutU32(static_cast<uint32_t>(outs.size()), &payload);
-      for (const Tuple& t : outs) PutTuple(t, &payload);
+    for (const PeerMsg& msg : peer.unacked) {
+      PutU64(msg.fseq, &payload);
+      PutU8(static_cast<uint8_t>(msg.op), &payload);
+      PutU32(static_cast<uint32_t>(msg.outs.size()), &payload);
+      for (const Tuple& t : msg.outs) PutTuple(t, &payload);
+      PutI32(msg.txn_pid, &payload);
+      PutI32(msg.txn_incarnation, &payload);
+      PutU64(msg.txn_seq, &payload);
+      PutU8(msg.decision, &payload);
     }
   }
+  // 2PC state. The votes set must be durable: a vote whose PREPARE message
+  // was acked (and so retired from the unacked queue) before this snapshot
+  // is otherwise unrecoverable — the resent PREPARE after a restart only
+  // re-collects votes for messages still queued.
+  PutU32(static_cast<uint32_t>(coord_pending_.size()), &payload);
+  for (const auto& [pid, txn] : coord_pending_) {
+    PutI32(pid, &payload);
+    PutI32(txn.incarnation, &payload);
+    PutU64(txn.seq, &payload);
+    PutU32(static_cast<uint32_t>(txn.outs.size()), &payload);
+    for (const Tuple& t : txn.outs) PutTuple(t, &payload);
+    PutU8(txn.has_continuation ? 1 : 0, &payload);
+    PutTuple(txn.continuation, &payload);
+    PutU64(txn.cont_stamp, &payload);
+    PutU32(static_cast<uint32_t>(txn.participants.size()), &payload);
+    for (uint32_t k : txn.participants) PutU32(k, &payload);
+    PutU32(static_cast<uint32_t>(txn.votes.size()), &payload);
+    for (uint32_t k : txn.votes) PutU32(k, &payload);
+  }
+  PutU32(static_cast<uint32_t>(prepared_.size()), &payload);
+  for (const auto& [key, p] : prepared_) {
+    PutI32(std::get<0>(key), &payload);
+    PutI32(std::get<1>(key), &payload);
+    PutU64(std::get<2>(key), &payload);
+    PutU32(p.coordinator, &payload);
+    PutU32(static_cast<uint32_t>(p.ins.size()), &payload);
+    for (const Tuple& t : p.ins) PutTuple(t, &payload);
+  }
+  PutU32(static_cast<uint32_t>(decisions_.size()), &payload);
+  for (const auto& [key, d] : decisions_) {
+    PutI32(std::get<0>(key), &payload);
+    PutI32(std::get<1>(key), &payload);
+    PutU64(std::get<2>(key), &payload);
+    PutU8(d.outcome, &payload);
+    PutU32(static_cast<uint32_t>(d.waiting.size()), &payload);
+    for (uint32_t k : d.waiting) PutU32(k, &payload);
+  }
+  PutU64(txn_prepares_, &payload);
+  PutU64(txn_cross_server_, &payload);
 
   std::string out = kSnapshotMagic;
   PutU32(static_cast<uint32_t>(payload.size()), &out);
@@ -277,19 +321,108 @@ bool SpaceServer::LoadSnapshot(const std::string& path) {
       return false;
     }
     for (uint32_t i = 0; i < n_unacked; ++i) {
-      uint64_t fseq = 0;
+      PeerMsg msg;
+      uint8_t op = 0;
       uint32_t n_outs = 0;
-      if (!r.TakeU64(&fseq) || !r.TakeU32(&n_outs)) return false;
-      std::vector<Tuple> outs;
-      outs.reserve(n_outs);
+      if (!r.TakeU64(&msg.fseq) || !r.TakeU8(&op) || !r.TakeU32(&n_outs)) {
+        return false;
+      }
+      msg.op = static_cast<Op>(op);
+      msg.outs.reserve(n_outs);
       for (uint32_t j = 0; j < n_outs; ++j) {
         Tuple t;
         if (!r.TakeTuple(&t)) return false;
-        outs.push_back(std::move(t));
+        msg.outs.push_back(std::move(t));
       }
-      peer.unacked.emplace_back(fseq, std::move(outs));
+      if (!r.TakeI32(&msg.txn_pid) || !r.TakeI32(&msg.txn_incarnation) ||
+          !r.TakeU64(&msg.txn_seq) || !r.TakeU8(&msg.decision)) {
+        return false;
+      }
+      peer.unacked.push_back(std::move(msg));
     }
     peer.sent = 0;  // nothing is on the wire in a fresh process
+  }
+  uint32_t n_coord = 0;
+  if (!r.TakeU32(&n_coord)) return false;
+  coord_pending_.clear();
+  for (uint32_t i = 0; i < n_coord; ++i) {
+    int32_t pid = 0;
+    CoordTxn txn;
+    uint32_t n_outs = 0;
+    if (!r.TakeI32(&pid) || !r.TakeI32(&txn.incarnation) ||
+        !r.TakeU64(&txn.seq) || !r.TakeU32(&n_outs)) {
+      return false;
+    }
+    txn.outs.reserve(n_outs);
+    for (uint32_t j = 0; j < n_outs; ++j) {
+      Tuple t;
+      if (!r.TakeTuple(&t)) return false;
+      txn.outs.push_back(std::move(t));
+    }
+    uint8_t has_cont = 0;
+    uint32_t n_participants = 0;
+    if (!r.TakeU8(&has_cont) || !r.TakeTuple(&txn.continuation) ||
+        !r.TakeU64(&txn.cont_stamp) || !r.TakeU32(&n_participants)) {
+      return false;
+    }
+    txn.has_continuation = has_cont != 0;
+    for (uint32_t j = 0; j < n_participants; ++j) {
+      uint32_t k = 0;
+      if (!r.TakeU32(&k)) return false;
+      txn.participants.push_back(k);
+    }
+    uint32_t n_votes = 0;
+    if (!r.TakeU32(&n_votes)) return false;
+    for (uint32_t j = 0; j < n_votes; ++j) {
+      uint32_t k = 0;
+      if (!r.TakeU32(&k)) return false;
+      txn.votes.insert(k);
+    }
+    coord_pending_.emplace(pid, std::move(txn));
+  }
+  uint32_t n_prepared = 0;
+  if (!r.TakeU32(&n_prepared)) return false;
+  prepared_.clear();
+  for (uint32_t i = 0; i < n_prepared; ++i) {
+    int32_t pid = 0;
+    int32_t incarnation = 0;
+    uint64_t seq = 0;
+    PreparedTxn p;
+    uint32_t n_ins = 0;
+    if (!r.TakeI32(&pid) || !r.TakeI32(&incarnation) || !r.TakeU64(&seq) ||
+        !r.TakeU32(&p.coordinator) || !r.TakeU32(&n_ins)) {
+      return false;
+    }
+    p.ins.reserve(n_ins);
+    for (uint32_t j = 0; j < n_ins; ++j) {
+      Tuple t;
+      if (!r.TakeTuple(&t)) return false;
+      p.ins.push_back(std::move(t));
+    }
+    prepared_.emplace(TxnKey{pid, incarnation, seq}, std::move(p));
+  }
+  uint32_t n_decisions = 0;
+  if (!r.TakeU32(&n_decisions)) return false;
+  decisions_.clear();
+  for (uint32_t i = 0; i < n_decisions; ++i) {
+    int32_t pid = 0;
+    int32_t incarnation = 0;
+    uint64_t seq = 0;
+    Decision d;
+    uint32_t n_waiting = 0;
+    if (!r.TakeI32(&pid) || !r.TakeI32(&incarnation) || !r.TakeU64(&seq) ||
+        !r.TakeU8(&d.outcome) || !r.TakeU32(&n_waiting)) {
+      return false;
+    }
+    for (uint32_t j = 0; j < n_waiting; ++j) {
+      uint32_t k = 0;
+      if (!r.TakeU32(&k)) return false;
+      d.waiting.push_back(k);
+    }
+    decisions_.emplace(TxnKey{pid, incarnation, seq}, std::move(d));
+  }
+  if (!r.TakeU64(&txn_prepares_) || !r.TakeU64(&txn_cross_server_)) {
+    return false;
   }
   return r.AtEnd();
 }
@@ -334,8 +467,22 @@ bool SpaceServer::AppendLog(const LogEntry& entry) {
     stop_ = true;
     return false;
   }
+  // Fault injection: pretend the disk rejected this append. The entry is
+  // never written, so nothing is acknowledged — the server just stops and
+  // Serve() exits nonzero for the supervisor to report.
+  if (options_.wal_fail_after > 0 &&
+      ++wal_appends_attempted_ >= options_.wal_fail_after) {
+    wal_failed_ = true;
+    stop_ = true;
+    return false;
+  }
+  // Log records carry a per-record checksum — [u32 len][u64 fnv1a][payload]
+  // — so recovery can tell a torn or bit-rotted tail from a clean prefix
+  // even when the mangled bytes still parse as a plausible length.
   std::string frame;
-  AppendFrame(encoded, &frame);
+  PutU32(static_cast<uint32_t>(encoded.size()), &frame);
+  PutU64(Fnv1a64(encoded), &frame);
+  frame += encoded;
   if (!WriteAll(log_fd_, frame.data(), frame.size())) {
     // A partial append is a torn tail: recovery truncates it away, so the
     // entry is NOT durable. Stop serving instead of acknowledging it.
@@ -356,22 +503,30 @@ bool SpaceServer::ReplayLog(const std::string& path) {
   std::string raw;
   if (!ReadFile(path, &raw)) return true;  // missing log = empty log
   size_t off = 0;
-  while (off + 4 <= raw.size()) {
+  while (off + 12 <= raw.size()) {
     const auto* p = reinterpret_cast<const unsigned char*>(raw.data() + off);
     const uint32_t len = static_cast<uint32_t>(p[0]) |
                          (static_cast<uint32_t>(p[1]) << 8) |
                          (static_cast<uint32_t>(p[2]) << 16) |
                          (static_cast<uint32_t>(p[3]) << 24);
-    if (len > kMaxFramePayload || off + 4 + len > raw.size()) break;
+    uint64_t want_hash = 0;
+    for (int i = 0; i < 8; ++i) {
+      want_hash |= static_cast<uint64_t>(p[4 + i]) << (8 * i);
+    }
+    if (len > kMaxFramePayload || off + 12 + len > raw.size()) break;
+    const std::string_view payload =
+        std::string_view(raw).substr(off + 12, len);
+    // A checksum mismatch is a torn or corrupted tail. Only the FINAL
+    // record can legitimately be damaged (apply/ack strictly follows a
+    // successful durable append), so stopping here discards nothing that
+    // was ever acknowledged.
+    if (Fnv1a64(payload) != want_hash) break;
     LogEntry entry;
     std::string error;
-    if (!DecodeLogEntry(std::string_view(raw).substr(off + 4, len), &entry,
-                        &error)) {
-      break;
-    }
+    if (!DecodeLogEntry(payload, &entry, &error)) break;
     ApplyEntry(entry);
     ++ops_replayed_;
-    off += 4 + len;
+    off += 12 + len;
   }
   // A torn tail (the crash interrupted an append) is expected: truncate to
   // the last complete entry so the next epoch starts from a clean prefix.
@@ -388,6 +543,15 @@ bool SpaceServer::Recover() {
     if (!LoadSnapshot(ckpt_path)) return false;  // corrupt checkpoint: fatal
   }
   ReplayLog(options_.state_dir + "/log." + std::to_string(epoch_));
+  // Presumed-abort recovery: every transaction still PREPARED but
+  // undecided asks its coordinator what happened. Queued BEFORE the boot
+  // checkpoint so the fseqs these queries consume are captured in the
+  // snapshot's next_fseq — post-boot log replay must re-assign identical
+  // fseqs to later forwards. EnqueueTxnQuery skips duplicates already
+  // restored from the snapshot, so crash loops don't grow the queue.
+  for (const auto& [key, p] : prepared_) {
+    if (p.coordinator < peers_.size()) EnqueueTxnQuery(p.coordinator, key);
+  }
   // Collapse the replayed log into a fresh checkpoint so every boot starts
   // with an empty log and a bounded-size on-disk state.
   return TakeCheckpoint();
@@ -491,6 +655,20 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
       c.txn_open = false;
       c.txn_ins.clear();
       ++commits_;
+      // Non-empty participants = the COMMIT decision record of a
+      // cross-server (2PC) transaction: retire the in-doubt state, retain
+      // the outcome until every participant acks, fan the decision out.
+      if (!entry.participants.empty()) {
+        coord_pending_.erase(entry.pid);
+        const TxnKey key{entry.pid, entry.incarnation, entry.seq};
+        Decision d;
+        d.outcome = kTxnCommit;
+        d.waiting = entry.participants;
+        decisions_[key] = std::move(d);
+        for (uint32_t k : entry.participants) {
+          if (k < peers_.size()) EnqueueDecide(k, key, kTxnCommit);
+        }
+      }
       break;
     }
     case LogKind::kAbort: {
@@ -499,6 +677,90 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
       c.txn_open = false;
       c.txn_ins.clear();
       ++aborts_;
+      if (!entry.participants.empty()) {
+        // ABORT decision record of a cross-server transaction. The parked
+        // client (if any) gets a structured error; participants republish
+        // their durably parked ins on delivery.
+        coord_pending_.erase(entry.pid);
+        const TxnKey key{entry.pid, entry.incarnation, entry.seq};
+        Decision d;
+        d.outcome = kTxnAbort;
+        d.waiting = entry.participants;
+        decisions_[key] = std::move(d);
+        for (uint32_t k : entry.participants) {
+          if (k < peers_.size()) EnqueueDecide(k, key, kTxnAbort);
+        }
+        reply.status = WireStatus::kError;
+        reply.error = "cross-server transaction aborted";
+      }
+      break;
+    }
+    case LogKind::kXPrepare: {
+      // Coordinator: the commit payload is durably parked and PREPAREs fan
+      // out to every participant. Replay re-arms the pending transaction
+      // (votes re-collect via resent PREPAREs or the snapshot) and
+      // re-enqueues the PREPARE messages at identical fseqs.
+      CoordTxn txn;
+      txn.incarnation = entry.incarnation;
+      txn.seq = entry.seq;
+      txn.outs = entry.outs;
+      txn.has_continuation = entry.has_continuation;
+      txn.continuation = entry.continuation;
+      txn.cont_stamp = entry.cont_stamp;
+      txn.participants = entry.participants;
+      coord_pending_[entry.pid] = std::move(txn);
+      ++txn_cross_server_;
+      for (uint32_t k : entry.participants) {
+        if (k < peers_.size()) {
+          EnqueuePrepare(k, entry.pid, entry.incarnation, entry.seq);
+        }
+      }
+      break;
+    }
+    case LogKind::kPrepared: {
+      // Participant: the vote is durable and the PREPARE delivery advances
+      // the coordinator's watermark. A yes vote parks the transaction's
+      // tentative ins in prepared_ — out of ClientState, so neither a
+      // crash-abort nor a new-incarnation HELLO can republish them while
+      // the outcome is undecided.
+      if (entry.peer >= 0 && static_cast<size_t>(entry.peer) < peers_.size()) {
+        PeerLink& src = peers_[static_cast<size_t>(entry.peer)];
+        if (entry.fseq > src.watermark) src.watermark = entry.fseq;
+      }
+      if (entry.decision == kVotePrepared) {
+        PreparedTxn p;
+        p.coordinator = static_cast<uint32_t>(entry.peer);
+        auto it = clients_.find(entry.pid);
+        if (it != clients_.end()) {
+          p.ins = std::move(it->second.txn_ins);
+          it->second.txn_ins.clear();
+          it->second.txn_open = false;
+        }
+        prepared_[TxnKey{entry.pid, entry.incarnation, entry.seq}] =
+            std::move(p);
+      }
+      break;
+    }
+    case LogKind::kDecide: {
+      // Participant applies the coordinator's decision. fseq != 0 = it
+      // arrived as a kDecide peer message (advance the watermark); fseq ==
+      // 0 = it was learned from a recovery-time kTxnQuery answer. Both are
+      // idempotent: once the prepared entry is gone, this is a no-op.
+      if (entry.fseq != 0 && entry.peer >= 0 &&
+          static_cast<size_t>(entry.peer) < peers_.size()) {
+        PeerLink& src = peers_[static_cast<size_t>(entry.peer)];
+        if (entry.fseq > src.watermark) src.watermark = entry.fseq;
+      }
+      auto it =
+          prepared_.find(TxnKey{entry.pid, entry.incarnation, entry.seq});
+      if (it != prepared_.end()) {
+        if (entry.decision != kTxnCommit) {
+          for (const Tuple& t : it->second.ins) PublishTuple(t);
+        }
+        // On commit the ins stay removed (they left the space when the
+        // destructive in executed); the coordinator counts the commit.
+        prepared_.erase(it);
+      }
       break;
     }
     case LogKind::kXRecover: {
@@ -556,9 +818,16 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
   }
   const std::string encoded = EncodeReply(reply);
   // kForward entries reuse pid as the SOURCE SERVER index — caching their
-  // replies would collide with a real client's dedup window.
+  // replies would collide with a real client's dedup window. The 2PC
+  // records are excluded too: kXPrepare must not cache a reply under the
+  // commit's seq (the decision record does that — a resent XCOMMIT before
+  // the decision must re-park, not get a bogus cached OK), and
+  // kPrepared/kDecide carry the COORDINATOR leg's seq, which lives in a
+  // different sequence space than this participant's client leg.
   if (entry.seq != 0 && entry.pid >= 0 &&
-      entry.kind != LogKind::kForward) {
+      entry.kind != LogKind::kForward &&
+      entry.kind != LogKind::kXPrepare &&
+      entry.kind != LogKind::kPrepared && entry.kind != LogKind::kDecide) {
     CacheReply(clients_[entry.pid], entry.seq, encoded);
   }
   return encoded;
@@ -664,6 +933,13 @@ void SpaceServer::HandleHello(Conn& conn, const Request& request) {
   entry.incarnation = request.incarnation;
   if (!AppendLog(entry)) return;
   ApplyEntry(entry);
+  // A respawned incarnation proves the old one died mid-commit: drive its
+  // in-doubt cross-server transaction to ABORT so every participant
+  // republishes the parked ins and the new incarnation's xrecover resumes
+  // from the last COMMITTED continuation.
+  if (coord_pending_.count(request.pid) != 0) {
+    DecideTxn(request.pid, kTxnAbort);
+  }
   SendReply(conn, hello);
   SatisfyWaiters();
 }
@@ -853,6 +1129,49 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
         SendError(conn, "xcommit requires a registered client");
         break;
       }
+      if (!request.participants.empty()) {
+        // Cross-server commit: 2PC slow path. Park the reply until the
+        // decision; the decision record caches it for retries.
+        bool bad = false;
+        std::set<uint32_t> seen;
+        for (uint32_t k : request.participants) {
+          if (k >= placement_.size() ||
+              k == static_cast<uint32_t>(options_.server_index) ||
+              !seen.insert(k).second) {
+            bad = true;
+          }
+        }
+        if (bad) {
+          SendError(conn, "xcommit: bad participant list");
+          break;
+        }
+        auto pit = coord_pending_.find(conn.pid);
+        if (pit != coord_pending_.end()) {
+          if (pit->second.incarnation == conn.incarnation &&
+              pit->second.seq == request.seq) {
+            pit->second.reply_fd = conn.fd;  // resent commit: re-park
+          } else {
+            SendError(conn, "xcommit while another commit is in doubt");
+          }
+          break;
+        }
+        LogEntry entry;
+        entry.kind = LogKind::kXPrepare;
+        entry.pid = conn.pid;
+        entry.incarnation = conn.incarnation;
+        entry.seq = request.seq;
+        entry.outs = request.outs;
+        entry.has_continuation = request.has_continuation;
+        entry.continuation = request.continuation;
+        entry.cont_stamp = request.cont_stamp;
+        entry.participants = request.participants;
+        if (!AppendLog(entry)) break;
+        ApplyEntry(entry);  // arms coord_pending_ + fans out PREPAREs
+        coord_pending_[conn.pid].reply_fd = conn.fd;
+        break;  // no reply until the votes decide
+      }
+      // Fast path: every destructive in happened here, so the commit is a
+      // single durable record with no prepare round.
       LogEntry entry;
       entry.kind = LogKind::kCommit;
       entry.pid = conn.pid;
@@ -959,6 +1278,8 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       reply.batch_frames = batch_frames_;
       reply.batched_ops = batched_ops_;
       reply.publish_epoch = publish_epoch_;
+      reply.txn_prepares = txn_prepares_;
+      reply.txn_cross_server = txn_cross_server_;
       SendReply(conn, reply);
       break;
     }
@@ -1041,6 +1362,129 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       SatisfyWaiters();
       break;
     }
+    case Op::kPrepare: {
+      // 2PC phase 1, participant side. request.pid = coordinator server
+      // index, request.seq = its forward seq on this channel; the txn_*
+      // fields name the transaction. The vote rides back in the ack.
+      if (conn.pid >= 0) {
+        SendError(conn, "prepare from a registered client");
+        break;
+      }
+      const int32_t src = request.pid;
+      if (src < 0 || static_cast<size_t>(src) >= peers_.size() ||
+          static_cast<size_t>(src) ==
+              static_cast<size_t>(options_.server_index) ||
+          request.seq == 0) {
+        SendError(conn, "prepare: bad source server or sequence");
+        break;
+      }
+      const TxnKey key{request.txn_pid, request.txn_incarnation,
+                       request.txn_seq};
+      if (request.seq <= peers_[static_cast<size_t>(src)].watermark) {
+        // Duplicate delivery: re-ack with the durable vote. (A refused
+        // first vote left no prepared entry, so this re-acks REFUSED; a
+        // post-decision resend may also re-ack REFUSED, but by then the
+        // coordinator has no pending transaction and ignores the vote.)
+        Reply reply;
+        reply.vote =
+            prepared_.count(key) != 0 ? kVotePrepared : kVoteRefused;
+        SendReply(conn, reply);
+        break;
+      }
+      // Fresh PREPARE: vote yes iff this client leg has the transaction
+      // open under the same incarnation (a crash-abort or a respawned
+      // incarnation already rolled it back here → refuse, which drives
+      // the coordinator to a global abort).
+      uint8_t vote = kVoteRefused;
+      auto it = clients_.find(request.txn_pid);
+      if (it != clients_.end() &&
+          it->second.incarnation == request.txn_incarnation &&
+          it->second.txn_open) {
+        vote = kVotePrepared;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kPrepared;
+      entry.pid = request.txn_pid;
+      entry.incarnation = request.txn_incarnation;
+      entry.seq = request.txn_seq;
+      entry.peer = src;
+      entry.fseq = request.seq;
+      entry.decision = vote;
+      if (!AppendLog(entry)) break;
+      ApplyEntry(entry);
+      if (options_.die_after_prepared > 0 && vote == kVotePrepared &&
+          ++prepared_votes_logged_ >= options_.die_after_prepared) {
+        MaybeDieAt("chaos.died.part");  // die before acking the vote
+      }
+      Reply reply;
+      reply.vote = vote;
+      SendReply(conn, reply);
+      break;
+    }
+    case Op::kDecide: {
+      // 2PC phase 2, participant side: apply the coordinator's decision.
+      if (conn.pid >= 0) {
+        SendError(conn, "decide from a registered client");
+        break;
+      }
+      const int32_t src = request.pid;
+      if (src < 0 || static_cast<size_t>(src) >= peers_.size() ||
+          static_cast<size_t>(src) ==
+              static_cast<size_t>(options_.server_index) ||
+          request.seq == 0) {
+        SendError(conn, "decide: bad source server or sequence");
+        break;
+      }
+      if (request.seq <= peers_[static_cast<size_t>(src)].watermark) {
+        SendReply(conn, Reply{});  // duplicate delivery: ack only
+        break;
+      }
+      LogEntry entry;
+      entry.kind = LogKind::kDecide;
+      entry.pid = request.txn_pid;
+      entry.incarnation = request.txn_incarnation;
+      entry.seq = request.txn_seq;
+      entry.peer = src;
+      entry.fseq = request.seq;
+      entry.decision = request.decision;
+      if (!AppendLog(entry)) break;
+      ApplyEntry(entry);
+      SendReply(conn, Reply{});
+      SatisfyWaiters();  // an abort republished the parked ins
+      break;
+    }
+    case Op::kTxnQuery: {
+      // Presumed-abort recovery query, coordinator side. Stateless — it
+      // neither logs nor touches the watermark. Answers: the retained
+      // decision; 0 ("still deciding") while the transaction is pending,
+      // so a participant bouncing mid-2PC never aborts a live commit; and
+      // otherwise ABORT — safe because a participant can only be PREPARED
+      // for a transaction whose kXPrepare this server logged durably
+      // BEFORE fanning out the PREPARE, so "no trace" proves the decision
+      // was never COMMIT.
+      if (conn.pid >= 0) {
+        SendError(conn, "txn query from a registered client");
+        break;
+      }
+      const TxnKey key{request.txn_pid, request.txn_incarnation,
+                       request.txn_seq};
+      Reply reply;
+      auto dit = decisions_.find(key);
+      if (dit != decisions_.end()) {
+        reply.decision = dit->second.outcome;
+      } else {
+        auto pit = coord_pending_.find(request.txn_pid);
+        if (pit != coord_pending_.end() &&
+            pit->second.incarnation == request.txn_incarnation &&
+            pit->second.seq == request.txn_seq) {
+          reply.decision = 0;  // still in doubt here too: keep it parked
+        } else {
+          reply.decision = kTxnAbort;  // presumed abort
+        }
+      }
+      SendReply(conn, reply);
+      break;
+    }
     case Op::kShutdown:
       SendReply(conn, Reply{});
       stop_ = true;
@@ -1069,6 +1513,11 @@ void SpaceServer::DropConns(const std::vector<int>& fds) {
     dropped.push_back(std::move(it->second));
     conns_.erase(it);
     waiters_.remove_if([fd](const Waiter& w) { return w.fd == fd; });
+    // A 2PC commit parked on this connection loses its reply target (the
+    // fd number may be reused); the client's resent XCOMMIT re-parks.
+    for (auto& [pid, txn] : coord_pending_) {
+      if (txn.reply_fd == fd) txn.reply_fd = -1;
+    }
     ::close(fd);
   }
   // Phase 2: a vanished client (no BYE) with an open transaction is a
@@ -1076,6 +1525,17 @@ void SpaceServer::DropConns(const std::vector<int>& fds) {
   // unless a newer incarnation already registered and reset the state.
   for (const Conn& conn : dropped) {
     if (conn.saw_bye || conn.pid < 0) continue;
+    // A disconnect during the in-doubt window is NOT a crash-abort: once
+    // XCOMMIT reached this coordinator the commit's fate belongs to the
+    // vote round (matching the single-server rule that a client dying
+    // after its commit was logged still commits). A genuinely dead client
+    // resolves via its respawned incarnation's HELLO, which aborts the
+    // pending transaction.
+    auto pending = coord_pending_.find(conn.pid);
+    if (pending != coord_pending_.end() &&
+        pending->second.incarnation == conn.incarnation) {
+      continue;
+    }
     auto client = clients_.find(conn.pid);
     if (client == clients_.end() ||
         client->second.incarnation != conn.incarnation ||
@@ -1097,7 +1557,119 @@ void SpaceServer::DropConns(const std::vector<int>& fds) {
 
 void SpaceServer::EnqueueForward(size_t target, std::vector<Tuple> outs) {
   PeerLink& peer = peers_[target];
-  peer.unacked.emplace_back(++peer.next_fseq, std::move(outs));
+  PeerMsg msg;
+  msg.fseq = ++peer.next_fseq;
+  msg.op = Op::kForward;
+  msg.outs = std::move(outs);
+  peer.unacked.push_back(std::move(msg));
+}
+
+// --- cross-server transactions (2PC, presumed abort) ----------------------
+
+void SpaceServer::EnqueuePrepare(uint32_t target, int32_t pid,
+                                 int32_t incarnation, uint64_t seq) {
+  PeerLink& peer = peers_[target];
+  PeerMsg msg;
+  msg.fseq = ++peer.next_fseq;
+  msg.op = Op::kPrepare;
+  msg.txn_pid = pid;
+  msg.txn_incarnation = incarnation;
+  msg.txn_seq = seq;
+  peer.unacked.push_back(std::move(msg));
+  ++txn_prepares_;
+}
+
+void SpaceServer::EnqueueDecide(uint32_t target, const TxnKey& key,
+                                uint8_t outcome) {
+  PeerLink& peer = peers_[target];
+  PeerMsg msg;
+  msg.fseq = ++peer.next_fseq;
+  msg.op = Op::kDecide;
+  msg.txn_pid = std::get<0>(key);
+  msg.txn_incarnation = std::get<1>(key);
+  msg.txn_seq = std::get<2>(key);
+  msg.decision = outcome;
+  peer.unacked.push_back(std::move(msg));
+}
+
+void SpaceServer::EnqueueTxnQuery(uint32_t target, const TxnKey& key) {
+  PeerLink& peer = peers_[target];
+  for (const PeerMsg& msg : peer.unacked) {
+    if (msg.op == Op::kTxnQuery && msg.txn_pid == std::get<0>(key) &&
+        msg.txn_incarnation == std::get<1>(key) &&
+        msg.txn_seq == std::get<2>(key)) {
+      return;  // an identical query survived the snapshot
+    }
+  }
+  PeerMsg msg;
+  msg.fseq = ++peer.next_fseq;
+  msg.op = Op::kTxnQuery;
+  msg.txn_pid = std::get<0>(key);
+  msg.txn_incarnation = std::get<1>(key);
+  msg.txn_seq = std::get<2>(key);
+  peer.unacked.push_back(std::move(msg));
+}
+
+void SpaceServer::DecideTxn(int32_t pid, uint8_t outcome) {
+  auto it = coord_pending_.find(pid);
+  if (it == coord_pending_.end()) return;
+  // Copy everything out before the append: applying the decision record
+  // erases the pending entry.
+  const CoordTxn& txn = it->second;
+  const int reply_fd = txn.reply_fd;
+  LogEntry entry;
+  entry.kind =
+      outcome == kTxnCommit ? LogKind::kCommit : LogKind::kAbort;
+  entry.pid = pid;
+  entry.incarnation = txn.incarnation;
+  entry.seq = txn.seq;
+  entry.participants = txn.participants;
+  if (outcome == kTxnCommit) {
+    entry.outs = txn.outs;
+    entry.has_continuation = txn.has_continuation;
+    entry.continuation = txn.continuation;
+    entry.cont_stamp = txn.cont_stamp;
+  }
+  if (!AppendLog(entry)) return;
+  const std::string encoded = ApplyEntry(entry);
+  if (reply_fd >= 0) {
+    auto cit = conns_.find(reply_fd);
+    if (cit != conns_.end()) SendEncoded(cit->second, encoded);
+  }
+  SatisfyWaiters();
+}
+
+void SpaceServer::OnPrepareVote(size_t participant, const PeerMsg& msg,
+                                uint8_t vote) {
+  auto it = coord_pending_.find(msg.txn_pid);
+  if (it == coord_pending_.end()) return;  // already decided
+  CoordTxn& txn = it->second;
+  if (txn.incarnation != msg.txn_incarnation || txn.seq != msg.txn_seq) {
+    return;  // stale vote for an older transaction of this pid
+  }
+  if (options_.die_in_doubt_after > 0 &&
+      ++votes_received_ >= options_.die_in_doubt_after) {
+    // Chaos: die in the in-doubt window — at least one participant has
+    // durably PREPARED and no decision record exists yet.
+    MaybeDieAt("chaos.died.coord");
+  }
+  if (vote != kVotePrepared) {
+    DecideTxn(msg.txn_pid, kTxnAbort);
+    return;
+  }
+  txn.votes.insert(static_cast<uint32_t>(participant));
+  if (txn.votes.size() >= txn.participants.size()) {
+    DecideTxn(msg.txn_pid, kTxnCommit);
+  }
+}
+
+void SpaceServer::MaybeDieAt(const char* marker) {
+  const std::string path = options_.state_dir + "/" + marker;
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) return;  // already fired once
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) ::close(fd);
+  ::raise(SIGKILL);
 }
 
 uint64_t SpaceServer::ForwardsPending() const {
@@ -1114,7 +1686,8 @@ void SpaceServer::DropPeer(PeerLink& peer) {
   peer.reader = FrameReader{};
 }
 
-void SpaceServer::ReadPeerAcks(PeerLink& peer) {
+void SpaceServer::ReadPeerAcks(size_t k) {
+  PeerLink& peer = peers_[k];
   char buf[65536];
   for (;;) {
     const ssize_t n = ::read(peer.fd, buf, sizeof(buf));
@@ -1136,7 +1709,7 @@ void SpaceServer::ReadPeerAcks(PeerLink& peer) {
       Reply reply;
       std::string error;
       // Acks arrive strictly in send order (one connection, one reply per
-      // frame), so each kOk retires the oldest unacked forward. Anything
+      // frame), so each kOk retires the oldest unacked message. Anything
       // else — decode failure, an error reply, an ack with nothing
       // outstanding — is an unusable link: drop and resend from scratch.
       if (!DecodeReply(payload, &reply, &error) ||
@@ -1144,8 +1717,52 @@ void SpaceServer::ReadPeerAcks(PeerLink& peer) {
         DropPeer(peer);
         return;
       }
+      const PeerMsg msg = std::move(peer.unacked.front());
       peer.unacked.pop_front();
       if (peer.sent > 0) --peer.sent;
+      switch (msg.op) {
+        case Op::kForward:
+          break;  // delivery is the whole story
+        case Op::kPrepare:
+          // The ack carries the participant's durable vote.
+          OnPrepareVote(k, msg, reply.vote);
+          break;
+        case Op::kDecide: {
+          // The participant applied the decision: retire it from the
+          // outcome table once every participant has acked.
+          const TxnKey key{msg.txn_pid, msg.txn_incarnation, msg.txn_seq};
+          auto dit = decisions_.find(key);
+          if (dit != decisions_.end()) {
+            auto& waiting = dit->second.waiting;
+            waiting.erase(std::remove(waiting.begin(), waiting.end(),
+                                      static_cast<uint32_t>(k)),
+                          waiting.end());
+            if (waiting.empty()) decisions_.erase(dit);
+          }
+          break;
+        }
+        case Op::kTxnQuery: {
+          // The coordinator's answer for a PREPARED-but-undecided txn.
+          // 0 = still deciding: stay parked, the kDecide will arrive.
+          const TxnKey key{msg.txn_pid, msg.txn_incarnation, msg.txn_seq};
+          if (reply.decision != 0 && prepared_.count(key) != 0) {
+            LogEntry entry;
+            entry.kind = LogKind::kDecide;
+            entry.pid = msg.txn_pid;
+            entry.incarnation = msg.txn_incarnation;
+            entry.seq = msg.txn_seq;
+            entry.peer = static_cast<int32_t>(k);
+            entry.fseq = 0;  // learned by query, not delivered: no watermark
+            entry.decision = reply.decision;
+            if (!AppendLog(entry)) return;
+            ApplyEntry(entry);
+            SatisfyWaiters();
+          }
+          break;
+        }
+        default:
+          break;
+      }
       continue;
     }
     if (result == FrameReader::Result::kError) DropPeer(peer);
@@ -1188,15 +1805,20 @@ void SpaceServer::PumpPeers() {
     }
     // Encode the unsent tail of the queue. Deliberately no HELLO: the peer
     // connection stays pid -1 on the receiving side, outside the client
-    // dedup window and the post-cancel gate (forwards must drain even
-    // after a Cancel so the harvest sees every committed tuple).
+    // dedup window and the post-cancel gate (forwards and 2PC traffic must
+    // drain even after a Cancel so the harvest sees every committed
+    // tuple and no transaction stays in doubt).
     while (peer.sent < peer.unacked.size()) {
-      const auto& [fseq, outs] = peer.unacked[peer.sent];
+      const PeerMsg& msg = peer.unacked[peer.sent];
       Request request;
-      request.op = Op::kForward;
+      request.op = msg.op;
       request.pid = static_cast<int32_t>(options_.server_index);
-      request.seq = fseq;
-      request.outs = outs;
+      request.seq = msg.fseq;
+      request.outs = msg.outs;
+      request.txn_pid = msg.txn_pid;
+      request.txn_incarnation = msg.txn_incarnation;
+      request.txn_seq = msg.txn_seq;
+      request.decision = msg.decision;
       AppendFrame(EncodeRequest(request), &peer.outbuf);
       ++peer.sent;
     }
@@ -1273,8 +1895,8 @@ int SpaceServer::Serve() {
 
     for (size_t i = peer_base; i < pfds.size(); ++i) {
       if (pfds[i].revents == 0) continue;
-      PeerLink& peer = peers_[peer_slots[i - peer_base]];
-      if (peer.fd == pfds[i].fd) ReadPeerAcks(peer);
+      const size_t k = peer_slots[i - peer_base];
+      if (peers_[k].fd == pfds[i].fd) ReadPeerAcks(k);
     }
 
     if ((pfds[0].revents & POLLIN) != 0) {

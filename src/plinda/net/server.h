@@ -6,7 +6,9 @@
 #include <deque>
 #include <list>
 #include <map>
+#include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -35,6 +37,22 @@ struct SpaceServerOptions {
   /// there over a server-to-server link (Op::kForward).
   int server_index = 0;
   std::vector<std::string> placement;
+  /// Chaos kill points for the 2PC in-doubt window (0 = disabled). Each
+  /// fires at most once per state_dir: a marker file written just before
+  /// raise(SIGKILL) disables the point across restarts, so the supervisor
+  /// sees one planned death instead of a crash loop.
+  /// As coordinator: die upon receiving the Nth PREPARE vote, before any
+  /// decision is logged — every voted participant is left in-doubt.
+  int die_in_doubt_after = 0;
+  /// As participant: die right after durably logging the Nth PREPARED
+  /// record, before acking the vote to the coordinator.
+  int die_after_prepared = 0;
+  /// Fault injection for the supervisor's fatal-exit path (0 = disabled):
+  /// the Nth WAL append fails as if the disk rejected the write, so the
+  /// server stops serving and Serve() returns 1. Unlike the SIGKILL chaos
+  /// points this death is an *exit*, which the run supervisor must surface
+  /// as a structured kServerDead error rather than retrying forever.
+  int wal_fail_after = 0;
 };
 
 /// The tuple-space server process of ExecutionMode::kDistributed: owns the
@@ -104,23 +122,76 @@ class SpaceServer {
     bool remove = false;
   };
 
+  /// One message queued on a peer link: a forwarded batch of commit outs
+  /// (kForward), a 2PC prepare request (kPrepare), a 2PC decision
+  /// (kDecide), or a recovery-time outcome query (kTxnQuery). All ride the
+  /// same per-peer fseq/watermark channel, so delivery and replay dedup are
+  /// uniform across kinds.
+  struct PeerMsg {
+    uint64_t fseq = 0;
+    Op op = Op::kForward;
+    std::vector<Tuple> outs;       // kForward payload
+    int32_t txn_pid = -1;          // 2PC transaction identity…
+    int32_t txn_incarnation = 0;
+    uint64_t txn_seq = 0;
+    uint8_t decision = 0;          // kDecide: kTxnCommit / kTxnAbort
+  };
+
   /// Outbound server-to-server forwarding state for one peer server (the
   /// entry at our own index stays unused). Commit outs placed on the peer
-  /// are queued here under a monotone forward sequence number and stay
-  /// queued until the peer acknowledges them; a reconnect resends the whole
-  /// unacked queue from the front with the original fseqs, and the peer's
-  /// per-source watermark turns re-delivery into an ack-only no-op —
-  /// exactly-once, mirroring the client's (pid, seq) dedup story.
+  /// (and 2PC prepare/decide traffic) are queued here under a monotone
+  /// forward sequence number and stay queued until the peer acknowledges
+  /// them; a reconnect resends the whole unacked queue from the front with
+  /// the original fseqs, and the peer's per-source watermark turns
+  /// re-delivery into an ack-only no-op — exactly-once, mirroring the
+  /// client's (pid, seq) dedup story.
   struct PeerLink {
     int fd = -1;
     FrameReader reader;
     std::string outbuf;
-    /// (fseq, outs) awaiting the peer's ack, oldest first.
-    std::deque<std::pair<uint64_t, std::vector<Tuple>>> unacked;
+    /// Messages awaiting the peer's ack, oldest first.
+    std::deque<PeerMsg> unacked;
     size_t sent = 0;         // prefix of unacked already on this connection
     uint64_t next_fseq = 0;  // last forward seq assigned to this peer
     uint64_t watermark = 0;  // highest forward seq applied FROM this peer
     std::chrono::steady_clock::time_point next_attempt{};
+  };
+
+  /// Full identity of a cross-server transaction: (pid, incarnation, seq of
+  /// the coordinator-leg XCOMMIT). Keyed in full because a client's next
+  /// transaction — possibly homed on a different coordinator — can prepare
+  /// at this participant before the previous one's decision lands.
+  using TxnKey = std::tuple<int32_t, int32_t, uint64_t>;
+
+  /// Coordinator side of an in-flight cross-server commit, parked between
+  /// the kXPrepare log record and the decision record. Everything except
+  /// reply_fd is durable (kXPrepare payload + snapshot) so a restarted
+  /// coordinator re-arms the transaction and resends PREPAREs.
+  struct CoordTxn {
+    int32_t incarnation = 0;
+    uint64_t seq = 0;
+    std::vector<Tuple> outs;
+    bool has_continuation = false;
+    Tuple continuation;
+    uint64_t cont_stamp = 0;
+    std::vector<uint32_t> participants;
+    std::set<uint32_t> votes;  // participants that voted PREPARED
+    int reply_fd = -1;         // volatile: conn parked on the decision
+  };
+
+  /// Participant side: tentative destructive-in effects parked durably by a
+  /// kPrepared record until the coordinator's decision arrives (or a
+  /// recovery-time kTxnQuery resolves it).
+  struct PreparedTxn {
+    uint32_t coordinator = 0;
+    std::vector<Tuple> ins;  // tuples to republish if the decision is abort
+  };
+
+  /// Decided outcome retained until every participant acks its kDecide, so
+  /// a participant bouncing mid-delivery can still query the answer.
+  struct Decision {
+    uint8_t outcome = 0;  // kTxnCommit / kTxnAbort
+    std::vector<uint32_t> waiting;  // participants yet to ack the decision
   };
 
   // --- state recovery ----------------------------------------------------
@@ -181,10 +252,34 @@ class SpaceServer {
   /// on the next pass and the peer's watermark dedups.
   void PumpPeers();
   void DropPeer(PeerLink& peer);
-  /// Drains ack replies from a readable peer link.
-  void ReadPeerAcks(PeerLink& peer);
+  /// Drains ack replies from readable peer link `k`. Each ack retires the
+  /// oldest unacked message; 2PC messages dispatch on retirement (a
+  /// kPrepare ack carries the participant's vote, a kTxnQuery ack the
+  /// queried outcome).
+  void ReadPeerAcks(size_t k);
   /// Commit outs queued for other servers but not yet acknowledged there.
   uint64_t ForwardsPending() const;
+
+  // --- cross-server transactions (2PC, presumed abort) --------------------
+  /// Queues a PREPARE for the pending txn of `pid` to participant `target`.
+  void EnqueuePrepare(uint32_t target, int32_t pid, int32_t incarnation,
+                      uint64_t seq);
+  /// Queues the decided outcome of `key` to participant `target`.
+  void EnqueueDecide(uint32_t target, const TxnKey& key, uint8_t outcome);
+  /// Queues a recovery-time outcome query for `key` to its coordinator,
+  /// unless an identical query is already waiting on the link.
+  void EnqueueTxnQuery(uint32_t target, const TxnKey& key);
+  /// Coordinator: logs the decision record (kCommit / kAbort with the
+  /// parked payload), applies it, answers the parked client, and fans the
+  /// decision out to every participant.
+  void DecideTxn(int32_t pid, uint8_t outcome);
+  /// Coordinator: participant `participant`'s PREPARE ack came back with a
+  /// vote. All yes → decide commit; any refusal → decide abort.
+  void OnPrepareVote(size_t participant, const PeerMsg& msg, uint8_t vote);
+  /// Fires the per-state_dir one-shot chaos kill point named `marker` by
+  /// writing the marker file and raising SIGKILL. No-op if the marker
+  /// already exists (the point already fired before a restart).
+  void MaybeDieAt(const char* marker);
 
   SpaceServerOptions options_;
   std::vector<TupleSpace> shards_;
@@ -197,6 +292,14 @@ class SpaceServer {
   std::map<int32_t, ClientState> clients_;
   std::list<Waiter> waiters_;  // FIFO by arrival
   std::map<int, Conn> conns_;
+
+  /// Coordinator: in-doubt cross-server commits, keyed by pid (one open
+  /// transaction per client at a time).
+  std::map<int32_t, CoordTxn> coord_pending_;
+  /// Participant: durably prepared transactions awaiting a decision.
+  std::map<TxnKey, PreparedTxn> prepared_;
+  /// Coordinator: decided outcomes not yet acked by every participant.
+  std::map<TxnKey, Decision> decisions_;
 
   uint64_t epoch_ = 0;  // checkpoint epoch; the log file is log.<epoch>
   int log_fd_ = -1;
@@ -215,6 +318,13 @@ class SpaceServer {
   uint64_t cross_shard_ops_ = 0;
   uint64_t batch_frames_ = 0;  // kBatch frames applied (live + replay)
   uint64_t batched_ops_ = 0;   // sub-ops carried by those frames
+  uint64_t txn_prepares_ = 0;      // PREPARE messages fanned out
+  uint64_t txn_cross_server_ = 0;  // cross-server commits coordinated
+  // Volatile chaos-kill-point progress (reset on restart; the marker file
+  // written by MaybeDieAt keeps each point one-shot per state_dir).
+  int votes_received_ = 0;          // PREPARE votes seen as coordinator
+  int prepared_votes_logged_ = 0;  // PREPARED records logged as participant
+  int wal_appends_attempted_ = 0;  // for wal_fail_after fault injection
 };
 
 }  // namespace fpdm::plinda::net

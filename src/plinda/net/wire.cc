@@ -215,6 +215,12 @@ std::string EncodeRequest(const Request& request) {
     PutTemplate(op.tmpl, &out);
   }
   PutU64(request.cont_stamp, &out);
+  PutU32(static_cast<uint32_t>(request.participants.size()), &out);
+  for (uint32_t k : request.participants) PutU32(k, &out);
+  PutI32(request.txn_pid, &out);
+  PutI32(request.txn_incarnation, &out);
+  PutU64(request.txn_seq, &out);
+  PutU8(request.decision, &out);
   return out;
 }
 
@@ -224,7 +230,7 @@ bool DecodeRequest(std::string_view payload, Request* request,
   uint8_t op = 0;
   if (!r.TakeU8(&op)) return Fail(error, "request: truncated opcode");
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kForward)) {
+      op > static_cast<uint8_t>(Op::kTxnQuery)) {
     return Fail(error, "request: unknown opcode");
   }
   request->op = static_cast<Op>(op);
@@ -276,6 +282,23 @@ bool DecodeRequest(std::string_view payload, Request* request,
   if (!r.TakeU64(&request->cont_stamp)) {
     return Fail(error, "request: truncated continuation stamp");
   }
+  uint32_t n_participants = 0;
+  if (!r.TakeU32(&n_participants)) {
+    return Fail(error, "request: truncated participants");
+  }
+  request->participants.clear();
+  for (uint32_t i = 0; i < n_participants; ++i) {
+    uint32_t k = 0;
+    if (!r.TakeU32(&k)) {
+      return Fail(error, "request: malformed participant index");
+    }
+    request->participants.push_back(k);
+  }
+  if (!r.TakeI32(&request->txn_pid) ||
+      !r.TakeI32(&request->txn_incarnation) ||
+      !r.TakeU64(&request->txn_seq) || !r.TakeU8(&request->decision)) {
+    return Fail(error, "request: truncated transaction identity");
+  }
   if (!r.AtEnd()) return Fail(error, "request: trailing bytes");
   return true;
 }
@@ -322,6 +345,10 @@ std::string EncodeReply(const Reply& reply) {
   for (const std::string& path : reply.placement) PutString(path, &out);
   PutU64(reply.cont_stamp, &out);
   PutU64(reply.forwards_pending, &out);
+  PutU8(reply.vote, &out);
+  PutU8(reply.decision, &out);
+  PutU64(reply.txn_prepares, &out);
+  PutU64(reply.txn_cross_server, &out);
   return out;
 }
 
@@ -404,6 +431,11 @@ bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
   if (!r.TakeU64(&reply->cont_stamp) || !r.TakeU64(&reply->forwards_pending)) {
     return Fail(error, "reply: truncated placement counters");
   }
+  if (!r.TakeU8(&reply->vote) || !r.TakeU8(&reply->decision) ||
+      !r.TakeU64(&reply->txn_prepares) ||
+      !r.TakeU64(&reply->txn_cross_server)) {
+    return Fail(error, "reply: truncated transaction counters");
+  }
   if (!r.AtEnd()) return Fail(error, "reply: trailing bytes");
   return true;
 }
@@ -434,6 +466,11 @@ std::string EncodeLogEntry(const LogEntry& entry) {
     PutTuple(e.tuple, &out);
   }
   PutU64(entry.cont_stamp, &out);
+  PutI32(entry.peer, &out);
+  PutU64(entry.fseq, &out);
+  PutU8(entry.decision, &out);
+  PutU32(static_cast<uint32_t>(entry.participants.size()), &out);
+  for (uint32_t k : entry.participants) PutU32(k, &out);
   return out;
 }
 
@@ -443,7 +480,7 @@ bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
   uint8_t kind = 0;
   if (!r.TakeU8(&kind)) return Fail(error, "log: truncated kind");
   if (kind < static_cast<uint8_t>(LogKind::kHello) ||
-      kind > static_cast<uint8_t>(LogKind::kForward)) {
+      kind > static_cast<uint8_t>(LogKind::kDecide)) {
     return Fail(error, "log: unknown kind");
   }
   entry->kind = static_cast<LogKind>(kind);
@@ -489,6 +526,20 @@ bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
   }
   if (!r.TakeU64(&entry->cont_stamp)) {
     return Fail(error, "log: truncated continuation stamp");
+  }
+  if (!r.TakeI32(&entry->peer) || !r.TakeU64(&entry->fseq) ||
+      !r.TakeU8(&entry->decision)) {
+    return Fail(error, "log: truncated transaction fields");
+  }
+  uint32_t n_participants = 0;
+  if (!r.TakeU32(&n_participants)) {
+    return Fail(error, "log: truncated participants");
+  }
+  entry->participants.clear();
+  for (uint32_t i = 0; i < n_participants; ++i) {
+    uint32_t k = 0;
+    if (!r.TakeU32(&k)) return Fail(error, "log: malformed participant index");
+    entry->participants.push_back(k);
   }
   if (!r.AtEnd()) return Fail(error, "log: trailing bytes");
   return true;

@@ -133,7 +133,33 @@ enum class Op : uint8_t {
   // its watermark (logged durably), so crash/reconnect re-delivery is
   // idempotent. Never sent by clients.
   kForward = 17,
+  // Two-phase commit over the same peer channel (pid = source server index,
+  // seq = forward sequence number, retransmitted until acked). PREPARE asks
+  // a participant to durably park the txn identified by
+  // (txn_pid, txn_incarnation, txn_seq); the ack carries Reply::vote
+  // (PREPARED / refused). Fresh receipt advances the watermark via a
+  // LogKind::kPrepared record; a retransmission is re-acked with the vote
+  // derived from the prepared table, so a lost ack cannot change the vote.
+  kPrepare = 18,
+  // The coordinator's decision (Request::decision: commit or abort) fanned
+  // out to every PREPARED participant. Applied + logged exactly once by the
+  // watermark; the ack retires the coordinator's durable decision record.
+  kDecide = 19,
+  // Participant-to-coordinator in-doubt resolution after a restart: "what
+  // became of (txn_pid, txn_incarnation, txn_seq)?" The ack's
+  // Reply::decision answers commit / abort / still-deciding; a coordinator
+  // with no record answers abort (presumed abort). Stateless and
+  // idempotent — it never touches the watermark.
+  kTxnQuery = 20,
 };
+
+// Request::decision / Reply::decision / Reply::vote values. 0 means "not
+// decided yet" (kTxnQuery against a still-pending coordinator txn).
+inline constexpr uint8_t kTxnCommit = 1;
+inline constexpr uint8_t kTxnAbort = 2;
+// Reply::vote values for kPrepare acks.
+inline constexpr uint8_t kVotePrepared = 1;
+inline constexpr uint8_t kVoteRefused = 2;
 
 // kIn flags.
 inline constexpr uint8_t kInRemove = 1;    // in/inp (vs rd/rdp)
@@ -167,6 +193,19 @@ struct Request {
   /// respawned worker resumes from its *latest* committed continuation even
   /// though successive commits may have different home servers.
   uint64_t cont_stamp = 0;
+  /// kXCommit: the *foreign* participant server indices of a cross-server
+  /// transaction (every non-coordinator server the txn did a destructive in
+  /// on). Empty = single-server fast path, committed in one round with no
+  /// PREPARE fan-out.
+  std::vector<uint32_t> participants;
+  /// kPrepare / kDecide / kTxnQuery: the distributed transaction identity —
+  /// the client pid + incarnation and the seq of its kXCommit request at the
+  /// coordinator.
+  int32_t txn_pid = -1;
+  int32_t txn_incarnation = 0;
+  uint64_t txn_seq = 0;
+  /// kDecide: kTxnCommit or kTxnAbort.
+  uint8_t decision = 0;
 };
 
 std::string EncodeRequest(const Request& request);
@@ -220,11 +259,22 @@ struct Reply {
   std::vector<std::string> placement;
   /// kXRecover hit: the stamp the continuation was committed under.
   uint64_t cont_stamp = 0;
-  /// kStatus: commit outs this server still has to deliver to (or get
-  /// acknowledged by) peer servers. The supervisor's watchdog and harvest
-  /// barrier wait for the sum over servers to hit zero, so no decision is
-  /// made while tuples are in flight between servers.
+  /// kStatus: commit outs and 2PC messages this server still has to deliver
+  /// to (or get acknowledged by) peer servers. The supervisor's watchdog and
+  /// harvest barrier wait for the sum over servers to hit zero, so no
+  /// decision is made while tuples — or transaction outcomes — are in
+  /// flight between servers.
   uint64_t forwards_pending = 0;
+  /// kPrepare ack: the participant's durable vote (kVotePrepared /
+  /// kVoteRefused).
+  uint8_t vote = 0;
+  /// kTxnQuery ack: the coordinator's answer (kTxnCommit / kTxnAbort / 0 =
+  /// still deciding, keep the prepared txn parked).
+  uint8_t decision = 0;
+  /// kStats: 2PC observability — PREPARE messages fanned out, and
+  /// cross-server transactions this server coordinated.
+  uint64_t txn_prepares = 0;
+  uint64_t txn_cross_server = 0;
 };
 
 std::string EncodeReply(const Reply& reply);
@@ -255,6 +305,25 @@ enum class LogKind : uint8_t {
   // advanced the per-source watermark. Replay reproduces both the tuples and
   // the dedup watermark.
   kForward = 9,
+  // Coordinator: a cross-server kXCommit entered the in-doubt window. The
+  // entry carries the full commit payload (outs, continuation, stamp) plus
+  // `participants`; replay re-arms the pending coordinator txn and
+  // re-enqueues its PREPARE fan-out under identical forward sequence
+  // numbers. The decision lands later as a kCommit/kAbort entry with
+  // `participants` set; until then the client's commit reply is withheld
+  // (the entry neither caches a reply nor advances the dedup window).
+  kXPrepare = 10,
+  // Participant: a kPrepare was applied. pid/incarnation/seq name the
+  // transaction, `peer` the coordinator, `fseq` the forward sequence number
+  // (replay re-advances the watermark), `decision` the durable vote: on
+  // kVotePrepared the client's open txn_ins move into the prepared table
+  // and cede the right to abort unilaterally.
+  kPrepared = 11,
+  // Participant: a coordinator decision was applied to a prepared txn —
+  // commit discards the parked ins for good, abort republishes them.
+  // fseq != 0: arrived as a kDecide peer message (advances the watermark);
+  // fseq == 0: arrived as a kTxnQuery answer during recovery.
+  kDecide = 12,
 };
 
 /// Resolved effect of one kBatch sub-op (the LogKind::kBatch payload).
@@ -283,6 +352,18 @@ struct LogEntry {
   Tuple continuation;       // kCommit
   std::vector<BatchEffect> effects;  // kBatch
   uint64_t cont_stamp = 0;  // kCommit: recency stamp of the continuation
+  /// kPrepared / kDecide: the peer server index the message came from.
+  int32_t peer = -1;
+  /// kPrepared / kDecide: forward sequence number that advanced the
+  /// per-peer watermark (0 for a kDecide applied via a kTxnQuery answer).
+  uint64_t fseq = 0;
+  /// kPrepared: the vote (kVotePrepared / kVoteRefused). kDecide and
+  /// decision-carrying kCommit/kAbort entries: kTxnCommit / kTxnAbort.
+  uint8_t decision = 0;
+  /// kXPrepare, and kCommit/kAbort when they record a coordinator decision:
+  /// the foreign participant server indices. Empty on the single-server
+  /// fast path.
+  std::vector<uint32_t> participants;
 };
 
 std::string EncodeLogEntry(const LogEntry& entry);

@@ -109,8 +109,8 @@ std::string ToString(const RuntimeError& error) {
     case RuntimeError::Code::kDistributedSpawnUnsupported:
       what = "spawn from a running process is unsupported in kDistributed mode";
       break;
-    case RuntimeError::Code::kCrossServerTransaction:
-      what = "transaction issued a destructive in owned by a foreign server";
+    case RuntimeError::Code::kServerDead:
+      what = "tuple-space server exited fatally and cannot be restarted";
       break;
     case RuntimeError::Code::kBadSocketPath:
       what = "server socket path exceeds the sun_path limit";
@@ -177,7 +177,13 @@ void Runtime::ScheduleServerFailure(double time) {
 // Event::machine doubles as the shard-server index in kDistributed mode
 // (-1 = round-robin). The simulator's single logical server ignores it.
 void Runtime::ScheduleServerFailure(double time, int server_index) {
-  events_.push_back(Event{time, Event::Kind::kServerFail, server_index});
+  ScheduleServerFailure(time, server_index, /*torn_tail=*/false);
+}
+
+void Runtime::ScheduleServerFailure(double time, int server_index,
+                                    bool torn_tail) {
+  events_.push_back(
+      Event{time, Event::Kind::kServerFail, server_index, torn_tail});
   server_protected_ = true;  // start maintaining checkpoint + op log
 }
 

@@ -96,8 +96,12 @@ struct RuntimeOptions {
   /// (net::PlacementIndex); each server keeps its own write-ahead log and
   /// checkpoint, workers keep one pipelined connection per server, and
   /// formal-first all-shard operations become one scatter/gather round.
-  /// Transactions have single-server affinity (see
-  /// RuntimeError::Code::kCrossServerTransaction).
+  /// Transactions span servers freely: the first destructive in binds the
+  /// home (coordinator) server, and a commit whose destructive ins touched
+  /// other shards runs presumed-abort two-phase commit over the
+  /// server-to-server channel (see DESIGN.md "Cross-server transactions").
+  /// Commits whose ins all landed on the coordinator skip the prepare round
+  /// entirely and cost exactly the single-server fast path.
   int distributed_servers = 1;
   /// kDistributed: server checkpoints its space every this many logged
   /// operations (the knob behind RuntimeStats::server_checkpoints).
@@ -119,6 +123,21 @@ struct RuntimeOptions {
   /// the PR-3 wire behavior — kept as a comparison baseline; results are
   /// bit-identical either way.
   bool distributed_batching = true;
+  /// kDistributed chaos die points (0 = off), forwarded to every shard
+  /// server. die_in_doubt_after N: the coordinator SIGKILLs itself on
+  /// receiving its Nth PREPARE vote — after PREPARE fan-out, before any
+  /// decision is logged — leaving every participant in the in-doubt window.
+  /// die_after_prepared N: a participant SIGKILLs itself right after
+  /// durably logging its Nth PREPARED record, before acking the vote. Each
+  /// die point fires at most once per server state directory (a marker file
+  /// makes the respawned server ignore it), so chaos runs terminate.
+  int distributed_die_in_doubt_after = 0;
+  int distributed_die_after_prepared = 0;
+  /// kDistributed fault injection (0 = off), forwarded to every shard
+  /// server: the server's Nth WAL append fails as if the disk rejected the
+  /// write, so the server process exits fatally (exit code 1). The
+  /// supervisor must fail the run with a structured kServerDead error.
+  int distributed_wal_fail_after = 0;
 };
 
 /// One entry of the process-watch trace (the programmatic equivalent of
@@ -170,12 +189,12 @@ struct RuntimeError {
     /// kDistributed: ProcessContext::Spawn was called (the distributed
     /// process tree is fixed before Run()).
     kDistributedSpawnUnsupported,
-    /// kDistributed, multi-server: a transaction bound to one home server
-    /// issued a destructive in owned by another server. Transactions have
-    /// single-server affinity; restructure the protocol so each
-    /// transaction's destructive ins share one (arity, first-key) bucket
-    /// placement (every miner in core/ and classify/ already does).
-    kCrossServerTransaction,
+    /// kDistributed: a shard-server process exited fatally (non-zero exit
+    /// code, e.g. a WAL write failure) rather than dying by signal. A
+    /// signal death is a crash the supervisor restarts; a fatal exit means
+    /// the server refused to run, so retrying would spin until the
+    /// deadlock timeout. Detail carries the server index and exit code.
+    kServerDead,
     /// kDistributed: the Unix-domain socket path for a server would not fit
     /// sockaddr_un::sun_path (typically a very long $TMPDIR). Point
     /// RuntimeOptions::distributed_dir somewhere shorter.
@@ -231,6 +250,13 @@ struct RuntimeStats {
   /// operation was one wall-clock round, not N serial round trips.
   uint64_t dist_scatter_ops = 0;
   uint64_t dist_scatter_rounds = 0;
+  /// kDistributed, multi-server: cross-server transaction commits (2PC slow
+  /// path) and the PREPARE messages they fanned out, summed over the shard
+  /// servers. dist_txn_prepares / dist_txn_cross_server is the mean
+  /// participant count; both stay 0 when every transaction's destructive
+  /// ins shared its coordinator (the fast path skips the prepare round).
+  uint64_t dist_txn_prepares = 0;
+  uint64_t dist_txn_cross_server = 0;
 };
 
 /// A PLinda network of workstations, in one of two execution modes.
@@ -301,6 +327,12 @@ class Runtime {
   /// simulator has a single logical server and ignores the index.
   void ScheduleServerFailure(double time);
   void ScheduleServerFailure(double time, int server_index);
+  /// torn_tail = true (kDistributed only): after the SIGKILL, the
+  /// supervisor truncates the victim's newest write-ahead-log file
+  /// mid-record before the restart — modeling a crash that tore the final
+  /// append. Recovery must detect the torn tail by checksum, discard it,
+  /// and replay the intact prefix. The simulator ignores the flag.
+  void ScheduleServerFailure(double time, int server_index, bool torn_tail);
   void ScheduleServerRecovery(double time);
   void ScheduleServerRecovery(double time, int server_index);
 
@@ -402,7 +434,10 @@ class Runtime {
     enum class Kind { kMachineFail, kMachineRecover, kServerFail, kServerRecover };
     double time = 0;
     Kind kind = Kind::kMachineFail;
-    int machine = -1;  // -1 for server events
+    int machine = -1;  // server events: the server index (-1 = round-robin)
+    // kServerFail, kDistributed only: truncate the victim's newest WAL file
+    // mid-record before the restart (torn final append).
+    bool torn_tail = false;
     bool operator<(const Event& other) const { return time < other.time; }
   };
 

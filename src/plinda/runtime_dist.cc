@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
@@ -59,6 +60,41 @@ void WriteFileOnce(const std::string& path, const std::string& content) {
     off += static_cast<size_t>(w);
   }
   ::close(fd);
+}
+
+/// Leaves a torn (half-written) final append on the newest write-ahead-log
+/// file in a shard server's state directory: the on-disk image a crash
+/// mid-write leaves behind. The torn record claims more payload than is
+/// present and carries a bogus checksum, so recovery must detect it by
+/// length/checksum, truncate it away, and replay only the intact prefix.
+/// Crucially the torn record is one that was never COMPLETED — and so was
+/// never applied or acknowledged: discarding it cannot lose an acked op,
+/// which chopping bytes off the (possibly acknowledged) last real record
+/// would. No-op when no log exists.
+void TearWalTail(const std::string& state_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path newest;
+  long best_epoch = -1;
+  for (const auto& entry : fs::directory_iterator(state_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("log.", 0) != 0) continue;
+    char* end = nullptr;
+    const long epoch = std::strtol(name.c_str() + 4, &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    if (epoch > best_epoch) {
+      best_epoch = epoch;
+      newest = entry.path();
+    }
+  }
+  if (best_epoch < 0) return;
+  // [u32 len = 64][u64 bogus hash][8 bytes of a 64-byte payload]: a record
+  // framed as longer than the bytes that made it to disk.
+  const unsigned char torn[] = {64, 0, 0,    0,    0xde, 0xad, 0xbe, 0xef,
+                                0,  0, 0xde, 0xad, 0xde, 0xad, 0xde, 0xad,
+                                0,  0, 0,    0};
+  std::ofstream out(newest, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(torn), sizeof(torn));
 }
 
 struct WorkerReport {
@@ -183,9 +219,6 @@ bool Runtime::DistIn(Proc* proc, const Template& tmpl, Tuple* result,
       return false;
     case CallStatus::kCancelled:
       throw DistKilledException{};
-    case CallStatus::kCrossServerTxn:
-      FailProcDist(proc, RuntimeError::Code::kCrossServerTransaction,
-                   dclient_->last_error());
     default:
       FailProcDist(proc, RuntimeError::Code::kWireProtocolError,
                    dclient_->last_error());
@@ -433,6 +466,9 @@ bool Runtime::RunDistributed() {
         std::max(1, options_.distributed_checkpoint_ops);
     sopts.server_index = k;
     sopts.placement = placement;
+    sopts.die_in_doubt_after = options_.distributed_die_in_doubt_after;
+    sopts.die_after_prepared = options_.distributed_die_after_prepared;
+    sopts.wal_fail_after = options_.distributed_wal_fail_after;
     return sopts;
   };
 
@@ -538,6 +574,7 @@ bool Runtime::RunDistributed() {
   double cancel_time = 0;
   std::vector<net::ParkedWaiter> last_parked;
   int unplanned_server_deaths = 0;
+  bool server_fatal_exit = false;  // a server _exit'ed non-zero: unrestartable
   int next_victim = 0;  // round-robin cursor for server_index == -1 kills
 
   // Watchdog round state: one pipelined STATUS per server, evaluated only
@@ -548,16 +585,36 @@ bool Runtime::RunDistributed() {
   bool status_round_valid = true;
 
   auto restart_server = [&](int k, const char* what) {
-    server_pids[static_cast<size_t>(k)] =
-        net::ForkServerProcess(server_opts(k));
-    if (server_pids[static_cast<size_t>(k)] <= 0 ||
-        !net::WaitForSocket(placement[static_cast<size_t>(k)], 10.0)) {
-      fail_run(std::string(what) + ": tuple-space server " +
-               std::to_string(k) + " failed to restart");
-      return false;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      server_pids[static_cast<size_t>(k)] =
+          net::ForkServerProcess(server_opts(k));
+      if (server_pids[static_cast<size_t>(k)] > 0 &&
+          net::WaitForSocket(placement[static_cast<size_t>(k)], 10.0)) {
+        server_ok[static_cast<size_t>(k)] = true;
+        return true;
+      }
+      if (server_pids[static_cast<size_t>(k)] <= 0) break;
+      // The fork came up but the socket never answered. If the child died
+      // by a signal, a chaos die point landed inside the boot window (a
+      // respawned coordinator can re-collect its first PREPARE vote within
+      // milliseconds and SIGKILL itself before our first connect probe
+      // succeeds). Die points are one-shot per state dir, so one fresh
+      // fork converges — count the death and retry. Anything else (a
+      // nonzero exit, a hung boot) would repeat identically: fail the run.
+      net::ExitInfo info;
+      if (net::WaitForExit(server_pids[static_cast<size_t>(k)], 1.0, &info) &&
+          info.signaled) {
+        server_pids[static_cast<size_t>(k)] = -1;
+        ++stats_.server_failures;
+        ++unplanned_server_deaths;
+        RecordLocked(TraceEvent::Kind::kServerFailed, now(), nullptr, -1);
+        continue;
+      }
+      break;
     }
-    server_ok[static_cast<size_t>(k)] = true;
-    return true;
+    fail_run(std::string(what) + ": tuple-space server " + std::to_string(k) +
+             " failed to restart");
+    return false;
   };
 
   while (!fatal) {
@@ -637,6 +694,11 @@ bool Runtime::RunDistributed() {
           server_ok[static_cast<size_t>(victim)] = false;
           server_down_at[static_cast<size_t>(victim)] = t;
           ++stats_.server_failures;
+          if (event.torn_tail) {
+            // The kill landed; now make the crash "tear" the final WAL
+            // append before the scheduled recovery restarts the server.
+            TearWalTail(dist_dir_ + "/state." + std::to_string(victim));
+          }
           RecordLocked(TraceEvent::Kind::kServerFailed, t, nullptr, -1);
           break;
         }
@@ -687,7 +749,25 @@ bool Runtime::RunDistributed() {
         }
       }
       if (dead_server >= 0) {
-        // Unplanned server death: recover it from checkpoint + log.
+        // Unplanned server death. A signal death (chaos SIGKILL, OOM kill)
+        // is a crash we recover from checkpoint + log; a non-zero _exit is
+        // the server itself refusing to run (WAL write failure, unusable
+        // state dir) — restarting would hit the same wall and spin until
+        // the deadlock timeout, so fail the run with a structured error.
+        if (info.exited && info.exit_code != 0) {
+          RuntimeError error;
+          error.code = RuntimeError::Code::kServerDead;
+          error.time = now();
+          error.detail = "tuple-space server " + std::to_string(dead_server) +
+                         " exited fatally with code " +
+                         std::to_string(info.exit_code);
+          errors_.push_back(std::move(error));
+          server_ok[static_cast<size_t>(dead_server)] = false;
+          server_pids[static_cast<size_t>(dead_server)] = -1;
+          server_fatal_exit = true;
+          fatal = true;
+          break;
+        }
         ++stats_.server_failures;
         ++unplanned_server_deaths;
         server_ok[static_cast<size_t>(dead_server)] = false;
@@ -904,8 +984,10 @@ bool Runtime::RunDistributed() {
   }
 
   // Drain results + counters back, restarting any server that is down
-  // (e.g. a failure was scheduled with no recovery before the end).
-  for (int k = 0; k < num_servers; ++k) {
+  // (e.g. a failure was scheduled with no recovery before the end). After a
+  // fatal server exit there is nothing to restart or harvest — a fresh fork
+  // would refuse to run the same way.
+  for (int k = 0; k < num_servers && !server_fatal_exit; ++k) {
     if (server_ok[static_cast<size_t>(k)]) continue;
     if (server_pids[static_cast<size_t>(k)] > 0) {
       net::ExitInfo info;
@@ -996,6 +1078,8 @@ bool Runtime::RunDistributed() {
       stats_.cross_shard_ops += server_stats.cross_shard_ops;
       stats_.batch_frames += server_stats.batch_frames;
       stats_.batched_tuple_ops += server_stats.batched_ops;
+      stats_.dist_txn_prepares += server_stats.txn_prepares;
+      stats_.dist_txn_cross_server += server_stats.txn_cross_server;
       for (Tuple& tuple : leg_take[static_cast<size_t>(k)].tuples) {
         space_.Out(std::move(tuple));
       }

@@ -309,6 +309,156 @@ TEST(DistributedChaosTest, ShardServerKilledMidScatterRecoversExactlyOnce) {
   EXPECT_GE(total_kills, 5u);
 }
 
+// Cross-server transactions: each task destructively claims TWO tuples
+// under DIFFERENT bucket keys ("t<i>" then "u<i>") inside one transaction.
+// At 3 shard servers the two keys frequently hash to different owners, so
+// the commit takes the 2PC slow path: the home server (owner of the first
+// in) coordinates a PREPARE/DECIDE round with the other participant.
+void CrossTaskLoop(ProcessContext& ctx) {
+  int64_t done = 0;
+  Tuple cont;
+  if (ctx.XRecover(&cont)) done = GetInt(cont, 1);
+  while (done < kNumTasks) {
+    ctx.XStart();
+    Tuple a;
+    ctx.In(MakeTemplate(A("t" + std::to_string(done)), F(ValueType::kInt)),
+           &a);
+    Tuple b;
+    ctx.In(MakeTemplate(A("u" + std::to_string(done)), F(ValueType::kInt)),
+           &b);
+    ctx.Out(MakeTuple("res", GetInt(a, 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ctx.Compute(1.0);
+    ++done;
+    ctx.XCommit(MakeTuple("progress", done));
+  }
+}
+
+void SeedCrossTasks(Runtime& runtime) {
+  for (int64_t i = 0; i < kNumTasks; ++i) {
+    runtime.space().Out(MakeTuple("t" + std::to_string(i), i));
+    runtime.space().Out(MakeTuple("u" + std::to_string(i), i));
+  }
+}
+
+TEST(DistributedChaosTest, CrossServerTransactionsCommitAcrossShards) {
+  // Fault-free baseline: destructive ins on buckets owned by different
+  // servers commit through 2PC, and the results are exactly-once.
+  Runtime runtime(1, DistOptions(/*servers=*/3));
+  SeedCrossTasks(runtime);
+  runtime.SpawnOn("worker", 0, CrossTaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  ExpectExactlyOnceResults(runtime);
+  EXPECT_GE(runtime.stats().dist_txn_cross_server, 1u);
+  EXPECT_GE(runtime.stats().dist_txn_prepares,
+            runtime.stats().dist_txn_cross_server);
+}
+
+TEST(DistributedChaosTest, CoordinatorKilledInDoubtWindowConverges) {
+  // The coordinator SIGKILLs itself upon its first PREPARE vote — after
+  // fanning out PREPARE, before logging any decision — so every voted
+  // participant sits in the in-doubt window while the coordinator is down.
+  // After the supervisor respawns it, replay + the client's resent XCommit
+  // must drive the transaction to ONE outcome on all shards, and the run's
+  // results stay exactly-once.
+  RuntimeOptions options = DistOptions(/*servers=*/3);
+  options.distributed_die_in_doubt_after = 1;
+  Runtime runtime(1, options);
+  SeedCrossTasks(runtime);
+  runtime.SpawnOn("worker", 0, CrossTaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  ExpectExactlyOnceResults(runtime);
+  EXPECT_GE(runtime.stats().server_failures, 1u);
+  EXPECT_GE(runtime.stats().dist_txn_cross_server, 1u);
+}
+
+TEST(DistributedChaosTest, ParticipantKilledAfterPreparedConverges) {
+  // A participant SIGKILLs itself right after durably logging its first
+  // PREPARED record, before acking the vote. The coordinator's PREPARE
+  // resend after the respawn must be answered from the durable vote (the
+  // parked ins survive in the snapshot/log), and the decision must reach
+  // the participant exactly once.
+  RuntimeOptions options = DistOptions(/*servers=*/3);
+  options.distributed_die_after_prepared = 1;
+  Runtime runtime(1, options);
+  SeedCrossTasks(runtime);
+  runtime.SpawnOn("worker", 0, CrossTaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  ExpectExactlyOnceResults(runtime);
+  EXPECT_GE(runtime.stats().server_failures, 1u);
+  EXPECT_GE(runtime.stats().dist_txn_cross_server, 1u);
+}
+
+TEST(DistributedChaosTest, CrossServerTxnSurvivesShardKillsExactlyOnce) {
+  // 22 seeded fault plans over cross-server transactions at 3 shard
+  // servers. On top of the scheduled SIGKILLs (half of which tear the
+  // victim's final WAL append), every run arms ONE 2PC die point — odd
+  // seeds kill the coordinator inside the PREPARE→DECIDE in-doubt window,
+  // even seeds kill a participant right after logging PREPARED. (One per
+  // run: each point fires once per server state dir, and arming both on 3
+  // servers could exceed the supervisor's unplanned-crash budget.)
+  // Whatever the kills interrupt, recovery must converge every in-doubt
+  // transaction to one outcome and keep the results exactly-once.
+  uint64_t total_kills = 0;
+  uint64_t total_cross = 0;
+  for (uint64_t seed = 1; seed <= 22; ++seed) {
+    plinda::ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.start_time = 0.02;
+    chaos.horizon = 0.25;
+    chaos.machine_mttf = 0;  // shard-server faults only
+    chaos.server_mttf = 0.07;
+    chaos.server_mttr = 0.05;
+    chaos.max_server_failures = 2;
+    chaos.num_servers = 3;
+    chaos.torn_tail_probability = 0.5;
+    const plinda::FaultPlan plan = plinda::GenerateFaultPlan(1, chaos);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + ToString(plan));
+
+    RuntimeOptions options = DistOptions(/*servers=*/3);
+    if (seed % 2 == 1) {
+      options.distributed_die_in_doubt_after = 1;
+    } else {
+      options.distributed_die_after_prepared = 1;
+    }
+    Runtime runtime(1, options);
+    plinda::InstallFaultPlan(&runtime, plan);
+    SeedCrossTasks(runtime);
+    runtime.SpawnOn("worker", 0, CrossTaskLoop);
+    ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+    ExpectExactlyOnceResults(runtime);
+    total_kills += runtime.stats().server_failures;
+    total_cross += runtime.stats().dist_txn_cross_server;
+  }
+  // Every run commits cross-server transactions, and the die points plus
+  // the scheduled crashes must actually have fired.
+  EXPECT_GT(total_cross, 0u);
+  EXPECT_GE(total_kills, 22u);
+}
+
+TEST(DistributedChaosTest, FatalServerExitFailsRunWithServerDead) {
+  // A server whose WAL stops accepting appends mid-run _exits(1) rather
+  // than acknowledge mutations it cannot make durable. Restarting it would
+  // hit the same wall, so the supervisor must fail the run with a
+  // structured kServerDead error instead of spinning until the deadlock
+  // timeout. wal_fail_after = 25 lands past boot + task seeding, inside
+  // the worker's task loop.
+  RuntimeOptions options = DistOptions(/*servers=*/1);
+  options.distributed_wal_fail_after = 25;
+  Runtime runtime(1, options);
+  for (int64_t i = 0; i < kNumTasks; ++i) {
+    runtime.space().Out(MakeTuple("task", i));
+  }
+  runtime.SpawnOn("worker", 0, TaskLoop);
+  EXPECT_FALSE(runtime.Run());
+  bool saw_server_dead = false;
+  for (const plinda::RuntimeError& error : runtime.errors()) {
+    saw_server_dead |=
+        error.code == plinda::RuntimeError::Code::kServerDead;
+  }
+  EXPECT_TRUE(saw_server_dead) << runtime.diagnostic();
+}
+
 TEST(DistributedChaosTest, MinerSurvivesWorkerKillWithIdenticalResults) {
   arm::BasketConfig config;
   config.num_transactions = 200;

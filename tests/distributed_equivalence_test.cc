@@ -5,8 +5,10 @@
 // rely on shared memory — every result must travel through the wire
 // protocol and still come back byte-for-byte identical.
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arm/problem.h"
@@ -14,6 +16,8 @@
 #include "core/parallel.h"
 #include "data/benchmarks.h"
 #include "gtest/gtest.h"
+#include "plinda/runtime.h"
+#include "plinda/tuple.h"
 #include "seqmine/generator.h"
 #include "seqmine/problem.h"
 
@@ -177,6 +181,69 @@ TEST(DistributedEquivalenceTest, MultiServerPlacementBitIdentical) {
   // scatter/gather counters are exercised by the formal-first tests in
   // distributed_chaos_test.cc.
   EXPECT_EQ(one.stats.dist_scatter_ops, 0u);
+}
+
+TEST(DistributedEquivalenceTest, CrossServerTransactionsBitIdentical) {
+  // With the single-server transaction affinity gone, a transaction whose
+  // destructive ins hit buckets owned by two different servers must leave
+  // the same effects behind in every mode: the simulator, one shard server
+  // (every commit takes the coordinator-only fast path), and three shard
+  // servers (the commits that span owners take the 2PC slow path). Each
+  // task claims ("t<i>", i) and ("u<i>", 10i) — twenty distinct bucket
+  // keys, so at three servers the pair frequently straddles two owners —
+  // and retires ("res", i, 11i) in the same transaction.
+  static constexpr int64_t kTasks = 10;
+  auto run = [&](plinda::ExecutionMode mode, int servers) {
+    plinda::RuntimeOptions options;
+    options.mode = mode;
+    options.distributed_servers = servers;
+    plinda::Runtime runtime(1, options);
+    for (int64_t i = 0; i < kTasks; ++i) {
+      runtime.space().Out(plinda::MakeTuple("t" + std::to_string(i), i));
+      runtime.space().Out(plinda::MakeTuple("u" + std::to_string(i), 10 * i));
+    }
+    runtime.SpawnOn("worker", 0, [](plinda::ProcessContext& ctx) {
+      int64_t done = 0;
+      plinda::Tuple cont;
+      if (ctx.XRecover(&cont)) done = plinda::GetInt(cont, 1);
+      while (done < kTasks) {
+        ctx.XStart();
+        plinda::Tuple a;
+        ctx.In(plinda::MakeTemplate(plinda::A("t" + std::to_string(done)),
+                                    plinda::F(plinda::ValueType::kInt)),
+               &a);
+        plinda::Tuple b;
+        ctx.In(plinda::MakeTemplate(plinda::A("u" + std::to_string(done)),
+                                    plinda::F(plinda::ValueType::kInt)),
+               &b);
+        ctx.Out(plinda::MakeTuple("res", done,
+                                  plinda::GetInt(a, 1) + plinda::GetInt(b, 1)));
+        ++done;
+        ctx.XCommit(plinda::MakeTuple("progress", done));
+      }
+    });
+    EXPECT_TRUE(runtime.Run()) << runtime.diagnostic();
+    std::vector<std::pair<int64_t, int64_t>> results;
+    plinda::Tuple t;
+    while (runtime.space().TryIn(
+        plinda::MakeTemplate(plinda::A("res"),
+                             plinda::F(plinda::ValueType::kInt),
+                             plinda::F(plinda::ValueType::kInt)),
+        &t)) {
+      results.emplace_back(plinda::GetInt(t, 1), plinda::GetInt(t, 2));
+    }
+    std::sort(results.begin(), results.end());
+    return results;
+  };
+  const auto sim = run(plinda::ExecutionMode::kSimulated, 1);
+  const auto one = run(plinda::ExecutionMode::kDistributed, 1);
+  const auto three = run(plinda::ExecutionMode::kDistributed, 3);
+  ASSERT_EQ(sim.size(), static_cast<size_t>(kTasks));
+  for (int64_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(sim[static_cast<size_t>(i)], std::make_pair(i, 11 * i)) << i;
+  }
+  EXPECT_EQ(sim, one);
+  EXPECT_EQ(one, three);
 }
 
 TEST(DistributedEquivalenceTest, SequenceMotifs) {

@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
@@ -624,6 +626,110 @@ TEST_F(NetIntegrationTest, ServerCrashRecoveryFromCheckpointAndLog) {
   Reply stats;
   ASSERT_EQ(client.Stats(&stats), CallStatus::kOk);
   EXPECT_GT(stats.checkpoints + stats.ops_replayed, 0u);
+  client.Bye();
+}
+
+/// The newest (highest-epoch) WAL file in a server state directory, or an
+/// empty path when none exists.
+std::filesystem::path NewestLogFile(const std::string& state_dir) {
+  std::filesystem::path newest;
+  long best = -1;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(state_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("log.", 0) != 0) continue;
+    const long epoch = std::strtol(name.c_str() + 4, nullptr, 10);
+    if (epoch > best) {
+      best = epoch;
+      newest = entry.path();
+    }
+  }
+  return newest;
+}
+
+TEST_F(NetIntegrationTest, TornWalTailIsDiscardedOnRecovery) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  // 10 outs with checkpoint_every_ops = 4: the periodic checkpoints rotate
+  // the log twice, leaving the live log with the newest outs only — the
+  // final record on disk is the 10th out.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(client.Out(MakeTuple("persist", i)), CallStatus::kOk);
+  }
+  StopServer();
+
+  // Tear the final append: chop one byte off the newest log file, the image
+  // a crash mid-write leaves. Recovery must detect the damaged record by
+  // its checksum/length, discard it, and replay the intact prefix.
+  const std::filesystem::path log = NewestLogFile(sopts_.state_dir);
+  ASSERT_FALSE(log.empty());
+  const uintmax_t size = std::filesystem::file_size(log);
+  ASSERT_GT(size, 0u);
+  std::filesystem::resize_file(log, size - 1);
+
+  StartServer();
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(A("persist"), F(ValueType::kInt)),
+                         &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 9u);  // the torn record (out #10) is gone, nothing else
+  // The recovered server keeps serving durably: new mutations land.
+  ASSERT_EQ(client.Out(MakeTuple("persist", 10)), CallStatus::kOk);
+  ASSERT_EQ(client.Count(MakeTemplate(A("persist"), F(ValueType::kInt)),
+                         &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 10u);
+  client.Bye();
+}
+
+TEST_F(NetIntegrationTest, BitRottedWalTailIsDiscardedOnRecovery) {
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  // 2 outs only: with the HELLO record that is 3 log records, safely below
+  // checkpoint_every_ops = 4 — the live log must not rotate away.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(client.Out(MakeTuple("persist", i)), CallStatus::kOk);
+  }
+  StopServer();
+
+  // Flip one bit inside the LAST record's payload: the framed length still
+  // parses, so only the per-record checksum can expose the damage. (Only
+  // the final record may legitimately be damaged — every earlier record was
+  // complete on disk before its successor was appended.)
+  const std::filesystem::path log = NewestLogFile(sopts_.state_dir);
+  ASSERT_FALSE(log.empty());
+  std::string raw;
+  {
+    std::ifstream in(log, std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  }
+  // Walk the [u32 len][u64 hash][payload] framing to the last record.
+  size_t off = 0;
+  size_t last = 0;
+  uint32_t last_len = 0;
+  while (off + 12 <= raw.size()) {
+    uint32_t len = 0;
+    std::memcpy(&len, raw.data() + off, 4);
+    if (off + 12 + len > raw.size()) break;
+    last = off;
+    last_len = len;
+    off += 12 + len;
+  }
+  ASSERT_GT(last_len, 0u);
+  raw[last + 12 + last_len / 2] ^= 0x20;
+  {
+    std::ofstream out(log, std::ios::binary | std::ios::trunc);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+
+  StartServer();
+  uint64_t count = 0;
+  ASSERT_EQ(client.Count(MakeTemplate(A("persist"), F(ValueType::kInt)),
+                         &count),
+            CallStatus::kOk);
+  EXPECT_EQ(count, 1u);  // the rotted record is discarded, the prefix kept
   client.Bye();
 }
 
@@ -1319,6 +1425,245 @@ LogEntry SampleForwardLogEntry() {
   return entry;
 }
 
+// --- 2PC frames: PREPARE / DECIDE / TXN_QUERY + their WAL records ---------
+
+Request SamplePrepareRequest() {
+  Request request;
+  request.op = Op::kPrepare;
+  request.pid = 0;   // coordinator server index
+  request.seq = 11;  // forward sequence on the peer channel
+  request.txn_pid = 4;
+  request.txn_incarnation = 1;
+  request.txn_seq = 23;
+  return request;
+}
+
+Request SampleDecideRequest() {
+  Request request;
+  request.op = Op::kDecide;
+  request.pid = 0;
+  request.seq = 12;
+  request.txn_pid = 4;
+  request.txn_incarnation = 1;
+  request.txn_seq = 23;
+  request.decision = kTxnCommit;
+  return request;
+}
+
+Request SampleTxnQueryRequest() {
+  Request request;
+  request.op = Op::kTxnQuery;
+  request.pid = 2;   // querying participant's server index
+  request.seq = 13;
+  request.txn_pid = 4;
+  request.txn_incarnation = 1;
+  request.txn_seq = 23;
+  return request;
+}
+
+Request SampleCrossServerCommitRequest() {
+  Request request = SampleCommitRequest();
+  request.cont_stamp = (uint64_t{2} << 32) | 41;
+  request.participants = {1, 2};  // foreign shards: forces the 2PC slow path
+  return request;
+}
+
+Reply SampleVoteReply() {
+  Reply reply;
+  reply.status = WireStatus::kOk;
+  reply.vote = kVotePrepared;
+  reply.decision = kTxnAbort;
+  reply.txn_prepares = 6;
+  reply.txn_cross_server = 3;
+  return reply;
+}
+
+LogEntry SampleXPrepareLogEntry() {
+  LogEntry entry;
+  entry.kind = LogKind::kXPrepare;
+  entry.pid = 4;
+  entry.incarnation = 1;
+  entry.seq = 23;
+  entry.outs = {MakeTuple("result", 8)};
+  entry.has_continuation = true;
+  entry.continuation = MakeTuple("cont", 5);
+  entry.cont_stamp = (uint64_t{1} << 32) | 7;
+  entry.participants = {1, 2};
+  return entry;
+}
+
+LogEntry SamplePreparedLogEntry() {
+  LogEntry entry;
+  entry.kind = LogKind::kPrepared;
+  entry.pid = 4;
+  entry.incarnation = 1;
+  entry.seq = 23;
+  entry.peer = 0;   // coordinator server index
+  entry.fseq = 11;  // watermark the PREPARE advanced
+  entry.decision = kVotePrepared;
+  return entry;
+}
+
+LogEntry SampleDecideLogEntry() {
+  LogEntry entry;
+  entry.kind = LogKind::kDecide;
+  entry.pid = 4;
+  entry.incarnation = 1;
+  entry.seq = 23;
+  entry.peer = 0;
+  entry.fseq = 12;
+  entry.decision = kTxnCommit;
+  return entry;
+}
+
+TEST(WireCodecTest, TwoPhaseCommitFramesRoundTrip) {
+  std::string error;
+  Request prep_back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(SamplePrepareRequest()), &prep_back,
+                            &error))
+      << error;
+  EXPECT_EQ(prep_back.op, Op::kPrepare);
+  EXPECT_EQ(prep_back.txn_pid, 4);
+  EXPECT_EQ(prep_back.txn_incarnation, 1);
+  EXPECT_EQ(prep_back.txn_seq, 23u);
+
+  Request dec_back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(SampleDecideRequest()), &dec_back,
+                            &error))
+      << error;
+  EXPECT_EQ(dec_back.op, Op::kDecide);
+  EXPECT_EQ(dec_back.decision, kTxnCommit);
+
+  Request query_back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(SampleTxnQueryRequest()),
+                            &query_back, &error))
+      << error;
+  EXPECT_EQ(query_back.op, Op::kTxnQuery);
+  EXPECT_EQ(query_back.txn_seq, 23u);
+
+  const Request commit = SampleCrossServerCommitRequest();
+  Request commit_back;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(commit), &commit_back, &error))
+      << error;
+  ASSERT_EQ(commit_back.participants.size(), 2u);
+  EXPECT_EQ(commit_back.participants[0], 1u);
+  EXPECT_EQ(commit_back.participants[1], 2u);
+
+  const Reply vote = SampleVoteReply();
+  Reply vote_back;
+  ASSERT_TRUE(DecodeReply(EncodeReply(vote), &vote_back, &error)) << error;
+  EXPECT_EQ(vote_back.vote, kVotePrepared);
+  EXPECT_EQ(vote_back.decision, kTxnAbort);
+  EXPECT_EQ(vote_back.txn_prepares, 6u);
+  EXPECT_EQ(vote_back.txn_cross_server, 3u);
+
+  const LogEntry xprep = SampleXPrepareLogEntry();
+  LogEntry xprep_back;
+  ASSERT_TRUE(DecodeLogEntry(EncodeLogEntry(xprep), &xprep_back, &error))
+      << error;
+  EXPECT_EQ(xprep_back.kind, LogKind::kXPrepare);
+  EXPECT_EQ(xprep_back.cont_stamp, xprep.cont_stamp);
+  ASSERT_EQ(xprep_back.participants.size(), 2u);
+  EXPECT_EQ(xprep_back.participants[1], 2u);
+  ASSERT_EQ(xprep_back.outs.size(), 1u);
+  EXPECT_EQ(xprep_back.outs[0], xprep.outs[0]);
+
+  LogEntry prepd_back;
+  ASSERT_TRUE(DecodeLogEntry(EncodeLogEntry(SamplePreparedLogEntry()),
+                             &prepd_back, &error))
+      << error;
+  EXPECT_EQ(prepd_back.kind, LogKind::kPrepared);
+  EXPECT_EQ(prepd_back.peer, 0);
+  EXPECT_EQ(prepd_back.fseq, 11u);
+  EXPECT_EQ(prepd_back.decision, kVotePrepared);
+
+  LogEntry decide_back;
+  ASSERT_TRUE(DecodeLogEntry(EncodeLogEntry(SampleDecideLogEntry()),
+                             &decide_back, &error))
+      << error;
+  EXPECT_EQ(decide_back.kind, LogKind::kDecide);
+  EXPECT_EQ(decide_back.fseq, 12u);
+  EXPECT_EQ(decide_back.decision, kTxnCommit);
+}
+
+TEST(WireFuzzTest, TwoPhaseCommitEveryTruncationFailsCleanly) {
+  // Same guarantee the placement/forward frames carry: a truncated 2PC
+  // frame must fail structurally on every prefix — never decode short,
+  // never crash (the sanitizer legs watch the no-UB half).
+  const std::string encodings[] = {
+      EncodeRequest(SamplePrepareRequest()),
+      EncodeRequest(SampleDecideRequest()),
+      EncodeRequest(SampleTxnQueryRequest()),
+      EncodeRequest(SampleCrossServerCommitRequest()),
+      EncodeReply(SampleVoteReply()),
+      EncodeLogEntry(SampleXPrepareLogEntry()),
+      EncodeLogEntry(SamplePreparedLogEntry()),
+      EncodeLogEntry(SampleDecideLogEntry()),
+  };
+  for (const std::string& full : encodings) {
+    for (size_t len = 0; len < full.size(); ++len) {
+      const std::string_view prefix(full.data(), len);
+      std::string error;
+      Request request;
+      Reply reply;
+      LogEntry entry;
+      EXPECT_FALSE(DecodeRequest(prefix, &request, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+      error.clear();
+      EXPECT_FALSE(DecodeReply(prefix, &reply, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+      error.clear();
+      EXPECT_FALSE(DecodeLogEntry(prefix, &entry, &error)) << len;
+      EXPECT_FALSE(error.empty()) << len;
+    }
+  }
+}
+
+TEST(WireFuzzTest, TwoPhaseCommitBitFlipsFailStructurallyOrDecode) {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string seeds[] = {
+      EncodeRequest(SamplePrepareRequest()),
+      EncodeRequest(SampleDecideRequest()),
+      EncodeRequest(SampleTxnQueryRequest()),
+      EncodeRequest(SampleCrossServerCommitRequest()),
+      EncodeReply(SampleVoteReply()),
+      EncodeLogEntry(SampleXPrepareLogEntry()),
+      EncodeLogEntry(SamplePreparedLogEntry()),
+      EncodeLogEntry(SampleDecideLogEntry()),
+  };
+  for (int round = 0; round < 800; ++round) {
+    std::string mutated = seeds[next() % 8];
+    const int flips = 1 + static_cast<int>(next() % 3);
+    for (int f = 0; f < flips; ++f) {
+      mutated[next() % mutated.size()] ^=
+          static_cast<char>(1u << (next() % 8));
+    }
+    std::string error;
+    Request request;
+    Reply reply;
+    LogEntry entry;
+    // A flip may still be a valid encoding; a failure must always carry a
+    // structured error.
+    if (!DecodeRequest(mutated, &request, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+    error.clear();
+    if (!DecodeReply(mutated, &reply, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+    error.clear();
+    if (!DecodeLogEntry(mutated, &entry, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
 TEST(WireCodecTest, HelloPlacementReplyRoundTrip) {
   const Reply reply = SamplePlacementReply();
   std::string error;
@@ -1564,6 +1909,26 @@ class ShardedNetIntegrationTest : public ::testing::Test {
     return counts;
   }
 
+  /// (PREPAREs fanned out, cross-server transactions coordinated), summed
+  /// over every shard server's STATS counters.
+  std::pair<uint64_t, uint64_t> SumTxnStats() {
+    uint64_t prepares = 0;
+    uint64_t cross = 0;
+    for (const std::string& path : placement_) {
+      RemoteSpaceOptions opts;
+      opts.socket_path = path;
+      opts.pid = -1;
+      opts.reconnect_timeout_s = 5.0;
+      RemoteTupleSpace ctl(opts);
+      Reply stats;
+      EXPECT_EQ(ctl.Stats(&stats), CallStatus::kOk);
+      prepares += stats.txn_prepares;
+      cross += stats.txn_cross_server;
+      ctl.Bye();
+    }
+    return {prepares, cross};
+  }
+
   std::string dir_;
   std::vector<std::string> placement_;
   std::vector<pid_t> server_pids_;
@@ -1662,7 +2027,7 @@ TEST_F(ShardedNetIntegrationTest, ForeignCommitOutsAreForwardedToOwners) {
   client.Bye();
 }
 
-TEST_F(ShardedNetIntegrationTest, CrossServerDestructiveInIsAStructuredError) {
+TEST_F(ShardedNetIntegrationTest, CrossServerTransactionCommitsViaTwoPhase) {
   ShardedRemoteSpace client(ShardedOptions(3));
   ASSERT_TRUE(client.Connect()) << client.last_error();
   const std::string key_a = KeyForServer(0, 2);
@@ -1675,14 +2040,82 @@ TEST_F(ShardedNetIntegrationTest, CrossServerDestructiveInIsAStructuredError) {
                       &t),
             CallStatus::kOk);
   // The second destructive in routes to a different shard than the bound
-  // home: single-server transaction affinity makes that a structured
-  // client-side error, not silent corruption.
-  EXPECT_EQ(client.In(MakeTemplate(A(key_b), F(ValueType::kInt)), true, true,
+  // home: the commit below must run the 2PC slow path, not fail.
+  ASSERT_EQ(client.In(MakeTemplate(A(key_b), F(ValueType::kInt)), true, true,
                       &t),
-            CallStatus::kCrossServerTxn);
-  EXPECT_FALSE(client.last_error().empty());
+            CallStatus::kOk);
+  ASSERT_EQ(client.XCommit({MakeTuple("merged", 3)},
+                           /*has_continuation=*/false, Tuple{}),
+            CallStatus::kOk)
+      << client.last_error();
+
+  // Both takes stuck (neither shard republished), the commit out landed.
+  // The out may ride a server-to-server forward to its bucket owner, which
+  // applies asynchronously — poll briefly, as the forward test does.
+  const Template all =
+      MakeTemplate(F(ValueType::kString), F(ValueType::kInt));
+  uint64_t count = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {
+    ASSERT_EQ(client.Count(all, &count), CallStatus::kOk);
+    if (count == 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_EQ(count, 1u);
+  Tuple merged;
+  ASSERT_EQ(client.In(MakeTemplate(A("merged"), F(ValueType::kInt)),
+                      /*blocking=*/false, /*remove=*/false, &merged),
+            CallStatus::kOk);
+
+  // The fleet saw exactly one coordinated cross-server transaction, with
+  // one PREPARE per foreign participant.
+  const auto [prepares, cross] = SumTxnStats();
+  EXPECT_EQ(cross, 1u);
+  EXPECT_EQ(prepares, 1u);
+  client.Bye();
+}
+
+TEST_F(ShardedNetIntegrationTest, CoordinatorOnlyCommitSkipsPrepareRound) {
+  ShardedRemoteSpace client(ShardedOptions(3));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+  // Two destructive ins, both on shard 0: the fast path — one commit
+  // record at the coordinator, no PREPARE fan-out anywhere.
+  const std::string key_a = KeyForServer(0, 2);
+  ASSERT_EQ(client.Out(MakeTuple(key_a, 1)), CallStatus::kOk);
+  ASSERT_EQ(client.Out(MakeTuple(key_a, 2)), CallStatus::kOk);
+  ASSERT_EQ(client.XStart(), CallStatus::kOk);
+  Tuple t;
+  ASSERT_EQ(client.In(MakeTemplate(A(key_a), A(int64_t{1})), true, true, &t),
+            CallStatus::kOk);
+  ASSERT_EQ(client.In(MakeTemplate(A(key_a), A(int64_t{2})), true, true, &t),
+            CallStatus::kOk);
+  ASSERT_EQ(client.XCommit({}, /*has_continuation=*/false, Tuple{}),
+            CallStatus::kOk);
+  const auto [prepares, cross] = SumTxnStats();
+  EXPECT_EQ(cross, 0u);
+  EXPECT_EQ(prepares, 0u);
+  client.Bye();
+}
+
+TEST_F(ShardedNetIntegrationTest, CrossServerAbortRestoresEveryLeg) {
+  ShardedRemoteSpace client(ShardedOptions(3));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+  const std::string key_a = KeyForServer(0, 2);
+  const std::string key_b = KeyForServer(1, 2);
+  ASSERT_EQ(client.Out(MakeTuple(key_a, 1)), CallStatus::kOk);
+  ASSERT_EQ(client.Out(MakeTuple(key_b, 2)), CallStatus::kOk);
+  ASSERT_EQ(client.XStart(), CallStatus::kOk);
+  Tuple t;
+  ASSERT_EQ(client.In(MakeTemplate(A(key_a), F(ValueType::kInt)), true, true,
+                      &t),
+            CallStatus::kOk);
+  ASSERT_EQ(client.In(MakeTemplate(A(key_b), F(ValueType::kInt)), true, true,
+                      &t),
+            CallStatus::kOk);
+  // Abort needs no coordination: each participant leg rolls back its own
+  // tentative removals independently.
   ASSERT_EQ(client.XAbort(), CallStatus::kOk);
-  // The abort rolled the first take back; both tuples are still there.
   uint64_t count = 0;
   ASSERT_EQ(client.Count(MakeTemplate(F(ValueType::kString),
                                       F(ValueType::kInt)),
@@ -1690,6 +2123,43 @@ TEST_F(ShardedNetIntegrationTest, CrossServerDestructiveInIsAStructuredError) {
             CallStatus::kOk);
   EXPECT_EQ(count, 2u);
   client.Bye();
+}
+
+TEST_F(ShardedNetIntegrationTest, DeadCoordClientInDoubtTxnAbortsOnRespawn) {
+  // A client that vanishes with an OPEN cross-server transaction (commit
+  // never sent) resolves through crash-abort; its respawned incarnation's
+  // HELLO must find every leg rolled back.
+  const std::string key_a = KeyForServer(0, 2);
+  const std::string key_b = KeyForServer(1, 2);
+  {
+    ShardedRemoteSpace victim(ShardedOptions(6, /*incarnation=*/0));
+    ASSERT_TRUE(victim.Connect()) << victim.last_error();
+    ASSERT_EQ(victim.Out(MakeTuple(key_a, 1)), CallStatus::kOk);
+    ASSERT_EQ(victim.Out(MakeTuple(key_b, 2)), CallStatus::kOk);
+    Tuple t;
+    ASSERT_EQ(victim.XStart(), CallStatus::kOk);
+    ASSERT_EQ(victim.In(MakeTemplate(A(key_a), F(ValueType::kInt)), true,
+                        true, &t),
+              CallStatus::kOk);
+    ASSERT_EQ(victim.In(MakeTemplate(A(key_b), F(ValueType::kInt)), true,
+                        true, &t),
+              CallStatus::kOk);
+    victim.Abandon();  // SIGKILL-style exit: no commit, no BYE
+  }
+  ShardedRemoteSpace respawned(ShardedOptions(6, /*incarnation=*/1));
+  ASSERT_TRUE(respawned.Connect()) << respawned.last_error();
+  const Template all =
+      MakeTemplate(F(ValueType::kString), F(ValueType::kInt));
+  uint64_t count = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {  // each leg crash-aborts when it notices the EOF — poll briefly
+    ASSERT_EQ(respawned.Count(all, &count), CallStatus::kOk);
+    if (count == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_EQ(count, 2u);
+  respawned.Bye();
 }
 
 TEST_F(ShardedNetIntegrationTest, XRecoverScatterReturnsNewestContinuation) {
