@@ -2,15 +2,19 @@
 
 #include <errno.h>
 #include <fcntl.h>
-#include <poll.h>
+#include <limits.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -62,6 +66,75 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// Flushes buf[*sent..) to fd, advancing the cursor instead of front-erasing
+/// (erase(0, n) memmoves the whole tail once per write — quadratic for a
+/// multi-MiB buffer dribbling out through short writes). A fully flushed
+/// buffer resets; a large flushed prefix is trimmed once so a slow receiver
+/// doesn't pin already-sent megabytes. Returns false on a fatal error.
+bool FlushCursor(int fd, std::string* buf, size_t* sent) {
+  while (*sent < buf->size()) {
+    const ssize_t n = ::write(fd, buf->data() + *sent, buf->size() - *sent);
+    if (n > 0) {
+      *sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (*sent == buf->size()) {
+    buf->clear();
+    *sent = 0;
+  } else if (*sent > (1u << 20)) {
+    buf->erase(0, *sent);
+    *sent = 0;
+  }
+  return true;
+}
+
+/// writev() the whole iovec array, chunked to IOV_MAX, resuming partial
+/// writes. Mutates the array.
+bool WritevAll(int fd, std::vector<iovec>* iov) {
+  size_t idx = 0;
+  while (idx < iov->size()) {
+    const int cnt = static_cast<int>(
+        std::min(iov->size() - idx, static_cast<size_t>(IOV_MAX)));
+    const ssize_t n = ::writev(fd, iov->data() + idx, cnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    size_t left = static_cast<size_t>(n);
+    while (idx < iov->size() && left >= (*iov)[idx].iov_len) {
+      left -= (*iov)[idx].iov_len;
+      ++idx;
+    }
+    if (left > 0) {
+      (*iov)[idx].iov_base = static_cast<char*>((*iov)[idx].iov_base) + left;
+      (*iov)[idx].iov_len -= left;
+    }
+  }
+  return true;
+}
+
+/// Patches the [u32 len][u64 fnv1a] WAL record header into the first 12
+/// bytes of `frame`, whose payload was encoded in place after them.
+void PatchWalHeader(std::string* frame) {
+  const std::string_view payload = std::string_view(*frame).substr(12);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint64_t hash = Fnv1a64(payload);
+  auto* p = reinterpret_cast<unsigned char*>(frame->data());
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(len >> (8 * i));
+  for (int i = 0; i < 8; ++i) {
+    p[4 + i] = static_cast<unsigned char>(hash >> (8 * i));
+  }
+}
+
+void ApplySndbuf(int fd, int sndbuf_bytes) {
+  if (sndbuf_bytes <= 0) return;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf_bytes, sizeof(sndbuf_bytes));
+}
+
 }  // namespace
 
 SpaceServer::SpaceServer(SpaceServerOptions options)
@@ -76,11 +149,28 @@ SpaceServer::SpaceServer(SpaceServerOptions options)
     options_.server_index = 0;
   }
   peers_.resize(placement_.size());
+  int threads = options_.threads;
+  if (threads <= 0) {
+    if (const char* env = std::getenv("FPDM_SERVER_THREADS")) {
+      threads = std::atoi(env);
+    }
+  }
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw >= 2 ? static_cast<int>(std::min(4u, hw)) : 1;
+  }
+  threads_ = threads;
+  wal_sync_ = options_.wal_sync;
+  if (const char* env = std::getenv("FPDM_WAL_SYNC")) {
+    wal_sync_ = std::atoi(env) != 0;
+  }
 }
 
 SpaceServer::~SpaceServer() {
   if (log_fd_ >= 0) ::close(log_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   for (auto& [fd, conn] : conns_) ::close(fd);
   for (PeerLink& peer : peers_) {
     if (peer.fd >= 0) ::close(peer.fd);
@@ -428,6 +518,16 @@ bool SpaceServer::LoadSnapshot(const std::string& path) {
 }
 
 bool SpaceServer::TakeCheckpoint() {
+  // Threaded mode: hold log_mu_ across the rotation so the log writer's
+  // in-flight writev never races the fd swap. The snapshot (taken under
+  // state_mu_) already reflects every ENQUEUED entry — apply happens at
+  // enqueue time — so once the rename commits, still-unwritten queued
+  // entries are obsolete: the checkpoint doubles as their durability
+  // barrier, and every reply gated on them becomes releasable.
+  std::unique_lock<std::mutex> log_lock;
+  if (live_threaded_) {
+    log_lock = std::unique_lock<std::mutex>(log_mu_);
+  }
   const uint64_t old_epoch = epoch_;
   epoch_ += 1;
   const std::string snapshot = EncodeSnapshot();
@@ -444,6 +544,15 @@ bool SpaceServer::TakeCheckpoint() {
     epoch_ = old_epoch;
     return false;
   }
+  if (live_threaded_) {
+    for (PendingWal& p : wal_pending_) {
+      p.frame.clear();
+      wal_buf_pool_.push_back(std::move(p.frame));
+    }
+    wal_pending_.clear();
+    wal_durable_seq_.store(wal_enqueued_seq_.load());
+    WakeIo();  // release replies that were gated on the cleared entries
+  }
   if (log_fd_ >= 0) ::close(log_fd_);
   const std::string log_path =
       options_.state_dir + "/log." + std::to_string(epoch_);
@@ -457,12 +566,7 @@ bool SpaceServer::TakeCheckpoint() {
 }
 
 bool SpaceServer::AppendLog(const LogEntry& entry) {
-  const std::string encoded = EncodeLogEntry(entry);
-  // An oversized entry would be skipped (and truncated away) by ReplayLog,
-  // silently un-doing an acknowledged op on recovery; requests are capped at
-  // kMaxFramePayload and entries encode smaller, so this cannot fire for
-  // request-derived entries — it guards the invariant, not a live path.
-  if (log_fd_ < 0 || encoded.size() > kMaxFramePayload) {
+  if (log_fd_ < 0) {
     wal_failed_ = true;
     stop_ = true;
     return false;
@@ -478,17 +582,58 @@ bool SpaceServer::AppendLog(const LogEntry& entry) {
   }
   // Log records carry a per-record checksum — [u32 len][u64 fnv1a][payload]
   // — so recovery can tell a torn or bit-rotted tail from a clean prefix
-  // even when the mangled bytes still parse as a plausible length.
+  // even when the mangled bytes still parse as a plausible length. The
+  // payload is encoded straight after 12 reserved header bytes (patched
+  // once the length is known) into a recycled buffer, so the hot path
+  // allocates nothing in steady state.
   std::string frame;
-  PutU32(static_cast<uint32_t>(encoded.size()), &frame);
-  PutU64(Fnv1a64(encoded), &frame);
-  frame += encoded;
-  if (!WriteAll(log_fd_, frame.data(), frame.size())) {
-    // A partial append is a torn tail: recovery truncates it away, so the
-    // entry is NOT durable. Stop serving instead of acknowledging it.
+  if (live_threaded_) {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    if (!wal_buf_pool_.empty()) {
+      frame = std::move(wal_buf_pool_.back());
+      wal_buf_pool_.pop_back();
+    }
+  } else {
+    frame = std::move(wal_frame_buf_);
+  }
+  frame.assign(12, '\0');
+  EncodeLogEntryInto(entry, &frame);
+  // An oversized entry would be skipped (and truncated away) by ReplayLog,
+  // silently un-doing an acknowledged op on recovery; requests are capped at
+  // kMaxFramePayload and entries encode smaller, so this cannot fire for
+  // request-derived entries — it guards the invariant, not a live path.
+  if (frame.size() - 12 > kMaxFramePayload) {
     wal_failed_ = true;
     stop_ = true;
     return false;
+  }
+  PatchWalHeader(&frame);
+  if (live_threaded_) {
+    // Group commit: enqueue for the log-writer thread, which coalesces
+    // everything pending into one writev + fdatasync batch. Callers apply
+    // right away; the reply is only RELEASED once wal_durable_seq_ covers
+    // this seq, so nothing unlogged is ever acknowledged. Runs under
+    // state_mu_, so enqueue order == apply order == replay order.
+    const uint64_t seq = wal_enqueued_seq_.load() + 1;
+    wal_enqueued_seq_.store(seq);
+    {
+      std::lock_guard<std::mutex> lk(log_mu_);
+      wal_pending_.push_back(PendingWal{seq, std::move(frame)});
+    }
+    log_cv_.notify_one();
+  } else {
+    if (!WriteAll(log_fd_, frame.data(), frame.size())) {
+      // A partial append is a torn tail: recovery truncates it away, so the
+      // entry is NOT durable. Stop serving instead of acknowledging it.
+      wal_failed_ = true;
+      stop_ = true;
+      return false;
+    }
+    // One append = one durable "batch" in single-threaded mode, so the
+    // group-commit counters stay meaningful across modes.
+    wal_group_commits_.fetch_add(1);
+    wal_synced_bytes_.fetch_add(frame.size());
+    wal_frame_buf_ = std::move(frame);
   }
   // Deliberately no checkpoint here: callers apply the entry right after
   // appending it, and a checkpoint taken in between would snapshot the
@@ -838,14 +983,34 @@ std::string SpaceServer::ApplyEntry(const LogEntry& entry) {
 void SpaceServer::SendEncoded(Conn& conn, const std::string& encoded_reply) {
   // Never emit a frame the peer's FrameReader would reject as corrupt: an
   // oversized reply becomes a structured error the client can surface.
+  const std::string* payload = &encoded_reply;
+  std::string fallback;
   if (encoded_reply.size() > kMaxFramePayload) {
     Reply reply;
     reply.status = WireStatus::kError;
     reply.error = "reply exceeds the frame payload limit";
-    AppendFrame(EncodeReply(reply), &conn.outbuf);
+    fallback = EncodeReply(reply);
+    payload = &fallback;
+  }
+  if (!live_threaded_) {
+    AppendFrame(*payload, &conn.outbuf);
+    RequestFlush(conn.fd);
     return;
   }
-  AppendFrame(encoded_reply, &conn.outbuf);
+  // Threaded mode: queue behind WAL durability. Tagging with the LAST
+  // enqueued seq (not just this op's own entry, if any) is deliberately
+  // conservative — it also covers replies whose VALUE depends on earlier
+  // not-yet-durable mutations (e.g. a rd that matched another client's
+  // freshly applied out), so no observable state ever escapes ahead of the
+  // log prefix that produced it.
+  PendingOut out;
+  out.walseq = wal_enqueued_seq_.load();
+  AppendFrame(*payload, &out.bytes);
+  {
+    std::lock_guard<std::mutex> lk(conn.out_mu);
+    conn.outgoing.push_back(std::move(out));
+  }
+  RequestFlush(conn.fd);
 }
 
 void SpaceServer::SendReply(Conn& conn, const Reply& reply) {
@@ -871,7 +1036,7 @@ void SpaceServer::SatisfyWaiters() {
       it = waiters_.erase(it);  // connection died while parked
       continue;
     }
-    Conn& conn = cit->second;
+    Conn& conn = *cit->second;
     if (it->remove) {
       bool in_txn = false;
       if (it->pid >= 0) {
@@ -1054,11 +1219,18 @@ void SpaceServer::HandleBatch(Conn& conn, const Request& request) {
   if (published) SatisfyWaiters();
 }
 
-void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
+void SpaceServer::HandleFrame(Conn& conn, std::string_view payload) {
   Request request;
   std::string error;
-  if (!DecodeRequest(payload, &request, &error)) {
-    SendError(conn, error);
+  const bool ok = DecodeRequest(payload, &request, &error);
+  DispatchRequest(conn, request, ok, error);
+}
+
+void SpaceServer::DispatchRequest(Conn& conn, const Request& request,
+                                  bool decode_ok,
+                                  const std::string& decode_error) {
+  if (!decode_ok) {
+    SendError(conn, decode_error);
     conn.close_after_flush = true;
     return;
   }
@@ -1280,6 +1452,8 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       reply.publish_epoch = publish_epoch_;
       reply.txn_prepares = txn_prepares_;
       reply.txn_cross_server = txn_cross_server_;
+      reply.wal_group_commits = wal_group_commits_.load();
+      reply.wal_synced_bytes = wal_synced_bytes_.load();
       SendReply(conn, reply);
       break;
     }
@@ -1304,7 +1478,7 @@ void SpaceServer::HandleFrame(Conn& conn, const std::string& payload) {
       const std::string encoded = EncodeReply(cancelled);
       for (const Waiter& w : waiters_) {
         auto cit = conns_.find(w.fd);
-        if (cit != conns_.end()) SendEncoded(cit->second, encoded);
+        if (cit != conns_.end()) SendEncoded(*cit->second, encoded);
       }
       waiters_.clear();
       SendReply(conn, Reply{});
@@ -1506,7 +1680,7 @@ void SpaceServer::DropConns(const std::vector<int>& fds) {
   // live connections; a dead client's waiter consuming one would log a
   // durable removal whose reply goes to a closed socket, losing the tuple
   // to every live process.
-  std::vector<Conn> dropped;
+  std::vector<std::unique_ptr<Conn>> dropped;
   for (int fd : fds) {
     auto it = conns_.find(fd);
     if (it == conns_.end()) continue;
@@ -1523,7 +1697,8 @@ void SpaceServer::DropConns(const std::vector<int>& fds) {
   // Phase 2: a vanished client (no BYE) with an open transaction is a
   // crash: roll the transaction back so its tuples become visible again —
   // unless a newer incarnation already registered and reset the state.
-  for (const Conn& conn : dropped) {
+  for (const auto& conn_ptr : dropped) {
+    const Conn& conn = *conn_ptr;
     if (conn.saw_bye || conn.pid < 0) continue;
     // A disconnect during the in-doubt window is NOT a crash-abort: once
     // XCOMMIT reached this coordinator the commit's fate belongs to the
@@ -1561,6 +1736,7 @@ void SpaceServer::EnqueueForward(size_t target, std::vector<Tuple> outs) {
   msg.fseq = ++peer.next_fseq;
   msg.op = Op::kForward;
   msg.outs = std::move(outs);
+  msg.walseq = live_threaded_ ? wal_enqueued_seq_.load() : 0;
   peer.unacked.push_back(std::move(msg));
 }
 
@@ -1575,6 +1751,7 @@ void SpaceServer::EnqueuePrepare(uint32_t target, int32_t pid,
   msg.txn_pid = pid;
   msg.txn_incarnation = incarnation;
   msg.txn_seq = seq;
+  msg.walseq = live_threaded_ ? wal_enqueued_seq_.load() : 0;
   peer.unacked.push_back(std::move(msg));
   ++txn_prepares_;
 }
@@ -1589,6 +1766,7 @@ void SpaceServer::EnqueueDecide(uint32_t target, const TxnKey& key,
   msg.txn_incarnation = std::get<1>(key);
   msg.txn_seq = std::get<2>(key);
   msg.decision = outcome;
+  msg.walseq = live_threaded_ ? wal_enqueued_seq_.load() : 0;
   peer.unacked.push_back(std::move(msg));
 }
 
@@ -1634,7 +1812,7 @@ void SpaceServer::DecideTxn(int32_t pid, uint8_t outcome) {
   const std::string encoded = ApplyEntry(entry);
   if (reply_fd >= 0) {
     auto cit = conns_.find(reply_fd);
-    if (cit != conns_.end()) SendEncoded(cit->second, encoded);
+    if (cit != conns_.end()) SendEncoded(*cit->second, encoded);
   }
   SatisfyWaiters();
 }
@@ -1683,6 +1861,8 @@ void SpaceServer::DropPeer(PeerLink& peer) {
   peer.fd = -1;
   peer.sent = 0;  // a fresh connection resends the whole unacked queue
   peer.outbuf.clear();
+  peer.outbuf_sent = 0;
+  peer.epoll_out = false;
   peer.reader = FrameReader{};
 }
 
@@ -1798,18 +1978,35 @@ void SpaceServer::PumpPeers() {
         continue;
       }
       SetNonBlocking(fd);
+      ApplySndbuf(fd, options_.sndbuf_bytes);
       peer.fd = fd;
       peer.sent = 0;
       peer.outbuf.clear();
+      peer.outbuf_sent = 0;
+      peer.epoll_out = false;
       peer.reader = FrameReader{};
+      if (epoll_fd_ >= 0) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+      }
     }
     // Encode the unsent tail of the queue. Deliberately no HELLO: the peer
     // connection stays pid -1 on the receiving side, outside the client
     // dedup window and the post-cancel gate (forwards and 2PC traffic must
     // drain even after a Cancel so the harvest sees every committed
     // tuple and no transaction stays in doubt).
+    const uint64_t durable = wal_durable_seq_.load();
     while (peer.sent < peer.unacked.size()) {
       const PeerMsg& msg = peer.unacked[peer.sent];
+      // Group-commit gating: never put a message on the wire before the
+      // log entry whose apply produced it is durable — a peer durably
+      // applying effects of an entry a crash here would erase breaks
+      // exactly-once (the replayed commit would re-forward under a fresh
+      // fseq). Messages queue in WAL order, so stopping at the first
+      // non-durable one gates a clean prefix.
+      if (live_threaded_ && msg.walseq > durable) break;
       Request request;
       request.op = msg.op;
       request.pid = static_cast<int32_t>(options_.server_index);
@@ -1822,18 +2019,160 @@ void SpaceServer::PumpPeers() {
       AppendFrame(EncodeRequest(request), &peer.outbuf);
       ++peer.sent;
     }
-    while (!peer.outbuf.empty()) {
-      const ssize_t n =
-          ::write(peer.fd, peer.outbuf.data(), peer.outbuf.size());
-      if (n > 0) {
-        peer.outbuf.erase(0, static_cast<size_t>(n));
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      if (n < 0 && errno == EINTR) continue;
+    if (!FlushCursor(peer.fd, &peer.outbuf, &peer.outbuf_sent)) {
       DropPeer(peer);
+      continue;
+    }
+    // Arm EPOLLOUT only while a partial flush is pending; leaving it armed
+    // on an idle writable socket would busy-wake the loop.
+    const bool want_out = peer.outbuf_sent < peer.outbuf.size();
+    if (epoll_fd_ >= 0 && want_out != peer.epoll_out) {
+      epoll_event ev{};
+      ev.events = want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+      ev.data.fd = peer.fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, peer.fd, &ev);
+      peer.epoll_out = want_out;
+    }
+  }
+}
+
+// --- threaded serve machinery ---------------------------------------------
+
+void SpaceServer::WakeIo() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void SpaceServer::RequestFlush(int fd) {
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    flush_request_.insert(fd);
+  }
+  if (live_threaded_) WakeIo();  // single-threaded: we ARE the I/O thread
+}
+
+void SpaceServer::ScheduleConnLocked(Conn* conn) {
+  if (conn->scheduled || conn->inbox.empty()) return;
+  conn->scheduled = true;
+  runnable_.push_back(conn);
+  sched_cv_.notify_one();
+}
+
+bool SpaceServer::DrainOutgoing(Conn& conn) {
+  const uint64_t durable = wal_durable_seq_.load();
+  std::lock_guard<std::mutex> lk(conn.out_mu);
+  while (!conn.outgoing.empty() && conn.outgoing.front().walseq <= durable) {
+    conn.outbuf += conn.outgoing.front().bytes;
+    conn.outgoing.pop_front();
+  }
+  return !conn.outgoing.empty();
+}
+
+bool SpaceServer::FlushConn(Conn& conn) {
+  return FlushCursor(conn.fd, &conn.outbuf, &conn.outbuf_sent);
+}
+
+void SpaceServer::UpdateConnEvents(Conn& conn) {
+  const bool want_out = conn.outbuf_sent < conn.outbuf.size();
+  if (want_out == conn.epoll_out || epoll_fd_ < 0) return;
+  epoll_event ev{};
+  ev.events = want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.epoll_out = want_out;
+}
+
+void SpaceServer::WorkerLoop() {
+  std::vector<std::string> frames;
+  for (;;) {
+    Conn* conn = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(sched_mu_);
+      sched_cv_.wait(lk, [&] { return workers_stop_ || !runnable_.empty(); });
+      if (runnable_.empty()) break;  // workers_stop_ and nothing to drain
+      conn = runnable_.front();
+      runnable_.pop_front();
+    }
+    // Strand discipline: this worker owns `conn` (scheduled == true) until
+    // its inbox drains, so one connection's frames always dispatch in
+    // arrival order and never on two workers at once.
+    for (;;) {
+      frames.clear();
+      {
+        std::lock_guard<std::mutex> lk(sched_mu_);
+        if (conn->inbox.empty() || stop_) {
+          conn->scheduled = false;
+          break;
+        }
+        while (!conn->inbox.empty()) {
+          frames.push_back(std::move(conn->inbox.front()));
+          conn->inbox.pop_front();
+        }
+      }
+      for (const std::string& payload : frames) {
+        // The expensive part — parsing tuple text out of the frame — runs
+        // outside every lock; only the apply itself serializes.
+        Request request;
+        std::string error;
+        const bool ok = DecodeRequest(payload, &request, &error);
+        std::lock_guard<std::mutex> lk(state_mu_);
+        DispatchRequest(*conn, request, ok, error);
+        if (!stop_ &&
+            ops_since_checkpoint_ >= options_.checkpoint_every_ops &&
+            !TakeCheckpoint() && log_fd_ < 0) {
+          wal_failed_ = true;
+          stop_ = true;
+        }
+        if (stop_) break;
+      }
+      RequestFlush(conn->fd);
+    }
+  }
+}
+
+void SpaceServer::LogWriterLoop() {
+  std::vector<PendingWal> batch;
+  std::vector<iovec> iov;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(log_mu_);
+    log_cv_.wait(lk, [&] { return log_stop_ || !wal_pending_.empty(); });
+    if (wal_pending_.empty()) break;  // log_stop_ and fully drained
+    batch.clear();
+    while (!wal_pending_.empty()) {
+      batch.push_back(std::move(wal_pending_.front()));
+      wal_pending_.pop_front();
+    }
+    // The group commit: everything that queued while the previous batch
+    // was syncing goes out in one writev + one fdatasync. log_mu_ stays
+    // held across the write so a concurrent checkpoint can't rotate
+    // log_fd_ mid-batch.
+    iov.clear();
+    size_t bytes = 0;
+    for (PendingWal& p : batch) {
+      iov.push_back(iovec{p.frame.data(), p.frame.size()});
+      bytes += p.frame.size();
+    }
+    bool ok = log_fd_ >= 0 && WritevAll(log_fd_, &iov);
+    if (ok && wal_sync_) ok = ::fdatasync(log_fd_) == 0;
+    if (!ok) {
+      // Durability lost mid-run. Replies gated on this batch are never
+      // released, so nothing unlogged was acknowledged; stop serving.
+      wal_failed_ = true;
+      stop_ = true;
+      lk.unlock();
+      WakeIo();
       break;
     }
+    wal_durable_seq_.store(batch.back().seq);
+    wal_group_commits_.fetch_add(1);
+    wal_synced_bytes_.fetch_add(bytes);
+    for (PendingWal& p : batch) {
+      p.frame.clear();
+      wal_buf_pool_.push_back(std::move(p.frame));
+    }
+    lk.unlock();
+    WakeIo();  // release the replies this batch made durable
   }
 }
 
@@ -1868,65 +2207,91 @@ int SpaceServer::Serve() {
     return 1;
   }
 
-  std::vector<pollfd> pfds;
-  std::vector<int> io_fds;
-  std::vector<size_t> peer_slots;
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) return 1;
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) return 1;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) return 1;
+  }
+
+  if (Threaded()) {
+    live_threaded_ = true;
+    log_thread_ = std::thread(&SpaceServer::LogWriterLoop, this);
+    workers_.reserve(static_cast<size_t>(threads_));
+    for (int i = 0; i < threads_; ++i) {
+      workers_.emplace_back(&SpaceServer::WorkerLoop, this);
+    }
+  }
+
+  std::vector<epoll_event> events(256);
+  std::vector<int> read_ready;
+  std::vector<int> write_ready;
+  std::vector<size_t> peer_read;
+  std::vector<int> to_drop;
+  std::set<int> flush;
+  std::set<int> defunct;  // EOF / socket error: drop once the inbox drains
+  std::set<int> closing;  // close_after_flush seen: drop once fully flushed
+  std::set<int> gated;    // outgoing head still waiting on WAL durability
+  std::vector<std::string> frames;
   while (!stop_) {
-    pfds.clear();
-    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    for (const auto& [fd, conn] : conns_) {
-      short events = POLLIN;
-      if (!conn.outbuf.empty()) events |= POLLOUT;
-      pfds.push_back(pollfd{fd, events, 0});
-    }
-    const size_t peer_base = pfds.size();
-    peer_slots.clear();
-    for (size_t k = 0; k < peers_.size(); ++k) {
-      if (peers_[k].fd < 0) continue;
-      short events = POLLIN;
-      if (!peers_[k].outbuf.empty()) events |= POLLOUT;
-      pfds.push_back(pollfd{peers_[k].fd, events, 0});
-      peer_slots.push_back(k);
-    }
-    if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200) < 0 &&
-        errno != EINTR) {
-      break;
-    }
-
-    for (size_t i = peer_base; i < pfds.size(); ++i) {
-      if (pfds[i].revents == 0) continue;
-      const size_t k = peer_slots[i - peer_base];
-      if (peers_[k].fd == pfds[i].fd) ReadPeerAcks(k);
-    }
-
-    if ((pfds[0].revents & POLLIN) != 0) {
-      for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        SetNonBlocking(fd);
-        Conn conn;
-        conn.fd = fd;
-        conns_.emplace(fd, std::move(conn));
+    const int nev = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), 200);
+    if (nev < 0 && errno != EINTR) break;
+    bool accept_ready = false;
+    read_ready.clear();
+    write_ready.clear();
+    peer_read.clear();
+    for (int i = 0; i < nev; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == listen_fd_) {
+        accept_ready = true;
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (conns_.count(fd) != 0) {
+        if ((ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+          read_ready.push_back(fd);
+        }
+        if ((ev & EPOLLOUT) != 0) write_ready.push_back(fd);
+        continue;
+      }
+      for (size_t k = 0; k < peers_.size(); ++k) {
+        if (peers_[k].fd != fd) continue;
+        if ((ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+          peer_read.push_back(k);
+        }
+        break;  // EPOLLOUT needs no marker: PumpPeers flushes every pass
       }
     }
 
-    io_fds.clear();
-    for (size_t i = 1; i < peer_base; ++i) {
-      if (pfds[i].revents != 0) io_fds.push_back(pfds[i].fd);
-    }
-    std::vector<int> to_drop;
-    for (int fd : io_fds) {
+    // Read phase — no state lock: the frame reader and outbuf belong to
+    // this thread, and conns_ is only ever mutated here. read(2) lands
+    // directly in the reader's buffer (FrameReader::WriteBuffer), so the
+    // single-threaded path hands frames to the decoder without a copy.
+    for (int fd : read_ready) {
       auto it = conns_.find(fd);
       if (it == conns_.end()) continue;
-      Conn& conn = it->second;
+      Conn& conn = *it->second;
       bool dead = false;
-      char buf[65536];
       for (;;) {
-        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        char* dst = conn.reader.WriteBuffer(65536);
+        const ssize_t n = ::read(fd, dst, 65536);
         if (n > 0) {
-          conn.reader.Feed(buf, static_cast<size_t>(n));
+          conn.reader.CommitWrite(static_cast<size_t>(n));
           continue;
         }
+        conn.reader.CommitWrite(0);
         if (n == 0) dead = true;
         if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
             errno != EINTR) {
@@ -1934,67 +2299,202 @@ int SpaceServer::Serve() {
         }
         break;
       }
-      std::string payload;
-      for (;;) {
-        const FrameReader::Result result = conn.reader.Next(&payload);
-        if (result == FrameReader::Result::kFrame) {
-          HandleFrame(conn, payload);
-          if (stop_) break;
-          continue;
+      if (Threaded()) {
+        // Hand the reassembled frames to the connection's strand. The one
+        // copy into the inbox buys cross-thread ownership; everything
+        // downstream decodes in place.
+        frames.clear();
+        std::string payload;
+        bool corrupt = false;
+        for (;;) {
+          const FrameReader::Result result = conn.reader.Next(&payload);
+          if (result == FrameReader::Result::kFrame) {
+            frames.push_back(std::move(payload));
+            payload.clear();
+            continue;
+          }
+          if (result == FrameReader::Result::kError) corrupt = true;
+          break;
         }
-        if (result == FrameReader::Result::kError) {
+        if (!frames.empty()) {
+          std::lock_guard<std::mutex> lk(sched_mu_);
+          for (std::string& f : frames) conn.inbox.push_back(std::move(f));
+          ScheduleConnLocked(&conn);
+        }
+        if (corrupt) {
           SendError(conn, conn.reader.error());
-          dead = true;  // the byte stream is unrecoverable
+          conn.close_after_flush = true;  // stream unrecoverable
         }
-        break;
-      }
-      // Flush opportunistically; POLLOUT picks up the remainder.
-      while (!conn.outbuf.empty()) {
-        const ssize_t n = ::write(fd, conn.outbuf.data(), conn.outbuf.size());
-        if (n > 0) {
-          conn.outbuf.erase(0, static_cast<size_t>(n));
-          continue;
+      } else {
+        std::string_view payload;
+        for (;;) {
+          const FrameReader::Result result = conn.reader.NextView(&payload);
+          if (result == FrameReader::Result::kFrame) {
+            HandleFrame(conn, payload);
+            if (stop_) break;
+            continue;
+          }
+          if (result == FrameReader::Result::kError) {
+            SendError(conn, conn.reader.error());
+            dead = true;  // the byte stream is unrecoverable
+          }
+          break;
         }
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-        if (n < 0 && errno == EINTR) continue;
-        dead = true;
-        break;
       }
-      if (dead || (conn.close_after_flush && conn.outbuf.empty())) {
-        to_drop.push_back(fd);
-      }
+      if (dead) defunct.insert(fd);
     }
-    DropConns(to_drop);
-    // Connect/resend/flush the peer forward links once per pass: a commit
-    // this pass queued its foreign outs, so they go out before we sleep.
-    PumpPeers();
-    // Checkpoint at a quiescent point: every logged entry is applied, so
-    // the snapshot and the fresh log form a consistent cut.
-    if (!stop_ && ops_since_checkpoint_ >= options_.checkpoint_every_ops &&
-        !TakeCheckpoint() && log_fd_ < 0) {
-      // The rename committed but the fresh log would not open: any further
-      // mutation would be acknowledged yet lost from durable state. Stop
-      // serving. (A failure before the rename keeps the old checkpoint +
-      // log pair and the open log fd, so it is safe to retry next pass.)
-      wal_failed_ = true;
-      stop_ = true;
+
+    // Flush phase: fds with replies appended since the last pass (both
+    // modes go through RequestFlush), re-checked durability gates, and
+    // EPOLLOUT-ready sockets with a partial flush pending.
+    {
+      std::lock_guard<std::mutex> lk(flush_mu_);
+      flush.swap(flush_request_);
+    }
+    for (int fd : write_ready) flush.insert(fd);
+    flush.insert(gated.begin(), gated.end());
+    gated.clear();
+    for (int fd : flush) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = *it->second;
+      if (DrainOutgoing(conn)) gated.insert(fd);
+      if (!FlushConn(conn)) {
+        defunct.insert(fd);
+        continue;
+      }
+      UpdateConnEvents(conn);
+      if (conn.close_after_flush) closing.insert(fd);
+    }
+    flush.clear();
+
+    // State phase: everything that touches the shared tables.
+    to_drop.clear();
+    {
+      std::unique_lock<std::mutex> state_lock;
+      if (Threaded()) state_lock = std::unique_lock<std::mutex>(state_mu_);
+
+      if (accept_ready) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          SetNonBlocking(fd);
+          ApplySndbuf(fd, options_.sndbuf_bytes);
+          auto conn = std::make_unique<Conn>();
+          conn->fd = fd;
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = fd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+          conns_.emplace(fd, std::move(conn));
+        }
+      }
+
+      for (size_t k : peer_read) {
+        if (peers_[k].fd >= 0) ReadPeerAcks(k);
+      }
+
+      // Drop checks. A connection leaves only when no worker owns it and
+      // its inbox is drained (a worker may still hold a pointer to it
+      // otherwise); close_after_flush additionally waits for the reply
+      // queue and outbuf to empty so the final reply gets out.
+      const auto droppable = [&](int fd, bool force) {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) return false;
+        Conn& c = *it->second;
+        {
+          std::lock_guard<std::mutex> lk(sched_mu_);
+          if (c.scheduled || !c.inbox.empty()) return false;
+        }
+        if (force) return true;
+        if (!c.close_after_flush) return false;
+        {
+          std::lock_guard<std::mutex> lk(c.out_mu);
+          if (!c.outgoing.empty()) return false;
+        }
+        return c.outbuf.empty();
+      };
+      for (int fd : defunct) {
+        if (droppable(fd, /*force=*/true)) to_drop.push_back(fd);
+      }
+      for (int fd : closing) {
+        if (defunct.count(fd) != 0) continue;
+        if (droppable(fd, /*force=*/false)) to_drop.push_back(fd);
+      }
+      DropConns(to_drop);
+      // Forget dropped fds everywhere: the kernel recycles fd numbers, so
+      // a stale tracking entry could condemn an unrelated new connection.
+      const auto sweep = [&](std::set<int>& s) {
+        for (auto it = s.begin(); it != s.end();) {
+          it = conns_.count(*it) == 0 ? s.erase(it) : std::next(it);
+        }
+      };
+      sweep(defunct);
+      sweep(closing);
+      sweep(gated);
+
+      // Connect/resend/flush the peer forward links once per pass: a
+      // commit this pass queued its foreign outs, so they go out (durable
+      // prefix only, in threaded mode) before we sleep.
+      PumpPeers();
+
+      // Checkpoint at a quiescent point: every logged entry is applied, so
+      // the snapshot and the fresh log form a consistent cut. (Threaded
+      // mode also checkpoints worker-side; this pass picks up entries
+      // appended on the I/O thread — drops, peer acks.)
+      if (!stop_ && ops_since_checkpoint_ >= options_.checkpoint_every_ops &&
+          !TakeCheckpoint() && log_fd_ < 0) {
+        // The rename committed but the fresh log would not open: any
+        // further mutation would be acknowledged yet lost from durable
+        // state. Stop serving. (A failure before the rename keeps the old
+        // checkpoint + log pair and the open log fd, so it is safe to
+        // retry next pass.)
+        wal_failed_ = true;
+        stop_ = true;
+      }
     }
   }
 
+  if (Threaded()) {
+    {
+      std::lock_guard<std::mutex> lk(sched_mu_);
+      workers_stop_ = true;
+    }
+    sched_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+    {
+      std::lock_guard<std::mutex> lk(log_mu_);
+      log_stop_ = true;
+    }
+    log_cv_.notify_all();
+    log_thread_.join();  // drains wal_pending_ (unless the WAL failed)
+    live_threaded_ = false;
+    // Final release: everything the last batch (or checkpoint) made
+    // durable moves to the outbufs. Replies still gated behind a failed
+    // WAL are discarded — they were never acknowledged.
+    for (auto& [fd, conn] : conns_) DrainOutgoing(*conn);
+  }
+
   // Best-effort blocking flush of pending replies (the SHUTDOWN ack). Safe
-  // even on a WAL failure: every buffered reply was durably logged before
-  // it was encoded, so nothing unlogged can be acknowledged here.
+  // even on a WAL failure: every released reply's entry was durable before
+  // the release, so nothing unlogged can be acknowledged here.
   for (auto& [fd, conn] : conns_) {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
-    if (!conn.outbuf.empty()) {
-      WriteAll(fd, conn.outbuf.data(), conn.outbuf.size());
+    if (conn->outbuf_sent < conn->outbuf.size()) {
+      WriteAll(fd, conn->outbuf.data() + conn->outbuf_sent,
+               conn->outbuf.size() - conn->outbuf_sent);
     }
     ::close(fd);
   }
   conns_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  ::close(wake_fd_);
+  wake_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
   return wal_failed_ ? 1 : 0;
 }

@@ -1,13 +1,18 @@
 #ifndef FPDM_PLINDA_NET_SERVER_H_
 #define FPDM_PLINDA_NET_SERVER_H_
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -53,23 +58,52 @@ struct SpaceServerOptions {
   /// points this death is an *exit*, which the run supervisor must surface
   /// as a structured kServerDead error rather than retrying forever.
   int wal_fail_after = 0;
+  /// Worker threads for request decode/dispatch. 0 = auto: the
+  /// FPDM_SERVER_THREADS environment variable if set, else min(4, cores).
+  /// 1 = the legacy single-threaded serve loop (every frame handled inline
+  /// on the I/O thread, one WAL write per mutation) — bit-identical to the
+  /// pre-threading server and the reference for equivalence CI legs.
+  int threads = 0;
+  /// Threaded mode only: fdatasync each group-commit WAL batch before the
+  /// replies it covers are released (durability against power loss, not
+  /// just process death). The single-threaded path keeps its historical
+  /// buffered-write-only behavior. Overridable via FPDM_WAL_SYNC=0.
+  bool wal_sync = true;
+  /// Test hook: shrink SO_SNDBUF on accepted client fds and outbound peer
+  /// fds to this many bytes (0 = leave the kernel default). Forces replies
+  /// and peer forwards through many short writes to exercise the partial-
+  /// flush cursor paths.
+  int sndbuf_bytes = 0;
 };
 
 /// The tuple-space server process of ExecutionMode::kDistributed: owns the
 /// sharded space and serves the wire protocol over a Unix-domain socket.
 ///
-/// The server is deliberately single-threaded: one poll() loop multiplexes
-/// every client connection, so no operation ever interleaves with another
-/// and the write-ahead log is a serial history of the space. Blocking
-/// in/rd requests park server-side in FIFO arrival order and are satisfied
-/// as soon as a publish makes a match available.
+/// Threading (threads > 1, the default): an epoll-based I/O thread owns
+/// every socket and all frame reassembly; decoded client connections are
+/// scheduled strand-style onto a small worker pool (one connection is never
+/// on two workers at once, so its frames dispatch in arrival order).
+/// Workers decode request payloads outside any lock, then apply under a
+/// single state mutex — matching, parking FIFO, the 2PC state machine and
+/// TakeAll all serialize there, so the write-ahead log remains a serial
+/// history of the space and sim / dist-unix equivalence stays bit-identical.
+/// A dedicated log-writer thread group-commits the WAL: appends enqueue an
+/// encoded frame and the writer coalesces everything pending into one
+/// writev + fdatasync batch; a reply is released to its socket only once
+/// the batch containing its entry is durable. With threads == 1 the same
+/// epoll loop handles every frame inline and writes the WAL one append at
+/// a time — the legacy single-threaded server, bit-identical by
+/// construction. Blocking in/rd requests park server-side in FIFO arrival
+/// order and are satisfied as soon as a publish makes a match available.
 ///
 /// Durability follows the PR-1 fault model: every mutating request is
-/// appended to the log (and flushed) before it is applied and acknowledged;
-/// a checksummed checkpoint every `checkpoint_every_ops` logged entries
-/// bounds replay. Retried requests are deduplicated by (pid, seq) so a
-/// client that resends after a server crash gets the cached reply instead
-/// of a double-applied op (exactly-once effects).
+/// appended (threads == 1) or enqueued (threaded) to the log before it is
+/// applied, and acknowledged only after the log write; a checksummed
+/// checkpoint every `checkpoint_every_ops` logged entries bounds replay and
+/// doubles as a durability barrier for still-unwritten queued entries.
+/// Retried requests are deduplicated by (pid, seq) so a client that resends
+/// after a server crash gets the cached reply instead of a double-applied
+/// op (exactly-once effects).
 class SpaceServer {
  public:
   explicit SpaceServer(SpaceServerOptions options);
@@ -104,14 +138,33 @@ class SpaceServer {
     std::vector<Tuple> txn_ins;  // tuples to restore if the txn aborts
   };
 
+  /// One reply (or error) framed for the wire, gated on WAL durability:
+  /// the I/O thread moves it to the connection's outbuf only once
+  /// wal_durable_seq_ has reached `walseq` (0 = no durability dependency,
+  /// but still FIFO behind earlier gated replies on the same connection).
+  struct PendingOut {
+    uint64_t walseq = 0;
+    std::string bytes;
+  };
+
   struct Conn {
     int fd = -1;
+    // --- I/O-thread-only state ---
     FrameReader reader;
     std::string outbuf;
+    size_t outbuf_sent = 0;  // flushed prefix of outbuf (no front-erase)
+    bool epoll_out = false;  // EPOLLOUT currently armed for this fd
+    // --- guarded by state_mu_ in threaded mode ---
     int32_t pid = -1;  // set by HELLO; control connections stay -1
     int32_t incarnation = 0;
     bool saw_bye = false;
-    bool close_after_flush = false;
+    // --- scheduling state, guarded by sched_mu_ ---
+    std::deque<std::string> inbox;  // reassembled frames awaiting dispatch
+    bool scheduled = false;         // owned by (queued for) a worker
+    // --- reply queue, guarded by out_mu (leaf lock) ---
+    std::mutex out_mu;
+    std::deque<PendingOut> outgoing;
+    std::atomic<bool> close_after_flush{false};
   };
 
   struct Waiter {
@@ -135,6 +188,12 @@ class SpaceServer {
     int32_t txn_incarnation = 0;
     uint64_t txn_seq = 0;
     uint8_t decision = 0;          // kDecide: kTxnCommit / kTxnAbort
+    /// Threaded mode: the WAL seq of the entry whose apply enqueued this
+    /// message. PumpPeers holds the message back until that entry is
+    /// durable, so a peer can never observe (and durably apply) effects of
+    /// a log record that a crash of this server would erase. 0 = no
+    /// dependency (replayed/restored messages are durable by definition).
+    uint64_t walseq = 0;
   };
 
   /// Outbound server-to-server forwarding state for one peer server (the
@@ -149,6 +208,8 @@ class SpaceServer {
     int fd = -1;
     FrameReader reader;
     std::string outbuf;
+    size_t outbuf_sent = 0;  // flushed prefix of outbuf (no front-erase)
+    bool epoll_out = false;  // EPOLLOUT currently armed for this fd
     /// Messages awaiting the peer's ack, oldest first.
     std::deque<PeerMsg> unacked;
     size_t sent = 0;         // prefix of unacked already on this connection
@@ -222,7 +283,12 @@ class SpaceServer {
   Reply BatchReplyFor(const LogEntry& entry);
 
   // --- request handling --------------------------------------------------
-  void HandleFrame(Conn& conn, const std::string& payload);
+  void HandleFrame(Conn& conn, std::string_view payload);
+  /// The post-decode half of HandleFrame: dispatches one already-decoded
+  /// request. Workers run DecodeRequest outside any lock and call this
+  /// under state_mu_; the single-threaded path calls it inline.
+  void DispatchRequest(Conn& conn, const Request& request, bool decode_ok,
+                       const std::string& decode_error);
   void HandleHello(Conn& conn, const Request& request);
   void HandleIn(Conn& conn, const Request& request);
   void HandleBatch(Conn& conn, const Request& request);
@@ -281,6 +347,31 @@ class SpaceServer {
   /// already exists (the point already fired before a restart).
   void MaybeDieAt(const char* marker);
 
+  // --- threaded serve loop -------------------------------------------------
+  bool Threaded() const { return threads_ > 1; }
+  /// Worker pool body: pops a runnable connection, drains its inbox
+  /// (decode outside the lock, dispatch under state_mu_), repeats.
+  void WorkerLoop();
+  /// Log-writer body: coalesces queued WAL frames into one writev (+
+  /// fdatasync) batch, advances wal_durable_seq_, wakes the I/O thread.
+  void LogWriterLoop();
+  /// Queues `conn` for a worker if it has frames and is not already owned
+  /// by one. Caller holds sched_mu_.
+  void ScheduleConnLocked(Conn* conn);
+  void WakeIo();
+  /// Marks `fd` as needing a flush pass on the I/O thread (replies were
+  /// appended off-thread) and wakes it.
+  void RequestFlush(int fd);
+  /// I/O thread: moves durably-releasable replies from conn.outgoing to
+  /// conn.outbuf (FIFO; stops at the first reply whose WAL entry is not yet
+  /// durable). Returns true if anything is still gated.
+  bool DrainOutgoing(Conn& conn);
+  /// I/O thread: writes as much of conn.outbuf as the socket accepts,
+  /// advancing the sent-offset cursor. Returns false on a fatal error.
+  bool FlushConn(Conn& conn);
+  /// Arms / disarms EPOLLOUT to match whether conn has unflushed output.
+  void UpdateConnEvents(Conn& conn);
+
   SpaceServerOptions options_;
   std::vector<TupleSpace> shards_;
   /// Socket path per server index; size 1 = single-server mode (no peers).
@@ -291,7 +382,9 @@ class SpaceServer {
   std::map<int32_t, std::pair<uint64_t, Tuple>> continuations_;
   std::map<int32_t, ClientState> clients_;
   std::list<Waiter> waiters_;  // FIFO by arrival
-  std::map<int, Conn> conns_;
+  /// unique_ptr so Conn addresses stay stable while a worker holds one
+  /// across map mutations on the I/O thread.
+  std::map<int, std::unique_ptr<Conn>> conns_;
 
   /// Coordinator: in-doubt cross-server commits, keyed by pid (one open
   /// transaction per client at a time).
@@ -306,8 +399,49 @@ class SpaceServer {
   int listen_fd_ = -1;
   int ops_since_checkpoint_ = 0;
   bool cancelled_ = false;
-  bool stop_ = false;
-  bool wal_failed_ = false;  // durability lost: stop serving, exit nonzero
+  std::atomic<bool> stop_{false};
+  // Durability lost: stop serving, exit nonzero.
+  std::atomic<bool> wal_failed_{false};
+
+  // --- threading machinery (all unused when threads_ == 1) ----------------
+  int threads_ = 1;       // resolved worker count (options / env / auto)
+  bool wal_sync_ = true;  // resolved from options.wal_sync / FPDM_WAL_SYNC
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers / log writer wake the I/O thread
+  /// True once Serve() is live in threaded mode; Enqueue* tag peer messages
+  /// with the current WAL seq only then (replay-time messages are durable).
+  bool live_threaded_ = false;
+  /// The big state lock: matching, parking, 2PC, client tables, WAL
+  /// enqueue order. Workers hold it across one request's
+  /// append+apply+reply; the I/O thread holds it for accept / drop / peer
+  /// traffic. Never taken by the log writer. Lock order: state_mu_ →
+  /// log_mu_ → (out_mu | sched_mu | flush_mu leaf locks).
+  std::mutex state_mu_;
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::deque<Conn*> runnable_;  // conns with frames, not owned by a worker
+  bool workers_stop_ = false;   // guarded by sched_mu_
+  struct PendingWal {
+    uint64_t seq = 0;
+    std::string frame;  // fully framed: [len][hash][payload]
+  };
+  std::mutex log_mu_;
+  std::condition_variable log_cv_;
+  std::deque<PendingWal> wal_pending_;     // guarded by log_mu_
+  std::vector<std::string> wal_buf_pool_;  // recycled frames, log_mu_
+  bool log_stop_ = false;                  // guarded by log_mu_
+  /// Last WAL seq handed out at enqueue (under state_mu_) and last seq the
+  /// log writer has made durable. A reply/peer message tagged S is held
+  /// until wal_durable_seq_ >= S.
+  std::atomic<uint64_t> wal_enqueued_seq_{0};
+  std::atomic<uint64_t> wal_durable_seq_{0};
+  std::mutex flush_mu_;
+  std::set<int> flush_request_;  // fds with replies appended off-thread
+  std::vector<std::thread> workers_;
+  std::thread log_thread_;
+  std::string wal_frame_buf_;  // single-threaded AppendLog frame reuse
+  std::atomic<uint64_t> wal_group_commits_{0};
+  std::atomic<uint64_t> wal_synced_bytes_{0};
 
   uint64_t publish_epoch_ = 0;
   uint64_t tuple_ops_ = 0;

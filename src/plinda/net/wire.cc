@@ -162,7 +162,24 @@ void FrameReader::Feed(const char* data, size_t n) {
   buffer_.append(data, n);
 }
 
-FrameReader::Result FrameReader::Next(std::string* payload) {
+char* FrameReader::WriteBuffer(size_t n) {
+  // Compact the consumed prefix before growing: reclaimed space often makes
+  // the resize a no-op, and no NextView() view can be live across a
+  // WriteBuffer() call (documented contract), so moving bytes is safe here.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > (64u << 10))) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  write_base_ = buffer_.size();
+  buffer_.resize(write_base_ + n);
+  return buffer_.data() + write_base_;
+}
+
+void FrameReader::CommitWrite(size_t n) {
+  buffer_.resize(write_base_ + n);
+}
+
+FrameReader::Result FrameReader::PeekFrame(size_t* len) {
   if (broken_) return Result::kError;
   // Compact the consumed prefix occasionally so the buffer doesn't grow
   // without bound on long-lived connections.
@@ -172,17 +189,34 @@ FrameReader::Result FrameReader::Next(std::string* payload) {
   }
   if (buffer_.size() - pos_ < 4) return Result::kNeedMore;
   const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
-  const uint32_t len = static_cast<uint32_t>(p[0]) |
-                       (static_cast<uint32_t>(p[1]) << 8) |
-                       (static_cast<uint32_t>(p[2]) << 16) |
-                       (static_cast<uint32_t>(p[3]) << 24);
-  if (len > kMaxFramePayload) {
+  const uint32_t frame_len = static_cast<uint32_t>(p[0]) |
+                             (static_cast<uint32_t>(p[1]) << 8) |
+                             (static_cast<uint32_t>(p[2]) << 16) |
+                             (static_cast<uint32_t>(p[3]) << 24);
+  if (frame_len > kMaxFramePayload) {
     broken_ = true;
-    error_ = "frame length " + std::to_string(len) + " exceeds limit";
+    error_ = "frame length " + std::to_string(frame_len) + " exceeds limit";
     return Result::kError;
   }
-  if (buffer_.size() - pos_ - 4 < len) return Result::kNeedMore;
+  if (buffer_.size() - pos_ - 4 < frame_len) return Result::kNeedMore;
+  *len = frame_len;
+  return Result::kFrame;
+}
+
+FrameReader::Result FrameReader::Next(std::string* payload) {
+  size_t len = 0;
+  const Result result = PeekFrame(&len);
+  if (result != Result::kFrame) return result;
   payload->assign(buffer_, pos_ + 4, len);
+  pos_ += 4 + len;
+  return Result::kFrame;
+}
+
+FrameReader::Result FrameReader::NextView(std::string_view* payload) {
+  size_t len = 0;
+  const Result result = PeekFrame(&len);
+  if (result != Result::kFrame) return result;
+  *payload = std::string_view(buffer_).substr(pos_ + 4, len);
   pos_ += 4 + len;
   return Result::kFrame;
 }
@@ -305,6 +339,12 @@ bool DecodeRequest(std::string_view payload, Request* request,
 
 std::string EncodeReply(const Reply& reply) {
   std::string out;
+  EncodeReplyInto(reply, &out);
+  return out;
+}
+
+void EncodeReplyInto(const Reply& reply, std::string* out_ptr) {
+  std::string& out = *out_ptr;
   size_t estimate = 128 + EstimateTupleBytes(reply.tuple) +
                     32 * reply.parked.size() + reply.error.size();
   for (const std::string& path : reply.placement) estimate += 8 + path.size();
@@ -312,7 +352,7 @@ std::string EncodeReply(const Reply& reply) {
   for (const BatchItem& item : reply.items) {
     estimate += 8 + EstimateTupleBytes(item.tuple);
   }
-  out.reserve(estimate);
+  out.reserve(out.size() + estimate);
   PutU8(static_cast<uint8_t>(reply.status), &out);
   PutU8(reply.has_tuple ? 1 : 0, &out);
   PutTuple(reply.tuple, &out);
@@ -349,7 +389,8 @@ std::string EncodeReply(const Reply& reply) {
   PutU8(reply.decision, &out);
   PutU64(reply.txn_prepares, &out);
   PutU64(reply.txn_cross_server, &out);
-  return out;
+  PutU64(reply.wal_group_commits, &out);
+  PutU64(reply.wal_synced_bytes, &out);
 }
 
 bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
@@ -436,19 +477,29 @@ bool DecodeReply(std::string_view payload, Reply* reply, std::string* error) {
       !r.TakeU64(&reply->txn_cross_server)) {
     return Fail(error, "reply: truncated transaction counters");
   }
+  if (!r.TakeU64(&reply->wal_group_commits) ||
+      !r.TakeU64(&reply->wal_synced_bytes)) {
+    return Fail(error, "reply: truncated wal counters");
+  }
   if (!r.AtEnd()) return Fail(error, "reply: trailing bytes");
   return true;
 }
 
 std::string EncodeLogEntry(const LogEntry& entry) {
   std::string out;
+  EncodeLogEntryInto(entry, &out);
+  return out;
+}
+
+void EncodeLogEntryInto(const LogEntry& entry, std::string* out_ptr) {
+  std::string& out = *out_ptr;
   size_t estimate = 48 + EstimateTupleBytes(entry.tuple) +
                     EstimateTupleBytes(entry.continuation);
   for (const Tuple& t : entry.outs) estimate += EstimateTupleBytes(t);
   for (const BatchEffect& e : entry.effects) {
     estimate += 8 + EstimateTupleBytes(e.tuple);
   }
-  out.reserve(estimate);
+  out.reserve(out.size() + estimate);
   PutU8(static_cast<uint8_t>(entry.kind), &out);
   PutI32(entry.pid, &out);
   PutI32(entry.incarnation, &out);
@@ -471,7 +522,6 @@ std::string EncodeLogEntry(const LogEntry& entry) {
   PutU8(entry.decision, &out);
   PutU32(static_cast<uint32_t>(entry.participants.size()), &out);
   for (uint32_t k : entry.participants) PutU32(k, &out);
-  return out;
 }
 
 bool DecodeLogEntry(std::string_view payload, LogEntry* entry,

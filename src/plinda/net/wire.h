@@ -71,20 +71,37 @@ struct ByteReader {
 
 /// Incremental frame extractor for a byte stream. Feed bytes as they arrive;
 /// Next() yields complete frame payloads in order.
+///
+/// Two zero-copy paths avoid the per-read and per-frame copies of the
+/// Feed()/Next() pair: WriteBuffer()/CommitWrite() let the caller read(2)
+/// straight into the reassembly buffer, and NextView() hands out a view of
+/// the frame payload in place. A NextView() view is valid only until the
+/// next WriteBuffer/Feed/Next*/ call — parse it before pumping more bytes.
 class FrameReader {
  public:
   enum class Result { kFrame, kNeedMore, kError };
 
   void Feed(const char* data, size_t n);
+  /// Reserves `n` writable bytes at the tail of the reassembly buffer and
+  /// returns a pointer to them (for a direct read(2) into the buffer).
+  /// Follow with CommitWrite(m) for the m <= n bytes actually read.
+  char* WriteBuffer(size_t n);
+  void CommitWrite(size_t n);
   /// kFrame: `*payload` holds the next complete frame. kNeedMore: feed more
   /// bytes. kError: the stream is corrupt (oversized frame); the reader
   /// stays broken.
   Result Next(std::string* payload);
+  /// Like Next() but yields a view into the reassembly buffer instead of
+  /// copying the payload out.
+  Result NextView(std::string_view* payload);
   const std::string& error() const { return error_; }
 
  private:
+  Result PeekFrame(size_t* len);
+
   std::string buffer_;
   size_t pos_ = 0;
+  size_t write_base_ = 0;
   std::string error_;
   bool broken_ = false;
 };
@@ -275,9 +292,16 @@ struct Reply {
   /// cross-server transactions this server coordinated.
   uint64_t txn_prepares = 0;
   uint64_t txn_cross_server = 0;
+  /// kStats: WAL group-commit observability — durable batches flushed
+  /// (writev + fdatasync; one per append in single-threaded mode) and the
+  /// log bytes those batches made durable.
+  uint64_t wal_group_commits = 0;
+  uint64_t wal_synced_bytes = 0;
 };
 
 std::string EncodeReply(const Reply& reply);
+/// Appends the encoded reply to `out` without building a temporary string.
+void EncodeReplyInto(const Reply& reply, std::string* out);
 bool DecodeReply(std::string_view payload, Reply* reply, std::string* error);
 
 // --- Write-ahead log ------------------------------------------------------
@@ -367,6 +391,9 @@ struct LogEntry {
 };
 
 std::string EncodeLogEntry(const LogEntry& entry);
+/// Appends the encoded entry to `out` — lets the server reuse one encode
+/// buffer across appends instead of allocating a string per mutation.
+void EncodeLogEntryInto(const LogEntry& entry, std::string* out);
 bool DecodeLogEntry(std::string_view payload, LogEntry* entry,
                     std::string* error);
 

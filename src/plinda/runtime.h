@@ -138,6 +138,11 @@ struct RuntimeOptions {
   /// write, so the server process exits fatally (exit code 1). The
   /// supervisor must fail the run with a structured kServerDead error.
   int distributed_wal_fail_after = 0;
+  /// kDistributed: worker threads per shard server. 0 = server default
+  /// (FPDM_SERVER_THREADS env, else min(4, hardware cores)); 1 = the
+  /// single-threaded serve loop (bit-identical legacy path); N > 1 = epoll
+  /// I/O thread + N strand workers + a group-commit WAL writer.
+  int distributed_server_threads = 0;
 };
 
 /// One entry of the process-watch trace (the programmatic equivalent of
@@ -257,6 +262,13 @@ struct RuntimeStats {
   /// ins shared its coordinator (the fast path skips the prepare round).
   uint64_t dist_txn_prepares = 0;
   uint64_t dist_txn_cross_server = 0;
+  /// kDistributed: group-commit WAL batches the shard servers wrote and the
+  /// WAL bytes they made durable, summed over the servers.
+  /// wal_synced_bytes / wal_group_commits is the mean batch size; with one
+  /// thread each batch is a single entry (the legacy write-per-mutation
+  /// path), with workers it measures how well group commit coalesces.
+  uint64_t wal_group_commits = 0;
+  uint64_t wal_synced_bytes = 0;
 };
 
 /// A PLinda network of workstations, in one of two execution modes.

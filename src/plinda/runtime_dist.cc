@@ -469,6 +469,7 @@ bool Runtime::RunDistributed() {
     sopts.die_in_doubt_after = options_.distributed_die_in_doubt_after;
     sopts.die_after_prepared = options_.distributed_die_after_prepared;
     sopts.wal_fail_after = options_.distributed_wal_fail_after;
+    sopts.threads = options_.distributed_server_threads;
     return sopts;
   };
 
@@ -1080,6 +1081,8 @@ bool Runtime::RunDistributed() {
       stats_.batched_tuple_ops += server_stats.batched_ops;
       stats_.dist_txn_prepares += server_stats.txn_prepares;
       stats_.dist_txn_cross_server += server_stats.txn_cross_server;
+      stats_.wal_group_commits += server_stats.wal_group_commits;
+      stats_.wal_synced_bytes += server_stats.wal_synced_bytes;
       for (Tuple& tuple : leg_take[static_cast<size_t>(k)].tuples) {
         space_.Out(std::move(tuple));
       }

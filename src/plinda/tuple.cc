@@ -1,5 +1,6 @@
 #include "plinda/tuple.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -186,6 +187,9 @@ bool DeserializeTuple(std::string_view data, size_t* pos, Tuple* tuple) {
   tuple->fields.clear();
   size_t arity = 0;
   if (!ParseSize(data, pos, &arity)) return false;
+  // Each field costs at least 2 encoded bytes, so a bounded reserve cannot
+  // be tricked into a huge allocation by a corrupt arity.
+  tuple->fields.reserve(std::min(arity, (data.size() - *pos) / 2 + 1));
   for (size_t i = 0; i < arity; ++i) {
     Value v;
     if (!ParseValue(data, pos, &v)) return false;
@@ -212,6 +216,7 @@ bool DeserializeTemplate(std::string_view data, size_t* pos,
   tmpl->fields.clear();
   size_t arity = 0;
   if (!ParseSize(data, pos, &arity)) return false;
+  tmpl->fields.reserve(std::min(arity, (data.size() - *pos) / 2 + 1));
   for (size_t i = 0; i < arity; ++i) {
     if (*pos >= data.size()) return false;
     char kind = data[(*pos)++];

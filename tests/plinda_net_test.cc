@@ -94,6 +94,8 @@ TEST(WireCodecTest, ReplyRoundTrip) {
   reply.cross_shard_ops = 1;
   reply.publish_epoch = 99;
   reply.parked = {{2, true, "(\"task\", ?int)"}, {5, false, "(\"x\")"}};
+  reply.wal_group_commits = 41;
+  reply.wal_synced_bytes = 12345;
   reply.error = "";
   std::string error;
   Reply back;
@@ -111,6 +113,8 @@ TEST(WireCodecTest, ReplyRoundTrip) {
   EXPECT_TRUE(back.parked[0].remove);
   EXPECT_EQ(back.parked[0].tmpl_text, "(\"task\", ?int)");
   EXPECT_FALSE(back.parked[1].remove);
+  EXPECT_EQ(back.wal_group_commits, 41u);
+  EXPECT_EQ(back.wal_synced_bytes, 12345u);
 }
 
 TEST(WireCodecTest, LogEntryRoundTrip) {
@@ -395,17 +399,23 @@ class RawClient {
 
   bool Receive(Reply* reply) {
     std::string payload;
+    if (!ReceiveRaw(&payload)) return false;
+    std::string error;
+    return DecodeReply(payload, reply, &error);
+  }
+
+  /// Like Receive, but hands back the undecoded frame payload — for tests
+  /// that compare reply streams byte for byte.
+  bool ReceiveRaw(std::string* payload) {
     char buf[4096];
     for (;;) {
-      const FrameReader::Result result = reader_.Next(&payload);
-      if (result == FrameReader::Result::kFrame) break;
+      const FrameReader::Result result = reader_.Next(payload);
+      if (result == FrameReader::Result::kFrame) return true;
       if (result == FrameReader::Result::kError) return false;
       const ssize_t n = ::read(fd_, buf, sizeof(buf));
       if (n <= 0) return false;
       reader_.Feed(buf, static_cast<size_t>(n));
     }
-    std::string error;
-    return DecodeReply(payload, reply, &error);
   }
 
  private:
@@ -1852,6 +1862,7 @@ class ShardedNetIntegrationTest : public ::testing::Test {
       sopts.checkpoint_every_ops = 4;
       sopts.server_index = static_cast<int>(k);
       sopts.placement = placement_;
+      sopts.sndbuf_bytes = SndbufBytes();
       const pid_t pid = ForkServerProcess(sopts);
       ASSERT_GT(pid, 0);
       server_pids_.push_back(pid);
@@ -1928,6 +1939,10 @@ class ShardedNetIntegrationTest : public ::testing::Test {
     }
     return {prepares, cross};
   }
+
+  /// Override to shrink every server socket's SO_SNDBUF (short-write
+  /// stress); 0 keeps the kernel default.
+  virtual int SndbufBytes() const { return 0; }
 
   std::string dir_;
   std::vector<std::string> placement_;
@@ -2198,6 +2213,183 @@ TEST_F(ShardedNetIntegrationTest, XRecoverScatterReturnsNewestContinuation) {
   // nothing.
   EXPECT_EQ(respawned.XRecover(&cont), CallStatus::kNotFound);
   respawned.Bye();
+}
+
+// ---------------------------------------------------------------------------
+// Short-write stress (tiny SO_SNDBUF) and threaded-serve equivalence
+// ---------------------------------------------------------------------------
+
+TEST_F(NetIntegrationTest, TinySndbufShortWritesLoseNoReplyBytes) {
+  StopServer();
+  sopts_.sndbuf_bytes = 4096;  // kernel clamps upward, still << one reply
+  StartServer();
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect());
+  const std::string big(64 * 1024, 'x');
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(client.Out(MakeTuple("blob", i, big)), CallStatus::kOk);
+  }
+  // Each reply (~64 KiB of tuple) dwarfs the send buffer, so the server
+  // needs many partial write(2) rounds per reply — EPOLLOUT plus the
+  // sent-offset cursor. Every byte must arrive, in FIFO order.
+  const Template tmpl = MakeTemplate(A("blob"), F(ValueType::kInt),
+                                     F(ValueType::kString));
+  for (int i = 0; i < 8; ++i) {
+    Tuple got;
+    ASSERT_EQ(client.In(tmpl, /*blocking=*/false, /*remove=*/true, &got),
+              CallStatus::kOk);
+    EXPECT_EQ(GetInt(got, 1), i);
+    EXPECT_EQ(GetString(got, 2), big);
+  }
+  uint64_t count = 1;
+  ASSERT_EQ(client.Count(tmpl, &count), CallStatus::kOk);
+  EXPECT_EQ(count, 0u);  // nothing dropped, nothing duplicated
+  client.Bye();
+}
+
+class ShortWriteShardedNetTest : public ShardedNetIntegrationTest {
+ protected:
+  int SndbufBytes() const override { return 4096; }
+};
+
+TEST_F(ShortWriteShardedNetTest, PeerForwardsSurviveShortWrites) {
+  ShardedRemoteSpace client(ShardedOptions(2));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+  const std::string big(16 * 1024, 'f');
+  const std::string home_key = KeyForServer(0, 2);
+  std::vector<std::string> foreign_keys;
+  for (size_t k = 1; k < kServers; ++k) {
+    foreign_keys.push_back(KeyForServer(k, 3));
+  }
+  // Every commit forwards large foreign outs from the home server to the
+  // other owners. The peer links must cut each forward into many short
+  // writes without dropping, truncating, or reordering a frame.
+  constexpr int kRounds = 12;
+  for (int r = 0; r < kRounds; ++r) {
+    ASSERT_EQ(client.Out(MakeTuple(home_key, r)), CallStatus::kOk);
+    ASSERT_EQ(client.XStart(), CallStatus::kOk);
+    Tuple task;
+    ASSERT_EQ(client.In(MakeTemplate(A(home_key), F(ValueType::kInt)),
+                        /*blocking=*/true, /*remove=*/true, &task),
+              CallStatus::kOk);
+    std::vector<Tuple> outs;
+    for (const std::string& key : foreign_keys) {
+      outs.push_back(MakeTuple(key, static_cast<int64_t>(r), big));
+    }
+    ASSERT_EQ(client.XCommit(outs, /*has_continuation=*/false, Tuple{}),
+              CallStatus::kOk);
+  }
+  // Forwards apply asynchronously on the owners: wait until all arrived.
+  const Template res_tmpl = MakeTemplate(
+      F(ValueType::kString), F(ValueType::kInt), F(ValueType::kString));
+  const uint64_t expect = kRounds * (kServers - 1);
+  uint64_t count = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  do {
+    ASSERT_EQ(client.Count(res_tmpl, &count), CallStatus::kOk);
+    if (count == expect) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  } while (std::chrono::steady_clock::now() < deadline);
+  ASSERT_EQ(count, expect);  // no forward was dropped
+  // And every forwarded payload arrived byte-identical.
+  for (const std::string& key : foreign_keys) {
+    std::set<int64_t> seen;
+    for (int r = 0; r < kRounds; ++r) {
+      Tuple got;
+      ASSERT_EQ(client.In(MakeTemplate(A(key), F(ValueType::kInt),
+                                       F(ValueType::kString)),
+                          /*blocking=*/true, /*remove=*/true, &got),
+                CallStatus::kOk);
+      EXPECT_EQ(GetString(got, 2), big);
+      seen.insert(GetInt(got, 1));
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kRounds)) << key;
+  }
+  client.Bye();
+}
+
+TEST_F(NetIntegrationTest, ThreadedServeAnswersByteIdenticalToSingle) {
+  // One scripted client session, replayed against a single-threaded server
+  // and a 4-worker threaded server on fresh state: the raw reply streams
+  // must match byte for byte (the threaded loop keeps per-connection FIFO
+  // through the strand scheduler and the durability-gated release).
+  const auto run = [&](int threads, std::vector<std::string>* replies) {
+    StopServer();
+    sopts_.threads = threads;
+    sopts_.state_dir = dir_ + "/state.t" + std::to_string(threads);
+    StartServer();
+    RawClient c(sopts_.socket_path);
+    ASSERT_TRUE(c.ok());
+    const auto roundtrip = [&](const Request& req) {
+      ASSERT_TRUE(c.Send(req));
+      std::string raw;
+      ASSERT_TRUE(c.ReceiveRaw(&raw));
+      replies->push_back(std::move(raw));
+    };
+    Request hello;
+    hello.op = Op::kHello;
+    hello.pid = 9;
+    roundtrip(hello);
+    uint64_t seq = 0;
+    for (int i = 0; i < 3; ++i) {
+      Request out;
+      out.op = Op::kOut;
+      out.pid = 9;
+      out.seq = ++seq;
+      out.tuple = MakeTuple("job", i, std::string(2048, 'j'));
+      roundtrip(out);
+    }
+    const Template tmpl = MakeTemplate(A("job"), F(ValueType::kInt),
+                                       F(ValueType::kString));
+    Request rd;
+    rd.op = Op::kIn;
+    rd.pid = 9;
+    rd.seq = ++seq;
+    rd.tmpl = tmpl;
+    roundtrip(rd);  // non-destructive, non-blocking read
+    Request take;
+    take.op = Op::kIn;
+    take.pid = 9;
+    take.seq = ++seq;
+    take.flags = kInRemove;
+    take.tmpl = tmpl;
+    roundtrip(take);
+    Request cnt;
+    cnt.op = Op::kCount;
+    cnt.pid = 9;
+    cnt.seq = ++seq;
+    cnt.tmpl = tmpl;
+    roundtrip(cnt);
+    Request xstart;
+    xstart.op = Op::kXStart;
+    xstart.pid = 9;
+    xstart.seq = ++seq;
+    roundtrip(xstart);
+    Request txn_take = take;
+    txn_take.seq = ++seq;
+    roundtrip(txn_take);
+    Request commit;
+    commit.op = Op::kXCommit;
+    commit.pid = 9;
+    commit.seq = ++seq;
+    commit.outs = {MakeTuple("res", 1), MakeTuple("res", 2)};
+    roundtrip(commit);
+    Request miss;
+    miss.op = Op::kIn;
+    miss.pid = 9;
+    miss.seq = ++seq;
+    miss.tmpl = MakeTemplate(A("missing"), F(ValueType::kInt));
+    roundtrip(miss);  // kNotFound is part of the stream too
+  };
+  std::vector<std::string> single;
+  std::vector<std::string> threaded;
+  run(1, &single);
+  run(4, &threaded);
+  ASSERT_EQ(single.size(), threaded.size());
+  for (size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i], threaded[i]) << "reply " << i;
+  }
 }
 
 }  // namespace

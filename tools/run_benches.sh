@@ -4,8 +4,11 @@
 #   BENCH_scaling.json — kRealParallel / kDistributed wall-clock scaling vs
 #                        worker count, plus the multi-server shard-placement
 #                        series (BM_ScalingDistributedApriori/<workers>/<servers>
-#                        sweeps 1/2/4 shard servers at the largest fleet;
-#                        the speedup curve is only visible on a multicore
+#                        sweeps 1/2/4 shard servers at the largest fleet)
+#                        and the server-saturation series
+#                        (BM_ServerSaturation/<clients>/<server-threads>,
+#                        items/s + p99 + WAL group-commit counters; the
+#                        speedup curves are only visible on a multicore
 #                        host — check the hw_threads counter)
 # Usage: tools/run_benches.sh [--quick] [build-dir] [out-dir]
 #   --quick    shrink per-benchmark min time for a CI smoke run; the numbers
