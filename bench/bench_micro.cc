@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "arm/apriori.h"
 #include "arm/problem.h"
@@ -63,14 +66,35 @@ BENCHMARK(BM_TupleSpaceMatchMiss);
 // items/s ratio between the two rows is the headline batching win.
 class WireBench {
  public:
-  WireBench() {
+  /// `tcp` swaps the Unix-domain socket for loopback TCP (port 0, the
+  /// server publishes the kernel-assigned port through the
+  /// resolved-endpoint file) — the transport axis of the wire benches.
+  explicit WireBench(bool tcp = false) {
     dir_ = plinda::net::MakeStateDir();
-    sopts_.socket_path = dir_ + "/space.sock";
+    std::string endpoint = dir_ + "/space.sock";
+    sopts_.endpoint = tcp ? "tcp:127.0.0.1:0" : endpoint;
+    if (tcp) sopts_.resolved_endpoint_file = dir_ + "/endpoint";
     sopts_.state_dir = dir_ + "/state";
     server_pid_ = plinda::net::ForkServerProcess(sopts_);
-    plinda::net::WaitForSocket(sopts_.socket_path, 10.0);
+    if (tcp) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      endpoint.clear();
+      while (endpoint.empty() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::ifstream in(sopts_.resolved_endpoint_file);
+        std::getline(in, endpoint);
+        if (endpoint.empty()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      if (endpoint.empty()) return;  // ok_ stays false
+      plinda::net::WaitForEndpoint(endpoint, 10.0);
+    } else {
+      plinda::net::WaitForSocket(endpoint, 10.0);
+    }
     plinda::net::RemoteSpaceOptions copts;
-    copts.socket_path = sopts_.socket_path;
+    copts.endpoint = endpoint;
     copts.pid = 1;
     client_ = std::make_unique<plinda::net::RemoteTupleSpace>(copts);
     ok_ = client_->Connect();
@@ -154,6 +178,34 @@ void BM_WireBatchedOutIn(benchmark::State& state) {
   bench.FillCounters(state);
 }
 BENCHMARK(BM_WireBatchedOutIn)->UseRealTime();
+
+// The same batched out/in workload over loopback TCP — the transport axis.
+// The delta against BM_WireBatchedOutIn is pure transport cost (TCP/IP
+// stack + TCP_NODELAY small-frame behavior vs a Unix-domain socket).
+void BM_WireBatchedOutInTcp(benchmark::State& state) {
+  using namespace plinda;
+  WireBench bench(/*tcp=*/true);
+  if (!bench.ok()) {
+    state.SkipWithError("server connect failed");
+    return;
+  }
+  const Template query = MakeTemplate(A("w"), F(ValueType::kInt));
+  for (auto _ : state) {
+    for (int i = 0; i < kWireOps; ++i) {
+      bench.client().BatchOut(MakeTuple("w", i));
+    }
+    for (int i = 0; i < kWireOps; ++i) {
+      bench.client().BatchIn(query, /*remove=*/true);
+    }
+    if (bench.client().Flush() != net::RemoteTupleSpace::CallStatus::kOk) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kWireOps * 2);
+  bench.FillCounters(state);
+}
+BENCHMARK(BM_WireBatchedOutInTcp)->UseRealTime();
 
 void BM_SuffixTreeBuild(benchmark::State& state) {
   seqmine::ProteinSetConfig config = seqmine::CyclinsLikeConfig();

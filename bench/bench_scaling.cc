@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -282,7 +283,7 @@ BENCHMARK(BM_ScatterGatherDistributed)
 // of the epoll I/O thread + strand workers + group-commit WAL over the
 // single-threaded serve loop on the same protocol. p99 burst latency (µs)
 // rides along so a throughput win bought with a latency collapse shows up.
-void BM_ServerSaturation(benchmark::State& state) {
+void ServerSaturationImpl(benchmark::State& state, bool tcp) {
   using namespace plinda;
   const int clients = static_cast<int>(state.range(0));
   const int server_threads = static_cast<int>(state.range(1));
@@ -290,11 +291,34 @@ void BM_ServerSaturation(benchmark::State& state) {
   constexpr int kRounds = 48;  // bursts per client per iteration
   const std::string dir = net::MakeStateDir();
   net::SpaceServerOptions sopts;
-  sopts.socket_path = dir + "/space.sock";
+  std::string endpoint = dir + "/space.sock";
+  sopts.endpoint = tcp ? "tcp:127.0.0.1:0" : endpoint;
+  if (tcp) sopts.resolved_endpoint_file = dir + "/endpoint";
   sopts.state_dir = dir + "/state";
   sopts.threads = server_threads;
   const pid_t server_pid = net::ForkServerProcess(sopts);
-  if (server_pid <= 0 || !net::WaitForSocket(sopts.socket_path, 10.0)) {
+  if (server_pid <= 0) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  if (tcp) {
+    // The server binds port 0 and publishes the kernel-assigned port
+    // through the resolved-endpoint file.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    endpoint.clear();
+    while (endpoint.empty() && std::chrono::steady_clock::now() < deadline) {
+      std::ifstream in(sopts.resolved_endpoint_file);
+      std::getline(in, endpoint);
+      if (endpoint.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    if (endpoint.empty() || !net::WaitForEndpoint(endpoint, 10.0)) {
+      state.SkipWithError("server start failed");
+      return;
+    }
+  } else if (!net::WaitForSocket(endpoint, 10.0)) {
     state.SkipWithError("server start failed");
     return;
   }
@@ -308,7 +332,7 @@ void BM_ServerSaturation(benchmark::State& state) {
     for (int c = 0; c < clients; ++c) {
       fleet.emplace_back([&, c] {
         net::RemoteSpaceOptions copts;
-        copts.socket_path = sopts.socket_path;
+        copts.endpoint = endpoint;
         copts.pid = pid_base + c + 1;
         net::RemoteTupleSpace client(copts);
         if (!client.Connect()) {
@@ -348,7 +372,7 @@ void BM_ServerSaturation(benchmark::State& state) {
   }
   {  // group-commit WAL counters straight from the server's STATS
     net::RemoteSpaceOptions copts;
-    copts.socket_path = sopts.socket_path;
+    copts.endpoint = endpoint;
     copts.pid = -1;  // control connection
     net::RemoteTupleSpace ctl(copts);
     net::Reply stats;
@@ -375,9 +399,26 @@ void BM_ServerSaturation(benchmark::State& state) {
   state.counters["clients"] = static_cast<double>(clients);
   state.counters["server_threads"] = static_cast<double>(server_threads);
 }
+
+void BM_ServerSaturation(benchmark::State& state) {
+  ServerSaturationImpl(state, /*tcp=*/false);
+}
 BENCHMARK(BM_ServerSaturation)
     ->Args({1, 1})
     ->Args({8, 1})
+    ->Args({8, 4})
+    ->Iterations(3)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The transport axis: the same saturation workload over loopback TCP. The
+// delta against the matching BM_ServerSaturation rows is pure transport
+// cost; the {8,4} row doubles as the multi-client TCP soak.
+void BM_ServerSaturationTcp(benchmark::State& state) {
+  ServerSaturationImpl(state, /*tcp=*/true);
+}
+BENCHMARK(BM_ServerSaturationTcp)
+    ->Args({1, 1})
     ->Args({8, 4})
     ->Iterations(3)
     ->UseRealTime()

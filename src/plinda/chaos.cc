@@ -34,6 +34,14 @@ int FaultPlan::server_crashes() const {
   return count;
 }
 
+int FaultPlan::server_partitions() const {
+  int count = 0;
+  for (const FaultEvent& event : events) {
+    if (event.kind == FaultEvent::Kind::kServerPartition) ++count;
+  }
+  return count;
+}
+
 int FaultPlan::machine_failures() const {
   int count = 0;
   for (const FaultEvent& event : events) {
@@ -63,9 +71,17 @@ std::string ToString(const FaultEvent& event) {
     case FaultEvent::Kind::kServerRecover:
       kind = "SERVER_RECOVER";
       break;
+    case FaultEvent::Kind::kServerPartition:
+      kind = "SERVER_PARTITION";
+      break;
+    case FaultEvent::Kind::kServerHeal:
+      kind = "SERVER_HEAL";
+      break;
   }
   const bool server_event = event.kind == FaultEvent::Kind::kServerCrash ||
-                            event.kind == FaultEvent::Kind::kServerRecover;
+                            event.kind == FaultEvent::Kind::kServerRecover ||
+                            event.kind == FaultEvent::Kind::kServerPartition ||
+                            event.kind == FaultEvent::Kind::kServerHeal;
   const char* torn = event.torn_tail ? " (torn WAL tail)" : "";
   char buf[112];
   if (server_event && event.machine >= 0) {
@@ -181,6 +197,28 @@ FaultPlan GenerateFaultPlan(int num_machines, const ChaosOptions& options) {
     }
   }
 
+  // Network partitions, drawn strictly AFTER every machine/server draw:
+  // enabling them (or changing their knobs) never reshuffles the schedule
+  // an existing seed produced without them. The heal is always scheduled —
+  // possibly beyond the horizon — so no server stays cut off forever.
+  if (options.partition_mttf > 0) {
+    double t = options.start_time + Exponential(&rng, options.partition_mttf);
+    int partitions = 0;
+    while (t < options.horizon && partitions < options.max_partitions) {
+      const double heal = t + Exponential(&rng, options.partition_duration);
+      const int victim =
+          options.num_servers > 1
+              ? static_cast<int>(rng.NextInt(0, options.num_servers - 1))
+              : -1;
+      plan.events.push_back(
+          FaultEvent{FaultEvent::Kind::kServerPartition, t, victim});
+      plan.events.push_back(
+          FaultEvent{FaultEvent::Kind::kServerHeal, heal, victim});
+      ++partitions;
+      t = heal + Exponential(&rng, options.partition_mttf);
+    }
+  }
+
   std::sort(plan.events.begin(), plan.events.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
               if (a.time != b.time) return a.time < b.time;
@@ -206,6 +244,12 @@ void InstallFaultPlan(Runtime* runtime, const FaultPlan& plan) {
         break;
       case FaultEvent::Kind::kServerRecover:
         runtime->ScheduleServerRecovery(event.time, event.machine);
+        break;
+      case FaultEvent::Kind::kServerPartition:
+        runtime->ScheduleServerPartition(event.time, event.machine);
+        break;
+      case FaultEvent::Kind::kServerHeal:
+        runtime->ScheduleServerHeal(event.time, event.machine);
         break;
     }
   }

@@ -61,6 +61,18 @@ struct ChaosOptions {
   /// at 1 the events carry index -1, the "the server" of a single-server
   /// runtime. The simulator's single logical server ignores the index.
   int num_servers = 1;
+
+  /// Network partitions: mean time to the next link cut (<= 0 disables
+  /// them), mean partition duration, and a cap on partitions per plan.
+  /// Unlike a server crash the victim keeps running — its connections are
+  /// dropped and its traffic blackholed until the heal, exercising
+  /// reconnect/resend and the 2PC in-doubt machinery over a lossy link.
+  /// Partition draws happen AFTER every other draw, so enabling them never
+  /// reshuffles the machine/server schedule of an existing seed.
+  /// kDistributed only; the simulator ignores partition events.
+  double partition_mttf = 0;
+  double partition_duration = 1.0;
+  int max_partitions = 2;
 };
 
 /// One scheduled fault. Machine events carry the machine index; server
@@ -72,6 +84,8 @@ struct FaultEvent {
     kMachineRecover,
     kServerCrash,
     kServerRecover,
+    kServerPartition,  // link cut: the server keeps running, unreachable
+    kServerHeal,       // link restored: peers/clients reconnect and resend
   };
   Kind kind = Kind::kMachineCrash;
   double time = 0;
@@ -88,6 +102,8 @@ struct FaultPlan {
   bool empty() const { return events.empty(); }
   /// Number of server crashes in the plan.
   int server_crashes() const;
+  /// Number of network partitions in the plan.
+  int server_partitions() const;
   /// Number of machine crash/retreat events in the plan.
   int machine_failures() const;
 };

@@ -4,13 +4,14 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "plinda/net/endpoint.h"
 
 namespace fpdm::plinda::net {
 
@@ -130,28 +131,21 @@ void RemoteTupleSpace::BackoffSleep() {
 
 bool RemoteTupleSpace::EnsureConnected() {
   if (fd_ >= 0) return true;
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  // A structurally unusable endpoint — malformed grammar, or a unix path
+  // that would truncate into the fixed 108-byte sun_path and connect to a
+  // nonexistent socket forever — fails fast with a structured error
+  // instead of burning the whole reconnect window.
+  std::string error;
+  if (!EndpointUsable(options_.endpoint, &error)) {
+    last_error_ = error;
+    endpoint_bad_ = true;
+    return false;
+  }
+  Endpoint endpoint;
+  ParseEndpoint(options_.endpoint, &endpoint, nullptr);
+  const int fd = ConnectEndpoint(endpoint);
   if (fd < 0) return false;
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    // Truncating into the fixed 108-byte sun_path would connect to a
-    // nonexistent socket forever; fail fast with a structured error
-    // instead of burning the whole reconnect window.
-    ::close(fd);
-    last_error_ = "socket path exceeds the sun_path limit (" +
-                  std::to_string(sizeof(addr.sun_path)) +
-                  " bytes): " + options_.socket_path;
-    path_too_long_ = true;
-    return false;
-  }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
-  }
+  if (endpoint.kind == Endpoint::Kind::kTcp) ApplyTcpSocketOptions(fd);
   fd_ = fd;
   reader_ = FrameReader{};
   if (options_.pid < 0) {  // control connections skip HELLO
@@ -353,7 +347,7 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::SyncFlush(
       deadline = Clock::now() + window;
       deadline_armed = true;
     }
-    if (path_too_long_) {
+    if (endpoint_bad_) {
       queued_.clear();
       return CallStatus::kWireError;
     }
@@ -377,7 +371,7 @@ bool RemoteTupleSpace::Connect() {
                          std::chrono::duration<double>(
                              options_.reconnect_timeout_s));
   while (!EnsureConnected()) {
-    if (path_too_long_ || Clock::now() >= deadline) return false;
+    if (endpoint_bad_ || Clock::now() >= deadline) return false;
     BackoffSleep();
   }
   return true;
@@ -632,7 +626,7 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::FinishPipeline(Reply* reply) {
       deadline = Clock::now() + window;
       deadline_armed = true;
     }
-    if (path_too_long_) {
+    if (endpoint_bad_) {
       pipeline_.clear();
       return CallStatus::kWireError;
     }
@@ -825,6 +819,14 @@ RemoteTupleSpace::CallStatus RemoteTupleSpace::Shutdown() {
   return Call(request, &reply);
 }
 
+RemoteTupleSpace::CallStatus RemoteTupleSpace::ChaosPartition(bool start) {
+  Request request;
+  request.op = Op::kChaosPartition;
+  request.flags = start ? 1 : 0;
+  Reply reply;
+  return Call(request, &reply);
+}
+
 // --- ShardedRemoteSpace ---------------------------------------------------
 
 namespace {
@@ -841,9 +843,9 @@ Template AllActuals(const Tuple& tuple) {
 }
 
 RemoteSpaceOptions LegOptions(const ShardedRemoteOptions& options,
-                              std::string socket_path) {
+                              std::string endpoint) {
   RemoteSpaceOptions leg;
-  leg.socket_path = std::move(socket_path);
+  leg.endpoint = std::move(endpoint);
   leg.pid = options.pid;
   leg.incarnation = options.incarnation;
   leg.reconnect_timeout_s = options.reconnect_timeout_s;
@@ -865,13 +867,13 @@ bool ShardedRemoteSpace::Connect() {
     // server. A pre-placement server replies with an empty map — degrade
     // to single-leg mode.
     auto leg0 = std::make_unique<RemoteTupleSpace>(
-        LegOptions(options_, options_.socket_path));
+        LegOptions(options_, options_.endpoint));
     if (!leg0->Connect()) {
       last_error_ = leg0->last_error();
       return false;
     }
     placement = leg0->placement();
-    if (placement.empty()) placement.push_back(options_.socket_path);
+    if (placement.empty()) placement.push_back(options_.endpoint);
     legs_.push_back(std::move(leg0));
     next = 1;
   }

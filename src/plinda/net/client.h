@@ -14,7 +14,9 @@
 namespace fpdm::plinda::net {
 
 struct RemoteSpaceOptions {
-  std::string socket_path;
+  /// Server endpoint: "unix:<path>" or "tcp:<host>:<port>" (a bare string
+  /// is a Unix-domain path — see plinda/net/endpoint.h).
+  std::string endpoint;
   /// PLinda process id this client speaks for; -1 for control connections
   /// (the runtime supervisor), which skip registration and sequencing.
   int32_t pid = -1;
@@ -108,6 +110,9 @@ class RemoteTupleSpace {
   CallStatus Status(Reply* reply);
   CallStatus Cancel();
   CallStatus Shutdown();
+  /// Chaos fault injection (control connections): cuts (start) or restores
+  /// (heal) the server's network — see Op::kChaosPartition.
+  CallStatus ChaosPartition(bool start);
 
   // --- write coalescing ---------------------------------------------------
   /// Adds a non-blocking sub-op to the open coalescing batch. Nothing is
@@ -226,7 +231,9 @@ class RemoteTupleSpace {
   std::deque<std::string> pipeline_;  // framed, unreplied, FIFO
   size_t pipeline_written_ = 0;  // prefix of pipeline_ on the current conn
   std::vector<std::string> placement_;
-  bool path_too_long_ = false;  // socket path cannot fit sun_path: fatal
+  /// Structurally unusable endpoint (malformed grammar, a unix path that
+  /// cannot fit sun_path): fatal, no point retrying. Detail in last_error_.
+  bool endpoint_bad_ = false;
   std::vector<BatchOp> batch_;  // open coalescing batch
   size_t batch_bytes_ = 0;      // rough encoded-size estimate
   CallStatus deferred_error_ = CallStatus::kOk;
@@ -242,10 +249,10 @@ class RemoteTupleSpace {
 };
 
 struct ShardedRemoteOptions {
-  /// Socket path of server 0, used to bootstrap: the HELLO reply carries
+  /// Endpoint of server 0, used to bootstrap: the HELLO reply carries
   /// the full placement map. Superseded by an explicit `placement`.
-  std::string socket_path;
-  /// Socket path per server index; empty = learn it from the HELLO reply.
+  std::string endpoint;
+  /// Endpoint per server index; empty = learn it from the HELLO reply.
   std::vector<std::string> placement;
   int32_t pid = -1;
   int32_t incarnation = 0;

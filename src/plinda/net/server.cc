@@ -18,6 +18,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "plinda/net/endpoint.h"
+
 namespace fpdm::plinda::net {
 
 namespace {
@@ -142,7 +144,7 @@ SpaceServer::SpaceServer(SpaceServerOptions options)
   if (options_.num_shards < 1) options_.num_shards = 1;
   if (options_.checkpoint_every_ops < 1) options_.checkpoint_every_ops = 1;
   placement_ = options_.placement.empty()
-                   ? std::vector<std::string>{options_.socket_path}
+                   ? std::vector<std::string>{options_.endpoint}
                    : options_.placement;
   if (options_.server_index < 0 ||
       static_cast<size_t>(options_.server_index) >= placement_.size()) {
@@ -1234,6 +1236,26 @@ void SpaceServer::DispatchRequest(Conn& conn, const Request& request,
     conn.close_after_flush = true;
     return;
   }
+  // Chaos partition: while partitioned_, this server is "off the network"
+  // for everyone except the out-of-band control channel (unregistered
+  // conns, pid < 0) that will eventually heal it. Peer traffic and client
+  // traffic are blackholed — no reply, connection dropped — which models a
+  // link cut rather than a crash: durable state stays intact, so a healed
+  // reconnect finds transactions exactly where the partition left them.
+  if (partitioned_ && request.op != Op::kChaosPartition) {
+    const bool peer_op = request.op == Op::kForward ||
+                         request.op == Op::kPrepare ||
+                         request.op == Op::kDecide ||
+                         request.op == Op::kTxnQuery;
+    const bool client_traffic =
+        conn.pid >= 0 || (request.op == Op::kHello && request.pid >= 0);
+    if (peer_op || client_traffic) {
+      conn.saw_bye = true;  // partition drop, not a crash: no crash-abort
+      conn.close_after_flush = true;
+      RequestFlush(conn.fd);
+      return;  // blackholed: no reply
+    }
+  }
   if (request.op == Op::kHello) {
     HandleHello(conn, request);
     return;
@@ -1513,6 +1535,7 @@ void SpaceServer::DispatchRequest(Conn& conn, const Request& request,
         SendError(conn, "forward from a registered client");
         break;
       }
+      conn.is_peer = true;
       const int32_t src = request.pid;
       if (src < 0 || static_cast<size_t>(src) >= peers_.size() ||
           static_cast<size_t>(src) ==
@@ -1544,6 +1567,7 @@ void SpaceServer::DispatchRequest(Conn& conn, const Request& request,
         SendError(conn, "prepare from a registered client");
         break;
       }
+      conn.is_peer = true;
       const int32_t src = request.pid;
       if (src < 0 || static_cast<size_t>(src) >= peers_.size() ||
           static_cast<size_t>(src) ==
@@ -1601,6 +1625,7 @@ void SpaceServer::DispatchRequest(Conn& conn, const Request& request,
         SendError(conn, "decide from a registered client");
         break;
       }
+      conn.is_peer = true;
       const int32_t src = request.pid;
       if (src < 0 || static_cast<size_t>(src) >= peers_.size() ||
           static_cast<size_t>(src) ==
@@ -1640,6 +1665,7 @@ void SpaceServer::DispatchRequest(Conn& conn, const Request& request,
         SendError(conn, "txn query from a registered client");
         break;
       }
+      conn.is_peer = true;
       const TxnKey key{request.txn_pid, request.txn_incarnation,
                        request.txn_seq};
       Reply reply;
@@ -1663,6 +1689,26 @@ void SpaceServer::DispatchRequest(Conn& conn, const Request& request,
       SendReply(conn, Reply{});
       stop_ = true;
       break;
+    case Op::kChaosPartition: {
+      // Chaos control: cut (flags != 0) or heal (flags == 0) this server's
+      // network. Control-channel only — a registered client asking to
+      // partition its own server would be a protocol bug, not a fault
+      // injection.
+      if (conn.pid >= 0) {
+        SendError(conn, "chaos partition from a registered client");
+        break;
+      }
+      if (request.flags != 0) {
+        partitioned_ = true;
+        StartPartitionDrop();
+      } else {
+        // Heal: new connections flow again; peers reconnect and resend
+        // their unacked tails, watermark/dedup absorbing any duplicates.
+        partitioned_ = false;
+      }
+      SendReply(conn, Reply{});
+      break;
+    }
     case Op::kBye:
       conn.saw_bye = true;
       SendReply(conn, Reply{});
@@ -1725,6 +1771,23 @@ void SpaceServer::DropConns(const std::vector<int>& fds) {
     if (!AppendLog(entry)) return;
     ApplyEntry(entry);
     SatisfyWaiters();
+  }
+}
+
+void SpaceServer::StartPartitionDrop() {
+  // Cut every established link — registered clients and inbound peer
+  // channels — by flushing-then-closing, exactly the kBye teardown.
+  // saw_bye suppresses the DropConns crash-abort: the client is alive on
+  // the far side of the cut and will reconnect under the SAME incarnation
+  // after the heal, expecting its open transaction intact. Outbound peer
+  // links are torn down by PumpPeers on the I/O thread (it owns those
+  // fds); unregistered control connections stay up as the heal channel.
+  for (auto& [fd, conn_ptr] : conns_) {
+    Conn& conn = *conn_ptr;
+    if (conn.pid < 0 && !conn.is_peer) continue;
+    conn.saw_bye = true;
+    conn.close_after_flush = true;
+    RequestFlush(fd);
   }
 }
 
@@ -1951,6 +2014,17 @@ void SpaceServer::ReadPeerAcks(size_t k) {
 }
 
 void SpaceServer::PumpPeers() {
+  // Partitioned: hold every outbound link down. Runs on the I/O thread
+  // (which owns the peer fds), so this is also where the partition's
+  // teardown of established links happens; the unacked queues stay intact
+  // and resend in full after the heal, the peers' watermarks absorbing any
+  // duplicates from frames that made it out before the cut.
+  if (partitioned_) {
+    for (PeerLink& peer : peers_) {
+      if (peer.fd >= 0) DropPeer(peer);
+    }
+    return;
+  }
   for (size_t k = 0; k < peers_.size(); ++k) {
     if (k == static_cast<size_t>(options_.server_index)) continue;
     PeerLink& peer = peers_[k];
@@ -1961,24 +2035,13 @@ void SpaceServer::PumpPeers() {
       const auto now = std::chrono::steady_clock::now();
       if (now < peer.next_attempt) continue;
       peer.next_attempt = now + std::chrono::milliseconds(20);
-      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      Endpoint target;
+      if (!ParseEndpoint(placement_[k], &target, nullptr)) continue;
+      const int fd = ConnectEndpoint(target);
       if (fd < 0) continue;
-      sockaddr_un addr;
-      std::memset(&addr, 0, sizeof(addr));
-      addr.sun_family = AF_UNIX;
-      if (placement_[k].size() >= sizeof(addr.sun_path)) {
-        ::close(fd);
-        continue;
-      }
-      std::strncpy(addr.sun_path, placement_[k].c_str(),
-                   sizeof(addr.sun_path) - 1);
-      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0) {
-        ::close(fd);
-        continue;
-      }
       SetNonBlocking(fd);
       ApplySndbuf(fd, options_.sndbuf_bytes);
+      if (target.kind == Endpoint::Kind::kTcp) ApplyTcpSocketOptions(fd);
       peer.fd = fd;
       peer.sent = 0;
       peer.outbuf.clear();
@@ -2182,29 +2245,44 @@ int SpaceServer::Serve() {
   ::signal(SIGPIPE, SIG_IGN);
   if (!Recover()) return 1;
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return 1;
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    // sun_path is a fixed 108-byte field: binding a silently truncated
-    // path would serve on a socket no client ever connects to. Fail loudly
-    // with a distinct exit code the supervisor maps to a structured error.
-    std::fprintf(stderr,
-                 "fpdm server: socket path exceeds sun_path limit "
-                 "(%zu >= %zu bytes): %s\n",
-                 options_.socket_path.size(), sizeof(addr.sun_path),
-                 options_.socket_path.c_str());
-    return 4;
-  }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0 ||
-      ::listen(listen_fd_, 128) != 0 || !SetNonBlocking(listen_fd_)) {
-    return 1;
+  Endpoint listen_ep;
+  {
+    // A structurally unusable endpoint (malformed grammar, a unix path
+    // overflowing the fixed 108-byte sun_path field — binding a silently
+    // truncated path would serve on a socket no client ever connects to)
+    // fails loudly with a distinct exit code the supervisor maps to a
+    // structured error. Transient bind/listen failures stay exit 1.
+    std::string error;
+    if (!EndpointUsable(options_.endpoint, &error)) {
+      std::fprintf(stderr, "fpdm server: %s\n", error.c_str());
+      return 4;
+    }
+    ParseEndpoint(options_.endpoint, &listen_ep, nullptr);
+    tcp_listener_ = listen_ep.kind == Endpoint::Kind::kTcp;
+    if (options_.listen_fd >= 0) {
+      // Supervisor-pre-bound socket (port-0 TCP): already listening; the
+      // concrete port lives in the placement map, not in listen_ep.
+      listen_fd_ = options_.listen_fd;
+    } else {
+      listen_fd_ = ListenEndpoint(&listen_ep, kListenBacklog, &error);
+      if (listen_fd_ < 0) {
+        std::fprintf(stderr, "fpdm server: %s\n", error.c_str());
+        return 1;
+      }
+    }
+    if (!SetNonBlocking(listen_fd_)) return 1;
+    if (!options_.resolved_endpoint_file.empty()) {
+      // Publish the concrete endpoint (port 0 resolved) via tmp + rename,
+      // so a reader never sees a partial write.
+      const std::string resolved = FormatEndpoint(listen_ep);
+      const std::string tmp = options_.resolved_endpoint_file + ".tmp";
+      FILE* f = std::fopen(tmp.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(resolved.c_str(), f);
+        std::fclose(f);
+        ::rename(tmp.c_str(), options_.resolved_endpoint_file.c_str());
+      }
+    }
   }
 
   epoll_fd_ = ::epoll_create1(0);
@@ -2380,6 +2458,7 @@ int SpaceServer::Serve() {
           if (fd < 0) break;
           SetNonBlocking(fd);
           ApplySndbuf(fd, options_.sndbuf_bytes);
+          if (tcp_listener_) ApplyTcpSocketOptions(fd);
           auto conn = std::make_unique<Conn>();
           conn->fd = fd;
           epoll_event ev{};
@@ -2495,7 +2574,11 @@ int SpaceServer::Serve() {
   epoll_fd_ = -1;
   ::close(wake_fd_);
   wake_fd_ = -1;
-  ::unlink(options_.socket_path.c_str());
+  Endpoint ep;
+  if (ParseEndpoint(options_.endpoint, &ep, nullptr) &&
+      ep.kind == Endpoint::Kind::kUnix) {
+    ::unlink(ep.path.c_str());
+  }
   return wal_failed_ ? 1 : 0;
 }
 

@@ -24,8 +24,28 @@
 namespace fpdm::plinda::net {
 
 struct SpaceServerOptions {
-  /// Unix-domain socket the server listens on.
-  std::string socket_path;
+  /// Endpoint the server listens on: "unix:<path>" or "tcp:<host>:<port>"
+  /// (a bare string is a Unix-domain path — see plinda/net/endpoint.h).
+  /// A TCP port of 0 binds a kernel-assigned port; pair it with
+  /// resolved_endpoint_file (or a supervisor-held listen_fd) so clients can
+  /// learn the concrete address.
+  std::string endpoint;
+  /// An already-bound, already-listening socket to serve on instead of
+  /// binding `endpoint` (-1 = bind it ourselves). The distributed
+  /// supervisor pre-binds every TCP listener with port 0 *before* forking,
+  /// so the full placement map is concrete at fork time and a restarted
+  /// server re-inherits the same port — tests never race on ports. The fd
+  /// is inherited through fork; the server never closes the supervisor's
+  /// copy.
+  int listen_fd = -1;
+  /// If non-empty, the resolved endpoint (after a port-0 TCP bind) is
+  /// written here via tmp + rename once the server is listening —
+  /// standalone TCP servers publish their concrete address this way.
+  std::string resolved_endpoint_file;
+  /// If non-empty, ForkServerProcess redirects the child's stderr here
+  /// (append mode — restarts share the file). CI keeps these files with the
+  /// per-run state dirs so a red chaos seed is debuggable post-hoc.
+  std::string stderr_file;
   /// Directory holding the checkpoint and write-ahead log. The server
   /// recovers from whatever it finds there, so restarting with the same
   /// state_dir resumes the crashed server's space exactly.
@@ -34,9 +54,9 @@ struct SpaceServerOptions {
   int num_shards = 1;
   /// Logged operations between checkpoints (bounds replay work).
   int checkpoint_every_ops = 256;
-  /// Multi-server placement: this server's index and the socket path of
+  /// Multi-server placement: this server's index and the endpoint of
   /// every shard server, indexed by server index (including this one).
-  /// Empty placement = single-server mode, equivalent to {socket_path}.
+  /// Empty placement = single-server mode, equivalent to {endpoint}.
   /// The placement map is published to clients in the HELLO reply; commit
   /// outs whose bucket PlacementIndex()es to another server are forwarded
   /// there over a server-to-server link (Op::kForward).
@@ -158,6 +178,10 @@ class SpaceServer {
     int32_t pid = -1;  // set by HELLO; control connections stay -1
     int32_t incarnation = 0;
     bool saw_bye = false;
+    /// True once a peer op (kForward/kPrepare/kDecide/kTxnQuery) arrived on
+    /// this connection. Peer links carry no HELLO, so pid stays -1; this
+    /// flag lets a chaos partition tell them apart from control conns.
+    bool is_peer = false;
     // --- scheduling state, guarded by sched_mu_ ---
     std::deque<std::string> inbox;  // reassembled frames awaiting dispatch
     bool scheduled = false;         // owned by (queued for) a worker
@@ -301,6 +325,12 @@ class SpaceServer {
   /// dying connections and their parked waiters leave the tables before any
   /// abort republishes tuples, so a dead client can never consume them.
   void DropConns(const std::vector<int>& fds);
+  /// Op::kChaosPartition start: marks every registered-client and peer
+  /// connection for a drop WITHOUT the crash-abort (saw_bye — the client is
+  /// alive on the far side of the partition, and its open transaction must
+  /// survive for the same-incarnation reconnect after the heal). Outbound
+  /// peer links are torn down by PumpPeers while partitioned_ holds.
+  void StartPartitionDrop();
 
   // --- sharded space -----------------------------------------------------
   size_t ShardIndexFor(const BucketKeyView& key) const;
@@ -374,7 +404,7 @@ class SpaceServer {
 
   SpaceServerOptions options_;
   std::vector<TupleSpace> shards_;
-  /// Socket path per server index; size 1 = single-server mode (no peers).
+  /// Endpoint string per server index; size 1 = single-server (no peers).
   std::vector<std::string> placement_;
   std::vector<PeerLink> peers_;  // indexed by server index; self unused
   /// pid -> (stamp, continuation): stamp = (incarnation<<32)|commit counter,
@@ -397,8 +427,16 @@ class SpaceServer {
   uint64_t epoch_ = 0;  // checkpoint epoch; the log file is log.<epoch>
   int log_fd_ = -1;
   int listen_fd_ = -1;
+  /// True while serving on a TCP endpoint: accepted sockets and outbound
+  /// peer connects get TCP_NODELAY + SO_KEEPALIVE.
+  bool tcp_listener_ = false;
   int ops_since_checkpoint_ = 0;
   bool cancelled_ = false;
+  /// Chaos partition (Op::kChaosPartition): while true, every registered
+  /// client and peer connection is dropped (without crash-abort — the
+  /// clients are alive, merely cut off) and their traffic is blackholed;
+  /// control connections stay reachable as the out-of-band heal channel.
+  bool partitioned_ = false;
   std::atomic<bool> stop_{false};
   // Durability lost: stop serving, exit nonzero.
   std::atomic<bool> wal_failed_{false};

@@ -59,9 +59,46 @@ bool SocketPathFits(const std::string& path);
 /// path cannot fit sun_path.
 bool WaitForSocket(const std::string& path, double timeout_s);
 
-/// Creates a fresh private directory for sockets + server state
-/// (mkdtemp under $TMPDIR or /tmp). Returns "" on failure.
+/// Polls until a SpaceServer is *serving* at `endpoint` ("unix:<path>" /
+/// "tcp:<host>:<port>"). Unix endpoints use the plain connect probe of
+/// WaitForSocket. TCP endpoints need a full round trip — connect, send a
+/// framed control HELLO (pid -1), wait for reply bytes — because the
+/// supervisor pre-binds TCP listeners and passes them to the server by fd:
+/// the kernel accepts into the backlog even while the server process is
+/// dead, so a bare connect succeeding proves nothing about the server.
+/// Returns false immediately on a malformed endpoint.
+bool WaitForEndpoint(const std::string& endpoint, double timeout_s);
+
+/// Creates a fresh private directory for sockets + server state (mkdtemp
+/// under $FPDM_TEST_STATE_ROOT, else $TMPDIR, else /tmp). Tests and CI set
+/// FPDM_TEST_STATE_ROOT to collect every run's state under one uploadable
+/// root. Returns "" on failure.
 std::string MakeStateDir();
+
+/// Placeholder values for ExpandLaunchTemplate: everything a remotely
+/// launched worker needs to join the run.
+struct WorkerLaunch {
+  std::string endpoint;     // bootstrap endpoint (shard server 0)
+  std::string placement;    // comma-joined endpoint of every shard server
+  int pid = 0;              // PLinda process id
+  int incarnation = 0;      // bumped per respawn
+  std::string status_file;  // where the incarnation reports its outcome
+};
+
+/// Expands a worker-launch command template: `{endpoint}`, `{placement}`,
+/// `{pid}`, `{incarnation}` and `{status_file}` are substituted from
+/// `launch`; everything else (including unknown braces) passes through
+/// verbatim. Pure string work, unit-testable without forking.
+std::string ExpandLaunchTemplate(const std::string& templ,
+                                 const WorkerLaunch& launch);
+
+/// Forks a child that runs the expanded template through /bin/sh -c. The
+/// command is responsible for getting a worker onto its host (ssh, a
+/// container runtime, plain exec), wiring it to `launch.endpoint`, and
+/// writing `launch.status_file` before exiting with the worker's exit
+/// code. Returns the child pid (the supervisor reaps it like a forked
+/// worker), or -1 on fork failure.
+pid_t LaunchWorkerCommand(const std::string& templ, const WorkerLaunch& launch);
 
 /// Recursively removes a state directory. Best effort.
 void RemoveTree(const std::string& path);

@@ -168,6 +168,15 @@ enum class Op : uint8_t {
   // with no record answers abort (presumed abort). Stateless and
   // idempotent — it never touches the watermark.
   kTxnQuery = 20,
+  // Chaos control (control connections only, never clients): flags == 1
+  // starts a network partition of this server — every registered client
+  // connection and every peer link is dropped without crash-aborting open
+  // transactions (the client is alive, merely unreachable), and new client
+  // or peer traffic is blackholed until flags == 0 heals the partition.
+  // Reconnect/resend plus the (pid, seq) dedup window and the per-peer
+  // forward watermarks must absorb the replays — the lossy-link drill for
+  // the exactly-once machinery.
+  kChaosPartition = 21,
 };
 
 // Request::decision / Reply::decision / Reply::vote values. 0 means "not
@@ -270,9 +279,11 @@ struct Reply {
   std::vector<ParkedWaiter> parked;
   std::vector<BatchItem> items;  // kBatch
   std::string error;  // kError detail
-  /// kHello: the placement map — socket path of every shard server, indexed
-  /// by server index. Clients bootstrap from any one server's HELLO and
-  /// route all traffic with PlacementIndex against placement.size().
+  /// kHello: the placement map — the endpoint string ("unix:<path>" /
+  /// "tcp:<host>:<port>", see plinda/net/endpoint.h) of every shard server,
+  /// indexed by server index. Clients bootstrap from any one server's HELLO
+  /// and route all traffic with PlacementIndex against placement.size() —
+  /// including across hosts, since the strings carry full addresses.
   std::vector<std::string> placement;
   /// kXRecover hit: the stamp the continuation was committed under.
   uint64_t cont_stamp = 0;

@@ -66,6 +66,12 @@ std::string ToString(const TraceEvent& event) {
     case TraceEvent::Kind::kServerCheckpoint:
       kind = "SERVER_CHECKPOINT";
       break;
+    case TraceEvent::Kind::kServerPartitioned:
+      kind = "SERVER_PARTITIONED";
+      break;
+    case TraceEvent::Kind::kServerHealed:
+      kind = "SERVER_HEALED";
+      break;
     case TraceEvent::Kind::kError:
       kind = "ERROR";
       break;
@@ -114,6 +120,9 @@ std::string ToString(const RuntimeError& error) {
       break;
     case RuntimeError::Code::kBadSocketPath:
       what = "server socket path exceeds the sun_path limit";
+      break;
+    case RuntimeError::Code::kBadEndpoint:
+      what = "malformed server endpoint or unsupported transport";
       break;
   }
   char buf[256];
@@ -193,6 +202,15 @@ void Runtime::ScheduleServerRecovery(double time) {
 
 void Runtime::ScheduleServerRecovery(double time, int server_index) {
   events_.push_back(Event{time, Event::Kind::kServerRecover, server_index});
+}
+
+void Runtime::ScheduleServerPartition(double time, int server_index) {
+  events_.push_back(
+      Event{time, Event::Kind::kServerPartition, server_index});
+}
+
+void Runtime::ScheduleServerHeal(double time, int server_index) {
+  events_.push_back(Event{time, Event::Kind::kServerHeal, server_index});
 }
 
 int Runtime::Spawn(const std::string& name, ProcessFn fn) {
@@ -453,6 +471,11 @@ void Runtime::ApplyEventLocked(const Event& event,
       WakeBlockedLocked(event.time + options_.server_restart_delay);
       return;
     }
+    case Event::Kind::kServerPartition:
+    case Event::Kind::kServerHeal:
+      // Link faults only exist in kDistributed mode (handled by the
+      // distributed supervisor loop); the simulator has no network.
+      return;
   }
 }
 

@@ -143,6 +143,25 @@ struct RuntimeOptions {
   /// single-threaded serve loop (bit-identical legacy path); N > 1 = epoll
   /// I/O thread + N strand workers + a group-commit WAL writer.
   int distributed_server_threads = 0;
+  /// kDistributed transport between workers and shard servers: "unix"
+  /// (default; sockets under distributed_dir) or "tcp" (loopback TCP; the
+  /// supervisor pre-binds every listener with port 0 before forking, so the
+  /// placement map carries concrete "tcp:127.0.0.1:<port>" endpoints and
+  /// nothing races on port numbers). Any other value fails the run with a
+  /// structured kBadEndpoint error. The distributed test suites read
+  /// FPDM_TEST_TRANSPORT into this option for the CI transport matrix; the
+  /// runtime itself never consults the environment.
+  std::string distributed_transport = "unix";
+  /// kDistributed: command template for launching worker processes (empty =
+  /// fork them locally, the default). `{endpoint}`, `{placement}`, `{pid}`,
+  /// `{incarnation}` and `{status_file}` are substituted (see
+  /// net::ExpandLaunchTemplate); the command — run through /bin/sh -c —
+  /// must get a worker running against {endpoint} and write {status_file}
+  /// before exiting. With a TCP transport the endpoints are routable, so
+  /// the template can ssh to another host; the supervisor treats the
+  /// launched pid exactly like a forked worker (kill/respawn chaos
+  /// included).
+  std::string distributed_worker_launch;
 };
 
 /// One entry of the process-watch trace (the programmatic equivalent of
@@ -160,6 +179,8 @@ struct TraceEvent {
     kServerFailed,      // tuple-space server crash (machine/pid = -1)
     kServerRecovered,   // server back up: checkpoint restored, log replayed
     kServerCheckpoint,  // periodic checkpoint of the tuple space taken
+    kServerPartitioned,  // link fault: server cut off (kDistributed only)
+    kServerHealed,       // link restored; peers/clients reconnect + resend
     kError,             // protocol misuse terminated the process
   };
   Kind kind = Kind::kSpawned;
@@ -204,6 +225,10 @@ struct RuntimeError {
     /// sockaddr_un::sun_path (typically a very long $TMPDIR). Point
     /// RuntimeOptions::distributed_dir somewhere shorter.
     kBadSocketPath,
+    /// kDistributed: a malformed endpoint — an unparseable "tcp:<host>:
+    /// <port>" string, or an unsupported distributed_transport value.
+    /// Detail carries the offending string.
+    kBadEndpoint,
   };
   Code code = Code::kXCommitWithoutXStart;
   double time = 0;
@@ -228,6 +253,9 @@ struct RuntimeStats {
   uint64_t server_checkpoints = 0;
   /// Logged operations replayed on top of the last checkpoint at recovery.
   uint64_t server_ops_replayed = 0;
+  /// kDistributed: network partitions actually delivered to a live server
+  /// (the victim's links were cut and later healed; the server never died).
+  uint64_t server_partitions = 0;
   /// Total virtual seconds the server was down (crash to recovery event).
   double server_downtime = 0;
   /// Sum over processes of Compute() work units actually performed
@@ -348,6 +376,17 @@ class Runtime {
   void ScheduleServerRecovery(double time);
   void ScheduleServerRecovery(double time, int server_index);
 
+  /// Schedules a network partition of one shard server / its heal
+  /// (kDistributed only; the simulator has no network and ignores both).
+  /// Unlike ScheduleServerFailure this is a LINK fault, not a crash: the
+  /// victim keeps running with its state intact, but every established
+  /// client and peer connection is dropped and new traffic is blackholed
+  /// (no replies) until the heal — exercising the reconnect/resend and 2PC
+  /// in-doubt machinery over a lossy link rather than across a restart.
+  /// `server_index` -1 rotates round-robin over the shard servers.
+  void ScheduleServerPartition(double time, int server_index = -1);
+  void ScheduleServerHeal(double time, int server_index = -1);
+
   /// If true (default), killed processes are automatically re-spawned on an
   /// up machine, as the PLinda server does.
   void set_auto_respawn(bool enabled) { auto_respawn_ = enabled; }
@@ -443,7 +482,17 @@ class Runtime {
   };
 
   struct Event {
-    enum class Kind { kMachineFail, kMachineRecover, kServerFail, kServerRecover };
+    enum class Kind {
+      kMachineFail,
+      kMachineRecover,
+      kServerFail,
+      kServerRecover,
+      // Link faults, kDistributed only (the simulator has no network):
+      // blackhole one server's traffic / restore it. See
+      // ScheduleServerPartition.
+      kServerPartition,
+      kServerHeal,
+    };
     double time = 0;
     Kind kind = Kind::kMachineFail;
     int machine = -1;  // server events: the server index (-1 = round-robin)

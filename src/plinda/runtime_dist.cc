@@ -7,6 +7,7 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <signal.h>
+#include <stdlib.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "plinda/net/client.h"
+#include "plinda/net/endpoint.h"
 #include "plinda/net/server.h"
 #include "plinda/net/supervisor.h"
 #include "plinda/runtime.h"
@@ -304,7 +306,7 @@ int Runtime::RunWorkerChild(Proc* proc) {
   net::ShardedRemoteOptions copts;
   // Bootstrap from server 0 only: the HELLO reply publishes the placement
   // map, from which the client connects its remaining legs.
-  copts.socket_path = dist_socket_;
+  copts.endpoint = dist_socket_;
   copts.pid = proc->id;
   copts.incarnation = proc->incarnation;
   copts.reconnect_timeout_s = options_.distributed_reconnect_timeout;
@@ -431,35 +433,85 @@ bool Runtime::RunDistributed() {
     return false;
   }
   const int num_servers = std::max(1, options_.distributed_servers);
+  auto fail_structured = [&](RuntimeError::Code code, std::string detail) {
+    RuntimeError error;
+    error.code = code;
+    error.time = now();
+    error.detail = std::move(detail);
+    errors_.push_back(std::move(error));
+    BuildDiagnosticLocked();
+    if (owns_dir) net::RemoveTree(dist_dir_);
+    wall_time_ = now();
+    completion_time_ = wall_time_;
+    return false;
+  };
+  const std::string& transport = options_.distributed_transport;
+  const bool tcp = transport == "tcp";
+  if (!tcp && transport != "unix") {
+    return fail_structured(
+        RuntimeError::Code::kBadEndpoint,
+        "unsupported distributed_transport \"" + transport +
+            "\" (expected \"unix\" or \"tcp\")");
+  }
   std::vector<std::string> placement;
   placement.reserve(static_cast<size_t>(num_servers));
-  for (int k = 0; k < num_servers; ++k) {
-    placement.push_back(dist_dir_ + "/space." + std::to_string(k) + ".sock");
-  }
-  dist_socket_ = placement[0];
-  for (const std::string& path : placement) {
-    if (!net::SocketPathFits(path)) {
-      RuntimeError error;
-      error.code = RuntimeError::Code::kBadSocketPath;
-      error.time = now();
-      error.detail = "\"" + path + "\" (" + std::to_string(path.size()) +
-                     " bytes) exceeds the " +
-                     std::to_string(net::MaxSocketPathLength()) +
-                     "-byte sun_path limit; point "
-                     "RuntimeOptions::distributed_dir (or $TMPDIR) at a "
-                     "shorter path";
-      errors_.push_back(std::move(error));
-      BuildDiagnosticLocked();
-      if (owns_dir) net::RemoveTree(dist_dir_);
-      wall_time_ = now();
-      completion_time_ = wall_time_;
-      return false;
+  // TCP: pre-bound port-0 listeners, inherited through fork (FD_CLOEXEC
+  // keeps them out of exec'ed launch-template commands). Bound BEFORE any
+  // fork so the placement map is concrete from the first HELLO, and kept
+  // open in the supervisor so a chaos restart re-inherits the same port.
+  std::vector<int> listen_fds(static_cast<size_t>(num_servers), -1);
+  auto close_listeners = [&] {
+    for (int& fd : listen_fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  };
+  if (tcp) {
+    for (int k = 0; k < num_servers; ++k) {
+      net::Endpoint ep;
+      ep.kind = net::Endpoint::Kind::kTcp;
+      ep.host = "127.0.0.1";
+      ep.port = 0;
+      std::string error;
+      const int fd = net::ListenEndpoint(&ep, net::kListenBacklog, &error);
+      if (fd < 0) {
+        close_listeners();
+        return fail_structured(
+            RuntimeError::Code::kBadEndpoint,
+            "cannot bind a loopback listener for server " +
+                std::to_string(k) + ": " + error);
+      }
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+      listen_fds[static_cast<size_t>(k)] = fd;
+      placement.push_back(net::FormatEndpoint(ep));
+    }
+  } else {
+    for (int k = 0; k < num_servers; ++k) {
+      placement.push_back(dist_dir_ + "/space." + std::to_string(k) +
+                          ".sock");
+    }
+    for (const std::string& path : placement) {
+      if (!net::SocketPathFits(path)) {
+        return fail_structured(
+            RuntimeError::Code::kBadSocketPath,
+            "\"" + path + "\" (" + std::to_string(path.size()) +
+                " bytes) exceeds the " +
+                std::to_string(net::MaxSocketPathLength()) +
+                "-byte sun_path limit; point "
+                "RuntimeOptions::distributed_dir (or $TMPDIR) at a "
+                "shorter path");
+      }
     }
   }
+  dist_socket_ = placement[0];
 
   auto server_opts = [&](int k) {
     net::SpaceServerOptions sopts;
-    sopts.socket_path = placement[static_cast<size_t>(k)];
+    sopts.endpoint = placement[static_cast<size_t>(k)];
+    sopts.listen_fd = listen_fds[static_cast<size_t>(k)];
+    // Per-server stderr capture, kept with the state dir: a red chaos seed
+    // under FPDM_TEST_KEEP_STATE is debuggable from the CI artifact alone.
+    sopts.stderr_file = dist_dir_ + "/server." + std::to_string(k) + ".stderr";
     sopts.state_dir = dist_dir_ + "/state." + std::to_string(k);
     sopts.num_shards = std::max(1, options_.distributed_shards);
     sopts.checkpoint_every_ops =
@@ -481,7 +533,7 @@ bool Runtime::RunDistributed() {
     server_pids[static_cast<size_t>(k)] = net::ForkServerProcess(server_opts(k));
     server_ok[static_cast<size_t>(k)] =
         server_pids[static_cast<size_t>(k)] > 0 &&
-        net::WaitForSocket(placement[static_cast<size_t>(k)], 10.0);
+        net::WaitForEndpoint(placement[static_cast<size_t>(k)], 10.0);
     if (!server_ok[static_cast<size_t>(k)]) {
       fail_run("tuple-space server " + std::to_string(k) + " failed to start");
       fatal = true;
@@ -500,7 +552,7 @@ bool Runtime::RunDistributed() {
   std::vector<std::unique_ptr<net::RemoteTupleSpace>> ctls;
   for (int k = 0; k < num_servers; ++k) {
     net::RemoteSpaceOptions ctl_opts;
-    ctl_opts.socket_path = placement[static_cast<size_t>(k)];
+    ctl_opts.endpoint = placement[static_cast<size_t>(k)];
     ctl_opts.pid = -1;
     // Short window: a control call against a down server must return quickly
     // so the supervisor keeps applying events (including the restart).
@@ -546,8 +598,26 @@ bool Runtime::RunDistributed() {
 
   auto fork_worker = [&](Proc* proc) {
     proc->state = ProcState::kReady;
-    const pid_t pid =
-        net::ForkChild([this, proc] { return RunWorkerChild(proc); });
+    pid_t pid = -1;
+    if (!options_.distributed_worker_launch.empty()) {
+      // Launch-template path: the command (ssh, a container runtime, a
+      // plain exec) is responsible for running a worker against the
+      // bootstrap endpoint and writing the incarnation's status file.
+      net::WorkerLaunch launch;
+      launch.endpoint = dist_socket_;
+      for (size_t i = 0; i < placement.size(); ++i) {
+        if (i > 0) launch.placement += ',';
+        launch.placement += placement[i];
+      }
+      launch.pid = proc->id;
+      launch.incarnation = proc->incarnation;
+      launch.status_file =
+          StatusFilePath(dist_dir_, proc->id, proc->incarnation);
+      pid = net::LaunchWorkerCommand(options_.distributed_worker_launch,
+                                     launch);
+    } else {
+      pid = net::ForkChild([this, proc] { return RunWorkerChild(proc); });
+    }
     proc->os_pid = pid;
     if (pid <= 0) {
       fail_run("fork of worker \"" + proc->name + "\" failed");
@@ -577,6 +647,12 @@ bool Runtime::RunDistributed() {
   int unplanned_server_deaths = 0;
   bool server_fatal_exit = false;  // a server _exit'ed non-zero: unrestartable
   int next_victim = 0;  // round-robin cursor for server_index == -1 kills
+  // Link-fault state per server (kServerPartition/kServerHeal): a heal with
+  // index -1 heals every cut link, mirroring kServerRecover's "-1 restarts
+  // every down server". A crash clears the flag — the blackhole dies with
+  // the process, and the restarted server comes up reachable.
+  std::vector<bool> server_partitioned(static_cast<size_t>(num_servers),
+                                       false);
 
   // Watchdog round state: one pipelined STATUS per server, evaluated only
   // once the whole round has gathered.
@@ -590,7 +666,7 @@ bool Runtime::RunDistributed() {
       server_pids[static_cast<size_t>(k)] =
           net::ForkServerProcess(server_opts(k));
       if (server_pids[static_cast<size_t>(k)] > 0 &&
-          net::WaitForSocket(placement[static_cast<size_t>(k)], 10.0)) {
+          net::WaitForEndpoint(placement[static_cast<size_t>(k)], 10.0)) {
         server_ok[static_cast<size_t>(k)] = true;
         return true;
       }
@@ -694,6 +770,7 @@ bool Runtime::RunDistributed() {
                            &info);
           server_ok[static_cast<size_t>(victim)] = false;
           server_down_at[static_cast<size_t>(victim)] = t;
+          server_partitioned[static_cast<size_t>(victim)] = false;
           ++stats_.server_failures;
           if (event.torn_tail) {
             // The kill landed; now make the crash "tear" the final WAL
@@ -701,6 +778,46 @@ bool Runtime::RunDistributed() {
             TearWalTail(dist_dir_ + "/state." + std::to_string(victim));
           }
           RecordLocked(TraceEvent::Kind::kServerFailed, t, nullptr, -1);
+          break;
+        }
+        case Event::Kind::kServerPartition:
+        case Event::Kind::kServerHeal: {
+          // Link fault: the victim keeps running; its connections are cut
+          // and its traffic blackholed until the heal. Delivered over the
+          // control channel, which the partitioned server keeps serving as
+          // the out-of-band path. Best effort — a victim that is down
+          // (crash chaos raced the partition) simply has no link to cut.
+          if (event.kind == Event::Kind::kServerPartition) {
+            // Index -1 cuts the round-robin victim's link.
+            int victim = event.machine;
+            if (victim < 0) {
+              victim = next_victim;
+              next_victim = (next_victim + 1) % num_servers;
+            }
+            victim %= num_servers;
+            if (server_ok[static_cast<size_t>(victim)] &&
+                !server_partitioned[static_cast<size_t>(victim)]) {
+              ctls[static_cast<size_t>(victim)]->ChaosPartition(true);
+              server_partitioned[static_cast<size_t>(victim)] = true;
+              ++stats_.server_partitions;
+              RecordLocked(TraceEvent::Kind::kServerPartitioned, t, nullptr,
+                           -1);
+            }
+          } else {
+            // Index -1 heals EVERY cut link — the twin of kServerRecover's
+            // "-1 restarts every down server" — so a partition/heal pair
+            // never has to agree on the round-robin cursor position.
+            for (int k = 0; k < num_servers; ++k) {
+              if (event.machine >= 0 && event.machine % num_servers != k) {
+                continue;
+              }
+              if (!server_partitioned[static_cast<size_t>(k)]) continue;
+              server_partitioned[static_cast<size_t>(k)] = false;
+              if (!server_ok[static_cast<size_t>(k)]) continue;
+              ctls[static_cast<size_t>(k)]->ChaosPartition(false);
+              RecordLocked(TraceEvent::Kind::kServerHealed, t, nullptr, -1);
+            }
+          }
           break;
         }
         case Event::Kind::kServerRecover: {
@@ -1152,8 +1269,14 @@ bool Runtime::RunDistributed() {
     diagnostic_ = std::move(out);
   }
 
-  if (owns_dir) net::RemoveTree(dist_dir_);
-  return !deadlocked_ && errors_.empty();
+  close_listeners();
+  const bool failed = deadlocked_ || !errors_.empty();
+  // FPDM_TEST_KEEP_STATE: leave a failed run's state dir (WAL, checkpoints,
+  // status files, server stderr) on disk for CI artifact upload.
+  const char* keep = ::getenv("FPDM_TEST_KEEP_STATE");
+  const bool keep_state = failed && keep != nullptr && *keep != '\0';
+  if (owns_dir && !keep_state) net::RemoveTree(dist_dir_);
+  return !failed;
 }
 
 }  // namespace fpdm::plinda

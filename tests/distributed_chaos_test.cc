@@ -46,11 +46,20 @@ int TestServers() {
   return n > 0 ? n : 1;
 }
 
+/// Wire transport: FPDM_TEST_TRANSPORT in the environment ("unix" or
+/// "tcp"; CI re-runs the whole suite at tcp), default unix.
+std::string TestTransport() {
+  const char* env = std::getenv("FPDM_TEST_TRANSPORT");
+  if (env == nullptr || *env == '\0') return "unix";
+  return env;
+}
+
 RuntimeOptions DistOptions(int servers = 0) {
   RuntimeOptions options;
   options.mode = ExecutionMode::kDistributed;
   options.distributed_checkpoint_ops = 8;  // several checkpoints per run
   options.distributed_servers = servers > 0 ? servers : TestServers();
+  options.distributed_transport = TestTransport();
   return options;
 }
 
@@ -436,6 +445,90 @@ TEST(DistributedChaosTest, CrossServerTxnSurvivesShardKillsExactlyOnce) {
   EXPECT_GE(total_kills, 22u);
 }
 
+TEST(DistributedChaosTest, PartitionedServerHealsAndResumesExactlyOnce) {
+  // A partition is a link fault, not a crash: at 40ms the server's
+  // connections are dropped and its traffic blackholed (the worker's calls
+  // stall with no reply), at 120ms the link heals and the SAME server —
+  // never restarted, no recovery replay — answers the reconnect/resend.
+  // The dedup window must absorb the resent tail exactly once.
+  Runtime runtime(1, DistOptions());
+  runtime.ScheduleServerPartition(0.04);
+  runtime.ScheduleServerHeal(0.12);
+  for (int64_t i = 0; i < kNumTasks; ++i) {
+    runtime.space().Out(MakeTuple("task", i));
+  }
+  runtime.SpawnOn("worker", 0, TaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  EXPECT_EQ(runtime.stats().server_partitions, 1u);
+  EXPECT_EQ(runtime.stats().server_failures, 0u);  // nothing actually died
+  ExpectExactlyOnceResults(runtime);
+}
+
+TEST(DistributedChaosTest, PartitionedShardBlackholesPeerLegsUntilHeal) {
+  // At 3 shard servers a partitioned victim also loses its peer links, so
+  // forwarded outs, scatter probes, and 2PC rounds that touch it stall
+  // until the heal. The watermark/dedup machinery on the peer channels
+  // must absorb the post-heal resends; cross-server transactions caught by
+  // the cut must still converge to one outcome.
+  Runtime runtime(1, DistOptions(/*servers=*/3));
+  runtime.ScheduleServerPartition(0.03, /*server=*/1);
+  runtime.ScheduleServerHeal(0.10, /*server=*/1);
+  SeedCrossTasks(runtime);
+  runtime.SpawnOn("worker", 0, CrossTaskLoop);
+  ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+  EXPECT_EQ(runtime.stats().server_partitions, 1u);
+  ExpectExactlyOnceResults(runtime);
+  EXPECT_GE(runtime.stats().dist_txn_cross_server, 1u);
+}
+
+TEST(DistributedChaosTest, PartitionChaosSuiteConvergesExactlyOnce) {
+  // 22 seeded fault plans mixing partitions with server crashes at 3 shard
+  // servers, over cross-server transactions, with a 2PC die point armed on
+  // every run (odd seeds: coordinator in-doubt; even seeds: participant
+  // after PREPARED). Partition draws ride AFTER the crash draws in the
+  // plan, so these seeds reuse the crash schedules of
+  // CrossServerTxnSurvivesShardKillsExactlyOnce and layer link cuts on
+  // top. Whatever combination lands — a partition spanning a crash, a
+  // heal racing a recovery, an in-doubt transaction cut off from its
+  // coordinator — results must stay exactly-once.
+  uint64_t total_partitions = 0;
+  uint64_t total_cross = 0;
+  for (uint64_t seed = 1; seed <= 22; ++seed) {
+    plinda::ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.start_time = 0.02;
+    chaos.horizon = 0.25;
+    chaos.machine_mttf = 0;  // server faults only
+    chaos.server_mttf = 0.14;
+    chaos.server_mttr = 0.05;
+    chaos.max_server_failures = 1;
+    chaos.num_servers = 3;
+    chaos.partition_mttf = 0.06;
+    chaos.partition_duration = 0.04;
+    chaos.max_partitions = 2;
+    const plinda::FaultPlan plan = plinda::GenerateFaultPlan(1, chaos);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + ToString(plan));
+
+    RuntimeOptions options = DistOptions(/*servers=*/3);
+    if (seed % 2 == 1) {
+      options.distributed_die_in_doubt_after = 1;
+    } else {
+      options.distributed_die_after_prepared = 1;
+    }
+    Runtime runtime(1, options);
+    plinda::InstallFaultPlan(&runtime, plan);
+    SeedCrossTasks(runtime);
+    runtime.SpawnOn("worker", 0, CrossTaskLoop);
+    ASSERT_TRUE(runtime.Run()) << runtime.diagnostic();
+    ExpectExactlyOnceResults(runtime);
+    total_partitions += runtime.stats().server_partitions;
+    total_cross += runtime.stats().dist_txn_cross_server;
+  }
+  // The plans must actually have exercised partitions and 2PC.
+  EXPECT_GE(total_partitions, 10u);
+  EXPECT_GT(total_cross, 0u);
+}
+
 TEST(DistributedChaosTest, FatalServerExitFailsRunWithServerDead) {
   // A server whose WAL stops accepting appends mid-run _exits(1) rather
   // than acknowledge mutations it cannot make durable. Restarting it would
@@ -477,6 +570,7 @@ TEST(DistributedChaosTest, MinerSurvivesWorkerKillWithIdenticalResults) {
 
   core::ParallelOptions faulty = reference;
   faulty.execution_mode = ExecutionMode::kDistributed;
+  faulty.runtime.distributed_transport = TestTransport();
   // Wall-clock kill early in the run; worker 1's open task transaction
   // rolls back and the worker respawns on an up machine. Whether the kill
   // lands mid-task or after the run's tail is timing-dependent — the

@@ -34,6 +34,15 @@ int TestServers() {
   return n > 0 ? n : 1;
 }
 
+/// Wire transport for the distributed runs: FPDM_TEST_TRANSPORT in the
+/// environment ("unix" or "tcp"; CI re-runs the whole suite at tcp),
+/// default unix. The explicit transport test below pins both regardless.
+std::string TestTransport() {
+  const char* env = std::getenv("FPDM_TEST_TRANSPORT");
+  if (env == nullptr || *env == '\0') return "unix";
+  return env;
+}
+
 void ExpectSameMining(const core::ParallelResult& sim,
                       const core::ParallelResult& dist,
                       const std::string& label) {
@@ -60,6 +69,7 @@ core::ParallelResult RunMode(const core::MiningProblem& problem,
   options.execution_mode = mode;
   options.num_workers = 4;
   options.runtime.distributed_servers = TestServers();
+  options.runtime.distributed_transport = TestTransport();
   return core::MineParallel(problem, options);
 }
 
@@ -104,6 +114,7 @@ TEST(DistributedEquivalenceTest, BatchingOnAndOffAreBitIdentical) {
     options.num_workers = 4;
     options.runtime.distributed_batching = batching;
     options.runtime.distributed_servers = TestServers();
+    options.runtime.distributed_transport = TestTransport();
     return core::MineParallel(problem, options);
   };
   const core::ParallelResult sim =
@@ -145,6 +156,7 @@ TEST(DistributedEquivalenceTest, MultiServerPlacementBitIdentical) {
     options.num_workers = 4;
     options.runtime.distributed_servers = servers;
     options.runtime.distributed_batching = batching;
+    options.runtime.distributed_transport = TestTransport();
     return core::MineParallel(problem, options);
   };
   const core::ParallelResult sim =
@@ -197,6 +209,7 @@ TEST(DistributedEquivalenceTest, CrossServerTransactionsBitIdentical) {
     plinda::RuntimeOptions options;
     options.mode = mode;
     options.distributed_servers = servers;
+    options.distributed_transport = TestTransport();
     plinda::Runtime runtime(1, options);
     for (int64_t i = 0; i < kTasks; ++i) {
       runtime.space().Out(plinda::MakeTuple("t" + std::to_string(i), i));
@@ -246,6 +259,46 @@ TEST(DistributedEquivalenceTest, CrossServerTransactionsBitIdentical) {
   EXPECT_EQ(one, three);
 }
 
+TEST(DistributedEquivalenceTest, TransportTcpBitIdentical) {
+  // The TCP transport is a pure wire substitution: the same mining run over
+  // loopback TCP sockets (port-0 listeners pre-bound by the supervisor)
+  // must come back bit-identical to the simulator and to the Unix-domain
+  // runs, at one shard server and at three (peer forwarding and 2PC legs
+  // then also ride TCP). Transports are pinned here regardless of
+  // FPDM_TEST_TRANSPORT so the test is meaningful on every CI leg.
+  arm::BasketConfig config;
+  config.num_transactions = 150;
+  config.num_items = 20;
+  config.avg_transaction_size = 6;
+  config.patterns = {{{1, 4, 7}, 0.3}, {{2, 5}, 0.4}};
+  const arm::ItemsetProblem problem(arm::GenerateBaskets(config),
+                                    /*min_support=*/15);
+  auto run = [&](const std::string& transport, int servers) {
+    core::ParallelOptions options;
+    options.strategy = core::Strategy::kHybrid;
+    options.execution_mode = plinda::ExecutionMode::kDistributed;
+    options.num_workers = 4;
+    options.runtime.distributed_servers = servers;
+    options.runtime.distributed_transport = transport;
+    return core::MineParallel(problem, options);
+  };
+  const core::ParallelResult sim =
+      RunMode(problem, core::Strategy::kHybrid,
+              plinda::ExecutionMode::kSimulated);
+  const core::ParallelResult unix_one = run("unix", 1);
+  const core::ParallelResult tcp_one = run("tcp", 1);
+  const core::ParallelResult tcp_three = run("tcp", 3);
+  ExpectSameMining(sim, tcp_one, "sim vs tcp 1 server");
+  ExpectSameMining(unix_one, tcp_one, "unix vs tcp 1 server");
+  ExpectSameMining(tcp_one, tcp_three, "tcp 1 server vs tcp 3 servers");
+  ASSERT_EQ(tcp_three.stats.per_server_rpc_calls.size(), 3u);
+  uint64_t legs_with_traffic = 0;
+  for (size_t k = 0; k < 3; ++k) {
+    if (tcp_three.stats.per_server_rpc_calls[k] > 0) ++legs_with_traffic;
+  }
+  EXPECT_GE(legs_with_traffic, 2u);
+}
+
 TEST(DistributedEquivalenceTest, SequenceMotifs) {
   seqmine::ProteinSetConfig config;
   config.num_sequences = 8;
@@ -281,6 +334,7 @@ TEST(DistributedEquivalenceTest, NyuMinerCvTree) {
     classify::ParallelExecOptions exec;
     exec.num_workers = 4;
     exec.execution_mode = mode;
+    exec.runtime.distributed_transport = TestTransport();
     return classify::ParallelNyuMinerCV(data, data.AllRows(), options, exec);
   };
   const classify::ParallelTreeResult sim =
@@ -309,6 +363,7 @@ TEST(DistributedEquivalenceTest, C45WindowedTree) {
     classify::ParallelExecOptions exec;
     exec.num_workers = 3;
     exec.execution_mode = mode;
+    exec.runtime.distributed_transport = TestTransport();
     return classify::ParallelC45(data, data.AllRows(), options, exec);
   };
   const classify::ParallelTreeResult sim =

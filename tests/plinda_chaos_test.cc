@@ -95,6 +95,9 @@ TEST(FaultPlanTest, OutagesWellFormedAndCapped) {
         EXPECT_TRUE(server_down) << ToString(event);
         server_down = false;
         break;
+      case FaultEvent::Kind::kServerPartition:
+      case FaultEvent::Kind::kServerHeal:
+        break;  // link faults; the partition tests below cover them
     }
   }
   EXPECT_TRUE(down.empty()) << "every outage must end";
@@ -140,6 +143,50 @@ TEST(FaultPlanTest, DisabledGeneratorsYieldEmptyPlan) {
   EXPECT_TRUE(GenerateFaultPlan(4, opts).empty());
 }
 
+TEST(FaultPlanTest, PartitionsCappedPairedAndDrawnAfterEverythingElse) {
+  ChaosOptions opts = BusyOptions(23);
+  opts.num_servers = 3;
+  const FaultPlan without = GenerateFaultPlan(4, opts);
+  opts.partition_mttf = 40.0;  // would cut many links if uncapped
+  opts.partition_duration = 10.0;
+  opts.max_partitions = 2;
+  const FaultPlan with = GenerateFaultPlan(4, opts);
+
+  EXPECT_GE(with.server_partitions(), 1);
+  EXPECT_LE(with.server_partitions(), 2);
+  // Partition draws ride AFTER every machine/server draw: the plan with
+  // partitions enabled contains the partition-free plan's events verbatim
+  // — same kinds, times, victims — so existing seeds never reshuffle.
+  std::vector<FaultEvent> base;
+  for (const FaultEvent& event : with.events) {
+    if (event.kind == FaultEvent::Kind::kServerPartition ||
+        event.kind == FaultEvent::Kind::kServerHeal) {
+      continue;
+    }
+    base.push_back(event);
+  }
+  ASSERT_EQ(base.size(), without.events.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].kind, without.events[i].kind) << i;
+    EXPECT_EQ(base[i].time, without.events[i].time) << i;  // bit-for-bit
+    EXPECT_EQ(base[i].machine, without.events[i].machine) << i;
+  }
+  // Every partition heals, on the same victim, strictly later.
+  std::set<int> cut;
+  for (const FaultEvent& event : with.events) {
+    if (event.kind == FaultEvent::Kind::kServerPartition) {
+      EXPECT_EQ(cut.count(event.machine), 0u) << ToString(event);
+      cut.insert(event.machine);
+      EXPECT_GE(event.machine, 0);  // num_servers = 3 draws a victim
+      EXPECT_LT(event.machine, 3);
+    } else if (event.kind == FaultEvent::Kind::kServerHeal) {
+      EXPECT_EQ(cut.count(event.machine), 1u) << ToString(event);
+      cut.erase(event.machine);
+    }
+  }
+  EXPECT_TRUE(cut.empty()) << "every partition must heal";
+}
+
 TEST(FaultPlanTest, ToStringRendersEveryKind) {
   FaultPlan plan;
   plan.events.push_back(FaultEvent{FaultEvent::Kind::kMachineCrash, 1.0, 2});
@@ -147,7 +194,13 @@ TEST(FaultPlanTest, ToStringRendersEveryKind) {
   plan.events.push_back(FaultEvent{FaultEvent::Kind::kMachineRecover, 3.0, 2});
   plan.events.push_back(FaultEvent{FaultEvent::Kind::kServerCrash, 4.0, -1});
   plan.events.push_back(FaultEvent{FaultEvent::Kind::kServerRecover, 5.0, -1});
+  plan.events.push_back(
+      FaultEvent{FaultEvent::Kind::kServerPartition, 6.0, 1});
+  plan.events.push_back(FaultEvent{FaultEvent::Kind::kServerHeal, 7.0, 1});
   const std::string text = ToString(plan);
+  EXPECT_NE(text.find("SERVER_PARTITION"), std::string::npos);
+  EXPECT_NE(text.find("SERVER_HEAL"), std::string::npos);
+  EXPECT_NE(text.find("tuple-space server 1"), std::string::npos);
   EXPECT_NE(text.find("CRASH"), std::string::npos);
   EXPECT_NE(text.find("RETREAT"), std::string::npos);
   EXPECT_NE(text.find("RECOVER"), std::string::npos);

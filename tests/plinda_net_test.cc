@@ -21,6 +21,7 @@
 
 #include "gtest/gtest.h"
 #include "plinda/net/client.h"
+#include "plinda/net/endpoint.h"
 #include "plinda/net/server.h"
 #include "plinda/net/supervisor.h"
 #include "plinda/net/wire.h"
@@ -312,7 +313,7 @@ class NetIntegrationTest : public ::testing::Test {
   void SetUp() override {
     dir_ = MakeStateDir();
     ASSERT_FALSE(dir_.empty());
-    sopts_.socket_path = dir_ + "/space.sock";
+    sopts_.endpoint = dir_ + "/space.sock";
     sopts_.state_dir = dir_ + "/state";
     sopts_.num_shards = 2;
     sopts_.checkpoint_every_ops = 4;  // force checkpoints in short tests
@@ -327,7 +328,7 @@ class NetIntegrationTest : public ::testing::Test {
   void StartServer() {
     server_pid_ = ForkServerProcess(sopts_);
     ASSERT_GT(server_pid_, 0);
-    ASSERT_TRUE(WaitForSocket(sopts_.socket_path, 10.0));
+    ASSERT_TRUE(WaitForSocket(sopts_.endpoint, 10.0));
   }
 
   void StopServer() {
@@ -340,7 +341,7 @@ class NetIntegrationTest : public ::testing::Test {
 
   RemoteSpaceOptions ClientOptions(int32_t pid, int32_t incarnation = 0) {
     RemoteSpaceOptions opts;
-    opts.socket_path = sopts_.socket_path;
+    opts.endpoint = sopts_.endpoint;
     opts.pid = pid;
     opts.incarnation = incarnation;
     opts.reconnect_timeout_s = 10.0;
@@ -753,7 +754,7 @@ TEST_F(NetIntegrationTest, DeadClientsParkedWaiterCannotConsumeItsCrashAbort) {
   // crash-abort republishes the tuple; the dead client's own parked waiter
   // must not consume it (that would log a durable removal whose reply goes
   // to a closed socket — the tuple would be lost to every live process).
-  RawClient victim(sopts_.socket_path);
+  RawClient victim(sopts_.endpoint);
   ASSERT_TRUE(victim.ok());
   Reply reply;
   Request hello;
@@ -1155,7 +1156,7 @@ TEST_F(NetIntegrationTest, BatchRetryIsServedFromTheDedupWindow) {
   RemoteTupleSpace ctl(ClientOptions(-1));
   ASSERT_TRUE(ctl.Connect());
 
-  RawClient worker(sopts_.socket_path);
+  RawClient worker(sopts_.endpoint);
   ASSERT_TRUE(worker.ok());
   Reply reply;
   Request hello;
@@ -1200,7 +1201,7 @@ TEST_F(NetIntegrationTest, BatchRetryIsServedFromTheDedupWindow) {
 }
 
 TEST_F(NetIntegrationTest, BlockingSubOpInABatchIsAStructuredError) {
-  RawClient worker(sopts_.socket_path);
+  RawClient worker(sopts_.endpoint);
   ASSERT_TRUE(worker.ok());
   Reply reply;
   Request hello;
@@ -1414,6 +1415,20 @@ Reply SamplePlacementReply() {
                      "/tmp/fpdm/s2.sock"};
   reply.cont_stamp = (uint64_t{3} << 32) | 17;
   reply.forwards_pending = 5;
+  return reply;
+}
+
+/// Placement vector as the TCP transport publishes it: full endpoint
+/// strings with scheme + kernel-assigned ports. The placement entries are
+/// opaque bytes to the codec, but the fuzzers below must chew on the real
+/// shapes clients will decode.
+Reply SampleTcpPlacementReply() {
+  Reply reply;
+  reply.status = WireStatus::kOk;
+  reply.placement = {"tcp:127.0.0.1:41873", "tcp:127.0.0.1:35262",
+                     "tcp:10.0.0.7:6001"};
+  reply.cont_stamp = (uint64_t{9} << 32) | 3;
+  reply.forwards_pending = 1;
   return reply;
 }
 
@@ -1750,6 +1765,7 @@ TEST(WireFuzzTest, PlacementAndForwardEveryTruncationFailsCleanly) {
   // never decode short, never crash.
   const std::string encodings[] = {
       EncodeReply(SamplePlacementReply()),
+      EncodeReply(SampleTcpPlacementReply()),
       EncodeReply([] {
         Reply reply;  // a gather leg's reply: hit + recovery stamp
         reply.has_tuple = true;
@@ -1789,11 +1805,12 @@ TEST(WireFuzzTest, PlacementAndForwardBitFlipsFailStructurallyOrDecode) {
   };
   const std::string seeds[] = {
       EncodeReply(SamplePlacementReply()),
+      EncodeReply(SampleTcpPlacementReply()),
       EncodeRequest(SampleForwardRequest()),
       EncodeLogEntry(SampleForwardLogEntry()),
   };
   for (int round = 0; round < 600; ++round) {
-    std::string mutated = seeds[next() % 3];
+    std::string mutated = seeds[next() % 4];
     const int flips = 1 + static_cast<int>(next() % 3);
     for (int f = 0; f < flips; ++f) {
       mutated[next() % mutated.size()] ^=
@@ -1857,7 +1874,7 @@ class ShardedNetIntegrationTest : public ::testing::Test {
     }
     for (size_t k = 0; k < kServers; ++k) {
       SpaceServerOptions sopts;
-      sopts.socket_path = placement_[k];
+      sopts.endpoint = placement_[k];
       sopts.state_dir = dir_ + "/state." + std::to_string(k);
       sopts.checkpoint_every_ops = 4;
       sopts.server_index = static_cast<int>(k);
@@ -1883,7 +1900,7 @@ class ShardedNetIntegrationTest : public ::testing::Test {
 
   ShardedRemoteOptions ShardedOptions(int32_t pid, int32_t incarnation = 0) {
     ShardedRemoteOptions opts;
-    opts.socket_path = placement_[0];  // bootstrap: learn the map via HELLO
+    opts.endpoint = placement_[0];  // bootstrap: learn the map via HELLO
     opts.pid = pid;
     opts.incarnation = incarnation;
     opts.reconnect_timeout_s = 10.0;
@@ -1908,7 +1925,7 @@ class ShardedNetIntegrationTest : public ::testing::Test {
     std::vector<uint64_t> counts;
     for (const std::string& path : placement_) {
       RemoteSpaceOptions opts;
-      opts.socket_path = path;
+      opts.endpoint = path;
       opts.pid = -1;  // control connection: no HELLO, no registration
       opts.reconnect_timeout_s = 5.0;
       RemoteTupleSpace ctl(opts);
@@ -1927,7 +1944,7 @@ class ShardedNetIntegrationTest : public ::testing::Test {
     uint64_t cross = 0;
     for (const std::string& path : placement_) {
       RemoteSpaceOptions opts;
-      opts.socket_path = path;
+      opts.endpoint = path;
       opts.pid = -1;
       opts.reconnect_timeout_s = 5.0;
       RemoteTupleSpace ctl(opts);
@@ -2319,7 +2336,7 @@ TEST_F(NetIntegrationTest, ThreadedServeAnswersByteIdenticalToSingle) {
     sopts_.threads = threads;
     sopts_.state_dir = dir_ + "/state.t" + std::to_string(threads);
     StartServer();
-    RawClient c(sopts_.socket_path);
+    RawClient c(sopts_.endpoint);
     ASSERT_TRUE(c.ok());
     const auto roundtrip = [&](const Request& req) {
       ASSERT_TRUE(c.Send(req));
@@ -2390,6 +2407,287 @@ TEST_F(NetIntegrationTest, ThreadedServeAnswersByteIdenticalToSingle) {
   for (size_t i = 0; i < single.size(); ++i) {
     EXPECT_EQ(single[i], threaded[i]) << "reply " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Transports (PR 8): endpoint grammar, TCP listen/connect with port-0
+// resolution, the worker-launch template, live TCP integration, and the
+// structured kBadEndpoint twin of kBadSocketPath.
+// ---------------------------------------------------------------------------
+
+TEST(EndpointTest, GrammarParsesAndFormatsCanonically) {
+  Endpoint ep;
+  std::string error;
+
+  // A bare string is a Unix path — pre-endpoint socket_path strings keep
+  // working unchanged.
+  ASSERT_TRUE(ParseEndpoint("/tmp/fpdm/space.sock", &ep, &error)) << error;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/fpdm/space.sock");
+  EXPECT_EQ(FormatEndpoint(ep), "unix:/tmp/fpdm/space.sock");
+
+  ASSERT_TRUE(ParseEndpoint("unix:/run/s0.sock", &ep, &error)) << error;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/run/s0.sock");
+
+  ASSERT_TRUE(ParseEndpoint("tcp:127.0.0.1:6001", &ep, &error)) << error;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 6001);
+  EXPECT_EQ(FormatEndpoint(ep), "tcp:127.0.0.1:6001");
+
+  // Port 0 is legal: it asks the kernel for a free port at bind.
+  ASSERT_TRUE(ParseEndpoint("tcp:localhost:0", &ep, &error)) << error;
+  EXPECT_EQ(ep.host, "localhost");
+  EXPECT_EQ(ep.port, 0);
+
+  // FormatEndpoint(ParseEndpoint(x)) is a fixed point.
+  for (const char* text : {"unix:/a/b.sock", "tcp:10.0.0.7:80"}) {
+    ASSERT_TRUE(ParseEndpoint(text, &ep, &error)) << text;
+    EXPECT_EQ(FormatEndpoint(ep), text);
+  }
+}
+
+TEST(EndpointTest, MalformedStringsFailWithAReason) {
+  Endpoint ep;
+  for (const char* bad : {"", "unix:", "tcp:", "tcp:host", "tcp:host:",
+                          "tcp::80", "tcp:host:nan", "tcp:host:70000",
+                          "tcp:host:-1"}) {
+    std::string error;
+    EXPECT_FALSE(ParseEndpoint(bad, &ep, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(EndpointTest, UsableRejectsOverlongUnixPathsButNotTcp) {
+  std::string error;
+  EXPECT_TRUE(EndpointUsable("/tmp/ok.sock", &error)) << error;
+  EXPECT_TRUE(EndpointUsable("tcp:127.0.0.1:0", &error)) << error;
+  // An overlong Unix path cannot fit sockaddr_un::sun_path...
+  const std::string long_path = "/tmp/" + std::string(200, 'x') + ".sock";
+  EXPECT_FALSE(EndpointUsable(long_path, &error));
+  EXPECT_FALSE(error.empty());
+  // ...but length never disqualifies a TCP endpoint.
+  const std::string long_host =
+      "tcp:" + std::string(200, 'h') + ".example:80";
+  EXPECT_TRUE(EndpointUsable(long_host, &error)) << error;
+}
+
+TEST(EndpointTest, ListenResolvesPortZeroAndAcceptsAConnect) {
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = "127.0.0.1";
+  ep.port = 0;
+  std::string error;
+  const int listen_fd = ListenEndpoint(&ep, kListenBacklog, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+  // The kernel-assigned port was resolved back, so the concrete address is
+  // publishable before anyone connects.
+  EXPECT_GT(ep.port, 0);
+  const int client_fd = ConnectEndpoint(ep, &error);
+  EXPECT_GE(client_fd, 0) << error;
+  if (client_fd >= 0) ::close(client_fd);
+  ::close(listen_fd);
+}
+
+TEST(SupervisorTest, ExpandLaunchTemplateSubstitutesEveryPlaceholder) {
+  WorkerLaunch launch;
+  launch.endpoint = "tcp:10.0.0.7:6001";
+  launch.placement = "tcp:10.0.0.7:6001,tcp:10.0.0.8:6001";
+  launch.pid = 3;
+  launch.incarnation = 2;
+  launch.status_file = "/tmp/run/status.3";
+  EXPECT_EQ(
+      ExpandLaunchTemplate(
+          "ssh mine-host fpdm_worker --endpoint={endpoint} "
+          "--placement={placement} --pid={pid} --inc={incarnation} "
+          "--status={status_file}",
+          launch),
+      "ssh mine-host fpdm_worker --endpoint=tcp:10.0.0.7:6001 "
+      "--placement=tcp:10.0.0.7:6001,tcp:10.0.0.8:6001 --pid=3 --inc=2 "
+      "--status=/tmp/run/status.3");
+  // Unknown braces (and shell syntax) pass through verbatim.
+  EXPECT_EQ(ExpandLaunchTemplate("echo {pid} ${HOME} {unknown}", launch),
+            "echo 3 ${HOME} {unknown}");
+}
+
+TEST(SupervisorTest, LaunchWorkerCommandRunsTheExpandedTemplate) {
+  const std::string dir = MakeStateDir();
+  ASSERT_FALSE(dir.empty());
+  WorkerLaunch launch;
+  launch.endpoint = "tcp:127.0.0.1:6001";
+  launch.placement = "tcp:127.0.0.1:6001";
+  launch.pid = 5;
+  launch.incarnation = 1;
+  launch.status_file = dir + "/status.5";
+  // The template stands in for an ssh hop: it must see the substituted
+  // values and write the status file the supervisor will poll.
+  const pid_t child = LaunchWorkerCommand(
+      "echo worker {pid} inc {incarnation} at {endpoint} > {status_file}",
+      launch);
+  ASSERT_GT(child, 0);
+  ExitInfo info;
+  ASSERT_TRUE(WaitForExit(child, 10.0, &info));
+  EXPECT_TRUE(info.exited);
+  EXPECT_EQ(info.exit_code, 0);
+  std::ifstream in(launch.status_file);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "worker 5 inc 1 at tcp:127.0.0.1:6001");
+  RemoveTree(dir);
+}
+
+TEST(WireCodecTest, TcpPlacementReplyRoundTrip) {
+  const Reply reply = SampleTcpPlacementReply();
+  std::string error;
+  Reply back;
+  ASSERT_TRUE(DecodeReply(EncodeReply(reply), &back, &error)) << error;
+  ASSERT_EQ(back.placement.size(), 3u);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(back.placement[k], reply.placement[k]) << k;
+    // The endpoint strings survived the wire intact and still parse.
+    Endpoint ep;
+    EXPECT_TRUE(ParseEndpoint(back.placement[k], &ep, &error)) << error;
+    EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp) << k;
+  }
+}
+
+class TcpIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeStateDir();
+    ASSERT_FALSE(dir_.empty());
+    sopts_.endpoint = "tcp:127.0.0.1:0";
+    sopts_.resolved_endpoint_file = dir_ + "/endpoint";
+    sopts_.state_dir = dir_ + "/state";
+    sopts_.num_shards = 2;
+    sopts_.checkpoint_every_ops = 4;
+    server_pid_ = ForkServerProcess(sopts_);
+    ASSERT_GT(server_pid_, 0);
+    // The server binds port 0 itself here (no supervisor pre-bind), then
+    // publishes the kernel-assigned port through the resolved-endpoint
+    // file; poll for it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (endpoint_.empty() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::ifstream in(sopts_.resolved_endpoint_file);
+      std::getline(in, endpoint_);
+      if (endpoint_.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    ASSERT_FALSE(endpoint_.empty()) << "server never published its port";
+    ASSERT_TRUE(WaitForEndpoint(endpoint_, 10.0));
+  }
+
+  void TearDown() override {
+    if (server_pid_ > 0) {
+      KillProcess(server_pid_);
+      ExitInfo info;
+      WaitForExit(server_pid_, 5.0, &info);
+    }
+    RemoveTree(dir_);
+  }
+
+  RemoteSpaceOptions ClientOptions(int32_t pid, int32_t incarnation = 0) {
+    RemoteSpaceOptions opts;
+    opts.endpoint = endpoint_;
+    opts.pid = pid;
+    opts.incarnation = incarnation;
+    opts.reconnect_timeout_s = 10.0;
+    return opts;
+  }
+
+  std::string dir_;
+  std::string endpoint_;
+  SpaceServerOptions sopts_;
+  pid_t server_pid_ = -1;
+};
+
+TEST_F(TcpIntegrationTest, BasicOpsOverLoopbackTcp) {
+  // The resolved endpoint is a concrete tcp:127.0.0.1:<port> string.
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(ParseEndpoint(endpoint_, &ep, &error)) << error;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_GT(ep.port, 0);
+
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+  ASSERT_EQ(client.Out(MakeTuple("task", 1)), CallStatus::kOk);
+  ASSERT_EQ(client.Out(MakeTuple("task", 2)), CallStatus::kOk);
+  Tuple got;
+  ASSERT_EQ(client.In(MakeTemplate(A("task"), F(ValueType::kInt)),
+                      /*blocking=*/false, /*remove=*/true, &got),
+            CallStatus::kOk);
+  EXPECT_EQ(GetInt(got, 1), 1);  // FIFO within a bucket holds over TCP
+  ASSERT_EQ(client.In(MakeTemplate(A("task"), F(ValueType::kInt)),
+                      /*blocking=*/false, /*remove=*/true, &got),
+            CallStatus::kOk);
+  EXPECT_EQ(GetInt(got, 1), 2);
+  client.Bye();
+}
+
+TEST_F(TcpIntegrationTest, ReconnectAfterServerRestartOnSamePort) {
+  // A restarted server re-binds the SAME concrete port (the resolved
+  // endpoint is its identity now), and the client's reconnect/resend plus
+  // the dedup window must make the in-flight call exactly-once — the TCP
+  // twin of the Unix-domain crash-recovery tests.
+  RemoteTupleSpace client(ClientOptions(1));
+  ASSERT_TRUE(client.Connect()) << client.last_error();
+  ASSERT_EQ(client.Out(MakeTuple("persist", 7)), CallStatus::kOk);
+
+  KillProcess(server_pid_);
+  ExitInfo info;
+  WaitForExit(server_pid_, 5.0, &info);
+  sopts_.endpoint = endpoint_;  // re-bind the now-known concrete port
+  server_pid_ = ForkServerProcess(sopts_);
+  ASSERT_GT(server_pid_, 0);
+  ASSERT_TRUE(WaitForEndpoint(endpoint_, 10.0));
+
+  Tuple got;
+  ASSERT_EQ(client.In(MakeTemplate(A("persist"), F(ValueType::kInt)),
+                      /*blocking=*/false, /*remove=*/true, &got),
+            CallStatus::kOk);
+  EXPECT_EQ(GetInt(got, 1), 7);
+  client.Bye();
+}
+
+TEST(TcpClientTest, MalformedEndpointFailsFastWithoutAReconnectWindow) {
+  // The structured twin of the overlong-sun_path client test: a malformed
+  // tcp: string can never become connectable, so Connect must fail
+  // immediately — not sit out the reconnect window — with the reason in
+  // last_error().
+  RemoteSpaceOptions opts;
+  opts.endpoint = "tcp:127.0.0.1";  // no port
+  opts.pid = 1;
+  opts.reconnect_timeout_s = 30.0;  // would hang for 30s if not fast-failed
+  RemoteTupleSpace client(opts);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.Connect());
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(waited, 5.0);
+  EXPECT_FALSE(client.last_error().empty());
+}
+
+TEST(DistributedRuntimeTest, UnsupportedTransportFailsStructurally) {
+  // The runtime-level twin of kBadSocketPath: an unsupported transport
+  // string must fail the run up front with a structured kBadEndpoint error
+  // naming the option, before any server is forked.
+  RuntimeOptions options;
+  options.mode = ExecutionMode::kDistributed;
+  options.distributed_transport = "carrier-pigeon";
+  Runtime runtime(1, options);
+  runtime.SpawnOn("idle", 0, [](ProcessContext&) {});
+  EXPECT_FALSE(runtime.Run());
+  ASSERT_FALSE(runtime.errors().empty());
+  EXPECT_EQ(runtime.errors()[0].code, RuntimeError::Code::kBadEndpoint);
+  EXPECT_NE(runtime.errors()[0].detail.find("distributed_transport"),
+            std::string::npos)
+      << runtime.errors()[0].detail;
 }
 
 }  // namespace
